@@ -1,0 +1,99 @@
+// Experiment C3 (Sec. 3.4.2, Theorem 3): maintaining a materialized
+// difference by recomputation versus by priority-queue patching, sweeping
+// the overlap fraction |R ∩ S| / |R| that controls how many critical
+// tuples exist.
+//
+// Expected shape: recomputation cost grows with the number of critical
+// instants (≈ overlap), while the patched view does zero recomputations at
+// O(|R ∩ S|) extra memory — the paper's "classic trade-off ... between
+// saving future communication and time/space".
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "view/materialized_view.h"
+
+namespace {
+
+using namespace expdb;
+
+constexpr int64_t kHorizon = 96;
+
+Schema TwoInt() {
+  return Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+/// Builds R and S with a controlled overlap fraction; overlapping tuples
+/// get texp_R > texp_S with probability 1/2 (i.e. are critical).
+Database MakeDb(int64_t n, double overlap, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  Relation r(TwoInt()), s(TwoInt());
+  for (int64_t i = 0; i < n; ++i) {
+    Timestamp tr(1 + rng.UniformInt(0, kHorizon - 2));
+    (void)r.Insert(Tuple{i, i % 7}, tr);
+    if (rng.UniformDouble() < overlap) {
+      Timestamp ts(1 + rng.UniformInt(0, kHorizon - 2));
+      (void)s.Insert(Tuple{i, i % 7}, ts);
+    } else {
+      (void)s.Insert(Tuple{i + n, i % 7},
+                     Timestamp(1 + rng.UniformInt(0, kHorizon - 2)));
+    }
+  }
+  (void)db.PutRelation("R", std::move(r));
+  (void)db.PutRelation("S", std::move(s));
+  return db;
+}
+
+void Run(benchmark::State& state, RefreshMode mode) {
+  const int64_t n = 1 << 12;
+  const double overlap = static_cast<double>(state.range(0)) / 100.0;
+  Database db = MakeDb(n, overlap, 5150);
+  auto expr = algebra::Difference(algebra::Base("R"), algebra::Base("S"));
+
+  uint64_t recomputes = 0, patches = 0, helper_size = 0;
+  for (auto _ : state) {
+    MaterializedView::Options opts;
+    opts.mode = mode;
+    MaterializedView view(expr, opts);
+    Status st = view.Initialize(db, Timestamp::Zero());
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    helper_size = view.pending_patches();
+    for (int64_t t = 0; t <= kHorizon; ++t) {
+      auto result = view.Read(db, Timestamp(t));
+      if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+      benchmark::DoNotOptimize(result->size());
+    }
+    recomputes += view.stats().recomputations;
+    patches += view.stats().patches_applied;
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["overlap_pct"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  state.counters["recomputes_per_run"] =
+      benchmark::Counter(static_cast<double>(recomputes) / iters);
+  state.counters["patches_per_run"] =
+      benchmark::Counter(static_cast<double>(patches) / iters);
+  state.counters["helper_queue_size"] =
+      benchmark::Counter(static_cast<double>(helper_size));
+  state.SetLabel(std::string(RefreshModeToString(mode)));
+}
+
+void BM_EagerRecompute(benchmark::State& state) {
+  Run(state, RefreshMode::kEagerRecompute);
+}
+void BM_PatchDifference(benchmark::State& state) {
+  Run(state, RefreshMode::kPatchDifference);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t overlap : {0, 25, 50, 75, 100}) b->Arg(overlap);
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_EagerRecompute)->Apply(Args);
+BENCHMARK(BM_PatchDifference)->Apply(Args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Experiment C6 (Sec. 3.3-3.4): Schrödinger's cat semantics. Validity
+// intervals let a materialized non-monotonic view answer queries without
+// recomputation whenever the query time falls inside a valid interval —
+// including the intervals *after* invalid windows close, which a single
+// expiration time cannot express.
+//
+// Compared on identical read schedules:
+//  * lazy single-texp view — recomputes at the first read past texp(e);
+//  * Schrödinger + recompute — recomputes only for reads inside gaps;
+//  * Schrödinger + move-backward / move-forward — never recomputes,
+//    serving nearby valid times instead.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "view/materialized_view.h"
+
+namespace {
+
+using namespace expdb;
+
+constexpr int64_t kHorizon = 96;
+
+Schema TwoInt() {
+  return Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+}
+
+Database MakeDb(int64_t n, uint64_t seed, int64_t overlap_one_in,
+                bool narrow_windows) {
+  Rng rng(seed);
+  Database db;
+  Relation r(TwoInt()), s(TwoInt());
+  for (int64_t i = 0; i < n; ++i) {
+    const Timestamp texp_r(1 + rng.UniformInt(0, kHorizon - 2));
+    (void)r.Insert(Tuple{i, i % 5}, texp_r);
+    if (i % overlap_one_in == 0) {  // controls critical density
+      // Narrow windows: the S copy expires 2 ticks before the R copy,
+      // so the invalid window [texp_S, texp_R) is only 2 ticks wide —
+      // easy to slip between occasional reads.
+      Timestamp texp_s =
+          narrow_windows
+              ? Timestamp(std::max<int64_t>(1, texp_r.ticks() - 2))
+              : Timestamp(1 + rng.UniformInt(0, kHorizon - 2));
+      (void)s.Insert(Tuple{i, i % 5}, texp_s);
+    }
+  }
+  (void)db.PutRelation("R", std::move(r));
+  (void)db.PutRelation("S", std::move(s));
+  return db;
+}
+
+void Run(benchmark::State& state, RefreshMode mode, MovePolicy policy) {
+  const int64_t n = state.range(0);
+  // range(1): 1 = dense criticals (25% overlap, wide overlapping invalid
+  // windows) — single texp and intervals largely coincide; 2 = sparse,
+  // 2-tick-wide windows with long valid stretches between them, where a
+  // single texp forces recomputation at the first read past it but the
+  // interval set knows the window has already closed. Reads arrive every
+  // 5 ticks.
+  const bool sparse = state.range(1) == 2;
+  Database db = MakeDb(n, 31337, sparse ? 64 : 4, sparse);
+  auto expr = algebra::Difference(algebra::Base("R"), algebra::Base("S"));
+
+  uint64_t recomputes = 0, from_mat = 0, moved = 0, reads = 0;
+  for (auto _ : state) {
+    MaterializedView::Options opts;
+    opts.mode = mode;
+    opts.move_policy = policy;
+    MaterializedView view(expr, opts);
+    Status st = view.Initialize(db, Timestamp::Zero());
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    for (int64_t i = 0; i <= kHorizon; i += 5) {
+      Timestamp t(i);
+      auto result = view.Read(db, t);
+      if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+      benchmark::DoNotOptimize(result->size());
+    }
+    recomputes += view.stats().recomputations;
+    from_mat += view.stats().reads_from_materialization;
+    moved += view.stats().reads_moved_backward +
+             view.stats().reads_moved_forward;
+    reads += view.stats().reads;
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["recomputes_per_run"] =
+      benchmark::Counter(static_cast<double>(recomputes) / iters);
+  state.counters["reads_from_materialization_pct"] = benchmark::Counter(
+      reads == 0 ? 0.0
+                 : 100.0 * static_cast<double>(from_mat) /
+                       static_cast<double>(reads));
+  state.counters["reads_moved_per_run"] =
+      benchmark::Counter(static_cast<double>(moved) / iters);
+  std::string label(RefreshModeToString(mode));
+  if (mode == RefreshMode::kSchrodinger) {
+    label += "/" + std::string(MovePolicyToString(policy));
+  }
+  label += sparse ? " sparse-criticals" : " dense-criticals";
+  state.SetLabel(label);
+}
+
+void BM_LazySingleTexp(benchmark::State& state) {
+  Run(state, RefreshMode::kLazyRecompute, MovePolicy::kRecompute);
+}
+void BM_SchrodingerRecompute(benchmark::State& state) {
+  Run(state, RefreshMode::kSchrodinger, MovePolicy::kRecompute);
+}
+void BM_SchrodingerMoveBackward(benchmark::State& state) {
+  Run(state, RefreshMode::kSchrodinger, MovePolicy::kMoveBackward);
+}
+void BM_SchrodingerMoveForward(benchmark::State& state) {
+  Run(state, RefreshMode::kSchrodinger, MovePolicy::kMoveForward);
+}
+
+void SchArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {1 << 10, 1 << 13}) {
+    b->Args({n, 1});  // dense criticals
+    b->Args({n, 2});  // sparse criticals
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+BENCHMARK(BM_LazySingleTexp)->Apply(SchArgs);
+BENCHMARK(BM_SchrodingerRecompute)->Apply(SchArgs);
+BENCHMARK(BM_SchrodingerMoveBackward)->Apply(SchArgs);
+BENCHMARK(BM_SchrodingerMoveForward)->Apply(SchArgs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Reproduces Figure 2: monotonic expressions over the Figure 1 database —
+// the base relations (a)(b), the projection πexp_2(Pol) at times 0 and 10
+// (c)(d), and the join Pol ⋈exp_{1=3} El at times 0, 3, and 5 (e)(f)(g) —
+// verifying that the materialized-at-0 results, expired in place, coincide
+// with recomputation (Theorem 1).
+
+#include <cstdio>
+
+#include "bench/paper_db.h"
+#include "core/eval.h"
+#include "relational/printer.h"
+
+int main() {
+  using namespace expdb;
+  using namespace expdb::algebra;
+  std::printf("=== Figure 2: Example monotonic expressions ===\n\n");
+
+  Database db = MakePaperDatabase();
+
+  auto show = [&](const char* caption, const ExpressionPtr& e, int64_t tau) {
+    auto result = Evaluate(e, db, Timestamp(tau)).MoveValue();
+    std::printf("%s  —  %s at time %lld\n%s\n", caption,
+                e->ToString().c_str(), static_cast<long long>(tau),
+                PrintTuples(result.relation, Timestamp(tau)).c_str());
+    return result;
+  };
+
+  std::printf("(a) Relation Pol at time 0\n%s\n",
+              PrintTuples(*db.GetRelation("Pol").value(), Timestamp(0))
+                  .c_str());
+  std::printf("(b) Relation El at time 0\n%s\n",
+              PrintTuples(*db.GetRelation("El").value(), Timestamp(0))
+                  .c_str());
+
+  auto proj = Project(Base("Pol"), {1});
+  auto proj0 = show("(c)", proj, 0);
+  Check(proj0.relation.size() == 2 &&
+            proj0.relation.GetTexp(Tuple{25}) == Timestamp(15) &&
+            proj0.relation.GetTexp(Tuple{35}) == Timestamp(10),
+        "(c) = {<25>@15, <35>@10} (max of duplicates, Formula 3)");
+  auto proj10 = show("(d)", proj, 10);
+  Check(proj10.relation.size() == 1 &&
+            proj10.relation.Contains(Tuple{25}),
+        "(d) = {<25>}");
+  Check(Relation::EqualAt(proj0.relation, proj10.relation, Timestamp(10)),
+        "(d) equals (c) expired in place (Theorem 1)");
+
+  auto join = Join(Base("Pol"), Base("El"), Predicate::ColumnsEqual(0, 2));
+  auto join0 = show("(e)", join, 0);
+  Check(join0.relation.size() == 2 &&
+            join0.relation.GetTexp(Tuple{1, 25, 1, 75}) == Timestamp(5) &&
+            join0.relation.GetTexp(Tuple{2, 25, 2, 85}) == Timestamp(3),
+        "(e) = {<1,25,1,75>@5, <2,25,2,85>@3}");
+  auto join3 = show("(f)", join, 3);
+  Check(join3.relation.size() == 1 &&
+            join3.relation.Contains(Tuple{1, 25, 1, 75}),
+        "(f) = {<1,25,1,75>}");
+  auto join5 = show("(g)", join, 5);
+  Check(join5.relation.empty(), "(g) the query is empty");
+  for (int64_t tau : {0, 1, 2, 3, 4, 5, 10, 15}) {
+    auto fresh = Evaluate(join, db, Timestamp(tau)).MoveValue();
+    Check(Relation::EqualAt(join0.relation, fresh.relation, Timestamp(tau)),
+          ("join materialized at 0 == recomputed at " + std::to_string(tau))
+              .c_str());
+  }
+  std::printf("\nFigure 2 reproduced.\n");
+  return 0;
+}

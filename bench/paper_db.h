@@ -1,0 +1,44 @@
+// The paper's running-example database (Figure 1), shared by the
+// figure/table reproduction binaries.
+
+#ifndef EXPDB_BENCH_PAPER_DB_H_
+#define EXPDB_BENCH_PAPER_DB_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "relational/database.h"
+
+namespace expdb {
+
+/// Builds the Figure 1 database: Pol = {<1,25>@10, <2,25>@15, <3,35>@10},
+/// El = {<1,75>@5, <2,85>@3, <4,90>@2}.
+inline Database MakePaperDatabase() {
+  Database db;
+  Relation* pol =
+      db.CreateRelation("Pol", Schema({{"UID", ValueType::kInt64},
+                                       {"Deg", ValueType::kInt64}}))
+          .value();
+  (void)pol->Insert(Tuple{1, 25}, Timestamp(10));
+  (void)pol->Insert(Tuple{2, 25}, Timestamp(15));
+  (void)pol->Insert(Tuple{3, 35}, Timestamp(10));
+  Relation* el =
+      db.CreateRelation("El", Schema({{"UID", ValueType::kInt64},
+                                      {"Deg", ValueType::kInt64}}))
+          .value();
+  (void)el->Insert(Tuple{1, 75}, Timestamp(5));
+  (void)el->Insert(Tuple{2, 85}, Timestamp(3));
+  (void)el->Insert(Tuple{4, 90}, Timestamp(2));
+  return db;
+}
+
+/// Verification helper: prints PASS/FAIL and aborts the reproduction
+/// binary with a non-zero exit code on mismatch.
+inline void Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what);
+  if (!ok) std::exit(1);
+}
+
+}  // namespace expdb
+
+#endif  // EXPDB_BENCH_PAPER_DB_H_

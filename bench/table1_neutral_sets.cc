@@ -1,0 +1,99 @@
+// Reproduces Table 1: neutral subsets with respect to the standard SQL
+// aggregate functions. For each function the binary constructs a partition
+// containing a non-trivial neutral subset and shows that the
+// contributing-set expiration time (Table 1) strictly improves on the
+// conservative Eq. (8) bound while remaining exact (equal to the Eq. (9)
+// ν-replay), plus the paper's two special cases: count strictly follows
+// Eq. (8), and C = ∅ extends the lifetime to the partition maximum.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/paper_db.h"
+#include "core/aggregate.h"
+
+using namespace expdb;
+
+namespace {
+
+struct Case {
+  const char* label;
+  AggregateFunction f;
+  // (value, texp) pairs forming one partition.
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  const char* neutral_rule;
+};
+
+void RunCase(const Case& c) {
+  std::vector<std::unique_ptr<Tuple>> storage;
+  std::vector<PartitionEntry> partition;
+  std::printf("%s  (neutral: %s)\n  partition P = {", c.label,
+              c.neutral_rule);
+  for (size_t i = 0; i < c.rows.size(); ++i) {
+    storage.push_back(std::make_unique<Tuple>(Tuple{c.rows[i].first}));
+    partition.push_back({storage.back().get(), Timestamp(c.rows[i].second)});
+    std::printf("%s%lld@%lld", i ? ", " : "",
+                static_cast<long long>(c.rows[i].first),
+                static_cast<long long>(c.rows[i].second));
+  }
+  auto cons = AnalyzePartition(partition, c.f,
+                               AggregateExpirationMode::kConservative)
+                  .value();
+  auto contrib = AnalyzePartition(partition, c.f,
+                                  AggregateExpirationMode::kContributingSet)
+                     .value();
+  auto exact =
+      AnalyzePartition(partition, c.f, AggregateExpirationMode::kExact)
+          .value();
+  std::printf("}\n  %s(P) = %s; Eq.(8) texp = %s; Table-1 texp = %s; "
+              "exact nu = %s; partition death = %s\n",
+              c.f.ToString().c_str(), cons.value.ToString().c_str(),
+              cons.change_cap.ToString().c_str(),
+              contrib.change_cap.ToString().c_str(),
+              exact.change_cap.ToString().c_str(),
+              cons.death.ToString().c_str());
+  Check(contrib.change_cap == exact.change_cap,
+        "Table 1 closed form equals the Eq. (9) replay");
+  Check(contrib.change_cap >= cons.change_cap,
+        "Table 1 never worse than Eq. (8)");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: Neutral subsets per aggregate function ===\n\n");
+
+  RunCase({"min_1: non-minimal tuples are neutral",
+           AggregateFunction::Min(0),
+           {{5, 20}, {9, 10}, {7, 12}},
+           "t(i) > f(P), or a min holder that is not the last to expire"});
+  RunCase({"min_1: early-expiring min holders are neutral",
+           AggregateFunction::Min(0),
+           {{5, 10}, {5, 25}, {9, 30}},
+           "t(i) > f(P), or a min holder that is not the last to expire"});
+  RunCase({"max_1: analogous structure",
+           AggregateFunction::Max(0),
+           {{9, 20}, {5, 10}, {8, 12}},
+           "t(i) < f(P), or a max holder that is not the last to expire"});
+  RunCase({"sum_1: a time slice summing to zero is neutral",
+           AggregateFunction::Sum(0),
+           {{3, 10}, {-3, 10}, {7, 20}},
+           "sum over N = 0"});
+  RunCase({"avg_1: a slice with the partition's average is neutral",
+           AggregateFunction::Avg(0),
+           {{3, 10}, {5, 10}, {4, 20}},
+           "sum over N = (|N|/|P|) * sum over P"});
+  RunCase({"count: only the empty set is neutral (strictly Eq. 8)",
+           AggregateFunction::Count(),
+           {{1, 10}, {2, 20}},
+           "N = empty set"});
+  RunCase({"sum_1, C = empty: all zeros, value valid until P expires",
+           AggregateFunction::Sum(0),
+           {{0, 10}, {0, 20}, {0, 30}},
+           "sum over N = 0 (every slice neutral)"});
+
+  std::printf("Table 1 reproduced.\n");
+  return 0;
+}

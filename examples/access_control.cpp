@@ -1,0 +1,71 @@
+// Access control with short-lived suspensions (the paper's "short-lived
+// credentials and keys in cryptographic protocols" use case).
+//
+// `grants(user, resource)` holds credentials with lease expirations;
+// `suspensions(user, reason)` holds temporary suspensions. The effective
+// access list is an anti-join — grants whose user has NO live suspension —
+// maintained by Theorem 3 patching: when a user's last suspension lapses,
+// their grant re-appears in the materialized list automatically, with
+// zero recomputation and zero queries against the base tables.
+//
+// Build & run:  ./build/examples/access_control
+
+#include <cstdio>
+
+#include "core/eval.h"
+#include "relational/printer.h"
+#include "view/materialized_view.h"
+
+using namespace expdb;
+using namespace expdb::algebra;
+
+int main() {
+  std::printf("== Credential store with expiring suspensions ==\n\n");
+
+  Database db;
+  Relation* grants =
+      db.CreateRelation("grants", Schema({{"user", ValueType::kString},
+                                          {"resource", ValueType::kString}}))
+          .value();
+  (void)grants->Insert(Tuple{"alice", "prod-db"}, Timestamp(100));
+  (void)grants->Insert(Tuple{"bob", "prod-db"}, Timestamp(60));
+  (void)grants->Insert(Tuple{"carol", "billing"}, Timestamp(80));
+
+  Relation* suspensions =
+      db.CreateRelation("suspensions",
+                        Schema({{"user", ValueType::kString},
+                                {"reason", ValueType::kString}}))
+          .value();
+  // Bob is suspended twice; the later one governs re-admission.
+  (void)suspensions->Insert(Tuple{"bob", "mfa-reset"}, Timestamp(10));
+  (void)suspensions->Insert(Tuple{"bob", "incident-42"}, Timestamp(25));
+  (void)suspensions->Insert(Tuple{"carol", "leave"}, Timestamp(15));
+
+  // grants ▷_{user = user} suspensions.
+  auto active = AntiJoin(Base("grants"), Base("suspensions"),
+                         Predicate::ColumnsEqual(0, 2));
+  std::printf("access list = %s\n\n", active->ToString().c_str());
+
+  MaterializedView::Options opts;
+  opts.mode = RefreshMode::kPatchDifference;  // works for anti-join roots
+  MaterializedView view(active, opts);
+  (void)view.Initialize(db, Timestamp(0));
+  std::printf("view lifetime: texp = %s (patched: maintenance-free)\n",
+              view.texp().ToString().c_str());
+  std::printf("pending re-admissions in the helper queue: %zu\n\n",
+              view.pending_patches());
+
+  for (int64_t t : {0, 12, 20, 30, 70}) {
+    auto rows = view.Read(db, Timestamp(t)).MoveValue();
+    std::printf("t=%-3lld access list:\n%s\n", static_cast<long long>(t),
+                PrintTuples(rows, Timestamp(t)).c_str());
+  }
+
+  std::printf(
+      "carol re-admitted at 15, bob at 25 (his LAST suspension), bob's\n"
+      "lease itself lapses at 60 — all via patching and expiry:\n"
+      "recomputations = %llu, patches applied = %llu\n",
+      static_cast<unsigned long long>(view.stats().recomputations),
+      static_cast<unsigned long long>(view.stats().patches_applied));
+  return 0;
+}

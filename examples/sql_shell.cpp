@@ -1,0 +1,91 @@
+// ExpSQL shell: an interactive (or piped) REPL over an embedded ExpDB
+// session. Statements end with ';'. When stdin is exhausted without any
+// input (e.g. launched with no script), a self-contained demo runs the
+// paper's running example.
+//
+//   ./build/examples/sql_shell                # demo, then exit
+//   ./build/examples/sql_shell < script.sql   # run a script
+//   echo "SHOW TABLES;" | ./build/examples/sql_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sql/session.h"
+
+using namespace expdb;
+using namespace expdb::sql;
+
+namespace {
+
+const char* kDemoScript = R"sql(
+CREATE TABLE pol (uid INT, deg INT);
+CREATE TABLE el  (uid INT, deg INT);
+INSERT INTO pol VALUES (1, 25) EXPIRE AT 10;
+INSERT INTO pol VALUES (2, 25) EXPIRE AT 15;
+INSERT INTO pol VALUES (3, 35) EXPIRE AT 10;
+INSERT INTO el VALUES (1, 75) EXPIRE AT 5;
+INSERT INTO el VALUES (2, 85) EXPIRE AT 3;
+INSERT INTO el VALUES (4, 90) EXPIRE AT 2;
+CREATE VIEW both_topics AS
+  SELECT pol.uid, pol.deg, el.deg FROM pol, el WHERE pol.uid = el.uid;
+CREATE VIEW pol_only WITH (mode = patch) AS
+  SELECT uid FROM pol EXCEPT SELECT uid FROM el;
+SELECT * FROM both_topics;
+SELECT deg, COUNT(*) FROM pol GROUP BY deg;
+ADVANCE TIME 3;
+SELECT * FROM pol_only;
+ADVANCE TIME 2;
+SELECT * FROM pol_only;
+SHOW VIEWS;
+SHOW TIME;
+)sql";
+
+void RunStatement(Session& session, const std::string& text) {
+  auto result = session.Execute(text);
+  if (result.ok()) {
+    std::fputs(FormatExecResult(*result).c_str(), stdout);
+  } else {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+  std::string buffer;
+  std::string line;
+  bool saw_input = false;
+
+  std::printf("ExpSQL shell — statements end with ';' (Ctrl-D to exit)\n");
+  while (std::getline(std::cin, line)) {
+    saw_input = true;
+    buffer += line + "\n";
+    // Execute every complete statement in the buffer.
+    size_t pos;
+    while ((pos = buffer.find(';')) != std::string::npos) {
+      std::string stmt = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (stmt.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+      RunStatement(session, stmt);
+    }
+  }
+  if (!buffer.empty() &&
+      buffer.find_first_not_of(" \t\r\n") != std::string::npos) {
+    RunStatement(session, buffer);
+  }
+
+  if (!saw_input) {
+    std::printf("\n(no input — running the built-in paper demo)\n\n");
+    auto results = session.ExecuteScript(kDemoScript);
+    if (!results.ok()) {
+      std::printf("demo error: %s\n", results.status().ToString().c_str());
+      return 1;
+    }
+    for (const ExecResult& r : *results) {
+      std::fputs(FormatExecResult(r).c_str(), stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Result<T>: value-or-Status, the return type of fallible ExpDB functions
+// that produce a value. Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef EXPDB_COMMON_RESULT_H_
+#define EXPDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace expdb {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// A Result constructed from an OK status is a programming error and is
+/// converted to an Internal error so that misuse is observable rather than
+/// undefined.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the held value. Must hold a value.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the held value out. Must hold a value.
+  T MoveValue() {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace expdb
+
+/// Propagates the error of a Result expression, else assigns its value.
+#define EXPDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).MoveValue()
+
+#define EXPDB_CONCAT_IMPL(a, b) a##b
+#define EXPDB_CONCAT(a, b) EXPDB_CONCAT_IMPL(a, b)
+
+#define EXPDB_ASSIGN_OR_RETURN(lhs, expr) \
+  EXPDB_ASSIGN_OR_RETURN_IMPL(            \
+      EXPDB_CONCAT(_expdb_result_, __LINE__), lhs, expr)
+
+#endif  // EXPDB_COMMON_RESULT_H_

@@ -1,0 +1,121 @@
+// Status: error-handling primitive used throughout ExpDB.
+//
+// ExpDB library code does not throw exceptions; fallible operations return
+// Status (or Result<T>, see result.h). The design follows the idiom used by
+// Arrow and RocksDB: a small copyable object holding a code and a message,
+// with an inexpensive OK fast path.
+
+#ifndef EXPDB_COMMON_STATUS_H_
+#define EXPDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace expdb {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kNotFound = 2,          ///< Named entity (relation, attribute, ...) absent.
+  kAlreadyExists = 3,     ///< Name collision on creation.
+  kTypeError = 4,         ///< Schema/type mismatch (e.g. union-incompatible).
+  kOutOfRange = 5,        ///< Index or time out of the valid domain.
+  kParseError = 6,        ///< SQL text could not be parsed.
+  kNotImplemented = 7,    ///< Feature intentionally unsupported.
+  kConstraintViolation = 8,  ///< Integrity constraint rejected an operation.
+  kInternal = 9,          ///< Invariant breakage inside the engine.
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carried by value.
+///
+/// The OK state is represented by a null internal pointer, so returning and
+/// checking `Status::OK()` costs no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(code, std::move(message))) {}
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    State(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace expdb
+
+/// Propagates a non-OK Status to the caller.
+#define EXPDB_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::expdb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // EXPDB_COMMON_STATUS_H_

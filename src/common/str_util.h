@@ -1,0 +1,56 @@
+// Small string helpers shared across modules (no locale, no allocation
+// surprises): join, padding, case folding, numeric parsing.
+
+#ifndef EXPDB_COMMON_STR_UTIL_H_
+#define EXPDB_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expdb {
+
+/// \brief Joins the elements' ToString() with a separator.
+template <typename Container>
+std::string JoinToString(const Container& items, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    out += item.ToString();
+  }
+  return out;
+}
+
+/// \brief Joins plain strings with a separator.
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view sep);
+
+/// \brief Left-justifies `s` within `width` columns (UTF-8 unaware; all
+/// ExpDB identifiers and rendered values are ASCII).
+std::string PadRight(std::string_view s, size_t width);
+
+/// \brief Right-justifies `s` within `width` columns.
+std::string PadLeft(std::string_view s, size_t width);
+
+/// \brief ASCII lower-casing (SQL keywords are case-insensitive).
+std::string AsciiToLower(std::string_view s);
+
+/// \brief ASCII upper-casing.
+std::string AsciiToUpper(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Parses a decimal int64; nullopt on any malformed input.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// \brief Parses a decimal double; nullopt on any malformed input.
+std::optional<double> ParseDouble(std::string_view s);
+
+}  // namespace expdb
+
+#endif  // EXPDB_COMMON_STR_UTIL_H_

@@ -1,0 +1,14 @@
+#include "common/timestamp.h"
+
+namespace expdb {
+
+std::string Timestamp::ToString() const {
+  if (IsInfinite()) return "inf";
+  return std::to_string(ticks_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Timestamp& t) {
+  return os << t.ToString();
+}
+
+}  // namespace expdb

@@ -1,0 +1,106 @@
+// Timestamp: the totally ordered time domain of the paper (Sec. 2.2).
+//
+// Finite times are identified with the non-negative integers; the symbol
+// infinity is larger than every finite time and is the expiration time of
+// tuples that never expire. Arithmetic saturates at infinity so that
+// `t + ttl` is always well-defined.
+
+#ifndef EXPDB_COMMON_TIMESTAMP_H_
+#define EXPDB_COMMON_TIMESTAMP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace expdb {
+
+/// \brief A point on the discrete time axis, or infinity.
+///
+/// The paper's time domain "comprises times or timestamps including the
+/// symbol ∞ that denotes infinity and is larger than any other time value;
+/// for simplicity, we identify finite times with the non-negative integers."
+class Timestamp {
+ public:
+  /// Constructs time 0.
+  constexpr Timestamp() : ticks_(0) {}
+
+  /// Constructs a finite time. Negative inputs are clamped to 0; the
+  /// reserved infinity representation cannot be produced this way.
+  constexpr explicit Timestamp(int64_t ticks)
+      : ticks_(ticks < 0 ? 0 : (ticks >= kInfinityTicks ? kInfinityTicks - 1
+                                                        : ticks)) {}
+
+  /// \brief The time larger than every finite time (a tuple that never
+  /// expires has texp == Infinity()).
+  static constexpr Timestamp Infinity() {
+    Timestamp t;
+    t.ticks_ = kInfinityTicks;
+    return t;
+  }
+
+  /// \brief Time zero, the origin used throughout the paper's examples.
+  static constexpr Timestamp Zero() { return Timestamp(0); }
+
+  constexpr bool IsInfinite() const { return ticks_ == kInfinityTicks; }
+  constexpr bool IsFinite() const { return !IsInfinite(); }
+
+  /// The underlying tick count. Must be finite.
+  constexpr int64_t ticks() const { return ticks_; }
+
+  constexpr auto operator<=>(const Timestamp& other) const = default;
+
+  /// \brief Saturating addition of a duration; infinity absorbs.
+  constexpr Timestamp operator+(int64_t delta) const {
+    if (IsInfinite()) return Infinity();
+    // Check before adding: signed overflow must never happen.
+    if (delta > 0 && ticks_ > kInfinityTicks - 1 - delta) {
+      Timestamp t;
+      t.ticks_ = kInfinityTicks - 1;
+      return t;
+    }
+    return Timestamp(ticks_ + delta);
+  }
+
+  Timestamp& operator+=(int64_t delta) { return *this = *this + delta; }
+
+  /// \brief The immediately following instant (saturates below infinity).
+  constexpr Timestamp Next() const { return *this + 1; }
+
+  /// \brief min over the time domain (arbitrary arity via std::min).
+  static Timestamp Min(Timestamp a, Timestamp b) { return std::min(a, b); }
+  static Timestamp Min(std::initializer_list<Timestamp> ts) {
+    return std::min(ts);
+  }
+
+  /// \brief max over the time domain.
+  static Timestamp Max(Timestamp a, Timestamp b) { return std::max(a, b); }
+  static Timestamp Max(std::initializer_list<Timestamp> ts) {
+    return std::max(ts);
+  }
+
+  /// Renders the tick count, or "inf" for infinity.
+  std::string ToString() const;
+
+ private:
+  static constexpr int64_t kInfinityTicks =
+      std::numeric_limits<int64_t>::max();
+  int64_t ticks_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Timestamp& t);
+
+}  // namespace expdb
+
+template <>
+struct std::hash<expdb::Timestamp> {
+  size_t operator()(const expdb::Timestamp& t) const noexcept {
+    return t.IsInfinite() ? static_cast<size_t>(-1)
+                          : std::hash<int64_t>{}(t.ticks());
+  }
+};
+
+#endif  // EXPDB_COMMON_TIMESTAMP_H_

@@ -1,0 +1,137 @@
+#include "common/value.h"
+
+#include <cmath>
+
+namespace expdb {
+
+namespace {
+
+// Rank used to order values of different, non-interconvertible types.
+// Numerics share a rank so that Int64 and Double compare numerically.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+
+std::strong_ordering OrderDoubles(double a, double b) {
+  // Values never hold NaN (checked in Add and by the SQL layer), so a
+  // strong ordering on partial_ordering inputs is safe.
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<double> Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return Status::TypeError("value '" + ToString() + "' is not numeric");
+  }
+}
+
+std::strong_ordering Value::Compare(const Value& other) const {
+  const int ra = TypeRank(type());
+  const int rb = TypeRank(other.type());
+  if (ra != rb) return ra <=> rb;
+
+  switch (type()) {
+    case ValueType::kNull:
+      return std::strong_ordering::equal;
+    case ValueType::kInt64:
+      if (other.is_int64()) return AsInt64() <=> other.AsInt64();
+      return OrderDoubles(static_cast<double>(AsInt64()), other.AsDouble());
+    case ValueType::kDouble:
+      if (other.is_double()) return OrderDoubles(AsDouble(), other.AsDouble());
+      return OrderDoubles(AsDouble(), static_cast<double>(other.AsInt64()));
+    case ValueType::kString:
+      return AsString().compare(other.AsString()) <=> 0;
+  }
+  return std::strong_ordering::equal;
+}
+
+Result<Value> Value::Add(const Value& other) const {
+  if (is_int64() && other.is_int64()) {
+    return Value(AsInt64() + other.AsInt64());
+  }
+  EXPDB_ASSIGN_OR_RETURN(double a, ToNumeric());
+  EXPDB_ASSIGN_OR_RETURN(double b, other.ToNumeric());
+  const double sum = a + b;
+  if (std::isnan(sum)) {
+    return Status::OutOfRange("addition produced NaN");
+  }
+  return Value(sum);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return std::hash<double>{}(static_cast<double>(AsInt64()));
+    case ValueType::kDouble: {
+      // Hash integral doubles like the equal Int64 (3.0 == 3 must hash
+      // identically to satisfy the hash/equality contract).
+      const double d = AsDouble();
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      // Trim trailing zeros but keep one digit after the point.
+      size_t dot = s.find('.');
+      if (dot != std::string::npos) {
+        size_t last = s.find_last_not_of('0');
+        if (last == dot) last = dot + 1;
+        s.erase(last + 1);
+      }
+      return s;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace expdb

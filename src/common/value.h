@@ -1,0 +1,106 @@
+// Value: a dynamically typed attribute value (the attribute domain D of the
+// paper's data model). The algebra operates over Int64, Double, and String
+// values; Null exists only for the SQL layer's display defaults — the core
+// algebra never produces it (the paper scopes out three-valued logic).
+
+#ifndef EXPDB_COMMON_VALUE_H_
+#define EXPDB_COMMON_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace expdb {
+
+/// Runtime type tag of a Value.
+enum class ValueType {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// \brief Returns the lower-case SQL-ish name of a value type
+/// ("null", "int", "double", "string").
+std::string_view ValueTypeToString(ValueType type);
+
+/// \brief One attribute value; an element of the attribute domain D.
+///
+/// Values form a total order: Null < numerics < strings, with Int64 and
+/// Double compared numerically against each other so that mixed-type
+/// arithmetic behaves intuitively in aggregates and predicates.
+class Value {
+ public:
+  /// Constructs the null value.
+  Value() : repr_(std::monostate{}) {}
+
+  Value(int64_t v) : repr_(v) {}                 // NOLINT(runtime/explicit)
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : repr_(v) {}                  // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  /// The held integer. Must hold Int64.
+  int64_t AsInt64() const { return std::get<int64_t>(repr_); }
+  /// The held double. Must hold Double.
+  double AsDouble() const { return std::get<double>(repr_); }
+  /// The held string. Must hold String.
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// \brief Numeric view of the value (Int64 widened to double).
+  /// Returns a TypeError for nulls and strings.
+  Result<double> ToNumeric() const;
+
+  /// \brief Three-way comparison defining the total order described above.
+  std::strong_ordering Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const {
+    return Compare(other) == std::strong_ordering::equal;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const {
+    return Compare(other) == std::strong_ordering::less;
+  }
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// \brief Checked addition for numeric values (used by sum/avg).
+  Result<Value> Add(const Value& other) const;
+
+  /// Hash consistent with operator== (numeric 3 and 3.0 hash equal).
+  size_t Hash() const;
+
+  /// Renders the value as SQL-ish literal text (strings unquoted).
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace expdb
+
+template <>
+struct std::hash<expdb::Value> {
+  size_t operator()(const expdb::Value& v) const noexcept { return v.Hash(); }
+};
+
+#endif  // EXPDB_COMMON_VALUE_H_

@@ -1,0 +1,50 @@
+#include "core/difference.h"
+
+#include <algorithm>
+
+namespace expdb {
+
+DifferenceAnalysis AnalyzeDifference(const Relation& left,
+                                     const Relation& right) {
+  DifferenceAnalysis out;
+  out.result = Relation(left.schema());
+
+  Timestamp min_appears = Timestamp::Infinity();
+  Timestamp max_expires = Timestamp::Zero();
+
+  left.ForEach([&](const Tuple& t, Timestamp texp_r) {
+    auto texp_s = right.GetTexp(t);
+    if (!texp_s.has_value()) {
+      // Case (1): t ∈ R ∧ t ∉ S — in the result with texp_R(t).
+      out.result.InsertUnchecked(t, texp_r);
+      return;
+    }
+    // Case (3): t in both.
+    ++out.common_count;
+    if (texp_r > *texp_s) {
+      // Case (3a): critical — t must re-appear at texp_S(t).
+      out.critical.push_back({t, *texp_s, texp_r});
+      out.invalid_windows.Add(*texp_s, texp_r);
+      min_appears = Timestamp::Min(min_appears, *texp_s);
+      max_expires = Timestamp::Max(max_expires, texp_r);
+    }
+    // Case (3b): texp_R <= texp_S — never re-appears; nothing to do.
+  });
+  // Case (2): t ∉ R ∧ t ∈ S — disregarded entirely.
+
+  std::sort(out.critical.begin(), out.critical.end(),
+            [](const DifferencePatchEntry& a, const DifferencePatchEntry& b) {
+              if (a.appears_at != b.appears_at) {
+                return a.appears_at < b.appears_at;
+              }
+              return a.tuple < b.tuple;
+            });
+
+  if (!out.critical.empty()) {
+    out.tau_r = min_appears;
+    out.coarse_invalid_window = IntervalSet(min_appears, max_expires);
+  }
+  return out;
+}
+
+}  // namespace expdb

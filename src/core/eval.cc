@@ -1,0 +1,486 @@
+#include "core/eval.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace expdb {
+
+namespace {
+
+/// Match machinery shared by ⋉exp and ▷exp: for a left tuple, finds
+/// whether any right tuple satisfies the (concatenated-frame) predicate,
+/// and the maximum expiration time among the matches. Uses a hash table
+/// over the predicate's cross-side equality columns when available.
+class RightMatcher {
+ public:
+  RightMatcher(const Relation& right, const Predicate& predicate,
+               size_t n_left)
+      : predicate_(predicate) {
+    for (auto [a, b] : predicate.TopLevelEqualities()) {
+      if (a < n_left && b >= n_left) {
+        lcols_.push_back(a);
+        rcols_.push_back(b - n_left);
+      } else if (b < n_left && a >= n_left) {
+        lcols_.push_back(b);
+        rcols_.push_back(a - n_left);
+      }
+    }
+    right.ForEach([&](const Tuple& rt, Timestamp rtexp) {
+      if (lcols_.empty()) {
+        all_.emplace_back(&rt, rtexp);
+      } else {
+        table_[rt.Project(rcols_)].emplace_back(&rt, rtexp);
+      }
+    });
+  }
+
+  /// Max texp over right tuples matching `lt`; nullopt when none match.
+  std::optional<Timestamp> MaxMatchTexp(const Tuple& lt) const {
+    const std::vector<std::pair<const Tuple*, Timestamp>>* candidates;
+    std::optional<Tuple> key;
+    if (lcols_.empty()) {
+      candidates = &all_;
+    } else {
+      key = lt.Project(lcols_);
+      auto it = table_.find(*key);
+      if (it == table_.end()) return std::nullopt;
+      candidates = &it->second;
+    }
+    std::optional<Timestamp> best;
+    for (const auto& [rt, rtexp] : *candidates) {
+      if (!predicate_.Evaluate(lt.Concat(*rt))) continue;
+      if (!best || rtexp > *best) best = rtexp;
+    }
+    return best;
+  }
+
+ private:
+  const Predicate& predicate_;
+  std::vector<size_t> lcols_, rcols_;
+  std::vector<std::pair<const Tuple*, Timestamp>> all_;
+  std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, Timestamp>>>
+      table_;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const Database& db, Timestamp tau, const EvalOptions& options)
+      : db_(db), tau_(tau), options_(options) {}
+
+  Result<MaterializedResult> Eval(const Expression& e) {
+    switch (e.kind()) {
+      case ExprKind::kBase:
+        return EvalBase(e);
+      case ExprKind::kSelect:
+        return EvalSelect(e);
+      case ExprKind::kProject:
+        return EvalProject(e);
+      case ExprKind::kProduct:
+        return EvalProduct(e);
+      case ExprKind::kUnion:
+        return EvalUnion(e);
+      case ExprKind::kJoin:
+        return EvalJoin(e);
+      case ExprKind::kIntersect:
+        return EvalIntersect(e);
+      case ExprKind::kDifference: {
+        EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult diff, EvalDifference(e));
+        return std::move(diff.result);
+      }
+      case ExprKind::kAggregate:
+        return EvalAggregate(e);
+      case ExprKind::kSemiJoin:
+        return EvalSemiJoin(e);
+      case ExprKind::kAntiJoin: {
+        EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult anti, EvalAntiJoin(e));
+        return std::move(anti.result);
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  Result<DifferenceEvalResult> EvalDifference(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    if (!l.relation.schema().UnionCompatibleWith(r.relation.schema())) {
+      return Status::TypeError(
+          "difference requires union-compatible inputs, got " +
+          l.relation.schema().ToString() + " and " +
+          r.relation.schema().ToString());
+    }
+    DifferenceAnalysis analysis = AnalyzeDifference(l.relation, r.relation);
+
+    DifferenceEvalResult out;
+    out.result.relation = std::move(analysis.result);
+    out.result.materialized_at = tau_;
+    // Eq. (11) with the texp_S correction (see difference.h): the
+    // expression dies when either argument dies or the first critical
+    // tuple should re-appear.
+    out.result.texp =
+        Timestamp::Min({l.texp, r.texp, analysis.tau_r});
+    if (options_.compute_validity) {
+      IntervalSet v = l.validity.Intersect(r.validity);
+      for (const Interval& iv : analysis.invalid_windows.intervals()) {
+        v.Subtract(iv);
+      }
+      out.result.validity = std::move(v);
+    } else {
+      out.result.validity = IntervalSet(tau_, out.result.texp);
+    }
+    out.helper = std::move(analysis.critical);
+    out.common_count = analysis.common_count;
+    out.children_texp = Timestamp::Min(l.texp, r.texp);
+    return out;
+  }
+
+  /// ▷exp: the difference analysis generalized from tuple equality to an
+  /// arbitrary match predicate. A left tuple with surviving matches is
+  /// suppressed; it must re-appear when its *last* match expires, so the
+  /// critical window is [max matching texp_S, texp_R).
+  Result<DifferenceEvalResult> EvalAntiJoin(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    const size_t n_left = l.relation.schema().arity();
+    EXPDB_RETURN_NOT_OK(e.predicate().Validate(
+        l.relation.schema().Concat(r.relation.schema())));
+    RightMatcher matcher(r.relation, e.predicate(), n_left);
+
+    DifferenceEvalResult out;
+    out.result.relation = Relation(l.relation.schema());
+    Timestamp tau_r = Timestamp::Infinity();
+    IntervalSet invalid;
+    l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
+      std::optional<Timestamp> last_match = matcher.MaxMatchTexp(lt);
+      if (!last_match.has_value()) {
+        out.result.relation.InsertUnchecked(lt, ltexp);
+        return;
+      }
+      ++out.common_count;
+      if (ltexp > *last_match) {
+        out.helper.push_back({lt, *last_match, ltexp});
+        invalid.Add(*last_match, ltexp);
+        tau_r = Timestamp::Min(tau_r, *last_match);
+      }
+    });
+    std::sort(out.helper.begin(), out.helper.end(),
+              [](const DifferencePatchEntry& a,
+                 const DifferencePatchEntry& b) {
+                if (a.appears_at != b.appears_at) {
+                  return a.appears_at < b.appears_at;
+                }
+                return a.tuple < b.tuple;
+              });
+
+    out.result.materialized_at = tau_;
+    out.result.texp = Timestamp::Min({l.texp, r.texp, tau_r});
+    if (options_.compute_validity) {
+      IntervalSet v = l.validity.Intersect(r.validity);
+      for (const Interval& iv : invalid.intervals()) v.Subtract(iv);
+      out.result.validity = std::move(v);
+    } else {
+      out.result.validity = IntervalSet(tau_, out.result.texp);
+    }
+    out.children_texp = Timestamp::Min(l.texp, r.texp);
+    return out;
+  }
+
+ private:
+  Result<MaterializedResult> EvalBase(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(const Relation* rel,
+                           db_.GetRelation(e.relation_name()));
+    MaterializedResult out;
+    out.relation = rel->UnexpiredAt(tau_);
+    return Monotonic(std::move(out));
+  }
+
+  Result<MaterializedResult> EvalSelect(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult child, Eval(*e.left()));
+    EXPDB_RETURN_NOT_OK(e.predicate().Validate(child.relation.schema()));
+    MaterializedResult out;
+    out.relation = Relation(child.relation.schema());
+    child.relation.ForEach([&](const Tuple& t, Timestamp texp) {
+      // Eq. (1): result tuples retain their expiration times.
+      if (e.predicate().Evaluate(t)) out.relation.InsertUnchecked(t, texp);
+    });
+    return Inherit(std::move(out), child);
+  }
+
+  Result<MaterializedResult> EvalProject(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult child, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(Schema schema,
+                           child.relation.schema().Project(e.projection()));
+    MaterializedResult out;
+    out.relation = Relation(std::move(schema));
+    child.relation.ForEach([&](const Tuple& t, Timestamp texp) {
+      // Eq. (3): a tuple gets the max expiration time of its duplicates.
+      out.relation.MergeMaxUnchecked(t.Project(e.projection()), texp);
+    });
+    return Inherit(std::move(out), child);
+  }
+
+  Result<MaterializedResult> EvalProduct(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    MaterializedResult out;
+    out.relation = Relation(l.relation.schema().Concat(r.relation.schema()));
+    l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
+      r.relation.ForEach([&](const Tuple& rt, Timestamp rtexp) {
+        // Eq. (2): min lifetime of the participating tuples.
+        out.relation.InsertUnchecked(lt.Concat(rt),
+                                     Timestamp::Min(ltexp, rtexp));
+      });
+    });
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> EvalUnion(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    if (!l.relation.schema().UnionCompatibleWith(r.relation.schema())) {
+      return Status::TypeError(
+          "union requires union-compatible inputs, got " +
+          l.relation.schema().ToString() + " and " +
+          r.relation.schema().ToString());
+    }
+    MaterializedResult out;
+    out.relation = std::move(l.relation);
+    // Eq. (4): tuples in both sides get the max of the two texps.
+    r.relation.ForEach([&](const Tuple& t, Timestamp texp) {
+      out.relation.MergeMaxUnchecked(t, texp);
+    });
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> EvalJoin(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    const Schema joined =
+        l.relation.schema().Concat(r.relation.schema());
+    EXPDB_RETURN_NOT_OK(e.predicate().Validate(joined));
+
+    MaterializedResult out;
+    out.relation = Relation(joined);
+    const size_t n_left = l.relation.schema().arity();
+
+    // Hash-join fast path on top-level cross-side equalities; semantics
+    // coincide with the paper's rewrite σ_{p'}(R ×exp S) because the full
+    // predicate is re-checked on every candidate pair.
+    std::vector<size_t> lcols, rcols;
+    for (auto [a, b] : e.predicate().TopLevelEqualities()) {
+      if (a < n_left && b >= n_left) {
+        lcols.push_back(a);
+        rcols.push_back(b - n_left);
+      } else if (b < n_left && a >= n_left) {
+        lcols.push_back(b);
+        rcols.push_back(a - n_left);
+      }
+    }
+
+    auto emit = [&](const Tuple& lt, Timestamp ltexp, const Tuple& rt,
+                    Timestamp rtexp) {
+      Tuple joined_tuple = lt.Concat(rt);
+      if (e.predicate().Evaluate(joined_tuple)) {
+        out.relation.InsertUnchecked(std::move(joined_tuple),
+                                     Timestamp::Min(ltexp, rtexp));
+      }
+    };
+
+    if (lcols.empty()) {
+      l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
+        r.relation.ForEach([&](const Tuple& rt, Timestamp rtexp) {
+          emit(lt, ltexp, rt, rtexp);
+        });
+      });
+    } else {
+      std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, Timestamp>>>
+          table;
+      r.relation.ForEach([&](const Tuple& rt, Timestamp rtexp) {
+        table[rt.Project(rcols)].emplace_back(&rt, rtexp);
+      });
+      l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
+        auto it = table.find(lt.Project(lcols));
+        if (it == table.end()) return;
+        for (const auto& [rt, rtexp] : it->second) {
+          emit(lt, ltexp, *rt, rtexp);
+        }
+      });
+    }
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> EvalIntersect(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    if (!l.relation.schema().UnionCompatibleWith(r.relation.schema())) {
+      return Status::TypeError(
+          "intersection requires union-compatible inputs, got " +
+          l.relation.schema().ToString() + " and " +
+          r.relation.schema().ToString());
+    }
+    MaterializedResult out;
+    out.relation = Relation(l.relation.schema());
+    l.relation.ForEach([&](const Tuple& t, Timestamp ltexp) {
+      auto rtexp = r.relation.GetTexp(t);
+      // Eq. (6): minima of the expiration times of the participating
+      // tuples (inherited from the inner ×exp of the rewrite).
+      if (rtexp.has_value()) {
+        out.relation.InsertUnchecked(t, Timestamp::Min(ltexp, *rtexp));
+      }
+    });
+    return Combine(std::move(out), l, r);
+  }
+
+  /// ⋉exp: π_{R}(R ⋈exp_p S) with the derived expiration min(texp_R(r),
+  /// max{texp_S(s) | s matches r}) — the projection's max-of-duplicates
+  /// over the join's min-of-pairs. Monotonic.
+  Result<MaterializedResult> EvalSemiJoin(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    const size_t n_left = l.relation.schema().arity();
+    EXPDB_RETURN_NOT_OK(e.predicate().Validate(
+        l.relation.schema().Concat(r.relation.schema())));
+    RightMatcher matcher(r.relation, e.predicate(), n_left);
+
+    MaterializedResult out;
+    out.relation = Relation(l.relation.schema());
+    l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
+      std::optional<Timestamp> last_match = matcher.MaxMatchTexp(lt);
+      if (last_match.has_value()) {
+        out.relation.InsertUnchecked(lt,
+                                     Timestamp::Min(ltexp, *last_match));
+      }
+    });
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> EvalAggregate(const Expression& e) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult child, Eval(*e.left()));
+    EXPDB_ASSIGN_OR_RETURN(Schema schema, e.InferSchema(db_));
+    const AggregateFunction& f = e.aggregate();
+    for (size_t j : e.group_by()) {
+      if (!child.relation.schema().IsValidIndex(j)) {
+        return Status::OutOfRange("grouping attribute out of range");
+      }
+    }
+
+    // Stable storage for partition entries: tuples must not move while
+    // PartitionEntry pointers reference them.
+    std::vector<std::pair<Tuple, Timestamp>> entries =
+        child.relation.SortedEntries();
+
+    // φexp (Eq. 7): stable partitioning by equality on the grouping
+    // attributes (SQL GROUP BY).
+    std::unordered_map<Tuple, std::vector<PartitionEntry>> partitions;
+    for (const auto& [tuple, texp] : entries) {
+      partitions[tuple.Project(e.group_by())].push_back({&tuple, texp});
+    }
+
+    MaterializedResult out;
+    out.relation = Relation(std::move(schema));
+    Timestamp texp_e = child.texp;
+    IntervalSet validity = child.validity;
+
+    for (const auto& [key, partition] : partitions) {
+      PartitionAnalysis analysis;
+      if (options_.aggregate_tolerance > 0) {
+        EXPDB_ASSIGN_OR_RETURN(
+            analysis, AnalyzeApproxPartition(partition, f,
+                                             options_.aggregate_tolerance));
+      } else {
+        EXPDB_ASSIGN_OR_RETURN(
+            analysis,
+            AnalyzePartition(partition, f, options_.aggregate_mode));
+      }
+      for (const PartitionEntry& entry : partition) {
+        // Eq. (8)/(9) with the source-tuple cap (see aggregate.h): the
+        // result tuple dies with its source tuple or when the partition's
+        // aggregate value changes, whichever is earlier.
+        out.relation.InsertUnchecked(
+            entry.tuple->Append(analysis.value),
+            Timestamp::Min(entry.texp, analysis.change_cap));
+      }
+      if (analysis.invalidates_expression) {
+        texp_e = Timestamp::Min(texp_e, analysis.change_cap);
+        if (options_.compute_validity) {
+          // The partition's contribution is wrong from the change until
+          // the partition has fully expired; afterwards both the
+          // materialization and recomputation are empty for it.
+          validity.Subtract(analysis.change_cap, analysis.death);
+        }
+      }
+    }
+
+    out.texp = texp_e;
+    out.validity = options_.compute_validity
+                       ? std::move(validity)
+                       : IntervalSet(tau_, texp_e);
+    out.materialized_at = tau_;
+    return out;
+  }
+
+  // --- texp(e) / validity composition helpers -----------------------------
+
+  /// Monotonic leaf: texp(e) = ∞, valid from τ on.
+  MaterializedResult Monotonic(MaterializedResult out) {
+    out.materialized_at = tau_;
+    out.texp = Timestamp::Infinity();
+    out.validity = IntervalSet::From(tau_);
+    return out;
+  }
+
+  /// Unary monotonic operator: texp and validity pass through (Sec. 2.3).
+  MaterializedResult Inherit(MaterializedResult out,
+                             const MaterializedResult& child) {
+    out.materialized_at = tau_;
+    out.texp = child.texp;
+    out.validity = options_.compute_validity ? child.validity
+                                             : IntervalSet(tau_, out.texp);
+    return out;
+  }
+
+  /// Binary monotonic operator: texp(e) = min of the arguments' texps
+  /// (Sec. 2.3); validity is the intersection.
+  MaterializedResult Combine(MaterializedResult out,
+                             const MaterializedResult& l,
+                             const MaterializedResult& r) {
+    out.materialized_at = tau_;
+    out.texp = Timestamp::Min(l.texp, r.texp);
+    out.validity = options_.compute_validity
+                       ? l.validity.Intersect(r.validity)
+                       : IntervalSet(tau_, out.texp);
+    return out;
+  }
+
+  const Database& db_;
+  Timestamp tau_;
+  EvalOptions options_;
+};
+
+}  // namespace
+
+Result<MaterializedResult> Evaluate(const ExpressionPtr& expr,
+                                    const Database& db, Timestamp tau,
+                                    const EvalOptions& options) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null expression");
+  }
+  return Evaluator(db, tau, options).Eval(*expr);
+}
+
+Result<DifferenceEvalResult> EvaluateDifferenceRoot(
+    const ExpressionPtr& expr, const Database& db, Timestamp tau,
+    const EvalOptions& options) {
+  if (expr == nullptr || (expr->kind() != ExprKind::kDifference &&
+                          expr->kind() != ExprKind::kAntiJoin)) {
+    return Status::InvalidArgument(
+        "EvaluateDifferenceRoot requires a difference or anti-join root");
+  }
+  Evaluator evaluator(db, tau, options);
+  if (expr->kind() == ExprKind::kAntiJoin) {
+    return evaluator.EvalAntiJoin(*expr);
+  }
+  return evaluator.EvalDifference(*expr);
+}
+
+}  // namespace expdb

@@ -1,0 +1,69 @@
+// Evaluation of expiration-time algebra expressions (paper Sec. 2).
+//
+// Evaluate(e, db, τ) materializes e against the unexpired portion of the
+// database at time τ, assigning
+//  * per-tuple expiration times by the operator rules (Eqs. 1–4, 8, 10),
+//  * the expression expiration time texp(e) (Sec. 2.3, 2.6), and
+//  * (optionally) exact Schrödinger validity intervals (Sec. 3.4).
+
+#ifndef EXPDB_CORE_EVAL_H_
+#define EXPDB_CORE_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/difference.h"
+#include "core/expression.h"
+#include "core/materialized_result.h"
+
+namespace expdb {
+
+/// Options controlling evaluation.
+struct EvalOptions {
+  /// How aggregation results receive expiration times (Sec. 2.6.1's three
+  /// alternatives). The default is the paper's Table 1 optimization.
+  AggregateExpirationMode aggregate_mode =
+      AggregateExpirationMode::kContributingSet;
+  /// When > 0, aggregate values are maintained with an absolute error
+  /// bound instead of exactly (the paper's future-work extension):
+  /// aggregation result tuples stay valid while the live aggregate is
+  /// within ± this bound of the materialized value. Overrides
+  /// aggregate_mode (uses the tolerance-aware replay).
+  double aggregate_tolerance = 0.0;
+  /// When true, compute exact validity interval sets (costs one extra
+  /// change-point pass over aggregate partitions and difference criticals);
+  /// when false, validity is the sound single interval [τ, texp(e)).
+  bool compute_validity = false;
+};
+
+/// \brief Materializes `expr` at time `tau`.
+Result<MaterializedResult> Evaluate(const ExpressionPtr& expr,
+                                    const Database& db, Timestamp tau,
+                                    const EvalOptions& options = {});
+
+/// \brief Result of evaluating a root-level difference together with its
+/// Theorem 3 helper entries (the priority-queue contents).
+struct DifferenceEvalResult {
+  MaterializedResult result;
+  /// Critical tuples sorted by (appears_at, tuple) — ready to drive a
+  /// patching priority queue.
+  std::vector<DifferencePatchEntry> helper;
+  /// |expτ(R) ∩ expτ(S)|: the paper's bound on helper storage.
+  size_t common_count = 0;
+  /// min(texp(R), texp(S)): when an *argument* of the difference becomes
+  /// invalid. A patched view (Theorem 3) is maintenance-free until this
+  /// instant — ∞ when both arguments are monotonic, hence the theorem's
+  /// "the expression's expiration time is ∞".
+  Timestamp children_texp = Timestamp::Infinity();
+};
+
+/// \brief Like Evaluate, for expressions whose root is −exp; additionally
+/// returns the helper relation entries needed for Theorem 3 patching.
+/// Fails with InvalidArgument if the root is not a difference.
+Result<DifferenceEvalResult> EvaluateDifferenceRoot(
+    const ExpressionPtr& expr, const Database& db, Timestamp tau,
+    const EvalOptions& options = {});
+
+}  // namespace expdb
+
+#endif  // EXPDB_CORE_EVAL_H_

@@ -1,0 +1,130 @@
+#include "core/interval_set.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace expdb {
+
+std::string Interval::ToString() const {
+  return "[" + start.ToString() + ", " + end.ToString() + ")";
+}
+
+IntervalSet::IntervalSet(Timestamp start, Timestamp end) {
+  Add(start, end);
+}
+
+bool IntervalSet::Contains(Timestamp t) const {
+  // Binary search for the last interval with start <= t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Timestamp v, const Interval& iv) { return v < iv.start; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(t);
+}
+
+void IntervalSet::Add(Timestamp start, Timestamp end) {
+  if (start >= end) return;
+  Interval merged{start, end};
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& iv : intervals_) {
+    if (iv.end < merged.start || merged.end < iv.start) {
+      // Disjoint and not even adjacent; note [a,b) and [b,c) merge.
+      out.push_back(iv);
+    } else {
+      merged.start = std::min(merged.start, iv.start);
+      merged.end = std::max(merged.end, iv.end);
+    }
+  }
+  out.push_back(merged);
+  std::sort(out.begin(), out.end(), [](const Interval& a, const Interval& b) {
+    return a.start < b.start;
+  });
+  intervals_ = std::move(out);
+}
+
+void IntervalSet::Subtract(Timestamp start, Timestamp end) {
+  if (start >= end) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= start || end <= iv.start) {
+      out.push_back(iv);
+      continue;
+    }
+    if (iv.start < start) out.push_back({iv.start, start});
+    if (end < iv.end) out.push_back({end, iv.end});
+  }
+  intervals_ = std::move(out);
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  for (const Interval& iv : other.intervals_) out.Add(iv);
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    const Timestamp lo = std::max(a->start, b->start);
+    const Timestamp hi = std::min(a->end, b->end);
+    if (lo < hi) out.Add(lo, hi);
+    if (a->end < b->end) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::ComplementFrom(Timestamp within_start) const {
+  IntervalSet out = IntervalSet::From(within_start);
+  for (const Interval& iv : intervals_) out.Subtract(iv);
+  return out;
+}
+
+std::optional<Timestamp> IntervalSet::LastValidBefore(Timestamp t) const {
+  std::optional<Timestamp> best;
+  for (const Interval& iv : intervals_) {
+    if (iv.start >= t) break;
+    // The interval holds times < t; the latest is min(t, iv.end) - 1, but
+    // on the discrete axis any time in [iv.start, min(t, iv.end)) works;
+    // report the supremum-1 via the predecessor of the exclusive bound.
+    Timestamp bound = std::min(t, iv.end);
+    if (bound.IsInfinite()) {
+      // [start, inf) with t infinite cannot happen (t is a query time and
+      // finite in practice); fall back to the interval start.
+      best = iv.start;
+    } else {
+      best = Timestamp(bound.ticks() - 1);
+    }
+  }
+  return best;
+}
+
+std::optional<Timestamp> IntervalSet::FirstValidAtOrAfter(Timestamp t) const {
+  for (const Interval& iv : intervals_) {
+    if (iv.Contains(t)) return t;
+    if (iv.start >= t) return iv.start;
+  }
+  return std::nullopt;
+}
+
+std::optional<Timestamp> IntervalSet::ValidUntil(Timestamp t) const {
+  for (const Interval& iv : intervals_) {
+    if (iv.Contains(t)) return iv.end;
+  }
+  return std::nullopt;
+}
+
+std::string IntervalSet::ToString() const {
+  return "{" + JoinToString(intervals_, ", ") + "}";
+}
+
+}  // namespace expdb

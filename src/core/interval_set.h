@@ -1,0 +1,101 @@
+// IntervalSet: a set of disjoint half-open time intervals [start, end).
+//
+// Used for the paper's "Schrödinger's cat semantics" (Sec. 3.3–3.4): a
+// materialized expression is associated not with a single expiration time
+// but with the set of time intervals during which it is valid. Queries
+// issued inside a valid interval are answered from the materialization
+// without recomputation; queries in a gap may be moved backward/forward in
+// time or trigger recomputation.
+
+#ifndef EXPDB_CORE_INTERVAL_SET_H_
+#define EXPDB_CORE_INTERVAL_SET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+
+namespace expdb {
+
+/// \brief One half-open interval [start, end); end may be infinity.
+struct Interval {
+  Timestamp start;
+  Timestamp end;
+
+  bool Contains(Timestamp t) const { return start <= t && t < end; }
+  bool Empty() const { return start >= end; }
+  bool operator==(const Interval& other) const = default;
+  std::string ToString() const;
+};
+
+/// \brief A normalized (sorted, disjoint, gap-separated) set of intervals.
+class IntervalSet {
+ public:
+  /// The empty set.
+  IntervalSet() = default;
+
+  /// The set containing exactly [start, end).
+  IntervalSet(Timestamp start, Timestamp end);
+
+  /// \brief [t, ∞) — the validity of a monotonic expression materialized
+  /// at time t.
+  static IntervalSet From(Timestamp t) {
+    return IntervalSet(t, Timestamp::Infinity());
+  }
+
+  /// \brief The whole axis [0, ∞).
+  static IntervalSet All() { return From(Timestamp::Zero()); }
+
+  bool IsEmpty() const { return intervals_.empty(); }
+  size_t interval_count() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// \brief True iff t lies inside some interval.
+  bool Contains(Timestamp t) const;
+
+  /// \brief Adds [start, end), merging adjacent/overlapping intervals.
+  void Add(Timestamp start, Timestamp end);
+  void Add(const Interval& iv) { Add(iv.start, iv.end); }
+
+  /// \brief Removes [start, end) from the set.
+  void Subtract(Timestamp start, Timestamp end);
+  void Subtract(const Interval& iv) { Subtract(iv.start, iv.end); }
+
+  /// \brief Set union.
+  IntervalSet Union(const IntervalSet& other) const;
+
+  /// \brief Set intersection. Validity of an expression with several
+  /// sub-expressions is the intersection of their validity sets.
+  IntervalSet Intersect(const IntervalSet& other) const;
+
+  /// \brief Complement within [within_start, ∞).
+  IntervalSet ComplementFrom(Timestamp within_start) const;
+
+  /// \brief Latest valid time strictly before t, if any — the paper's
+  /// "move the query backward in time (returning a slightly outdated
+  /// result)".
+  std::optional<Timestamp> LastValidBefore(Timestamp t) const;
+
+  /// \brief Earliest valid time >= t, if any — the paper's "move the query
+  /// forward in time (delaying the query)".
+  std::optional<Timestamp> FirstValidAtOrAfter(Timestamp t) const;
+
+  /// \brief The end of the interval containing t (i.e. the first future
+  /// instant at which validity is lost), or nullopt if t is not contained.
+  std::optional<Timestamp> ValidUntil(Timestamp t) const;
+
+  bool operator==(const IntervalSet& other) const = default;
+
+  /// Renders "{[a, b), [c, inf)}".
+  std::string ToString() const;
+
+ private:
+  // Invariant: sorted by start; strictly disjoint with non-zero gaps
+  // (adjacent intervals are merged); no empty intervals.
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_CORE_INTERVAL_SET_H_

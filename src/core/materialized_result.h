@@ -1,0 +1,39 @@
+// MaterializedResult: the closed form of evaluating an expiration-time
+// algebra expression — a relation with per-tuple expiration times, plus
+// the expression-level expiration time texp(e) and validity intervals.
+
+#ifndef EXPDB_CORE_MATERIALIZED_RESULT_H_
+#define EXPDB_CORE_MATERIALIZED_RESULT_H_
+
+#include "common/timestamp.h"
+#include "core/interval_set.h"
+#include "relational/relation.h"
+
+namespace expdb {
+
+/// \brief The materialization of an expression e at time τ.
+///
+/// Invariants established by the evaluator:
+///  * `relation` contains exactly the tuples of e evaluated at
+///    `materialized_at` (all unexpired at that time) with the expiration
+///    times mandated by the paper's operator definitions;
+///  * letting the tuples expire in place reproduces recomputation at any
+///    τ' with materialized_at <= τ' < `texp` (Theorems 1 and 2);
+///  * more precisely, the result matches recomputation at exactly the
+///    times in `validity` (Schrödinger semantics, Sec. 3.4); `validity`
+///    always contains [materialized_at, texp).
+struct MaterializedResult {
+  Relation relation;
+  Timestamp materialized_at;
+  /// texp(e): a lower bound on the first time the materialization becomes
+  /// invalid. ∞ for monotonic expressions (Theorem 1).
+  Timestamp texp = Timestamp::Infinity();
+  /// Exact validity intervals. When the evaluator is run without validity
+  /// computation, this is the sound under-approximation
+  /// [materialized_at, texp).
+  IntervalSet validity;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_CORE_MATERIALIZED_RESULT_H_

@@ -1,0 +1,342 @@
+#include "core/predicate.h"
+
+namespace expdb {
+
+std::string_view ComparisonOpToString(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return "=";
+    case ComparisonOp::kNe:
+      return "!=";
+    case ComparisonOp::kLt:
+      return "<";
+    case ComparisonOp::kLe:
+      return "<=";
+    case ComparisonOp::kGt:
+      return ">";
+    case ComparisonOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Operand::ToString() const {
+  if (is_column_) return "$" + std::to_string(index_ + 1);  // paper: 1-based
+  if (value_.is_string()) return "'" + value_.ToString() + "'";
+  return value_.ToString();
+}
+
+namespace {
+
+bool ApplyComparison(const Value& a, ComparisonOp op, const Value& b) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return a == b;
+    case ComparisonOp::kNe:
+      return a != b;
+    case ComparisonOp::kLt:
+      return a < b;
+    case ComparisonOp::kLe:
+      return a <= b;
+    case ComparisonOp::kGt:
+      return a > b;
+    case ComparisonOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+struct Predicate::Node {
+  enum class Kind { kLiteral, kCompare, kAnd, kOr, kNot };
+
+  Kind kind;
+  // kLiteral
+  bool literal = true;
+  // kCompare
+  Operand lhs = Operand::Constant(Value());
+  ComparisonOp op = ComparisonOp::kEq;
+  Operand rhs = Operand::Constant(Value());
+  // kAnd / kOr / kNot
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+
+  static std::shared_ptr<const Node> MakeLiteral(bool v) {
+    auto n = std::make_shared<Node>();
+    n->kind = Kind::kLiteral;
+    n->literal = v;
+    return n;
+  }
+
+  bool Evaluate(const Tuple& t) const {
+    switch (kind) {
+      case Kind::kLiteral:
+        return literal;
+      case Kind::kCompare:
+        return ApplyComparison(lhs.Resolve(t), op, rhs.Resolve(t));
+      case Kind::kAnd:
+        return left->Evaluate(t) && right->Evaluate(t);
+      case Kind::kOr:
+        return left->Evaluate(t) || right->Evaluate(t);
+      case Kind::kNot:
+        return !left->Evaluate(t);
+    }
+    return false;
+  }
+
+  Status Validate(const Schema& schema) const {
+    switch (kind) {
+      case Kind::kLiteral:
+        return Status::OK();
+      case Kind::kCompare:
+        for (const Operand* o : {&lhs, &rhs}) {
+          if (o->is_column() && !schema.IsValidIndex(o->column_index())) {
+            return Status::OutOfRange(
+                "predicate references attribute " +
+                std::to_string(o->column_index() + 1) +
+                " beyond schema " + schema.ToString());
+          }
+        }
+        return Status::OK();
+      case Kind::kAnd:
+      case Kind::kOr: {
+        EXPDB_RETURN_NOT_OK(left->Validate(schema));
+        return right->Validate(schema);
+      }
+      case Kind::kNot:
+        return left->Validate(schema);
+    }
+    return Status::OK();
+  }
+
+  void CollectColumns(std::set<size_t>* out) const {
+    switch (kind) {
+      case Kind::kLiteral:
+        return;
+      case Kind::kCompare:
+        if (lhs.is_column()) out->insert(lhs.column_index());
+        if (rhs.is_column()) out->insert(rhs.column_index());
+        return;
+      case Kind::kAnd:
+      case Kind::kOr:
+        left->CollectColumns(out);
+        right->CollectColumns(out);
+        return;
+      case Kind::kNot:
+        left->CollectColumns(out);
+        return;
+    }
+  }
+
+  bool IsCorrelated() const {
+    switch (kind) {
+      case Kind::kLiteral:
+        return false;
+      case Kind::kCompare:
+        return lhs.is_column() && rhs.is_column();
+      case Kind::kAnd:
+      case Kind::kOr:
+        return left->IsCorrelated() || right->IsCorrelated();
+      case Kind::kNot:
+        return left->IsCorrelated();
+    }
+    return false;
+  }
+
+  std::shared_ptr<const Node> Shift(size_t from, size_t offset) const {
+    auto n = std::make_shared<Node>(*this);
+    switch (kind) {
+      case Kind::kLiteral:
+        break;
+      case Kind::kCompare: {
+        auto shift_op = [&](const Operand& o) {
+          if (o.is_column() && o.column_index() >= from) {
+            return Operand::Column(o.column_index() + offset);
+          }
+          return o;
+        };
+        n->lhs = shift_op(lhs);
+        n->rhs = shift_op(rhs);
+        break;
+      }
+      case Kind::kAnd:
+      case Kind::kOr:
+        n->left = left->Shift(from, offset);
+        n->right = right->Shift(from, offset);
+        break;
+      case Kind::kNot:
+        n->left = left->Shift(from, offset);
+        break;
+    }
+    return n;
+  }
+
+  void CollectTopLevelEqualities(
+      std::vector<std::pair<size_t, size_t>>* out) const {
+    if (kind == Kind::kAnd) {
+      left->CollectTopLevelEqualities(out);
+      right->CollectTopLevelEqualities(out);
+    } else if (kind == Kind::kCompare && op == ComparisonOp::kEq &&
+               lhs.is_column() && rhs.is_column()) {
+      out->emplace_back(lhs.column_index(), rhs.column_index());
+    }
+  }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kLiteral:
+        return literal ? "true" : "false";
+      case Kind::kCompare:
+        return lhs.ToString() + " " +
+               std::string(ComparisonOpToString(op)) + " " + rhs.ToString();
+      case Kind::kAnd:
+        return "(" + left->ToString() + " and " + right->ToString() + ")";
+      case Kind::kOr:
+        return "(" + left->ToString() + " or " + right->ToString() + ")";
+      case Kind::kNot:
+        return "not (" + left->ToString() + ")";
+    }
+    return "?";
+  }
+};
+
+Predicate::Predicate() : node_(Node::MakeLiteral(true)) {}
+
+Predicate Predicate::Compare(Operand lhs, ComparisonOp op, Operand rhs) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kCompare;
+  n->lhs = std::move(lhs);
+  n->op = op;
+  n->rhs = std::move(rhs);
+  return Predicate(std::move(n));
+}
+
+Predicate Predicate::ColumnsEqual(size_t i, size_t j) {
+  return Compare(Operand::Column(i), ComparisonOp::kEq, Operand::Column(j));
+}
+
+Predicate Predicate::ColumnEquals(size_t i, Value a) {
+  return Compare(Operand::Column(i), ComparisonOp::kEq,
+                 Operand::Constant(std::move(a)));
+}
+
+Predicate Predicate::Literal(bool value) {
+  return Predicate(Node::MakeLiteral(value));
+}
+
+Predicate Predicate::And(const Predicate& other) const {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kAnd;
+  n->left = node_;
+  n->right = other.node_;
+  return Predicate(std::move(n));
+}
+
+Predicate Predicate::Or(const Predicate& other) const {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kOr;
+  n->left = node_;
+  n->right = other.node_;
+  return Predicate(std::move(n));
+}
+
+Predicate Predicate::Not() const {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kNot;
+  n->left = node_;
+  return Predicate(std::move(n));
+}
+
+bool Predicate::Evaluate(const Tuple& t) const { return node_->Evaluate(t); }
+
+Status Predicate::Validate(const Schema& schema) const {
+  return node_->Validate(schema);
+}
+
+bool Predicate::IsCorrelated() const { return node_->IsCorrelated(); }
+
+std::set<size_t> Predicate::ReferencedColumns() const {
+  std::set<size_t> out;
+  node_->CollectColumns(&out);
+  return out;
+}
+
+Predicate Predicate::ShiftColumns(size_t from, size_t offset) const {
+  return Predicate(node_->Shift(from, offset));
+}
+
+std::vector<std::pair<size_t, size_t>> Predicate::TopLevelEqualities() const {
+  std::vector<std::pair<size_t, size_t>> out;
+  node_->CollectTopLevelEqualities(&out);
+  return out;
+}
+
+std::vector<Predicate> Predicate::TopLevelConjuncts() const {
+  std::vector<Predicate> out;
+  std::vector<std::shared_ptr<const Node>> stack = {node_};
+  while (!stack.empty()) {
+    auto node = stack.back();
+    stack.pop_back();
+    if (node->kind == Node::Kind::kAnd) {
+      // Push right first so conjuncts come out in left-to-right order.
+      stack.push_back(node->right);
+      stack.push_back(node->left);
+    } else {
+      out.push_back(Predicate(node));
+    }
+  }
+  return out;
+}
+
+Result<Predicate> Predicate::RemapColumns(
+    const std::map<size_t, size_t>& mapping) const {
+  // Remapping reuses the Shift machinery's structure via a recursive copy.
+  struct Remapper {
+    const std::map<size_t, size_t>& mapping;
+
+    Result<Operand> MapOperand(const Operand& o) const {
+      if (!o.is_column()) return o;
+      auto it = mapping.find(o.column_index());
+      if (it == mapping.end()) {
+        return Status::NotFound(
+            "column $" + std::to_string(o.column_index() + 1) +
+            " has no remapping");
+      }
+      return Operand::Column(it->second);
+    }
+
+    Result<std::shared_ptr<const Node>> Map(
+        const std::shared_ptr<const Node>& node) const {
+      auto copy = std::make_shared<Node>(*node);
+      switch (node->kind) {
+        case Node::Kind::kLiteral:
+          break;
+        case Node::Kind::kCompare: {
+          EXPDB_ASSIGN_OR_RETURN(copy->lhs, MapOperand(node->lhs));
+          EXPDB_ASSIGN_OR_RETURN(copy->rhs, MapOperand(node->rhs));
+          break;
+        }
+        case Node::Kind::kAnd:
+        case Node::Kind::kOr: {
+          EXPDB_ASSIGN_OR_RETURN(copy->left, Map(node->left));
+          EXPDB_ASSIGN_OR_RETURN(copy->right, Map(node->right));
+          break;
+        }
+        case Node::Kind::kNot: {
+          EXPDB_ASSIGN_OR_RETURN(copy->left, Map(node->left));
+          break;
+        }
+      }
+      return std::shared_ptr<const Node>(copy);
+    }
+  };
+  Remapper remapper{mapping};
+  EXPDB_ASSIGN_OR_RETURN(std::shared_ptr<const Node> mapped,
+                         remapper.Map(node_));
+  return Predicate(std::move(mapped));
+}
+
+std::string Predicate::ToString() const { return node_->ToString(); }
+
+}  // namespace expdb

@@ -1,0 +1,26 @@
+#include "expiration/clock.h"
+
+namespace expdb {
+
+Status LogicalClock::Advance(int64_t ticks) {
+  if (ticks < 0) {
+    return Status::InvalidArgument("clock cannot advance by negative " +
+                                   std::to_string(ticks));
+  }
+  now_ += ticks;
+  return Status::OK();
+}
+
+Status LogicalClock::AdvanceTo(Timestamp t) {
+  if (t < now_) {
+    return Status::InvalidArgument("clock cannot move backwards from " +
+                                   now_.ToString() + " to " + t.ToString());
+  }
+  if (t.IsInfinite()) {
+    return Status::InvalidArgument("clock cannot advance to infinity");
+  }
+  now_ = t;
+  return Status::OK();
+}
+
+}  // namespace expdb

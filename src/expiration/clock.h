@@ -1,0 +1,35 @@
+// LogicalClock: the discrete time source driving expiration.
+//
+// ExpDB separates logical time from wall-clock time: examples and tests
+// advance time explicitly (as the paper's figures do: "at time 0", "at
+// time 5"), while deployments may map ticks to wall-clock seconds.
+
+#ifndef EXPDB_EXPIRATION_CLOCK_H_
+#define EXPDB_EXPIRATION_CLOCK_H_
+
+#include "common/result.h"
+#include "common/timestamp.h"
+
+namespace expdb {
+
+/// \brief A monotonically advancing logical clock.
+class LogicalClock {
+ public:
+  LogicalClock() = default;
+  explicit LogicalClock(Timestamp start) : now_(start) {}
+
+  Timestamp Now() const { return now_; }
+
+  /// \brief Advances by `ticks` (>= 0).
+  Status Advance(int64_t ticks);
+
+  /// \brief Moves to absolute time `t`; time never flows backwards.
+  Status AdvanceTo(Timestamp t);
+
+ private:
+  Timestamp now_ = Timestamp::Zero();
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_EXPIRATION_CLOCK_H_

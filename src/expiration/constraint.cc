@@ -1,0 +1,50 @@
+#include "expiration/constraint.h"
+
+namespace expdb {
+
+void ConstraintSet::AddRowConstraint(std::string name, std::string relation,
+                                     Predicate predicate) {
+  row_constraints_.push_back(
+      {std::move(name), std::move(relation), std::move(predicate)});
+}
+
+void ConstraintSet::AddMinCardinality(std::string name, std::string relation,
+                                      size_t min_count) {
+  cardinality_constraints_.push_back(
+      {std::move(name), std::move(relation), min_count});
+}
+
+Status ConstraintSet::CheckInsert(const std::string& relation,
+                                  const Tuple& tuple) const {
+  for (const RowConstraint& c : row_constraints_) {
+    if (c.relation != relation) continue;
+    if (!c.predicate.Evaluate(tuple)) {
+      return Status::ConstraintViolation(
+          "constraint '" + c.name + "' rejects " + tuple.ToString() +
+          " (requires " + c.predicate.ToString() + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<ConstraintViolation> ConstraintSet::CheckCardinalities(
+    const Database& db, Timestamp now) const {
+  std::vector<ConstraintViolation> out;
+  for (const CardinalityConstraint& c : cardinality_constraints_) {
+    auto rel = db.GetRelation(c.relation);
+    if (!rel.ok()) {
+      out.push_back({c.name, c.relation, "relation does not exist"});
+      continue;
+    }
+    const size_t live = rel.value()->CountUnexpiredAt(now);
+    if (live < c.min_count) {
+      out.push_back({c.name, c.relation,
+                     "holds " + std::to_string(live) + " live tuples at " +
+                         now.ToString() + ", requires " +
+                         std::to_string(c.min_count)});
+    }
+  }
+  return out;
+}
+
+}  // namespace expdb

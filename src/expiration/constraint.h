@@ -1,0 +1,70 @@
+// Integrity constraints in the presence of expiration (paper Sec. 1:
+// expiration integrates with "integrity constraint checking").
+//
+// Two constraint families:
+//  * Row constraints — a predicate every inserted tuple must satisfy;
+//    expiration cannot violate them, so they are checked at insert.
+//  * Minimum-cardinality constraints — |expτ(R)| >= k; these CAN become
+//    violated purely by the passage of time, so they are (re)checked when
+//    tuples expire and surface as violation events.
+
+#ifndef EXPDB_EXPIRATION_CONSTRAINT_H_
+#define EXPDB_EXPIRATION_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/predicate.h"
+#include "relational/database.h"
+
+namespace expdb {
+
+/// \brief A reported constraint violation.
+struct ConstraintViolation {
+  std::string constraint_name;
+  std::string relation;
+  std::string detail;
+};
+
+/// \brief A set of declarative constraints over a database.
+class ConstraintSet {
+ public:
+  /// \brief Every tuple inserted into `relation` must satisfy `predicate`.
+  void AddRowConstraint(std::string name, std::string relation,
+                        Predicate predicate);
+
+  /// \brief expτ(relation) must always hold at least `min_count` tuples.
+  void AddMinCardinality(std::string name, std::string relation,
+                         size_t min_count);
+
+  /// \brief Checks row constraints for an insert into `relation`.
+  Status CheckInsert(const std::string& relation, const Tuple& tuple) const;
+
+  /// \brief Evaluates all cardinality constraints at time `now`.
+  std::vector<ConstraintViolation> CheckCardinalities(const Database& db,
+                                                      Timestamp now) const;
+
+  size_t size() const {
+    return row_constraints_.size() + cardinality_constraints_.size();
+  }
+
+ private:
+  struct RowConstraint {
+    std::string name;
+    std::string relation;
+    Predicate predicate;
+  };
+  struct CardinalityConstraint {
+    std::string name;
+    std::string relation;
+    size_t min_count;
+  };
+
+  std::vector<RowConstraint> row_constraints_;
+  std::vector<CardinalityConstraint> cardinality_constraints_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_EXPIRATION_CONSTRAINT_H_

@@ -1,0 +1,173 @@
+#include "expiration/expiration_queue.h"
+
+#include <algorithm>
+
+namespace expdb {
+
+std::string_view RemovalPolicyToString(RemovalPolicy policy) {
+  switch (policy) {
+    case RemovalPolicy::kEager:
+      return "eager";
+    case RemovalPolicy::kLazy:
+      return "lazy";
+  }
+  return "?";
+}
+
+std::string_view ExpirationIndexToString(ExpirationIndex index) {
+  switch (index) {
+    case ExpirationIndex::kBinaryHeap:
+      return "binary-heap";
+    case ExpirationIndex::kCalendarQueue:
+      return "calendar-queue";
+  }
+  return "?";
+}
+
+ExpirationManager::ExpirationManager(ExpirationManagerOptions options)
+    : options_(options),
+      calendar_(Timestamp::Zero(),
+                std::max<size_t>(1, options.calendar_ring_size)) {}
+
+Result<Relation*> ExpirationManager::CreateRelation(const std::string& name,
+                                                    Schema schema) {
+  return db_.CreateRelation(name, std::move(schema));
+}
+
+Status ExpirationManager::Insert(const std::string& relation, Tuple tuple,
+                                 Timestamp texp) {
+  if (texp <= clock_.Now()) {
+    return Status::InvalidArgument(
+        "expiration time " + texp.ToString() +
+        " is not in the future (now = " + clock_.Now().ToString() + ")");
+  }
+  EXPDB_ASSIGN_OR_RETURN(Relation * rel, db_.GetRelation(relation));
+  EXPDB_RETURN_NOT_OK(rel->Insert(tuple, texp));
+  ++stats_.inserted;
+  if (options_.policy == RemovalPolicy::kEager && texp.IsFinite()) {
+    if (options_.index == ExpirationIndex::kCalendarQueue) {
+      calendar_.Schedule(texp, {relation, std::move(tuple)});
+    } else {
+      queue_.push({texp, relation, std::move(tuple)});
+    }
+    ++stats_.heap_pushes;
+  }
+  return Status::OK();
+}
+
+Status ExpirationManager::InsertWithTtl(const std::string& relation,
+                                        Tuple tuple, int64_t ttl) {
+  if (ttl <= 0) {
+    return Status::InvalidArgument("ttl must be positive, got " +
+                                   std::to_string(ttl));
+  }
+  return Insert(relation, std::move(tuple), clock_.Now() + ttl);
+}
+
+void ExpirationManager::AddTrigger(ExpirationTrigger trigger) {
+  triggers_.push_back(std::move(trigger));
+}
+
+Status ExpirationManager::AdvanceTo(Timestamp t) {
+  EXPDB_RETURN_NOT_OK(clock_.AdvanceTo(t));
+  if (options_.policy == RemovalPolicy::kEager) {
+    DrainEager(t);
+  } else {
+    MaybeAutoCompact();
+  }
+  return Status::OK();
+}
+
+Status ExpirationManager::Advance(int64_t ticks) {
+  if (ticks < 0) {
+    return Status::InvalidArgument("cannot advance by negative ticks");
+  }
+  return AdvanceTo(clock_.Now() + ticks);
+}
+
+void ExpirationManager::DrainEager(Timestamp t) {
+  // Entries may be stale because the tuple was re-inserted with a later
+  // expiration (Relation keeps the max) or explicitly erased; verify
+  // against the relation before removing ("lazy deletion" indexing).
+  auto expire_one = [&](Timestamp texp, const std::string& relation,
+                        const Tuple& tuple) {
+    ++stats_.heap_pops;
+    auto rel = db_.GetRelation(relation);
+    if (!rel.ok()) {
+      ++stats_.stale_heap_entries;  // relation dropped
+      return;
+    }
+    auto current = rel.value()->GetTexp(tuple);
+    if (!current.has_value() || *current != texp) {
+      ++stats_.stale_heap_entries;  // erased or lifetime extended
+      return;
+    }
+    rel.value()->Erase(tuple);
+    ++stats_.removed;
+    FireTriggers(relation, {{tuple, texp}}, texp);
+  };
+
+  if (options_.index == ExpirationIndex::kCalendarQueue) {
+    calendar_.AdvanceTo(t, [&](Timestamp texp, CalendarPayload& payload) {
+      expire_one(texp, payload.relation, payload.tuple);
+    });
+    return;
+  }
+  while (!queue_.empty() && queue_.top().texp <= t) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    expire_one(entry.texp, entry.relation, entry.tuple);
+  }
+}
+
+void ExpirationManager::MaybeAutoCompact() {
+  if (options_.lazy_compaction_threshold <= 0) return;
+  const Timestamp now = clock_.Now();
+  if (now < next_lazy_check_) return;
+  next_lazy_check_ = now + std::max<int64_t>(1, options_.lazy_check_interval);
+  for (const std::string& name : db_.RelationNames()) {
+    Relation* rel = db_.GetRelation(name).value();
+    if (rel->empty()) continue;
+    const size_t live = rel->CountUnexpiredAt(now);
+    const double expired_fraction =
+        1.0 - static_cast<double>(live) / static_cast<double>(rel->size());
+    if (expired_fraction > options_.lazy_compaction_threshold) {
+      CompactRelation(name, rel);
+    }
+  }
+}
+
+size_t ExpirationManager::CompactRelation(const std::string& name,
+                                          Relation* rel) {
+  std::vector<std::pair<Tuple, Timestamp>> removed =
+      rel->RemoveExpired(clock_.Now());
+  if (removed.empty()) return 0;
+  ++stats_.compactions;
+  stats_.removed += removed.size();
+  FireTriggers(name, removed, clock_.Now());
+  return removed.size();
+}
+
+size_t ExpirationManager::Compact() {
+  size_t total = 0;
+  for (const std::string& name : db_.RelationNames()) {
+    total += CompactRelation(name, db_.GetRelation(name).value());
+  }
+  return total;
+}
+
+void ExpirationManager::FireTriggers(
+    const std::string& relation,
+    const std::vector<std::pair<Tuple, Timestamp>>& removed,
+    Timestamp removed_at) {
+  if (triggers_.empty()) return;
+  for (const auto& [tuple, texp] : removed) {
+    ExpirationEvent event{relation, tuple, texp, removed_at};
+    for (const ExpirationTrigger& trigger : triggers_) {
+      trigger(event);
+      ++stats_.triggers_fired;
+    }
+  }
+}
+
+}  // namespace expdb

@@ -1,0 +1,155 @@
+// ExpirationManager: physical removal of expired tuples (paper Sec. 3.2
+// and the companion TR [24] "Efficient Management of Short-Lived Data").
+//
+// Two removal policies:
+//  * kEager — expired tuples are removed (and triggers fired) as soon as
+//    the clock passes their expiration time. A priority queue over
+//    expiration times makes each advance O(expired · log n).
+//  * kLazy  — expired tuples stay physically present but invisible (every
+//    read path filters through expτ); physical removal happens in batched
+//    compactions, either on demand or when the expired fraction exceeds a
+//    configurable threshold. Triggers still fire in expiration order, at
+//    compaction time.
+//
+// The paper: eager removal "is useful when events should be triggered as
+// soon as a tuple expires"; lazy removal "provides more optimisation
+// opportunities".
+
+#ifndef EXPDB_EXPIRATION_EXPIRATION_QUEUE_H_
+#define EXPDB_EXPIRATION_EXPIRATION_QUEUE_H_
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expiration/calendar_queue.h"
+#include "expiration/clock.h"
+#include "expiration/trigger.h"
+#include "relational/database.h"
+
+namespace expdb {
+
+/// When expired tuples are physically removed.
+enum class RemovalPolicy { kEager, kLazy };
+
+std::string_view RemovalPolicyToString(RemovalPolicy policy);
+
+/// Which index structure tracks pending expirations under eager removal.
+enum class ExpirationIndex {
+  kBinaryHeap,     ///< std::priority_queue; O(log n) per operation.
+  kCalendarQueue,  ///< tick ring + overflow map; O(1) for near entries
+                   ///< (the TR [24] style real-time structure).
+};
+
+std::string_view ExpirationIndexToString(ExpirationIndex index);
+
+/// Tuning knobs for the manager.
+struct ExpirationManagerOptions {
+  RemovalPolicy policy = RemovalPolicy::kEager;
+  /// Eager only: the pending-expiration index implementation.
+  ExpirationIndex index = ExpirationIndex::kBinaryHeap;
+  /// kCalendarQueue only: width of the near window in ticks.
+  size_t calendar_ring_size = 256;
+  /// Lazy only: compact a relation when (expired tuples)/(stored tuples)
+  /// exceeds this fraction. <= 0 disables automatic compaction.
+  double lazy_compaction_threshold = 0.5;
+  /// Lazy only: evaluate the threshold at most once per this many ticks —
+  /// the liveness scan is O(n), so checking every tick would forfeit the
+  /// batching advantage lazy removal exists for.
+  int64_t lazy_check_interval = 16;
+};
+
+/// Operational counters (benchmark C4 reports these).
+struct ExpirationStats {
+  uint64_t inserted = 0;           ///< tuples routed through Insert
+  uint64_t removed = 0;            ///< tuples physically removed
+  uint64_t triggers_fired = 0;     ///< expiration trigger invocations
+  uint64_t heap_pushes = 0;        ///< eager priority-queue pushes
+  uint64_t heap_pops = 0;          ///< eager priority-queue pops
+  uint64_t stale_heap_entries = 0; ///< pops ignored (tuple gone/extended)
+  uint64_t compactions = 0;        ///< lazy compaction passes
+};
+
+/// \brief Owns a Database and a LogicalClock; routes inserts, advances
+/// time, physically removes expired tuples per policy, and fires triggers.
+class ExpirationManager {
+ public:
+  explicit ExpirationManager(ExpirationManagerOptions options = {});
+
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+  Timestamp Now() const { return clock_.Now(); }
+  RemovalPolicy policy() const { return options_.policy; }
+  const ExpirationStats& stats() const { return stats_; }
+
+  /// \brief Creates a base relation.
+  Result<Relation*> CreateRelation(const std::string& name, Schema schema);
+
+  /// \brief Inserts a tuple expiring at `texp` into `relation`.
+  Status Insert(const std::string& relation, Tuple tuple, Timestamp texp);
+
+  /// \brief Inserts with a time-to-live relative to the current time.
+  Status InsertWithTtl(const std::string& relation, Tuple tuple, int64_t ttl);
+
+  /// \brief Registers a trigger fired for every expired tuple.
+  void AddTrigger(ExpirationTrigger trigger);
+
+  /// \brief Advances the clock, applying the removal policy.
+  Status AdvanceTo(Timestamp t);
+  Status Advance(int64_t ticks);
+
+  /// \brief Lazy policy: physically removes all currently expired tuples
+  /// (and fires their triggers). No-op under eager (nothing is expired).
+  size_t Compact();
+
+  /// \brief Number of entries currently in the eager expiration index
+  /// (including stale ones awaiting lazy deletion).
+  size_t queue_size() const {
+    return options_.index == ExpirationIndex::kCalendarQueue
+               ? calendar_.size()
+               : queue_.size();
+  }
+
+ private:
+  struct QueueEntry {
+    Timestamp texp;
+    std::string relation;
+    Tuple tuple;
+    bool operator>(const QueueEntry& other) const {
+      if (texp != other.texp) return texp > other.texp;
+      if (relation != other.relation) return relation > other.relation;
+      return other.tuple < tuple;
+    }
+  };
+
+  /// Calendar-queue payload (texp is the key, kept by the queue itself).
+  struct CalendarPayload {
+    std::string relation;
+    Tuple tuple;
+  };
+
+  void FireTriggers(const std::string& relation,
+                    const std::vector<std::pair<Tuple, Timestamp>>& removed,
+                    Timestamp removed_at);
+  void DrainEager(Timestamp t);
+  void MaybeAutoCompact();
+  size_t CompactRelation(const std::string& name, Relation* rel);
+
+  ExpirationManagerOptions options_;
+  Database db_;
+  LogicalClock clock_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  CalendarQueue<CalendarPayload> calendar_;
+  std::vector<ExpirationTrigger> triggers_;
+  ExpirationStats stats_;
+  /// Lazy: next time at which the compaction threshold is evaluated.
+  Timestamp next_lazy_check_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_EXPIRATION_EXPIRATION_QUEUE_H_

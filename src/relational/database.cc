@@ -1,0 +1,68 @@
+#include "relational/database.h"
+
+namespace expdb {
+
+Result<Relation*> Database::CreateRelation(const std::string& name,
+                                           Schema schema) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  auto [it, inserted] = relations_.try_emplace(
+      name, std::make_unique<Relation>(std::move(schema)));
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  return it->second.get();
+}
+
+Status Database::PutRelation(const std::string& name, Relation relation) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  auto [it, inserted] = relations_.try_emplace(
+      name, std::make_unique<Relation>(std::move(relation)));
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Result<Relation*> Database::GetRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return static_cast<const Relation*>(it->second.get());
+}
+
+Status Database::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Database::RemoveExpiredEverywhere(Timestamp tau) {
+  size_t total = 0;
+  for (auto& [name, rel] : relations_) {
+    total += rel->RemoveExpired(tau).size();
+  }
+  return total;
+}
+
+}  // namespace expdb

@@ -1,0 +1,70 @@
+// Database: a catalog of named base relations.
+//
+// The paper's loosely-coupled setting assumes base relations are only
+// modified by inserts and by expiration; Database additionally supports
+// explicit deletes and updates for practical completeness (see DESIGN.md
+// §6 for the interaction with view independence).
+
+#ifndef EXPDB_RELATIONAL_DATABASE_H_
+#define EXPDB_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace expdb {
+
+/// \brief A named collection of base relations.
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable: relations may be large and accidental catalog
+  // copies are almost always bugs.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// \brief Creates an empty relation under `name`.
+  /// \return the new relation, or AlreadyExists.
+  Result<Relation*> CreateRelation(const std::string& name, Schema schema);
+
+  /// \brief Registers an already-populated relation under `name`.
+  Status PutRelation(const std::string& name, Relation relation);
+
+  /// \brief Looks up a relation (mutable).
+  Result<Relation*> GetRelation(const std::string& name);
+
+  /// \brief Looks up a relation (read-only).
+  Result<const Relation*> GetRelation(const std::string& name) const;
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.find(name) != relations_.end();
+  }
+
+  /// \brief Drops the named relation.
+  Status DropRelation(const std::string& name);
+
+  /// \brief Relation names in sorted order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t relation_count() const { return relations_.size(); }
+
+  /// \brief Physically removes expired tuples from every relation.
+  /// \return total number of removed tuples.
+  size_t RemoveExpiredEverywhere(Timestamp tau);
+
+ private:
+  // std::map keeps iteration deterministic; unique_ptr keeps Relation*
+  // handles stable across catalog growth.
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_RELATIONAL_DATABASE_H_

@@ -1,0 +1,67 @@
+#include "relational/printer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace expdb {
+
+std::string PrintRelation(const Relation& relation,
+                          const PrintOptions& options) {
+  const Schema& schema = relation.schema();
+  const size_t ncols = schema.arity() + (options.show_texp ? 1 : 0);
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  if (options.show_texp) header.push_back("texp");
+  for (const Attribute& a : schema.attributes()) header.push_back(a.name);
+  rows.push_back(header);
+
+  for (const auto& [tuple, texp] : relation.SortedEntries()) {
+    if (options.filter_expired && texp <= options.at) continue;
+    std::vector<std::string> row;
+    if (options.show_texp) row.push_back(texp.ToString());
+    for (const Value& v : tuple.values()) row.push_back(v.ToString());
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<size_t> widths(ncols, 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < ncols; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  if (!options.caption.empty()) out += options.caption + "\n";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    out += "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      out += " " + PadLeft(rows[r][c], widths[c]) + " |";
+    }
+    out += "\n";
+    if (r == 0) {
+      out += "|";
+      for (size_t c = 0; c < ncols; ++c) {
+        out += std::string(widths[c] + 2, '-') + "|";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string PrintTuples(const Relation& relation, Timestamp at) {
+  std::vector<Tuple> tuples;
+  relation.ForEachUnexpired(at, [&](const Tuple& t, Timestamp) {
+    tuples.push_back(t);
+  });
+  if (tuples.empty()) return "(the query is empty)\n";
+  std::sort(tuples.begin(), tuples.end());
+  std::string out;
+  for (const Tuple& t : tuples) out += t.ToString() + "\n";
+  return out;
+}
+
+}  // namespace expdb

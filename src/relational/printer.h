@@ -1,0 +1,39 @@
+// Rendering of relations as the paper's tables (Figure 1 style):
+// a texp column followed by the attribute columns.
+
+#ifndef EXPDB_RELATIONAL_PRINTER_H_
+#define EXPDB_RELATIONAL_PRINTER_H_
+
+#include <string>
+
+#include "common/timestamp.h"
+#include "relational/relation.h"
+
+namespace expdb {
+
+/// Rendering options for PrintRelation.
+struct PrintOptions {
+  /// Show the (non-user-accessible) texp column. The paper typesets it
+  /// differently from the relation attributes; we put it first, as in
+  /// Figure 1.
+  bool show_texp = true;
+  /// Restrict output to expτ(R) at this time.
+  Timestamp at = Timestamp::Zero();
+  /// When false, print all stored tuples regardless of expiration.
+  bool filter_expired = true;
+  /// Caption printed above the table (e.g. "Politics table Pol").
+  std::string caption;
+};
+
+/// \brief Renders the relation as an aligned ASCII table.
+std::string PrintRelation(const Relation& relation,
+                          const PrintOptions& options = {});
+
+/// \brief Renders only the tuples, one "<a, b>" per line, sorted — the
+/// compact form the paper uses in Figures 2 and 3. Prints "(the query is
+/// empty)" for an empty result, as Figure 2(g) does.
+std::string PrintTuples(const Relation& relation, Timestamp at);
+
+}  // namespace expdb
+
+#endif  // EXPDB_RELATIONAL_PRINTER_H_

@@ -1,0 +1,188 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace expdb {
+
+Status Relation::CheckAndCoerce(Tuple* tuple) const {
+  if (tuple->arity() != schema_.arity()) {
+    return Status::TypeError(
+        "tuple " + tuple->ToString() + " has arity " +
+        std::to_string(tuple->arity()) + ", schema " + schema_.ToString() +
+        " requires " + std::to_string(schema_.arity()));
+  }
+  std::vector<Value> coerced;
+  bool needs_rebuild = false;
+  for (size_t i = 0; i < tuple->arity(); ++i) {
+    const Value& v = tuple->at(i);
+    const ValueType want = schema_.attribute(i).type;
+    if (v.type() == want) continue;
+    if (want == ValueType::kDouble && v.is_int64()) {
+      if (!needs_rebuild) {
+        coerced = tuple->values();
+        needs_rebuild = true;
+      }
+      coerced[i] = Value(static_cast<double>(v.AsInt64()));
+      continue;
+    }
+    return Status::TypeError(
+        "attribute " + std::to_string(i + 1) + " of " + tuple->ToString() +
+        " has type " + std::string(ValueTypeToString(v.type())) +
+        ", schema " + schema_.ToString() + " requires " +
+        std::string(ValueTypeToString(want)));
+  }
+  if (needs_rebuild) *tuple = Tuple(std::move(coerced));
+  return Status::OK();
+}
+
+Status Relation::Insert(Tuple tuple, Timestamp texp) {
+  EXPDB_RETURN_NOT_OK(CheckAndCoerce(&tuple));
+  auto [it, inserted] = tuples_.try_emplace(std::move(tuple), texp);
+  if (!inserted) it->second = Timestamp::Max(it->second, texp);
+  return Status::OK();
+}
+
+Status Relation::InsertWithTtl(Tuple tuple, Timestamp now, int64_t ttl) {
+  if (ttl < 0) {
+    return Status::InvalidArgument("ttl must be non-negative, got " +
+                                   std::to_string(ttl));
+  }
+  return Insert(std::move(tuple), now + ttl);
+}
+
+void Relation::InsertUnchecked(Tuple tuple, Timestamp texp) {
+  tuples_.insert_or_assign(std::move(tuple), texp);
+}
+
+void Relation::MergeMaxUnchecked(Tuple tuple, Timestamp texp) {
+  auto [it, inserted] = tuples_.try_emplace(std::move(tuple), texp);
+  if (!inserted) it->second = Timestamp::Max(it->second, texp);
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  return tuples_.erase(tuple) > 0;
+}
+
+std::optional<Timestamp> Relation::GetTexp(const Tuple& tuple) const {
+  auto it = tuples_.find(tuple);
+  if (it == tuples_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Relation::ContainsUnexpired(const Tuple& tuple, Timestamp tau) const {
+  auto it = tuples_.find(tuple);
+  return it != tuples_.end() && it->second > tau;
+}
+
+Relation Relation::UnexpiredAt(Timestamp tau) const {
+  Relation out(schema_);
+  for (const auto& [tuple, texp] : tuples_) {
+    if (texp > tau) out.tuples_.emplace(tuple, texp);
+  }
+  return out;
+}
+
+void Relation::ForEachUnexpired(
+    Timestamp tau,
+    const std::function<void(const Tuple&, Timestamp)>& fn) const {
+  for (const auto& [tuple, texp] : tuples_) {
+    if (texp > tau) fn(tuple, texp);
+  }
+}
+
+void Relation::ForEach(
+    const std::function<void(const Tuple&, Timestamp)>& fn) const {
+  for (const auto& [tuple, texp] : tuples_) fn(tuple, texp);
+}
+
+size_t Relation::CountUnexpiredAt(Timestamp tau) const {
+  size_t n = 0;
+  for (const auto& [tuple, texp] : tuples_) {
+    if (texp > tau) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<Tuple, Timestamp>> Relation::RemoveExpired(
+    Timestamp tau) {
+  std::vector<std::pair<Tuple, Timestamp>> removed;
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (it->second <= tau) {
+      removed.emplace_back(it->first, it->second);
+      it = tuples_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(removed.begin(), removed.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  return removed;
+}
+
+std::optional<Timestamp> Relation::NextExpirationAfter(Timestamp tau) const {
+  std::optional<Timestamp> best;
+  for (const auto& [tuple, texp] : tuples_) {
+    if (texp > tau && texp.IsFinite()) {
+      if (!best || texp < *best) best = texp;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<Tuple, Timestamp>> Relation::SortedEntries() const {
+  std::vector<std::pair<Tuple, Timestamp>> out(tuples_.begin(),
+                                               tuples_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  return out;
+}
+
+bool Relation::ContentsEqualAt(const Relation& a, const Relation& b,
+                               Timestamp tau) {
+  if (a.CountUnexpiredAt(tau) != b.CountUnexpiredAt(tau)) return false;
+  for (const auto& [tuple, texp] : a.tuples_) {
+    if (texp > tau && !b.ContainsUnexpired(tuple, tau)) return false;
+  }
+  return true;
+}
+
+bool Relation::EqualAt(const Relation& a, const Relation& b, Timestamp tau) {
+  if (a.CountUnexpiredAt(tau) != b.CountUnexpiredAt(tau)) return false;
+  for (const auto& [tuple, texp] : a.tuples_) {
+    if (texp <= tau) continue;
+    auto other = b.GetTexp(tuple);
+    if (!other || *other <= tau || *other != texp) return false;
+  }
+  return true;
+}
+
+Status Relation::RenameAttributes(const std::vector<std::string>& names) {
+  if (names.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "rename needs " + std::to_string(schema_.arity()) + " names, got " +
+        std::to_string(names.size()));
+  }
+  std::vector<Attribute> attrs = schema_.attributes();
+  for (size_t i = 0; i < names.size(); ++i) attrs[i].name = names[i];
+  EXPDB_ASSIGN_OR_RETURN(Schema renamed, Schema::Make(std::move(attrs)));
+  schema_ = std::move(renamed);
+  return Status::OK();
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [tuple, texp] : SortedEntries()) {
+    if (!first) out += ", ";
+    first = false;
+    out += tuple.ToString() + "@" + texp.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace expdb

@@ -1,0 +1,135 @@
+// Relation: a set of tuples, each carrying an expiration time texp.
+//
+// This is the paper's data model (Sec. 2.2): the classical relational model
+// is left unaltered except that every relation R comes with a function
+// texp_R(·) from tuples to expiration times, and a function expτ that
+// restricts R to the tuples unexpired at time τ:
+//
+//     expτ(R) = { r | r ∈ R ∧ texp_R(r) > τ }
+//
+// A tuple with no expiration has texp = ∞, in which case every operator in
+// the algebra behaves exactly like its textbook equivalent.
+
+#ifndef EXPDB_RELATIONAL_RELATION_H_
+#define EXPDB_RELATIONAL_RELATION_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timestamp.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace expdb {
+
+/// \brief A relation with per-tuple expiration times (set semantics).
+///
+/// Re-inserting a tuple that is already present keeps the later of the two
+/// expiration times — the same max rule the algebra uses for duplicate
+/// elimination in πexp and for ∪exp — so insertion is idempotent and
+/// monotone in lifetime.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t arity() const { return schema_.arity(); }
+
+  /// Number of stored tuples, including physically present expired ones.
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// \brief Inserts `tuple` expiring at `texp` (∞ = never).
+  ///
+  /// Checks arity and types against the schema; Int64 values are coerced
+  /// into Double attributes. On duplicate, keeps max(old texp, new texp).
+  Status Insert(Tuple tuple, Timestamp texp = Timestamp::Infinity());
+
+  /// \brief Inserts with a time-to-live relative to `now`.
+  Status InsertWithTtl(Tuple tuple, Timestamp now, int64_t ttl);
+
+  /// \brief Inserts without schema checks and overwriting any existing
+  /// expiration time. For engine-internal use (operators produce already
+  /// type-checked tuples and must control texp exactly).
+  void InsertUnchecked(Tuple tuple, Timestamp texp);
+
+  /// \brief Inserts without schema checks, keeping max(old, new) texp on
+  /// duplicates — the duplicate-elimination rule of πexp and ∪exp.
+  void MergeMaxUnchecked(Tuple tuple, Timestamp texp);
+
+  /// \brief Removes `tuple` regardless of its expiration state.
+  /// \return true iff the tuple was present.
+  bool Erase(const Tuple& tuple);
+
+  /// \brief texp_R(r). nullopt if r ∉ R.
+  std::optional<Timestamp> GetTexp(const Tuple& tuple) const;
+
+  /// \brief True iff the tuple is stored (expired or not).
+  bool Contains(const Tuple& tuple) const {
+    return tuples_.find(tuple) != tuples_.end();
+  }
+
+  /// \brief True iff tuple ∈ expτ(R).
+  bool ContainsUnexpired(const Tuple& tuple, Timestamp tau) const;
+
+  /// \brief expτ(R) as a new relation (texps preserved).
+  Relation UnexpiredAt(Timestamp tau) const;
+
+  /// \brief Visits every tuple of expτ(R) with its texp.
+  void ForEachUnexpired(
+      Timestamp tau,
+      const std::function<void(const Tuple&, Timestamp)>& fn) const;
+
+  /// \brief Visits every stored tuple (including expired) with its texp.
+  void ForEach(
+      const std::function<void(const Tuple&, Timestamp)>& fn) const;
+
+  /// \brief |expτ(R)|.
+  size_t CountUnexpiredAt(Timestamp tau) const;
+
+  /// \brief Physically removes every tuple with texp <= tau.
+  /// \return the removed tuples with their expiration times, sorted by
+  /// (texp, tuple) — the order in which they expired.
+  std::vector<std::pair<Tuple, Timestamp>> RemoveExpired(Timestamp tau);
+
+  /// \brief Smallest finite texp strictly greater than `tau`; nullopt when
+  /// no unexpired tuple has a finite expiration. This is the next instant
+  /// at which expτ(R) changes.
+  std::optional<Timestamp> NextExpirationAfter(Timestamp tau) const;
+
+  /// \brief Deterministic snapshot sorted by (tuple); used by printers and
+  /// tests.
+  std::vector<std::pair<Tuple, Timestamp>> SortedEntries() const;
+
+  /// \brief Set equality of expτ(·) of both relations, ignoring texp.
+  static bool ContentsEqualAt(const Relation& a, const Relation& b,
+                              Timestamp tau);
+
+  /// \brief Equality of expτ(·) of both relations including texp values.
+  static bool EqualAt(const Relation& a, const Relation& b, Timestamp tau);
+
+  /// \brief Removes all tuples.
+  void Clear() { tuples_.clear(); }
+
+  /// \brief Renames the schema's attributes (arity must match); types and
+  /// tuples are unchanged. Used by the SQL layer for AS aliases.
+  Status RenameAttributes(const std::vector<std::string>& names);
+
+  std::string ToString() const;
+
+ private:
+  Status CheckAndCoerce(Tuple* tuple) const;
+
+  Schema schema_;
+  std::unordered_map<Tuple, Timestamp> tuples_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_RELATIONAL_RELATION_H_

@@ -1,0 +1,90 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace expdb {
+
+std::string Attribute::ToString() const {
+  return name + ":" + std::string(ValueTypeToString(type));
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" +
+                                     attr.name + "'");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "' in " +
+                          ToString());
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Attribute> attrs = attributes_;
+  std::unordered_set<std::string> names;
+  for (const Attribute& a : attrs) names.insert(a.name);
+  for (Attribute a : other.attributes_) {
+    std::string candidate = a.name;
+    int suffix = 2;
+    while (names.count(candidate) > 0) {
+      candidate = a.name + "." + std::to_string(suffix++);
+    }
+    a.name = candidate;
+    names.insert(candidate);
+    attrs.push_back(std::move(a));
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<Schema> Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indices.size());
+  std::unordered_set<std::string> names;
+  for (size_t i : indices) {
+    if (!IsValidIndex(i)) {
+      return Status::OutOfRange("projection index " + std::to_string(i) +
+                                " out of range for " + ToString());
+    }
+    Attribute a = attributes_[i];
+    // A repeated projection of the same column needs a fresh name.
+    std::string candidate = a.name;
+    int suffix = 2;
+    while (names.count(candidate) > 0) {
+      candidate = a.name + "." + std::to_string(suffix++);
+    }
+    a.name = candidate;
+    names.insert(candidate);
+    attrs.push_back(std::move(a));
+  }
+  return Schema(std::move(attrs));
+}
+
+bool Schema::UnionCompatibleWith(const Schema& other) const {
+  if (arity() != other.arity()) return false;
+  for (size_t i = 0; i < arity(); ++i) {
+    if (attributes_[i].type != other.attributes_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  return "(" + JoinToString(attributes_, ", ") + ")";
+}
+
+}  // namespace expdb

@@ -1,0 +1,74 @@
+// Schema: attribute names and types of a relation.
+//
+// The paper's model identifies attributes by position 1..α(R); ExpDB keeps
+// names for usability (SQL layer, printing) but the algebra addresses
+// attributes positionally, exactly as in the paper. Positions in the public
+// C++ API are 0-based; the SQL layer and printers render them 1-based where
+// they quote the paper.
+
+#ifndef EXPDB_RELATIONAL_SCHEMA_H_
+#define EXPDB_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace expdb {
+
+/// \brief One named, typed attribute.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const Attribute& other) const = default;
+  std::string ToString() const;
+};
+
+/// \brief An ordered list of attributes; α(R) is its size.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// \brief Builds a schema, rejecting duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  /// The arity α(R).
+  size_t arity() const { return attributes_.size(); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// \brief Index of the attribute with the given name (exact match).
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// \brief True iff `i` < arity.
+  bool IsValidIndex(size_t i) const { return i < attributes_.size(); }
+
+  /// \brief Schema of R × S: attributes of R followed by attributes of S.
+  /// Colliding names are disambiguated with a ".2" suffix.
+  Schema Concat(const Schema& other) const;
+
+  /// \brief Schema of π_{j1..jn}(R). All indices must be valid.
+  Result<Schema> Project(const std::vector<size_t>& indices) const;
+
+  /// \brief Union compatibility per the paper: equal arity; ExpDB also
+  /// requires pairwise equal types (names may differ).
+  bool UnionCompatibleWith(const Schema& other) const;
+
+  /// \brief Structural equality (names and types).
+  bool operator==(const Schema& other) const = default;
+
+  /// Renders "(name:type, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_RELATIONAL_SCHEMA_H_

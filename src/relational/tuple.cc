@@ -1,0 +1,75 @@
+#include "relational/tuple.h"
+
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace expdb {
+
+namespace {
+
+// Boost-style hash combiner.
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> vals = values_;
+  vals.insert(vals.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(vals));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> vals;
+  vals.reserve(indices.size());
+  for (size_t i : indices) {
+    assert(i < values_.size());
+    vals.push_back(values_[i]);
+  }
+  return Tuple(std::move(vals));
+}
+
+Tuple Tuple::Prefix(size_t n) const {
+  assert(n <= values_.size());
+  return Tuple(std::vector<Value>(values_.begin(), values_.begin() + n));
+}
+
+Tuple Tuple::Suffix(size_t from) const {
+  assert(from <= values_.size());
+  return Tuple(std::vector<Value>(values_.begin() + from, values_.end()));
+}
+
+Tuple Tuple::Append(Value v) const {
+  std::vector<Value> vals = values_;
+  vals.push_back(std::move(v));
+  return Tuple(std::move(vals));
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    auto cmp = values_[i].Compare(other.values_[i]);
+    if (cmp != std::strong_ordering::equal) {
+      return cmp == std::strong_ordering::less;
+    }
+  }
+  return values_.size() < other.values_.size();
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0x5bd1e9955bd1e995ULL;
+  for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  return "<" + JoinToString(values_, ", ") + ">";
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace expdb

@@ -1,0 +1,71 @@
+// Tuple: an element of a relation; a fixed-arity sequence of Values.
+
+#ifndef EXPDB_RELATIONAL_TUPLE_H_
+#define EXPDB_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace expdb {
+
+/// \brief A tuple r with attributes r(0)..r(α-1) (paper uses 1-based).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+
+  /// The i-th attribute value (0-based).
+  const Value& at(size_t i) const { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// \brief ⟨r(0..α(r)-1), s(0..α(s)-1)⟩ — tuple concatenation for ×.
+  Tuple Concat(const Tuple& other) const;
+
+  /// \brief ⟨r(j1), ..., r(jn)⟩ — projection. Indices must be valid.
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  /// \brief The prefix of the first `n` attributes (left half of a ×).
+  Tuple Prefix(size_t n) const;
+
+  /// \brief The suffix starting at attribute `from` (right half of a ×).
+  Tuple Suffix(size_t from) const;
+
+  /// \brief Appends a single value (aggregation's appended column).
+  Tuple Append(Value v) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// Lexicographic order; used for deterministic printing and sorting.
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+  /// Renders the paper's ⟨v1, v2, ...⟩ notation (ASCII: "<v1, v2>").
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace expdb
+
+template <>
+struct std::hash<expdb::Tuple> {
+  size_t operator()(const expdb::Tuple& t) const noexcept { return t.Hash(); }
+};
+
+#endif  // EXPDB_RELATIONAL_TUPLE_H_

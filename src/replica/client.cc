@@ -1,0 +1,102 @@
+#include "replica/client.h"
+
+namespace expdb {
+
+std::string_view SyncProtocolToString(SyncProtocol protocol) {
+  switch (protocol) {
+    case SyncProtocol::kNaivePeriodic:
+      return "naive-periodic";
+    case SyncProtocol::kExpirationAware:
+      return "expiration-aware";
+    case SyncProtocol::kExpirationAwarePatch:
+      return "expiration-aware-patch";
+  }
+  return "?";
+}
+
+Status ReplicationClient::Fetch(const std::string& name, Subscription* sub,
+                                Timestamp now) {
+  // The patch protocol only applies to difference-rooted queries; other
+  // shapes degrade gracefully to the plain expiration-aware fetch.
+  bool patchable = false;
+  if (options_.protocol == SyncProtocol::kExpirationAwarePatch) {
+    auto query = server_->GetQuery(name);
+    patchable = query.ok() && (*query)->kind() == ExprKind::kDifference;
+  }
+  if (patchable) {
+    EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult diff,
+                           server_->FetchWithHelper(name, now, net_));
+    sub->result = std::move(diff.result);
+    sub->helper = std::move(diff.helper);
+    sub->patch_cursor = 0;
+    sub->children_texp = diff.children_texp;
+    // Root invalidations are neutralized by patching.
+    sub->result.texp = diff.children_texp;
+  } else {
+    EXPDB_ASSIGN_OR_RETURN(sub->result, server_->Fetch(name, now, net_));
+  }
+  sub->last_fetch = now;
+  ++stats_.fetches;
+  return Status::OK();
+}
+
+Status ReplicationClient::Subscribe(const std::string& name, Timestamp now) {
+  if (subscriptions_.find(name) != subscriptions_.end()) {
+    return Status::AlreadyExists("already subscribed to '" + name + "'");
+  }
+  Subscription sub;
+  EXPDB_RETURN_NOT_OK(Fetch(name, &sub, now));
+  subscriptions_.emplace(name, std::move(sub));
+  return Status::OK();
+}
+
+void ReplicationClient::ApplyPatches(Subscription* sub, Timestamp now) {
+  while (sub->patch_cursor < sub->helper.size() &&
+         sub->helper[sub->patch_cursor].appears_at <= now) {
+    const DifferencePatchEntry& entry = sub->helper[sub->patch_cursor++];
+    if (entry.expires_at > now) {
+      sub->result.relation.InsertUnchecked(entry.tuple, entry.expires_at);
+      ++stats_.patches_applied;
+    }
+  }
+}
+
+Result<Relation> ReplicationClient::Read(const std::string& name,
+                                         Timestamp now) {
+  auto it = subscriptions_.find(name);
+  if (it == subscriptions_.end()) {
+    return Status::NotFound("not subscribed to '" + name + "'");
+  }
+  Subscription& sub = it->second;
+  ++stats_.reads;
+
+  switch (options_.protocol) {
+    case SyncProtocol::kNaivePeriodic: {
+      // The baseline neither understands expiration times nor invalidity:
+      // it serves the raw last copy, re-fetched on a timer.
+      if (now >= sub.last_fetch + options_.poll_interval) {
+        EXPDB_RETURN_NOT_OK(Fetch(name, &sub, now));
+      }
+      // Serve everything fetched, stale or not (no expτ filtering: the
+      // naive client received no expiration metadata).
+      return sub.result.relation;
+    }
+    case SyncProtocol::kExpirationAware: {
+      if (sub.result.texp <= now) {
+        EXPDB_RETURN_NOT_OK(Fetch(name, &sub, now));
+      }
+      return sub.result.relation.UnexpiredAt(now);
+    }
+    case SyncProtocol::kExpirationAwarePatch: {
+      ApplyPatches(&sub, now);
+      if (sub.result.texp <= now) {
+        EXPDB_RETURN_NOT_OK(Fetch(name, &sub, now));
+        ApplyPatches(&sub, now);
+      }
+      return sub.result.relation.UnexpiredAt(now);
+    }
+  }
+  return Status::Internal("unknown protocol");
+}
+
+}  // namespace expdb

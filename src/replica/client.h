@@ -1,0 +1,89 @@
+// ReplicationClient: a remote device holding materialized query results
+// "as far as possible independently of, but in synchrony with" the base
+// relations (paper Sec. 1).
+//
+// Three synchronization protocols:
+//  * kNaivePeriodic     — the pre-expiration-times baseline: re-fetch the
+//    whole result every poll interval; between polls the copy silently
+//    goes stale.
+//  * kExpirationAware   — fetch once with per-tuple texps and texp(e);
+//    expire tuples locally; re-fetch only when texp(e) passes. Reads are
+//    always exact.
+//  * kExpirationAwarePatch — for difference-rooted queries: additionally
+//    fetch the Theorem 3 helper up front; patch locally; with monotonic
+//    arguments the client NEVER contacts the server again.
+
+#ifndef EXPDB_REPLICA_CLIENT_H_
+#define EXPDB_REPLICA_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replica/server.h"
+
+namespace expdb {
+
+/// Client-side synchronization protocol.
+enum class SyncProtocol {
+  kNaivePeriodic,
+  kExpirationAware,
+  kExpirationAwarePatch,
+};
+
+std::string_view SyncProtocolToString(SyncProtocol protocol);
+
+/// Per-client counters.
+struct ClientStats {
+  uint64_t reads = 0;
+  uint64_t fetches = 0;          ///< server round trips
+  uint64_t patches_applied = 0;  ///< local helper-queue insertions
+};
+
+/// \brief A loosely-coupled client maintaining subscribed query results.
+class ReplicationClient {
+ public:
+  struct Options {
+    SyncProtocol protocol = SyncProtocol::kExpirationAware;
+    /// kNaivePeriodic: re-fetch when this many ticks elapsed since the
+    /// last fetch.
+    int64_t poll_interval = 10;
+  };
+
+  ReplicationClient(const ReplicationServer* server, SimulatedNetwork* net,
+                    Options options)
+      : server_(server), net_(net), options_(options) {}
+
+  /// \brief Subscribes to a registered query, fetching it at `now`.
+  Status Subscribe(const std::string& name, Timestamp now);
+
+  /// \brief Reads the local copy at `now`, applying the protocol's
+  /// maintenance (local expiry, patches, or re-fetches) first.
+  Result<Relation> Read(const std::string& name, Timestamp now);
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  struct Subscription {
+    MaterializedResult result;
+    Timestamp last_fetch;
+    // kExpirationAwarePatch only:
+    std::vector<DifferencePatchEntry> helper;
+    size_t patch_cursor = 0;
+    Timestamp children_texp = Timestamp::Infinity();
+  };
+
+  Status Fetch(const std::string& name, Subscription* sub, Timestamp now);
+  void ApplyPatches(Subscription* sub, Timestamp now);
+
+  const ReplicationServer* server_;
+  SimulatedNetwork* net_;
+  Options options_;
+  std::map<std::string, Subscription> subscriptions_;
+  ClientStats stats_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_REPLICA_CLIENT_H_

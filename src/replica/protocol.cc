@@ -1,0 +1,76 @@
+#include "replica/protocol.h"
+
+namespace expdb {
+
+std::string NetworkStats::ToString() const {
+  return std::to_string(messages) + " msgs, " +
+         std::to_string(tuples_transferred) + " tuples, " +
+         std::to_string(static_cast<int64_t>(latency_units)) + " latency";
+}
+
+std::string SimulationReport::ToString() const {
+  return std::string(SyncProtocolToString(protocol)) + ": " +
+         network.ToString() + "; reads " + std::to_string(client.reads) +
+         " (" + std::to_string(exact_reads) + " exact, " +
+         std::to_string(stale_reads) + " stale); fetches " +
+         std::to_string(client.fetches) + ", patches " +
+         std::to_string(client.patches_applied);
+}
+
+bool SameTupleSet(const Relation& a, const Relation& b) {
+  if (a.size() != b.size()) return false;
+  bool equal = true;
+  a.ForEach([&](const Tuple& t, Timestamp) {
+    if (!b.Contains(t)) equal = false;
+  });
+  return equal;
+}
+
+Result<SimulationReport> RunSyncSimulation(
+    const Database& db,
+    const std::vector<std::pair<std::string, ExpressionPtr>>& queries,
+    const SimulationConfig& config) {
+  if (config.horizon < 0 || config.read_interval <= 0 ||
+      config.poll_interval <= 0) {
+    return Status::InvalidArgument("malformed simulation config");
+  }
+
+  ReplicationServer server(&db);
+  for (const auto& [name, expr] : queries) {
+    EXPDB_RETURN_NOT_OK(server.RegisterQuery(name, expr));
+  }
+
+  SimulatedNetwork net;
+  ReplicationClient::Options copts;
+  copts.protocol = config.protocol;
+  copts.poll_interval = config.poll_interval;
+  ReplicationClient client(&server, &net, copts);
+
+  for (const auto& [name, expr] : queries) {
+    EXPDB_RETURN_NOT_OK(client.Subscribe(name, Timestamp::Zero()));
+  }
+
+  SimulationReport report;
+  report.protocol = config.protocol;
+
+  for (int64_t t = 0; t <= config.horizon; t += config.read_interval) {
+    const Timestamp now(t);
+    for (const auto& [name, expr] : queries) {
+      EXPDB_ASSIGN_OR_RETURN(Relation local, client.Read(name, now));
+      // Ground truth: fresh recomputation, off the books (no traffic).
+      EXPDB_ASSIGN_OR_RETURN(MaterializedResult truth,
+                             Evaluate(expr, db, now));
+      if (SameTupleSet(local, truth.relation)) {
+        ++report.exact_reads;
+      } else {
+        ++report.stale_reads;
+      }
+    }
+  }
+
+  report.network = net.stats();
+  report.client = client.stats();
+  return report;
+}
+
+}  // namespace expdb

@@ -1,0 +1,54 @@
+// Synchronization-protocol simulation harness (experiment C5).
+//
+// Drives a client against a server over a simulated network for a time
+// horizon, reading subscribed queries on a schedule, and scores each
+// protocol on traffic (messages, tuples, latency) and correctness (reads
+// whose contents differ from ground-truth recomputation).
+
+#ifndef EXPDB_REPLICA_PROTOCOL_H_
+#define EXPDB_REPLICA_PROTOCOL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "replica/client.h"
+
+namespace expdb {
+
+/// Parameters of one simulation run.
+struct SimulationConfig {
+  SyncProtocol protocol = SyncProtocol::kExpirationAware;
+  /// Simulate times 0..horizon (inclusive).
+  int64_t horizon = 100;
+  /// The client reads every subscribed query every `read_interval` ticks.
+  int64_t read_interval = 1;
+  /// kNaivePeriodic: poll interval.
+  int64_t poll_interval = 10;
+};
+
+/// Scored outcome of a run.
+struct SimulationReport {
+  SyncProtocol protocol;
+  NetworkStats network;
+  ClientStats client;
+  uint64_t exact_reads = 0;
+  uint64_t stale_reads = 0;  ///< contents differed from recomputation
+
+  std::string ToString() const;
+};
+
+/// \brief True iff the two relations hold exactly the same tuple sets
+/// (expiration times ignored — used to compare a possibly metadata-less
+/// client copy against ground truth).
+bool SameTupleSet(const Relation& a, const Relation& b);
+
+/// \brief Runs one protocol over `queries` against `db` and scores it.
+Result<SimulationReport> RunSyncSimulation(
+    const Database& db,
+    const std::vector<std::pair<std::string, ExpressionPtr>>& queries,
+    const SimulationConfig& config);
+
+}  // namespace expdb
+
+#endif  // EXPDB_REPLICA_PROTOCOL_H_

@@ -1,0 +1,46 @@
+#include "replica/server.h"
+
+namespace expdb {
+
+Status ReplicationServer::RegisterQuery(const std::string& name,
+                                        ExpressionPtr expr) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  // Validate the query against the catalog before accepting it.
+  EXPDB_RETURN_NOT_OK(expr->InferSchema(*db_).status());
+  auto [it, inserted] = queries_.emplace(name, std::move(expr));
+  if (!inserted) {
+    return Status::AlreadyExists("query '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<ExpressionPtr> ReplicationServer::GetQuery(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<MaterializedResult> ReplicationServer::Fetch(
+    const std::string& name, Timestamp tau, SimulatedNetwork* net) const {
+  EXPDB_ASSIGN_OR_RETURN(ExpressionPtr expr, GetQuery(name));
+  EXPDB_ASSIGN_OR_RETURN(MaterializedResult result,
+                         Evaluate(expr, *db_, tau, eval_));
+  if (net != nullptr) net->CountMessage(result.relation.size());
+  return result;
+}
+
+Result<DifferenceEvalResult> ReplicationServer::FetchWithHelper(
+    const std::string& name, Timestamp tau, SimulatedNetwork* net) const {
+  EXPDB_ASSIGN_OR_RETURN(ExpressionPtr expr, GetQuery(name));
+  EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult result,
+                         EvaluateDifferenceRoot(expr, *db_, tau, eval_));
+  if (net != nullptr) {
+    net->CountMessage(result.result.relation.size() + result.helper.size());
+  }
+  return result;
+}
+
+}  // namespace expdb

@@ -1,0 +1,53 @@
+// ReplicationServer: the data source of the loosely-coupled setting. It
+// owns nothing but a borrowed database and a registry of named queries;
+// clients fetch materialized results (with expiration times) through a
+// cost-counting network.
+
+#ifndef EXPDB_REPLICA_SERVER_H_
+#define EXPDB_REPLICA_SERVER_H_
+
+#include <map>
+#include <string>
+
+#include "core/eval.h"
+#include "replica/network.h"
+
+namespace expdb {
+
+/// \brief Serves registered queries over a simulated network.
+class ReplicationServer {
+ public:
+  explicit ReplicationServer(const Database* db, EvalOptions eval = {})
+      : db_(db), eval_(eval) {}
+
+  /// \brief Registers a named query clients may subscribe to.
+  Status RegisterQuery(const std::string& name, ExpressionPtr expr);
+
+  bool HasQuery(const std::string& name) const {
+    return queries_.find(name) != queries_.end();
+  }
+
+  Result<ExpressionPtr> GetQuery(const std::string& name) const;
+
+  /// \brief Evaluates the named query at `tau`, counting the transfer of
+  /// the result tuples on `net`.
+  Result<MaterializedResult> Fetch(const std::string& name, Timestamp tau,
+                                   SimulatedNetwork* net) const;
+
+  /// \brief Fetch plus the Theorem 3 helper entries (root must be −exp);
+  /// the helper tuples are counted as additional up-front transfer — the
+  /// paper's "classic trade-off ... between saving future communication
+  /// and ... up-front communication cost".
+  Result<DifferenceEvalResult> FetchWithHelper(const std::string& name,
+                                               Timestamp tau,
+                                               SimulatedNetwork* net) const;
+
+ private:
+  const Database* db_;
+  EvalOptions eval_;
+  std::map<std::string, ExpressionPtr> queries_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_REPLICA_SERVER_H_

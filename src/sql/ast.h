@@ -1,0 +1,147 @@
+// Parsed representation of ExpSQL statements.
+//
+// ExpSQL is the paper's "incorporate expiration into the SQL framework"
+// future-work item: a compact SQL dialect whose only expiration-specific
+// surface is on INSERT (EXPIRE AT t / TTL n / EXPIRE NEVER) and on time
+// control (ADVANCE TIME) — queries are entirely expiration-transparent,
+// as the paper mandates.
+
+#ifndef EXPDB_SQL_AST_H_
+#define EXPDB_SQL_AST_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/value.h"
+#include "core/aggregate.h"
+#include "core/predicate.h"
+#include "relational/schema.h"
+
+namespace expdb {
+namespace sql {
+
+/// \brief A possibly table-qualified column name.
+struct ColumnRef {
+  std::string table;  ///< empty when unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// \brief One side of a comparison in WHERE.
+struct ScalarOperand {
+  bool is_column = false;
+  ColumnRef column;
+  Value constant;
+};
+
+/// \brief Boolean expression tree of a WHERE clause.
+struct BoolExpr;
+using BoolExprPtr = std::shared_ptr<BoolExpr>;
+
+struct BoolExpr {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+  Kind kind = Kind::kCompare;
+  // kCompare
+  ScalarOperand lhs;
+  ComparisonOp op = ComparisonOp::kEq;
+  ScalarOperand rhs;
+  // kAnd / kOr / kNot (kNot uses only `left`)
+  BoolExprPtr left;
+  BoolExprPtr right;
+};
+
+/// \brief One item of a SELECT list.
+struct SelectItem {
+  enum class Kind { kStar, kColumn, kAggregate };
+  Kind kind = Kind::kStar;
+  ColumnRef column;  ///< kColumn, or the aggregate's argument
+  AggregateKind aggregate = AggregateKind::kCount;  ///< kAggregate
+  bool aggregate_star = false;                      ///< COUNT(*)
+  std::string alias;                                ///< AS name (optional)
+};
+
+/// \brief A FROM item: a base table, view, or aliased table.
+struct TableRef {
+  std::string name;
+  std::string alias;  ///< empty = use `name`
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+/// \brief SELECT ... [set-op SELECT ...].
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  BoolExprPtr where;                  ///< null = none
+  std::vector<ColumnRef> group_by;
+
+  enum class SetOp { kNone, kUnion, kIntersect, kExcept };
+  SetOp set_op = SetOp::kNone;
+  std::shared_ptr<SelectStatement> set_rhs;  ///< non-null iff set_op != kNone
+};
+
+struct CreateTableStatement {
+  std::string name;
+  std::vector<Attribute> columns;
+};
+
+/// INSERT INTO t VALUES (...), (...) [EXPIRE AT n | TTL n | EXPIRE NEVER].
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<Value>> rows;
+  std::optional<int64_t> ttl;            ///< relative lifetime
+  std::optional<Timestamp> expire_at;    ///< absolute expiration
+};
+
+/// CREATE [MATERIALIZED] VIEW v [WITH (key = value, ...)] AS SELECT ...
+/// Options: mode = eager|lazy|schrodinger|patch, move = recompute|
+/// backward|forward, agg = conservative|contributing|exact.
+struct CreateViewStatement {
+  std::string name;
+  bool materialized = true;
+  std::map<std::string, std::string> options;
+  SelectStatement select;
+};
+
+struct DropStatement {
+  bool is_view = false;
+  std::string name;
+};
+
+/// ADVANCE TIME n (relative) or ADVANCE TIME TO n (absolute).
+struct AdvanceStatement {
+  int64_t amount = 0;
+  bool absolute = false;
+};
+
+struct ShowStatement {
+  enum class What { kTables, kViews, kTime };
+  What what = What::kTables;
+};
+
+struct DeleteStatement {
+  std::string table;
+  BoolExprPtr where;  ///< null = delete all
+};
+
+/// \brief Any parsed statement.
+using Statement =
+    std::variant<SelectStatement, CreateTableStatement, InsertStatement,
+                 CreateViewStatement, DropStatement, AdvanceStatement,
+                 ShowStatement, DeleteStatement>;
+
+}  // namespace sql
+}  // namespace expdb
+
+#endif  // EXPDB_SQL_AST_H_

@@ -1,0 +1,46 @@
+// Binder: lowers a parsed SELECT into an expiration-time algebra
+// expression against a database's schemas.
+
+#ifndef EXPDB_SQL_BINDER_H_
+#define EXPDB_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expression.h"
+#include "relational/database.h"
+#include "sql/ast.h"
+
+namespace expdb {
+namespace sql {
+
+/// \brief A bound SELECT: the algebra expression plus the output column
+/// names (AS aliases applied).
+struct BoundSelect {
+  ExpressionPtr expr;
+  std::vector<std::string> column_names;
+};
+
+/// \brief Binds `select` against the base relations of `db`.
+///
+/// Lowering rules:
+///  * FROM a, b [WHERE p] with two tables becomes a ⋈exp_p b (the
+///    evaluator picks a hash join for equality conjuncts); other shapes
+///    become product chains with a σexp on top.
+///  * GROUP BY k, aggregates become chained aggexp nodes followed by a
+///    πexp onto the grouping and aggregate columns — exactly the paper's
+///    Figure 3(a) shape.
+///  * DISTINCT is a no-op: the algebra has set semantics throughout.
+Result<BoundSelect> BindSelect(const SelectStatement& select,
+                               const Database& db);
+
+/// \brief Lowers a WHERE tree to a core Predicate over `schema`, given the
+/// FROM tables that produced it (for qualified-name resolution).
+Result<Predicate> BindWhere(const BoolExpr& expr,
+                            const std::vector<TableRef>& from,
+                            const Database& db);
+
+}  // namespace sql
+}  // namespace expdb
+
+#endif  // EXPDB_SQL_BINDER_H_

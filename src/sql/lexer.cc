@@ -1,0 +1,204 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace expdb {
+namespace sql {
+
+std::string_view TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kDouble:
+      return "double";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kSymbol:
+      return "symbol";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (type == TokenType::kEnd) return "<end>";
+  return std::string(TokenTypeToString(type)) + " '" + text + "'";
+}
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "SELECT",  "FROM",   "WHERE",     "GROUP",   "BY",      "AND",
+    "OR",      "NOT",    "AS",        "CREATE",  "TABLE",   "VIEW",
+    "MATERIALIZED",      "INSERT",    "INTO",    "VALUES",  "EXPIRE",
+    "AT",      "TTL",    "UNION",     "INTERSECT",          "EXCEPT",
+    "DROP",    "SHOW",   "TABLES",    "VIEWS",   "TIME",    "ADVANCE",
+    "DELETE",  "MIN",    "MAX",       "SUM",     "COUNT",   "AVG",
+    "INT",     "DOUBLE", "STRING",    "WITH",    "NEVER",   "TRIGGERS",
+    "DISTINCT"};
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < n ? input[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+
+    // Numbers (integers and doubles), including a leading '-' when it
+    // cannot be a binary operator (we only use '-' in literals).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t j = i + (c == '-' ? 1 : 0);
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          if (is_double) break;  // second dot terminates the number
+          is_double = true;
+        }
+        ++j;
+      }
+      std::string text = input.substr(i, j - i);
+      Token t;
+      t.position = start;
+      t.text = text;
+      if (is_double) {
+        auto v = ParseDouble(text);
+        if (!v) {
+          return Status::ParseError("malformed number '" + text + "'");
+        }
+        t.type = TokenType::kDouble;
+        t.double_value = *v;
+      } else {
+        auto v = ParseInt64(text);
+        if (!v) {
+          return Status::ParseError("malformed integer '" + text + "'");
+        }
+        t.type = TokenType::kInteger;
+        t.int_value = *v;
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = AsciiToUpper(word);
+      Token t;
+      t.position = start;
+      if (IsReservedKeyword(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = std::move(upper);
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // String literals.
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'' && j + 1 < n && input[j + 1] == '\'') {
+          text += '\'';  // '' escapes a quote
+          j += 2;
+          continue;
+        }
+        if (input[j] == '\'') {
+          closed = true;
+          ++j;
+          break;
+        }
+        text += input[j++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.position = start;
+      t.type = TokenType::kString;
+      t.text = std::move(text);
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // Multi-character operators first.
+    auto two = input.substr(i, 2);
+    if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+      Token t;
+      t.position = start;
+      t.type = TokenType::kSymbol;
+      t.text = (two == "<>") ? "!=" : two;
+      out.push_back(std::move(t));
+      i += 2;
+      continue;
+    }
+    if (std::string_view("(),;.*=<>").find(c) != std::string_view::npos) {
+      Token t;
+      t.position = start;
+      t.type = TokenType::kSymbol;
+      t.text = std::string(1, c);
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace sql
+}  // namespace expdb

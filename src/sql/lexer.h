@@ -1,0 +1,26 @@
+// Lexer: turns ExpSQL text into a token stream.
+
+#ifndef EXPDB_SQL_LEXER_H_
+#define EXPDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace expdb {
+namespace sql {
+
+/// \brief Tokenizes a statement. The returned vector always ends with a
+/// kEnd token. Keywords are case-insensitive and normalized to upper case;
+/// identifiers keep their case. `--` starts a comment to end of line.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+/// \brief True iff `word` (upper-cased) is a reserved ExpSQL keyword.
+bool IsReservedKeyword(const std::string& upper);
+
+}  // namespace sql
+}  // namespace expdb
+
+#endif  // EXPDB_SQL_LEXER_H_

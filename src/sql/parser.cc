@@ -1,0 +1,488 @@
+#include "sql/parser.h"
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace expdb {
+namespace sql {
+
+namespace {
+
+/// Token-stream cursor with convenience accept/expect helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOne() {
+    EXPDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    AcceptSymbol(";");
+    if (!AtEnd()) {
+      return Status::ParseError("trailing input after statement: " +
+                                Peek().ToString());
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t k = 0) const {
+    const size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + ", got " +
+                                Peek().ToString());
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!AcceptSymbol(s)) {
+      return Status::ParseError("expected '" + std::string(s) + "', got " +
+                                Peek().ToString());
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected " + std::string(what) + ", got " +
+                                Peek().ToString());
+    }
+    return Advance().text;
+  }
+  Result<int64_t> ExpectInteger(std::string_view what) {
+    if (Peek().type != TokenType::kInteger) {
+      return Status::ParseError("expected " + std::string(what) + ", got " +
+                                Peek().ToString());
+    }
+    return Advance().int_value;
+  }
+
+  Result<Statement> ParseStatementInner() {
+    if (Peek().IsKeyword("SELECT")) {
+      EXPDB_ASSIGN_OR_RETURN(SelectStatement s, ParseSelect());
+      return Statement(std::move(s));
+    }
+    if (AcceptKeyword("CREATE")) return ParseCreate();
+    if (AcceptKeyword("INSERT")) return ParseInsert();
+    if (AcceptKeyword("DROP")) return ParseDrop();
+    if (AcceptKeyword("ADVANCE")) return ParseAdvance();
+    if (AcceptKeyword("SHOW")) return ParseShow();
+    if (AcceptKeyword("DELETE")) return ParseDelete();
+    return Status::ParseError("expected a statement, got " +
+                              Peek().ToString());
+  }
+
+  // SELECT ... [UNION|INTERSECT|EXCEPT SELECT ...]
+  Result<SelectStatement> ParseSelect() {
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    SelectStatement out;
+    out.distinct = AcceptKeyword("DISTINCT");
+
+    // Select list.
+    do {
+      EXPDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      out.items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    do {
+      TableRef ref;
+      EXPDB_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier("table name"));
+      if (AcceptKeyword("AS")) {
+        EXPDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("alias"));
+      } else if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Advance().text;
+      }
+      out.from.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+
+    if (AcceptKeyword("WHERE")) {
+      EXPDB_ASSIGN_OR_RETURN(out.where, ParseBoolExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      EXPDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        EXPDB_ASSIGN_OR_RETURN(ColumnRef col, ParseColumnRef());
+        out.group_by.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+    }
+
+    if (AcceptKeyword("UNION")) {
+      out.set_op = SelectStatement::SetOp::kUnion;
+    } else if (AcceptKeyword("INTERSECT")) {
+      out.set_op = SelectStatement::SetOp::kIntersect;
+    } else if (AcceptKeyword("EXCEPT")) {
+      out.set_op = SelectStatement::SetOp::kExcept;
+    }
+    if (out.set_op != SelectStatement::SetOp::kNone) {
+      EXPDB_ASSIGN_OR_RETURN(SelectStatement rhs, ParseSelect());
+      out.set_rhs = std::make_shared<SelectStatement>(std::move(rhs));
+    }
+    return out;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (AcceptSymbol("*")) {
+      item.kind = SelectItem::Kind::kStar;
+      return item;
+    }
+    // Aggregate?
+    for (auto [kw, kind] :
+         {std::pair{"MIN", AggregateKind::kMin},
+          std::pair{"MAX", AggregateKind::kMax},
+          std::pair{"SUM", AggregateKind::kSum},
+          std::pair{"COUNT", AggregateKind::kCount},
+          std::pair{"AVG", AggregateKind::kAvg}}) {
+      if (Peek().IsKeyword(kw) && Peek(1).IsSymbol("(")) {
+        Advance();  // keyword
+        Advance();  // (
+        item.kind = SelectItem::Kind::kAggregate;
+        item.aggregate = kind;
+        if (AcceptSymbol("*")) {
+          if (kind != AggregateKind::kCount) {
+            return Status::ParseError("only COUNT may take *");
+          }
+          item.aggregate_star = true;
+        } else {
+          EXPDB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        }
+        EXPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+        if (AcceptKeyword("AS")) {
+          EXPDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        }
+        return item;
+      }
+    }
+    item.kind = SelectItem::Kind::kColumn;
+    EXPDB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    if (AcceptKeyword("AS")) {
+      EXPDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    }
+    return item;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    ColumnRef col;
+    EXPDB_ASSIGN_OR_RETURN(col.column, ExpectIdentifier("column name"));
+    if (AcceptSymbol(".")) {
+      col.table = std::move(col.column);
+      EXPDB_ASSIGN_OR_RETURN(col.column, ExpectIdentifier("column name"));
+    }
+    return col;
+  }
+
+  // Boolean expressions: OR < AND < NOT < comparison.
+  Result<BoolExprPtr> ParseBoolExpr() { return ParseOr(); }
+
+  Result<BoolExprPtr> ParseOr() {
+    EXPDB_ASSIGN_OR_RETURN(BoolExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      EXPDB_ASSIGN_OR_RETURN(BoolExprPtr rhs, ParseAnd());
+      auto node = std::make_shared<BoolExpr>();
+      node->kind = BoolExpr::Kind::kOr;
+      node->left = std::move(lhs);
+      node->right = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<BoolExprPtr> ParseAnd() {
+    EXPDB_ASSIGN_OR_RETURN(BoolExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      EXPDB_ASSIGN_OR_RETURN(BoolExprPtr rhs, ParseNot());
+      auto node = std::make_shared<BoolExpr>();
+      node->kind = BoolExpr::Kind::kAnd;
+      node->left = std::move(lhs);
+      node->right = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<BoolExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      EXPDB_ASSIGN_OR_RETURN(BoolExprPtr inner, ParseNot());
+      auto node = std::make_shared<BoolExpr>();
+      node->kind = BoolExpr::Kind::kNot;
+      node->left = std::move(inner);
+      return node;
+    }
+    if (AcceptSymbol("(")) {
+      EXPDB_ASSIGN_OR_RETURN(BoolExprPtr inner, ParseBoolExpr());
+      EXPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<BoolExprPtr> ParseComparison() {
+    auto node = std::make_shared<BoolExpr>();
+    node->kind = BoolExpr::Kind::kCompare;
+    EXPDB_ASSIGN_OR_RETURN(node->lhs, ParseScalarOperand());
+    const Token& op = Peek();
+    if (op.IsSymbol("=")) {
+      node->op = ComparisonOp::kEq;
+    } else if (op.IsSymbol("!=")) {
+      node->op = ComparisonOp::kNe;
+    } else if (op.IsSymbol("<")) {
+      node->op = ComparisonOp::kLt;
+    } else if (op.IsSymbol("<=")) {
+      node->op = ComparisonOp::kLe;
+    } else if (op.IsSymbol(">")) {
+      node->op = ComparisonOp::kGt;
+    } else if (op.IsSymbol(">=")) {
+      node->op = ComparisonOp::kGe;
+    } else {
+      return Status::ParseError("expected comparison operator, got " +
+                                op.ToString());
+    }
+    Advance();
+    EXPDB_ASSIGN_OR_RETURN(node->rhs, ParseScalarOperand());
+    return node;
+  }
+
+  Result<ScalarOperand> ParseScalarOperand() {
+    ScalarOperand out;
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger:
+        out.constant = Value(t.int_value);
+        Advance();
+        return out;
+      case TokenType::kDouble:
+        out.constant = Value(t.double_value);
+        Advance();
+        return out;
+      case TokenType::kString:
+        out.constant = Value(t.text);
+        Advance();
+        return out;
+      case TokenType::kIdentifier: {
+        out.is_column = true;
+        EXPDB_ASSIGN_OR_RETURN(out.column, ParseColumnRef());
+        return out;
+      }
+      default:
+        return Status::ParseError("expected a column or literal, got " +
+                                  t.ToString());
+    }
+  }
+
+  Result<Statement> ParseCreate() {
+    if (AcceptKeyword("TABLE")) return ParseCreateTable();
+    bool materialized = AcceptKeyword("MATERIALIZED");
+    if (AcceptKeyword("VIEW")) return ParseCreateView(materialized);
+    return Status::ParseError("expected TABLE or VIEW after CREATE, got " +
+                              Peek().ToString());
+  }
+
+  Result<Statement> ParseCreateTable() {
+    CreateTableStatement out;
+    EXPDB_ASSIGN_OR_RETURN(out.name, ExpectIdentifier("table name"));
+    EXPDB_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      Attribute attr;
+      EXPDB_ASSIGN_OR_RETURN(attr.name, ExpectIdentifier("column name"));
+      if (AcceptKeyword("INT")) {
+        attr.type = ValueType::kInt64;
+      } else if (AcceptKeyword("DOUBLE")) {
+        attr.type = ValueType::kDouble;
+      } else if (AcceptKeyword("STRING")) {
+        attr.type = ValueType::kString;
+      } else {
+        return Status::ParseError(
+            "expected column type (INT, DOUBLE, STRING), got " +
+            Peek().ToString());
+      }
+      out.columns.push_back(std::move(attr));
+    } while (AcceptSymbol(","));
+    EXPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+    return Statement(std::move(out));
+  }
+
+  Result<Statement> ParseCreateView(bool materialized) {
+    CreateViewStatement out;
+    out.materialized = materialized;
+    EXPDB_ASSIGN_OR_RETURN(out.name, ExpectIdentifier("view name"));
+    if (AcceptKeyword("WITH")) {
+      EXPDB_RETURN_NOT_OK(ExpectSymbol("("));
+      do {
+        EXPDB_ASSIGN_OR_RETURN(std::string key,
+                               ExpectIdentifier("option name"));
+        EXPDB_RETURN_NOT_OK(ExpectSymbol("="));
+        std::string value;
+        if (Peek().type == TokenType::kIdentifier ||
+            Peek().type == TokenType::kString ||
+            Peek().type == TokenType::kInteger ||
+            Peek().type == TokenType::kDouble) {
+          value = Advance().text;
+        } else {
+          return Status::ParseError("expected option value, got " +
+                                    Peek().ToString());
+        }
+        out.options[AsciiToLower(key)] = AsciiToLower(value);
+      } while (AcceptSymbol(","));
+      EXPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("AS"));
+    EXPDB_ASSIGN_OR_RETURN(out.select, ParseSelect());
+    return Statement(std::move(out));
+  }
+
+  Result<Statement> ParseInsert() {
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    InsertStatement out;
+    EXPDB_ASSIGN_OR_RETURN(out.table, ExpectIdentifier("table name"));
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    do {
+      EXPDB_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> row;
+      do {
+        const Token& t = Peek();
+        if (t.type == TokenType::kInteger) {
+          row.emplace_back(t.int_value);
+        } else if (t.type == TokenType::kDouble) {
+          row.emplace_back(t.double_value);
+        } else if (t.type == TokenType::kString) {
+          row.emplace_back(t.text);
+        } else {
+          return Status::ParseError("expected a literal, got " +
+                                    t.ToString());
+        }
+        Advance();
+      } while (AcceptSymbol(","));
+      EXPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+      out.rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+
+    if (AcceptKeyword("EXPIRE")) {
+      if (AcceptKeyword("NEVER")) {
+        out.expire_at = Timestamp::Infinity();
+      } else {
+        EXPDB_RETURN_NOT_OK(ExpectKeyword("AT"));
+        EXPDB_ASSIGN_OR_RETURN(int64_t at, ExpectInteger("expiration time"));
+        if (at < 0) return Status::ParseError("EXPIRE AT must be >= 0");
+        out.expire_at = Timestamp(at);
+      }
+    } else if (AcceptKeyword("TTL")) {
+      EXPDB_ASSIGN_OR_RETURN(int64_t ttl, ExpectInteger("ttl"));
+      if (ttl <= 0) return Status::ParseError("TTL must be positive");
+      out.ttl = ttl;
+    }
+    return Statement(std::move(out));
+  }
+
+  Result<Statement> ParseDrop() {
+    DropStatement out;
+    if (AcceptKeyword("TABLE")) {
+      out.is_view = false;
+    } else if (AcceptKeyword("VIEW")) {
+      out.is_view = true;
+    } else {
+      return Status::ParseError("expected TABLE or VIEW after DROP, got " +
+                                Peek().ToString());
+    }
+    EXPDB_ASSIGN_OR_RETURN(out.name, ExpectIdentifier("name"));
+    return Statement(std::move(out));
+  }
+
+  Result<Statement> ParseAdvance() {
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("TIME"));
+    AdvanceStatement out;
+    if (Peek().type == TokenType::kIdentifier &&
+        AsciiEqualsIgnoreCase(Peek().text, "TO")) {
+      Advance();
+      out.absolute = true;
+    }
+    EXPDB_ASSIGN_OR_RETURN(out.amount, ExpectInteger("time amount"));
+    if (out.amount < 0) {
+      return Status::ParseError("time amount must be >= 0");
+    }
+    return Statement(std::move(out));
+  }
+
+  Result<Statement> ParseShow() {
+    ShowStatement out;
+    if (AcceptKeyword("TABLES")) {
+      out.what = ShowStatement::What::kTables;
+    } else if (AcceptKeyword("VIEWS")) {
+      out.what = ShowStatement::What::kViews;
+    } else if (AcceptKeyword("TIME")) {
+      out.what = ShowStatement::What::kTime;
+    } else {
+      return Status::ParseError(
+          "expected TABLES, VIEWS, or TIME after SHOW, got " +
+          Peek().ToString());
+    }
+    return Statement(std::move(out));
+  }
+
+  Result<Statement> ParseDelete() {
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    DeleteStatement out;
+    EXPDB_ASSIGN_OR_RETURN(out.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      EXPDB_ASSIGN_OR_RETURN(out.where, ParseBoolExpr());
+    }
+    return Statement(std::move(out));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& input) {
+  EXPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  return Parser(std::move(tokens)).ParseOne();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& input) {
+  // Split on ';' outside string literals, then parse each piece.
+  std::vector<Statement> out;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const char c = input[i];
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      bool blank = current.find_first_not_of(" \t\r\n") == std::string::npos;
+      if (!blank) {
+        EXPDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(current));
+        out.push_back(std::move(stmt));
+      }
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  bool blank = current.find_first_not_of(" \t\r\n") == std::string::npos;
+  if (!blank) {
+    EXPDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(current));
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace expdb

@@ -1,0 +1,25 @@
+// Recursive-descent parser for ExpSQL.
+
+#ifndef EXPDB_SQL_PARSER_H_
+#define EXPDB_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace expdb {
+namespace sql {
+
+/// \brief Parses a single statement (optionally ';'-terminated).
+Result<Statement> ParseStatement(const std::string& input);
+
+/// \brief Splits a script on top-level ';' and parses each statement.
+/// Empty statements are skipped.
+Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+}  // namespace sql
+}  // namespace expdb
+
+#endif  // EXPDB_SQL_PARSER_H_

@@ -1,0 +1,374 @@
+#include "sql/session.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "relational/printer.h"
+#include "core/rewrite.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace expdb {
+namespace sql {
+
+namespace {
+
+// Attribute names in a relation must be unique; disambiguate SQL output
+// names (e.g. two count(*) columns) with ".2", ".3", ...
+std::vector<std::string> UniquifyNames(std::vector<std::string> names) {
+  std::unordered_set<std::string> seen;
+  for (std::string& name : names) {
+    std::string candidate = name;
+    int suffix = 2;
+    while (!seen.insert(candidate).second) {
+      candidate = name + "." + std::to_string(suffix++);
+    }
+    name = candidate;
+  }
+  return names;
+}
+
+Result<MaterializedView::Options> ViewOptionsFrom(
+    const std::map<std::string, std::string>& options,
+    const EvalOptions& base_eval) {
+  MaterializedView::Options out;
+  out.eval = base_eval;
+  for (const auto& [key, value] : options) {
+    if (key == "mode") {
+      if (value == "eager") {
+        out.mode = RefreshMode::kEagerRecompute;
+      } else if (value == "lazy") {
+        out.mode = RefreshMode::kLazyRecompute;
+      } else if (value == "schrodinger") {
+        out.mode = RefreshMode::kSchrodinger;
+      } else if (value == "patch") {
+        out.mode = RefreshMode::kPatchDifference;
+      } else {
+        return Status::InvalidArgument(
+            "unknown view mode '" + value +
+            "' (expected eager, lazy, schrodinger, patch)");
+      }
+    } else if (key == "move") {
+      if (value == "recompute") {
+        out.move_policy = MovePolicy::kRecompute;
+      } else if (value == "backward") {
+        out.move_policy = MovePolicy::kMoveBackward;
+      } else if (value == "forward") {
+        out.move_policy = MovePolicy::kMoveForward;
+      } else {
+        return Status::InvalidArgument(
+            "unknown move policy '" + value +
+            "' (expected recompute, backward, forward)");
+      }
+    } else if (key == "agg") {
+      if (value == "conservative") {
+        out.eval.aggregate_mode = AggregateExpirationMode::kConservative;
+      } else if (value == "contributing") {
+        out.eval.aggregate_mode = AggregateExpirationMode::kContributingSet;
+      } else if (value == "exact") {
+        out.eval.aggregate_mode = AggregateExpirationMode::kExact;
+      } else {
+        return Status::InvalidArgument(
+            "unknown aggregate mode '" + value +
+            "' (expected conservative, contributing, exact)");
+      }
+    } else if (key == "tolerance") {
+      auto eps = ParseDouble(value);
+      if (!eps.has_value() || *eps < 0) {
+        return Status::InvalidArgument(
+            "tolerance must be a non-negative number, got '" + value + "'");
+      }
+      out.eval.aggregate_tolerance = *eps;
+    } else {
+      return Status::InvalidArgument("unknown view option '" + key + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatExecResult(const ExecResult& result) {
+  if (!result.relation.has_value()) return result.message + "\n";
+  PrintOptions opts;
+  opts.at = result.served_at;
+  opts.filter_expired = true;
+  std::string out = PrintRelation(*result.relation, opts);
+  const size_t rows = result.relation->CountUnexpiredAt(result.served_at);
+  out += "(" + std::to_string(rows) + (rows == 1 ? " row" : " rows") +
+         " at time " + result.served_at.ToString() + ")\n";
+  return out;
+}
+
+Session::Session(Options options)
+    : expiration_(options.expiration),
+      views_(&expiration_.db()),
+      eval_options_(options.eval),
+      rewrite_views_(options.rewrite_views) {}
+
+Result<ExecResult> Session::Execute(const std::string& statement) {
+  EXPDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  return ExecuteStatement(stmt);
+}
+
+Result<std::vector<ExecResult>> Session::ExecuteScript(
+    const std::string& script) {
+  EXPDB_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(script));
+  std::vector<ExecResult> out;
+  out.reserve(stmts.size());
+  for (const Statement& stmt : stmts) {
+    EXPDB_ASSIGN_OR_RETURN(ExecResult r, ExecuteStatement(stmt));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<ExecResult> Session::ExecuteStatement(const Statement& stmt) {
+  return std::visit(
+      [this](const auto& s) -> Result<ExecResult> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, SelectStatement>) {
+          return ExecuteSelect(s);
+        } else if constexpr (std::is_same_v<T, CreateTableStatement>) {
+          return ExecuteCreateTable(s);
+        } else if constexpr (std::is_same_v<T, InsertStatement>) {
+          return ExecuteInsert(s);
+        } else if constexpr (std::is_same_v<T, CreateViewStatement>) {
+          return ExecuteCreateView(s);
+        } else if constexpr (std::is_same_v<T, DropStatement>) {
+          return ExecuteDrop(s);
+        } else if constexpr (std::is_same_v<T, AdvanceStatement>) {
+          return ExecuteAdvance(s);
+        } else if constexpr (std::is_same_v<T, ShowStatement>) {
+          return ExecuteShow(s);
+        } else {
+          return ExecuteDelete(s);
+        }
+      },
+      stmt);
+}
+
+namespace {
+
+// Collects every FROM table name across a set-operation tree.
+void CollectFromNames(const SelectStatement& stmt,
+                      std::set<std::string>* out) {
+  for (const TableRef& ref : stmt.from) out->insert(ref.name);
+  if (stmt.set_rhs != nullptr) CollectFromNames(*stmt.set_rhs, out);
+}
+
+}  // namespace
+
+Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
+  const Timestamp now = Now();
+
+  // Fast path for the canonical view read, preserving Schrödinger
+  // served-at semantics: SELECT * FROM v.
+  if (stmt.from.size() == 1 && views_.HasView(stmt.from[0].name) &&
+      stmt.items.size() == 1 &&
+      stmt.items[0].kind == SelectItem::Kind::kStar &&
+      stmt.where == nullptr && stmt.group_by.empty() &&
+      stmt.set_op == SelectStatement::SetOp::kNone) {
+    ExecResult out;
+    out.served_at = now;
+    EXPDB_ASSIGN_OR_RETURN(
+        Relation rel, views_.Read(stmt.from[0].name, now, &out.served_at));
+    auto names = view_columns_.find(stmt.from[0].name);
+    if (names != view_columns_.end()) {
+      EXPDB_RETURN_NOT_OK(
+          rel.RenameAttributes(UniquifyNames(names->second)));
+    }
+    out.relation = std::move(rel);
+    out.message = "view " + stmt.from[0].name;
+    return out;
+  }
+
+  // General path. When views occur in FROM, build a scratch catalog
+  // holding each referenced view's current contents (renamed to the
+  // view's declared columns) alongside copies of the referenced base
+  // tables, and bind against that.
+  std::set<std::string> from_names;
+  CollectFromNames(stmt, &from_names);
+  bool any_view = false;
+  for (const std::string& name : from_names) {
+    if (views_.HasView(name)) any_view = true;
+  }
+
+  const Database* bind_db = &db();
+  Database scratch;
+  if (any_view) {
+    for (const std::string& name : from_names) {
+      if (views_.HasView(name)) {
+        EXPDB_ASSIGN_OR_RETURN(Relation rel, views_.Read(name, now));
+        auto names_it = view_columns_.find(name);
+        if (names_it != view_columns_.end()) {
+          EXPDB_RETURN_NOT_OK(
+              rel.RenameAttributes(UniquifyNames(names_it->second)));
+        }
+        EXPDB_RETURN_NOT_OK(scratch.PutRelation(name, std::move(rel)));
+      } else {
+        EXPDB_ASSIGN_OR_RETURN(const Relation* base, db().GetRelation(name));
+        EXPDB_RETURN_NOT_OK(scratch.PutRelation(name, *base));
+      }
+    }
+    bind_db = &scratch;
+  }
+
+  EXPDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(stmt, *bind_db));
+  EXPDB_ASSIGN_OR_RETURN(MaterializedResult result,
+                         Evaluate(bound.expr, *bind_db, now, eval_options_));
+  EXPDB_RETURN_NOT_OK(result.relation.RenameAttributes(
+      UniquifyNames(bound.column_names)));
+  ExecResult out;
+  out.relation = std::move(result.relation);
+  out.served_at = now;
+  out.message = "ok";
+  return out;
+}
+
+Result<ExecResult> Session::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  EXPDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(stmt.columns));
+  EXPDB_RETURN_NOT_OK(
+      expiration_.CreateRelation(stmt.name, std::move(schema)).status());
+  return ExecResult{"table " + stmt.name + " created", std::nullopt, Now()};
+}
+
+Result<ExecResult> Session::ExecuteInsert(const InsertStatement& stmt) {
+  const Timestamp now = Now();
+  Timestamp texp = Timestamp::Infinity();
+  if (stmt.expire_at.has_value()) {
+    texp = *stmt.expire_at;
+  } else if (stmt.ttl.has_value()) {
+    texp = now + *stmt.ttl;
+  }
+  size_t inserted = 0;
+  for (const std::vector<Value>& row : stmt.rows) {
+    Tuple tuple(row);
+    EXPDB_RETURN_NOT_OK(constraints_.CheckInsert(stmt.table, tuple));
+    EXPDB_RETURN_NOT_OK(
+        expiration_.Insert(stmt.table, std::move(tuple), texp));
+    ++inserted;
+  }
+  // Explicit inserts break views' expiration-only maintenance contract;
+  // mark dependents stale (they rebuild at their next read).
+  views_.NotifyBaseChanged(stmt.table);
+  std::string lifetime =
+      texp.IsInfinite() ? std::string("no expiration")
+                        : ("expire at " + texp.ToString());
+  return ExecResult{std::to_string(inserted) +
+                        (inserted == 1 ? " row" : " rows") +
+                        " inserted into " + stmt.table + " (" + lifetime +
+                        ")",
+                    std::nullopt, now};
+}
+
+Result<ExecResult> Session::ExecuteCreateView(
+    const CreateViewStatement& stmt) {
+  EXPDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(stmt.select, db()));
+  if (rewrite_views_) {
+    // Sec. 3.1: push selections below non-monotonic operators so the
+    // materialization stays independently maintainable longer.
+    EXPDB_ASSIGN_OR_RETURN(bound.expr,
+                           RewriteForIndependence(bound.expr, db()));
+  }
+  EXPDB_ASSIGN_OR_RETURN(MaterializedView::Options options,
+                         ViewOptionsFrom(stmt.options, eval_options_));
+  EXPDB_ASSIGN_OR_RETURN(
+      MaterializedView * view,
+      views_.CreateView(stmt.name, bound.expr, options, Now()));
+  view_columns_[stmt.name] = bound.column_names;
+  std::string monotonic =
+      bound.expr->IsMonotonic()
+          ? "monotonic: maintenance-free"
+          : ("non-monotonic: texp = " + view->texp().ToString());
+  return ExecResult{"view " + stmt.name + " created (" +
+                        std::string(RefreshModeToString(options.mode)) +
+                        ", " + monotonic + ")",
+                    std::nullopt, Now()};
+}
+
+Result<ExecResult> Session::ExecuteDrop(const DropStatement& stmt) {
+  if (stmt.is_view) {
+    EXPDB_RETURN_NOT_OK(views_.DropView(stmt.name));
+    view_columns_.erase(stmt.name);
+    return ExecResult{"view " + stmt.name + " dropped", std::nullopt, Now()};
+  }
+  // A table with dependent views cannot be dropped out from under them.
+  for (const std::string& vname : views_.ViewNames()) {
+    MaterializedView* view = views_.GetView(vname).value();
+    if (view->expression()->BaseRelationNames().count(stmt.name) > 0) {
+      return Status::InvalidArgument("table " + stmt.name +
+                                     " is used by view " + vname +
+                                     "; drop the view first");
+    }
+  }
+  EXPDB_RETURN_NOT_OK(db().DropRelation(stmt.name));
+  return ExecResult{"table " + stmt.name + " dropped", std::nullopt, Now()};
+}
+
+Result<ExecResult> Session::ExecuteAdvance(const AdvanceStatement& stmt) {
+  if (stmt.absolute) {
+    EXPDB_RETURN_NOT_OK(expiration_.AdvanceTo(Timestamp(stmt.amount)));
+  } else {
+    EXPDB_RETURN_NOT_OK(expiration_.Advance(stmt.amount));
+  }
+  EXPDB_RETURN_NOT_OK(views_.AdvanceAllTo(Now()));
+  return ExecResult{"time is " + Now().ToString(), std::nullopt, Now()};
+}
+
+Result<ExecResult> Session::ExecuteShow(const ShowStatement& stmt) {
+  switch (stmt.what) {
+    case ShowStatement::What::kTables: {
+      std::string msg = "tables:";
+      for (const std::string& name : db().RelationNames()) {
+        const Relation* rel = db().GetRelation(name).value();
+        msg += "\n  " + name + " " + rel->schema().ToString() + " [" +
+               std::to_string(rel->CountUnexpiredAt(Now())) + " live]";
+      }
+      return ExecResult{std::move(msg), std::nullopt, Now()};
+    }
+    case ShowStatement::What::kViews: {
+      std::string msg = "views:";
+      for (const std::string& name : views_.ViewNames()) {
+        MaterializedView* v = views_.GetView(name).value();
+        msg += "\n  " + name + " [" +
+               std::string(RefreshModeToString(v->mode())) +
+               ", texp = " + v->texp().ToString() + "] " +
+               v->expression()->ToString();
+      }
+      return ExecResult{std::move(msg), std::nullopt, Now()};
+    }
+    case ShowStatement::What::kTime:
+      return ExecResult{"time is " + Now().ToString(), std::nullopt, Now()};
+  }
+  return Status::Internal("unknown SHOW statement");
+}
+
+Result<ExecResult> Session::ExecuteDelete(const DeleteStatement& stmt) {
+  EXPDB_ASSIGN_OR_RETURN(Relation * rel, db().GetRelation(stmt.table));
+  std::optional<Predicate> pred;
+  if (stmt.where != nullptr) {
+    EXPDB_ASSIGN_OR_RETURN(
+        Predicate p, BindWhere(*stmt.where, {TableRef{stmt.table, ""}}, db()));
+    pred = std::move(p);
+  }
+  size_t deleted = 0;
+  for (const auto& [tuple, texp] : rel->SortedEntries()) {
+    if (texp <= Now()) continue;  // already expired: not visible to DELETE
+    if (!pred.has_value() || pred->Evaluate(tuple)) {
+      rel->Erase(tuple);
+      ++deleted;
+    }
+  }
+  if (deleted > 0) views_.NotifyBaseChanged(stmt.table);
+  return ExecResult{std::to_string(deleted) +
+                        (deleted == 1 ? " row" : " rows") + " deleted from " +
+                        stmt.table,
+                    std::nullopt, Now()};
+}
+
+}  // namespace sql
+}  // namespace expdb

@@ -1,0 +1,90 @@
+// Session: an embedded ExpSQL endpoint — a database with expiration
+// management, materialized views, and a statement executor.
+
+#ifndef EXPDB_SQL_SESSION_H_
+#define EXPDB_SQL_SESSION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expiration/constraint.h"
+#include "expiration/expiration_queue.h"
+#include "sql/ast.h"
+#include "view/view_manager.h"
+
+namespace expdb {
+namespace sql {
+
+/// \brief Outcome of executing one statement.
+struct ExecResult {
+  /// Human-readable summary ("1 row inserted", "time is 5", ...).
+  std::string message;
+  /// Result rows for SELECT (filtered through expτ at `served_at`).
+  std::optional<Relation> relation;
+  /// The time the result reflects. Equal to the session time except for
+  /// Schrödinger views with move-backward/-forward policies.
+  Timestamp served_at;
+};
+
+/// \brief Renders an ExecResult as a table (or the message) for a REPL.
+std::string FormatExecResult(const ExecResult& result);
+
+/// \brief One embedded database session.
+///
+/// All reads are expiration-transparent: queries never see expired tuples
+/// and never mention expiration. Expiration surfaces only in INSERT
+/// (EXPIRE AT / TTL), ADVANCE TIME, and triggers — exactly the paper's
+/// interface contract.
+class Session {
+ public:
+  struct Options {
+    ExpirationManagerOptions expiration;
+    EvalOptions eval;
+    /// Apply the Sec. 3.1 independence-extending rewrites to every view
+    /// definition (never changes results; can only delay recomputation).
+    bool rewrite_views = true;
+  };
+
+  Session() : Session(Options{}) {}
+  explicit Session(Options options);
+
+  /// \brief Parses and executes one statement.
+  Result<ExecResult> Execute(const std::string& statement);
+
+  /// \brief Executes a ';'-separated script; stops at the first error.
+  Result<std::vector<ExecResult>> ExecuteScript(const std::string& script);
+
+  Database& db() { return expiration_.db(); }
+  const Database& db() const { return expiration_.db(); }
+  Timestamp Now() const { return expiration_.Now(); }
+  ExpirationManager& expiration() { return expiration_; }
+  ViewManager& views() { return views_; }
+  ConstraintSet& constraints() { return constraints_; }
+
+ private:
+  Result<ExecResult> ExecuteStatement(const Statement& stmt);
+  Result<ExecResult> ExecuteSelect(const SelectStatement& stmt);
+  Result<ExecResult> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<ExecResult> ExecuteInsert(const InsertStatement& stmt);
+  Result<ExecResult> ExecuteCreateView(const CreateViewStatement& stmt);
+  Result<ExecResult> ExecuteDrop(const DropStatement& stmt);
+  Result<ExecResult> ExecuteAdvance(const AdvanceStatement& stmt);
+  Result<ExecResult> ExecuteShow(const ShowStatement& stmt);
+  Result<ExecResult> ExecuteDelete(const DeleteStatement& stmt);
+
+  ExpirationManager expiration_;
+  ViewManager views_;
+  ConstraintSet constraints_;
+  EvalOptions eval_options_;
+  bool rewrite_views_ = true;
+  /// Output column names recorded at CREATE VIEW time, applied when the
+  /// view is read back.
+  std::map<std::string, std::vector<std::string>> view_columns_;
+};
+
+}  // namespace sql
+}  // namespace expdb
+
+#endif  // EXPDB_SQL_SESSION_H_

@@ -1,0 +1,46 @@
+// Tokens of the ExpSQL surface language.
+
+#ifndef EXPDB_SQL_TOKEN_H_
+#define EXPDB_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace expdb {
+namespace sql {
+
+enum class TokenType {
+  kEnd,         // end of input
+  kIdentifier,  // bare identifier (case preserved)
+  kKeyword,     // recognized keyword (normalized upper-case in `text`)
+  kInteger,     // integer literal
+  kDouble,      // floating literal
+  kString,      // 'quoted' string literal (quotes stripped)
+  kSymbol,      // punctuation / operator, in `text`: ( ) , ; . * = != < <= > >=
+};
+
+std::string_view TokenTypeToString(TokenType type);
+
+/// \brief One lexed token with its source position (1-based column).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // normalized text (keywords upper-cased)
+  int64_t int_value = 0; // kInteger
+  double double_value = 0.0;  // kDouble
+  size_t position = 0;   // byte offset in the statement, for diagnostics
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace expdb
+
+#endif  // EXPDB_SQL_TOKEN_H_

@@ -1,0 +1,321 @@
+#include "testing/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <set>
+
+namespace expdb {
+namespace testing {
+
+namespace {
+
+Schema IntSchema(size_t arity, const std::string& prefix = "a") {
+  std::vector<Attribute> attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back({prefix + std::to_string(i + 1), ValueType::kInt64});
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace
+
+Relation MakeRandomRelation(Rng& rng, const RelationSpec& spec,
+                            Timestamp base) {
+  assert(spec.arity >= 1);
+  assert(spec.ttl_min >= 1 && spec.ttl_min <= spec.ttl_max);
+  Relation out(IntSchema(spec.arity));
+  std::optional<ZipfDistribution> zipf;
+  if (spec.ttl_zipf_skew > 0) {
+    zipf.emplace(spec.ttl_max - spec.ttl_min + 1, spec.ttl_zipf_skew);
+  }
+  for (size_t i = 0; i < spec.num_tuples; ++i) {
+    std::vector<Value> values;
+    values.reserve(spec.arity);
+    for (size_t j = 0; j < spec.arity; ++j) {
+      values.emplace_back(rng.UniformInt(0, spec.value_domain - 1));
+    }
+    Timestamp texp;
+    if (spec.infinite_fraction > 0 && rng.Bernoulli(spec.infinite_fraction)) {
+      texp = Timestamp::Infinity();
+    } else if (zipf.has_value()) {
+      texp = base + (spec.ttl_min + zipf->Sample(rng) - 1);
+    } else {
+      texp = base + rng.UniformInt(spec.ttl_min, spec.ttl_max);
+    }
+    // Set semantics: duplicates keep the max texp, so the generated
+    // relation may hold fewer than num_tuples distinct tuples.
+    Status st = out.Insert(Tuple(std::move(values)), texp);
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
+}
+
+Status FillDatabase(Database* db, Rng& rng, const RelationSpec& spec,
+                    size_t count, const std::string& prefix,
+                    Timestamp base) {
+  for (size_t i = 0; i < count; ++i) {
+    EXPDB_RETURN_NOT_OK(db->PutRelation(prefix + std::to_string(i),
+                                        MakeRandomRelation(rng, spec, base)));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Recursive generator tracking the output arity and column types of each
+/// subtree (types matter: avg produces double columns, and set operations
+/// require union compatibility).
+class ExprGen {
+ public:
+  struct Typed {
+    ExpressionPtr expr;
+    std::vector<ValueType> types;
+    size_t arity() const { return types.size(); }
+  };
+
+  ExprGen(Rng& rng, const Database& db, const ExpressionSpec& spec)
+      : rng_(rng), db_(db), spec_(spec), names_(db.RelationNames()) {}
+
+  Typed Gen(size_t depth) {
+    if (depth <= 1 || names_.empty()) return GenBase();
+    // Pick an operator; weights tilt toward structure-preserving ops so
+    // deep trees stay cheap to evaluate.
+    const int64_t roll =
+        rng_.UniformInt(0, spec_.allow_nonmonotonic ? 11 : 7);
+    switch (roll) {
+      case 0:
+      case 1:
+        return GenSelect(depth);
+      case 2:
+        return GenProject(depth);
+      case 3:
+        return GenUnionLike(depth, ExprKind::kUnion);
+      case 4:
+        return GenUnionLike(depth, ExprKind::kIntersect);
+      case 5:
+        return GenJoin(depth);
+      case 6:
+        return GenBase();
+      case 7:
+        return GenSemiOrAntiJoin(depth, /*anti=*/false);
+      case 8:
+      case 9:
+        return GenUnionLike(depth, ExprKind::kDifference);
+      case 10:
+        return GenSemiOrAntiJoin(depth, /*anti=*/true);
+      default:
+        return GenAggregate(depth);
+    }
+  }
+
+ private:
+  Typed GenBase() {
+    const std::string& name = names_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(names_.size()) - 1))];
+    const Relation* rel = db_.GetRelation(name).value();
+    std::vector<ValueType> types;
+    for (const Attribute& a : rel->schema().attributes()) {
+      types.push_back(a.type);
+    }
+    return {algebra::Base(name), std::move(types)};
+  }
+
+  size_t RandomIndex(size_t arity) {
+    return static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(arity) - 1));
+  }
+
+  Predicate RandomPredicate(size_t arity) {
+    // Mix of correlated (j = k style, plus inequalities) and uncorrelated
+    // (j op constant) atoms, sometimes ∧/∨-combined.
+    auto atom = [&]() {
+      const size_t i = RandomIndex(arity);
+      const ComparisonOp op = static_cast<ComparisonOp>(rng_.UniformInt(0, 5));
+      if (rng_.Bernoulli(0.5) && arity >= 2) {
+        return Predicate::Compare(Operand::Column(i), op,
+                                  Operand::Column(RandomIndex(arity)));
+      }
+      return Predicate::Compare(
+          Operand::Column(i), op,
+          Operand::Constant(Value(rng_.UniformInt(0, 19))));
+    };
+    Predicate p = atom();
+    const int extra = static_cast<int>(rng_.UniformInt(0, 2));
+    for (int k = 0; k < extra; ++k) {
+      p = rng_.Bernoulli(0.5) ? p.And(atom()) : p.Or(atom());
+    }
+    return p;
+  }
+
+  Typed GenSelect(size_t depth) {
+    Typed child = Gen(depth - 1);
+    return {algebra::Select(child.expr, RandomPredicate(child.arity())),
+            child.types};
+  }
+
+  Typed GenProject(size_t depth) {
+    Typed child = Gen(depth - 1);
+    const size_t out_arity = static_cast<size_t>(
+        rng_.UniformInt(1, static_cast<int64_t>(child.arity())));
+    std::vector<size_t> cols;
+    std::vector<ValueType> types;
+    for (size_t i = 0; i < out_arity; ++i) {
+      cols.push_back(RandomIndex(child.arity()));
+      types.push_back(child.types[cols.back()]);
+    }
+    return {algebra::Project(child.expr, std::move(cols)),
+            std::move(types)};
+  }
+
+  /// Coerces `e` to exactly the wanted column types by projecting: for
+  /// each wanted type, picks some column of `e` with that type (columns
+  /// may repeat). Returns nullopt when `e` lacks a needed type entirely.
+  std::optional<Typed> CoerceTypes(const Typed& e,
+                                   const std::vector<ValueType>& want) {
+    bool identical = e.types == want;
+    if (identical) return e;
+    std::vector<size_t> cols;
+    cols.reserve(want.size());
+    for (ValueType t : want) {
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < e.types.size(); ++i) {
+        if (e.types[i] == t) candidates.push_back(i);
+      }
+      if (candidates.empty()) return std::nullopt;
+      cols.push_back(candidates[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(candidates.size()) - 1))]);
+    }
+    return Typed{algebra::Project(e.expr, std::move(cols)), want};
+  }
+
+  Typed GenUnionLike(size_t depth, ExprKind kind) {
+    Typed left = Gen(depth - 1);
+    Typed right = Gen(depth - 1);
+    std::optional<Typed> coerced = CoerceTypes(right, left.types);
+    if (!coerced.has_value()) {
+      // The right side cannot supply the needed column types (e.g. the
+      // left ends in an avg column): degrade to a selection.
+      return {algebra::Select(left.expr, RandomPredicate(left.arity())),
+              left.types};
+    }
+    switch (kind) {
+      case ExprKind::kUnion:
+        return {algebra::Union(left.expr, coerced->expr), left.types};
+      case ExprKind::kIntersect:
+        return {algebra::Intersect(left.expr, coerced->expr), left.types};
+      default:
+        return {algebra::Difference(left.expr, coerced->expr), left.types};
+    }
+  }
+
+  Typed GenJoin(size_t depth) {
+    Typed left = Gen(depth - 1);
+    Typed right = Gen(depth - 1);
+    if (left.arity() + right.arity() > spec_.max_arity) {
+      // Too wide: degrade to a select to keep arity in bounds.
+      return {algebra::Select(left.expr, RandomPredicate(left.arity())),
+              left.types};
+    }
+    std::vector<ValueType> types = left.types;
+    types.insert(types.end(), right.types.begin(), right.types.end());
+    if (rng_.Bernoulli(0.3)) {
+      return {algebra::Product(left.expr, right.expr), std::move(types)};
+    }
+    const size_t li = RandomIndex(left.arity());
+    const size_t ri = left.arity() + RandomIndex(right.arity());
+    return {algebra::Join(left.expr, right.expr,
+                          Predicate::ColumnsEqual(li, ri)),
+            std::move(types)};
+  }
+
+  Typed GenSemiOrAntiJoin(size_t depth, bool anti) {
+    Typed left = Gen(depth - 1);
+    Typed right = Gen(depth - 1);
+    const size_t li = RandomIndex(left.arity());
+    const size_t ri = left.arity() + RandomIndex(right.arity());
+    Predicate p = Predicate::ColumnsEqual(li, ri);
+    if (anti) {
+      return {algebra::AntiJoin(left.expr, right.expr, std::move(p)),
+              left.types};
+    }
+    return {algebra::SemiJoin(left.expr, right.expr, std::move(p)),
+            left.types};
+  }
+
+  Typed GenAggregate(size_t depth) {
+    Typed child = Gen(depth - 1);
+    std::vector<size_t> group_by;
+    const size_t n_group = static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(std::min<size_t>(child.arity(), 2))));
+    std::set<size_t> chosen;
+    while (chosen.size() < n_group) {
+      chosen.insert(RandomIndex(child.arity()));
+    }
+    group_by.assign(chosen.begin(), chosen.end());
+
+    // Numeric attribute for the numeric aggregates; count needs none.
+    std::vector<size_t> numeric;
+    for (size_t i = 0; i < child.arity(); ++i) {
+      if (child.types[i] != ValueType::kString) numeric.push_back(i);
+    }
+    AggregateFunction f = AggregateFunction::Count();
+    if (!numeric.empty()) {
+      const size_t attr = numeric[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(numeric.size()) - 1))];
+      switch (rng_.UniformInt(0, 4)) {
+        case 0:
+          f = AggregateFunction::Min(attr);
+          break;
+        case 1:
+          f = AggregateFunction::Max(attr);
+          break;
+        case 2:
+          f = AggregateFunction::Sum(attr);
+          break;
+        case 3:
+          f = AggregateFunction::Count();
+          break;
+        default:
+          f = AggregateFunction::Avg(attr);
+          break;
+      }
+    }
+    std::vector<ValueType> types = child.types;
+    types.push_back(f.ResultType(
+        f.kind == AggregateKind::kCount ? ValueType::kInt64
+                                        : child.types[f.attr]));
+    return {algebra::Aggregate(child.expr, std::move(group_by), f),
+            std::move(types)};
+  }
+
+  Rng& rng_;
+  const Database& db_;
+  const ExpressionSpec& spec_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+ExpressionPtr MakeRandomExpression(Rng& rng, const Database& db,
+                                   const ExpressionSpec& spec) {
+  ExprGen gen(rng, db, spec);
+  return gen.Gen(spec.max_depth).expr;
+}
+
+
+std::vector<Timestamp> InterestingTimes(const Database& db) {
+  std::set<Timestamp> times;
+  for (const std::string& name : db.RelationNames()) {
+    db.GetRelation(name).value()->ForEach(
+        [&](const Tuple&, Timestamp texp) {
+          if (texp.IsFinite()) times.insert(texp);
+        });
+  }
+  return std::vector<Timestamp>(times.begin(), times.end());
+}
+
+}  // namespace testing
+}  // namespace expdb

@@ -1,0 +1,72 @@
+// Synthetic workload generation for property tests and benchmarks.
+//
+// Every experiment in EXPERIMENTS.md draws its data through this module
+// from explicit seeds, making all reported numbers reproducible. Small
+// value domains are deliberate defaults: they force duplicate tuples,
+// shared projections, difference criticals, and multi-slice aggregate
+// partitions — the interesting paths of the expiration algebra.
+
+#ifndef EXPDB_TESTING_WORKLOAD_H_
+#define EXPDB_TESTING_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/expression.h"
+#include "relational/database.h"
+
+namespace expdb {
+namespace testing {
+
+/// Shape of one synthetic relation.
+struct RelationSpec {
+  size_t num_tuples = 100;
+  size_t arity = 2;
+  /// Attribute values drawn uniformly from [0, value_domain).
+  int64_t value_domain = 20;
+  /// Tuple lifetimes drawn from [ttl_min, ttl_max] relative to the base
+  /// time...
+  int64_t ttl_min = 1;
+  int64_t ttl_max = 50;
+  /// ...except this fraction of tuples, which never expire.
+  double infinite_fraction = 0.0;
+  /// When > 0, lifetimes are Zipf-skewed toward ttl_min instead of
+  /// uniform.
+  double ttl_zipf_skew = 0.0;
+};
+
+/// \brief Generates a random relation (all-int64 schema, attribute names
+/// a1..ak) whose tuples expire at base + ttl.
+Relation MakeRandomRelation(Rng& rng, const RelationSpec& spec,
+                            Timestamp base = Timestamp::Zero());
+
+/// \brief Creates `count` relations named prefix0..prefix{count-1}, all
+/// with the spec's shape (hence union-compatible with one another).
+Status FillDatabase(Database* db, Rng& rng, const RelationSpec& spec,
+                    size_t count, const std::string& prefix = "R",
+                    Timestamp base = Timestamp::Zero());
+
+/// Shape of a random algebra expression.
+struct ExpressionSpec {
+  /// Maximum tree depth (1 = a bare base relation).
+  size_t max_depth = 4;
+  /// Allow the non-monotonic operators (−exp, aggexp).
+  bool allow_nonmonotonic = false;
+  /// Bound on intermediate arity (products/joins stop growing past it).
+  size_t max_arity = 6;
+};
+
+/// \brief Generates a random well-typed expression over the relations in
+/// `db` (which must all be int64-typed, as FillDatabase produces).
+ExpressionPtr MakeRandomExpression(Rng& rng, const Database& db,
+                                   const ExpressionSpec& spec);
+
+/// \brief All finite expiration times occurring in the database, sorted
+/// and deduplicated — the interesting τ values for a sweep.
+std::vector<Timestamp> InterestingTimes(const Database& db);
+
+}  // namespace testing
+}  // namespace expdb
+
+#endif  // EXPDB_TESTING_WORKLOAD_H_

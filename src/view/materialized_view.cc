@@ -1,0 +1,194 @@
+#include "view/materialized_view.h"
+
+namespace expdb {
+
+std::string_view RefreshModeToString(RefreshMode mode) {
+  switch (mode) {
+    case RefreshMode::kEagerRecompute:
+      return "eager-recompute";
+    case RefreshMode::kLazyRecompute:
+      return "lazy-recompute";
+    case RefreshMode::kSchrodinger:
+      return "schrodinger";
+    case RefreshMode::kPatchDifference:
+      return "patch-difference";
+  }
+  return "?";
+}
+
+std::string_view MovePolicyToString(MovePolicy policy) {
+  switch (policy) {
+    case MovePolicy::kRecompute:
+      return "recompute";
+    case MovePolicy::kMoveBackward:
+      return "move-backward";
+    case MovePolicy::kMoveForward:
+      return "move-forward";
+  }
+  return "?";
+}
+
+MaterializedView::MaterializedView(ExpressionPtr expr, Options options)
+    : expr_(std::move(expr)), options_(options) {
+  if (options_.mode == RefreshMode::kSchrodinger) {
+    options_.eval.compute_validity = true;
+  }
+}
+
+Status MaterializedView::Initialize(const Database& db, Timestamp now) {
+  if (expr_ == nullptr) return Status::InvalidArgument("null expression");
+  if (options_.mode == RefreshMode::kPatchDifference &&
+      expr_->kind() != ExprKind::kDifference &&
+      expr_->kind() != ExprKind::kAntiJoin) {
+    return Status::InvalidArgument(
+        "kPatchDifference requires a difference or anti-join root, got " +
+        std::string(ExprKindToString(expr_->kind())));
+  }
+  last_advance_ = now;
+  EXPDB_RETURN_NOT_OK(Recompute(db, now));
+  initialized_ = true;
+  // Initialize is the first materialization, not a maintenance recompute.
+  stats_.recomputations = 0;
+  stats_.tuples_recomputed = 0;
+  return Status::OK();
+}
+
+Status MaterializedView::Recompute(const Database& db, Timestamp now) {
+  if (options_.mode == RefreshMode::kPatchDifference) {
+    EXPDB_ASSIGN_OR_RETURN(
+        DifferenceEvalResult diff,
+        EvaluateDifferenceRoot(expr_, db, now, options_.eval));
+    result_ = std::move(diff.result);
+    helper_ = std::move(diff.helper);
+    patch_cursor_ = 0;
+    // Patching neutralizes the root's own invalidations (Theorem 3): only
+    // argument invalidations remain.
+    result_.texp = diff.children_texp;
+  } else {
+    EXPDB_ASSIGN_OR_RETURN(result_,
+                           Evaluate(expr_, db, now, options_.eval));
+  }
+  ++stats_.recomputations;
+  stats_.tuples_recomputed += result_.relation.size();
+  return Status::OK();
+}
+
+void MaterializedView::ApplyPatches(Timestamp now) {
+  while (patch_cursor_ < helper_.size() &&
+         helper_[patch_cursor_].appears_at <= now) {
+    const DifferencePatchEntry& entry = helper_[patch_cursor_++];
+    // Theorem 3: at texp_S(t) the helper tuple expires and is inserted
+    // into the materialized difference with expiration texp_R(t). If it
+    // is already past its own expiration, the insert would be invisible —
+    // skip it.
+    if (entry.expires_at > now) {
+      result_.relation.InsertUnchecked(entry.tuple, entry.expires_at);
+      ++stats_.patches_applied;
+    }
+  }
+}
+
+Status MaterializedView::AdvanceTo(const Database& db, Timestamp now) {
+  if (!initialized_) return Status::Internal("view not initialized");
+  if (now < last_advance_) {
+    return Status::InvalidArgument("view time cannot move backwards");
+  }
+  last_advance_ = now;
+  if (stale_) {
+    // An explicit base update invalidated the expiration-only contract;
+    // rebuild from scratch (conservative but sound).
+    EXPDB_RETURN_NOT_OK(Recompute(db, now));
+    stale_ = false;
+  }
+  switch (options_.mode) {
+    case RefreshMode::kEagerRecompute: {
+      // Recompute at every invalidation instant. Each recomputation's
+      // texp is strictly in its future, so this terminates.
+      while (result_.texp <= now) {
+        EXPDB_RETURN_NOT_OK(Recompute(db, result_.texp));
+      }
+      return Status::OK();
+    }
+    case RefreshMode::kLazyRecompute:
+    case RefreshMode::kSchrodinger:
+      // Deferred to Read().
+      return Status::OK();
+    case RefreshMode::kPatchDifference: {
+      ApplyPatches(now);
+      // Argument invalidation (only possible with non-monotonic
+      // arguments) still forces a rebuild.
+      while (result_.texp <= now) {
+        EXPDB_RETURN_NOT_OK(Recompute(db, result_.texp));
+        ApplyPatches(now);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown refresh mode");
+}
+
+Result<Relation> MaterializedView::Read(const Database& db, Timestamp now,
+                                        Timestamp* served_at) {
+  if (!initialized_) return Status::Internal("view not initialized");
+  const uint64_t recomputes_before = stats_.recomputations;
+  EXPDB_RETURN_NOT_OK(AdvanceTo(db, now));
+  ++stats_.reads;
+  if (served_at != nullptr) *served_at = now;
+
+  switch (options_.mode) {
+    case RefreshMode::kEagerRecompute:
+    case RefreshMode::kPatchDifference:
+      // AdvanceTo already restored validity; count the read as served
+      // from the materialization only if it did not have to recompute.
+      if (stats_.recomputations == recomputes_before) {
+        ++stats_.reads_from_materialization;
+      }
+      return result_.relation.UnexpiredAt(now);
+
+    case RefreshMode::kLazyRecompute:
+      if (result_.texp <= now) {
+        EXPDB_RETURN_NOT_OK(Recompute(db, now));
+      } else {
+        ++stats_.reads_from_materialization;
+      }
+      return result_.relation.UnexpiredAt(now);
+
+    case RefreshMode::kSchrodinger: {
+      if (result_.validity.Contains(now)) {
+        ++stats_.reads_from_materialization;
+        return result_.relation.UnexpiredAt(now);
+      }
+      switch (options_.move_policy) {
+        case MovePolicy::kRecompute:
+          EXPDB_RETURN_NOT_OK(Recompute(db, now));
+          return result_.relation.UnexpiredAt(now);
+        case MovePolicy::kMoveBackward: {
+          auto t = result_.validity.LastValidBefore(now);
+          if (!t.has_value()) {
+            EXPDB_RETURN_NOT_OK(Recompute(db, now));
+            return result_.relation.UnexpiredAt(now);
+          }
+          ++stats_.reads_moved_backward;
+          ++stats_.reads_from_materialization;
+          if (served_at != nullptr) *served_at = *t;
+          return result_.relation.UnexpiredAt(*t);
+        }
+        case MovePolicy::kMoveForward: {
+          auto t = result_.validity.FirstValidAtOrAfter(now);
+          if (!t.has_value() || t->IsInfinite()) {
+            EXPDB_RETURN_NOT_OK(Recompute(db, now));
+            return result_.relation.UnexpiredAt(now);
+          }
+          ++stats_.reads_moved_forward;
+          ++stats_.reads_from_materialization;
+          if (served_at != nullptr) *served_at = *t;
+          return result_.relation.UnexpiredAt(*t);
+        }
+      }
+      return Status::Internal("unknown move policy");
+    }
+  }
+  return Status::Internal("unknown refresh mode");
+}
+
+}  // namespace expdb

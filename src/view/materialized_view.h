@@ -1,0 +1,135 @@
+// MaterializedView: a query result maintained independently of, but in
+// synchrony with, its base relations (paper Sec. 1, 3).
+//
+// The central idea of the paper: once a result is computed, its tuples
+// expire in place using only their own expiration times. For monotonic
+// expressions this is always exact (Theorem 1) and the view NEVER needs
+// recomputation. Non-monotonic expressions carry a finite texp(e); what
+// happens when it passes is the refresh policy:
+//
+//  * kEagerRecompute — recompute at every invalidation instant as time
+//    advances (Sec. 3.1 "recompute the expression once it becomes
+//    invalid").
+//  * kLazyRecompute  — serve from the materialization while valid;
+//    recompute only when a read arrives after texp(e).
+//  * kSchrodinger    — keep exact validity intervals (Sec. 3.3–3.4);
+//    reads inside a valid interval are served directly, reads in a gap
+//    are recomputed or moved backward/forward in time per MovePolicy.
+//  * kPatchDifference — for views whose root is −exp: maintain the
+//    Theorem 3 helper priority queue and patch expiring helper tuples
+//    into the result, making the view maintenance-free (texp = ∞ when the
+//    arguments are monotonic).
+
+#ifndef EXPDB_VIEW_MATERIALIZED_VIEW_H_
+#define EXPDB_VIEW_MATERIALIZED_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/expression.h"
+#include "core/materialized_result.h"
+
+namespace expdb {
+
+/// Refresh policy of a materialized view.
+enum class RefreshMode {
+  kEagerRecompute,
+  kLazyRecompute,
+  kSchrodinger,
+  kPatchDifference,
+};
+
+std::string_view RefreshModeToString(RefreshMode mode);
+
+/// What to do when a Schrödinger-mode read falls into a validity gap
+/// (Sec. 3.3: recomputation, moving the query backward — "returning a
+/// slightly outdated result" — or forward — "delaying the query").
+enum class MovePolicy { kRecompute, kMoveBackward, kMoveForward };
+
+std::string_view MovePolicyToString(MovePolicy policy);
+
+/// Maintenance counters; the currency of the paper's cost arguments.
+struct ViewStats {
+  uint64_t recomputations = 0;       ///< full re-evaluations of the tree
+  uint64_t reads = 0;                ///< Read() calls served
+  uint64_t reads_from_materialization = 0;  ///< served without recompute
+  uint64_t reads_moved_backward = 0;        ///< Schrödinger: outdated reads
+  uint64_t reads_moved_forward = 0;         ///< Schrödinger: delayed reads
+  uint64_t patches_applied = 0;      ///< Theorem 3 helper insertions
+  uint64_t tuples_recomputed = 0;    ///< tuples produced by recomputations
+};
+
+/// \brief One maintained materialized query result.
+class MaterializedView {
+ public:
+  struct Options {
+    RefreshMode mode = RefreshMode::kEagerRecompute;
+    MovePolicy move_policy = MovePolicy::kRecompute;
+    EvalOptions eval;  ///< compute_validity is forced on for kSchrodinger
+  };
+
+  MaterializedView(ExpressionPtr expr, Options options);
+
+  const ExpressionPtr& expression() const { return expr_; }
+  RefreshMode mode() const { return options_.mode; }
+  const ViewStats& stats() const { return stats_; }
+
+  /// \brief Materializes the view at `now`. Must be called once before
+  /// AdvanceTo/Read. kPatchDifference requires a difference root.
+  Status Initialize(const Database& db, Timestamp now);
+
+  /// \brief Applies maintenance due up to `now` (policy-dependent); time
+  /// must not move backwards.
+  Status AdvanceTo(const Database& db, Timestamp now);
+
+  /// \brief The view contents at `now` (performs due maintenance first).
+  /// Under kSchrodinger + kMoveBackward/kMoveForward, the returned
+  /// relation may reflect a nearby valid time instead; `served_at`, when
+  /// non-null, receives the time actually served.
+  Result<Relation> Read(const Database& db, Timestamp now,
+                        Timestamp* served_at = nullptr);
+
+  /// \brief Current expression expiration time (∞ = never invalid).
+  Timestamp texp() const { return result_.texp; }
+
+  /// \brief Validity intervals (meaningful under kSchrodinger).
+  const IntervalSet& validity() const { return result_.validity; }
+
+  /// \brief Stored result (tuples may include expired ones not yet
+  /// filtered; Read applies expτ).
+  const MaterializedResult& result() const { return result_; }
+
+  /// \brief Patch-mode: helper entries not yet applied.
+  size_t pending_patches() const { return helper_.size() - patch_cursor_; }
+
+  bool initialized() const { return initialized_; }
+
+  /// \brief Marks the materialization stale because a base relation was
+  /// explicitly updated (insert/delete outside expiration — the paper's
+  /// no-update assumption lifted conservatively, DESIGN.md §6): the next
+  /// maintenance point recomputes regardless of texp(e).
+  void MarkStale() { stale_ = true; }
+  bool stale() const { return stale_; }
+
+ private:
+  Status Recompute(const Database& db, Timestamp now);
+  void ApplyPatches(Timestamp now);
+
+  ExpressionPtr expr_;
+  Options options_;
+  MaterializedResult result_;
+  // kPatchDifference: Theorem 3 helper entries sorted by appears_at; a
+  // cursor replaces pops (no new entries arrive absent base updates).
+  std::vector<DifferencePatchEntry> helper_;
+  size_t patch_cursor_ = 0;
+  Timestamp last_advance_;
+  ViewStats stats_;
+  bool initialized_ = false;
+  bool stale_ = false;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_VIEW_MATERIALIZED_VIEW_H_

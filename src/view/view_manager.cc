@@ -1,0 +1,81 @@
+#include "view/view_manager.h"
+
+namespace expdb {
+
+Result<MaterializedView*> ViewManager::CreateView(
+    const std::string& name, ExpressionPtr expr,
+    MaterializedView::Options options, Timestamp now) {
+  if (name.empty()) {
+    return Status::InvalidArgument("view name must not be empty");
+  }
+  if (views_.find(name) != views_.end()) {
+    return Status::AlreadyExists("view '" + name + "' already exists");
+  }
+  auto view = std::make_unique<MaterializedView>(std::move(expr), options);
+  EXPDB_RETURN_NOT_OK(view->Initialize(*db_, now));
+  auto [it, inserted] = views_.emplace(name, std::move(view));
+  return it->second.get();
+}
+
+Result<MaterializedView*> ViewManager::GetView(const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status ViewManager::DropView(const std::string& name) {
+  if (views_.erase(name) == 0) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+size_t ViewManager::NotifyBaseChanged(const std::string& relation) {
+  size_t affected = 0;
+  for (auto& [name, view] : views_) {
+    if (view->expression()->BaseRelationNames().count(relation) > 0) {
+      view->MarkStale();
+      ++affected;
+    }
+  }
+  return affected;
+}
+
+Status ViewManager::AdvanceAllTo(Timestamp now) {
+  for (auto& [name, view] : views_) {
+    EXPDB_RETURN_NOT_OK(view->AdvanceTo(*db_, now));
+  }
+  return Status::OK();
+}
+
+Result<Relation> ViewManager::Read(const std::string& name, Timestamp now,
+                                   Timestamp* served_at) {
+  EXPDB_ASSIGN_OR_RETURN(MaterializedView * view, GetView(name));
+  return view->Read(*db_, now, served_at);
+}
+
+std::vector<std::string> ViewManager::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+ViewStats ViewManager::TotalStats() const {
+  ViewStats total;
+  for (const auto& [name, view] : views_) {
+    const ViewStats& s = view->stats();
+    total.recomputations += s.recomputations;
+    total.reads += s.reads;
+    total.reads_from_materialization += s.reads_from_materialization;
+    total.reads_moved_backward += s.reads_moved_backward;
+    total.reads_moved_forward += s.reads_moved_forward;
+    total.patches_applied += s.patches_applied;
+    total.tuples_recomputed += s.tuples_recomputed;
+  }
+  return total;
+}
+
+}  // namespace expdb

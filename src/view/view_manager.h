@@ -1,0 +1,68 @@
+// ViewManager: a catalog of named materialized views maintained in
+// synchrony with a shared database.
+
+#ifndef EXPDB_VIEW_VIEW_MANAGER_H_
+#define EXPDB_VIEW_VIEW_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "view/materialized_view.h"
+
+namespace expdb {
+
+/// \brief Owns and maintains a set of named views over one database.
+///
+/// The database is borrowed; it must outlive the manager. Time flows only
+/// forward and is shared by all views via AdvanceAllTo.
+class ViewManager {
+ public:
+  explicit ViewManager(const Database* db) : db_(db) {}
+
+  ViewManager(const ViewManager&) = delete;
+  ViewManager& operator=(const ViewManager&) = delete;
+
+  /// \brief Creates and materializes a view at time `now`.
+  Result<MaterializedView*> CreateView(const std::string& name,
+                                       ExpressionPtr expr,
+                                       MaterializedView::Options options,
+                                       Timestamp now);
+
+  Result<MaterializedView*> GetView(const std::string& name);
+
+  Status DropView(const std::string& name);
+
+  bool HasView(const std::string& name) const {
+    return views_.find(name) != views_.end();
+  }
+
+  /// \brief Runs due maintenance on every view.
+  Status AdvanceAllTo(Timestamp now);
+
+  /// \brief Notifies the manager that `relation` received an explicit
+  /// update (insert/delete, as opposed to expiration): every view whose
+  /// expression reads it is marked stale and will recompute at its next
+  /// maintenance point.
+  /// \return number of views affected.
+  size_t NotifyBaseChanged(const std::string& relation);
+
+  /// \brief Reads the named view at `now`.
+  Result<Relation> Read(const std::string& name, Timestamp now,
+                        Timestamp* served_at = nullptr);
+
+  std::vector<std::string> ViewNames() const;
+  size_t view_count() const { return views_.size(); }
+
+  /// \brief Sum of all views' maintenance counters.
+  ViewStats TotalStats() const;
+
+ private:
+  const Database* db_;
+  std::map<std::string, std::unique_ptr<MaterializedView>> views_;
+};
+
+}  // namespace expdb
+
+#endif  // EXPDB_VIEW_VIEW_MANAGER_H_

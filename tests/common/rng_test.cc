@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace expdb {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10 && !differs; ++i) {
+    differs = a.NextUint64() != b.NextUint64();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = rng.UniformInt(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10'000; ++i) ++counts[rng.UniformInt(0, 9)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, n] : counts) {
+    EXPECT_GT(n, 700) << "value " << v << " badly underrepresented";
+  }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ZipfTest, RanksWithinBounds) {
+  Rng rng(19);
+  ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t r = zipf.Sample(rng);
+    EXPECT_GE(r, 1);
+    EXPECT_LE(r, 100);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(23);
+  ZipfDistribution zipf(1000, 1.2);
+  int64_t low = 0, high = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    int64_t r = zipf.Sample(rng);
+    if (r <= 10) ++low;
+    if (r > 500) ++high;
+  }
+  EXPECT_GT(low, high * 4) << "rank 1-10 should dominate ranks 501+";
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  Rng rng(29);
+  ZipfDistribution zipf(10, 0.0);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20'000; ++i) ++counts[zipf.Sample(rng)];
+  for (const auto& [v, n] : counts) {
+    EXPECT_GT(n, 1500);
+    EXPECT_LT(n, 2500);
+  }
+}
+
+}  // namespace
+}  // namespace expdb

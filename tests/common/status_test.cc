@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace expdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such relation");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such relation");
+  EXPECT_EQ(s.ToString(), "NotFound: no such relation");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NotImplemented("x").code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    EXPDB_RETURN_NOT_OK(Status::TypeError("bad"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kTypeError);
+
+  auto passes = []() -> Status {
+    EXPDB_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ((Result<int>(7)).ValueOr(0), 7);
+  EXPECT_EQ((Result<int>(Status::NotFound("x"))).ValueOr(9), 9);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = r.MoveValue();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("boom");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    EXPDB_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(outer(false).value(), 10);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,50 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+TEST(StrUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"a"}, ", "), "a");
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtilTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StrUtilTest, CaseFolding) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToUpper("SeLeCt"), "SELECT");
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("select", "SELECT"));
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("", ""));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StrUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("4x").has_value());
+  EXPECT_FALSE(ParseInt64("4.5").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").has_value());  // overflow
+}
+
+TEST(StrUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("3").value(), 3.0);
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("x").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,82 @@
+#include "common/timestamp.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+TEST(TimestampTest, DefaultIsZero) {
+  Timestamp t;
+  EXPECT_TRUE(t.IsFinite());
+  EXPECT_EQ(t.ticks(), 0);
+  EXPECT_EQ(t, Timestamp::Zero());
+}
+
+TEST(TimestampTest, NegativeClampsToZero) {
+  EXPECT_EQ(Timestamp(-5), Timestamp::Zero());
+}
+
+TEST(TimestampTest, InfinityIsLargerThanAnyFiniteTime) {
+  // The paper: "the symbol ∞ ... is larger than any other time value".
+  const Timestamp inf = Timestamp::Infinity();
+  EXPECT_TRUE(inf.IsInfinite());
+  EXPECT_GT(inf, Timestamp(0));
+  EXPECT_GT(inf, Timestamp(1'000'000'000));
+  EXPECT_EQ(inf, Timestamp::Infinity());
+}
+
+TEST(TimestampTest, TotalOrder) {
+  EXPECT_LT(Timestamp(1), Timestamp(2));
+  EXPECT_LE(Timestamp(2), Timestamp(2));
+  EXPECT_GT(Timestamp(3), Timestamp(2));
+  EXPECT_NE(Timestamp(1), Timestamp(2));
+}
+
+TEST(TimestampTest, AdditionIsSaturating) {
+  EXPECT_EQ(Timestamp(5) + 3, Timestamp(8));
+  EXPECT_EQ(Timestamp::Infinity() + 100, Timestamp::Infinity());
+  // Near-overflow saturates below infinity rather than wrapping.
+  Timestamp huge(INT64_MAX - 2);
+  Timestamp bumped = huge + 100;
+  EXPECT_TRUE(bumped.IsFinite());
+  EXPECT_GE(bumped, huge);
+}
+
+TEST(TimestampTest, AdditionOfNegativeDelta) {
+  EXPECT_EQ(Timestamp(5) + (-3), Timestamp(2));
+  EXPECT_EQ(Timestamp(5) + (-10), Timestamp(0));  // clamped
+}
+
+TEST(TimestampTest, MinMax) {
+  EXPECT_EQ(Timestamp::Min(Timestamp(3), Timestamp(7)), Timestamp(3));
+  EXPECT_EQ(Timestamp::Max(Timestamp(3), Timestamp(7)), Timestamp(7));
+  EXPECT_EQ(Timestamp::Min(Timestamp(3), Timestamp::Infinity()),
+            Timestamp(3));
+  EXPECT_EQ(Timestamp::Max(Timestamp(3), Timestamp::Infinity()),
+            Timestamp::Infinity());
+  EXPECT_EQ(
+      Timestamp::Min({Timestamp(9), Timestamp(2), Timestamp(5)}),
+      Timestamp(2));
+  EXPECT_EQ(
+      Timestamp::Max({Timestamp(9), Timestamp(2), Timestamp(5)}),
+      Timestamp(9));
+}
+
+TEST(TimestampTest, NextIsSuccessor) {
+  EXPECT_EQ(Timestamp(4).Next(), Timestamp(5));
+  EXPECT_EQ(Timestamp::Infinity().Next(), Timestamp::Infinity());
+}
+
+TEST(TimestampTest, ToString) {
+  EXPECT_EQ(Timestamp(42).ToString(), "42");
+  EXPECT_EQ(Timestamp::Infinity().ToString(), "inf");
+}
+
+TEST(TimestampTest, HashDistinguishesValues) {
+  std::hash<Timestamp> h;
+  EXPECT_EQ(h(Timestamp(7)), h(Timestamp(7)));
+  EXPECT_NE(h(Timestamp(7)), h(Timestamp(8)));
+}
+
+}  // namespace
+}  // namespace expdb

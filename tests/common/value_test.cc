@@ -1,0 +1,86 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(42).is_int64());
+  EXPECT_TRUE(Value(int64_t{42}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(std::string("hi")).is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, MixedNumericEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_LT(Value(3), Value(3.5));
+  EXPECT_GT(Value(4.5), Value(4));
+}
+
+TEST(ValueTest, EqualValuesHashEqual) {
+  // Required by the hash/equality contract used by Tuple hashing.
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value(std::string("x")).Hash());
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // Null < numerics < strings.
+  EXPECT_LT(Value::Null(), Value(0));
+  EXPECT_LT(Value(999), Value("a"));
+  EXPECT_LT(Value::Null(), Value(""));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(Value(7).ToNumeric().value(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(7.5).ToNumeric().value(), 7.5);
+  EXPECT_FALSE(Value("x").ToNumeric().ok());
+  EXPECT_FALSE(Value::Null().ToNumeric().ok());
+}
+
+TEST(ValueTest, AddIntegers) {
+  auto sum = Value(2).Add(Value(3));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE(sum->is_int64());
+  EXPECT_EQ(sum->AsInt64(), 5);
+}
+
+TEST(ValueTest, AddMixedWidensToDouble) {
+  auto sum = Value(2).Add(Value(0.5));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE(sum->is_double());
+  EXPECT_DOUBLE_EQ(sum->AsDouble(), 2.5);
+}
+
+TEST(ValueTest, AddStringFails) {
+  EXPECT_FALSE(Value(1).Add(Value("x")).ok());
+}
+
+TEST(ValueTest, DoubleToStringTrimsZeros) {
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,163 @@
+// Properties of the three aggregate expiration modes (Sec. 2.6.1):
+//
+//  * ordering: conservative cap <= contributing-set cap, and both are <=
+//    partition death;
+//  * agreement: for the five standard SQL aggregates, the Table 1
+//    contributing-set analysis and the Eq. (9) exact replay coincide —
+//    Table 1 is precisely the closed form of ν for these functions;
+//  * every mode's cap is a sound expiration: the aggregate value over the
+//    live part of the partition equals the materialized value at every
+//    instant before the cap.
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "common/rng.h"
+
+namespace expdb {
+namespace {
+
+struct Config {
+  uint64_t seed;
+  size_t partition_size;
+  int64_t value_domain;
+  int64_t ttl_domain;
+  bool with_negatives;
+};
+
+class AggregateModesTest : public ::testing::TestWithParam<Config> {
+ protected:
+  struct Partition {
+    std::vector<std::unique_ptr<Tuple>> storage;
+    std::vector<PartitionEntry> entries;
+  };
+
+  Partition MakePartition(Rng& rng, const Config& cfg) {
+    Partition p;
+    for (size_t i = 0; i < cfg.partition_size; ++i) {
+      int64_t v = rng.UniformInt(cfg.with_negatives ? -cfg.value_domain : 0,
+                                 cfg.value_domain);
+      p.storage.push_back(std::make_unique<Tuple>(Tuple{v}));
+      p.entries.push_back(
+          {p.storage.back().get(),
+           Timestamp(rng.UniformInt(1, cfg.ttl_domain))});
+    }
+    return p;
+  }
+
+  static std::vector<AggregateFunction> AllFunctions() {
+    return {AggregateFunction::Min(0), AggregateFunction::Max(0),
+            AggregateFunction::Sum(0), AggregateFunction::Count(),
+            AggregateFunction::Avg(0)};
+  }
+};
+
+TEST_P(AggregateModesTest, CapOrderingAndAgreement) {
+  const Config& cfg = GetParam();
+  Rng rng(cfg.seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    Partition p = MakePartition(rng, cfg);
+    for (const AggregateFunction& f : AllFunctions()) {
+      auto cons = AnalyzePartition(p.entries, f,
+                                   AggregateExpirationMode::kConservative)
+                      .value();
+      auto contrib = AnalyzePartition(
+                         p.entries, f,
+                         AggregateExpirationMode::kContributingSet)
+                         .value();
+      auto exact =
+          AnalyzePartition(p.entries, f, AggregateExpirationMode::kExact)
+              .value();
+
+      // Same value and death in every mode.
+      EXPECT_EQ(cons.value, exact.value) << f.ToString();
+      EXPECT_EQ(cons.death, exact.death);
+
+      // Ordering: Eq. (8) is the most pessimistic.
+      EXPECT_LE(cons.change_cap, contrib.change_cap) << f.ToString();
+      EXPECT_LE(contrib.change_cap, contrib.death);
+
+      // Agreement: Table 1 == Eq. (9) for the standard aggregates.
+      EXPECT_EQ(contrib.change_cap, exact.change_cap)
+          << f.ToString() << " partition of " << p.entries.size();
+      EXPECT_EQ(contrib.invalidates_expression,
+                exact.invalidates_expression)
+          << f.ToString();
+    }
+  }
+}
+
+TEST_P(AggregateModesTest, CapIsSound) {
+  // Replay ground truth: at every instant t < cap (and t < death), the
+  // aggregate over the unexpired part must still equal the materialized
+  // value.
+  const Config& cfg = GetParam();
+  Rng rng(cfg.seed + 999);
+  for (int trial = 0; trial < 25; ++trial) {
+    Partition p = MakePartition(rng, cfg);
+    for (const AggregateFunction& f : AllFunctions()) {
+      for (auto mode : {AggregateExpirationMode::kConservative,
+                        AggregateExpirationMode::kContributingSet,
+                        AggregateExpirationMode::kExact}) {
+        auto analysis = AnalyzePartition(p.entries, f, mode).value();
+        for (int64_t t = 0; Timestamp(t) < analysis.change_cap &&
+                            t <= cfg.ttl_domain + 1;
+             ++t) {
+          std::vector<PartitionEntry> live;
+          for (const PartitionEntry& e : p.entries) {
+            if (e.texp > Timestamp(t)) live.push_back(e);
+          }
+          if (live.empty()) break;
+          auto value = ApplyAggregate(f, live).value();
+          EXPECT_EQ(value, analysis.value)
+              << f.ToString() << " under "
+              << AggregateExpirationModeToString(mode)
+              << ": value drifted at t=" << t << " before cap "
+              << analysis.change_cap;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AggregateModesTest, ExactCapIsTight) {
+  // Immediately at the exact cap, if the partition is still alive, the
+  // value must actually have changed (ν is not merely a bound).
+  const Config& cfg = GetParam();
+  Rng rng(cfg.seed + 4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    Partition p = MakePartition(rng, cfg);
+    for (const AggregateFunction& f : AllFunctions()) {
+      auto exact =
+          AnalyzePartition(p.entries, f, AggregateExpirationMode::kExact)
+              .value();
+      if (!exact.invalidates_expression) continue;
+      std::vector<PartitionEntry> live;
+      for (const PartitionEntry& e : p.entries) {
+        if (e.texp > exact.change_cap) live.push_back(e);
+      }
+      ASSERT_FALSE(live.empty());
+      EXPECT_NE(ApplyAggregate(f, live).value(), exact.value)
+          << f.ToString() << ": claimed change at " << exact.change_cap
+          << " did not happen";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AggregateModesTest,
+    ::testing::Values(Config{31, 5, 4, 8, false},
+                      Config{32, 10, 3, 6, true},
+                      Config{33, 20, 2, 5, true},   // heavy collisions
+                      Config{34, 50, 10, 20, false},
+                      Config{35, 8, 1, 3, true},    // tiny domains
+                      Config{36, 100, 5, 10, true},
+                      Config{37, 3, 2, 2, false},
+                      Config{38, 40, 0, 7, false}), // all-equal values
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_p" +
+             std::to_string(info.param.partition_size);
+    });
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,305 @@
+// Unit tests for aggregation lifetimes: Eq. (8), Table 1 neutral subsets,
+// the C = ∅ special case, and the exact ν-replay of Eq. (9).
+
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+/// Holds tuples alive so PartitionEntry pointers stay valid.
+class PartitionBuilder {
+ public:
+  PartitionBuilder& Add(Tuple t, Timestamp texp) {
+    tuples_.push_back(std::make_unique<Tuple>(std::move(t)));
+    entries_.push_back({tuples_.back().get(), texp});
+    return *this;
+  }
+  PartitionBuilder& Add(int64_t v, int64_t texp) {
+    return Add(Tuple{v}, T(texp));
+  }
+  const std::vector<PartitionEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::unique_ptr<Tuple>> tuples_;
+  std::vector<PartitionEntry> entries_;
+};
+
+TEST(ApplyAggregateTest, AllFunctions) {
+  PartitionBuilder p;
+  p.Add(4, 10).Add(2, 20).Add(6, 30);
+  EXPECT_EQ(ApplyAggregate(AggregateFunction::Min(0), p.entries()).value(),
+            Value(2));
+  EXPECT_EQ(ApplyAggregate(AggregateFunction::Max(0), p.entries()).value(),
+            Value(6));
+  EXPECT_EQ(ApplyAggregate(AggregateFunction::Sum(0), p.entries()).value(),
+            Value(12));
+  EXPECT_EQ(ApplyAggregate(AggregateFunction::Count(), p.entries()).value(),
+            Value(3));
+  EXPECT_EQ(ApplyAggregate(AggregateFunction::Avg(0), p.entries()).value(),
+            Value(4.0));
+}
+
+TEST(ApplyAggregateTest, EmptyPartitionRejected) {
+  std::vector<PartitionEntry> empty;
+  EXPECT_FALSE(ApplyAggregate(AggregateFunction::Count(), empty).ok());
+}
+
+TEST(ApplyAggregateTest, SumOnStringsFails) {
+  PartitionBuilder p;
+  p.Add(Tuple{"x"}, T(5));
+  EXPECT_FALSE(ApplyAggregate(AggregateFunction::Sum(0), p.entries()).ok());
+  EXPECT_FALSE(ApplyAggregate(AggregateFunction::Avg(0), p.entries()).ok());
+  // min/max over strings are fine (no arithmetic).
+  EXPECT_EQ(ApplyAggregate(AggregateFunction::Min(0), p.entries()).value(),
+            Value("x"));
+}
+
+TEST(ApplyAggregateTest, MixedNumericWidens) {
+  PartitionBuilder p;
+  p.Add(Tuple{Value(1)}, T(5)).Add(Tuple{Value(0.5)}, T(5));
+  EXPECT_EQ(ApplyAggregate(AggregateFunction::Sum(0), p.entries()).value(),
+            Value(1.5));
+}
+
+TEST(AggregateFunctionTest, ResultTypes) {
+  EXPECT_EQ(AggregateFunction::Count().ResultType(ValueType::kString),
+            ValueType::kInt64);
+  EXPECT_EQ(AggregateFunction::Sum(0).ResultType(ValueType::kInt64),
+            ValueType::kInt64);
+  EXPECT_EQ(AggregateFunction::Sum(0).ResultType(ValueType::kDouble),
+            ValueType::kDouble);
+  EXPECT_EQ(AggregateFunction::Avg(0).ResultType(ValueType::kInt64),
+            ValueType::kDouble);
+  EXPECT_EQ(AggregateFunction::Min(0).ResultType(ValueType::kString),
+            ValueType::kString);
+}
+
+TEST(AggregateFunctionTest, ToStringUsesOneBasedSubscripts) {
+  EXPECT_EQ(AggregateFunction::Sum(2).ToString(), "sum_3");
+  EXPECT_EQ(AggregateFunction::Count().ToString(), "count");
+}
+
+// --- Conservative mode: Eq. (8) ---------------------------------------
+
+TEST(AnalyzePartitionTest, ConservativeUsesPartitionMinimum) {
+  PartitionBuilder p;
+  p.Add(5, 20).Add(9, 10);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Min(0),
+                            AggregateExpirationMode::kConservative)
+               .value();
+  EXPECT_EQ(a.value, Value(5));
+  EXPECT_EQ(a.change_cap, T(10));  // min texp over the partition
+  EXPECT_EQ(a.death, T(20));
+  EXPECT_TRUE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, ConservativeSingleSliceDoesNotInvalidate) {
+  PartitionBuilder p;
+  p.Add(5, 10).Add(9, 10);  // one time slice: partition dies all at once
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Count(),
+                            AggregateExpirationMode::kConservative)
+               .value();
+  EXPECT_EQ(a.change_cap, T(10));
+  EXPECT_EQ(a.death, T(10));
+  EXPECT_FALSE(a.invalidates_expression);
+}
+
+// --- Table 1: min / max -------------------------------------------------
+
+TEST(AnalyzePartitionTest, MinNeutralSetExtendsLifetime) {
+  // Paper's motivating case: "a tuple that is not minimal may have the
+  // minimum expiration time" — Eq. (8) would expire the result at 10, but
+  // the min value 5 is actually stable until its holder dies at 20.
+  PartitionBuilder p;
+  p.Add(5, 20).Add(9, 10);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Min(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.value, Value(5));
+  EXPECT_EQ(a.change_cap, T(20));
+  // At 20 the partition also dies, so the expression never invalidates.
+  EXPECT_FALSE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, MinChangesWhilePartitionAlive) {
+  PartitionBuilder p;
+  p.Add(5, 10).Add(9, 30);  // min dies at 10; 9 lives on -> value changes
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Min(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.change_cap, T(10));
+  EXPECT_TRUE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, MinLastSurvivingHolderMatters) {
+  // Two holders of the minimum: only the last-expiring one contributes
+  // (the other is in a neutral set per Table 1).
+  PartitionBuilder p;
+  p.Add(5, 10).Add(5, 25).Add(9, 30);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Min(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.change_cap, T(25));
+  EXPECT_TRUE(a.invalidates_expression);  // 9 outlives the min holders
+}
+
+TEST(AnalyzePartitionTest, MaxSymmetric) {
+  PartitionBuilder p;
+  p.Add(9, 20).Add(5, 10);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Max(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.value, Value(9));
+  EXPECT_EQ(a.change_cap, T(20));
+  EXPECT_FALSE(a.invalidates_expression);
+}
+
+// --- Table 1: sum / avg -------------------------------------------------
+
+TEST(AnalyzePartitionTest, SumZeroSliceIsNeutral) {
+  // The slice at time 10 sums to zero: removing it keeps sum = 7.
+  PartitionBuilder p;
+  p.Add(3, 10).Add(-3, 10).Add(7, 20);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Sum(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.value, Value(7));
+  EXPECT_EQ(a.change_cap, T(20));
+  EXPECT_FALSE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, SumNonZeroSliceCaps) {
+  PartitionBuilder p;
+  p.Add(3, 10).Add(7, 20);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Sum(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.change_cap, T(10));
+  EXPECT_TRUE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, SumAllZerosIsEmptyContributingSet) {
+  // The paper's C = ∅ example: "all attribute values to be aggregated are
+  // zero and the aggregate function is sum" — the value stays valid until
+  // the whole partition expires.
+  PartitionBuilder p;
+  p.Add(0, 10).Add(0, 20).Add(0, 30);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Sum(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.value, Value(0));
+  EXPECT_EQ(a.change_cap, T(30));  // max{texp(l) | l ∈ P}
+  EXPECT_FALSE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, AvgNeutralSlice) {
+  // Partition avg = 4; the slice at 10 has avg (3+5)/2 = 4: neutral.
+  PartitionBuilder p;
+  p.Add(3, 10).Add(5, 10).Add(4, 20);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Avg(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.value, Value(4.0));
+  EXPECT_EQ(a.change_cap, T(20));
+  EXPECT_FALSE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, AvgNonNeutralSlice) {
+  PartitionBuilder p;
+  p.Add(3, 10).Add(5, 20);  // removing 3 moves avg from 4 to 5
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Avg(0),
+                            AggregateExpirationMode::kContributingSet)
+               .value();
+  EXPECT_EQ(a.change_cap, T(10));
+  EXPECT_TRUE(a.invalidates_expression);
+}
+
+// --- count strictly follows Eq. (8) ------------------------------------
+
+TEST(AnalyzePartitionTest, CountStrictlyFollowsEq8) {
+  PartitionBuilder p;
+  p.Add(1, 10).Add(2, 20);
+  for (auto mode : {AggregateExpirationMode::kConservative,
+                    AggregateExpirationMode::kContributingSet,
+                    AggregateExpirationMode::kExact}) {
+    auto a =
+        AnalyzePartition(p.entries(), AggregateFunction::Count(), mode)
+            .value();
+    EXPECT_EQ(a.change_cap, T(10)) << AggregateExpirationModeToString(mode);
+    EXPECT_TRUE(a.invalidates_expression);
+  }
+}
+
+// --- Exact replay (Eq. 9) -----------------------------------------------
+
+TEST(AnalyzePartitionTest, ExactFindsFirstChange) {
+  // min over {5@10, 5@20, 9@30}: changes at 20 (when the last 5 dies).
+  PartitionBuilder p;
+  p.Add(5, 10).Add(5, 20).Add(9, 30);
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Min(0),
+                            AggregateExpirationMode::kExact)
+               .value();
+  EXPECT_EQ(a.change_cap, T(20));
+  EXPECT_TRUE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, ExactNoChangeUntilDeath) {
+  PartitionBuilder p;
+  p.Add(5, 30).Add(9, 10);  // min holder outlives everything
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Min(0),
+                            AggregateExpirationMode::kExact)
+               .value();
+  EXPECT_EQ(a.change_cap, T(30));
+  EXPECT_FALSE(a.invalidates_expression);
+}
+
+TEST(AnalyzePartitionTest, InfiniteTuplesNeverExpire) {
+  PartitionBuilder p;
+  p.Add(Tuple{5}, Timestamp::Infinity());
+  p.Add(Tuple{9}, T(10));
+  auto a = AnalyzePartition(p.entries(), AggregateFunction::Max(0),
+                            AggregateExpirationMode::kExact)
+               .value();
+  // max = 9 dies at 10 while the 5 lives forever: change at 10.
+  EXPECT_EQ(a.change_cap, T(10));
+  EXPECT_TRUE(a.invalidates_expression);
+  EXPECT_TRUE(a.death.IsInfinite());
+}
+
+TEST(PartitionChangeTimesTest, CountChangesAtEverySliceButLast) {
+  PartitionBuilder p;
+  p.Add(1, 10).Add(2, 20).Add(3, 30);
+  auto changes =
+      PartitionChangeTimes(p.entries(), AggregateFunction::Count()).value();
+  // The last slice's removal empties the partition: not a change event.
+  EXPECT_EQ(changes, (std::vector<Timestamp>{T(10), T(20)}));
+}
+
+TEST(PartitionChangeTimesTest, BoundedByPartitionSize) {
+  // Sec. 3.4.1: a deterministic f yields at most |P| distinct values.
+  PartitionBuilder p;
+  for (int i = 0; i < 8; ++i) p.Add(i * 7 % 5, 10 + i);
+  for (auto f : {AggregateFunction::Min(0), AggregateFunction::Max(0),
+                 AggregateFunction::Sum(0), AggregateFunction::Avg(0),
+                 AggregateFunction::Count()}) {
+    auto changes = PartitionChangeTimes(p.entries(), f).value();
+    EXPECT_LE(changes.size(), p.entries().size()) << f.ToString();
+  }
+}
+
+TEST(PartitionChangeTimesTest, SumWithCancellingSlices) {
+  // sum: 3@10, -3@20, 5@30. Removing 3 changes sum (5->2); removing -3
+  // changes it again (2->5); removing 5 empties.
+  PartitionBuilder p;
+  p.Add(3, 10).Add(-3, 20).Add(5, 30);
+  auto changes =
+      PartitionChangeTimes(p.entries(), AggregateFunction::Sum(0)).value();
+  EXPECT_EQ(changes, (std::vector<Timestamp>{T(10), T(20)}));
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,138 @@
+// Approximate aggregate maintenance (the paper's future-work extension):
+// with an absolute error bound ε, an aggregation result stays valid while
+// the live aggregate is within ±ε of the materialized value, extending
+// lifetimes beyond the exact ν.
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "core/eval.h"
+#include "core/expression.h"
+
+namespace expdb {
+namespace {
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+class ApproxPartition {
+ public:
+  ApproxPartition& Add(int64_t v, int64_t texp) {
+    storage_.push_back(std::make_unique<Tuple>(Tuple{v}));
+    entries_.push_back({storage_.back().get(), T(texp)});
+    return *this;
+  }
+  const std::vector<PartitionEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::unique_ptr<Tuple>> storage_;
+  std::vector<PartitionEntry> entries_;
+};
+
+TEST(ApproxAggregateTest, ZeroToleranceMatchesExact) {
+  ApproxPartition p;
+  p.Add(3, 10).Add(7, 20).Add(5, 30);
+  for (auto f : {AggregateFunction::Min(0), AggregateFunction::Max(0),
+                 AggregateFunction::Sum(0), AggregateFunction::Avg(0),
+                 AggregateFunction::Count()}) {
+    auto exact =
+        AnalyzePartition(p.entries(), f, AggregateExpirationMode::kExact)
+            .value();
+    auto approx = AnalyzeApproxPartition(p.entries(), f, 0.0).value();
+    EXPECT_EQ(exact.change_cap, approx.change_cap) << f.ToString();
+    EXPECT_EQ(exact.invalidates_expression, approx.invalidates_expression)
+        << f.ToString();
+    EXPECT_EQ(exact.value, approx.value);
+  }
+}
+
+TEST(ApproxAggregateTest, ToleranceExtendsSumLifetime) {
+  // sum = 3 + 7 + 100 = 110; at 10 it drops to 107 (drift 3), at 20 to
+  // 100 (drift 10).
+  ApproxPartition p;
+  p.Add(3, 10).Add(7, 20).Add(100, 30);
+  auto f = AggregateFunction::Sum(0);
+
+  auto exact = AnalyzeApproxPartition(p.entries(), f, 0.0).value();
+  EXPECT_EQ(exact.change_cap, T(10));
+
+  auto tol5 = AnalyzeApproxPartition(p.entries(), f, 5.0).value();
+  EXPECT_EQ(tol5.change_cap, T(20));  // drift 3 tolerated, 10 is not
+  EXPECT_TRUE(tol5.invalidates_expression);
+
+  auto tol50 = AnalyzeApproxPartition(p.entries(), f, 50.0).value();
+  EXPECT_EQ(tol50.change_cap, T(30));  // never deviates beyond 50
+  EXPECT_FALSE(tol50.invalidates_expression);
+}
+
+TEST(ApproxAggregateTest, ToleranceExtendsAvgLifetime) {
+  // avg = (10+12+14)/3 = 12; at 10 -> (12+14)/2 = 13; at 20 -> 14.
+  ApproxPartition p;
+  p.Add(10, 10).Add(12, 20).Add(14, 30);
+  auto f = AggregateFunction::Avg(0);
+  EXPECT_EQ(AnalyzeApproxPartition(p.entries(), f, 0.5).value().change_cap,
+            T(10));
+  EXPECT_EQ(AnalyzeApproxPartition(p.entries(), f, 1.5).value().change_cap,
+            T(20));
+  EXPECT_EQ(AnalyzeApproxPartition(p.entries(), f, 2.5).value().change_cap,
+            T(30));
+}
+
+TEST(ApproxAggregateTest, CountWithSlackToleratesDepartures) {
+  ApproxPartition p;
+  p.Add(1, 10).Add(2, 20).Add(3, 30).Add(4, 40);
+  auto f = AggregateFunction::Count();
+  // count 4 -> 3 -> 2 -> (empties). Tolerance 1 allows count=3.
+  EXPECT_EQ(AnalyzeApproxPartition(p.entries(), f, 1.0).value().change_cap,
+            T(20));
+  EXPECT_EQ(AnalyzeApproxPartition(p.entries(), f, 2.0).value().change_cap,
+            T(30));
+}
+
+TEST(ApproxAggregateTest, MinMaxUseNumericDistance) {
+  // min = 5; when it expires the live min is 6 (distance 1).
+  ApproxPartition p;
+  p.Add(5, 10).Add(6, 30).Add(9, 30);
+  auto f = AggregateFunction::Min(0);
+  EXPECT_EQ(AnalyzeApproxPartition(p.entries(), f, 0.5).value().change_cap,
+            T(10));
+  EXPECT_EQ(AnalyzeApproxPartition(p.entries(), f, 1.0).value().change_cap,
+            T(30));
+}
+
+TEST(ApproxAggregateTest, NegativeToleranceRejected) {
+  ApproxPartition p;
+  p.Add(1, 10);
+  EXPECT_FALSE(
+      AnalyzeApproxPartition(p.entries(), AggregateFunction::Count(), -1.0)
+          .ok());
+}
+
+TEST(ApproxAggregateTest, EvaluatorIntegration) {
+  Database db;
+  Relation* r = db.CreateRelation(
+                       "R", Schema({{"k", ValueType::kInt64},
+                                    {"v", ValueType::kInt64}}))
+                    .value();
+  ASSERT_TRUE(r->Insert(Tuple{1, 3}, T(10)).ok());
+  ASSERT_TRUE(r->Insert(Tuple{1, 7}, T(20)).ok());
+  ASSERT_TRUE(r->Insert(Tuple{1, 100}, T(30)).ok());
+
+  auto e = algebra::Aggregate(algebra::Base("R"), {0},
+                              AggregateFunction::Sum(1));
+  EvalOptions exact;
+  exact.aggregate_mode = AggregateExpirationMode::kExact;
+  auto strict = Evaluate(e, db, T(0), exact).MoveValue();
+  EXPECT_EQ(strict.texp, T(10));
+
+  EvalOptions approx;
+  approx.aggregate_tolerance = 5.0;
+  auto relaxed = Evaluate(e, db, T(0), approx).MoveValue();
+  EXPECT_EQ(relaxed.texp, T(20));  // 110 -> 107 tolerated under eps = 5
+
+  // The served value is the (approximately maintained) original: at time
+  // 12, the tuple <1,7,110> is still visible although the true sum is 107.
+  EXPECT_TRUE(relaxed.relation.ContainsUnexpired(Tuple{1, 7, 110}, T(12)));
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,157 @@
+// Difference lifetimes: Eq. (10), the Table 2 case analysis, τ_R /
+// Eq. (11), the exact validity windows vs. the coarse Eq. (12) window,
+// and the Theorem 3 helper entries.
+
+#include "core/difference.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/expression.h"
+
+namespace expdb {
+namespace {
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+Relation OneCol(std::vector<std::pair<int64_t, Timestamp>> rows) {
+  Relation rel(Schema({{"x", ValueType::kInt64}}));
+  for (auto& [v, texp] : rows) {
+    EXPECT_TRUE(rel.Insert(Tuple{v}, texp).ok());
+  }
+  return rel;
+}
+
+TEST(DifferenceTest, Table2CaseAnalysis) {
+  // Case (1): t ∈ R ∧ t ∉ S — result keeps texp_R; no effect on texp(e).
+  // Case (2): t ∉ R ∧ t ∈ S — disregarded.
+  // Case (3a): both, texp_R > texp_S — critical; expression dies at texp_S.
+  // Case (3b): both, texp_R <= texp_S — no effect.
+  Relation r = OneCol({{1, T(10)},    // case 1
+                       {3, T(20)},    // case 3a vs S's <3>@8
+                       {4, T(5)}});   // case 3b vs S's <4>@9
+  Relation s = OneCol({{2, T(7)},     // case 2
+                       {3, T(8)},
+                       {4, T(9)}});
+  DifferenceAnalysis a = AnalyzeDifference(r, s);
+
+  // Result per Eq. (10): only <1> (cases 3a/3b tuples are in S).
+  EXPECT_EQ(a.result.size(), 1u);
+  EXPECT_EQ(a.result.GetTexp(Tuple{1}), T(10));
+
+  // Criticals: exactly the 3a tuple.
+  ASSERT_EQ(a.critical.size(), 1u);
+  EXPECT_EQ(a.critical[0].tuple, Tuple{3});
+  EXPECT_EQ(a.critical[0].appears_at, T(8));
+  EXPECT_EQ(a.critical[0].expires_at, T(20));
+  EXPECT_EQ(a.common_count, 2u);  // <3> and <4>
+
+  // τ_R = min texp_S over criticals.
+  EXPECT_EQ(a.tau_r, T(8));
+  // Exact invalid window: [8, 20).
+  EXPECT_EQ(a.invalid_windows, IntervalSet(T(8), T(20)));
+}
+
+TEST(DifferenceTest, NoCriticalsMeansForeverValid) {
+  Relation r = OneCol({{1, T(10)}, {2, T(5)}});
+  Relation s = OneCol({{2, T(9)}});  // 3b only
+  DifferenceAnalysis a = AnalyzeDifference(r, s);
+  EXPECT_TRUE(a.critical.empty());
+  EXPECT_TRUE(a.tau_r.IsInfinite());
+  EXPECT_TRUE(a.invalid_windows.IsEmpty());
+  EXPECT_TRUE(a.coarse_invalid_window.IsEmpty());
+}
+
+TEST(DifferenceTest, CriticalsSortedByAppearance) {
+  Relation r = OneCol({{1, T(30)}, {2, T(25)}, {3, T(40)}});
+  Relation s = OneCol({{1, T(9)}, {2, T(4)}, {3, T(9)}});
+  DifferenceAnalysis a = AnalyzeDifference(r, s);
+  ASSERT_EQ(a.critical.size(), 3u);
+  EXPECT_EQ(a.critical[0].tuple, Tuple{2});  // appears at 4
+  EXPECT_EQ(a.critical[1].tuple, Tuple{1});  // appears at 9, <1> < <3>
+  EXPECT_EQ(a.critical[2].tuple, Tuple{3});
+  EXPECT_EQ(a.tau_r, T(4));
+}
+
+TEST(DifferenceTest, ExactWindowsCanHaveGaps) {
+  // Two criticals with disjoint [texp_S, texp_R) windows: the paper's
+  // single coarse interval covers the gap, the exact set does not.
+  Relation r = OneCol({{1, T(7)}, {2, T(12)}});
+  Relation s = OneCol({{1, T(5)}, {2, T(9)}});
+  DifferenceAnalysis a = AnalyzeDifference(r, s);
+  IntervalSet expected;
+  expected.Add(T(5), T(7));
+  expected.Add(T(9), T(12));
+  EXPECT_EQ(a.invalid_windows, expected);
+  // The valid gap [7, 9): <1> has expired from R too, <2> not yet from S.
+  EXPECT_FALSE(a.invalid_windows.Contains(T(7)));
+  EXPECT_FALSE(a.invalid_windows.Contains(T(8)));
+  EXPECT_TRUE(a.invalid_windows.Contains(T(5)));
+  EXPECT_TRUE(a.invalid_windows.Contains(T(11)));
+  // Coarse window spans everything.
+  EXPECT_EQ(a.coarse_invalid_window, IntervalSet(T(5), T(12)));
+}
+
+TEST(DifferenceTest, InfiniteCriticalNeverStopsBeingRequired) {
+  Relation r = OneCol({{1, Timestamp::Infinity()}});
+  Relation s = OneCol({{1, T(5)}});
+  DifferenceAnalysis a = AnalyzeDifference(r, s);
+  ASSERT_EQ(a.critical.size(), 1u);
+  EXPECT_EQ(a.invalid_windows,
+            IntervalSet(T(5), Timestamp::Infinity()));
+}
+
+// The exact windows are correct: inside every window the materialization
+// differs from recomputation; outside, it matches.
+TEST(DifferenceTest, WindowsMatchRecomputationExactly) {
+  Database db;
+  ASSERT_TRUE(db.PutRelation(
+                    "R", OneCol({{1, T(7)}, {2, T(12)}, {3, T(4)}}))
+                  .ok());
+  ASSERT_TRUE(
+      db.PutRelation("S", OneCol({{1, T(5)}, {2, T(9)}, {4, T(6)}})).ok());
+  auto e = algebra::Difference(algebra::Base("R"), algebra::Base("S"));
+  EvalOptions opts;
+  opts.compute_validity = true;
+  auto at0 = Evaluate(e, db, T(0), opts);
+  ASSERT_TRUE(at0.ok());
+  for (int64_t tau = 0; tau <= 14; ++tau) {
+    auto fresh = Evaluate(e, db, T(tau));
+    ASSERT_TRUE(fresh.ok());
+    const bool matches =
+        Relation::ContentsEqualAt(at0->relation, fresh->relation, T(tau));
+    EXPECT_EQ(matches, at0->validity.Contains(T(tau)))
+        << "validity claim wrong at tau=" << tau;
+  }
+}
+
+TEST(DifferenceTest, ExpressionTexpUsesTexpSNotTexpR) {
+  // Guard for the Eq. (11) typo documented in difference.h: the
+  // expression must die when the tuple *should appear* (texp_S), not when
+  // it would later expire (texp_R).
+  Database db;
+  ASSERT_TRUE(db.PutRelation("R", OneCol({{1, T(20)}})).ok());
+  ASSERT_TRUE(db.PutRelation("S", OneCol({{1, T(6)}})).ok());
+  auto e = algebra::Difference(algebra::Base("R"), algebra::Base("S"));
+  auto result = Evaluate(e, db, T(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->texp, T(6));
+}
+
+TEST(DifferenceTest, NestedDifferencePropagatesChildTexp) {
+  // texp(e) = min(texp(R), texp(S), τ_R): an invalid child invalidates
+  // the whole expression even without root criticals.
+  Database db;
+  ASSERT_TRUE(db.PutRelation("A", OneCol({{1, T(20)}})).ok());
+  ASSERT_TRUE(db.PutRelation("B", OneCol({{1, T(3)}})).ok());
+  ASSERT_TRUE(db.PutRelation("C", OneCol({{9, T(50)}})).ok());
+  // Inner (A − B) has τ_R = 3; outer difference has no own criticals.
+  auto inner = algebra::Difference(algebra::Base("A"), algebra::Base("B"));
+  auto outer = algebra::Difference(inner, algebra::Base("C"));
+  auto result = Evaluate(outer, db, T(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->texp, T(3));
+}
+
+}  // namespace
+}  // namespace expdb

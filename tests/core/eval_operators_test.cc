@@ -1,0 +1,219 @@
+// Operator-by-operator evaluation semantics: Eqs. (1)-(6) expiration-time
+// rules, expτ filtering, closure (texp(e) composition), and the textbook
+// degeneration when every tuple has texp = ∞.
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/expression.h"
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+class EvalOperatorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation* r = db_.CreateRelation(
+                         "R", Schema({{"a", ValueType::kInt64},
+                                      {"b", ValueType::kInt64}}))
+                      .value();
+    ASSERT_TRUE(r->Insert(Tuple{1, 10}, T(5)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{2, 20}, T(10)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{3, 30}, Timestamp::Infinity()).ok());
+
+    Relation* s = db_.CreateRelation(
+                         "S", Schema({{"x", ValueType::kInt64},
+                                      {"y", ValueType::kInt64}}))
+                      .value();
+    ASSERT_TRUE(s->Insert(Tuple{1, 10}, T(8)).ok());
+    ASSERT_TRUE(s->Insert(Tuple{4, 20}, T(12)).ok());
+  }
+
+  MaterializedResult Eval(const ExpressionPtr& e, int64_t tau,
+                          EvalOptions opts = {}) {
+    auto r = Evaluate(e, db_, T(tau), opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.MoveValue();
+  }
+
+  Database db_;
+};
+
+TEST_F(EvalOperatorsTest, BaseFiltersThroughExpTau) {
+  auto at0 = Eval(Base("R"), 0);
+  EXPECT_EQ(at0.relation.size(), 3u);
+  auto at5 = Eval(Base("R"), 5);
+  EXPECT_EQ(at5.relation.size(), 2u);
+  EXPECT_FALSE(at5.relation.Contains(Tuple{1, 10}));
+  auto at100 = Eval(Base("R"), 100);
+  EXPECT_EQ(at100.relation.size(), 1u);  // only the infinite tuple
+  EXPECT_TRUE(at0.texp.IsInfinite());
+}
+
+TEST_F(EvalOperatorsTest, SelectRetainsExpirationTimes) {
+  // Eq. (1): result tuples simply retain their expiration times.
+  auto e = Select(Base("R"), Predicate::Compare(
+                                 Operand::Column(1), ComparisonOp::kGe,
+                                 Operand::Constant(Value(20))));
+  auto result = Eval(e, 0);
+  EXPECT_EQ(result.relation.size(), 2u);
+  EXPECT_EQ(result.relation.GetTexp(Tuple{2, 20}), T(10));
+  EXPECT_TRUE(result.relation.GetTexp(Tuple{3, 30})->IsInfinite());
+}
+
+TEST_F(EvalOperatorsTest, SelectCorrelated) {
+  Relation* rr = db_.GetRelation("R").value();
+  ASSERT_TRUE(rr->Insert(Tuple{7, 7}, T(99)).ok());
+  auto e = Select(Base("R"), Predicate::ColumnsEqual(0, 1));
+  auto result = Eval(e, 0);
+  EXPECT_EQ(result.relation.size(), 1u);
+  EXPECT_TRUE(result.relation.Contains(Tuple{7, 7}));
+}
+
+TEST_F(EvalOperatorsTest, ProjectTakesMaxOfDuplicates) {
+  // Eq. (3): coinciding tuples inherit the maximum expiration time.
+  Relation* rr = db_.GetRelation("R").value();
+  ASSERT_TRUE(rr->Insert(Tuple{9, 10}, T(7)).ok());  // b=10 also in <1,10>@5
+  auto result = Eval(Project(Base("R"), {1}), 0);
+  EXPECT_EQ(result.relation.GetTexp(Tuple{10}), T(7));  // max(5, 7)
+}
+
+TEST_F(EvalOperatorsTest, ProductTakesMinOfPair) {
+  // Eq. (2): the lifetime of a product tuple is the min of its parts.
+  auto result = Eval(Product(Base("R"), Base("S")), 0);
+  EXPECT_EQ(result.relation.size(), 6u);
+  EXPECT_EQ(result.relation.GetTexp(Tuple{1, 10, 1, 10}), T(5));
+  EXPECT_EQ(result.relation.GetTexp(Tuple{2, 20, 4, 20}), T(10));
+  EXPECT_EQ(result.relation.GetTexp(Tuple{3, 30, 4, 20}), T(12));
+}
+
+TEST_F(EvalOperatorsTest, UnionTakesMaxOnBothSides) {
+  // Eq. (4): tuples in both arguments get the max expiration time.
+  Relation* s = db_.GetRelation("S").value();
+  ASSERT_TRUE(s->Insert(Tuple{2, 20}, T(3)).ok());  // also in R @10
+  auto result = Eval(Union(Base("R"), Base("S")), 0);
+  // Distinct tuples: {1,10}, {2,20}, {3,30}, {4,20} — {1,10} is in both.
+  EXPECT_EQ(result.relation.size(), 4u);
+  EXPECT_EQ(result.relation.GetTexp(Tuple{1, 10}), T(8));   // max(5, 8)
+  EXPECT_EQ(result.relation.GetTexp(Tuple{2, 20}), T(10));  // max(10, 3)
+  EXPECT_EQ(result.relation.GetTexp(Tuple{4, 20}), T(12));  // only in S
+}
+
+TEST_F(EvalOperatorsTest, IntersectTakesMinOfPair) {
+  // Eq. (6): intersection inherits the product's min rule.
+  Relation* s = db_.GetRelation("S").value();
+  ASSERT_TRUE(s->Insert(Tuple{2, 20}, T(3)).ok());
+  auto result = Eval(Intersect(Base("R"), Base("S")), 0);
+  // Common tuples: {1,10} (R@5, S@8) and {2,20} (R@10, S@3).
+  EXPECT_EQ(result.relation.size(), 2u);
+  EXPECT_EQ(result.relation.GetTexp(Tuple{1, 10}), T(5));  // min(5, 8)
+  EXPECT_EQ(result.relation.GetTexp(Tuple{2, 20}), T(3));  // min(10, 3)
+}
+
+TEST_F(EvalOperatorsTest, JoinEqualsSelectOverProduct) {
+  // Eq. (5): R ⋈exp_p S = σexp_{p'}(R ×exp S) — the hash path must be
+  // indistinguishable from the rewrite.
+  auto join =
+      Eval(Join(Base("R"), Base("S"), Predicate::ColumnsEqual(0, 2)), 0);
+  auto rewrite = Eval(
+      Select(Product(Base("R"), Base("S")), Predicate::ColumnsEqual(0, 2)),
+      0);
+  EXPECT_TRUE(Relation::EqualAt(join.relation, rewrite.relation, T(0)));
+  EXPECT_EQ(join.relation.size(), rewrite.relation.size());
+  EXPECT_EQ(join.relation.GetTexp(Tuple{1, 10, 1, 10}), T(5));
+}
+
+TEST_F(EvalOperatorsTest, JoinWithResidualPredicate) {
+  // A non-equality residual must be applied on top of the hash match.
+  auto pred = Predicate::ColumnsEqual(1, 3).And(Predicate::Compare(
+      Operand::Column(0), ComparisonOp::kLt, Operand::Column(2)));
+  auto join = Eval(Join(Base("R"), Base("S"), pred), 0);
+  auto rewrite =
+      Eval(Select(Product(Base("R"), Base("S")), pred), 0);
+  EXPECT_TRUE(Relation::EqualAt(join.relation, rewrite.relation, T(0)));
+}
+
+TEST_F(EvalOperatorsTest, JoinWithoutEqualitiesFallsBackToNestedLoop) {
+  auto pred = Predicate::Compare(Operand::Column(0), ComparisonOp::kLt,
+                                 Operand::Column(2));
+  auto join = Eval(Join(Base("R"), Base("S"), pred), 0);
+  auto rewrite = Eval(Select(Product(Base("R"), Base("S")), pred), 0);
+  EXPECT_TRUE(Relation::EqualAt(join.relation, rewrite.relation, T(0)));
+}
+
+TEST_F(EvalOperatorsTest, MonotonicCompositionHasInfiniteTexp) {
+  // Sec. 2.3: "the expiration times of all expressions that we can
+  // currently construct is infinity".
+  auto e = Union(Project(Join(Base("R"), Base("S"),
+                              Predicate::ColumnsEqual(0, 2)),
+                         {0, 1}),
+                 Intersect(Base("R"), Base("S")));
+  auto result = Eval(e, 0, {});
+  EXPECT_TRUE(result.texp.IsInfinite());
+  EXPECT_EQ(result.validity, IntervalSet::From(T(0)));
+}
+
+TEST_F(EvalOperatorsTest, InfinityDegeneratesToTextbookAlgebra) {
+  // "if all tuples are assigned expiration time ∞ then the algebra
+  // operators work like their textbook equivalents."
+  Database db;
+  Relation* r = db.CreateRelation(
+                       "R", Schema({{"a", ValueType::kInt64}})).value();
+  Relation* s = db.CreateRelation(
+                       "S", Schema({{"a", ValueType::kInt64}})).value();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(r->Insert(Tuple{i}).ok());
+  for (int i = 3; i < 8; ++i) ASSERT_TRUE(s->Insert(Tuple{i}).ok());
+
+  auto check = [&](const ExpressionPtr& e, size_t want) {
+    for (int64_t tau : {0, 100, 1'000'000}) {
+      auto result = Evaluate(e, db, T(tau));
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->relation.size(), want) << e->ToString();
+      EXPECT_TRUE(result->texp.IsInfinite());
+    }
+  };
+  check(Union(Base("R"), Base("S")), 8);
+  check(Intersect(Base("R"), Base("S")), 2);
+  check(Difference(Base("R"), Base("S")), 3);
+  check(Product(Base("R"), Base("S")), 25);
+  check(Aggregate(Base("R"), {}, AggregateFunction::Count()), 5);
+}
+
+TEST_F(EvalOperatorsTest, ErrorsPropagate) {
+  EXPECT_EQ(Evaluate(Base("nope"), db_, T(0)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      Evaluate(Union(Base("R"), Project(Base("S"), {0})), db_, T(0))
+          .status()
+          .code(),
+      StatusCode::kTypeError);
+  EXPECT_EQ(Evaluate(nullptr, db_, T(0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Evaluate(Select(Base("R"), Predicate::ColumnsEqual(0, 9)), db_,
+                     T(0))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(EvalOperatorsTest, EvaluateDifferenceRootRequiresDifference) {
+  EXPECT_EQ(
+      EvaluateDifferenceRoot(Base("R"), db_, T(0)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(EvalOperatorsTest, AggregateCountsOnlyUnexpired) {
+  // At time 5, <1,10> is gone: the global count partition sees 2 tuples.
+  auto e = Aggregate(Base("R"), {}, AggregateFunction::Count());
+  auto at5 = Eval(e, 5);
+  EXPECT_EQ(at5.relation.size(), 2u);
+  EXPECT_TRUE(at5.relation.Contains(Tuple{2, 20, 2}));
+  EXPECT_TRUE(at5.relation.Contains(Tuple{3, 30, 2}));
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,152 @@
+#include "core/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateRelation("R", Schema({{"a", ValueType::kInt64},
+                                                {"b", ValueType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateRelation("S", Schema({{"x", ValueType::kInt64},
+                                                {"y", ValueType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(
+        db_.CreateRelation("W", Schema({{"s", ValueType::kString}})).ok());
+  }
+  Database db_;
+};
+
+TEST_F(ExpressionTest, MonotonicityClassification) {
+  // The paper's dichotomy: (1)-(6) are monotonic; agg and − are not.
+  auto r = Base("R");
+  auto s = Base("S");
+  EXPECT_TRUE(r->IsMonotonic());
+  EXPECT_TRUE(Select(r, Predicate())->IsMonotonic());
+  EXPECT_TRUE(Project(r, {0})->IsMonotonic());
+  EXPECT_TRUE(Product(r, s)->IsMonotonic());
+  EXPECT_TRUE(Union(r, s)->IsMonotonic());
+  EXPECT_TRUE(Intersect(r, s)->IsMonotonic());
+  EXPECT_TRUE(Join(r, s, Predicate::ColumnsEqual(0, 2))->IsMonotonic());
+  EXPECT_FALSE(Difference(r, s)->IsMonotonic());
+  EXPECT_FALSE(Aggregate(r, {0}, AggregateFunction::Count())->IsMonotonic());
+  // Non-monotonicity is contagious upward.
+  EXPECT_FALSE(Select(Difference(r, s), Predicate())->IsMonotonic());
+  EXPECT_FALSE(
+      Product(r, Project(Aggregate(s, {0}, AggregateFunction::Count()),
+                         {0, 1}))
+          ->IsMonotonic());
+}
+
+TEST_F(ExpressionTest, SchemaInferenceBase) {
+  EXPECT_EQ(Base("R")->InferSchema(db_).value().ToString(),
+            "(a:int, b:int)");
+  EXPECT_EQ(Base("nope")->InferSchema(db_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExpressionTest, SchemaInferenceSelectValidatesPredicate) {
+  auto ok = Select(Base("R"), Predicate::ColumnsEqual(0, 1));
+  EXPECT_TRUE(ok->InferSchema(db_).ok());
+  auto bad = Select(Base("R"), Predicate::ColumnsEqual(0, 9));
+  EXPECT_EQ(bad->InferSchema(db_).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ExpressionTest, SchemaInferenceProject) {
+  auto e = Project(Base("R"), {1});
+  EXPECT_EQ(e->InferSchema(db_).value().ToString(), "(b:int)");
+  auto bad = Project(Base("R"), {7});
+  EXPECT_FALSE(bad->InferSchema(db_).ok());
+}
+
+TEST_F(ExpressionTest, SchemaInferenceProductConcatenates) {
+  auto e = Product(Base("R"), Base("S"));
+  EXPECT_EQ(e->InferSchema(db_).value().ToString(),
+            "(a:int, b:int, x:int, y:int)");
+  // Self-product disambiguates names.
+  auto self = Product(Base("R"), Base("R"));
+  EXPECT_EQ(self->InferSchema(db_).value().ToString(),
+            "(a:int, b:int, a.2:int, b.2:int)");
+}
+
+TEST_F(ExpressionTest, SchemaInferenceSetOpsRequireCompatibility) {
+  EXPECT_TRUE(Union(Base("R"), Base("S"))->InferSchema(db_).ok());
+  EXPECT_EQ(Union(Base("R"), Base("W"))->InferSchema(db_).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(
+      Intersect(Base("R"), Base("W"))->InferSchema(db_).status().code(),
+      StatusCode::kTypeError);
+  EXPECT_EQ(
+      Difference(Base("R"), Base("W"))->InferSchema(db_).status().code(),
+      StatusCode::kTypeError);
+}
+
+TEST_F(ExpressionTest, SchemaInferenceAggregateAppendsColumn) {
+  auto e = Aggregate(Base("R"), {0}, AggregateFunction::Sum(1));
+  EXPECT_EQ(e->InferSchema(db_).value().ToString(),
+            "(a:int, b:int, sum_2:int)");
+  auto avg = Aggregate(Base("R"), {0}, AggregateFunction::Avg(1));
+  EXPECT_EQ(avg->InferSchema(db_).value().attribute(2).type,
+            ValueType::kDouble);
+}
+
+TEST_F(ExpressionTest, SchemaInferenceAggregateRejectsBadInputs) {
+  EXPECT_EQ(Aggregate(Base("R"), {5}, AggregateFunction::Count())
+                ->InferSchema(db_)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(Aggregate(Base("R"), {0}, AggregateFunction::Sum(9))
+                ->InferSchema(db_)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(Aggregate(Base("W"), {}, AggregateFunction::Sum(0))
+                ->InferSchema(db_)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(ExpressionTest, ChainedAggregateNamesStayUnique) {
+  auto e = Aggregate(Aggregate(Base("R"), {0}, AggregateFunction::Count()),
+                     {0}, AggregateFunction::Count());
+  Schema s = e->InferSchema(db_).value();
+  EXPECT_EQ(s.attribute(2).name, "count");
+  EXPECT_EQ(s.attribute(3).name, "count.2");
+}
+
+TEST_F(ExpressionTest, BaseRelationNames) {
+  auto e = Union(Join(Base("R"), Base("S"), Predicate::ColumnsEqual(0, 2)),
+                 Base("R"));
+  EXPECT_EQ(e->BaseRelationNames(),
+            (std::set<std::string>{"R", "S"}));
+}
+
+TEST_F(ExpressionTest, NodeCountAndDepth) {
+  auto e = Select(Project(Base("R"), {0}), Predicate());
+  EXPECT_EQ(e->NodeCount(), 3u);
+  EXPECT_EQ(e->Depth(), 3u);
+  auto b = Union(Base("R"), Base("S"));
+  EXPECT_EQ(b->NodeCount(), 3u);
+  EXPECT_EQ(b->Depth(), 2u);
+}
+
+TEST_F(ExpressionTest, ToStringNotation) {
+  auto e = Project(Join(Base("Pol"), Base("El"),
+                        Predicate::ColumnsEqual(0, 2)),
+                   {1});
+  EXPECT_EQ(e->ToString(), "π_{2}((Pol ⋈_{$1 = $3} El))");
+  auto d = Difference(Base("R"), Base("S"));
+  EXPECT_EQ(d->ToString(), "(R − S)");
+  auto a = Aggregate(Base("Pol"), {1}, AggregateFunction::Count());
+  EXPECT_EQ(a->ToString(), "agg_{{2},count}(Pol)");
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,136 @@
+// Model-based property test for IntervalSet: every operation is checked
+// against a brute-force model (the explicit set of contained ticks on a
+// bounded axis), over randomized operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/interval_set.h"
+
+namespace expdb {
+namespace {
+
+constexpr int64_t kAxis = 64;  // model covers ticks [0, kAxis]
+
+std::set<int64_t> ModelOf(const IntervalSet& s) {
+  std::set<int64_t> out;
+  for (int64_t t = 0; t <= kAxis; ++t) {
+    if (s.Contains(Timestamp(t))) out.insert(t);
+  }
+  return out;
+}
+
+void ExpectMatchesModel(const IntervalSet& s, const std::set<int64_t>& model,
+                        const std::string& context) {
+  EXPECT_EQ(ModelOf(s), model) << context << " — set is " << s.ToString();
+}
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, AddSubtractAgainstModel) {
+  Rng rng(GetParam());
+  IntervalSet s;
+  std::set<int64_t> model;
+  for (int step = 0; step < 200; ++step) {
+    int64_t a = rng.UniformInt(0, kAxis);
+    int64_t b = rng.UniformInt(0, kAxis);
+    if (a > b) std::swap(a, b);
+    const bool add = rng.Bernoulli(0.5);
+    if (add) {
+      s.Add(Timestamp(a), Timestamp(b));
+      for (int64_t t = a; t < b; ++t) model.insert(t);
+    } else {
+      s.Subtract(Timestamp(a), Timestamp(b));
+      for (int64_t t = a; t < b; ++t) model.erase(t);
+    }
+    ExpectMatchesModel(s, model,
+                       (add ? "after Add[" : "after Subtract[") +
+                           std::to_string(a) + "," + std::to_string(b) +
+                           ") at step " + std::to_string(step));
+    // Structural invariants: sorted, disjoint, non-empty, gap-separated.
+    const auto& ivs = s.intervals();
+    for (size_t i = 0; i < ivs.size(); ++i) {
+      EXPECT_LT(ivs[i].start, ivs[i].end);
+      if (i > 0) {
+        EXPECT_LT(ivs[i - 1].end, ivs[i].start);
+      }
+    }
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, SetAlgebraAgainstModel) {
+  Rng rng(GetParam() + 1000);
+  auto random_set = [&](int pieces) {
+    IntervalSet s;
+    for (int i = 0; i < pieces; ++i) {
+      int64_t a = rng.UniformInt(0, kAxis);
+      int64_t b = rng.UniformInt(0, kAxis);
+      if (a > b) std::swap(a, b);
+      s.Add(Timestamp(a), Timestamp(b));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    IntervalSet x = random_set(4);
+    IntervalSet y = random_set(4);
+    std::set<int64_t> mx = ModelOf(x), my = ModelOf(y);
+
+    std::set<int64_t> mu, mi;
+    std::set_union(mx.begin(), mx.end(), my.begin(), my.end(),
+                   std::inserter(mu, mu.begin()));
+    std::set_intersection(mx.begin(), mx.end(), my.begin(), my.end(),
+                          std::inserter(mi, mi.begin()));
+    ExpectMatchesModel(x.Union(y), mu, "union");
+    ExpectMatchesModel(x.Intersect(y), mi, "intersect");
+
+    // Complement within [0, ∞): on the bounded axis, the complement's
+    // model is everything not in x (the tail past kAxis is unbounded and
+    // not modeled).
+    std::set<int64_t> mc;
+    for (int64_t t = 0; t <= kAxis; ++t) {
+      if (mx.count(t) == 0) mc.insert(t);
+    }
+    ExpectMatchesModel(x.ComplementFrom(Timestamp::Zero()), mc,
+                       "complement");
+    // Involution: complementing twice within [0, ∞) restores x ∩ [0, ∞).
+    IntervalSet cc =
+        x.ComplementFrom(Timestamp::Zero()).ComplementFrom(Timestamp::Zero());
+    ExpectMatchesModel(cc, mx, "double complement");
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, NavigationAgainstModel) {
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 40; ++trial) {
+    IntervalSet s;
+    for (int i = 0; i < 3; ++i) {
+      int64_t a = rng.UniformInt(0, kAxis);
+      int64_t b = rng.UniformInt(0, kAxis);
+      if (a > b) std::swap(a, b);
+      s.Add(Timestamp(a), Timestamp(b));
+    }
+    std::set<int64_t> model = ModelOf(s);
+    for (int64_t t = 0; t <= kAxis; ++t) {
+      // LastValidBefore: the largest modeled tick < t.
+      auto it = model.lower_bound(t);
+      std::optional<Timestamp> expected_back;
+      if (it != model.begin()) expected_back = Timestamp(*std::prev(it));
+      EXPECT_EQ(s.LastValidBefore(Timestamp(t)), expected_back)
+          << "LastValidBefore(" << t << ") on " << s.ToString();
+      // FirstValidAtOrAfter: the smallest modeled tick >= t.
+      auto ge = model.lower_bound(t);
+      std::optional<Timestamp> expected_fwd;
+      if (ge != model.end()) expected_fwd = Timestamp(*ge);
+      EXPECT_EQ(s.FirstValidAtOrAfter(Timestamp(t)), expected_fwd)
+          << "FirstValidAtOrAfter(" << t << ") on " << s.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Range<uint64_t>(600, 608));
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,185 @@
+#include "core/interval_set.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+const Timestamp kInf = Timestamp::Infinity();
+
+TEST(IntervalSetTest, EmptyByDefault) {
+  IntervalSet s;
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_FALSE(s.Contains(T(0)));
+  EXPECT_EQ(s.ToString(), "{}");
+}
+
+TEST(IntervalSetTest, SingleInterval) {
+  IntervalSet s(T(2), T(5));
+  EXPECT_TRUE(s.Contains(T(2)));
+  EXPECT_TRUE(s.Contains(T(4)));
+  EXPECT_FALSE(s.Contains(T(5)));  // half-open
+  EXPECT_FALSE(s.Contains(T(1)));
+  EXPECT_EQ(s.interval_count(), 1u);
+}
+
+TEST(IntervalSetTest, EmptyIntervalIgnored) {
+  IntervalSet s(T(5), T(5));
+  EXPECT_TRUE(s.IsEmpty());
+  s.Add(T(7), T(3));
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+TEST(IntervalSetTest, FromExtendsToInfinity) {
+  IntervalSet s = IntervalSet::From(T(3));
+  EXPECT_TRUE(s.Contains(T(3)));
+  EXPECT_TRUE(s.Contains(T(1'000'000)));
+  EXPECT_FALSE(s.Contains(T(2)));
+}
+
+TEST(IntervalSetTest, AddMergesOverlapping) {
+  IntervalSet s;
+  s.Add(T(1), T(4));
+  s.Add(T(3), T(7));
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s, IntervalSet(T(1), T(7)));
+}
+
+TEST(IntervalSetTest, AddMergesAdjacent) {
+  IntervalSet s;
+  s.Add(T(1), T(4));
+  s.Add(T(4), T(7));  // [1,4) ∪ [4,7) = [1,7)
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.Contains(T(4)));
+}
+
+TEST(IntervalSetTest, AddKeepsDisjointSeparate) {
+  IntervalSet s;
+  s.Add(T(1), T(3));
+  s.Add(T(5), T(8));
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_FALSE(s.Contains(T(4)));
+}
+
+TEST(IntervalSetTest, AddBridgesMultiple) {
+  IntervalSet s;
+  s.Add(T(1), T(3));
+  s.Add(T(5), T(7));
+  s.Add(T(9), T(11));
+  s.Add(T(2), T(10));  // swallows the gap structure
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s, IntervalSet(T(1), T(11)));
+}
+
+TEST(IntervalSetTest, SubtractMiddleSplits) {
+  IntervalSet s(T(0), T(10));
+  s.Subtract(T(3), T(6));
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.Contains(T(2)));
+  EXPECT_FALSE(s.Contains(T(3)));
+  EXPECT_FALSE(s.Contains(T(5)));
+  EXPECT_TRUE(s.Contains(T(6)));
+}
+
+TEST(IntervalSetTest, SubtractEdges) {
+  IntervalSet s(T(0), T(10));
+  s.Subtract(T(0), T(2));
+  s.Subtract(T(8), T(20));
+  EXPECT_EQ(s, IntervalSet(T(2), T(8)));
+}
+
+TEST(IntervalSetTest, SubtractFromInfinite) {
+  IntervalSet s = IntervalSet::From(T(0));
+  s.Subtract(T(5), T(9));
+  EXPECT_TRUE(s.Contains(T(4)));
+  EXPECT_FALSE(s.Contains(T(7)));
+  EXPECT_TRUE(s.Contains(T(9)));
+  EXPECT_TRUE(s.Contains(T(1'000'000)));
+  EXPECT_EQ(s.interval_count(), 2u);
+}
+
+TEST(IntervalSetTest, IntersectBasic) {
+  IntervalSet a(T(0), T(10));
+  IntervalSet b(T(5), T(15));
+  EXPECT_EQ(a.Intersect(b), IntervalSet(T(5), T(10)));
+  EXPECT_EQ(b.Intersect(a), IntervalSet(T(5), T(10)));
+}
+
+TEST(IntervalSetTest, IntersectDisjointIsEmpty) {
+  IntervalSet a(T(0), T(3));
+  IntervalSet b(T(5), T(9));
+  EXPECT_TRUE(a.Intersect(b).IsEmpty());
+}
+
+TEST(IntervalSetTest, IntersectMultiInterval) {
+  IntervalSet a;
+  a.Add(T(0), T(4));
+  a.Add(T(6), T(10));
+  IntervalSet b(T(2), T(8));
+  IntervalSet expected;
+  expected.Add(T(2), T(4));
+  expected.Add(T(6), T(8));
+  EXPECT_EQ(a.Intersect(b), expected);
+}
+
+TEST(IntervalSetTest, UnionOperation) {
+  IntervalSet a(T(0), T(3));
+  IntervalSet b(T(5), T(9));
+  IntervalSet u = a.Union(b);
+  EXPECT_EQ(u.interval_count(), 2u);
+  EXPECT_TRUE(u.Contains(T(1)));
+  EXPECT_TRUE(u.Contains(T(7)));
+}
+
+TEST(IntervalSetTest, ComplementFrom) {
+  IntervalSet s;
+  s.Add(T(3), T(6));
+  s.Add(T(8), kInf);
+  IntervalSet c = s.ComplementFrom(T(0));
+  EXPECT_TRUE(c.Contains(T(0)));
+  EXPECT_TRUE(c.Contains(T(2)));
+  EXPECT_FALSE(c.Contains(T(4)));
+  EXPECT_TRUE(c.Contains(T(6)));
+  EXPECT_TRUE(c.Contains(T(7)));
+  EXPECT_FALSE(c.Contains(T(8)));
+  EXPECT_FALSE(c.Contains(T(1'000)));
+}
+
+TEST(IntervalSetTest, LastValidBefore) {
+  IntervalSet s;
+  s.Add(T(2), T(5));
+  s.Add(T(9), T(12));
+  EXPECT_EQ(s.LastValidBefore(T(7)), T(4));   // end of [2,5)
+  EXPECT_EQ(s.LastValidBefore(T(10)), T(9));  // inside [9,12)
+  EXPECT_EQ(s.LastValidBefore(T(2)), std::nullopt);
+  EXPECT_EQ(s.LastValidBefore(T(3)), T(2));
+  EXPECT_EQ(s.LastValidBefore(T(100)), T(11));
+}
+
+TEST(IntervalSetTest, FirstValidAtOrAfter) {
+  IntervalSet s;
+  s.Add(T(2), T(5));
+  s.Add(T(9), T(12));
+  EXPECT_EQ(s.FirstValidAtOrAfter(T(0)), T(2));
+  EXPECT_EQ(s.FirstValidAtOrAfter(T(3)), T(3));  // already valid
+  EXPECT_EQ(s.FirstValidAtOrAfter(T(6)), T(9));
+  EXPECT_EQ(s.FirstValidAtOrAfter(T(12)), std::nullopt);
+}
+
+TEST(IntervalSetTest, ValidUntil) {
+  IntervalSet s(T(2), T(5));
+  EXPECT_EQ(s.ValidUntil(T(3)), T(5));
+  EXPECT_EQ(s.ValidUntil(T(5)), std::nullopt);
+  EXPECT_EQ(IntervalSet::From(T(0)).ValidUntil(T(7)), kInf);
+}
+
+TEST(IntervalSetTest, SubtractThenAddRestores) {
+  IntervalSet s = IntervalSet::From(T(0));
+  s.Subtract(T(10), T(20));
+  s.Add(T(10), T(20));
+  EXPECT_EQ(s, IntervalSet::From(T(0)));
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,205 @@
+// The paper's running example, end to end: the relations of Figure 1, the
+// monotonic expressions of Figure 2, and the non-monotonic expressions of
+// Figure 3 — every displayed state at every displayed time.
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/expression.h"
+#include "relational/database.h"
+
+namespace expdb {
+namespace {
+
+using algebra::Aggregate;
+using algebra::Base;
+using algebra::Difference;
+using algebra::Join;
+using algebra::Project;
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+// Figure 1: the example database at time 0.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation* pol =
+        db_.CreateRelation("Pol", Schema({{"UID", ValueType::kInt64},
+                                          {"Deg", ValueType::kInt64}}))
+            .value();
+    ASSERT_TRUE(pol->Insert(Tuple{1, 25}, T(10)).ok());
+    ASSERT_TRUE(pol->Insert(Tuple{2, 25}, T(15)).ok());
+    ASSERT_TRUE(pol->Insert(Tuple{3, 35}, T(10)).ok());
+
+    Relation* el =
+        db_.CreateRelation("El", Schema({{"UID", ValueType::kInt64},
+                                         {"Deg", ValueType::kInt64}}))
+            .value();
+    ASSERT_TRUE(el->Insert(Tuple{1, 75}, T(5)).ok());
+    ASSERT_TRUE(el->Insert(Tuple{2, 85}, T(3)).ok());
+    ASSERT_TRUE(el->Insert(Tuple{4, 90}, T(2)).ok());
+  }
+
+  // Evaluates and returns sorted tuples.
+  std::vector<Tuple> TuplesAt(const ExpressionPtr& e, int64_t tau) {
+    auto result = Evaluate(e, db_, T(tau));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<Tuple> out;
+    for (const auto& [tuple, texp] : result->relation.SortedEntries()) {
+      out.push_back(tuple);
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(PaperExampleTest, Figure1RelationsAtTime0) {
+  const Relation* pol = db_.GetRelation("Pol").value();
+  EXPECT_EQ(pol->CountUnexpiredAt(T(0)), 3u);
+  EXPECT_EQ(pol->GetTexp(Tuple{1, 25}), T(10));
+  EXPECT_EQ(pol->GetTexp(Tuple{2, 25}), T(15));
+  EXPECT_EQ(pol->GetTexp(Tuple{3, 35}), T(10));
+
+  const Relation* el = db_.GetRelation("El").value();
+  EXPECT_EQ(el->CountUnexpiredAt(T(0)), 3u);
+  EXPECT_EQ(el->GetTexp(Tuple{1, 75}), T(5));
+  EXPECT_EQ(el->GetTexp(Tuple{2, 85}), T(3));
+  EXPECT_EQ(el->GetTexp(Tuple{4, 90}), T(2));
+}
+
+// Figure 2(c): πexp_2(Pol) at time 0 = {<25>, <35>}, with <25> inheriting
+// the max lifetime 15 of its duplicates (Formula 3).
+TEST_F(PaperExampleTest, Figure2cProjectionAtTime0) {
+  auto e = Project(Base("Pol"), {1});
+  auto result = Evaluate(e, db_, T(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(TuplesAt(e, 0), (std::vector<Tuple>{Tuple{25}, Tuple{35}}));
+  EXPECT_EQ(result->relation.GetTexp(Tuple{25}), T(15));
+  EXPECT_EQ(result->relation.GetTexp(Tuple{35}), T(10));
+  // Monotonic: never needs recomputation.
+  EXPECT_TRUE(result->texp.IsInfinite());
+}
+
+// Figure 2(d): πexp_2(Pol) at time 10 = {<25>}.
+TEST_F(PaperExampleTest, Figure2dProjectionAtTime10) {
+  auto e = Project(Base("Pol"), {1});
+  EXPECT_EQ(TuplesAt(e, 10), (std::vector<Tuple>{Tuple{25}}));
+  // And the materialized-at-0 result, properly expired, looks the same
+  // (the paper: "looks exactly as if the query had been computed at τ").
+  auto at0 = Evaluate(e, db_, T(0));
+  ASSERT_TRUE(at0.ok());
+  EXPECT_EQ(at0->relation.CountUnexpiredAt(T(10)), 1u);
+  EXPECT_TRUE(at0->relation.ContainsUnexpired(Tuple{25}, T(10)));
+}
+
+// Figure 2(e): Pol ⋈exp_{1=3} El at time 0.
+TEST_F(PaperExampleTest, Figure2eJoinAtTime0) {
+  auto e = Join(Base("Pol"), Base("El"), Predicate::ColumnsEqual(0, 2));
+  auto result = Evaluate(e, db_, T(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(TuplesAt(e, 0), (std::vector<Tuple>{Tuple{1, 25, 1, 75},
+                                                Tuple{2, 25, 2, 85}}));
+  // Lifetimes: min of the participating tuples (Eq. 2 via Eq. 5).
+  EXPECT_EQ(result->relation.GetTexp(Tuple{1, 25, 1, 75}), T(5));
+  EXPECT_EQ(result->relation.GetTexp(Tuple{2, 25, 2, 85}), T(3));
+}
+
+// Figure 2(f): the join at time 3 = {<1, 25, 1, 75>}.
+TEST_F(PaperExampleTest, Figure2fJoinAtTime3) {
+  auto e = Join(Base("Pol"), Base("El"), Predicate::ColumnsEqual(0, 2));
+  EXPECT_EQ(TuplesAt(e, 3), (std::vector<Tuple>{Tuple{1, 25, 1, 75}}));
+}
+
+// Figure 2(g): the join at time 5 is empty.
+TEST_F(PaperExampleTest, Figure2gJoinAtTime5) {
+  auto e = Join(Base("Pol"), Base("El"), Predicate::ColumnsEqual(0, 2));
+  EXPECT_TRUE(TuplesAt(e, 5).empty());
+}
+
+// Theorem 1 on the join: expiring the materialized-at-0 result in place
+// coincides with recomputation at 3 and at 5.
+TEST_F(PaperExampleTest, Figure2JoinExpiryMatchesRecomputation) {
+  auto e = Join(Base("Pol"), Base("El"), Predicate::ColumnsEqual(0, 2));
+  auto at0 = Evaluate(e, db_, T(0));
+  ASSERT_TRUE(at0.ok());
+  for (int64_t tau : {0, 1, 2, 3, 4, 5, 10, 15}) {
+    auto fresh = Evaluate(e, db_, T(tau));
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE(
+        Relation::EqualAt(at0->relation, fresh->relation, T(tau)))
+        << "mismatch at tau=" << tau;
+  }
+}
+
+// Figure 3(a): πexp_{2,3}(aggexp_{{2},count}(Pol)) at time 0 is the
+// histogram {<25, 2>, <35, 1>}, and the expression is invalid from time 10
+// (a correct result would need <25, 1>, which was never materialized).
+TEST_F(PaperExampleTest, Figure3aHistogram) {
+  auto e = Project(
+      Aggregate(Base("Pol"), {1}, AggregateFunction::Count()), {1, 2});
+  auto result = Evaluate(e, db_, T(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(TuplesAt(e, 0),
+            (std::vector<Tuple>{Tuple{25, 2}, Tuple{35, 1}}));
+  // <25, 2> expires at 10 (count's expiration strictly follows Eq. 8).
+  EXPECT_EQ(result->relation.GetTexp(Tuple{25, 2}), T(10));
+  EXPECT_EQ(result->relation.GetTexp(Tuple{35, 1}), T(10));
+  // The materialized expression becomes invalid at 10: the partition of
+  // degree 25 changes its count from 2 to 1 while still alive.
+  EXPECT_EQ(result->texp, T(10));
+  // Recomputation at 10 yields <25, 1>, which the materialization lacks.
+  auto at10 = Evaluate(e, db_, T(10));
+  ASSERT_TRUE(at10.ok());
+  EXPECT_EQ(TuplesAt(e, 10), (std::vector<Tuple>{Tuple{25, 1}}));
+  EXPECT_FALSE(
+      Relation::ContentsEqualAt(result->relation, at10->relation, T(10)));
+}
+
+// Figures 3(b)–(d): πexp_1(Pol) −exp πexp_1(El) at times 0, 3, 5 — the
+// result *grows* as tuples expire from El, so the materialization at 0 is
+// invalid from time 3 onwards.
+TEST_F(PaperExampleTest, Figure3bcdDifference) {
+  auto e = Difference(Project(Base("Pol"), {0}), Project(Base("El"), {0}));
+  EXPECT_EQ(TuplesAt(e, 0), (std::vector<Tuple>{Tuple{3}}));   // 3(b)
+  EXPECT_EQ(TuplesAt(e, 3),
+            (std::vector<Tuple>{Tuple{2}, Tuple{3}}));          // 3(c)
+  EXPECT_EQ(TuplesAt(e, 5),
+            (std::vector<Tuple>{Tuple{1}, Tuple{2}, Tuple{3}}));  // 3(d)
+
+  auto at0 = Evaluate(e, db_, T(0));
+  ASSERT_TRUE(at0.ok());
+  // texp(e) = 3: tuple <2> must re-appear when it expires from El at 3.
+  EXPECT_EQ(at0->texp, T(3));
+}
+
+// Sec. 2.7: operations on relations all of whose tuples share one
+// expiration time always yield expressions with infinite expiration time.
+TEST_F(PaperExampleTest, UniformTexpDifferenceNeverInvalid) {
+  Relation* r = db_.CreateRelation(
+                       "R", Schema({{"x", ValueType::kInt64}})).value();
+  Relation* s = db_.CreateRelation(
+                       "S", Schema({{"x", ValueType::kInt64}})).value();
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(r->Insert(Tuple{i}, T(7)).ok());
+  for (int i = 2; i < 6; ++i) ASSERT_TRUE(s->Insert(Tuple{i}, T(7)).ok());
+  auto result = Evaluate(Difference(Base("R"), Base("S")), db_, T(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->texp.IsInfinite());
+}
+
+// Sec. 2.7: operations on empty relations yield infinite expiration.
+TEST_F(PaperExampleTest, EmptyRelationsNeverInvalid) {
+  (void)db_.CreateRelation("E1", Schema({{"x", ValueType::kInt64}}));
+  (void)db_.CreateRelation("E2", Schema({{"x", ValueType::kInt64}}));
+  auto diff = Evaluate(Difference(Base("E1"), Base("E2")), db_, T(0));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->texp.IsInfinite());
+  auto agg = Evaluate(
+      Aggregate(Base("E1"), {}, AggregateFunction::Count()), db_, T(0));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg->texp.IsInfinite());
+  EXPECT_TRUE(agg->relation.empty());
+}
+
+}  // namespace
+}  // namespace expdb

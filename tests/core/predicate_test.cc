@@ -1,0 +1,133 @@
+#include "core/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+TEST(PredicateTest, DefaultIsTrue) {
+  Predicate p;
+  EXPECT_TRUE(p.Evaluate(Tuple{1, 2}));
+  EXPECT_TRUE(p.Evaluate(Tuple{}));
+}
+
+TEST(PredicateTest, Literals) {
+  EXPECT_TRUE(Predicate::Literal(true).Evaluate(Tuple{}));
+  EXPECT_FALSE(Predicate::Literal(false).Evaluate(Tuple{}));
+}
+
+TEST(PredicateTest, ColumnEqualsConstant) {
+  // The paper's uncorrelated selection: j = a.
+  Predicate p = Predicate::ColumnEquals(1, Value(25));
+  EXPECT_TRUE(p.Evaluate(Tuple{1, 25}));
+  EXPECT_FALSE(p.Evaluate(Tuple{1, 30}));
+  EXPECT_FALSE(p.IsCorrelated());
+}
+
+TEST(PredicateTest, ColumnsEqual) {
+  // The paper's correlated selection: j = k.
+  Predicate p = Predicate::ColumnsEqual(0, 2);
+  EXPECT_TRUE(p.Evaluate(Tuple{7, 0, 7}));
+  EXPECT_FALSE(p.Evaluate(Tuple{7, 0, 8}));
+  EXPECT_TRUE(p.IsCorrelated());
+}
+
+TEST(PredicateTest, AllComparisonOps) {
+  Tuple t{5};
+  auto cmp = [&](ComparisonOp op, int64_t c) {
+    return Predicate::Compare(Operand::Column(0), op,
+                              Operand::Constant(Value(c)))
+        .Evaluate(t);
+  };
+  EXPECT_TRUE(cmp(ComparisonOp::kEq, 5));
+  EXPECT_FALSE(cmp(ComparisonOp::kEq, 6));
+  EXPECT_TRUE(cmp(ComparisonOp::kNe, 6));
+  EXPECT_TRUE(cmp(ComparisonOp::kLt, 6));
+  EXPECT_FALSE(cmp(ComparisonOp::kLt, 5));
+  EXPECT_TRUE(cmp(ComparisonOp::kLe, 5));
+  EXPECT_TRUE(cmp(ComparisonOp::kGt, 4));
+  EXPECT_TRUE(cmp(ComparisonOp::kGe, 5));
+  EXPECT_FALSE(cmp(ComparisonOp::kGe, 6));
+}
+
+TEST(PredicateTest, AndOrNot) {
+  Predicate a = Predicate::ColumnEquals(0, Value(1));
+  Predicate b = Predicate::ColumnEquals(1, Value(2));
+  EXPECT_TRUE(a.And(b).Evaluate(Tuple{1, 2}));
+  EXPECT_FALSE(a.And(b).Evaluate(Tuple{1, 3}));
+  EXPECT_TRUE(a.Or(b).Evaluate(Tuple{9, 2}));
+  EXPECT_FALSE(a.Or(b).Evaluate(Tuple{9, 9}));
+  EXPECT_TRUE(a.Not().Evaluate(Tuple{9, 0}));
+  EXPECT_FALSE(a.Not().Evaluate(Tuple{1, 0}));
+}
+
+TEST(PredicateTest, MixedNumericComparison) {
+  Predicate p = Predicate::ColumnEquals(0, Value(3.0));
+  EXPECT_TRUE(p.Evaluate(Tuple{3}));
+}
+
+TEST(PredicateTest, ValidateChecksColumnRange) {
+  Schema s({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  EXPECT_TRUE(Predicate::ColumnsEqual(0, 1).Validate(s).ok());
+  EXPECT_EQ(Predicate::ColumnsEqual(0, 5).Validate(s).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(Predicate::ColumnEquals(2, Value(1)).Validate(s).code(),
+            StatusCode::kOutOfRange);
+  // Nested composition is validated too.
+  Predicate bad = Predicate::ColumnsEqual(0, 1)
+                      .And(Predicate::ColumnEquals(9, Value(1)));
+  EXPECT_FALSE(bad.Validate(s).ok());
+}
+
+TEST(PredicateTest, ReferencedColumns) {
+  Predicate p = Predicate::ColumnsEqual(0, 3)
+                    .Or(Predicate::ColumnEquals(1, Value(9)))
+                    .Not();
+  EXPECT_EQ(p.ReferencedColumns(), (std::set<size_t>{0, 1, 3}));
+}
+
+TEST(PredicateTest, ShiftColumns) {
+  // Shift a predicate formulated against S to index into R × S.
+  Predicate p = Predicate::ColumnEquals(0, Value(7));
+  Predicate shifted = p.ShiftColumns(0, 2);
+  EXPECT_TRUE(shifted.Evaluate(Tuple{0, 0, 7}));
+  EXPECT_FALSE(shifted.Evaluate(Tuple{7, 0, 0}));
+  // Only columns >= `from` shift.
+  Predicate q = Predicate::ColumnsEqual(0, 1).ShiftColumns(1, 2);
+  EXPECT_TRUE(q.Evaluate(Tuple{4, 0, 0, 4}));
+}
+
+TEST(PredicateTest, TopLevelEqualities) {
+  Predicate p = Predicate::ColumnsEqual(0, 2)
+                    .And(Predicate::ColumnsEqual(1, 3))
+                    .And(Predicate::ColumnEquals(0, Value(1)));
+  auto eqs = p.TopLevelEqualities();
+  ASSERT_EQ(eqs.size(), 2u);
+  EXPECT_EQ(eqs[0], (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(eqs[1], (std::pair<size_t, size_t>{1, 3}));
+  // Equalities under OR are not extractable.
+  Predicate q = Predicate::ColumnsEqual(0, 1).Or(Predicate::ColumnsEqual(2, 3));
+  EXPECT_TRUE(q.TopLevelEqualities().empty());
+  // Inequalities are not equalities.
+  Predicate r = Predicate::Compare(Operand::Column(0), ComparisonOp::kLt,
+                                   Operand::Column(1));
+  EXPECT_TRUE(r.TopLevelEqualities().empty());
+}
+
+TEST(PredicateTest, ToStringRendersOneBased) {
+  Predicate p = Predicate::ColumnsEqual(0, 2);
+  EXPECT_EQ(p.ToString(), "$1 = $3");
+  Predicate q = Predicate::ColumnEquals(1, Value("x"));
+  EXPECT_EQ(q.ToString(), "$2 = 'x'");
+}
+
+TEST(PredicateTest, SharedStructureIsImmutable) {
+  Predicate base = Predicate::ColumnEquals(0, Value(1));
+  Predicate combined = base.And(Predicate::ColumnEquals(0, Value(2)));
+  // `base` behaves the same after being composed.
+  EXPECT_TRUE(base.Evaluate(Tuple{1}));
+  EXPECT_FALSE(combined.Evaluate(Tuple{1}));
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,212 @@
+// Semijoin / antijoin (paper Sec. 2.4's derived-operator schema; Sec.
+// 3.4.2 names the anti-semijoin as the difference implementation).
+// Semantics, derived expiration times, equivalence with their defining
+// rewrites, critical analysis, and Theorem 3 patching on antijoin roots.
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "testing/workload.h"
+#include "view/materialized_view.h"
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+class SemiAntiJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Orders(cust, amount) and Customers(cust, tier): different schemas,
+    // matched on the first column.
+    Relation* orders = db_.CreateRelation(
+                              "Orders", Schema({{"cust", ValueType::kInt64},
+                                                {"amount", ValueType::kInt64}}))
+                           .value();
+    ASSERT_TRUE(orders->Insert(Tuple{1, 100}, T(20)).ok());
+    ASSERT_TRUE(orders->Insert(Tuple{2, 200}, T(12)).ok());
+    ASSERT_TRUE(orders->Insert(Tuple{3, 300}, T(25)).ok());
+    Relation* cust = db_.CreateRelation(
+                            "Customers", Schema({{"cust", ValueType::kInt64},
+                                                 {"tier", ValueType::kInt64}}))
+                         .value();
+    // Customer 1 has two rows with different lifetimes (4 and 9).
+    ASSERT_TRUE(cust->Insert(Tuple{1, 7}, T(4)).ok());
+    ASSERT_TRUE(cust->Insert(Tuple{1, 8}, T(9)).ok());
+    ASSERT_TRUE(cust->Insert(Tuple{2, 7}, T(30)).ok());
+    match_ = Predicate::ColumnsEqual(0, 2);
+  }
+
+  Database db_;
+  Predicate match_;
+};
+
+TEST_F(SemiAntiJoinTest, SemiJoinKeepsMatchedLeftTuples) {
+  auto e = SemiJoin(Base("Orders"), Base("Customers"), match_);
+  auto result = Evaluate(e, db_, T(0)).MoveValue();
+  EXPECT_EQ(result.relation.size(), 2u);
+  // Order of customer 1: min(texp_order 20, max match texp 9) = 9.
+  EXPECT_EQ(result.relation.GetTexp(Tuple{1, 100}), T(9));
+  // Order of customer 2: min(12, 30) = 12.
+  EXPECT_EQ(result.relation.GetTexp(Tuple{2, 200}), T(12));
+  EXPECT_FALSE(result.relation.Contains(Tuple{3, 300}));
+  // Monotonic: never invalid.
+  EXPECT_TRUE(e->IsMonotonic());
+  EXPECT_TRUE(result.texp.IsInfinite());
+}
+
+TEST_F(SemiAntiJoinTest, SemiJoinEqualsProjectOfJoin) {
+  auto semi = SemiJoin(Base("Orders"), Base("Customers"), match_);
+  auto rewrite = Project(Join(Base("Orders"), Base("Customers"), match_),
+                         {0, 1});
+  for (int64_t t : {0, 3, 5, 9, 12, 20, 31}) {
+    auto a = Evaluate(semi, db_, T(t)).MoveValue();
+    auto b = Evaluate(rewrite, db_, T(t)).MoveValue();
+    EXPECT_TRUE(Relation::EqualAt(a.relation, b.relation, T(t)))
+        << "semijoin != π(join) at " << t;
+  }
+}
+
+TEST_F(SemiAntiJoinTest, AntiJoinSuppressesUntilLastMatchExpires) {
+  auto e = AntiJoin(Base("Orders"), Base("Customers"), match_);
+  auto result = EvaluateDifferenceRoot(e, db_, T(0)).MoveValue();
+  // Only order 3 (no customer row) is in the result now.
+  EXPECT_EQ(result.result.relation.size(), 1u);
+  EXPECT_EQ(result.result.relation.GetTexp(Tuple{3, 300}), T(25));
+  // Order of customer 1 re-appears at 9 (when the longer-lived of the two
+  // customer rows expires), not at 4.
+  ASSERT_EQ(result.helper.size(), 1u);
+  EXPECT_EQ(result.helper[0].tuple, (Tuple{1, 100}));
+  EXPECT_EQ(result.helper[0].appears_at, T(9));
+  EXPECT_EQ(result.helper[0].expires_at, T(20));
+  // Order of customer 2 expires (12) before its match (30): not critical.
+  EXPECT_EQ(result.result.texp, T(9));
+  EXPECT_FALSE(e->IsMonotonic());
+}
+
+TEST_F(SemiAntiJoinTest, AntiJoinMatchesRecomputationEverywhereValid) {
+  auto e = AntiJoin(Base("Orders"), Base("Customers"), match_);
+  EvalOptions opts;
+  opts.compute_validity = true;
+  auto at0 = Evaluate(e, db_, T(0), opts).MoveValue();
+  for (int64_t t = 0; t <= 32; ++t) {
+    auto fresh = Evaluate(e, db_, T(t)).MoveValue();
+    const bool equal =
+        Relation::ContentsEqualAt(at0.relation, fresh.relation, T(t));
+    EXPECT_EQ(equal, at0.validity.Contains(T(t)))
+        << "validity wrong at " << t << ": " << at0.validity.ToString();
+  }
+}
+
+TEST_F(SemiAntiJoinTest, AntiJoinGeneralizesDifference) {
+  // With union-compatible inputs and an all-columns-equal predicate, the
+  // anti-join IS the difference.
+  Database db;
+  Relation* r = db.CreateRelation(
+                       "R", Schema({{"x", ValueType::kInt64}})).value();
+  Relation* s = db.CreateRelation(
+                       "S", Schema({{"x", ValueType::kInt64}})).value();
+  ASSERT_TRUE(r->Insert(Tuple{1}, T(10)).ok());
+  ASSERT_TRUE(r->Insert(Tuple{2}, T(15)).ok());
+  ASSERT_TRUE(s->Insert(Tuple{1}, T(5)).ok());
+  auto anti = AntiJoin(Base("R"), Base("S"), Predicate::ColumnsEqual(0, 1));
+  auto diff = Difference(Base("R"), Base("S"));
+  for (int64_t t = 0; t <= 16; ++t) {
+    auto a = Evaluate(anti, db, T(t)).MoveValue();
+    auto d = Evaluate(diff, db, T(t)).MoveValue();
+    EXPECT_TRUE(Relation::EqualAt(a.relation, d.relation, T(t)))
+        << "anti-join != difference at " << t;
+    EXPECT_EQ(a.texp, d.texp);
+  }
+}
+
+TEST_F(SemiAntiJoinTest, PatchedAntiJoinViewNeverRecomputes) {
+  auto e = AntiJoin(Base("Orders"), Base("Customers"), match_);
+  MaterializedView::Options opts;
+  opts.mode = RefreshMode::kPatchDifference;
+  MaterializedView view(e, opts);
+  ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
+  EXPECT_TRUE(view.texp().IsInfinite());  // Theorem 3, generalized
+  for (int64_t t = 0; t <= 32; ++t) {
+    auto rows = view.Read(db_, T(t)).MoveValue();
+    auto fresh = Evaluate(e, db_, T(t)).MoveValue();
+    EXPECT_TRUE(Relation::EqualAt(rows, fresh.relation, T(t)))
+        << "patched anti-join view diverges at " << t;
+  }
+  EXPECT_EQ(view.stats().recomputations, 0u);
+  EXPECT_EQ(view.stats().patches_applied, 1u);
+}
+
+TEST_F(SemiAntiJoinTest, NonEqualityPredicatesFallBackToScan) {
+  // amount > tier * 20 — no hashable equality at all.
+  auto pred = Predicate::Compare(Operand::Column(1), ComparisonOp::kGt,
+                                 Operand::Column(3));
+  auto semi = SemiJoin(Base("Orders"), Base("Customers"), pred);
+  auto rewrite =
+      Project(Join(Base("Orders"), Base("Customers"), pred), {0, 1});
+  auto a = Evaluate(semi, db_, T(0)).MoveValue();
+  auto b = Evaluate(rewrite, db_, T(0)).MoveValue();
+  EXPECT_TRUE(Relation::EqualAt(a.relation, b.relation, T(0)));
+  EXPECT_GT(a.relation.size(), 0u);
+}
+
+TEST_F(SemiAntiJoinTest, SchemaAndValidation) {
+  auto semi = SemiJoin(Base("Orders"), Base("Customers"), match_);
+  EXPECT_EQ(semi->InferSchema(db_).value().ToString(),
+            "(cust:int, amount:int)");
+  auto bad = AntiJoin(Base("Orders"), Base("Customers"),
+                      Predicate::ColumnsEqual(0, 9));
+  EXPECT_EQ(bad->InferSchema(db_).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Evaluate(bad, db_, T(0)).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(semi->ToString(),
+            "(Orders ⋉_{$1 = $3} Customers)");
+}
+
+// Randomized: semijoin ≡ π(join) and antijoin criticals are sound across
+// random relations.
+class SemiAntiPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SemiAntiPropertyTest, SemijoinMatchesRewriteEverywhere) {
+  Rng rng(GetParam());
+  Database db;
+  testing::RelationSpec spec;
+  spec.num_tuples = 60;
+  spec.arity = 2;
+  spec.value_domain = 6;
+  spec.ttl_min = 1;
+  spec.ttl_max = 20;
+  ASSERT_TRUE(testing::FillDatabase(&db, rng, spec, 2).ok());
+  Predicate p = Predicate::ColumnsEqual(0, 2);
+  auto semi = SemiJoin(Base("R0"), Base("R1"), p);
+  auto rewrite = Project(Join(Base("R0"), Base("R1"), p), {0, 1});
+  auto anti = AntiJoin(Base("R0"), Base("R1"), p);
+  EvalOptions opts;
+  opts.compute_validity = true;
+  auto anti0 = Evaluate(anti, db, T(0), opts).MoveValue();
+  for (int64_t t = 0; t <= 22; ++t) {
+    auto a = Evaluate(semi, db, T(t)).MoveValue();
+    auto b = Evaluate(rewrite, db, T(t)).MoveValue();
+    EXPECT_TRUE(Relation::EqualAt(a.relation, b.relation, T(t)))
+        << "seed " << GetParam() << " at " << t;
+    // Semijoin + antijoin partition the live left tuples.
+    auto left = Evaluate(Base("R0"), db, T(t)).MoveValue();
+    auto anti_t = Evaluate(anti, db, T(t)).MoveValue();
+    EXPECT_EQ(a.relation.size() + anti_t.relation.size(),
+              left.relation.size());
+    // Validity soundness for the antijoin materialized at 0.
+    if (anti0.validity.Contains(T(t))) {
+      EXPECT_TRUE(Relation::ContentsEqualAt(anti0.relation,
+                                            anti_t.relation, T(t)))
+          << "antijoin validity wrong at " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiAntiPropertyTest,
+                         ::testing::Range<uint64_t>(800, 810));
+
+}  // namespace
+}  // namespace expdb

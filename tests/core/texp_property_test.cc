@@ -1,0 +1,97 @@
+// Theorem 2 as a property test: for any expression e of operators
+// (1)-(10) materialized at τ with expression expiration texp(e), and any
+// τ <= τ' < texp(e),
+//
+//     expτ'(e) = expτ'(expτ(e))
+//
+// — the materialization is exact until the engine says it is not. Swept
+// over random databases, expression shapes, and all three aggregate
+// expiration modes.
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "testing/workload.h"
+
+namespace expdb {
+namespace {
+
+struct Config {
+  uint64_t seed;
+  size_t num_tuples;
+  size_t max_depth;
+  int64_t value_domain;
+  AggregateExpirationMode mode;
+};
+
+class TexpPropertyTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(TexpPropertyTest, ValidUntilTexp) {
+  const Config& cfg = GetParam();
+  Rng rng(cfg.seed);
+
+  Database db;
+  testing::RelationSpec rspec;
+  rspec.num_tuples = cfg.num_tuples;
+  rspec.arity = 2;
+  rspec.value_domain = cfg.value_domain;
+  rspec.ttl_min = 1;
+  rspec.ttl_max = 25;
+  rspec.infinite_fraction = 0.05;
+  ASSERT_TRUE(testing::FillDatabase(&db, rng, rspec, 3).ok());
+
+  testing::ExpressionSpec espec;
+  espec.max_depth = cfg.max_depth;
+  espec.allow_nonmonotonic = true;
+
+  EvalOptions opts;
+  opts.aggregate_mode = cfg.mode;
+
+  for (int trial = 0; trial < 10; ++trial) {
+    ExpressionPtr e = testing::MakeRandomExpression(rng, db, espec);
+    const Timestamp tau(rng.UniformInt(0, 3));
+    auto materialized = Evaluate(e, db, tau, opts);
+    ASSERT_TRUE(materialized.ok()) << materialized.status().ToString()
+                                   << "\n" << e->ToString();
+
+    // Check every instant from τ up to (excluding) texp(e), capped for
+    // infinite texp at a horizon past all finite expirations.
+    const Timestamp horizon =
+        materialized->texp.IsInfinite() ? Timestamp(30) : materialized->texp;
+    for (Timestamp tp = tau; tp < horizon; tp = tp.Next()) {
+      auto fresh = Evaluate(e, db, tp, opts);
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_TRUE(Relation::ContentsEqualAt(materialized->relation,
+                                            fresh->relation, tp))
+          << "expression: " << e->ToString() << "\nmode: "
+          << AggregateExpirationModeToString(cfg.mode)
+          << "\nmaterialized at " << tau << " with texp(e) = "
+          << materialized->texp << ", contents diverge at " << tp;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TexpPropertyTest,
+    ::testing::Values(
+        Config{11, 40, 3, 6, AggregateExpirationMode::kConservative},
+        Config{12, 40, 3, 6, AggregateExpirationMode::kContributingSet},
+        Config{13, 40, 3, 6, AggregateExpirationMode::kExact},
+        Config{14, 80, 4, 4, AggregateExpirationMode::kConservative},
+        Config{15, 80, 4, 4, AggregateExpirationMode::kContributingSet},
+        Config{16, 80, 4, 4, AggregateExpirationMode::kExact},
+        Config{17, 25, 5, 3, AggregateExpirationMode::kContributingSet},
+        Config{18, 25, 5, 3, AggregateExpirationMode::kExact},
+        Config{19, 150, 3, 10, AggregateExpirationMode::kContributingSet},
+        Config{20, 150, 3, 10, AggregateExpirationMode::kConservative},
+        Config{21, 60, 4, 5, AggregateExpirationMode::kExact},
+        Config{22, 60, 4, 5, AggregateExpirationMode::kContributingSet}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             std::string(AggregateExpirationModeToString(info.param.mode)
+                             .substr(0, 4)) +
+             "_n" + std::to_string(info.param.num_tuples);
+    });
+
+}  // namespace
+}  // namespace expdb

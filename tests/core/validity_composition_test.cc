@@ -1,0 +1,153 @@
+// Hand-crafted validity-interval compositions (Sec. 3.4 beyond the
+// root-operator cases): monotonic operators over invalid-window children,
+// intersections of windows from two non-monotonic subtrees, and the
+// "valid again when everything expired" tail.
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/expression.h"
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+class ValidityCompositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    opts_.compute_validity = true;
+    // A difference with one critical: window [4, 9).
+    Relation* r = db_.CreateRelation(
+                         "R", Schema({{"x", ValueType::kInt64}})).value();
+    Relation* s = db_.CreateRelation(
+                         "S", Schema({{"x", ValueType::kInt64}})).value();
+    ASSERT_TRUE(r->Insert(Tuple{1}, T(9)).ok());
+    ASSERT_TRUE(s->Insert(Tuple{1}, T(4)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{2}, T(30)).ok());
+    // A second difference with window [6, 12).
+    Relation* u = db_.CreateRelation(
+                         "U", Schema({{"x", ValueType::kInt64}})).value();
+    Relation* v = db_.CreateRelation(
+                         "V", Schema({{"x", ValueType::kInt64}})).value();
+    ASSERT_TRUE(u->Insert(Tuple{5}, T(12)).ok());
+    ASSERT_TRUE(v->Insert(Tuple{5}, T(6)).ok());
+    ASSERT_TRUE(u->Insert(Tuple{6}, T(30)).ok());
+  }
+
+  MaterializedResult Eval(const ExpressionPtr& e) {
+    auto r = Evaluate(e, db_, T(0), opts_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.MoveValue();
+  }
+
+  Database db_;
+  EvalOptions opts_;
+};
+
+TEST_F(ValidityCompositionTest, MonotonicWrapperInheritsWindows) {
+  auto diff = Difference(Base("R"), Base("S"));
+  auto wrapped = Project(
+      Select(diff, Predicate::Compare(Operand::Column(0),
+                                      ComparisonOp::kGe,
+                                      Operand::Constant(Value(0)))),
+      {0});
+  auto plain = Eval(diff);
+  auto composed = Eval(wrapped);
+  EXPECT_EQ(plain.validity, composed.validity);
+  IntervalSet expected = IntervalSet::From(T(0));
+  expected.Subtract(T(4), T(9));
+  EXPECT_EQ(composed.validity, expected);
+}
+
+TEST_F(ValidityCompositionTest, UnionIntersectsChildWindows) {
+  auto d1 = Difference(Base("R"), Base("S"));  // window [4, 9)
+  auto d2 = Difference(Base("U"), Base("V"));  // window [6, 12)
+  auto both = Union(d1, d2);
+  auto result = Eval(both);
+  IntervalSet expected = IntervalSet::From(T(0));
+  expected.Subtract(T(4), T(9));
+  expected.Subtract(T(6), T(12));
+  EXPECT_EQ(result.validity, expected);
+  // texp(e) is the earlier of the two invalidations.
+  EXPECT_EQ(result.texp, T(4));
+  // The validity set is sound: wherever it claims validity, contents
+  // match recomputation.
+  for (int64_t t = 0; t <= 32; ++t) {
+    if (!result.validity.Contains(T(t))) continue;
+    auto fresh = Evaluate(both, db_, T(t), opts_).MoveValue();
+    EXPECT_TRUE(
+        Relation::ContentsEqualAt(result.relation, fresh.relation, T(t)))
+        << "claimed valid but differs at " << t;
+  }
+}
+
+TEST_F(ValidityCompositionTest, DifferenceOfDifferences) {
+  // Nested non-monotonic operators: the outer difference intersects its
+  // own windows with its children's.
+  auto inner = Difference(Base("R"), Base("S"));
+  auto outer = Difference(inner, Base("V"));
+  auto result = Eval(outer);
+  // Sound everywhere claimed.
+  for (int64_t t = 0; t <= 32; ++t) {
+    if (!result.validity.Contains(T(t))) continue;
+    auto fresh = Evaluate(outer, db_, T(t), opts_).MoveValue();
+    EXPECT_TRUE(
+        Relation::ContentsEqualAt(result.relation, fresh.relation, T(t)));
+  }
+  // Invalid inside the inner window for sure.
+  EXPECT_FALSE(result.validity.Contains(T(5)));
+}
+
+TEST_F(ValidityCompositionTest, ValidAgainAfterEverythingExpired) {
+  // The paper's "extreme case": once all finite tuples have expired,
+  // every materialization is trivially valid. <2>@30 and <6>@30 are the
+  // last to go.
+  auto both = Union(Difference(Base("R"), Base("S")),
+                    Difference(Base("U"), Base("V")));
+  auto result = Eval(both);
+  EXPECT_TRUE(result.validity.Contains(T(12)));
+  EXPECT_TRUE(result.validity.Contains(T(1000)));
+  ASSERT_FALSE(result.validity.IsEmpty());
+  EXPECT_TRUE(result.validity.intervals().back().end.IsInfinite());
+}
+
+TEST_F(ValidityCompositionTest, AggregateOverDifference) {
+  // count over the R−S difference: the aggregate adds its own windows on
+  // top of the child's.
+  auto agg = Aggregate(Difference(Base("R"), Base("S")), {},
+                       AggregateFunction::Count());
+  EvalOptions exact = opts_;
+  exact.aggregate_mode = AggregateExpirationMode::kExact;
+  auto result = Evaluate(agg, db_, T(0), exact).MoveValue();
+  for (int64_t t = 0; t <= 32; ++t) {
+    if (!result.validity.Contains(T(t))) continue;
+    auto fresh = Evaluate(agg, db_, T(t), exact).MoveValue();
+    EXPECT_TRUE(
+        Relation::ContentsEqualAt(result.relation, fresh.relation, T(t)))
+        << "claimed valid but differs at " << t;
+  }
+  // The child's window [4,9) must be excluded.
+  EXPECT_FALSE(result.validity.Contains(T(5)));
+}
+
+TEST_F(ValidityCompositionTest, ValidityAlwaysCoversTexpWindow) {
+  for (const auto& e :
+       {Difference(Base("R"), Base("S")),
+        Union(Difference(Base("R"), Base("S")),
+              Difference(Base("U"), Base("V"))),
+        Aggregate(Base("R"), {}, AggregateFunction::Count())}) {
+    auto result = Eval(e);
+    for (Timestamp t = T(0); t < Timestamp::Min(result.texp, T(40));
+         t = t.Next()) {
+      EXPECT_TRUE(result.validity.Contains(t))
+          << e->ToString() << ": validity misses " << t << " < texp "
+          << result.texp;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace expdb

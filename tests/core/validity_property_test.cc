@@ -1,0 +1,146 @@
+// Schrödinger validity intervals (Sec. 3.4) as properties:
+//
+//  1. Soundness (all expressions): whenever the validity set contains τ',
+//     the expired materialization equals recomputation at τ'.
+//  2. Exactness (root-level difference/aggregate over monotonic inputs):
+//     the validity set contains τ' *iff* the materialization is correct —
+//     including the "valid again" tail after all critical tuples or whole
+//     partitions have expired, which a single expiration time cannot
+//     express.
+//  3. The validity set always covers [τ, texp(e)).
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "testing/workload.h"
+
+namespace expdb {
+namespace {
+
+class ValiditySoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValiditySoundnessTest, ValidImpliesCorrect) {
+  Rng rng(GetParam());
+  Database db;
+  testing::RelationSpec rspec;
+  rspec.num_tuples = 60;
+  rspec.arity = 2;
+  rspec.value_domain = 5;
+  rspec.ttl_min = 1;
+  rspec.ttl_max = 20;
+  ASSERT_TRUE(testing::FillDatabase(&db, rng, rspec, 3).ok());
+
+  testing::ExpressionSpec espec;
+  espec.max_depth = 4;
+  espec.allow_nonmonotonic = true;
+
+  EvalOptions opts;
+  opts.compute_validity = true;
+
+  for (int trial = 0; trial < 8; ++trial) {
+    ExpressionPtr e = testing::MakeRandomExpression(rng, db, espec);
+    auto materialized = Evaluate(e, db, Timestamp::Zero(), opts);
+    ASSERT_TRUE(materialized.ok());
+
+    // Invariant 3: [τ, texp(e)) ⊆ validity.
+    const Timestamp probe_end = materialized->texp.IsInfinite()
+                                    ? Timestamp(25)
+                                    : materialized->texp;
+    for (Timestamp t = Timestamp::Zero(); t < probe_end; t = t.Next()) {
+      EXPECT_TRUE(materialized->validity.Contains(t))
+          << e->ToString() << " validity " << materialized->validity.ToString()
+          << " misses " << t << " < texp " << materialized->texp;
+    }
+
+    // Invariant 1: valid => equal to recomputation.
+    for (int64_t tau = 0; tau <= 25; ++tau) {
+      const Timestamp t(tau);
+      if (!materialized->validity.Contains(t)) continue;
+      auto fresh = Evaluate(e, db, t, opts);
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_TRUE(Relation::ContentsEqualAt(materialized->relation,
+                                            fresh->relation, t))
+          << "expression: " << e->ToString() << "\nvalidity "
+          << materialized->validity.ToString() << " claims " << t
+          << " but contents diverge";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValiditySoundnessTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+class ValidityExactnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValidityExactnessTest, RootDifferenceExact) {
+  Rng rng(GetParam());
+  Database db;
+  testing::RelationSpec rspec;
+  rspec.num_tuples = 50;
+  rspec.arity = 1;
+  rspec.value_domain = 12;  // heavy overlap between R0 and R1
+  rspec.ttl_min = 1;
+  rspec.ttl_max = 15;
+  ASSERT_TRUE(testing::FillDatabase(&db, rng, rspec, 2).ok());
+
+  auto e = algebra::Difference(algebra::Base("R0"), algebra::Base("R1"));
+  EvalOptions opts;
+  opts.compute_validity = true;
+  auto materialized = Evaluate(e, db, Timestamp::Zero(), opts);
+  ASSERT_TRUE(materialized.ok());
+
+  for (int64_t tau = 0; tau <= 18; ++tau) {
+    const Timestamp t(tau);
+    auto fresh = Evaluate(e, db, t);
+    ASSERT_TRUE(fresh.ok());
+    const bool correct = Relation::ContentsEqualAt(materialized->relation,
+                                                   fresh->relation, t);
+    EXPECT_EQ(correct, materialized->validity.Contains(t))
+        << "at " << t << ", validity " << materialized->validity.ToString();
+  }
+  // The "valid again in the far future" property: after every finite
+  // expiration the result is trivially correct (both sides empty or
+  // infinite-only), so the last validity interval must be unbounded.
+  ASSERT_FALSE(materialized->validity.IsEmpty());
+  EXPECT_TRUE(
+      materialized->validity.intervals().back().end.IsInfinite());
+}
+
+TEST_P(ValidityExactnessTest, RootAggregateExact) {
+  Rng rng(GetParam() + 5000);
+  Database db;
+  testing::RelationSpec rspec;
+  rspec.num_tuples = 40;
+  rspec.arity = 2;
+  rspec.value_domain = 4;  // few groups, several slices per group
+  rspec.ttl_min = 1;
+  rspec.ttl_max = 12;
+  ASSERT_TRUE(testing::FillDatabase(&db, rng, rspec, 1).ok());
+
+  for (auto f : {AggregateFunction::Count(), AggregateFunction::Min(1),
+                 AggregateFunction::Sum(1), AggregateFunction::Avg(1)}) {
+    auto e = algebra::Aggregate(algebra::Base("R0"), {0}, f);
+    EvalOptions opts;
+    opts.compute_validity = true;
+    opts.aggregate_mode = AggregateExpirationMode::kExact;
+    auto materialized = Evaluate(e, db, Timestamp::Zero(), opts);
+    ASSERT_TRUE(materialized.ok());
+
+    for (int64_t tau = 0; tau <= 14; ++tau) {
+      const Timestamp t(tau);
+      auto fresh = Evaluate(e, db, t, opts);
+      ASSERT_TRUE(fresh.ok());
+      const bool correct = Relation::ContentsEqualAt(
+          materialized->relation, fresh->relation, t);
+      EXPECT_EQ(correct, materialized->validity.Contains(t))
+          << f.ToString() << " at " << t << ", validity "
+          << materialized->validity.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidityExactnessTest,
+                         ::testing::Range<uint64_t>(200, 210));
+
+}  // namespace
+}  // namespace expdb

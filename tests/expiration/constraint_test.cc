@@ -1,0 +1,77 @@
+#include "expiration/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+TEST(ConstraintTest, RowConstraintAcceptsAndRejects) {
+  ConstraintSet cs;
+  cs.AddRowConstraint("deg_range", "Pol",
+                      Predicate::Compare(Operand::Column(1),
+                                         ComparisonOp::kLe,
+                                         Operand::Constant(Value(100))));
+  EXPECT_TRUE(cs.CheckInsert("Pol", Tuple{1, 50}).ok());
+  Status bad = cs.CheckInsert("Pol", Tuple{1, 150});
+  EXPECT_EQ(bad.code(), StatusCode::kConstraintViolation);
+  // Constraints are per-relation: other relations unaffected.
+  EXPECT_TRUE(cs.CheckInsert("El", Tuple{1, 150}).ok());
+}
+
+TEST(ConstraintTest, MultipleRowConstraintsAllApply) {
+  ConstraintSet cs;
+  cs.AddRowConstraint("pos", "t",
+                      Predicate::Compare(Operand::Column(0),
+                                         ComparisonOp::kGe,
+                                         Operand::Constant(Value(0))));
+  cs.AddRowConstraint("small", "t",
+                      Predicate::Compare(Operand::Column(0),
+                                         ComparisonOp::kLt,
+                                         Operand::Constant(Value(10))));
+  EXPECT_TRUE(cs.CheckInsert("t", Tuple{5}).ok());
+  EXPECT_FALSE(cs.CheckInsert("t", Tuple{-1}).ok());
+  EXPECT_FALSE(cs.CheckInsert("t", Tuple{10}).ok());
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(ConstraintTest, MinCardinalityViolatedByExpiration) {
+  // The constraint that only time can break: |expτ(R)| >= k.
+  Database db;
+  Relation* rel = db.CreateRelation(
+                         "sessions", Schema({{"id", ValueType::kInt64}}))
+                      .value();
+  ASSERT_TRUE(rel->Insert(Tuple{1}, T(5)).ok());
+  ASSERT_TRUE(rel->Insert(Tuple{2}, T(10)).ok());
+
+  ConstraintSet cs;
+  cs.AddMinCardinality("quorum", "sessions", 2);
+
+  EXPECT_TRUE(cs.CheckCardinalities(db, T(0)).empty());
+  // At time 5, <1> is expired: quorum broken purely by time passing.
+  auto violations = cs.CheckCardinalities(db, T(5));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].constraint_name, "quorum");
+  EXPECT_EQ(violations[0].relation, "sessions");
+}
+
+TEST(ConstraintTest, MinCardinalityOnMissingRelationReports) {
+  ConstraintSet cs;
+  cs.AddMinCardinality("c", "ghost", 1);
+  Database db;
+  auto violations = cs.CheckCardinalities(db, T(0));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("does not exist"), std::string::npos);
+}
+
+TEST(ConstraintTest, EmptySetAcceptsEverything) {
+  ConstraintSet cs;
+  EXPECT_TRUE(cs.CheckInsert("any", Tuple{1, 2, 3}).ok());
+  Database db;
+  EXPECT_TRUE(cs.CheckCardinalities(db, T(0)).empty());
+  EXPECT_EQ(cs.size(), 0u);
+}
+
+}  // namespace
+}  // namespace expdb

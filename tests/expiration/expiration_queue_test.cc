@@ -1,0 +1,180 @@
+// Eager vs. lazy physical removal (paper Sec. 3.2): eager removes and
+// fires triggers the moment tuples expire; lazy keeps them invisible and
+// compacts in batches. Both must never let an expired tuple be observed.
+
+#include "expiration/expiration_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+Schema OneInt() { return Schema({{"x", ValueType::kInt64}}); }
+
+TEST(ExpirationManagerTest, EagerRemovesOnAdvance) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, T(5)).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{2}, T(10)).ok());
+  ASSERT_TRUE(em.AdvanceTo(T(5)).ok());
+  const Relation* rel = em.db().GetRelation("t").value();
+  EXPECT_EQ(rel->size(), 1u);  // <1> physically gone at its texp
+  EXPECT_FALSE(rel->Contains(Tuple{1}));
+  EXPECT_EQ(em.stats().removed, 1u);
+}
+
+TEST(ExpirationManagerTest, LazyKeepsInvisibleUntilCompaction) {
+  ExpirationManagerOptions opts;
+  opts.policy = RemovalPolicy::kLazy;
+  opts.lazy_compaction_threshold = 0;  // manual compaction only
+  ExpirationManager em(opts);
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, T(5)).ok());
+  ASSERT_TRUE(em.AdvanceTo(T(8)).ok());
+  const Relation* rel = em.db().GetRelation("t").value();
+  // Physically present but invisible through expτ.
+  EXPECT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->CountUnexpiredAt(em.Now()), 0u);
+  // Compaction removes it.
+  EXPECT_EQ(em.Compact(), 1u);
+  EXPECT_EQ(rel->size(), 0u);
+}
+
+TEST(ExpirationManagerTest, LazyAutoCompactsPastThreshold) {
+  ExpirationManagerOptions opts;
+  opts.policy = RemovalPolicy::kLazy;
+  opts.lazy_compaction_threshold = 0.4;
+  ExpirationManager em(opts);
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(em.Insert("t", Tuple{i}, T(i < 5 ? 5 : 100)).ok());
+  }
+  // At time 5, half the table is expired (> 40%): auto-compaction.
+  ASSERT_TRUE(em.AdvanceTo(T(5)).ok());
+  EXPECT_EQ(em.db().GetRelation("t").value()->size(), 5u);
+  EXPECT_GE(em.stats().compactions, 1u);
+}
+
+TEST(ExpirationManagerTest, TriggersFireInExpirationOrder) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{3}, T(9)).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, T(4)).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{2}, T(6)).ok());
+  std::vector<std::pair<Tuple, Timestamp>> fired;
+  em.AddTrigger([&](const ExpirationEvent& e) {
+    fired.emplace_back(e.tuple, e.texp);
+    EXPECT_EQ(e.relation, "t");
+  });
+  ASSERT_TRUE(em.AdvanceTo(T(10)).ok());
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0].first, Tuple{1});
+  EXPECT_EQ(fired[1].first, Tuple{2});
+  EXPECT_EQ(fired[2].first, Tuple{3});
+  EXPECT_EQ(em.stats().triggers_fired, 3u);
+}
+
+TEST(ExpirationManagerTest, LazyTriggersFireAtCompaction) {
+  ExpirationManagerOptions opts;
+  opts.policy = RemovalPolicy::kLazy;
+  opts.lazy_compaction_threshold = 0;
+  ExpirationManager em(opts);
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{2}, T(6)).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, T(4)).ok());
+  std::vector<Tuple> fired;
+  em.AddTrigger([&](const ExpirationEvent& e) { fired.push_back(e.tuple); });
+  ASSERT_TRUE(em.AdvanceTo(T(10)).ok());
+  EXPECT_TRUE(fired.empty());  // deferred
+  em.Compact();
+  // Still in expiration order within the batch.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], Tuple{1});
+  EXPECT_EQ(fired[1], Tuple{2});
+}
+
+TEST(ExpirationManagerTest, StaleHeapEntriesAfterLifetimeExtension) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, T(5)).ok());
+  // Re-insert with a longer lifetime: relation keeps max texp = 12.
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, T(12)).ok());
+  ASSERT_TRUE(em.AdvanceTo(T(6)).ok());
+  // The @5 heap entry is stale; the tuple must survive.
+  EXPECT_TRUE(em.db().GetRelation("t").value()->Contains(Tuple{1}));
+  EXPECT_GE(em.stats().stale_heap_entries, 1u);
+  ASSERT_TRUE(em.AdvanceTo(T(12)).ok());
+  EXPECT_FALSE(em.db().GetRelation("t").value()->Contains(Tuple{1}));
+}
+
+TEST(ExpirationManagerTest, StaleHeapEntriesAfterErase) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, T(5)).ok());
+  em.db().GetRelation("t").value()->Erase(Tuple{1});
+  size_t fired = 0;
+  em.AddTrigger([&](const ExpirationEvent&) { ++fired; });
+  ASSERT_TRUE(em.AdvanceTo(T(6)).ok());
+  EXPECT_EQ(fired, 0u);  // no ghost trigger for the erased tuple
+}
+
+TEST(ExpirationManagerTest, InsertRejectsPastExpiration) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.AdvanceTo(T(10)).ok());
+  EXPECT_EQ(em.Insert("t", Tuple{1}, T(10)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(em.Insert("t", Tuple{1}, T(3)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(em.Insert("t", Tuple{1}, T(11)).ok());
+}
+
+TEST(ExpirationManagerTest, InsertWithTtl) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.AdvanceTo(T(5)).ok());
+  ASSERT_TRUE(em.InsertWithTtl("t", Tuple{1}, 7).ok());
+  EXPECT_EQ(em.db().GetRelation("t").value()->GetTexp(Tuple{1}), T(12));
+  EXPECT_EQ(em.InsertWithTtl("t", Tuple{2}, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExpirationManagerTest, InfiniteTuplesNeverEnterTheQueue) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.CreateRelation("t", OneInt()).ok());
+  ASSERT_TRUE(em.Insert("t", Tuple{1}, Timestamp::Infinity()).ok());
+  EXPECT_EQ(em.queue_size(), 0u);
+  ASSERT_TRUE(em.AdvanceTo(T(1'000'000)).ok());
+  EXPECT_TRUE(em.db().GetRelation("t").value()->Contains(Tuple{1}));
+}
+
+TEST(ExpirationManagerTest, TimeCannotMoveBackwards) {
+  ExpirationManager em;
+  ASSERT_TRUE(em.AdvanceTo(T(5)).ok());
+  EXPECT_FALSE(em.AdvanceTo(T(4)).ok());
+  EXPECT_FALSE(em.Advance(-1).ok());
+}
+
+TEST(ExpirationManagerTest, EagerAndLazyConvergeToSameVisibleState) {
+  auto run = [](RemovalPolicy policy) {
+    ExpirationManagerOptions opts;
+    opts.policy = policy;
+    ExpirationManager em(opts);
+    EXPECT_TRUE(em.CreateRelation("t", OneInt()).ok());
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(em.Insert("t", Tuple{i}, T(1 + (i * 7) % 20)).ok());
+    }
+    std::vector<Tuple> visible;
+    EXPECT_TRUE(em.AdvanceTo(T(10)).ok());
+    em.db().GetRelation("t").value()->ForEachUnexpired(
+        em.Now(), [&](const Tuple& t, Timestamp) { visible.push_back(t); });
+    std::sort(visible.begin(), visible.end());
+    return visible;
+  };
+  EXPECT_EQ(run(RemovalPolicy::kEager), run(RemovalPolicy::kLazy));
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,71 @@
+#include "relational/printer.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+Relation PolTable() {
+  Relation pol(Schema({{"UID", ValueType::kInt64},
+                       {"Deg", ValueType::kInt64}}));
+  EXPECT_TRUE(pol.Insert(Tuple{1, 25}, Timestamp(10)).ok());
+  EXPECT_TRUE(pol.Insert(Tuple{2, 25}, Timestamp(15)).ok());
+  EXPECT_TRUE(pol.Insert(Tuple{3, 35}, Timestamp(10)).ok());
+  return pol;
+}
+
+TEST(PrinterTest, TableWithTexpColumn) {
+  std::string out = PrintRelation(PolTable());
+  // Header first, texp leading (Figure 1 layout).
+  EXPECT_NE(out.find("texp"), std::string::npos);
+  EXPECT_NE(out.find("UID"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("25"), std::string::npos);
+  // Three data rows + header + separator = 5 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(PrinterTest, FilterExpired) {
+  PrintOptions opts;
+  opts.at = Timestamp(10);
+  std::string out = PrintRelation(PolTable(), opts);
+  // Only <2, 25> @15 survives at time 10.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("15"), std::string::npos);
+}
+
+TEST(PrinterTest, UnfilteredShowsEverything) {
+  PrintOptions opts;
+  opts.at = Timestamp(100);
+  opts.filter_expired = false;
+  std::string out = PrintRelation(PolTable(), opts);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(PrinterTest, HideTexp) {
+  PrintOptions opts;
+  opts.show_texp = false;
+  std::string out = PrintRelation(PolTable(), opts);
+  EXPECT_EQ(out.find("texp"), std::string::npos);
+}
+
+TEST(PrinterTest, Caption) {
+  PrintOptions opts;
+  opts.caption = "Politics table Pol";
+  std::string out = PrintRelation(PolTable(), opts);
+  EXPECT_EQ(out.rfind("Politics table Pol", 0), 0u);
+}
+
+TEST(PrinterTest, PrintTuplesCompactForm) {
+  std::string out = PrintTuples(PolTable(), Timestamp(0));
+  EXPECT_EQ(out, "<1, 25>\n<2, 25>\n<3, 35>\n");
+}
+
+TEST(PrinterTest, PrintTuplesEmptyMatchesFigure2g) {
+  // Figure 2(g) renders the empty result as "(the query is empty)".
+  std::string out = PrintTuples(PolTable(), Timestamp(15));
+  EXPECT_EQ(out, "(the query is empty)\n");
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,183 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+Schema OneInt() { return Schema({{"x", ValueType::kInt64}}); }
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+TEST(RelationTest, InsertAndLookup) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(10)).ok());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple{1}));
+  EXPECT_EQ(r.GetTexp(Tuple{1}), T(10));
+  EXPECT_FALSE(r.GetTexp(Tuple{2}).has_value());
+}
+
+TEST(RelationTest, InsertDefaultsToInfinity) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}).ok());
+  EXPECT_TRUE(r.GetTexp(Tuple{1})->IsInfinite());
+}
+
+TEST(RelationTest, DuplicateInsertKeepsMaxTexp) {
+  // Set semantics: re-insertion is idempotent; lifetime is monotone.
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(10)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(5)).ok());
+  EXPECT_EQ(r.GetTexp(Tuple{1}), T(10));
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(20)).ok());
+  EXPECT_EQ(r.GetTexp(Tuple{1}), T(20));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, InsertChecksArity) {
+  Relation r(OneInt());
+  EXPECT_EQ(r.Insert(Tuple{1, 2}, T(10)).code(), StatusCode::kTypeError);
+}
+
+TEST(RelationTest, InsertChecksTypes) {
+  Relation r(OneInt());
+  EXPECT_EQ(r.Insert(Tuple{"str"}, T(10)).code(), StatusCode::kTypeError);
+  EXPECT_EQ(r.Insert(Tuple{1.5}, T(10)).code(), StatusCode::kTypeError);
+}
+
+TEST(RelationTest, IntCoercesIntoDoubleColumn) {
+  Relation r(Schema({{"x", ValueType::kDouble}}));
+  ASSERT_TRUE(r.Insert(Tuple{3}, T(10)).ok());
+  // Stored as double; lookup by double value works.
+  EXPECT_TRUE(r.Contains(Tuple{3.0}));
+  auto entries = r.SortedEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].first.at(0).is_double());
+}
+
+TEST(RelationTest, InsertWithTtl) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.InsertWithTtl(Tuple{1}, T(5), 10).ok());
+  EXPECT_EQ(r.GetTexp(Tuple{1}), T(15));
+  EXPECT_EQ(r.InsertWithTtl(Tuple{2}, T(5), -1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, ExpTauSemantics) {
+  // expτ(R) = {r | texp_R(r) > τ}: strict inequality.
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(10)).ok());
+  EXPECT_TRUE(r.ContainsUnexpired(Tuple{1}, T(9)));
+  EXPECT_FALSE(r.ContainsUnexpired(Tuple{1}, T(10)));
+  EXPECT_FALSE(r.ContainsUnexpired(Tuple{1}, T(11)));
+}
+
+TEST(RelationTest, UnexpiredAtFiltersAndPreservesTexp) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(10)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(5)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{3}).ok());
+  Relation live = r.UnexpiredAt(T(5));
+  EXPECT_EQ(live.size(), 2u);
+  EXPECT_EQ(live.GetTexp(Tuple{1}), T(10));
+  EXPECT_TRUE(live.GetTexp(Tuple{3})->IsInfinite());
+  EXPECT_FALSE(live.Contains(Tuple{2}));
+}
+
+TEST(RelationTest, CountUnexpired) {
+  Relation r(OneInt());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple{i}, T(i + 1)).ok());
+  }
+  EXPECT_EQ(r.CountUnexpiredAt(T(0)), 10u);
+  EXPECT_EQ(r.CountUnexpiredAt(T(5)), 5u);
+  EXPECT_EQ(r.CountUnexpiredAt(T(10)), 0u);
+}
+
+TEST(RelationTest, RemoveExpiredReturnsInExpiryOrder) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{3}, T(7)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(3)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(3)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{4}, T(100)).ok());
+  auto removed = r.RemoveExpired(T(10));
+  ASSERT_EQ(removed.size(), 3u);
+  EXPECT_EQ(removed[0].first, Tuple{1});  // (3, <1>)
+  EXPECT_EQ(removed[1].first, Tuple{2});  // (3, <2>)
+  EXPECT_EQ(removed[2].first, Tuple{3});  // (7, <3>)
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, NextExpirationAfter) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(10)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(4)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{3}).ok());  // infinite: never "next"
+  EXPECT_EQ(r.NextExpirationAfter(T(0)), T(4));
+  EXPECT_EQ(r.NextExpirationAfter(T(4)), T(10));
+  EXPECT_FALSE(r.NextExpirationAfter(T(10)).has_value());
+}
+
+TEST(RelationTest, MergeMaxUnchecked) {
+  Relation r(OneInt());
+  r.MergeMaxUnchecked(Tuple{1}, T(5));
+  r.MergeMaxUnchecked(Tuple{1}, T(9));
+  r.MergeMaxUnchecked(Tuple{1}, T(2));
+  EXPECT_EQ(r.GetTexp(Tuple{1}), T(9));
+}
+
+TEST(RelationTest, InsertUncheckedOverwrites) {
+  Relation r(OneInt());
+  r.InsertUnchecked(Tuple{1}, T(9));
+  r.InsertUnchecked(Tuple{1}, T(2));  // overwrite, not max
+  EXPECT_EQ(r.GetTexp(Tuple{1}), T(2));
+}
+
+TEST(RelationTest, EqualityHelpers) {
+  Relation a(OneInt()), b(OneInt());
+  ASSERT_TRUE(a.Insert(Tuple{1}, T(10)).ok());
+  ASSERT_TRUE(b.Insert(Tuple{1}, T(12)).ok());
+  // Same contents, different texps.
+  EXPECT_TRUE(Relation::ContentsEqualAt(a, b, T(0)));
+  EXPECT_FALSE(Relation::EqualAt(a, b, T(0)));
+  // At time 10, a's tuple is expired: contents differ.
+  EXPECT_FALSE(Relation::ContentsEqualAt(a, b, T(10)));
+  // At 12 both are expired: equal (both empty).
+  EXPECT_TRUE(Relation::ContentsEqualAt(a, b, T(12)));
+  EXPECT_TRUE(Relation::EqualAt(a, b, T(12)));
+}
+
+TEST(RelationTest, EraseAndClear) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(10)).ok());
+  EXPECT_TRUE(r.Erase(Tuple{1}));
+  EXPECT_FALSE(r.Erase(Tuple{1}));
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(10)).ok());
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, RenameAttributes) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.RenameAttributes({"renamed"}).ok());
+  EXPECT_EQ(r.schema().attribute(0).name, "renamed");
+  EXPECT_EQ(r.RenameAttributes({"a", "b"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, ForEachUnexpiredVisitsExactlyLiveTuples) {
+  Relation r(OneInt());
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(5)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(15)).ok());
+  size_t visits = 0;
+  r.ForEachUnexpired(T(5), [&](const Tuple& t, Timestamp texp) {
+    ++visits;
+    EXPECT_EQ(t, Tuple{2});
+    EXPECT_EQ(texp, T(15));
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+}  // namespace
+}  // namespace expdb

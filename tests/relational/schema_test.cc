@@ -1,0 +1,76 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+Schema TwoCol() {
+  return Schema({{"UID", ValueType::kInt64}, {"Deg", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, ArityAndAccess) {
+  Schema s = TwoCol();
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.attribute(0).name, "UID");
+  EXPECT_EQ(s.attribute(1).type, ValueType::kInt64);
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  auto r = Schema::Make({{"a", ValueType::kInt64}, {"a", ValueType::kInt64}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, MakeRejectsEmptyNames) {
+  auto r = Schema::Make({{"", ValueType::kInt64}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = TwoCol();
+  EXPECT_EQ(s.IndexOf("Deg").value(), 1u);
+  EXPECT_EQ(s.IndexOf("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ConcatDisambiguatesNames) {
+  Schema s = TwoCol().Concat(TwoCol());
+  EXPECT_EQ(s.arity(), 4u);
+  EXPECT_EQ(s.attribute(0).name, "UID");
+  EXPECT_EQ(s.attribute(2).name, "UID.2");
+  EXPECT_EQ(s.attribute(3).name, "Deg.2");
+}
+
+TEST(SchemaTest, ProjectReordersAndRepeats) {
+  Schema s = TwoCol();
+  Schema p = s.Project({1, 0}).value();
+  EXPECT_EQ(p.attribute(0).name, "Deg");
+  EXPECT_EQ(p.attribute(1).name, "UID");
+  // Repeated columns get fresh names.
+  Schema pp = s.Project({0, 0}).value();
+  EXPECT_EQ(pp.attribute(0).name, "UID");
+  EXPECT_EQ(pp.attribute(1).name, "UID.2");
+}
+
+TEST(SchemaTest, ProjectRejectsOutOfRange) {
+  EXPECT_EQ(TwoCol().Project({5}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, UnionCompatibility) {
+  // The paper requires equal arity; ExpDB additionally checks types.
+  Schema a({{"x", ValueType::kInt64}, {"y", ValueType::kString}});
+  Schema b({{"p", ValueType::kInt64}, {"q", ValueType::kString}});
+  Schema c({{"p", ValueType::kString}, {"q", ValueType::kInt64}});
+  Schema d({{"p", ValueType::kInt64}});
+  EXPECT_TRUE(a.UnionCompatibleWith(b));  // names may differ
+  EXPECT_FALSE(a.UnionCompatibleWith(c));  // types differ
+  EXPECT_FALSE(a.UnionCompatibleWith(d));  // arity differs
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TwoCol().ToString(), "(UID:int, Deg:int)");
+  EXPECT_EQ(Schema().ToString(), "()");
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,72 @@
+#include "relational/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace expdb {
+namespace {
+
+TEST(TupleTest, ConstructionAndAccess) {
+  Tuple t{1, 25};
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_EQ(t.at(0), Value(1));
+  EXPECT_EQ(t[1], Value(25));
+}
+
+TEST(TupleTest, Equality) {
+  EXPECT_EQ((Tuple{1, 2}), (Tuple{1, 2}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{2, 1}));
+  EXPECT_NE((Tuple{1}), (Tuple{1, 2}));
+  // Numeric equality crosses int/double.
+  EXPECT_EQ((Tuple{1, 2.0}), (Tuple{1, 2}));
+}
+
+TEST(TupleTest, Concat) {
+  EXPECT_EQ((Tuple{1, 2}.Concat(Tuple{3})), (Tuple{1, 2, 3}));
+  EXPECT_EQ((Tuple{}.Concat(Tuple{1})), (Tuple{1}));
+}
+
+TEST(TupleTest, Project) {
+  Tuple t{10, 20, 30};
+  EXPECT_EQ(t.Project({2, 0}), (Tuple{30, 10}));
+  EXPECT_EQ(t.Project({}), Tuple{});
+  EXPECT_EQ(t.Project({1, 1}), (Tuple{20, 20}));
+}
+
+TEST(TupleTest, PrefixSuffix) {
+  Tuple t{1, 2, 3, 4};
+  EXPECT_EQ(t.Prefix(2), (Tuple{1, 2}));
+  EXPECT_EQ(t.Suffix(2), (Tuple{3, 4}));
+  EXPECT_EQ(t.Prefix(0), Tuple{});
+  EXPECT_EQ(t.Suffix(4), Tuple{});
+}
+
+TEST(TupleTest, Append) {
+  EXPECT_EQ((Tuple{1}.Append(Value(9))), (Tuple{1, 9}));
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT((Tuple{1, 2}), (Tuple{1, 3}));
+  EXPECT_LT((Tuple{1, 2}), (Tuple{2, 0}));
+  EXPECT_LT((Tuple{1}), (Tuple{1, 0}));  // prefix sorts first
+  EXPECT_FALSE((Tuple{1, 2}) < (Tuple{1, 2}));
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  EXPECT_EQ((Tuple{1, 2}).Hash(), (Tuple{1, 2}).Hash());
+  EXPECT_EQ((Tuple{1, 2.0}).Hash(), (Tuple{1, 2}).Hash());
+  std::unordered_set<Tuple> set;
+  set.insert(Tuple{1, 2});
+  set.insert(Tuple{1, 2});
+  set.insert(Tuple{1.0, 2.0});
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TupleTest, ToStringUsesAngleBrackets) {
+  EXPECT_EQ((Tuple{1, 25}).ToString(), "<1, 25>");
+  EXPECT_EQ(Tuple{}.ToString(), "<>");
+}
+
+}  // namespace
+}  // namespace expdb

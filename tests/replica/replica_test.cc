@@ -1,0 +1,164 @@
+// Loosely-coupled synchronization (experiment C5 substrate): the
+// expiration-aware protocols must serve exact reads with bounded traffic;
+// the naive baseline trades traffic against staleness.
+
+#include <gtest/gtest.h>
+
+#include "replica/protocol.h"
+#include "testing/workload.h"
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation* r = db_.CreateRelation(
+                         "R", Schema({{"x", ValueType::kInt64}})).value();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(r->Insert(Tuple{i}, T(1 + (i * 3) % 17)).ok());
+    }
+    Relation* s = db_.CreateRelation(
+                         "S", Schema({{"x", ValueType::kInt64}})).value();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(s->Insert(Tuple{i}, T(1 + (i * 5) % 13)).ok());
+    }
+  }
+  Database db_;
+};
+
+TEST_F(ReplicaTest, ServerValidatesAndServes) {
+  ReplicationServer server(&db_);
+  ASSERT_TRUE(server.RegisterQuery("q", Base("R")).ok());
+  EXPECT_EQ(server.RegisterQuery("q", Base("R")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(server.RegisterQuery("bad", Base("missing")).code(),
+            StatusCode::kNotFound);
+  SimulatedNetwork net;
+  auto result = server.Fetch("q", T(0), &net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().tuples_transferred, result->relation.size());
+  EXPECT_FALSE(server.Fetch("nope", T(0), &net).ok());
+}
+
+TEST_F(ReplicaTest, NetworkCostModel) {
+  SimulatedNetwork net(NetworkCostModel{100.0, 2.0});
+  net.CountMessage(10);
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().tuples_transferred, 10u);
+  EXPECT_DOUBLE_EQ(net.stats().latency_units, 120.0);
+  net.Reset();
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+TEST_F(ReplicaTest, ExpirationAwareMonotonicFetchesOnce) {
+  SimulationConfig cfg;
+  cfg.protocol = SyncProtocol::kExpirationAware;
+  cfg.horizon = 40;
+  auto report = RunSyncSimulation(
+      db_, {{"q", Project(Base("R"), {0})}}, cfg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->client.fetches, 1u);       // subscribe only
+  EXPECT_EQ(report->stale_reads, 0u);          // always exact
+  EXPECT_EQ(report->exact_reads, 41u);
+  EXPECT_EQ(report->network.messages, 1u);
+}
+
+TEST_F(ReplicaTest, NaivePollingIsStaleBetweenPolls) {
+  SimulationConfig cfg;
+  cfg.protocol = SyncProtocol::kNaivePeriodic;
+  cfg.horizon = 16;
+  cfg.poll_interval = 8;
+  auto report = RunSyncSimulation(db_, {{"q", Base("R")}}, cfg);
+  ASSERT_TRUE(report.ok());
+  // Polls at 0, 8, 16 -> 3 fetches; with ~17 expiry instants in between,
+  // most intermediate reads are stale.
+  EXPECT_EQ(report->client.fetches, 3u);
+  EXPECT_GT(report->stale_reads, 5u);
+}
+
+TEST_F(ReplicaTest, ExpirationAwareNonMonotonicRefetchesOnInvalidation) {
+  SimulationConfig cfg;
+  cfg.protocol = SyncProtocol::kExpirationAware;
+  cfg.horizon = 20;
+  auto report = RunSyncSimulation(
+      db_, {{"diff", Difference(Base("R"), Base("S"))}}, cfg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->stale_reads, 0u);
+  EXPECT_GT(report->client.fetches, 1u);  // invalidations forced refetches
+}
+
+TEST_F(ReplicaTest, PatchedDifferenceNeverRefetches) {
+  SimulationConfig cfg;
+  cfg.protocol = SyncProtocol::kExpirationAwarePatch;
+  cfg.horizon = 25;
+  auto report = RunSyncSimulation(
+      db_, {{"diff", Difference(Base("R"), Base("S"))}}, cfg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->stale_reads, 0u);
+  EXPECT_EQ(report->client.fetches, 1u);  // helper absorbed everything
+  EXPECT_EQ(report->network.messages, 1u);
+}
+
+TEST_F(ReplicaTest, PatchProtocolTradesUpFrontTuplesForMessages) {
+  // The paper's "classic trade-off": the patch fetch ships extra helper
+  // tuples up front, but saves all later round trips.
+  auto run = [&](SyncProtocol protocol) {
+    SimulationConfig cfg;
+    cfg.protocol = protocol;
+    cfg.horizon = 25;
+    return RunSyncSimulation(
+               db_, {{"diff", Difference(Base("R"), Base("S"))}}, cfg)
+        .value();
+  };
+  auto aware = run(SyncProtocol::kExpirationAware);
+  auto patch = run(SyncProtocol::kExpirationAwarePatch);
+  EXPECT_LT(patch.network.messages, aware.network.messages);
+  EXPECT_EQ(patch.stale_reads, 0u);
+  EXPECT_EQ(aware.stale_reads, 0u);
+}
+
+TEST_F(ReplicaTest, ClientErrorsSurface) {
+  ReplicationServer server(&db_);
+  ASSERT_TRUE(server.RegisterQuery("q", Base("R")).ok());
+  SimulatedNetwork net;
+  ReplicationClient client(&server, &net, {});
+  EXPECT_EQ(client.Read("q", T(0)).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(client.Subscribe("q", T(0)).ok());
+  EXPECT_EQ(client.Subscribe("q", T(0)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ReplicaTest, PropertyEveryProtocolScoredAgainstGroundTruth) {
+  // Randomized end-to-end check over a bigger database.
+  Rng rng(77);
+  Database db;
+  testing::RelationSpec spec;
+  spec.num_tuples = 150;
+  spec.arity = 2;
+  spec.value_domain = 10;
+  spec.ttl_min = 1;
+  spec.ttl_max = 40;
+  ASSERT_TRUE(testing::FillDatabase(&db, rng, spec, 2).ok());
+  std::vector<std::pair<std::string, ExpressionPtr>> queries = {
+      {"proj", Project(Base("R0"), {0})},
+      {"diff", Difference(Project(Base("R0"), {0, 1}),
+                          Project(Base("R1"), {0, 1}))}};
+
+  for (SyncProtocol protocol : {SyncProtocol::kExpirationAware,
+                                SyncProtocol::kExpirationAwarePatch}) {
+    SimulationConfig cfg;
+    cfg.protocol = protocol;
+    cfg.horizon = 45;
+    auto report = RunSyncSimulation(db, queries, cfg);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->stale_reads, 0u) << SyncProtocolToString(protocol);
+  }
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,162 @@
+// Binder unit tests: name resolution (qualified, unqualified, aliased,
+// ambiguous), lowering shapes (join formation, aggregate chains, set
+// ops), and error reporting.
+
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "sql/parser.h"
+
+namespace expdb {
+namespace sql {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateRelation("pol", Schema({{"uid", ValueType::kInt64},
+                                                  {"deg", ValueType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateRelation("el", Schema({{"uid", ValueType::kInt64},
+                                                 {"deg", ValueType::kInt64}}))
+                    .ok());
+  }
+
+  Result<BoundSelect> Bind(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    return BindSelect(std::get<SelectStatement>(*stmt), db_);
+  }
+
+  Database db_;
+};
+
+TEST_F(BinderTest, StarSelectsWholeRelation) {
+  auto bound = Bind("SELECT * FROM pol");
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->expr->kind(), ExprKind::kBase);
+  EXPECT_EQ(bound->column_names,
+            (std::vector<std::string>{"uid", "deg"}));
+}
+
+TEST_F(BinderTest, ColumnListBecomesProjection) {
+  auto bound = Bind("SELECT deg, uid FROM pol");
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->expr->kind(), ExprKind::kProject);
+  EXPECT_EQ(bound->expr->projection(), (std::vector<size_t>{1, 0}));
+}
+
+TEST_F(BinderTest, AliasRenamesOutput) {
+  auto bound = Bind("SELECT uid AS who FROM pol");
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->column_names, (std::vector<std::string>{"who"}));
+}
+
+TEST_F(BinderTest, TwoTableWhereBecomesJoinNode) {
+  auto bound = Bind("SELECT pol.uid FROM pol, el WHERE pol.uid = el.uid");
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->expr->kind(), ExprKind::kProject);
+  EXPECT_EQ(bound->expr->left()->kind(), ExprKind::kJoin);
+}
+
+TEST_F(BinderTest, QualifiedNamesUseTableAliases) {
+  auto bound =
+      Bind("SELECT p.uid FROM pol p, el e WHERE p.deg = e.deg");
+  ASSERT_TRUE(bound.ok());
+  // Original table name no longer resolves once aliased.
+  auto bad = Bind("SELECT pol.uid FROM pol p, el e WHERE p.deg = e.deg");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(BinderTest, UnqualifiedAmbiguityDetected) {
+  EXPECT_EQ(Bind("SELECT uid FROM pol, el").status().code(),
+            StatusCode::kInvalidArgument);
+  // Qualification resolves it.
+  EXPECT_TRUE(Bind("SELECT pol.uid FROM pol, el").ok());
+}
+
+TEST_F(BinderTest, UnknownColumnAndTable) {
+  EXPECT_EQ(Bind("SELECT ghost FROM pol").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Bind("SELECT uid FROM ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, SelfJoinThroughAliases) {
+  auto bound = Bind(
+      "SELECT a.uid FROM pol a, pol b WHERE a.uid = b.deg");
+  ASSERT_TRUE(bound.ok());
+  auto result = Evaluate(bound->expr, db_, Timestamp(0));
+  ASSERT_TRUE(result.ok());
+}
+
+TEST_F(BinderTest, AggregateChainShape) {
+  auto bound = Bind(
+      "SELECT deg, COUNT(*), SUM(uid) FROM pol GROUP BY deg");
+  ASSERT_TRUE(bound.ok());
+  // π over agg over agg over base.
+  const Expression* n = bound->expr.get();
+  ASSERT_EQ(n->kind(), ExprKind::kProject);
+  EXPECT_EQ(n->projection(), (std::vector<size_t>{1, 2, 3}));
+  n = n->left().get();
+  ASSERT_EQ(n->kind(), ExprKind::kAggregate);
+  EXPECT_EQ(n->aggregate().kind, AggregateKind::kSum);
+  n = n->left().get();
+  ASSERT_EQ(n->kind(), ExprKind::kAggregate);
+  EXPECT_EQ(n->aggregate().kind, AggregateKind::kCount);
+  EXPECT_EQ(n->left()->kind(), ExprKind::kBase);
+  EXPECT_EQ(bound->column_names,
+            (std::vector<std::string>{"deg", "count", "sum_1"}));
+}
+
+TEST_F(BinderTest, GroupByUnknownColumn) {
+  EXPECT_FALSE(Bind("SELECT COUNT(*) FROM pol GROUP BY ghost").ok());
+}
+
+TEST_F(BinderTest, SetOpsLowerToAlgebraNodes) {
+  auto u = Bind("SELECT uid FROM pol UNION SELECT uid FROM el");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->expr->kind(), ExprKind::kUnion);
+  auto i = Bind("SELECT uid FROM pol INTERSECT SELECT uid FROM el");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->expr->kind(), ExprKind::kIntersect);
+  auto d = Bind("SELECT uid FROM pol EXCEPT SELECT uid FROM el");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->expr->kind(), ExprKind::kDifference);
+  EXPECT_FALSE(d->expr->IsMonotonic());
+}
+
+TEST_F(BinderTest, ThreeTableFromBuildsProductChain) {
+  auto bound = Bind("SELECT pol.uid FROM pol, el, pol x WHERE pol.deg = 5");
+  ASSERT_TRUE(bound.ok());
+  // project -> select -> product(product(pol, el), x)
+  const Expression* n = bound->expr.get();
+  ASSERT_EQ(n->kind(), ExprKind::kProject);
+  n = n->left().get();
+  ASSERT_EQ(n->kind(), ExprKind::kSelect);
+  n = n->left().get();
+  ASSERT_EQ(n->kind(), ExprKind::kProduct);
+  EXPECT_EQ(n->left()->kind(), ExprKind::kProduct);
+}
+
+TEST_F(BinderTest, StarWithGroupByRejected) {
+  EXPECT_EQ(Bind("SELECT * FROM pol GROUP BY deg").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, BindWhereStandalone) {
+  auto stmt = ParseStatement("SELECT * FROM pol WHERE deg >= 30");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = std::get<SelectStatement>(*stmt);
+  ASSERT_NE(select.where, nullptr);
+  auto pred = BindWhere(*select.where, select.from, db_);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(pred->Evaluate(Tuple{1, 35}));
+  EXPECT_FALSE(pred->Evaluate(Tuple{1, 25}));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace expdb

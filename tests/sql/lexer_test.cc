@@ -1,0 +1,106 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& in) {
+  auto r = Lex(in);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndNormalized) {
+  auto tokens = MustLex("select SeLeCt SELECT");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = MustLex("myTable _x a1");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "myTable");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "a1");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto tokens = MustLex("42 -7 0");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, -7);
+  EXPECT_EQ(tokens[2].int_value, 0);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  auto tokens = MustLex("2.5 -0.25");
+  EXPECT_EQ(tokens[0].type, TokenType::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, -0.25);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = MustLex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_EQ(Lex("'oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, SymbolsAndOperators) {
+  auto tokens = MustLex("( ) , ; . * = != <= >= < > <>");
+  std::vector<std::string> expected = {"(", ")", ",", ";", ".", "*", "=",
+                                       "!=", "<=", ">=", "<", ">", "!="};
+  ASSERT_EQ(tokens.size(), expected.size() + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol);
+    EXPECT_EQ(tokens[i].text, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, CommentsIgnoredToEndOfLine) {
+  auto tokens = MustLex("select -- this is a comment\n 42");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].int_value, 42);
+}
+
+TEST(LexerTest, MinusBeforeDigitIsNegativeLiteral) {
+  auto tokens = MustLex("-5");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, -5);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_EQ(Lex("select @").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, FullStatement) {
+  auto tokens = MustLex(
+      "INSERT INTO sessions VALUES (1, 'key') TTL 30;");
+  // INSERT INTO sessions VALUES ( 1 , 'key' ) TTL 30 ; <end>
+  ASSERT_EQ(tokens.size(), 13u);
+  EXPECT_EQ(tokens[0].text, "INSERT");
+  EXPECT_EQ(tokens[2].text, "sessions");
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[9].text, "TTL");
+  EXPECT_EQ(tokens[10].int_value, 30);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace expdb

@@ -1,0 +1,143 @@
+// SQL robustness: malformed, truncated, and randomized inputs must
+// produce Status errors — never crashes — and must leave the session
+// fully usable afterwards.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace sql {
+namespace {
+
+TEST(SqlRobustnessTest, MalformedStatementsReturnErrors) {
+  Session s;
+  const char* bad[] = {
+      "",
+      "   ",
+      "SELECT",
+      "SELECT FROM",
+      "SELECT * FROM",
+      "SELECT * FORM t",
+      "CREATE",
+      "CREATE TABLE",
+      "CREATE TABLE t",
+      "CREATE TABLE t (",
+      "CREATE TABLE t (x)",
+      "CREATE TABLE t (x INT",
+      "INSERT t VALUES (1)",
+      "INSERT INTO t",
+      "INSERT INTO t VALUES",
+      "INSERT INTO t VALUES (",
+      "INSERT INTO t VALUES (1",
+      "INSERT INTO t VALUES (1) TTL",
+      "INSERT INTO t VALUES (1) EXPIRE",
+      "INSERT INTO t VALUES (1) EXPIRE AT 'soon'",
+      "DROP",
+      "DROP DATABASE x",
+      "ADVANCE",
+      "ADVANCE TIME",
+      "SHOW",
+      "SHOW ME",
+      "DELETE t",
+      "SELECT * FROM t WHERE",
+      "SELECT * FROM t WHERE x",
+      "SELECT * FROM t WHERE x =",
+      "SELECT * FROM t WHERE x = = 1",
+      "SELECT * FROM t GROUP",
+      "SELECT * FROM t UNION",
+      "SELECT COUNT( FROM t",
+      "CREATE VIEW v AS",
+      "CREATE VIEW v WITH () AS SELECT * FROM t",
+      "CREATE VIEW v WITH (mode) AS SELECT * FROM t",
+      "'unterminated",
+      "SELECT * FROM t;;;; extra",
+      "((((((((",
+      "SELECT * FROM t WHERE (((x = 1)",
+  };
+  for (const char* stmt : bad) {
+    auto r = s.Execute(stmt);
+    EXPECT_FALSE(r.ok()) << "accepted malformed input: " << stmt;
+  }
+  // Session is still healthy.
+  EXPECT_TRUE(s.Execute("CREATE TABLE t (x INT)").ok());
+  EXPECT_TRUE(s.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_TRUE(s.Execute("SELECT * FROM t").ok());
+}
+
+TEST(SqlRobustnessTest, SemanticErrorsDoNotCorruptState) {
+  Session s;
+  ASSERT_TRUE(s.Execute("CREATE TABLE t (x INT)").ok());
+  const char* bad[] = {
+      "SELECT * FROM ghost",
+      "SELECT ghost FROM t",
+      "INSERT INTO ghost VALUES (1)",
+      "INSERT INTO t VALUES ('wrong')",
+      "INSERT INTO t VALUES (1, 2)",
+      "SELECT x FROM t GROUP BY ghost",
+      "SELECT SUM(x) FROM t GROUP BY ghost",
+      "SELECT x FROM t UNION SELECT x, x FROM t",
+      "CREATE TABLE t (y INT)",   // duplicate
+      "DROP VIEW nope",
+      "DELETE FROM ghost",
+  };
+  for (const char* stmt : bad) {
+    EXPECT_FALSE(s.Execute(stmt).ok()) << stmt;
+  }
+  ASSERT_TRUE(s.Execute("INSERT INTO t VALUES (7)").ok());
+  auto r = s.Execute("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->relation->CountUnexpiredAt(r->served_at), 1u);
+}
+
+TEST(SqlRobustnessTest, RandomPrintableGarbageNeverCrashes) {
+  Session s;
+  ASSERT_TRUE(s.Execute("CREATE TABLE t (x INT)").ok());
+  Rng rng(424242);
+  const std::string alphabet =
+      "abcXYZ019 '\",.*()=<>!;-_\n\tSELECTFROMWHEREINSERT";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string garbage;
+    const int len = static_cast<int>(rng.UniformInt(1, 60));
+    for (int i = 0; i < len; ++i) {
+      garbage += alphabet[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))];
+    }
+    // Must return, with either outcome, and never throw or crash.
+    auto result = s.Execute(garbage);
+    (void)result;
+  }
+  EXPECT_TRUE(s.Execute("SELECT * FROM t").ok());
+}
+
+TEST(SqlRobustnessTest, DeeplyNestedPredicatesParse) {
+  Session s;
+  ASSERT_TRUE(s.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(s.Execute("INSERT INTO t VALUES (5)").ok());
+  std::string stmt = "SELECT * FROM t WHERE ";
+  for (int i = 0; i < 200; ++i) stmt += "(";
+  stmt += "x = 5";
+  for (int i = 0; i < 200; ++i) stmt += ")";
+  auto r = s.Execute(stmt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->relation->CountUnexpiredAt(r->served_at), 1u);
+}
+
+TEST(SqlRobustnessTest, LongScriptsAndManyStatements) {
+  Session s;
+  std::string script = "CREATE TABLE t (x INT);";
+  for (int i = 0; i < 500; ++i) {
+    script += "INSERT INTO t VALUES (" + std::to_string(i) + ") TTL " +
+              std::to_string(1 + i % 50) + ";";
+  }
+  script += "SELECT COUNT(*) AS n FROM t;";
+  auto results = s.ExecuteScript(script);
+  ASSERT_TRUE(results.ok());
+  const auto& last = results->back();
+  EXPECT_TRUE(last.relation->Contains(Tuple{500}));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace expdb

@@ -1,0 +1,368 @@
+// End-to-end ExpSQL session tests: DDL, expiring inserts, transparent
+// queries, ADVANCE TIME, views with every maintenance mode, and the paper's
+// running example driven purely through SQL.
+
+#include "sql/session.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace sql {
+namespace {
+
+ExecResult MustExec(Session& s, const std::string& stmt) {
+  auto r = s.Execute(stmt);
+  EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : ExecResult{};
+}
+
+size_t RowsAt(const ExecResult& r) {
+  EXPECT_TRUE(r.relation.has_value());
+  return r.relation.has_value()
+             ? r.relation->CountUnexpiredAt(r.served_at)
+             : 0;
+}
+
+TEST(SessionTest, CreateInsertSelect) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT, name STRING)");
+  MustExec(s, "INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  auto r = MustExec(s, "SELECT * FROM t");
+  EXPECT_EQ(RowsAt(r), 2u);
+  EXPECT_EQ(r.relation->schema().attribute(0).name, "x");
+}
+
+TEST(SessionTest, ExpirationIsTransparentToQueries) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 5");
+  MustExec(s, "INSERT INTO t VALUES (2) TTL 10");
+  MustExec(s, "INSERT INTO t VALUES (3) EXPIRE NEVER");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 3u);
+  MustExec(s, "ADVANCE TIME 5");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 2u);
+  MustExec(s, "ADVANCE TIME TO 10");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 1u);
+  MustExec(s, "ADVANCE TIME 1000000");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 1u);  // EXPIRE NEVER
+}
+
+TEST(SessionTest, ExpireAtAbsolute) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "ADVANCE TIME 5");
+  MustExec(s, "INSERT INTO t VALUES (1) EXPIRE AT 8");
+  // Inserting with an expiration in the past is rejected.
+  EXPECT_FALSE(s.Execute("INSERT INTO t VALUES (2) EXPIRE AT 3").ok());
+  MustExec(s, "ADVANCE TIME 3");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 0u);
+}
+
+TEST(SessionTest, WhereAndProjection) {
+  Session s;
+  MustExec(s, "CREATE TABLE pol (uid INT, deg INT)");
+  MustExec(s, "INSERT INTO pol VALUES (1, 25), (2, 25), (3, 35)");
+  auto r = MustExec(s, "SELECT uid FROM pol WHERE deg = 25");
+  EXPECT_EQ(RowsAt(r), 2u);
+  auto dedup = MustExec(s, "SELECT deg FROM pol");
+  EXPECT_EQ(RowsAt(dedup), 2u);  // set semantics: {25, 35}
+}
+
+TEST(SessionTest, JoinThroughSql) {
+  Session s;
+  MustExec(s, "CREATE TABLE a (x INT, y INT)");
+  MustExec(s, "CREATE TABLE b (x INT, z INT)");
+  MustExec(s, "INSERT INTO a VALUES (1, 10), (2, 20)");
+  MustExec(s, "INSERT INTO b VALUES (1, 100), (3, 300)");
+  auto r = MustExec(
+      s, "SELECT a.y, b.z FROM a, b WHERE a.x = b.x");
+  EXPECT_EQ(RowsAt(r), 1u);
+  EXPECT_TRUE(r.relation->Contains(Tuple{10, 100}));
+}
+
+TEST(SessionTest, AmbiguousColumnRejected) {
+  Session s;
+  MustExec(s, "CREATE TABLE a (x INT)");
+  MustExec(s, "CREATE TABLE b (x INT)");
+  auto r = s.Execute("SELECT x FROM a, b WHERE x = 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, GroupByCountMatchesFigure3a) {
+  Session s;
+  MustExec(s, "CREATE TABLE pol (uid INT, deg INT)");
+  MustExec(s, "INSERT INTO pol VALUES (1, 25) EXPIRE AT 10");
+  MustExec(s, "INSERT INTO pol VALUES (2, 25) EXPIRE AT 15");
+  MustExec(s, "INSERT INTO pol VALUES (3, 35) EXPIRE AT 10");
+  auto r = MustExec(s, "SELECT deg, COUNT(*) FROM pol GROUP BY deg");
+  EXPECT_EQ(RowsAt(r), 2u);
+  EXPECT_TRUE(r.relation->Contains(Tuple{25, 2}));
+  EXPECT_TRUE(r.relation->Contains(Tuple{35, 1}));
+}
+
+TEST(SessionTest, MultipleAggregates) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (k INT, v INT)");
+  MustExec(s, "INSERT INTO t VALUES (1, 10), (1, 20), (2, 5)");
+  auto r = MustExec(
+      s, "SELECT k, SUM(v), AVG(v), MIN(v) FROM t GROUP BY k");
+  EXPECT_EQ(RowsAt(r), 2u);
+  EXPECT_TRUE(r.relation->Contains(Tuple{1, 30, 15.0, 10}));
+  EXPECT_TRUE(r.relation->Contains(Tuple{2, 5, 5.0, 5}));
+}
+
+TEST(SessionTest, GlobalAggregateWithoutGroupBy) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (v INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3)");
+  auto r = MustExec(s, "SELECT COUNT(*) AS n FROM t");
+  EXPECT_EQ(RowsAt(r), 1u);
+  EXPECT_TRUE(r.relation->Contains(Tuple{3}));
+  EXPECT_EQ(r.relation->schema().attribute(0).name, "n");
+}
+
+TEST(SessionTest, BareColumnOutsideGroupByRejected) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (k INT, v INT)");
+  EXPECT_FALSE(s.Execute("SELECT v, COUNT(*) FROM t GROUP BY k").ok());
+}
+
+TEST(SessionTest, SetOperations) {
+  Session s;
+  MustExec(s, "CREATE TABLE a (x INT)");
+  MustExec(s, "CREATE TABLE b (x INT)");
+  MustExec(s, "INSERT INTO a VALUES (1), (2), (3)");
+  MustExec(s, "INSERT INTO b VALUES (2), (3), (4)");
+  EXPECT_EQ(RowsAt(MustExec(
+                s, "SELECT x FROM a UNION SELECT x FROM b")),
+            4u);
+  EXPECT_EQ(RowsAt(MustExec(
+                s, "SELECT x FROM a INTERSECT SELECT x FROM b")),
+            2u);
+  EXPECT_EQ(RowsAt(MustExec(
+                s, "SELECT x FROM a EXCEPT SELECT x FROM b")),
+            1u);
+}
+
+TEST(SessionTest, PaperDifferenceThroughSql) {
+  // Figures 3(b)-(d) driven via SQL.
+  Session s;
+  MustExec(s, "CREATE TABLE pol (uid INT, deg INT)");
+  MustExec(s, "CREATE TABLE el (uid INT, deg INT)");
+  MustExec(s, "INSERT INTO pol VALUES (1, 25) EXPIRE AT 10");
+  MustExec(s, "INSERT INTO pol VALUES (2, 25) EXPIRE AT 15");
+  MustExec(s, "INSERT INTO pol VALUES (3, 35) EXPIRE AT 10");
+  MustExec(s, "INSERT INTO el VALUES (1, 75) EXPIRE AT 5");
+  MustExec(s, "INSERT INTO el VALUES (2, 85) EXPIRE AT 3");
+  MustExec(s, "INSERT INTO el VALUES (4, 90) EXPIRE AT 2");
+  const std::string q =
+      "SELECT uid FROM pol EXCEPT SELECT uid FROM el";
+  EXPECT_EQ(RowsAt(MustExec(s, q)), 1u);   // {<3>}
+  MustExec(s, "ADVANCE TIME 3");
+  EXPECT_EQ(RowsAt(MustExec(s, q)), 2u);   // {<2>, <3>}
+  MustExec(s, "ADVANCE TIME 2");
+  EXPECT_EQ(RowsAt(MustExec(s, q)), 3u);   // {<1>, <2>, <3>}
+}
+
+TEST(SessionTest, MaterializedViewLifecycle) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 5");
+  MustExec(s, "INSERT INTO t VALUES (2) TTL 10");
+  auto created = MustExec(s, "CREATE VIEW v AS SELECT x FROM t");
+  EXPECT_NE(created.message.find("monotonic"), std::string::npos);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM v")), 2u);
+  MustExec(s, "ADVANCE TIME 7");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM v")), 1u);
+  MustExec(s, "DROP VIEW v");
+  EXPECT_FALSE(s.Execute("SELECT * FROM v").ok());  // now unknown table
+}
+
+TEST(SessionTest, ViewWithPatchMode) {
+  Session s;
+  MustExec(s, "CREATE TABLE r (x INT)");
+  MustExec(s, "CREATE TABLE q (x INT)");
+  MustExec(s, "INSERT INTO r VALUES (1) EXPIRE AT 10");
+  MustExec(s, "INSERT INTO q VALUES (1) EXPIRE AT 4");
+  MustExec(s,
+           "CREATE VIEW v WITH (mode = patch) AS "
+           "SELECT x FROM r EXCEPT SELECT x FROM q");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM v")), 0u);
+  MustExec(s, "ADVANCE TIME 5");
+  // The critical tuple <1> was patched in, not recomputed.
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM v")), 1u);
+  EXPECT_EQ(s.views().GetView("v").value()->stats().recomputations, 0u);
+  EXPECT_EQ(s.views().GetView("v").value()->stats().patches_applied, 1u);
+}
+
+TEST(SessionTest, ViewWithAggModeOption) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (k INT, v INT)");
+  MustExec(s, "INSERT INTO t VALUES (1, 5) EXPIRE AT 20");
+  MustExec(s, "INSERT INTO t VALUES (1, 9) EXPIRE AT 10");
+  MustExec(s,
+           "CREATE VIEW m WITH (agg = contributing) AS "
+           "SELECT k, MIN(v) FROM t GROUP BY k");
+  // min = 5 is held by the tuple living to 20: view valid past 10.
+  EXPECT_TRUE(s.views().GetView("m").value()->texp().IsInfinite());
+  MustExec(s, "ADVANCE TIME 12");
+  auto r = MustExec(s, "SELECT * FROM m");
+  EXPECT_TRUE(r.relation->Contains(Tuple{1, 5}));
+  EXPECT_EQ(s.views().GetView("m").value()->stats().recomputations, 0u);
+}
+
+TEST(SessionTest, ComplexQueriesOverViewsWork) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT, y INT)");
+  MustExec(s, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30) TTL 8");
+  MustExec(s, "INSERT INTO t VALUES (4, 40) TTL 20");
+  MustExec(s, "CREATE VIEW v AS SELECT x, y FROM t");
+  // Filtering a view.
+  auto filtered = MustExec(s, "SELECT x FROM v WHERE y >= 20");
+  EXPECT_EQ(RowsAt(filtered), 3u);
+  // Joining a view against a base table.
+  MustExec(s, "CREATE TABLE names (x INT, name STRING)");
+  MustExec(s, "INSERT INTO names VALUES (2, 'bob'), (4, 'dana')");
+  auto joined = MustExec(
+      s, "SELECT name FROM v, names WHERE v.x = names.x");
+  EXPECT_EQ(RowsAt(joined), 2u);
+  // Aggregating a view.
+  auto agg = MustExec(s, "SELECT COUNT(*) FROM v");
+  EXPECT_TRUE(agg.relation->Contains(Tuple{4}));
+  // View contents respect expiration in derived queries too.
+  MustExec(s, "ADVANCE TIME 10");
+  auto later = MustExec(s, "SELECT COUNT(*) FROM v");
+  EXPECT_TRUE(later.relation->Contains(Tuple{1}));
+}
+
+TEST(SessionTest, SetOpMixingViewAndTable) {
+  Session s;
+  MustExec(s, "CREATE TABLE a (x INT)");
+  MustExec(s, "CREATE TABLE b (x INT)");
+  MustExec(s, "INSERT INTO a VALUES (1), (2)");
+  MustExec(s, "INSERT INTO b VALUES (2), (3)");
+  MustExec(s, "CREATE VIEW va AS SELECT x FROM a");
+  auto r = MustExec(s, "SELECT x FROM va UNION SELECT x FROM b");
+  EXPECT_EQ(RowsAt(r), 3u);
+}
+
+TEST(SessionTest, ViewDefinitionsAreRewrittenForIndependence) {
+  // The session runs the Sec. 3.1 rewriter over every view definition.
+  // Observable effect here: σq(σp(R)) collapses to a single merged
+  // selection, and a filtered EXCEPT keeps its per-arm pushed form, so
+  // texp(e) reflects only the criticals that survive the filters.
+  Session s;
+  ASSERT_TRUE(s.Execute("CREATE TABLE r (x INT)").ok());
+  ASSERT_TRUE(s.Execute("CREATE TABLE q (x INT)").ok());
+  ASSERT_TRUE(s.Execute("INSERT INTO r VALUES (1) EXPIRE AT 20").ok());
+  ASSERT_TRUE(s.Execute("INSERT INTO q VALUES (1) EXPIRE AT 4").ok());
+  ASSERT_TRUE(s.Execute("INSERT INTO r VALUES (10) EXPIRE AT 20").ok());
+  ASSERT_TRUE(s.Execute("INSERT INTO q VALUES (10) EXPIRE AT 6").ok());
+  ASSERT_TRUE(
+      s.Execute("CREATE VIEW v WITH (mode = lazy) AS "
+                "SELECT x FROM r WHERE x >= 5 "
+                "EXCEPT SELECT x FROM q WHERE x >= 5")
+          .ok());
+  MaterializedView* v = s.views().GetView("v").value();
+  EXPECT_EQ(v->expression()->kind(), ExprKind::kDifference);
+  // Only <10> (q-expiry 6) is critical after the filter; <1>'s q-expiry
+  // at 4 is irrelevant.
+  EXPECT_EQ(v->texp(), Timestamp(6));
+}
+
+TEST(SessionTest, ViewWithToleranceOption) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (k INT, v INT)");
+  MustExec(s, "INSERT INTO t VALUES (1, 3) EXPIRE AT 10");
+  MustExec(s, "INSERT INTO t VALUES (1, 7) EXPIRE AT 20");
+  MustExec(s, "INSERT INTO t VALUES (1, 100) EXPIRE AT 30");
+  MustExec(s,
+           "CREATE VIEW strict_sum AS SELECT k, SUM(v) FROM t GROUP BY k");
+  MustExec(s,
+           "CREATE VIEW approx_sum WITH (tolerance = 5) AS "
+           "SELECT k, SUM(v) FROM t GROUP BY k");
+  // Exact view dies at the first drift (10); the ε = 5 view tolerates the
+  // 3-unit drift and lives until 20.
+  EXPECT_EQ(s.views().GetView("strict_sum").value()->texp(), Timestamp(10));
+  EXPECT_EQ(s.views().GetView("approx_sum").value()->texp(), Timestamp(20));
+  EXPECT_FALSE(
+      s.Execute(
+           "CREATE VIEW bad WITH (tolerance = 'x') AS SELECT k FROM t")
+          .ok());
+}
+
+TEST(SessionTest, UnknownViewOptionRejected) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  EXPECT_FALSE(
+      s.Execute("CREATE VIEW v WITH (mode = warp) AS SELECT x FROM t")
+          .ok());
+  EXPECT_FALSE(
+      s.Execute("CREATE VIEW v WITH (frobnicate = 1) AS SELECT x FROM t")
+          .ok());
+}
+
+TEST(SessionTest, DeleteRespectsVisibility) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 3");
+  MustExec(s, "INSERT INTO t VALUES (2), (3)");
+  MustExec(s, "ADVANCE TIME 5");
+  auto r = MustExec(s, "DELETE FROM t WHERE x >= 2");
+  EXPECT_NE(r.message.find("2 rows"), std::string::npos);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 0u);
+}
+
+TEST(SessionTest, ShowStatements) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "CREATE VIEW v AS SELECT x FROM t");
+  EXPECT_NE(MustExec(s, "SHOW TABLES").message.find("t"),
+            std::string::npos);
+  EXPECT_NE(MustExec(s, "SHOW VIEWS").message.find("v"),
+            std::string::npos);
+  MustExec(s, "ADVANCE TIME 4");
+  EXPECT_NE(MustExec(s, "SHOW TIME").message.find("4"), std::string::npos);
+}
+
+TEST(SessionTest, ExecuteScriptStopsAtFirstError) {
+  Session s;
+  auto r = s.ExecuteScript(
+      "CREATE TABLE t (x INT);"
+      "INSERT INTO t VALUES ('wrong type');"
+      "INSERT INTO t VALUES (1)");
+  EXPECT_FALSE(r.ok());
+  // The table exists, the bad insert failed, the third never ran.
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 0u);
+}
+
+TEST(SessionTest, FormatExecResultRendersTable) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (7) TTL 9");
+  auto r = MustExec(s, "SELECT * FROM t");
+  std::string text = FormatExecResult(r);
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("1 row"), std::string::npos);
+  auto msg = MustExec(s, "SHOW TIME");
+  EXPECT_EQ(FormatExecResult(msg), msg.message + "\n");
+}
+
+TEST(SessionTest, LazyExpirationPolicySession) {
+  Session::Options opts;
+  opts.expiration.policy = RemovalPolicy::kLazy;
+  opts.expiration.lazy_compaction_threshold = 0;
+  Session s(opts);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 2");
+  MustExec(s, "ADVANCE TIME 5");
+  // Physically present, logically invisible.
+  EXPECT_EQ(s.db().GetRelation("t").value()->size(), 1u);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 0u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace expdb

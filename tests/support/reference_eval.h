@@ -1,0 +1,199 @@
+// A deliberately naive reference evaluator for differential testing.
+//
+// Implements the paper's operator definitions *literally* — nested loops,
+// no hash paths, derived operators expanded through their defining
+// rewrites (⋈ via Eq. 5, ∩ via Eq. 6, ⋉ via π(⋈)) — and entirely
+// independently of src/core/eval.cc. Any divergence between the two
+// evaluators on any input is a bug in one of them.
+
+#ifndef EXPDB_TESTS_SUPPORT_REFERENCE_EVAL_H_
+#define EXPDB_TESTS_SUPPORT_REFERENCE_EVAL_H_
+
+#include <map>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/expression.h"
+#include "relational/database.h"
+
+namespace expdb {
+namespace testing {
+
+/// \brief Evaluates `e` at time `tau` per the paper's definitions.
+/// Aggregation uses the conservative Eq. (8) rule (the reference baseline
+/// every optimized mode must refine). Only the result relation is
+/// produced; expression-level texp is out of scope here.
+inline Result<Relation> ReferenceEval(const ExpressionPtr& e,
+                                      const Database& db, Timestamp tau) {
+  using Entries = std::vector<std::pair<Tuple, Timestamp>>;
+  auto entries_of = [](const Relation& r) {
+    return r.SortedEntries();
+  };
+
+  switch (e->kind()) {
+    case ExprKind::kBase: {
+      EXPDB_ASSIGN_OR_RETURN(const Relation* rel,
+                             db.GetRelation(e->relation_name()));
+      // expτ(R) = {r | texp_R(r) > τ}.
+      Relation out(rel->schema());
+      for (const auto& [t, texp] : entries_of(*rel)) {
+        if (texp > tau) out.InsertUnchecked(t, texp);
+      }
+      return out;
+    }
+    case ExprKind::kSelect: {
+      EXPDB_ASSIGN_OR_RETURN(Relation child,
+                             ReferenceEval(e->left(), db, tau));
+      EXPDB_RETURN_NOT_OK(e->predicate().Validate(child.schema()));
+      Relation out(child.schema());
+      for (const auto& [t, texp] : entries_of(child)) {
+        if (e->predicate().Evaluate(t)) out.InsertUnchecked(t, texp);
+      }
+      return out;
+    }
+    case ExprKind::kProject: {
+      EXPDB_ASSIGN_OR_RETURN(Relation child,
+                             ReferenceEval(e->left(), db, tau));
+      EXPDB_ASSIGN_OR_RETURN(Schema schema,
+                             child.schema().Project(e->projection()));
+      // Eq. (3): max over all coinciding duplicates.
+      Relation out(std::move(schema));
+      for (const auto& [t, texp] : entries_of(child)) {
+        Tuple projected = t.Project(e->projection());
+        auto existing = out.GetTexp(projected);
+        Timestamp best = existing ? Timestamp::Max(*existing, texp) : texp;
+        out.InsertUnchecked(std::move(projected), best);
+      }
+      return out;
+    }
+    case ExprKind::kProduct: {
+      EXPDB_ASSIGN_OR_RETURN(Relation l, ReferenceEval(e->left(), db, tau));
+      EXPDB_ASSIGN_OR_RETURN(Relation r,
+                             ReferenceEval(e->right(), db, tau));
+      Relation out(l.schema().Concat(r.schema()));
+      for (const auto& [lt, ltexp] : entries_of(l)) {
+        for (const auto& [rt, rtexp] : entries_of(r)) {
+          out.InsertUnchecked(lt.Concat(rt), Timestamp::Min(ltexp, rtexp));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kUnion: {
+      EXPDB_ASSIGN_OR_RETURN(Relation l, ReferenceEval(e->left(), db, tau));
+      EXPDB_ASSIGN_OR_RETURN(Relation r,
+                             ReferenceEval(e->right(), db, tau));
+      if (!l.schema().UnionCompatibleWith(r.schema())) {
+        return Status::TypeError("union-incompatible");
+      }
+      Relation out(l.schema());
+      // Eq. (4): three cases, written out.
+      for (const auto& [t, ltexp] : entries_of(l)) {
+        auto rtexp = r.GetTexp(t);
+        out.InsertUnchecked(
+            t, rtexp ? Timestamp::Max(ltexp, *rtexp) : ltexp);
+      }
+      for (const auto& [t, rtexp] : entries_of(r)) {
+        if (!l.Contains(t)) out.InsertUnchecked(t, rtexp);
+      }
+      return out;
+    }
+    case ExprKind::kJoin: {
+      // Eq. (5): R ⋈exp_p S = σexp_{p'}(R ×exp S).
+      auto rewritten = Expression::MakeSelect(
+          Expression::MakeProduct(e->left(), e->right()), e->predicate());
+      return ReferenceEval(rewritten, db, tau);
+    }
+    case ExprKind::kIntersect: {
+      // Eq. (6): π over a self-equality selection of the product.
+      EXPDB_ASSIGN_OR_RETURN(Schema lschema, e->left()->InferSchema(db));
+      const size_t n = lschema.arity();
+      Predicate p = Predicate::ColumnsEqual(0, n);
+      for (size_t i = 1; i < n; ++i) {
+        p = p.And(Predicate::ColumnsEqual(i, n + i));
+      }
+      std::vector<size_t> keep;
+      for (size_t i = 0; i < n; ++i) keep.push_back(i);
+      auto rewritten = Expression::MakeProject(
+          Expression::MakeSelect(
+              Expression::MakeProduct(e->left(), e->right()), p),
+          keep);
+      return ReferenceEval(rewritten, db, tau);
+    }
+    case ExprKind::kDifference: {
+      EXPDB_ASSIGN_OR_RETURN(Relation l, ReferenceEval(e->left(), db, tau));
+      EXPDB_ASSIGN_OR_RETURN(Relation r,
+                             ReferenceEval(e->right(), db, tau));
+      if (!l.schema().UnionCompatibleWith(r.schema())) {
+        return Status::TypeError("union-incompatible");
+      }
+      // Eq. (10).
+      Relation out(l.schema());
+      for (const auto& [t, texp] : entries_of(l)) {
+        if (!r.Contains(t)) out.InsertUnchecked(t, texp);
+      }
+      return out;
+    }
+    case ExprKind::kAggregate: {
+      EXPDB_ASSIGN_OR_RETURN(Relation child,
+                             ReferenceEval(e->left(), db, tau));
+      EXPDB_ASSIGN_OR_RETURN(Schema schema, e->InferSchema(db));
+      // φexp (Eq. 7): partition by equality on the grouping attributes.
+      Entries entries = child.SortedEntries();
+      std::map<Tuple, std::vector<PartitionEntry>> partitions;
+      for (const auto& [t, texp] : entries) {
+        partitions[t.Project(e->group_by())].push_back({&t, texp});
+      }
+      Relation out(std::move(schema));
+      for (const auto& [key, partition] : partitions) {
+        EXPDB_ASSIGN_OR_RETURN(Value value,
+                               ApplyAggregate(e->aggregate(), partition));
+        // Eq. (8), conservative: min texp over the partition, capped by
+        // the source tuple (DESIGN.md correction).
+        Timestamp min_texp = Timestamp::Infinity();
+        for (const PartitionEntry& entry : partition) {
+          min_texp = Timestamp::Min(min_texp, entry.texp);
+        }
+        for (const PartitionEntry& entry : partition) {
+          out.InsertUnchecked(entry.tuple->Append(value),
+                              Timestamp::Min(entry.texp, min_texp));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kSemiJoin: {
+      // Defining rewrite: π_{1..α(R)}(R ⋈exp_p S).
+      EXPDB_ASSIGN_OR_RETURN(Schema lschema, e->left()->InferSchema(db));
+      std::vector<size_t> keep;
+      for (size_t i = 0; i < lschema.arity(); ++i) keep.push_back(i);
+      auto rewritten = Expression::MakeProject(
+          Expression::MakeJoin(e->left(), e->right(), e->predicate()),
+          keep);
+      return ReferenceEval(rewritten, db, tau);
+    }
+    case ExprKind::kAntiJoin: {
+      EXPDB_ASSIGN_OR_RETURN(Relation l, ReferenceEval(e->left(), db, tau));
+      EXPDB_ASSIGN_OR_RETURN(Relation r,
+                             ReferenceEval(e->right(), db, tau));
+      EXPDB_RETURN_NOT_OK(
+          e->predicate().Validate(l.schema().Concat(r.schema())));
+      Relation out(l.schema());
+      for (const auto& [lt, ltexp] : l.SortedEntries()) {
+        bool matched = false;
+        for (const auto& [rt, rtexp] : r.SortedEntries()) {
+          if (e->predicate().Evaluate(lt.Concat(rt))) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) out.InsertUnchecked(lt, ltexp);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace testing
+}  // namespace expdb
+
+#endif  // EXPDB_TESTS_SUPPORT_REFERENCE_EVAL_H_

@@ -1,0 +1,134 @@
+// Tests for the synthetic workload generator itself: the property tests
+// and benchmarks lean on its guarantees (determinism, spec conformance,
+// well-typedness of generated expressions).
+
+#include "testing/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+
+namespace expdb {
+namespace testing {
+namespace {
+
+TEST(WorkloadTest, RelationRespectsSpec) {
+  Rng rng(1);
+  RelationSpec spec;
+  spec.num_tuples = 200;
+  spec.arity = 3;
+  spec.value_domain = 5;
+  spec.ttl_min = 2;
+  spec.ttl_max = 9;
+  Relation rel = MakeRandomRelation(rng, spec, Timestamp(100));
+  EXPECT_EQ(rel.schema().arity(), 3u);
+  EXPECT_LE(rel.size(), 200u);  // duplicates merge under set semantics
+  EXPECT_GT(rel.size(), 0u);
+  rel.ForEach([&](const Tuple& t, Timestamp texp) {
+    for (const Value& v : t.values()) {
+      ASSERT_TRUE(v.is_int64());
+      EXPECT_GE(v.AsInt64(), 0);
+      EXPECT_LT(v.AsInt64(), 5);
+    }
+    EXPECT_GE(texp, Timestamp(102));
+    EXPECT_LE(texp, Timestamp(109));
+  });
+}
+
+TEST(WorkloadTest, InfiniteFraction) {
+  Rng rng(2);
+  RelationSpec spec;
+  spec.num_tuples = 500;
+  spec.arity = 1;
+  spec.value_domain = 1000;
+  spec.infinite_fraction = 0.5;
+  Relation rel = MakeRandomRelation(rng, spec);
+  size_t infinite = 0;
+  rel.ForEach([&](const Tuple&, Timestamp texp) {
+    if (texp.IsInfinite()) ++infinite;
+  });
+  EXPECT_GT(infinite, rel.size() / 4);
+  EXPECT_LT(infinite, 3 * rel.size() / 4);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  RelationSpec spec;
+  spec.num_tuples = 50;
+  Rng a(7), b(7);
+  Relation ra = MakeRandomRelation(a, spec);
+  Relation rb = MakeRandomRelation(b, spec);
+  EXPECT_TRUE(Relation::EqualAt(ra, rb, Timestamp::Zero()));
+  EXPECT_EQ(ra.size(), rb.size());
+}
+
+TEST(WorkloadTest, FillDatabaseCreatesNamedRelations) {
+  Rng rng(3);
+  Database db;
+  RelationSpec spec;
+  spec.num_tuples = 10;
+  ASSERT_TRUE(FillDatabase(&db, rng, spec, 3, "T").ok());
+  EXPECT_EQ(db.RelationNames(),
+            (std::vector<std::string>{"T0", "T1", "T2"}));
+}
+
+TEST(WorkloadTest, GeneratedExpressionsAlwaysTypeCheckAndEvaluate) {
+  Rng rng(4);
+  Database db;
+  RelationSpec rspec;
+  rspec.num_tuples = 30;
+  rspec.arity = 2;
+  rspec.value_domain = 5;
+  ASSERT_TRUE(FillDatabase(&db, rng, rspec, 3).ok());
+
+  ExpressionSpec espec;
+  espec.max_depth = 6;
+  espec.allow_nonmonotonic = true;
+  for (int i = 0; i < 200; ++i) {
+    ExpressionPtr e = MakeRandomExpression(rng, db, espec);
+    ASSERT_NE(e, nullptr);
+    auto schema = e->InferSchema(db);
+    ASSERT_TRUE(schema.ok())
+        << schema.status().ToString() << "\n" << e->ToString();
+    auto result = Evaluate(e, db, Timestamp(1));
+    ASSERT_TRUE(result.ok())
+        << result.status().ToString() << "\n" << e->ToString();
+    EXPECT_EQ(result->relation.schema().arity(), schema->arity());
+  }
+}
+
+TEST(WorkloadTest, MonotonicSpecNeverGeneratesNonMonotonic) {
+  Rng rng(5);
+  Database db;
+  RelationSpec rspec;
+  rspec.num_tuples = 10;
+  ASSERT_TRUE(FillDatabase(&db, rng, rspec, 2).ok());
+  ExpressionSpec espec;
+  espec.max_depth = 6;
+  espec.allow_nonmonotonic = false;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(MakeRandomExpression(rng, db, espec)->IsMonotonic());
+  }
+}
+
+TEST(WorkloadTest, InterestingTimesSortedDistinctFinite) {
+  Rng rng(6);
+  Database db;
+  RelationSpec spec;
+  spec.num_tuples = 100;
+  spec.ttl_min = 1;
+  spec.ttl_max = 10;
+  spec.infinite_fraction = 0.2;
+  ASSERT_TRUE(FillDatabase(&db, rng, spec, 2).ok());
+  auto times = InterestingTimes(db);
+  EXPECT_FALSE(times.empty());
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_TRUE(times[i].IsFinite());
+    if (i > 0) {
+      EXPECT_LT(times[i - 1], times[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace expdb

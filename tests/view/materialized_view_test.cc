@@ -1,0 +1,163 @@
+// Materialized-view maintenance: monotonic views are maintenance-free
+// (Theorem 1 operationalized), non-monotonic views recompute exactly at
+// their invalidation instants, lazy views defer, and every policy serves
+// reads equal to recomputation.
+
+#include "view/materialized_view.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+class MaterializedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The paper's Figure 1 database.
+    Relation* pol =
+        db_.CreateRelation("Pol", Schema({{"UID", ValueType::kInt64},
+                                          {"Deg", ValueType::kInt64}}))
+            .value();
+    ASSERT_TRUE(pol->Insert(Tuple{1, 25}, T(10)).ok());
+    ASSERT_TRUE(pol->Insert(Tuple{2, 25}, T(15)).ok());
+    ASSERT_TRUE(pol->Insert(Tuple{3, 35}, T(10)).ok());
+    Relation* el =
+        db_.CreateRelation("El", Schema({{"UID", ValueType::kInt64},
+                                         {"Deg", ValueType::kInt64}}))
+            .value();
+    ASSERT_TRUE(el->Insert(Tuple{1, 75}, T(5)).ok());
+    ASSERT_TRUE(el->Insert(Tuple{2, 85}, T(3)).ok());
+    ASSERT_TRUE(el->Insert(Tuple{4, 90}, T(2)).ok());
+  }
+
+  // Reads must equal recomputation at every probed instant.
+  void ExpectAlwaysFresh(MaterializedView& view, const ExpressionPtr& e,
+                         int64_t horizon) {
+    for (int64_t t = 0; t <= horizon; ++t) {
+      auto served = view.Read(db_, T(t));
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      auto fresh = Evaluate(e, db_, T(t));
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_TRUE(
+          Relation::ContentsEqualAt(*served, fresh->relation, T(t)))
+          << "policy " << RefreshModeToString(view.mode()) << " stale at "
+          << t;
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(MaterializedViewTest, MonotonicViewNeverRecomputes) {
+  auto e = Join(Base("Pol"), Base("El"), Predicate::ColumnsEqual(0, 2));
+  MaterializedView view(e, {});
+  ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
+  EXPECT_TRUE(view.texp().IsInfinite());
+  ExpectAlwaysFresh(view, e, 20);
+  EXPECT_EQ(view.stats().recomputations, 0u);
+  EXPECT_EQ(view.stats().reads, 21u);
+  EXPECT_EQ(view.stats().reads_from_materialization, 21u);
+}
+
+TEST_F(MaterializedViewTest, EagerRecomputesAtEveryInvalidation) {
+  // Figure 3(a)'s histogram: invalid at 10 (count of the 25-partition
+  // changes while <2,25> lives on).
+  auto e = Project(Aggregate(Base("Pol"), {1}, AggregateFunction::Count()),
+                   {1, 2});
+  MaterializedView view(e, {});
+  ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
+  EXPECT_EQ(view.texp(), T(10));
+  ExpectAlwaysFresh(view, e, 20);
+  // Exactly one recomputation: at time 10. (After it, the new result —
+  // {<25,1>} with the partition dying at 15 — never changes again.)
+  EXPECT_EQ(view.stats().recomputations, 1u);
+}
+
+TEST_F(MaterializedViewTest, EagerDifferenceRecomputesTwice) {
+  // Figures 3(b)-(d): π1(Pol) − π1(El); criticals <2> at 3 and <1> at 5.
+  auto e = Difference(Project(Base("Pol"), {0}), Project(Base("El"), {0}));
+  MaterializedView view(e, {});
+  ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
+  EXPECT_EQ(view.texp(), T(3));
+  ExpectAlwaysFresh(view, e, 20);
+  EXPECT_EQ(view.stats().recomputations, 2u);  // at 3 and at 5
+}
+
+TEST_F(MaterializedViewTest, LazyRecomputesOnlyOnRead) {
+  auto e = Difference(Project(Base("Pol"), {0}), Project(Base("El"), {0}));
+  MaterializedView::Options opts;
+  opts.mode = RefreshMode::kLazyRecompute;
+  MaterializedView view(e, opts);
+  ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
+  // Advancing past both invalidations does not recompute...
+  ASSERT_TRUE(view.AdvanceTo(db_, T(8)).ok());
+  EXPECT_EQ(view.stats().recomputations, 0u);
+  // ...the next read does, once.
+  auto served = view.Read(db_, T(8));
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(view.stats().recomputations, 1u);
+  auto fresh = Evaluate(e, db_, T(8));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(Relation::ContentsEqualAt(*served, fresh->relation, T(8)));
+}
+
+TEST_F(MaterializedViewTest, LazyServesFreshReadsEverywhere) {
+  auto e = Project(Aggregate(Base("Pol"), {1}, AggregateFunction::Count()),
+                   {1, 2});
+  MaterializedView::Options opts;
+  opts.mode = RefreshMode::kLazyRecompute;
+  MaterializedView view(e, opts);
+  ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
+  ExpectAlwaysFresh(view, e, 20);
+}
+
+TEST_F(MaterializedViewTest, TimeCannotMoveBackwards) {
+  MaterializedView view(Base("Pol"), {});
+  ASSERT_TRUE(view.Initialize(db_, T(5)).ok());
+  ASSERT_TRUE(view.AdvanceTo(db_, T(9)).ok());
+  EXPECT_EQ(view.AdvanceTo(db_, T(4)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MaterializedViewTest, UninitializedViewRejectsUse) {
+  MaterializedView view(Base("Pol"), {});
+  EXPECT_FALSE(view.initialized());
+  EXPECT_FALSE(view.AdvanceTo(db_, T(1)).ok());
+  EXPECT_FALSE(view.Read(db_, T(1)).ok());
+}
+
+TEST_F(MaterializedViewTest, PatchModeRequiresDifferenceRoot) {
+  MaterializedView::Options opts;
+  opts.mode = RefreshMode::kPatchDifference;
+  MaterializedView view(Base("Pol"), opts);
+  EXPECT_EQ(view.Initialize(db_, T(0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MaterializedViewTest, InitializeFailsOnBadExpression) {
+  MaterializedView view(Base("Nope"), {});
+  EXPECT_EQ(view.Initialize(db_, T(0)).code(), StatusCode::kNotFound);
+  MaterializedView null_view(nullptr, {});
+  EXPECT_FALSE(null_view.Initialize(db_, T(0)).ok());
+}
+
+TEST_F(MaterializedViewTest, EagerHandlesMultipleInvalidationsInOneJump) {
+  auto e = Difference(Project(Base("Pol"), {0}), Project(Base("El"), {0}));
+  MaterializedView view(e, {});
+  ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
+  // Jump straight past both invalidation instants (3 and 5).
+  ASSERT_TRUE(view.AdvanceTo(db_, T(20)).ok());
+  EXPECT_EQ(view.stats().recomputations, 2u);
+  auto fresh = Evaluate(e, db_, T(20));
+  ASSERT_TRUE(fresh.ok());
+  auto served = view.Read(db_, T(20));
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(Relation::ContentsEqualAt(*served, fresh->relation, T(20)));
+}
+
+}  // namespace
+}  // namespace expdb

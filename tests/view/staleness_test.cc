@@ -1,0 +1,119 @@
+// Explicit base updates vs. views: the paper assumes no source updates
+// (Sec. 1); ExpDB lifts this conservatively — an explicit insert/delete
+// marks every dependent view stale, forcing a rebuild at its next
+// maintenance point, so reads never serve update-invalidated contents.
+
+#include <gtest/gtest.h>
+
+#include "sql/session.h"
+#include "view/view_manager.h"
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+TEST(StalenessTest, MarkStaleForcesRecomputeOnNextRead) {
+  Database db;
+  Relation* r = db.CreateRelation(
+                       "R", Schema({{"x", ValueType::kInt64}})).value();
+  ASSERT_TRUE(r->Insert(Tuple{1}, T(100)).ok());
+
+  MaterializedView view(Base("R"), {});
+  ASSERT_TRUE(view.Initialize(db, T(0)).ok());
+  // Out-of-band insert the view cannot see through expiration.
+  ASSERT_TRUE(r->Insert(Tuple{2}, T(100)).ok());
+  auto before = view.Read(db, T(1)).MoveValue();
+  EXPECT_EQ(before.size(), 1u);  // still serving the old materialization
+
+  view.MarkStale();
+  EXPECT_TRUE(view.stale());
+  auto after = view.Read(db, T(2)).MoveValue();
+  EXPECT_EQ(after.size(), 2u);
+  EXPECT_FALSE(view.stale());
+  EXPECT_EQ(view.stats().recomputations, 1u);
+}
+
+TEST(StalenessTest, NotifyBaseChangedTargetsOnlyDependents) {
+  Database db;
+  (void)db.CreateRelation("A", Schema({{"x", ValueType::kInt64}}));
+  (void)db.CreateRelation("B", Schema({{"x", ValueType::kInt64}}));
+  ViewManager mgr(&db);
+  ASSERT_TRUE(mgr.CreateView("va", Base("A"), {}, T(0)).ok());
+  ASSERT_TRUE(mgr.CreateView("vb", Base("B"), {}, T(0)).ok());
+  ASSERT_TRUE(
+      mgr.CreateView("vab", Union(Base("A"), Base("B")), {}, T(0)).ok());
+
+  EXPECT_EQ(mgr.NotifyBaseChanged("A"), 2u);  // va and vab
+  EXPECT_TRUE(mgr.GetView("va").value()->stale());
+  EXPECT_FALSE(mgr.GetView("vb").value()->stale());
+  EXPECT_TRUE(mgr.GetView("vab").value()->stale());
+  EXPECT_EQ(mgr.NotifyBaseChanged("nonexistent"), 0u);
+}
+
+TEST(StalenessTest, SqlInsertRefreshesDependentViews) {
+  sql::Session s;
+  ASSERT_TRUE(s.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(s.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(s.Execute("CREATE VIEW v AS SELECT x FROM t").ok());
+  // Insert after view creation: the view must reflect it on next read.
+  ASSERT_TRUE(s.Execute("INSERT INTO t VALUES (2)").ok());
+  auto r = s.Execute("SELECT * FROM v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->relation->CountUnexpiredAt(r->served_at), 2u);
+}
+
+TEST(StalenessTest, SqlDeleteRefreshesDependentViews) {
+  sql::Session s;
+  ASSERT_TRUE(s.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(s.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(s.Execute("CREATE VIEW v AS SELECT x FROM t").ok());
+  ASSERT_TRUE(s.Execute("DELETE FROM t WHERE x = 2").ok());
+  auto r = s.Execute("SELECT * FROM v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->relation->CountUnexpiredAt(r->served_at), 2u);
+  EXPECT_FALSE(r->relation->Contains(Tuple{2}));
+}
+
+TEST(StalenessTest, DropTableWithDependentViewRejected) {
+  sql::Session s;
+  ASSERT_TRUE(s.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(s.Execute("CREATE VIEW v AS SELECT x FROM t").ok());
+  auto r = s.Execute("DROP TABLE t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Dropping the view first unblocks the table.
+  ASSERT_TRUE(s.Execute("DROP VIEW v").ok());
+  EXPECT_TRUE(s.Execute("DROP TABLE t").ok());
+}
+
+TEST(StalenessTest, StalePatchViewRebuildsHelper) {
+  Database db;
+  Relation* r = db.CreateRelation(
+                       "R", Schema({{"x", ValueType::kInt64}})).value();
+  Relation* q = db.CreateRelation(
+                       "S", Schema({{"x", ValueType::kInt64}})).value();
+  ASSERT_TRUE(r->Insert(Tuple{1}, T(50)).ok());
+
+  MaterializedView::Options opts;
+  opts.mode = RefreshMode::kPatchDifference;
+  MaterializedView view(Difference(Base("R"), Base("S")), opts);
+  ASSERT_TRUE(view.Initialize(db, T(0)).ok());
+  EXPECT_EQ(view.pending_patches(), 0u);
+
+  // A new critical pair arrives via explicit update.
+  ASSERT_TRUE(r->Insert(Tuple{2}, T(40)).ok());
+  ASSERT_TRUE(q->Insert(Tuple{2}, T(10)).ok());
+  view.MarkStale();
+
+  auto at5 = view.Read(db, T(5)).MoveValue();
+  EXPECT_EQ(at5.size(), 1u);  // <2> suppressed by S until 10
+  EXPECT_EQ(view.pending_patches(), 1u);  // helper rebuilt with <2>
+  auto at12 = view.Read(db, T(12)).MoveValue();
+  EXPECT_EQ(at12.size(), 2u);  // <2> patched back in
+}
+
+}  // namespace
+}  // namespace expdb

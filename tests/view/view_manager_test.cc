@@ -1,0 +1,95 @@
+#include "view/view_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+class ViewManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation* r = db_.CreateRelation(
+                         "R", Schema({{"x", ValueType::kInt64}})).value();
+    ASSERT_TRUE(r->Insert(Tuple{1}, T(5)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{2}, T(10)).ok());
+    Relation* s = db_.CreateRelation(
+                         "S", Schema({{"x", ValueType::kInt64}})).value();
+    ASSERT_TRUE(s->Insert(Tuple{1}, T(3)).ok());
+  }
+  Database db_;
+};
+
+TEST_F(ViewManagerTest, CreateGetDrop) {
+  ViewManager mgr(&db_);
+  auto view = mgr.CreateView("v1", Base("R"), {}, T(0));
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(mgr.HasView("v1"));
+  EXPECT_EQ(mgr.GetView("v1").value(), view.value());
+  EXPECT_EQ(mgr.view_count(), 1u);
+  ASSERT_TRUE(mgr.DropView("v1").ok());
+  EXPECT_FALSE(mgr.HasView("v1"));
+  EXPECT_EQ(mgr.DropView("v1").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ViewManagerTest, RejectsDuplicatesAndBadNames) {
+  ViewManager mgr(&db_);
+  ASSERT_TRUE(mgr.CreateView("v", Base("R"), {}, T(0)).ok());
+  EXPECT_EQ(mgr.CreateView("v", Base("R"), {}, T(0)).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(mgr.CreateView("", Base("R"), {}, T(0)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ViewManagerTest, CreateFailsOnBadExpressionLeavingNoTrace) {
+  ViewManager mgr(&db_);
+  EXPECT_FALSE(mgr.CreateView("v", Base("missing"), {}, T(0)).ok());
+  EXPECT_FALSE(mgr.HasView("v"));
+}
+
+TEST_F(ViewManagerTest, AdvanceAllMaintainsEveryView) {
+  ViewManager mgr(&db_);
+  ASSERT_TRUE(mgr.CreateView("mono", Base("R"), {}, T(0)).ok());
+  ASSERT_TRUE(
+      mgr.CreateView("diff", Difference(Base("R"), Base("S")), {}, T(0))
+          .ok());
+  ASSERT_TRUE(mgr.AdvanceAllTo(T(6)).ok());
+  // diff invalidated at 3 (critical <1>: R@5 > S@3): one recompute.
+  EXPECT_EQ(mgr.GetView("diff").value()->stats().recomputations, 1u);
+  EXPECT_EQ(mgr.GetView("mono").value()->stats().recomputations, 0u);
+
+  auto served = mgr.Read("diff", T(6));
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->Contains(Tuple{2}));
+}
+
+TEST_F(ViewManagerTest, ReadUnknownViewFails) {
+  ViewManager mgr(&db_);
+  EXPECT_EQ(mgr.Read("nope", T(0)).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ViewManagerTest, TotalStatsAggregates) {
+  ViewManager mgr(&db_);
+  ASSERT_TRUE(mgr.CreateView("a", Base("R"), {}, T(0)).ok());
+  ASSERT_TRUE(mgr.CreateView("b", Base("S"), {}, T(0)).ok());
+  ASSERT_TRUE(mgr.Read("a", T(1)).ok());
+  ASSERT_TRUE(mgr.Read("b", T(1)).ok());
+  ASSERT_TRUE(mgr.Read("b", T(2)).ok());
+  ViewStats total = mgr.TotalStats();
+  EXPECT_EQ(total.reads, 3u);
+  EXPECT_EQ(total.reads_from_materialization, 3u);
+  EXPECT_EQ(total.recomputations, 0u);
+}
+
+TEST_F(ViewManagerTest, ViewNamesSorted) {
+  ViewManager mgr(&db_);
+  ASSERT_TRUE(mgr.CreateView("zz", Base("R"), {}, T(0)).ok());
+  ASSERT_TRUE(mgr.CreateView("aa", Base("S"), {}, T(0)).ok());
+  EXPECT_EQ(mgr.ViewNames(), (std::vector<std::string>{"aa", "zz"}));
+}
+
+}  // namespace
+}  // namespace expdb
