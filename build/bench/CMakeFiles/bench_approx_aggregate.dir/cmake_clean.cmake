@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_aggregate.dir/bench_approx_aggregate.cc.o"
+  "CMakeFiles/bench_approx_aggregate.dir/bench_approx_aggregate.cc.o.d"
+  "bench_approx_aggregate"
+  "bench_approx_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_difference_patch.dir/bench_difference_patch.cc.o"
+  "CMakeFiles/bench_difference_patch.dir/bench_difference_patch.cc.o.d"
+  "bench_difference_patch"
+  "bench_difference_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_difference_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

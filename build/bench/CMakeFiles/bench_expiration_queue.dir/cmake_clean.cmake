@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expiration_queue.dir/bench_expiration_queue.cc.o"
+  "CMakeFiles/bench_expiration_queue.dir/bench_expiration_queue.cc.o.d"
+  "bench_expiration_queue"
+  "bench_expiration_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expiration_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schrodinger.dir/bench_schrodinger.cc.o"
+  "CMakeFiles/bench_schrodinger.dir/bench_schrodinger.cc.o.d"
+  "bench_schrodinger"
+  "bench_schrodinger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schrodinger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_example_relations.dir/fig1_example_relations.cc.o"
+  "CMakeFiles/fig1_example_relations.dir/fig1_example_relations.cc.o.d"
+  "fig1_example_relations"
+  "fig1_example_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_example_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_monotonic.dir/fig2_monotonic.cc.o"
+  "CMakeFiles/fig2_monotonic.dir/fig2_monotonic.cc.o.d"
+  "fig2_monotonic"
+  "fig2_monotonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_monotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nonmonotonic.dir/fig3_nonmonotonic.cc.o"
+  "CMakeFiles/fig3_nonmonotonic.dir/fig3_nonmonotonic.cc.o.d"
+  "fig3_nonmonotonic"
+  "fig3_nonmonotonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nonmonotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

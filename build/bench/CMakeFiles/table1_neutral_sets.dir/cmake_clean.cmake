@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_neutral_sets.dir/table1_neutral_sets.cc.o"
+  "CMakeFiles/table1_neutral_sets.dir/table1_neutral_sets.cc.o.d"
+  "table1_neutral_sets"
+  "table1_neutral_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_neutral_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_neutral_sets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_difference_lifetime.dir/table2_difference_lifetime.cc.o"
+  "CMakeFiles/table2_difference_lifetime.dir/table2_difference_lifetime.cc.o.d"
+  "table2_difference_lifetime"
+  "table2_difference_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_difference_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

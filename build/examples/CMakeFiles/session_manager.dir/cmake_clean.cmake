@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_manager.dir/session_manager.cpp.o"
+  "CMakeFiles/session_manager.dir/session_manager.cpp.o.d"
+  "session_manager"
+  "session_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_common.dir/rng.cc.o"
+  "CMakeFiles/expdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/expdb_common.dir/status.cc.o"
+  "CMakeFiles/expdb_common.dir/status.cc.o.d"
+  "CMakeFiles/expdb_common.dir/str_util.cc.o"
+  "CMakeFiles/expdb_common.dir/str_util.cc.o.d"
+  "CMakeFiles/expdb_common.dir/timestamp.cc.o"
+  "CMakeFiles/expdb_common.dir/timestamp.cc.o.d"
+  "CMakeFiles/expdb_common.dir/value.cc.o"
+  "CMakeFiles/expdb_common.dir/value.cc.o.d"
+  "libexpdb_common.a"
+  "libexpdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/core/CMakeFiles/expdb_core.dir/aggregate.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/aggregate.cc.o.d"
+  "/root/repo/src/core/difference.cc" "src/core/CMakeFiles/expdb_core.dir/difference.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/difference.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/expdb_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/expression.cc" "src/core/CMakeFiles/expdb_core.dir/expression.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/expression.cc.o.d"
+  "/root/repo/src/core/interval_set.cc" "src/core/CMakeFiles/expdb_core.dir/interval_set.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/interval_set.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/core/CMakeFiles/expdb_core.dir/predicate.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/predicate.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/expdb_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/expdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/expdb_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_core.dir/aggregate.cc.o"
+  "CMakeFiles/expdb_core.dir/aggregate.cc.o.d"
+  "CMakeFiles/expdb_core.dir/difference.cc.o"
+  "CMakeFiles/expdb_core.dir/difference.cc.o.d"
+  "CMakeFiles/expdb_core.dir/eval.cc.o"
+  "CMakeFiles/expdb_core.dir/eval.cc.o.d"
+  "CMakeFiles/expdb_core.dir/expression.cc.o"
+  "CMakeFiles/expdb_core.dir/expression.cc.o.d"
+  "CMakeFiles/expdb_core.dir/interval_set.cc.o"
+  "CMakeFiles/expdb_core.dir/interval_set.cc.o.d"
+  "CMakeFiles/expdb_core.dir/predicate.cc.o"
+  "CMakeFiles/expdb_core.dir/predicate.cc.o.d"
+  "CMakeFiles/expdb_core.dir/rewrite.cc.o"
+  "CMakeFiles/expdb_core.dir/rewrite.cc.o.d"
+  "libexpdb_core.a"
+  "libexpdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expiration/clock.cc" "src/expiration/CMakeFiles/expdb_expiration.dir/clock.cc.o" "gcc" "src/expiration/CMakeFiles/expdb_expiration.dir/clock.cc.o.d"
+  "/root/repo/src/expiration/constraint.cc" "src/expiration/CMakeFiles/expdb_expiration.dir/constraint.cc.o" "gcc" "src/expiration/CMakeFiles/expdb_expiration.dir/constraint.cc.o.d"
+  "/root/repo/src/expiration/expiration_queue.cc" "src/expiration/CMakeFiles/expdb_expiration.dir/expiration_queue.cc.o" "gcc" "src/expiration/CMakeFiles/expdb_expiration.dir/expiration_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/expdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/expdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/expdb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_expiration.dir/clock.cc.o"
+  "CMakeFiles/expdb_expiration.dir/clock.cc.o.d"
+  "CMakeFiles/expdb_expiration.dir/constraint.cc.o"
+  "CMakeFiles/expdb_expiration.dir/constraint.cc.o.d"
+  "CMakeFiles/expdb_expiration.dir/expiration_queue.cc.o"
+  "CMakeFiles/expdb_expiration.dir/expiration_queue.cc.o.d"
+  "libexpdb_expiration.a"
+  "libexpdb_expiration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_expiration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_relational.dir/database.cc.o"
+  "CMakeFiles/expdb_relational.dir/database.cc.o.d"
+  "CMakeFiles/expdb_relational.dir/printer.cc.o"
+  "CMakeFiles/expdb_relational.dir/printer.cc.o.d"
+  "CMakeFiles/expdb_relational.dir/relation.cc.o"
+  "CMakeFiles/expdb_relational.dir/relation.cc.o.d"
+  "CMakeFiles/expdb_relational.dir/schema.cc.o"
+  "CMakeFiles/expdb_relational.dir/schema.cc.o.d"
+  "CMakeFiles/expdb_relational.dir/tuple.cc.o"
+  "CMakeFiles/expdb_relational.dir/tuple.cc.o.d"
+  "libexpdb_relational.a"
+  "libexpdb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

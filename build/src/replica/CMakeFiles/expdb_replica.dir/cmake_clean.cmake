@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_replica.dir/client.cc.o"
+  "CMakeFiles/expdb_replica.dir/client.cc.o.d"
+  "CMakeFiles/expdb_replica.dir/protocol.cc.o"
+  "CMakeFiles/expdb_replica.dir/protocol.cc.o.d"
+  "CMakeFiles/expdb_replica.dir/server.cc.o"
+  "CMakeFiles/expdb_replica.dir/server.cc.o.d"
+  "libexpdb_replica.a"
+  "libexpdb_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

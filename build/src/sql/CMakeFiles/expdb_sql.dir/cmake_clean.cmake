@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_sql.dir/binder.cc.o"
+  "CMakeFiles/expdb_sql.dir/binder.cc.o.d"
+  "CMakeFiles/expdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/expdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/expdb_sql.dir/parser.cc.o"
+  "CMakeFiles/expdb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/expdb_sql.dir/session.cc.o"
+  "CMakeFiles/expdb_sql.dir/session.cc.o.d"
+  "libexpdb_sql.a"
+  "libexpdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_testing.dir/workload.cc.o"
+  "CMakeFiles/expdb_testing.dir/workload.cc.o.d"
+  "libexpdb_testing.a"
+  "libexpdb_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

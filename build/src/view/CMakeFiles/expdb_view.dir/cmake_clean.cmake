@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_view.dir/materialized_view.cc.o"
+  "CMakeFiles/expdb_view.dir/materialized_view.cc.o.d"
+  "CMakeFiles/expdb_view.dir/view_manager.cc.o"
+  "CMakeFiles/expdb_view.dir/view_manager.cc.o.d"
+  "libexpdb_view.a"
+  "libexpdb_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relational")
+subdirs("core")
+subdirs("view")
+subdirs("expiration")
+subdirs("sql")
+subdirs("replica")
+subdirs("integration")
+subdirs("testing")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_aggregate_test.dir/approx_aggregate_test.cc.o"
+  "CMakeFiles/approx_aggregate_test.dir/approx_aggregate_test.cc.o.d"
+  "approx_aggregate_test"
+  "approx_aggregate_test.pdb"
+  "approx_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

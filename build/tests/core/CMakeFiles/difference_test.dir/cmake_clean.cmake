@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difference_test.dir/difference_test.cc.o"
+  "CMakeFiles/difference_test.dir/difference_test.cc.o.d"
+  "difference_test"
+  "difference_test.pdb"
+  "difference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_eval_test.dir/differential_eval_test.cc.o"
+  "CMakeFiles/differential_eval_test.dir/differential_eval_test.cc.o.d"
+  "differential_eval_test"
+  "differential_eval_test.pdb"
+  "differential_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_operators_test.dir/eval_operators_test.cc.o"
+  "CMakeFiles/eval_operators_test.dir/eval_operators_test.cc.o.d"
+  "eval_operators_test"
+  "eval_operators_test.pdb"
+  "eval_operators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotonic_property_test.dir/monotonic_property_test.cc.o"
+  "CMakeFiles/monotonic_property_test.dir/monotonic_property_test.cc.o.d"
+  "monotonic_property_test"
+  "monotonic_property_test.pdb"
+  "monotonic_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotonic_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

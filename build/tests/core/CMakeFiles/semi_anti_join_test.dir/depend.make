@@ -1,0 +1,2 @@
+# Empty dependencies file for semi_anti_join_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texp_property_test.dir/texp_property_test.cc.o"
+  "CMakeFiles/texp_property_test.dir/texp_property_test.cc.o.d"
+  "texp_property_test"
+  "texp_property_test.pdb"
+  "texp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

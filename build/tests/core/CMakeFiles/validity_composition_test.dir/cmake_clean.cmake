@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validity_composition_test.dir/validity_composition_test.cc.o"
+  "CMakeFiles/validity_composition_test.dir/validity_composition_test.cc.o.d"
+  "validity_composition_test"
+  "validity_composition_test.pdb"
+  "validity_composition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validity_composition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/core/interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/core/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/core/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/core/expression_test[1]_include.cmake")
+include("/root/repo/build/tests/core/eval_operators_test[1]_include.cmake")
+include("/root/repo/build/tests/core/difference_test[1]_include.cmake")
+include("/root/repo/build/tests/core/monotonic_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core/texp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core/validity_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core/aggregate_modes_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/core/approx_aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/core/interval_set_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core/validity_composition_test[1]_include.cmake")
+include("/root/repo/build/tests/core/semi_anti_join_test[1]_include.cmake")
+include("/root/repo/build/tests/core/differential_eval_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expiration_queue_test.dir/expiration_queue_test.cc.o"
+  "CMakeFiles/expiration_queue_test.dir/expiration_queue_test.cc.o.d"
+  "expiration_queue_test"
+  "expiration_queue_test.pdb"
+  "expiration_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expiration_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/expiration
+# Build directory: /root/repo/build/tests/expiration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/expiration/clock_test[1]_include.cmake")
+include("/root/repo/build/tests/expiration/expiration_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/expiration/constraint_test[1]_include.cmake")
+include("/root/repo/build/tests/expiration/calendar_queue_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/relational
+# Build directory: /root/repo/build/tests/relational
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/relational/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/tuple_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/database_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/printer_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sql
+# Build directory: /root/repo/build/tests/sql
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sql/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/session_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/binder_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/robustness_test[1]_include.cmake")

@@ -1,0 +1,2 @@
+# Empty dependencies file for materialized_view_test.
+# This may be replaced when dependencies are built.

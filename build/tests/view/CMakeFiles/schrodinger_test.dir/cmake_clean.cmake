@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schrodinger_test.dir/schrodinger_test.cc.o"
+  "CMakeFiles/schrodinger_test.dir/schrodinger_test.cc.o.d"
+  "schrodinger_test"
+  "schrodinger_test.pdb"
+  "schrodinger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schrodinger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

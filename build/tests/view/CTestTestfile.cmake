@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/view
+# Build directory: /root/repo/build/tests/view
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/view/materialized_view_test[1]_include.cmake")
+include("/root/repo/build/tests/view/difference_patcher_test[1]_include.cmake")
+include("/root/repo/build/tests/view/schrodinger_test[1]_include.cmake")
+include("/root/repo/build/tests/view/view_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/view/staleness_test[1]_include.cmake")
