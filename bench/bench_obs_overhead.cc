@@ -1,0 +1,162 @@
+// Observability overhead: the cost of the obs wiring on the evaluation
+// hot path (docs/OBSERVABILITY.md "overhead budget").
+//
+// Compares Evaluate() with EvalOptions::enable_metrics on (the default:
+// per-operator counters + tuple counts, spans disabled-recorder) against
+// the uninstrumented path, over selection, join, and difference trees at
+// several relation sizes. A third variant enables the global trace
+// recorder to price full span recording.
+//
+// Acceptance: the counter-only overhead stays under 5% on non-trivial
+// inputs; see EXPERIMENTS.md C7 for recorded numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testing/workload.h"
+
+namespace {
+
+using namespace expdb;
+
+Database MakeDb(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  testing::RelationSpec spec;
+  spec.num_tuples = static_cast<size_t>(n);
+  spec.arity = 2;
+  spec.value_domain = std::max<int64_t>(4, n / 8);
+  spec.ttl_min = 1;
+  spec.ttl_max = 1 << 20;  // effectively everything alive
+  (void)testing::FillDatabase(&db, rng, spec, 2);
+  return db;
+}
+
+ExpressionPtr MakeExpr(const std::string& kind) {
+  using namespace algebra;
+  if (kind == "select") {
+    return Select(Base("R0"), Predicate::ColumnEquals(0, Value(int64_t{1})));
+  }
+  if (kind == "join") {
+    return Join(Base("R0"), Base("R1"), Predicate::ColumnsEqual(0, 2));
+  }
+  return Difference(Base("R0"), Base("R1"));
+}
+
+void RunEval(benchmark::State& state, const std::string& kind,
+             bool metrics, bool tracing) {
+  const int64_t n = state.range(0);
+  Database db = MakeDb(n, 7);
+  ExpressionPtr expr = MakeExpr(kind);
+  EvalOptions opts;
+  opts.enable_metrics = metrics;
+  obs::TraceRecorder::Global().set_enabled(tracing);
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = Evaluate(expr, db, Timestamp(1), opts);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    tuples += result.value().relation.size();
+    benchmark::DoNotOptimize(result.value());
+  }
+  obs::TraceRecorder::Global().set_enabled(false);
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["tuples_out"] =
+      benchmark::Counter(static_cast<double>(tuples),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_Eval_Uninstrumented(benchmark::State& state,
+                            const std::string& kind) {
+  RunEval(state, kind, /*metrics=*/false, /*tracing=*/false);
+}
+void BM_Eval_Counters(benchmark::State& state, const std::string& kind) {
+  RunEval(state, kind, /*metrics=*/true, /*tracing=*/false);
+}
+void BM_Eval_CountersAndTracing(benchmark::State& state,
+                                const std::string& kind) {
+  RunEval(state, kind, /*metrics=*/true, /*tracing=*/true);
+}
+
+// Micro-costs of the primitives themselves, to attribute whatever the
+// macro numbers show: bare counter, parented chain, histogram record,
+// disabled and enabled spans.
+void BM_Counter_Increment(benchmark::State& state) {
+  obs::Counter c;
+  for (auto _ : state) {
+    c.Increment();
+    benchmark::DoNotOptimize(c);
+  }
+}
+void BM_Counter_ParentChainIncrement(benchmark::State& state) {
+  obs::Counter root;
+  obs::Counter mid(&root);
+  obs::Counter leaf(&mid);
+  for (auto _ : state) {
+    leaf.Increment();
+    benchmark::DoNotOptimize(leaf);
+  }
+}
+void BM_Histogram_Record(benchmark::State& state) {
+  obs::Histogram h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 2 + 1) & 0xfffff;
+    benchmark::DoNotOptimize(h);
+  }
+}
+void BM_ScopedSpan_Disabled(benchmark::State& state) {
+  obs::TraceRecorder rec(64);  // disabled: two branches, no clock reads
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.noop", nullptr, &rec);
+    benchmark::DoNotOptimize(span);
+  }
+}
+void BM_ScopedSpan_Enabled(benchmark::State& state) {
+  obs::TraceRecorder rec(64);
+  rec.set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.recorded", nullptr, &rec);
+    benchmark::DoNotOptimize(span);
+  }
+}
+
+void RegisterAll() {
+  for (const char* kind : {"select", "join", "difference"}) {
+    const std::string k(kind);
+    benchmark::RegisterBenchmark(("eval_uninstrumented/" + k).c_str(),
+                                 BM_Eval_Uninstrumented, k)
+        ->Arg(256)
+        ->Arg(2048);
+    benchmark::RegisterBenchmark(("eval_counters/" + k).c_str(),
+                                 BM_Eval_Counters, k)
+        ->Arg(256)
+        ->Arg(2048);
+    benchmark::RegisterBenchmark(("eval_counters_tracing/" + k).c_str(),
+                                 BM_Eval_CountersAndTracing, k)
+        ->Arg(256)
+        ->Arg(2048);
+  }
+  benchmark::RegisterBenchmark("counter_increment", BM_Counter_Increment);
+  benchmark::RegisterBenchmark("counter_parent_chain_increment",
+                               BM_Counter_ParentChainIncrement);
+  benchmark::RegisterBenchmark("histogram_record", BM_Histogram_Record);
+  benchmark::RegisterBenchmark("scoped_span_disabled",
+                               BM_ScopedSpan_Disabled);
+  benchmark::RegisterBenchmark("scoped_span_enabled", BM_ScopedSpan_Enabled);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,7 +7,7 @@
 #include "bench/paper_db.h"
 #include "relational/printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace expdb;
   std::printf("=== Figure 1: Example relations at time 0 ===\n\n");
 
@@ -30,5 +30,6 @@ int main() {
   Check(el->GetTexp(Tuple{2, 85}) == Timestamp(3), "texp(El<2,85>) = 3");
   Check(el->GetTexp(Tuple{4, 90}) == Timestamp(2), "texp(El<4,90>) = 2");
   std::printf("\nFigure 1 reproduced.\n");
+  MaybeDumpStats(argc, argv);
   return 0;
 }

@@ -10,7 +10,7 @@
 #include "core/eval.h"
 #include "relational/printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace expdb;
   using namespace expdb::algebra;
   std::printf("=== Figure 2: Example monotonic expressions ===\n\n");
@@ -64,5 +64,6 @@ int main() {
               .c_str());
   }
   std::printf("\nFigure 2 reproduced.\n");
+  MaybeDumpStats(argc, argv);
   return 0;
 }

@@ -10,7 +10,7 @@
 #include "core/eval.h"
 #include "relational/printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace expdb;
   using namespace expdb::algebra;
   std::printf("=== Figure 3: Some non-monotonic expressions ===\n\n");
@@ -66,5 +66,6 @@ int main() {
         "the materialization at 0 misses <2> at time 3: invalid");
 
   std::printf("\nFigure 3 reproduced.\n");
+  MaybeDumpStats(argc, argv);
   return 0;
 }

@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
+#include "obs/metrics.h"
 #include "relational/database.h"
 
 namespace expdb {
@@ -37,6 +39,21 @@ inline Database MakePaperDatabase() {
 inline void Check(bool ok, const char* what) {
   std::printf("  [%s] %s\n", ok ? "OK" : "MISMATCH", what);
   if (!ok) std::exit(1);
+}
+
+/// `--stats` support for the reproduction binaries: when the flag is
+/// present on the command line, append the process-wide metrics
+/// snapshot (Prometheus text exposition, docs/OBSERVABILITY.md) after
+/// the reproduction has verified — showing what the run cost in
+/// operator evaluations, view recomputations, and so on.
+inline void MaybeDumpStats(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--stats") {
+      std::printf("\n=== metrics (--stats) ===\n%s",
+                  obs::MetricsRegistry::Global().PrometheusText().c_str());
+      return;
+    }
+  }
 }
 
 }  // namespace expdb

@@ -62,7 +62,7 @@ void RunCase(const Case& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Table 1: Neutral subsets per aggregate function ===\n\n");
 
   RunCase({"min_1: non-minimal tuples are neutral",
@@ -95,5 +95,6 @@ int main() {
            "sum over N = 0 (every slice neutral)"});
 
   std::printf("Table 1 reproduced.\n");
+  MaybeDumpStats(argc, argv);
   return 0;
 }

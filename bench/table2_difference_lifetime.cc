@@ -15,7 +15,7 @@
 
 using namespace expdb;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Table 2: Lifetime analysis of e = R - S ===\n\n");
 
   Relation r(Schema({{"x", ValueType::kInt64}}));
@@ -83,5 +83,6 @@ int main() {
         "I(e) = [0, 8) U [20, inf)");
 
   std::printf("\nTable 2 reproduced.\n");
+  MaybeDumpStats(argc, argv);
   return 0;
 }

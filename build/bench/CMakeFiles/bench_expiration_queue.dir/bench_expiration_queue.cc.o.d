@@ -224,6 +224,9 @@ bench/CMakeFiles/bench_expiration_queue.dir/bench_expiration_queue.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/optional /root/repo/src/common/timestamp.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/expiration/clock.h /root/repo/src/expiration/trigger.h \
  /root/repo/src/relational/tuple.h /root/repo/src/common/value.h \
  /root/repo/src/relational/database.h \

@@ -228,5 +228,8 @@ bench/CMakeFiles/bench_replication.dir/bench_replication.cc.o: \
  /root/repo/src/core/expression.h /root/repo/src/core/aggregate.h \
  /root/repo/src/core/predicate.h /root/repo/src/relational/database.h \
  /root/repo/src/core/materialized_result.h \
- /root/repo/src/replica/network.h /root/repo/src/testing/workload.h \
+ /root/repo/src/replica/network.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/testing/workload.h \
  /root/repo/src/common/rng.h

@@ -228,4 +228,7 @@ bench/CMakeFiles/bench_rewrite.dir/bench_rewrite.cc.o: \
  /root/repo/src/relational/relation.h \
  /root/repo/src/view/materialized_view.h /root/repo/src/core/eval.h \
  /root/repo/src/core/difference.h /root/repo/src/core/interval_set.h \
- /root/repo/src/core/materialized_result.h
+ /root/repo/src/core/materialized_result.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -227,4 +227,7 @@ bench/CMakeFiles/bench_schrodinger.dir/bench_schrodinger.cc.o: \
  /root/repo/src/common/value.h /root/repo/src/relational/tuple.h \
  /root/repo/src/core/expression.h /root/repo/src/core/aggregate.h \
  /root/repo/src/core/predicate.h /root/repo/src/relational/database.h \
- /root/repo/src/core/materialized_result.h
+ /root/repo/src/core/materialized_result.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -229,4 +229,7 @@ examples/CMakeFiles/access_control.dir/access_control.cpp.o: \
  /root/repo/src/relational/database.h \
  /root/repo/src/core/materialized_result.h \
  /root/repo/src/relational/printer.h \
- /root/repo/src/view/materialized_view.h
+ /root/repo/src/view/materialized_view.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h

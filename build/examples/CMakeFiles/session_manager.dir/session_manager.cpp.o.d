@@ -230,6 +230,9 @@ examples/CMakeFiles/session_manager.dir/session_manager.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/expiration/calendar_queue.h \
+ /root/repo/src/expiration/calendar_queue.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/expiration/clock.h /root/repo/src/expiration/trigger.h \
  /root/repo/src/relational/printer.h

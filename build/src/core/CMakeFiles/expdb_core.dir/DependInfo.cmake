@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/expdb_common.dir/DependInfo.cmake"
   "/root/repo/build/src/relational/CMakeFiles/expdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/expdb_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

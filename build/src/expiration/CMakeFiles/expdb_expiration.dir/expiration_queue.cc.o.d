@@ -224,7 +224,11 @@ src/expiration/CMakeFiles/expdb_expiration.dir/expiration_queue.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/common/timestamp.h /usr/include/c++/12/limits \
- /root/repo/src/expiration/clock.h /root/repo/src/expiration/trigger.h \
- /root/repo/src/relational/tuple.h /root/repo/src/common/value.h \
- /root/repo/src/relational/database.h \
- /root/repo/src/relational/relation.h /root/repo/src/relational/schema.h
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/expiration/clock.h \
+ /root/repo/src/expiration/trigger.h /root/repo/src/relational/tuple.h \
+ /root/repo/src/common/value.h /root/repo/src/relational/database.h \
+ /root/repo/src/relational/relation.h /root/repo/src/relational/schema.h \
+ /root/repo/src/obs/trace.h

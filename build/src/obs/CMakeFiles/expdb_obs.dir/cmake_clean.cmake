@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expdb_obs.dir/metrics.cc.o"
+  "CMakeFiles/expdb_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/expdb_obs.dir/trace.cc.o"
+  "CMakeFiles/expdb_obs.dir/trace.cc.o.d"
+  "libexpdb_obs.a"
+  "libexpdb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expdb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

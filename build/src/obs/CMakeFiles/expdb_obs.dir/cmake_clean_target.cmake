@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexpdb_obs.a"
+)

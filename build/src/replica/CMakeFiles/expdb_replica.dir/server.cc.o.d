@@ -230,4 +230,7 @@ src/replica/CMakeFiles/expdb_replica.dir/server.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/aggregate.h \
  /root/repo/src/core/predicate.h /root/repo/src/relational/database.h \
  /root/repo/src/core/materialized_result.h \
- /root/repo/src/replica/network.h
+ /root/repo/src/replica/network.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h

@@ -231,7 +231,10 @@ src/sql/CMakeFiles/expdb_sql.dir/session.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/expiration/calendar_queue.h \
+ /root/repo/src/expiration/calendar_queue.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/expiration/clock.h /root/repo/src/expiration/trigger.h \
  /root/repo/src/sql/ast.h /root/repo/src/core/aggregate.h \
  /root/repo/src/view/view_manager.h \
@@ -241,6 +244,6 @@ src/sql/CMakeFiles/expdb_sql.dir/session.cc.o: \
  /root/repo/src/core/materialized_result.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/common/str_util.h /root/repo/src/relational/printer.h \
- /root/repo/src/core/rewrite.h /root/repo/src/sql/binder.h \
- /root/repo/src/sql/parser.h
+ /root/repo/src/common/str_util.h /root/repo/src/core/rewrite.h \
+ /root/repo/src/obs/trace.h /root/repo/src/relational/printer.h \
+ /root/repo/src/sql/binder.h /root/repo/src/sql/parser.h

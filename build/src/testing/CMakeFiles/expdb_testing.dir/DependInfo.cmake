@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/expdb_core.dir/DependInfo.cmake"
   "/root/repo/build/src/relational/CMakeFiles/expdb_relational.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/expdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/expdb_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -227,4 +227,8 @@ src/view/CMakeFiles/expdb_view.dir/materialized_view.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/relational/database.h \
- /root/repo/src/core/materialized_result.h
+ /root/repo/src/core/materialized_result.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/trace.h

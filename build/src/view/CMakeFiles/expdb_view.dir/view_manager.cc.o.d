@@ -228,4 +228,7 @@ src/view/CMakeFiles/expdb_view.dir/view_manager.cc.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/aggregate.h \
  /root/repo/src/core/predicate.h /root/repo/src/relational/database.h \
- /root/repo/src/core/materialized_result.h
+ /root/repo/src/core/materialized_result.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h

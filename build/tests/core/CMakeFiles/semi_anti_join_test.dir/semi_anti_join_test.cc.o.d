@@ -306,4 +306,6 @@ tests/core/CMakeFiles/semi_anti_join_test.dir/semi_anti_join_test.cc.o: \
  /root/repo/src/relational/database.h \
  /root/repo/src/core/materialized_result.h \
  /root/repo/src/testing/workload.h /root/repo/src/common/rng.h \
- /root/repo/src/view/materialized_view.h
+ /root/repo/src/view/materialized_view.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h

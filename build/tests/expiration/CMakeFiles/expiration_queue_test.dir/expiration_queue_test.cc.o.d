@@ -225,9 +225,12 @@ tests/expiration/CMakeFiles/expiration_queue_test.dir/expiration_queue_test.cc.o
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/common/timestamp.h /usr/include/c++/12/limits \
- /root/repo/src/expiration/clock.h /root/repo/src/expiration/trigger.h \
- /root/repo/src/relational/tuple.h /root/repo/src/common/value.h \
- /root/repo/src/relational/database.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/expiration/clock.h \
+ /root/repo/src/expiration/trigger.h /root/repo/src/relational/tuple.h \
+ /root/repo/src/common/value.h /root/repo/src/relational/database.h \
  /root/repo/src/relational/relation.h /root/repo/src/relational/schema.h \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -250,7 +253,7 @@ tests/expiration/CMakeFiles/expiration_queue_test.dir/expiration_queue_test.cc.o
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -296,7 +299,6 @@ tests/expiration/CMakeFiles/expiration_queue_test.dir/expiration_queue_test.cc.o
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \

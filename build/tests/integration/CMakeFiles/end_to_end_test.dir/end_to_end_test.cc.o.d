@@ -302,9 +302,12 @@ tests/integration/CMakeFiles/end_to_end_test.dir/end_to_end_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/timestamp.h /root/repo/src/expiration/clock.h \
- /root/repo/src/expiration/trigger.h /root/repo/src/relational/tuple.h \
- /root/repo/src/common/value.h /root/repo/src/relational/database.h \
+ /root/repo/src/common/timestamp.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/expiration/clock.h /root/repo/src/expiration/trigger.h \
+ /root/repo/src/relational/tuple.h /root/repo/src/common/value.h \
+ /root/repo/src/relational/database.h \
  /root/repo/src/relational/relation.h /root/repo/src/relational/schema.h \
  /root/repo/src/replica/protocol.h /root/repo/src/replica/client.h \
  /root/repo/src/replica/server.h /root/repo/src/core/eval.h \

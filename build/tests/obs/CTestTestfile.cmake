@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/obs
+# Build directory: /root/repo/build/tests/obs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/obs/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/obs/trace_test[1]_include.cmake")

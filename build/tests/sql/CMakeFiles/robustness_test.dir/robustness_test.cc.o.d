@@ -305,7 +305,9 @@ tests/sql/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/repo/src/expiration/expiration_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/expiration/calendar_queue.h \
+ /root/repo/src/expiration/calendar_queue.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/expiration/clock.h /root/repo/src/expiration/trigger.h \
  /root/repo/src/sql/ast.h /root/repo/src/core/aggregate.h \
  /root/repo/src/view/view_manager.h \

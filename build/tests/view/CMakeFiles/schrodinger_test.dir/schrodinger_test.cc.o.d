@@ -304,4 +304,6 @@ tests/view/CMakeFiles/schrodinger_test.dir/schrodinger_test.cc.o: \
  /root/repo/src/relational/tuple.h /root/repo/src/core/expression.h \
  /root/repo/src/core/aggregate.h /root/repo/src/core/predicate.h \
  /root/repo/src/relational/database.h \
- /root/repo/src/core/materialized_result.h
+ /root/repo/src/core/materialized_result.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h

@@ -4,9 +4,57 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace expdb {
 
 namespace {
+
+/// Indexed by ExprKind. Keep in sync with core/expression.h.
+constexpr const char* kOpMetricNames[] = {
+    "base",      "select",    "project",   "product",
+    "union",     "join",      "intersect", "difference",
+    "aggregate", "semi_join", "anti_join"};
+constexpr const char* kOpSpanNames[] = {
+    "eval.base",      "eval.select",    "eval.project",   "eval.product",
+    "eval.union",     "eval.join",      "eval.intersect", "eval.difference",
+    "eval.aggregate", "eval.semi_join", "eval.anti_join"};
+constexpr size_t kNumOpKinds =
+    sizeof(kOpMetricNames) / sizeof(kOpMetricNames[0]);
+
+/// Registry handles for operator evaluation, resolved once per process so
+/// the per-node cost is bare atomic increments.
+struct EvalMetricSet {
+  obs::Counter* evaluations;
+  obs::Counter* operators;
+  obs::Counter* tuples_out;
+  obs::Counter* per_op[kNumOpKinds];
+  obs::Histogram* latency;
+
+  static const EvalMetricSet& Get() {
+    static const EvalMetricSet* set = [] {
+      auto* s = new EvalMetricSet();
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      s->evaluations = r.GetCounter("expdb_eval_evaluations_total",
+                                    "Root-level expression evaluations");
+      s->operators = r.GetCounter("expdb_eval_operators_total",
+                                  "Operator nodes evaluated (all kinds)");
+      s->tuples_out = r.GetCounter("expdb_eval_tuples_out_total",
+                                   "Tuples produced by operator nodes");
+      for (size_t i = 0; i < kNumOpKinds; ++i) {
+        s->per_op[i] =
+            r.GetCounter("expdb_eval_op_" + std::string(kOpMetricNames[i]) +
+                             "_total",
+                         "Evaluations of this operator kind");
+      }
+      s->latency = r.GetHistogram("expdb_eval_latency_ns",
+                                  "Root evaluation wall time (ns)");
+      return s;
+    }();
+    return *set;
+  }
+};
 
 /// Match machinery shared by ⋉exp and ▷exp: for a left tuple, finds
 /// whether any right tuple satisfies the (concatenated-frame) predicate,
@@ -69,6 +117,18 @@ class Evaluator {
       : db_(db), tau_(tau), options_(options) {}
 
   Result<MaterializedResult> Eval(const Expression& e) {
+    if (!options_.enable_metrics) return EvalNode(e);
+    const size_t k = static_cast<size_t>(e.kind());
+    const EvalMetricSet& m = EvalMetricSet::Get();
+    m.operators->Increment();
+    if (k < kNumOpKinds) m.per_op[k]->Increment();
+    obs::ScopedSpan span(k < kNumOpKinds ? kOpSpanNames[k] : "eval.op");
+    Result<MaterializedResult> r = EvalNode(e);
+    if (r.ok()) m.tuples_out->Increment(r.value().relation.size());
+    return r;
+  }
+
+  Result<MaterializedResult> EvalNode(const Expression& e) {
     switch (e.kind()) {
       case ExprKind::kBase:
         return EvalBase(e);
@@ -465,6 +525,12 @@ Result<MaterializedResult> Evaluate(const ExpressionPtr& expr,
   if (expr == nullptr) {
     return Status::InvalidArgument("null expression");
   }
+  if (!options.enable_metrics) {
+    return Evaluator(db, tau, options).Eval(*expr);
+  }
+  const EvalMetricSet& m = EvalMetricSet::Get();
+  m.evaluations->Increment();
+  obs::ScopedSpan span("eval.root", m.latency);
   return Evaluator(db, tau, options).Eval(*expr);
 }
 
@@ -476,11 +542,23 @@ Result<DifferenceEvalResult> EvaluateDifferenceRoot(
     return Status::InvalidArgument(
         "EvaluateDifferenceRoot requires a difference or anti-join root");
   }
-  Evaluator evaluator(db, tau, options);
-  if (expr->kind() == ExprKind::kAntiJoin) {
-    return evaluator.EvalAntiJoin(*expr);
-  }
-  return evaluator.EvalDifference(*expr);
+  auto eval_root = [&]() -> Result<DifferenceEvalResult> {
+    Evaluator evaluator(db, tau, options);
+    if (expr->kind() == ExprKind::kAntiJoin) {
+      return evaluator.EvalAntiJoin(*expr);
+    }
+    return evaluator.EvalDifference(*expr);
+  };
+  if (!options.enable_metrics) return eval_root();
+  const size_t k = static_cast<size_t>(expr->kind());
+  const EvalMetricSet& m = EvalMetricSet::Get();
+  m.evaluations->Increment();
+  m.operators->Increment();
+  if (k < kNumOpKinds) m.per_op[k]->Increment();
+  obs::ScopedSpan span("eval.root", m.latency);
+  Result<DifferenceEvalResult> r = eval_root();
+  if (r.ok()) m.tuples_out->Increment(r.value().result.relation.size());
+  return r;
 }
 
 }  // namespace expdb

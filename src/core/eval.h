@@ -34,6 +34,11 @@ struct EvalOptions {
   /// change-point pass over aggregate partitions and difference criticals);
   /// when false, validity is the sound single interval [τ, texp(e)).
   bool compute_validity = false;
+  /// When true (default), per-operator counters and latency spans feed
+  /// the process-wide obs::MetricsRegistry / obs::TraceRecorder. Counter
+  /// overhead is <5% (bench_obs_overhead, EXPERIMENTS.md); spans cost
+  /// nothing unless tracing is enabled on the recorder.
+  bool enable_metrics = true;
 };
 
 /// \brief Materializes `expr` at time `tau`.

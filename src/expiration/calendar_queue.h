@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/timestamp.h"
+#include "obs/metrics.h"
 
 namespace expdb {
 
@@ -43,6 +44,13 @@ class CalendarQueue {
 
   Timestamp now() const { return now_; }
 
+  /// \brief Observability hook: when set, counts schedules that miss the
+  /// near window and land in the O(log n) overflow map — the metric that
+  /// tells whether ring_size matches the workload's lifetimes.
+  void set_overflow_counter(obs::Counter* counter) {
+    overflow_counter_ = counter;
+  }
+
   /// \brief Schedules `payload` to expire at `texp`. Requires a finite
   /// texp strictly in the future (callers keep ∞ tuples out).
   bool Schedule(Timestamp texp, Payload payload) {
@@ -51,6 +59,7 @@ class CalendarQueue {
       ring_[Slot(texp)].emplace_back(texp, std::move(payload));
     } else {
       overflow_[texp].push_back(std::move(payload));
+      if (overflow_counter_ != nullptr) overflow_counter_->Increment();
     }
     ++size_;
     return true;
@@ -158,6 +167,7 @@ class CalendarQueue {
   std::vector<std::vector<std::pair<Timestamp, Payload>>> ring_;
   std::map<Timestamp, std::vector<Payload>> overflow_;
   size_t size_ = 0;
+  obs::Counter* overflow_counter_ = nullptr;
 };
 
 }  // namespace expdb

@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace expdb {
+
+ExpirationMetrics::ExpirationMetrics() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  inserted.SetParent(r.GetCounter("expdb_expiration_inserted_total"));
+  removed.SetParent(r.GetCounter("expdb_expiration_removed_total"));
+  triggers_fired.SetParent(
+      r.GetCounter("expdb_expiration_triggers_fired_total"));
+  index_pushes.SetParent(
+      r.GetCounter("expdb_expiration_index_pushes_total"));
+  index_pops.SetParent(r.GetCounter("expdb_expiration_index_pops_total"));
+  stale_entries.SetParent(
+      r.GetCounter("expdb_expiration_stale_entries_total"));
+  compactions.SetParent(r.GetCounter("expdb_expiration_compactions_total"));
+  calendar_overflow.SetParent(
+      r.GetCounter("expdb_expiration_calendar_overflow_total"));
+  queue_size.SetParent(r.GetGauge("expdb_expiration_queue_size"));
+  drain_latency.SetParent(
+      r.GetHistogram("expdb_expiration_drain_latency_ns"));
+}
 
 std::string_view RemovalPolicyToString(RemovalPolicy policy) {
   switch (policy) {
@@ -27,7 +48,9 @@ std::string_view ExpirationIndexToString(ExpirationIndex index) {
 ExpirationManager::ExpirationManager(ExpirationManagerOptions options)
     : options_(options),
       calendar_(Timestamp::Zero(),
-                std::max<size_t>(1, options.calendar_ring_size)) {}
+                std::max<size_t>(1, options.calendar_ring_size)) {
+  calendar_.set_overflow_counter(&metrics_.calendar_overflow);
+}
 
 Result<Relation*> ExpirationManager::CreateRelation(const std::string& name,
                                                     Schema schema) {
@@ -43,14 +66,15 @@ Status ExpirationManager::Insert(const std::string& relation, Tuple tuple,
   }
   EXPDB_ASSIGN_OR_RETURN(Relation * rel, db_.GetRelation(relation));
   EXPDB_RETURN_NOT_OK(rel->Insert(tuple, texp));
-  ++stats_.inserted;
+  metrics_.inserted.Increment();
   if (options_.policy == RemovalPolicy::kEager && texp.IsFinite()) {
     if (options_.index == ExpirationIndex::kCalendarQueue) {
       calendar_.Schedule(texp, {relation, std::move(tuple)});
     } else {
       queue_.push({texp, relation, std::move(tuple)});
     }
-    ++stats_.heap_pushes;
+    metrics_.index_pushes.Increment();
+    metrics_.queue_size.Set(static_cast<int64_t>(queue_size()));
   }
   return Status::OK();
 }
@@ -86,24 +110,25 @@ Status ExpirationManager::Advance(int64_t ticks) {
 }
 
 void ExpirationManager::DrainEager(Timestamp t) {
+  obs::ScopedSpan span("expiration.drain", &metrics_.drain_latency);
   // Entries may be stale because the tuple was re-inserted with a later
   // expiration (Relation keeps the max) or explicitly erased; verify
   // against the relation before removing ("lazy deletion" indexing).
   auto expire_one = [&](Timestamp texp, const std::string& relation,
                         const Tuple& tuple) {
-    ++stats_.heap_pops;
+    metrics_.index_pops.Increment();
     auto rel = db_.GetRelation(relation);
     if (!rel.ok()) {
-      ++stats_.stale_heap_entries;  // relation dropped
+      metrics_.stale_entries.Increment();  // relation dropped
       return;
     }
     auto current = rel.value()->GetTexp(tuple);
     if (!current.has_value() || *current != texp) {
-      ++stats_.stale_heap_entries;  // erased or lifetime extended
+      metrics_.stale_entries.Increment();  // erased or lifetime extended
       return;
     }
     rel.value()->Erase(tuple);
-    ++stats_.removed;
+    metrics_.removed.Increment();
     FireTriggers(relation, {{tuple, texp}}, texp);
   };
 
@@ -111,13 +136,14 @@ void ExpirationManager::DrainEager(Timestamp t) {
     calendar_.AdvanceTo(t, [&](Timestamp texp, CalendarPayload& payload) {
       expire_one(texp, payload.relation, payload.tuple);
     });
-    return;
+  } else {
+    while (!queue_.empty() && queue_.top().texp <= t) {
+      QueueEntry entry = queue_.top();
+      queue_.pop();
+      expire_one(entry.texp, entry.relation, entry.tuple);
+    }
   }
-  while (!queue_.empty() && queue_.top().texp <= t) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    expire_one(entry.texp, entry.relation, entry.tuple);
-  }
+  metrics_.queue_size.Set(static_cast<int64_t>(queue_size()));
 }
 
 void ExpirationManager::MaybeAutoCompact() {
@@ -139,11 +165,12 @@ void ExpirationManager::MaybeAutoCompact() {
 
 size_t ExpirationManager::CompactRelation(const std::string& name,
                                           Relation* rel) {
+  obs::ScopedSpan span("expiration.compact", &metrics_.drain_latency);
   std::vector<std::pair<Tuple, Timestamp>> removed =
       rel->RemoveExpired(clock_.Now());
   if (removed.empty()) return 0;
-  ++stats_.compactions;
-  stats_.removed += removed.size();
+  metrics_.compactions.Increment();
+  metrics_.removed.Increment(removed.size());
   FireTriggers(name, removed, clock_.Now());
   return removed.size();
 }
@@ -165,7 +192,7 @@ void ExpirationManager::FireTriggers(
     ExpirationEvent event{relation, tuple, texp, removed_at};
     for (const ExpirationTrigger& trigger : triggers_) {
       trigger(event);
-      ++stats_.triggers_fired;
+      metrics_.triggers_fired.Increment();
     }
   }
 }

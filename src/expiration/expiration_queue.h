@@ -27,6 +27,7 @@
 #include "expiration/calendar_queue.h"
 #include "expiration/clock.h"
 #include "expiration/trigger.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 
 namespace expdb {
@@ -61,7 +62,10 @@ struct ExpirationManagerOptions {
   int64_t lazy_check_interval = 16;
 };
 
-/// Operational counters (benchmark C4 reports these).
+/// Operational counters (benchmark C4 reports these). Since the obs
+/// refactor this is a *thin read view* assembled from the manager's
+/// ExpirationMetrics — the metric objects are the single source of truth
+/// and also feed the process-wide obs::MetricsRegistry.
 struct ExpirationStats {
   uint64_t inserted = 0;           ///< tuples routed through Insert
   uint64_t removed = 0;            ///< tuples physically removed
@@ -70,6 +74,24 @@ struct ExpirationStats {
   uint64_t heap_pops = 0;          ///< eager priority-queue pops
   uint64_t stale_heap_entries = 0; ///< pops ignored (tuple gone/extended)
   uint64_t compactions = 0;        ///< lazy compaction passes
+};
+
+/// Instance-local metric handles of one ExpirationManager. Every update
+/// propagates to the matching process-wide `expdb_expiration_*` metric in
+/// obs::MetricsRegistry::Global() (see docs/OBSERVABILITY.md).
+struct ExpirationMetrics {
+  obs::Counter inserted;
+  obs::Counter removed;
+  obs::Counter triggers_fired;
+  obs::Counter index_pushes;
+  obs::Counter index_pops;
+  obs::Counter stale_entries;
+  obs::Counter compactions;
+  obs::Counter calendar_overflow;
+  obs::Gauge queue_size;
+  obs::Histogram drain_latency;
+
+  ExpirationMetrics();
 };
 
 /// \brief Owns a Database and a LogicalClock; routes inserts, advances
@@ -82,7 +104,18 @@ class ExpirationManager {
   const Database& db() const { return db_; }
   Timestamp Now() const { return clock_.Now(); }
   RemovalPolicy policy() const { return options_.policy; }
-  const ExpirationStats& stats() const { return stats_; }
+
+  /// \brief Snapshot of the operational counters (thin view over the
+  /// instance metrics; see ExpirationMetrics).
+  ExpirationStats stats() const {
+    return ExpirationStats{
+        metrics_.inserted.value(),      metrics_.removed.value(),
+        metrics_.triggers_fired.value(), metrics_.index_pushes.value(),
+        metrics_.index_pops.value(),    metrics_.stale_entries.value(),
+        metrics_.compactions.value()};
+  }
+
+  const ExpirationMetrics& metrics() const { return metrics_; }
 
   /// \brief Creates a base relation.
   Result<Relation*> CreateRelation(const std::string& name, Schema schema);
@@ -145,7 +178,7 @@ class ExpirationManager {
       queue_;
   CalendarQueue<CalendarPayload> calendar_;
   std::vector<ExpirationTrigger> triggers_;
-  ExpirationStats stats_;
+  ExpirationMetrics metrics_;
   /// Lazy: next time at which the compaction threshold is evaluated.
   Timestamp next_lazy_check_;
 };

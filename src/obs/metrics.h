@@ -1,0 +1,259 @@
+// Unified metrics layer (docs/OBSERVABILITY.md): named counters, gauges,
+// and fixed-bucket histograms collected in a process-wide MetricsRegistry.
+//
+// Design:
+//  * Counter / Gauge / Histogram are standalone objects with a lock-free
+//    fast path (relaxed atomics). Each may be *parented* onto another
+//    metric of the same kind: updates propagate up the parent chain, so a
+//    component can own instance-local metrics (feeding its legacy stats
+//    struct) while a process-wide aggregate accumulates in the registry.
+//    This keeps exactly one write path — the old ad-hoc stats structs
+//    (ViewStats, ExpirationStats, NetworkStats) are now thin read views
+//    over these objects.
+//  * MetricsRegistry::Global() pre-registers the standard `expdb_*`
+//    metric names for every subsystem so Snapshot() is complete even
+//    before a subsystem has been exercised.
+//  * Snapshot() produces a stable, copyable description; PrometheusText()
+//    and JsonText() render it for scraping.
+//
+// Naming convention: expdb_<subsystem>_<name>[_total] with subsystems
+// eval, expiration, view, replica, sql (see docs/OBSERVABILITY.md).
+
+#ifndef EXPDB_OBS_METRICS_H_
+#define EXPDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expdb {
+namespace obs {
+
+/// \brief A monotonically increasing event count. Thread-safe; the
+/// increment path is a single relaxed atomic add per chain link.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(Counter* parent) : parent_(parent) {}
+
+  // Copyable so that stats-bearing components stay copyable: the copy
+  // snapshots the value and shares the parent. The copied count is NOT
+  // re-added to the parent (the events were already aggregated once).
+  Counter(const Counter& other)
+      : value_(other.value()), parent_(other.parent_) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    parent_ = other.parent_;
+    return *this;
+  }
+
+  /// \brief Re-parents this counter; updates after this call propagate to
+  /// `parent` (and its ancestors). Not thread-safe w.r.t. Increment.
+  void SetParent(Counter* parent) { parent_ = parent; }
+
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->Increment(n);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// \brief Zeroes this counter only — ancestors keep their accumulated
+  /// totals (process-wide counters are cumulative, Prometheus-style).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  Counter* parent_ = nullptr;
+};
+
+/// \brief A value that can go up and down. Updates through Add propagate
+/// deltas to the parent, so a parent gauge holds the sum over children;
+/// construction, copies, and destruction keep that invariant (a dying
+/// child removes its contribution from the parent).
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(Gauge* parent) : parent_(parent) {}
+
+  Gauge(const Gauge& other) : value_(other.value()), parent_(other.parent_) {
+    if (parent_ != nullptr) parent_->Add(value());
+  }
+  Gauge& operator=(const Gauge& other) {
+    if (this == &other) return *this;
+    if (parent_ != nullptr) parent_->Add(-value());
+    value_.store(other.value(), std::memory_order_relaxed);
+    parent_ = other.parent_;
+    if (parent_ != nullptr) parent_->Add(value());
+    return *this;
+  }
+
+  ~Gauge() {
+    if (parent_ != nullptr) parent_->Add(-value());
+  }
+
+  /// \brief Re-parents, moving the current contribution from the old
+  /// parent (if any) to the new one. Not thread-safe w.r.t. Add/Set.
+  void SetParent(Gauge* parent) {
+    const int64_t v = value();
+    if (parent_ != nullptr) parent_->Add(-v);
+    parent_ = parent;
+    if (parent_ != nullptr) parent_->Add(v);
+  }
+
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->Add(delta);
+  }
+
+  /// \brief Sets the local value, forwarding the *delta* to the parent
+  /// (the parent remains the sum over its children).
+  void Set(int64_t v) {
+    const int64_t old = value_.exchange(v, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->Add(v - old);
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  Gauge* parent_ = nullptr;
+};
+
+/// \brief A fixed-bucket histogram over int64 samples (latencies in
+/// nanoseconds, batch sizes, ...). Bucket i counts samples <= bounds[i];
+/// one implicit overflow bucket counts the rest. Thread-safe: recording
+/// is a handful of relaxed atomic ops plus two CAS loops for min/max.
+class Histogram {
+ public:
+  /// \brief Exponential bucket upper bounds: start, start*factor, ...
+  static std::vector<int64_t> ExponentialBounds(int64_t start, double factor,
+                                                size_t count);
+  /// \brief Default bounds for nanosecond latencies: 256ns .. ~4.6s, x4.
+  static std::vector<int64_t> DefaultLatencyBounds();
+
+  explicit Histogram(std::vector<int64_t> bounds = DefaultLatencyBounds(),
+                     Histogram* parent = nullptr);
+
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  /// \brief Re-parents. The parent must share this histogram's bounds for
+  /// its percentiles to stay meaningful (counts aggregate regardless).
+  void SetParent(Histogram* parent) { parent_ = parent; }
+
+  void Record(int64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded sample; 0 when empty.
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+
+  /// \brief Estimated p-th percentile (p in [0, 100]) by linear
+  /// interpolation inside the bucket holding the rank, clamped to the
+  /// observed [min, max]. Returns 0.0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// \brief Per-bucket counts; size() == bounds().size() + 1 (overflow).
+  std::vector<uint64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<int64_t> bounds_;  // sorted, strictly increasing
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{0};
+  std::atomic<int64_t> max_{0};
+  Histogram* parent_ = nullptr;
+};
+
+/// \brief A copyable snapshot of one metric.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+
+  /// Counter/gauge value (histograms: the mean).
+  double value = 0.0;
+
+  // Histogram details.
+  uint64_t count = 0;
+  int64_t sum = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  std::vector<int64_t> bucket_bounds;
+  std::vector<uint64_t> bucket_counts;
+
+  std::string_view KindName() const;
+};
+
+/// \brief A named collection of metrics. Registration is mutex-guarded;
+/// returned pointers are stable for the registry's lifetime, so hot paths
+/// look a metric up once and then touch only atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief Finds or creates the named metric. The returned pointer stays
+  /// valid as long as the registry lives. `help` is recorded on first
+  /// creation only.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(
+      const std::string& name, const std::string& help = "",
+      std::vector<int64_t> bounds = Histogram::DefaultLatencyBounds());
+
+  /// \brief All metrics, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// \brief Prometheus text exposition format.
+  std::string PrometheusText() const;
+
+  /// \brief JSON array of metric objects.
+  std::string JsonText() const;
+
+  size_t MetricCount() const;
+
+  /// \brief Zeroes every metric (registrations survive). Test/bench aid.
+  void ResetAll();
+
+  /// \brief The process-wide registry, pre-populated with the standard
+  /// expdb_* metric names of every subsystem.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+/// \brief Registers the standard expdb metric set (all five subsystems)
+/// on `registry`. Idempotent. Global() calls this once automatically.
+void RegisterStandardMetrics(MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace expdb
+
+#endif  // EXPDB_OBS_METRICS_H_

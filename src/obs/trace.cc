@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace expdb {
+namespace obs {
+
+namespace {
+/// The innermost live span id on this thread (0 = none); links children
+/// to parents without any central coordination.
+thread_local uint64_t tls_current_span = 0;
+}  // namespace
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[write_pos_] = std::move(record);
+  }
+  write_pos_ = (write_pos_ + 1) % capacity_;
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // write_pos_ is the oldest slot once the ring is full.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(write_pos_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  write_pos_ = 0;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* global = new TraceRecorder();
+  return *global;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency,
+                       TraceRecorder* recorder)
+    : name_(name), latency_(latency), recorder_(recorder) {
+  const bool tracing = recorder_ != nullptr && recorder_->enabled();
+  timed_ = tracing || latency_ != nullptr;
+  if (!timed_) return;
+  start_ns_ = SteadyNowNs();
+  if (tracing) {
+    id_ = recorder_->NextId();
+    parent_id_ = tls_current_span;
+    tls_current_span = id_;
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!timed_) return;
+  const int64_t duration = SteadyNowNs() - start_ns_;
+  if (latency_ != nullptr) latency_->Record(duration);
+  if (id_ != 0) {
+    tls_current_span = parent_id_;
+    recorder_->Record({id_, parent_id_, name_, start_ns_, duration});
+  }
+}
+
+}  // namespace obs
+}  // namespace expdb

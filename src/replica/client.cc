@@ -36,7 +36,7 @@ Status ReplicationClient::Fetch(const std::string& name, Subscription* sub,
     EXPDB_ASSIGN_OR_RETURN(sub->result, server_->Fetch(name, now, net_));
   }
   sub->last_fetch = now;
-  ++stats_.fetches;
+  metrics_.fetches.Increment();
   return Status::OK();
 }
 
@@ -56,7 +56,7 @@ void ReplicationClient::ApplyPatches(Subscription* sub, Timestamp now) {
     const DifferencePatchEntry& entry = sub->helper[sub->patch_cursor++];
     if (entry.expires_at > now) {
       sub->result.relation.InsertUnchecked(entry.tuple, entry.expires_at);
-      ++stats_.patches_applied;
+      metrics_.patches_applied.Increment();
     }
   }
 }
@@ -68,7 +68,7 @@ Result<Relation> ReplicationClient::Read(const std::string& name,
     return Status::NotFound("not subscribed to '" + name + "'");
   }
   Subscription& sub = it->second;
-  ++stats_.reads;
+  metrics_.reads.Increment();
 
   switch (options_.protocol) {
     case SyncProtocol::kNaivePeriodic: {

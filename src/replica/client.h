@@ -34,11 +34,28 @@ enum class SyncProtocol {
 
 std::string_view SyncProtocolToString(SyncProtocol protocol);
 
-/// Per-client counters.
+/// Per-client counters. Since the obs refactor this is a *thin read
+/// view* assembled from the client's ClientMetrics (the single source of
+/// truth, which also feed the process-wide MetricsRegistry).
 struct ClientStats {
   uint64_t reads = 0;
   uint64_t fetches = 0;          ///< server round trips
   uint64_t patches_applied = 0;  ///< local helper-queue insertions
+};
+
+/// Instance-local metric handles of one ReplicationClient. `fetches`
+/// aggregates into the process-wide `expdb_replica_refreshes_total` (a
+/// re-fetch is the client-side refresh event the paper's cost arguments
+/// count); reads/patches stay client-local.
+struct ClientMetrics {
+  obs::Counter reads;
+  obs::Counter fetches;
+  obs::Counter patches_applied;
+
+  ClientMetrics() {
+    fetches.SetParent(obs::MetricsRegistry::Global().GetCounter(
+        "expdb_replica_refreshes_total"));
+  }
 };
 
 /// \brief A loosely-coupled client maintaining subscribed query results.
@@ -62,7 +79,12 @@ class ReplicationClient {
   /// maintenance (local expiry, patches, or re-fetches) first.
   Result<Relation> Read(const std::string& name, Timestamp now);
 
-  const ClientStats& stats() const { return stats_; }
+  /// \brief Snapshot of the per-client counters (thin view over the
+  /// client metrics; see ClientMetrics).
+  ClientStats stats() const {
+    return ClientStats{metrics_.reads.value(), metrics_.fetches.value(),
+                       metrics_.patches_applied.value()};
+  }
 
  private:
   struct Subscription {
@@ -81,7 +103,7 @@ class ReplicationClient {
   SimulatedNetwork* net_;
   Options options_;
   std::map<std::string, Subscription> subscriptions_;
-  ClientStats stats_;
+  ClientMetrics metrics_;
 };
 
 }  // namespace expdb

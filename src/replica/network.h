@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace expdb {
 
 /// Cost model of one logical channel.
@@ -24,7 +26,11 @@ struct NetworkCostModel {
   double per_tuple_latency = 1.0;
 };
 
-/// Accumulated traffic counters.
+/// Accumulated traffic counters. Since the obs refactor this is a *thin
+/// read view* assembled from the channel's metric objects (the single
+/// source of truth, which also feed the process-wide MetricsRegistry).
+/// `latency_units` is derived: per_message_latency * messages +
+/// per_tuple_latency * tuples_transferred.
 struct NetworkStats {
   uint64_t messages = 0;
   uint64_t tuples_transferred = 0;
@@ -33,26 +39,47 @@ struct NetworkStats {
   std::string ToString() const;
 };
 
-/// \brief Counts the cost of server->client transfers.
+/// \brief Counts the cost of server->client transfers. Each channel owns
+/// instance-local counters parented onto the process-wide
+/// `expdb_replica_messages_total` / `expdb_replica_tuples_transferred_total`
+/// aggregates (see docs/OBSERVABILITY.md).
 class SimulatedNetwork {
  public:
-  explicit SimulatedNetwork(NetworkCostModel model = {}) : model_(model) {}
+  explicit SimulatedNetwork(NetworkCostModel model = {}) : model_(model) {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    messages_.SetParent(r.GetCounter("expdb_replica_messages_total"));
+    tuples_.SetParent(
+        r.GetCounter("expdb_replica_tuples_transferred_total"));
+  }
 
   /// \brief Records one response message carrying `tuples` tuples.
   void CountMessage(uint64_t tuples) {
-    ++stats_.messages;
-    stats_.tuples_transferred += tuples;
-    stats_.latency_units +=
-        model_.per_message_latency +
-        model_.per_tuple_latency * static_cast<double>(tuples);
+    messages_.Increment();
+    tuples_.Increment(tuples);
   }
 
-  const NetworkStats& stats() const { return stats_; }
-  void Reset() { stats_ = NetworkStats{}; }
+  /// \brief Snapshot of the traffic counters (thin view over the channel
+  /// metrics; latency is derived from the cost model).
+  NetworkStats stats() const {
+    const uint64_t messages = messages_.value();
+    const uint64_t tuples = tuples_.value();
+    return NetworkStats{
+        messages, tuples,
+        model_.per_message_latency * static_cast<double>(messages) +
+            model_.per_tuple_latency * static_cast<double>(tuples)};
+  }
+
+  /// \brief Zeroes this channel's counters. The process-wide aggregates
+  /// keep their cumulative totals (Prometheus-style).
+  void Reset() {
+    messages_.Reset();
+    tuples_.Reset();
+  }
 
  private:
   NetworkCostModel model_;
-  NetworkStats stats_;
+  obs::Counter messages_;
+  obs::Counter tuples_;
 };
 
 }  // namespace expdb

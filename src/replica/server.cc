@@ -28,6 +28,7 @@ Result<MaterializedResult> ReplicationServer::Fetch(
   EXPDB_ASSIGN_OR_RETURN(ExpressionPtr expr, GetQuery(name));
   EXPDB_ASSIGN_OR_RETURN(MaterializedResult result,
                          Evaluate(expr, *db_, tau, eval_));
+  fetches_->Increment();
   if (net != nullptr) net->CountMessage(result.relation.size());
   return result;
 }
@@ -37,6 +38,8 @@ Result<DifferenceEvalResult> ReplicationServer::FetchWithHelper(
   EXPDB_ASSIGN_OR_RETURN(ExpressionPtr expr, GetQuery(name));
   EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult result,
                          EvaluateDifferenceRoot(expr, *db_, tau, eval_));
+  fetches_->Increment();
+  helper_entries_->Increment(result.helper.size());
   if (net != nullptr) {
     net->CountMessage(result.result.relation.size() + result.helper.size());
   }

@@ -18,7 +18,12 @@ namespace expdb {
 class ReplicationServer {
  public:
   explicit ReplicationServer(const Database* db, EvalOptions eval = {})
-      : db_(db), eval_(eval) {}
+      : db_(db),
+        eval_(eval),
+        fetches_(obs::MetricsRegistry::Global().GetCounter(
+            "expdb_replica_fetches_total")),
+        helper_entries_(obs::MetricsRegistry::Global().GetCounter(
+            "expdb_replica_helper_entries_total")) {}
 
   /// \brief Registers a named query clients may subscribe to.
   Status RegisterQuery(const std::string& name, ExpressionPtr expr);
@@ -46,6 +51,10 @@ class ReplicationServer {
   const Database* db_;
   EvalOptions eval_;
   std::map<std::string, ExpressionPtr> queries_;
+  // Process-wide counters (registry-owned): fetches served and Theorem 3
+  // helper entries shipped up front.
+  obs::Counter* fetches_;
+  obs::Counter* helper_entries_;
 };
 
 }  // namespace expdb

@@ -135,11 +135,23 @@ struct DeleteStatement {
   BoolExprPtr where;  ///< null = delete all
 };
 
+/// STATS [PROMETHEUS | JSON | RESET] and EXPLAIN STATS: the observability
+/// meta-command (docs/OBSERVABILITY.md). STATS renders the process-wide
+/// metrics snapshot as a relation; PROMETHEUS/JSON return the exporter
+/// text instead; RESET zeroes every metric; EXPLAIN STATS appends the
+/// most recent trace spans.
+struct StatsStatement {
+  enum class Format { kTable, kPrometheus, kJson };
+  Format format = Format::kTable;
+  bool explain = false;  ///< EXPLAIN STATS: include recent trace spans
+  bool reset = false;    ///< STATS RESET: zero all metrics
+};
+
 /// \brief Any parsed statement.
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
                  CreateViewStatement, DropStatement, AdvanceStatement,
-                 ShowStatement, DeleteStatement>;
+                 ShowStatement, DeleteStatement, StatsStatement>;
 
 }  // namespace sql
 }  // namespace expdb

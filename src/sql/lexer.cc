@@ -43,7 +43,7 @@ constexpr std::array kKeywords = {
     "DROP",    "SHOW",   "TABLES",    "VIEWS",   "TIME",    "ADVANCE",
     "DELETE",  "MIN",    "MAX",       "SUM",     "COUNT",   "AVG",
     "INT",     "DOUBLE", "STRING",    "WITH",    "NEVER",   "TRIGGERS",
-    "DISTINCT"};
+    "DISTINCT",          "STATS",     "EXPLAIN", "RESET"};
 
 }  // namespace
 

@@ -85,8 +85,37 @@ class Parser {
     if (AcceptKeyword("ADVANCE")) return ParseAdvance();
     if (AcceptKeyword("SHOW")) return ParseShow();
     if (AcceptKeyword("DELETE")) return ParseDelete();
+    if (AcceptKeyword("STATS")) return ParseStats(/*explain=*/false);
+    if (AcceptKeyword("EXPLAIN")) {
+      EXPDB_RETURN_NOT_OK(ExpectKeyword("STATS"));
+      return ParseStats(/*explain=*/true);
+    }
     return Status::ParseError("expected a statement, got " +
                               Peek().ToString());
+  }
+
+  // STATS [PROMETHEUS | JSON | RESET]; EXPLAIN STATS takes no modifier.
+  Result<Statement> ParseStats(bool explain) {
+    StatsStatement out;
+    out.explain = explain;
+    if (!explain && AcceptKeyword("RESET")) {
+      out.reset = true;
+      return Statement(std::move(out));
+    }
+    if (!explain && Peek().type == TokenType::kIdentifier) {
+      if (AsciiEqualsIgnoreCase(Peek().text, "PROMETHEUS")) {
+        Advance();
+        out.format = StatsStatement::Format::kPrometheus;
+      } else if (AsciiEqualsIgnoreCase(Peek().text, "JSON")) {
+        Advance();
+        out.format = StatsStatement::Format::kJson;
+      } else {
+        return Status::ParseError(
+            "expected PROMETHEUS, JSON, or RESET after STATS, got " +
+            Peek().ToString());
+      }
+    }
+    return Statement(std::move(out));
   }
 
   // SELECT ... [UNION|INTERSECT|EXCEPT SELECT ...]

@@ -5,8 +5,9 @@
 #include <unordered_set>
 
 #include "common/str_util.h"
-#include "relational/printer.h"
 #include "core/rewrite.h"
+#include "obs/trace.h"
+#include "relational/printer.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 
@@ -106,20 +107,47 @@ Session::Session(Options options)
     : expiration_(options.expiration),
       views_(&expiration_.db()),
       eval_options_(options.eval),
-      rewrite_views_(options.rewrite_views) {}
+      rewrite_views_(options.rewrite_views) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  statements_metric_ = r.GetCounter("expdb_sql_statements_total");
+  errors_metric_ = r.GetCounter("expdb_sql_errors_total");
+  statement_latency_ = r.GetHistogram("expdb_sql_statement_latency_ns");
+  // A session is an interactive endpoint: keep the span ring buffer warm
+  // so EXPLAIN STATS has recent spans to show. (Bounded cost — the
+  // recorder is a fixed-size ring; see docs/OBSERVABILITY.md.)
+  obs::TraceRecorder::Global().set_enabled(true);
+}
+
+Result<ExecResult> Session::ExecuteCounted(const Statement& stmt) {
+  obs::ScopedSpan span("sql.statement", statement_latency_);
+  statements_metric_->Increment();
+  Result<ExecResult> r = ExecuteStatement(stmt);
+  if (!r.ok()) errors_metric_->Increment();
+  return r;
+}
 
 Result<ExecResult> Session::Execute(const std::string& statement) {
-  EXPDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
-  return ExecuteStatement(stmt);
+  auto parsed = ParseStatement(statement);
+  if (!parsed.ok()) {
+    statements_metric_->Increment();
+    errors_metric_->Increment();
+    return parsed.status();
+  }
+  return ExecuteCounted(parsed.value());
 }
 
 Result<std::vector<ExecResult>> Session::ExecuteScript(
     const std::string& script) {
-  EXPDB_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(script));
+  auto parsed = ParseScript(script);
+  if (!parsed.ok()) {
+    statements_metric_->Increment();
+    errors_metric_->Increment();
+    return parsed.status();
+  }
   std::vector<ExecResult> out;
-  out.reserve(stmts.size());
-  for (const Statement& stmt : stmts) {
-    EXPDB_ASSIGN_OR_RETURN(ExecResult r, ExecuteStatement(stmt));
+  out.reserve(parsed.value().size());
+  for (const Statement& stmt : parsed.value()) {
+    EXPDB_ASSIGN_OR_RETURN(ExecResult r, ExecuteCounted(stmt));
     out.push_back(std::move(r));
   }
   return out;
@@ -143,8 +171,10 @@ Result<ExecResult> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteAdvance(s);
         } else if constexpr (std::is_same_v<T, ShowStatement>) {
           return ExecuteShow(s);
-        } else {
+        } else if constexpr (std::is_same_v<T, DeleteStatement>) {
           return ExecuteDelete(s);
+        } else {
+          return ExecuteStats(s);
         }
       },
       stmt);
@@ -368,6 +398,86 @@ Result<ExecResult> Session::ExecuteDelete(const DeleteStatement& stmt) {
                         (deleted == 1 ? " row" : " rows") + " deleted from " +
                         stmt.table,
                     std::nullopt, Now()};
+}
+
+namespace {
+
+/// Renders the metrics snapshot as a relation (metric STRING, type
+/// STRING, value DOUBLE). Histograms expand to five rows:
+/// <name>_count/_sum/_p50/_p95/_p99.
+Relation SnapshotToRelation(const std::vector<obs::MetricSnapshot>& snap) {
+  Schema schema =
+      Schema::Make({Attribute{"metric", ValueType::kString},
+                    Attribute{"type", ValueType::kString},
+                    Attribute{"value", ValueType::kDouble}})
+          .value();
+  Relation rel(std::move(schema));
+  for (const obs::MetricSnapshot& m : snap) {
+    const std::string type(m.KindName());
+    auto add = [&](const std::string& name, double value) {
+      rel.InsertUnchecked(Tuple({Value(name), Value(type), Value(value)}),
+                          Timestamp::Infinity());
+    };
+    if (m.kind == obs::MetricSnapshot::Kind::kHistogram) {
+      add(m.name + "_count", static_cast<double>(m.count));
+      add(m.name + "_sum", static_cast<double>(m.sum));
+      add(m.name + "_p50", m.p50);
+      add(m.name + "_p95", m.p95);
+      add(m.name + "_p99", m.p99);
+    } else {
+      add(m.name, m.value);
+    }
+  }
+  return rel;
+}
+
+}  // namespace
+
+Result<ExecResult> Session::ExecuteStats(const StatsStatement& stmt) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (stmt.reset) {
+    registry.ResetAll();
+    obs::TraceRecorder::Global().Clear();
+    return ExecResult{"metrics reset", std::nullopt, Now()};
+  }
+  switch (stmt.format) {
+    case StatsStatement::Format::kPrometheus:
+      return ExecResult{registry.PrometheusText(), std::nullopt, Now()};
+    case StatsStatement::Format::kJson:
+      return ExecResult{registry.JsonText(), std::nullopt, Now()};
+    case StatsStatement::Format::kTable:
+      break;
+  }
+  Relation rel = SnapshotToRelation(registry.Snapshot());
+  if (!stmt.explain) {
+    ExecResult out;
+    out.message = "metrics (" + std::to_string(registry.MetricCount()) +
+                  " registered)";
+    out.relation = std::move(rel);
+    out.served_at = Now();
+    return out;
+  }
+  // EXPLAIN STATS: the table rendered as text plus the most recent spans
+  // from the global trace ring.
+  PrintOptions popts;
+  popts.show_texp = false;
+  popts.at = Now();
+  popts.filter_expired = false;
+  std::string msg = PrintRelation(rel, popts);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  std::vector<obs::SpanRecord> spans = recorder.Snapshot();
+  constexpr size_t kMaxSpans = 16;
+  const size_t begin = spans.size() > kMaxSpans ? spans.size() - kMaxSpans : 0;
+  msg += "recent spans (" + std::to_string(spans.size() - begin) + " of " +
+         std::to_string(recorder.total_recorded()) + " recorded):";
+  if (begin == spans.size()) msg += "\n  (none)";
+  for (size_t i = begin; i < spans.size(); ++i) {
+    const obs::SpanRecord& s = spans[i];
+    msg += "\n  #" + std::to_string(s.id) +
+           (s.parent_id != 0 ? " <- #" + std::to_string(s.parent_id) : "") +
+           " " + s.name + " " + std::to_string(s.duration_ns) + "ns";
+  }
+  return ExecResult{std::move(msg), std::nullopt, Now()};
 }
 
 }  // namespace sql

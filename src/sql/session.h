@@ -11,6 +11,7 @@
 
 #include "expiration/constraint.h"
 #include "expiration/expiration_queue.h"
+#include "obs/metrics.h"
 #include "sql/ast.h"
 #include "view/view_manager.h"
 
@@ -64,6 +65,9 @@ class Session {
   ConstraintSet& constraints() { return constraints_; }
 
  private:
+  /// Executes one parsed statement with the sql.statement span and the
+  /// expdb_sql_* statement/error counters applied.
+  Result<ExecResult> ExecuteCounted(const Statement& stmt);
   Result<ExecResult> ExecuteStatement(const Statement& stmt);
   Result<ExecResult> ExecuteSelect(const SelectStatement& stmt);
   Result<ExecResult> ExecuteCreateTable(const CreateTableStatement& stmt);
@@ -73,6 +77,7 @@ class Session {
   Result<ExecResult> ExecuteAdvance(const AdvanceStatement& stmt);
   Result<ExecResult> ExecuteShow(const ShowStatement& stmt);
   Result<ExecResult> ExecuteDelete(const DeleteStatement& stmt);
+  Result<ExecResult> ExecuteStats(const StatsStatement& stmt);
 
   ExpirationManager expiration_;
   ViewManager views_;
@@ -82,6 +87,10 @@ class Session {
   /// Output column names recorded at CREATE VIEW time, applied when the
   /// view is read back.
   std::map<std::string, std::vector<std::string>> view_columns_;
+  // Process-wide SQL metrics (registry-owned; see docs/OBSERVABILITY.md).
+  obs::Counter* statements_metric_;
+  obs::Counter* errors_metric_;
+  obs::Histogram* statement_latency_;
 };
 
 }  // namespace sql

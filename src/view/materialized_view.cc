@@ -1,6 +1,30 @@
 #include "view/materialized_view.h"
 
+#include "obs/trace.h"
+
 namespace expdb {
+
+ViewMetrics::ViewMetrics() {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  recomputations.SetParent(r.GetCounter("expdb_view_recomputations_total"));
+  reads.SetParent(r.GetCounter("expdb_view_reads_total"));
+  reads_from_materialization.SetParent(
+      r.GetCounter("expdb_view_reads_from_materialization_total"));
+  reads_moved_backward.SetParent(
+      r.GetCounter("expdb_view_reads_moved_backward_total"));
+  reads_moved_forward.SetParent(
+      r.GetCounter("expdb_view_reads_moved_forward_total"));
+  patches_applied.SetParent(
+      r.GetCounter("expdb_view_patches_applied_total"));
+  tuples_recomputed.SetParent(
+      r.GetCounter("expdb_view_tuples_recomputed_total"));
+  marked_stale.SetParent(r.GetCounter("expdb_view_marked_stale_total"));
+  pending_patches.SetParent(r.GetGauge("expdb_view_pending_patches"));
+  materialized_tuples.SetParent(
+      r.GetGauge("expdb_view_materialized_tuples"));
+  recompute_latency.SetParent(
+      r.GetHistogram("expdb_view_recompute_latency_ns"));
+}
 
 std::string_view RefreshModeToString(RefreshMode mode) {
   switch (mode) {
@@ -45,15 +69,18 @@ Status MaterializedView::Initialize(const Database& db, Timestamp now) {
         std::string(ExprKindToString(expr_->kind())));
   }
   last_advance_ = now;
-  EXPDB_RETURN_NOT_OK(Recompute(db, now));
+  // Initialize is the first materialization, not a maintenance recompute:
+  // it does not count toward the recomputation metrics.
+  EXPDB_RETURN_NOT_OK(Recompute(db, now, /*count_as_maintenance=*/false));
   initialized_ = true;
-  // Initialize is the first materialization, not a maintenance recompute.
-  stats_.recomputations = 0;
-  stats_.tuples_recomputed = 0;
   return Status::OK();
 }
 
-Status MaterializedView::Recompute(const Database& db, Timestamp now) {
+Status MaterializedView::Recompute(const Database& db, Timestamp now,
+                                   bool count_as_maintenance) {
+  obs::ScopedSpan span(
+      "view.recompute",
+      count_as_maintenance ? &metrics_.recompute_latency : nullptr);
   if (options_.mode == RefreshMode::kPatchDifference) {
     EXPDB_ASSIGN_OR_RETURN(
         DifferenceEvalResult diff,
@@ -68,8 +95,11 @@ Status MaterializedView::Recompute(const Database& db, Timestamp now) {
     EXPDB_ASSIGN_OR_RETURN(result_,
                            Evaluate(expr_, db, now, options_.eval));
   }
-  ++stats_.recomputations;
-  stats_.tuples_recomputed += result_.relation.size();
+  if (count_as_maintenance) {
+    metrics_.recomputations.Increment();
+    metrics_.tuples_recomputed.Increment(result_.relation.size());
+  }
+  UpdateGauges();
   return Status::OK();
 }
 
@@ -83,9 +113,17 @@ void MaterializedView::ApplyPatches(Timestamp now) {
     // skip it.
     if (entry.expires_at > now) {
       result_.relation.InsertUnchecked(entry.tuple, entry.expires_at);
-      ++stats_.patches_applied;
+      metrics_.patches_applied.Increment();
     }
   }
+  UpdateGauges();
+}
+
+void MaterializedView::UpdateGauges() {
+  metrics_.pending_patches.Set(
+      static_cast<int64_t>(helper_.size() - patch_cursor_));
+  metrics_.materialized_tuples.Set(
+      static_cast<int64_t>(result_.relation.size()));
 }
 
 Status MaterializedView::AdvanceTo(const Database& db, Timestamp now) {
@@ -130,9 +168,9 @@ Status MaterializedView::AdvanceTo(const Database& db, Timestamp now) {
 Result<Relation> MaterializedView::Read(const Database& db, Timestamp now,
                                         Timestamp* served_at) {
   if (!initialized_) return Status::Internal("view not initialized");
-  const uint64_t recomputes_before = stats_.recomputations;
+  const uint64_t recomputes_before = metrics_.recomputations.value();
   EXPDB_RETURN_NOT_OK(AdvanceTo(db, now));
-  ++stats_.reads;
+  metrics_.reads.Increment();
   if (served_at != nullptr) *served_at = now;
 
   switch (options_.mode) {
@@ -140,8 +178,8 @@ Result<Relation> MaterializedView::Read(const Database& db, Timestamp now,
     case RefreshMode::kPatchDifference:
       // AdvanceTo already restored validity; count the read as served
       // from the materialization only if it did not have to recompute.
-      if (stats_.recomputations == recomputes_before) {
-        ++stats_.reads_from_materialization;
+      if (metrics_.recomputations.value() == recomputes_before) {
+        metrics_.reads_from_materialization.Increment();
       }
       return result_.relation.UnexpiredAt(now);
 
@@ -149,13 +187,13 @@ Result<Relation> MaterializedView::Read(const Database& db, Timestamp now,
       if (result_.texp <= now) {
         EXPDB_RETURN_NOT_OK(Recompute(db, now));
       } else {
-        ++stats_.reads_from_materialization;
+        metrics_.reads_from_materialization.Increment();
       }
       return result_.relation.UnexpiredAt(now);
 
     case RefreshMode::kSchrodinger: {
       if (result_.validity.Contains(now)) {
-        ++stats_.reads_from_materialization;
+        metrics_.reads_from_materialization.Increment();
         return result_.relation.UnexpiredAt(now);
       }
       switch (options_.move_policy) {
@@ -168,8 +206,8 @@ Result<Relation> MaterializedView::Read(const Database& db, Timestamp now,
             EXPDB_RETURN_NOT_OK(Recompute(db, now));
             return result_.relation.UnexpiredAt(now);
           }
-          ++stats_.reads_moved_backward;
-          ++stats_.reads_from_materialization;
+          metrics_.reads_moved_backward.Increment();
+          metrics_.reads_from_materialization.Increment();
           if (served_at != nullptr) *served_at = *t;
           return result_.relation.UnexpiredAt(*t);
         }
@@ -179,8 +217,8 @@ Result<Relation> MaterializedView::Read(const Database& db, Timestamp now,
             EXPDB_RETURN_NOT_OK(Recompute(db, now));
             return result_.relation.UnexpiredAt(now);
           }
-          ++stats_.reads_moved_forward;
-          ++stats_.reads_from_materialization;
+          metrics_.reads_moved_forward.Increment();
+          metrics_.reads_from_materialization.Increment();
           if (served_at != nullptr) *served_at = *t;
           return result_.relation.UnexpiredAt(*t);
         }

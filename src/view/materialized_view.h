@@ -30,6 +30,7 @@
 #include "core/eval.h"
 #include "core/expression.h"
 #include "core/materialized_result.h"
+#include "obs/metrics.h"
 
 namespace expdb {
 
@@ -51,6 +52,9 @@ enum class MovePolicy { kRecompute, kMoveBackward, kMoveForward };
 std::string_view MovePolicyToString(MovePolicy policy);
 
 /// Maintenance counters; the currency of the paper's cost arguments.
+/// Since the obs refactor this is a *thin read view* assembled from the
+/// view's ViewMetrics — the metric objects are the single source of truth
+/// and also feed the process-wide obs::MetricsRegistry.
 struct ViewStats {
   uint64_t recomputations = 0;       ///< full re-evaluations of the tree
   uint64_t reads = 0;                ///< Read() calls served
@@ -59,6 +63,26 @@ struct ViewStats {
   uint64_t reads_moved_forward = 0;         ///< Schrödinger: delayed reads
   uint64_t patches_applied = 0;      ///< Theorem 3 helper insertions
   uint64_t tuples_recomputed = 0;    ///< tuples produced by recomputations
+};
+
+/// Instance-local (per-view) metric handles. Counters/histograms
+/// aggregate into the process-wide `expdb_view_*` metrics; the gauges
+/// contribute to global sums and retract their contribution when the
+/// view dies (see docs/OBSERVABILITY.md).
+struct ViewMetrics {
+  obs::Counter recomputations;
+  obs::Counter reads;
+  obs::Counter reads_from_materialization;
+  obs::Counter reads_moved_backward;
+  obs::Counter reads_moved_forward;
+  obs::Counter patches_applied;
+  obs::Counter tuples_recomputed;
+  obs::Counter marked_stale;
+  obs::Gauge pending_patches;      ///< per-view gauge
+  obs::Gauge materialized_tuples;  ///< per-view gauge
+  obs::Histogram recompute_latency;
+
+  ViewMetrics();
 };
 
 /// \brief One maintained materialized query result.
@@ -74,7 +98,20 @@ class MaterializedView {
 
   const ExpressionPtr& expression() const { return expr_; }
   RefreshMode mode() const { return options_.mode; }
-  const ViewStats& stats() const { return stats_; }
+
+  /// \brief Snapshot of the maintenance counters (thin view over the
+  /// per-view metrics; see ViewMetrics).
+  ViewStats stats() const {
+    return ViewStats{metrics_.recomputations.value(),
+                     metrics_.reads.value(),
+                     metrics_.reads_from_materialization.value(),
+                     metrics_.reads_moved_backward.value(),
+                     metrics_.reads_moved_forward.value(),
+                     metrics_.patches_applied.value(),
+                     metrics_.tuples_recomputed.value()};
+  }
+
+  const ViewMetrics& metrics() const { return metrics_; }
 
   /// \brief Materializes the view at `now`. Must be called once before
   /// AdvanceTo/Read. kPatchDifference requires a difference root.
@@ -109,13 +146,19 @@ class MaterializedView {
   /// \brief Marks the materialization stale because a base relation was
   /// explicitly updated (insert/delete outside expiration — the paper's
   /// no-update assumption lifted conservatively, DESIGN.md §6): the next
-  /// maintenance point recomputes regardless of texp(e).
-  void MarkStale() { stale_ = true; }
+  /// maintenance point recomputes regardless of texp(e). Transitions to
+  /// stale bump the `expdb_view_marked_stale_total` counter.
+  void MarkStale() {
+    if (!stale_) metrics_.marked_stale.Increment();
+    stale_ = true;
+  }
   bool stale() const { return stale_; }
 
  private:
-  Status Recompute(const Database& db, Timestamp now);
+  Status Recompute(const Database& db, Timestamp now,
+                   bool count_as_maintenance = true);
   void ApplyPatches(Timestamp now);
+  void UpdateGauges();
 
   ExpressionPtr expr_;
   Options options_;
@@ -125,7 +168,7 @@ class MaterializedView {
   std::vector<DifferencePatchEntry> helper_;
   size_t patch_cursor_ = 0;
   Timestamp last_advance_;
-  ViewStats stats_;
+  ViewMetrics metrics_;
   bool initialized_ = false;
   bool stale_ = false;
 };

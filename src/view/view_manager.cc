@@ -2,6 +2,16 @@
 
 namespace expdb {
 
+ViewManager::ViewManager(const Database* db) : db_(db) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  notifications_.SetParent(r.GetCounter("expdb_view_notifications_total"));
+  view_count_gauge_.SetParent(r.GetGauge("expdb_view_count"));
+}
+
+// Out-of-line so ~Gauge retracts this manager's view-count contribution
+// from the global sum exactly once, here.
+ViewManager::~ViewManager() = default;
+
 Result<MaterializedView*> ViewManager::CreateView(
     const std::string& name, ExpressionPtr expr,
     MaterializedView::Options options, Timestamp now) {
@@ -14,6 +24,7 @@ Result<MaterializedView*> ViewManager::CreateView(
   auto view = std::make_unique<MaterializedView>(std::move(expr), options);
   EXPDB_RETURN_NOT_OK(view->Initialize(*db_, now));
   auto [it, inserted] = views_.emplace(name, std::move(view));
+  view_count_gauge_.Set(static_cast<int64_t>(views_.size()));
   return it->second.get();
 }
 
@@ -29,10 +40,12 @@ Status ViewManager::DropView(const std::string& name) {
   if (views_.erase(name) == 0) {
     return Status::NotFound("no view named '" + name + "'");
   }
+  view_count_gauge_.Set(static_cast<int64_t>(views_.size()));
   return Status::OK();
 }
 
 size_t ViewManager::NotifyBaseChanged(const std::string& relation) {
+  notifications_.Increment();
   size_t affected = 0;
   for (auto& [name, view] : views_) {
     if (view->expression()->BaseRelationNames().count(relation) > 0) {
@@ -66,7 +79,7 @@ std::vector<std::string> ViewManager::ViewNames() const {
 ViewStats ViewManager::TotalStats() const {
   ViewStats total;
   for (const auto& [name, view] : views_) {
-    const ViewStats& s = view->stats();
+    const ViewStats s = view->stats();
     total.recomputations += s.recomputations;
     total.reads += s.reads;
     total.reads_from_materialization += s.reads_from_materialization;

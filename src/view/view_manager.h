@@ -19,7 +19,8 @@ namespace expdb {
 /// forward and is shared by all views via AdvanceAllTo.
 class ViewManager {
  public:
-  explicit ViewManager(const Database* db) : db_(db) {}
+  explicit ViewManager(const Database* db);
+  ~ViewManager();
 
   ViewManager(const ViewManager&) = delete;
   ViewManager& operator=(const ViewManager&) = delete;
@@ -44,8 +45,13 @@ class ViewManager {
   /// \brief Notifies the manager that `relation` received an explicit
   /// update (insert/delete, as opposed to expiration): every view whose
   /// expression reads it is marked stale and will recompute at its next
-  /// maintenance point.
-  /// \return number of views affected.
+  /// maintenance point. Each notification bumps the
+  /// `expdb_view_notifications_total` counter; the per-view stale
+  /// transitions show up in `expdb_view_marked_stale_total`.
+  /// \return the number of views whose expression reads `relation` (0 is
+  /// a normal outcome for relations no view depends on — including
+  /// relations the manager has never heard of; notification is not an
+  /// error path).
   size_t NotifyBaseChanged(const std::string& relation);
 
   /// \brief Reads the named view at `now`.
@@ -61,6 +67,11 @@ class ViewManager {
  private:
   const Database* db_;
   std::map<std::string, std::unique_ptr<MaterializedView>> views_;
+  // Manager-level metrics: a counter of NotifyBaseChanged calls and a
+  // gauge contributing this manager's live view count to the global
+  // `expdb_view_count` sum (retracted on destruction).
+  obs::Counter notifications_;
+  obs::Gauge view_count_gauge_;
 };
 
 }  // namespace expdb

@@ -1,0 +1,124 @@
+// Unit tests for the trace layer: span recording, parent/child linking
+// via the thread-local span stack, ring-buffer overwrite, and histogram
+// feeding.
+
+#include "obs/trace.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace expdb {
+namespace obs {
+namespace {
+
+TEST(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec(16);
+  ASSERT_FALSE(rec.enabled());
+  { ScopedSpan span("test.noop", nullptr, &rec); }
+  EXPECT_EQ(rec.Snapshot().size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+}
+
+TEST(TraceRecorderTest, RecordsCompletedSpans) {
+  TraceRecorder rec(16);
+  rec.set_enabled(true);
+  { ScopedSpan span("test.a", nullptr, &rec); }
+  { ScopedSpan span("test.b", nullptr, &rec); }
+  auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "test.a");
+  EXPECT_EQ(spans[1].name, "test.b");
+  EXPECT_NE(spans[0].id, spans[1].id);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_GE(spans[0].duration_ns, 0);
+}
+
+TEST(TraceRecorderTest, NestedSpansLinkParentChild) {
+  TraceRecorder rec(16);
+  rec.set_enabled(true);
+  uint64_t outer_id = 0;
+  {
+    ScopedSpan outer("test.outer", nullptr, &rec);
+    outer_id = outer.id();
+    ASSERT_NE(outer_id, 0u);
+    { ScopedSpan inner("test.inner", nullptr, &rec); }
+  }
+  auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner completes (and records) first.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestSpans) {
+  TraceRecorder rec(4);
+  rec.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("test.ring", nullptr, &rec);
+  }
+  auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);  // bounded by capacity
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  // Oldest-first: the four most recent spans, in order.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].id, spans[i].id);
+  }
+}
+
+TEST(TraceRecorderTest, ClearEmptiesRetainedSpans) {
+  TraceRecorder rec(8);
+  rec.set_enabled(true);
+  { ScopedSpan span("test.x", nullptr, &rec); }
+  ASSERT_EQ(rec.Snapshot().size(), 1u);
+  rec.Clear();
+  EXPECT_EQ(rec.Snapshot().size(), 0u);
+}
+
+TEST(ScopedSpanTest, FeedsLatencyHistogramEvenWhenDisabled) {
+  TraceRecorder rec(8);  // disabled
+  Histogram latency;
+  { ScopedSpan span("test.timed", &latency, &rec); }
+  EXPECT_EQ(latency.count(), 1u);
+  EXPECT_GE(latency.sum(), 0);
+  EXPECT_EQ(rec.Snapshot().size(), 0u);
+}
+
+TEST(ScopedSpanTest, ThreadsKeepIndependentSpanStacks) {
+  TraceRecorder rec(64);
+  rec.set_enabled(true);
+  std::thread t1([&] {
+    ScopedSpan outer("t1.outer", nullptr, &rec);
+    ScopedSpan inner("t1.inner", nullptr, &rec);
+  });
+  std::thread t2([&] {
+    ScopedSpan outer("t2.outer", nullptr, &rec);
+    ScopedSpan inner("t2.inner", nullptr, &rec);
+  });
+  t1.join();
+  t2.join();
+  auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Each inner's parent must be its own thread's outer.
+  uint64_t t1_outer = 0, t2_outer = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "t1.outer") t1_outer = s.id;
+    if (s.name == "t2.outer") t2_outer = s.id;
+  }
+  for (const SpanRecord& s : spans) {
+    if (s.name == "t1.inner") EXPECT_EQ(s.parent_id, t1_outer);
+    if (s.name == "t2.inner") EXPECT_EQ(s.parent_id, t2_outer);
+  }
+}
+
+TEST(SteadyNowNsTest, Monotonic) {
+  const int64_t a = SteadyNowNs();
+  const int64_t b = SteadyNowNs();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace expdb

@@ -363,6 +363,105 @@ TEST(SessionTest, LazyExpirationPolicySession) {
   EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 0u);
 }
 
+// --- STATS meta-command (docs/OBSERVABILITY.md) --------------------------
+
+TEST(SessionStatsTest, StatsRendersMetricsRelationEndToEnd) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2) TTL 9");
+  MustExec(s, "SELECT * FROM t");
+  auto r = MustExec(s, "STATS");
+  ASSERT_TRUE(r.relation.has_value());
+  // Schema: metric STRING, type STRING, value DOUBLE.
+  ASSERT_EQ(r.relation->schema().arity(), 3u);
+  EXPECT_EQ(r.relation->schema().attribute(0).name, "metric");
+  EXPECT_EQ(r.relation->schema().attribute(1).name, "type");
+  EXPECT_EQ(r.relation->schema().attribute(2).name, "value");
+  // The snapshot spans all five subsystems with >= 12 distinct metrics,
+  // and histogram metrics expand to _count/_sum/_p50/_p95/_p99 rows.
+  std::map<std::string, double> rows;
+  bool eval = false, expiration = false, view = false, replica = false,
+       sql_seen = false, p99_seen = false;
+  for (const auto& [tuple, texp] : r.relation->SortedEntries()) {
+    const std::string& name = tuple.values()[0].AsString();
+    rows[name] = tuple.values()[2].AsDouble();
+    if (name.rfind("expdb_eval_", 0) == 0) eval = true;
+    if (name.rfind("expdb_expiration_", 0) == 0) expiration = true;
+    if (name.rfind("expdb_view_", 0) == 0) view = true;
+    if (name.rfind("expdb_replica_", 0) == 0) replica = true;
+    if (name.rfind("expdb_sql_", 0) == 0) sql_seen = true;
+    if (name.size() > 4 && name.substr(name.size() - 4) == "_p99") {
+      p99_seen = true;
+    }
+  }
+  EXPECT_GE(rows.size(), 12u);
+  EXPECT_TRUE(eval);
+  EXPECT_TRUE(expiration);
+  EXPECT_TRUE(view);
+  EXPECT_TRUE(replica);
+  EXPECT_TRUE(sql_seen);
+  EXPECT_TRUE(p99_seen);
+  // The statements this test executed are themselves visible.
+  EXPECT_GE(rows["expdb_sql_statements_total"], 4.0);
+  EXPECT_GE(rows["expdb_eval_evaluations_total"], 1.0);
+  EXPECT_GE(rows["expdb_expiration_inserted_total"], 2.0);
+  // And the whole thing renders through the printer.
+  std::string text = FormatExecResult(r);
+  EXPECT_NE(text.find("expdb_sql_statements_total"), std::string::npos);
+  EXPECT_NE(text.find("metric"), std::string::npos);
+}
+
+TEST(SessionStatsTest, StatsPrometheusAndJsonExporters) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  auto prom = MustExec(s, "STATS PROMETHEUS");
+  EXPECT_FALSE(prom.relation.has_value());
+  EXPECT_NE(prom.message.find("# TYPE"), std::string::npos);
+  EXPECT_NE(prom.message.find("expdb_sql_statements_total"),
+            std::string::npos);
+  auto json = MustExec(s, "STATS JSON");
+  EXPECT_EQ(json.message.front(), '[');
+  EXPECT_NE(json.message.find("\"expdb_view_count\""), std::string::npos);
+}
+
+TEST(SessionStatsTest, ExplainStatsIncludesSpans) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 5");
+  MustExec(s, "SELECT * FROM t");
+  auto r = MustExec(s, "EXPLAIN STATS");
+  EXPECT_FALSE(r.relation.has_value());
+  EXPECT_NE(r.message.find("expdb_eval_evaluations_total"),
+            std::string::npos);
+  EXPECT_NE(r.message.find("recent spans"), std::string::npos);
+  // The session keeps the global recorder enabled, so the statements
+  // above produced sql.statement spans.
+  EXPECT_NE(r.message.find("sql.statement"), std::string::npos);
+}
+
+TEST(SessionStatsTest, StatsResetZeroesAndErrorsAreCounted) {
+  Session s;
+  MustExec(s, "STATS RESET");  // zeroes everything, itself included
+  MustExec(s, "CREATE TABLE t (x INT)");
+  EXPECT_FALSE(s.Execute("SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(s.Execute("THIS IS NOT SQL").ok());
+  auto r = MustExec(s, "STATS");
+  std::map<std::string, double> rows;
+  for (const auto& [tuple, texp] : r.relation->SortedEntries()) {
+    rows[tuple.values()[0].AsString()] = tuple.values()[2].AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(rows["expdb_sql_errors_total"], 2.0);
+  // CREATE + 2 failures + STATS = 4 statements counted since the reset
+  // (STATS RESET counted itself, then zeroed the counter).
+  EXPECT_DOUBLE_EQ(rows["expdb_sql_statements_total"], 4.0);
+}
+
+TEST(SessionStatsTest, StatsParseErrors) {
+  Session s;
+  EXPECT_FALSE(s.Execute("STATS SIDEWAYS").ok());
+  EXPECT_FALSE(s.Execute("EXPLAIN SELECT").ok());
+}
+
 }  // namespace
 }  // namespace sql
 }  // namespace expdb

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace expdb {
 namespace {
 
@@ -89,6 +91,61 @@ TEST_F(ViewManagerTest, ViewNamesSorted) {
   ASSERT_TRUE(mgr.CreateView("zz", Base("R"), {}, T(0)).ok());
   ASSERT_TRUE(mgr.CreateView("aa", Base("S"), {}, T(0)).ok());
   EXPECT_EQ(mgr.ViewNames(), (std::vector<std::string>{"aa", "zz"}));
+}
+
+TEST_F(ViewManagerTest, NotifyBaseChangedMarksDependentsAndCounts) {
+  ViewManager mgr(&db_);
+  ASSERT_TRUE(mgr.CreateView("on_r", Base("R"), {}, T(0)).ok());
+  ASSERT_TRUE(mgr.CreateView("on_s", Base("S"), {}, T(0)).ok());
+  obs::Counter* marked = obs::MetricsRegistry::Global().GetCounter(
+      "expdb_view_marked_stale_total");
+  obs::Counter* notifications = obs::MetricsRegistry::Global().GetCounter(
+      "expdb_view_notifications_total");
+  const uint64_t marked_before = marked->value();
+  const uint64_t notifications_before = notifications->value();
+
+  EXPECT_EQ(mgr.NotifyBaseChanged("R"), 1u);
+  EXPECT_TRUE(mgr.GetView("on_r").value()->stale());
+  EXPECT_FALSE(mgr.GetView("on_s").value()->stale());
+  EXPECT_EQ(marked->value(), marked_before + 1);
+  EXPECT_EQ(notifications->value(), notifications_before + 1);
+
+  // A second notification for an already-stale view is not a transition:
+  // affected count still reports the dependent, but no new stale mark.
+  EXPECT_EQ(mgr.NotifyBaseChanged("R"), 1u);
+  EXPECT_EQ(marked->value(), marked_before + 1);
+  EXPECT_EQ(notifications->value(), notifications_before + 2);
+}
+
+// Regression: notifying about a relation no view reads — including one
+// the catalog has never heard of — must return 0 and not error or mark
+// anything stale. The size_t return carries "number of dependents", not
+// a status.
+TEST_F(ViewManagerTest, NotifyBaseChangedOnUnknownRelationIsANoop) {
+  ViewManager mgr(&db_);
+  ASSERT_TRUE(mgr.CreateView("v", Base("R"), {}, T(0)).ok());
+  EXPECT_EQ(mgr.NotifyBaseChanged("no_such_relation"), 0u);
+  EXPECT_EQ(mgr.NotifyBaseChanged("S"), 0u);  // exists, but no dependents
+  EXPECT_FALSE(mgr.GetView("v").value()->stale());
+  // The manager with no views at all is equally indifferent.
+  ViewManager empty(&db_);
+  EXPECT_EQ(empty.NotifyBaseChanged("R"), 0u);
+}
+
+TEST_F(ViewManagerTest, ViewCountGaugeTracksCreateAndDrop) {
+  obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("expdb_view_count");
+  const int64_t before = gauge->value();
+  {
+    ViewManager mgr(&db_);
+    ASSERT_TRUE(mgr.CreateView("a", Base("R"), {}, T(0)).ok());
+    ASSERT_TRUE(mgr.CreateView("b", Base("S"), {}, T(0)).ok());
+    EXPECT_EQ(gauge->value(), before + 2);
+    ASSERT_TRUE(mgr.DropView("a").ok());
+    EXPECT_EQ(gauge->value(), before + 1);
+  }
+  // A dying manager retracts its contribution from the global sum.
+  EXPECT_EQ(gauge->value(), before);
 }
 
 }  // namespace
