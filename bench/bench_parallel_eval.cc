@@ -1,0 +1,99 @@
+// Morsel-parallel evaluation: serial vs. 2/4/8 workers on the operators
+// the engine parallelizes (selection scan, hash join build+probe,
+// aggregate replay, projection dedup).
+//
+// Args are (tuples, workers) with workers = 1 meaning the serial path
+// (EvalOptions default). Speedup is bounded by the machine: on a 1-CPU
+// container all worker counts collapse onto one core and the numbers
+// measure scheduling overhead, not scaling — see docs/PERFORMANCE.md and
+// the EXPERIMENTS.md section for how to read them.
+
+#include <benchmark/benchmark.h>
+
+#include "core/eval.h"
+#include "testing/workload.h"
+
+namespace {
+
+using namespace expdb;
+
+Database MakeDb(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  testing::RelationSpec spec;
+  spec.num_tuples = static_cast<size_t>(n);
+  spec.arity = 2;
+  spec.value_domain = std::max<int64_t>(4, n / 8);
+  spec.ttl_min = 1;
+  spec.ttl_max = 100;
+  spec.infinite_fraction = 0.0;
+  (void)testing::FillDatabase(&db, rng, spec, 2);
+  return db;
+}
+
+void RunExpr(benchmark::State& state, const ExpressionPtr& expr) {
+  const int64_t n = state.range(0);
+  const size_t workers = static_cast<size_t>(state.range(1));
+  Database db = MakeDb(n, 42);
+  EvalOptions opts;
+  opts.parallelism = workers;
+  size_t out_tuples = 0;
+  for (auto _ : state) {
+    auto result = Evaluate(expr, db, Timestamp(0), opts);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    out_tuples = result->relation.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["out_tuples"] =
+      benchmark::Counter(static_cast<double>(out_tuples));
+  state.counters["tuples_per_s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(workers == 1 ? "serial"
+                              : std::to_string(workers) + " workers");
+}
+
+void BM_ParallelSelect(benchmark::State& state) {
+  RunExpr(state,
+          algebra::Select(algebra::Base("R0"),
+                          Predicate::Compare(Operand::Column(1),
+                                             ComparisonOp::kGe,
+                                             Operand::Constant(Value(2)))));
+}
+
+void BM_ParallelHashJoin(benchmark::State& state) {
+  RunExpr(state, algebra::Join(algebra::Base("R0"), algebra::Base("R1"),
+                               Predicate::ColumnsEqual(0, 2)));
+}
+
+void BM_ParallelProject(benchmark::State& state) {
+  RunExpr(state, algebra::Project(algebra::Base("R0"), {1}));
+}
+
+void BM_ParallelAggregate(benchmark::State& state) {
+  RunExpr(state, algebra::Aggregate(algebra::Base("R0"), {0},
+                                    AggregateFunction::Sum(1)));
+}
+
+void ParallelArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {int64_t{1} << 14, int64_t{1} << 16, int64_t{1} << 18}) {
+    for (int64_t workers : {1, 2, 4, 8}) {
+      b->Args({n, workers});
+    }
+  }
+}
+
+BENCHMARK(BM_ParallelSelect)->Apply(ParallelArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelHashJoin)
+    ->Apply(ParallelArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelProject)
+    ->Apply(ParallelArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelAggregate)
+    ->Apply(ParallelArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

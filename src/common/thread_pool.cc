@@ -1,0 +1,152 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace expdb {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(4, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+ParallelForStats ParallelFor(
+    size_t n, const ParallelForOptions& options,
+    const std::function<void(size_t, size_t)>& body) {
+  ParallelForStats stats;
+  if (n == 0) {
+    stats.morsels = 0;
+    return stats;
+  }
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::Shared();
+  const size_t min_morsel = std::max<size_t>(1, options.min_morsel_size);
+  size_t workers = options.parallelism == 0 ? pool.num_threads() + 1
+                                            : options.parallelism;
+  // A worker needs at least one full morsel to be worth waking.
+  workers = std::min(workers, n / min_morsel);
+  if (workers <= 1 || ThreadPool::InWorkerThread()) {
+    body(0, n);
+    return stats;
+  }
+
+  const size_t per_worker = std::max<size_t>(1, options.max_morsels_per_worker);
+  const size_t morsel =
+      std::max(min_morsel,
+               (n + workers * per_worker - 1) / (workers * per_worker));
+
+  // Shared by the caller and every helper task. The caller blocks until
+  // every scheduled helper has finished (pending_helpers == 0), so `body`
+  // may safely live on the caller's stack; the shared_ptr merely keeps the
+  // control block valid for the helper lambdas themselves.
+  struct State {
+    std::atomic<size_t> cursor{0};
+    size_t n;
+    size_t morsel;
+    const std::function<void(size_t, size_t)>* body;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending_helpers = 0;
+    std::exception_ptr error;
+
+    void Drain() {
+      for (;;) {
+        const size_t begin = cursor.fetch_add(morsel,
+                                              std::memory_order_relaxed);
+        if (begin >= n) return;
+        (*body)(begin, std::min(begin + morsel, n));
+      }
+    }
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->morsel = morsel;
+  state->body = &body;
+
+  const size_t helpers = workers - 1;
+  state->pending_helpers = helpers;
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Schedule([state] {
+      try {
+        state->Drain();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending_helpers == 0) state->cv.notify_all();
+    });
+  }
+
+  try {
+    state->Drain();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->error) state->error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->pending_helpers == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+  stats.parallel = true;
+  stats.workers = workers;
+  stats.morsels = (n + morsel - 1) / morsel;
+  return stats;
+}
+
+}  // namespace expdb

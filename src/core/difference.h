@@ -70,8 +70,15 @@ struct DifferenceAnalysis {
 /// \brief Computes R −exp S with full lifetime analysis. `left` and
 /// `right` must already be restricted to unexpired tuples (the evaluator
 /// passes operator results, which are).
+///
+/// `workers` > 1 scans `left` in parallel morsels (probing `right`'s index
+/// read-only) on the shared thread pool; `min_morsel` is the per-morsel
+/// floor below which the scan stays serial. The analysis is deterministic
+/// regardless of worker count.
 DifferenceAnalysis AnalyzeDifference(const Relation& left,
-                                     const Relation& right);
+                                     const Relation& right,
+                                     size_t workers = 1,
+                                     size_t min_morsel = 1024);
 
 }  // namespace expdb
 

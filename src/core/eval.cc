@@ -1,9 +1,14 @@
 #include "core/eval.h"
 
+#include <chrono>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "core/join_key_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,6 +36,11 @@ struct EvalMetricSet {
   obs::Counter* tuples_out;
   obs::Counter* per_op[kNumOpKinds];
   obs::Histogram* latency;
+  // Parallel runtime (docs/PERFORMANCE.md).
+  obs::Counter* parallel_loops;
+  obs::Counter* parallel_morsels;
+  obs::Counter* parallel_fallbacks;
+  obs::Histogram* morsel_latency;
 
   static const EvalMetricSet& Get() {
     static const EvalMetricSet* set = [] {
@@ -50,71 +60,138 @@ struct EvalMetricSet {
       }
       s->latency = r.GetHistogram("expdb_eval_latency_ns",
                                   "Root evaluation wall time (ns)");
+      s->parallel_loops =
+          r.GetCounter("expdb_eval_parallel_loops_total",
+                       "Operator scans executed as parallel morsel loops");
+      s->parallel_morsels =
+          r.GetCounter("expdb_eval_parallel_morsels_total",
+                       "Morsels processed by parallel operator scans");
+      s->parallel_fallbacks = r.GetCounter(
+          "expdb_eval_parallel_fallback_total",
+          "Parallel-eligible scans run serially (below morsel cutoff)");
+      s->morsel_latency = r.GetHistogram(
+          "expdb_eval_parallel_morsel_latency_ns",
+          "Per-morsel wall time of parallel operator scans (ns)");
       return s;
     }();
     return *set;
   }
 };
 
-/// Match machinery shared by ⋉exp and ▷exp: for a left tuple, finds
-/// whether any right tuple satisfies the (concatenated-frame) predicate,
-/// and the maximum expiration time among the matches. Uses a hash table
-/// over the predicate's cross-side equality columns when available.
-class RightMatcher {
+/// Drives the operator scan loops: serial inline when the evaluator runs
+/// with one worker, morsel-parallel on the shared pool otherwise, with
+/// `expdb_eval_parallel_*` counters and per-morsel latencies wired in.
+class MorselRunner {
  public:
-  RightMatcher(const Relation& right, const Predicate& predicate,
-               size_t n_left)
-      : predicate_(predicate) {
-    for (auto [a, b] : predicate.TopLevelEqualities()) {
-      if (a < n_left && b >= n_left) {
-        lcols_.push_back(a);
-        rcols_.push_back(b - n_left);
-      } else if (b < n_left && a >= n_left) {
-        lcols_.push_back(b);
-        rcols_.push_back(a - n_left);
-      }
+  MorselRunner(size_t workers, size_t min_morsel, bool metrics)
+      : workers_(workers),
+        min_morsel_(min_morsel > 0 ? min_morsel : 1),
+        metrics_(metrics) {}
+
+  bool parallel() const { return workers_ > 1; }
+  size_t workers() const { return workers_; }
+  size_t min_morsel() const { return min_morsel_; }
+
+  /// Runs body over [0, n) in dynamic morsels (serial when not parallel).
+  void Run(size_t n, const std::function<void(size_t, size_t)>& body) const {
+    if (!parallel()) {
+      body(0, n);
+      return;
     }
-    right.ForEach([&](const Tuple& rt, Timestamp rtexp) {
-      if (lcols_.empty()) {
-        all_.emplace_back(&rt, rtexp);
-      } else {
-        table_[rt.Project(rcols_)].emplace_back(&rt, rtexp);
-      }
-    });
+    ParallelForOptions opts;
+    opts.parallelism = workers_;
+    opts.min_morsel_size = min_morsel_;
+    RunWith(n, opts, body);
   }
 
-  /// Max texp over right tuples matching `lt`; nullopt when none match.
-  std::optional<Timestamp> MaxMatchTexp(const Tuple& lt) const {
-    const std::vector<std::pair<const Tuple*, Timestamp>>* candidates;
-    std::optional<Tuple> key;
-    if (lcols_.empty()) {
-      candidates = &all_;
-    } else {
-      key = lt.Project(lcols_);
-      auto it = table_.find(*key);
-      if (it == table_.end()) return std::nullopt;
-      candidates = &it->second;
+  /// Runs body over [0, k) one index per morsel — the static partition
+  /// phases (scatter chunks, partition merges) where each index is a
+  /// coarse task that must not be subdivided.
+  void RunTasks(size_t k,
+                const std::function<void(size_t, size_t)>& body) const {
+    if (!parallel()) {
+      body(0, k);
+      return;
     }
-    std::optional<Timestamp> best;
-    for (const auto& [rt, rtexp] : *candidates) {
-      if (!predicate_.Evaluate(lt.Concat(*rt))) continue;
-      if (!best || rtexp > *best) best = rtexp;
+    ParallelForOptions opts;
+    opts.parallelism = workers_;
+    opts.min_morsel_size = 1;
+    opts.max_morsels_per_worker = 1;
+    RunWith(k, opts, body);
+  }
+
+  /// Morsel-parallel emit: `emit` appends result entries for the input
+  /// range to its output vector; per-morsel locals are concatenated under
+  /// a mutex (once per morsel, not per tuple). Serial mode emits straight
+  /// into the result with zero overhead.
+  std::vector<Relation::Entry> Collect(
+      size_t n, const std::function<void(size_t, size_t,
+                                         std::vector<Relation::Entry>*)>&
+                    emit) const {
+    std::vector<Relation::Entry> out;
+    if (!parallel()) {
+      emit(0, n, &out);
+      return out;
     }
-    return best;
+    std::mutex mu;
+    Run(n, [&](size_t begin, size_t end) {
+      std::vector<Relation::Entry> local;
+      emit(begin, end, &local);
+      if (local.empty()) return;
+      std::lock_guard<std::mutex> lock(mu);
+      out.insert(out.end(), std::make_move_iterator(local.begin()),
+                 std::make_move_iterator(local.end()));
+    });
+    return out;
   }
 
  private:
-  const Predicate& predicate_;
-  std::vector<size_t> lcols_, rcols_;
-  std::vector<std::pair<const Tuple*, Timestamp>> all_;
-  std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, Timestamp>>>
-      table_;
+  void RunWith(size_t n, const ParallelForOptions& opts,
+               const std::function<void(size_t, size_t)>& body) const {
+    if (!metrics_) {
+      ParallelFor(n, opts, body);
+      return;
+    }
+    const EvalMetricSet& m = EvalMetricSet::Get();
+    const ParallelForStats stats =
+        ParallelFor(n, opts, [&](size_t begin, size_t end) {
+          const auto t0 = std::chrono::steady_clock::now();
+          body(begin, end);
+          m.morsel_latency->Record(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        });
+    if (stats.parallel) {
+      m.parallel_loops->Increment();
+      m.parallel_morsels->Increment(stats.morsels);
+    } else {
+      m.parallel_fallbacks->Increment();
+    }
+  }
+
+  size_t workers_;
+  size_t min_morsel_;
+  bool metrics_;
 };
+
+/// EvalOptions::parallelism -> worker count (see eval.h).
+size_t ResolveWorkers(size_t parallelism) {
+  if (parallelism == 1) return 1;
+  if (parallelism == 0) {
+    return std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  return parallelism;
+}
 
 class Evaluator {
  public:
   Evaluator(const Database& db, Timestamp tau, const EvalOptions& options)
-      : db_(db), tau_(tau), options_(options) {}
+      : db_(db),
+        tau_(tau),
+        options_(options),
+        runner_(ResolveWorkers(options.parallelism),
+                options.parallel_min_morsel, options.enable_metrics) {}
 
   Result<MaterializedResult> Eval(const Expression& e) {
     if (!options_.enable_metrics) return EvalNode(e);
@@ -169,7 +246,8 @@ class Evaluator {
           l.relation.schema().ToString() + " and " +
           r.relation.schema().ToString());
     }
-    DifferenceAnalysis analysis = AnalyzeDifference(l.relation, r.relation);
+    DifferenceAnalysis analysis = AnalyzeDifference(
+        l.relation, r.relation, runner_.workers(), runner_.min_morsel());
 
     DifferenceEvalResult out;
     out.result.relation = std::move(analysis.result);
@@ -204,26 +282,57 @@ class Evaluator {
     const size_t n_left = l.relation.schema().arity();
     EXPDB_RETURN_NOT_OK(e.predicate().Validate(
         l.relation.schema().Concat(r.relation.schema())));
-    RightMatcher matcher(r.relation, e.predicate(), n_left);
+    JoinKeyIndex index(r.relation, e.predicate(), n_left,
+                       runner_.workers());
 
-    DifferenceEvalResult out;
-    out.result.relation = Relation(l.relation.schema());
-    Timestamp tau_r = Timestamp::Infinity();
-    IntervalSet invalid;
-    l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
-      std::optional<Timestamp> last_match = matcher.MaxMatchTexp(lt);
-      if (!last_match.has_value()) {
-        out.result.relation.InsertUnchecked(lt, ltexp);
-        return;
+    struct AntiLocal {
+      std::vector<Relation::Entry> result;
+      std::vector<DifferencePatchEntry> helper;
+      IntervalSet invalid;
+      size_t common = 0;
+      Timestamp tau_r = Timestamp::Infinity();
+    };
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    auto scan = [&](size_t begin, size_t end, AntiLocal* local) {
+      for (size_t i = begin; i < end; ++i) {
+        const Relation::Entry& le = lin[i];
+        std::optional<Timestamp> last_match = index.MaxMatchTexp(le.tuple);
+        if (!last_match.has_value()) {
+          local->result.push_back(le);
+          continue;
+        }
+        ++local->common;
+        if (le.texp > *last_match) {
+          local->helper.push_back({le.tuple, *last_match, le.texp});
+          local->invalid.Add(*last_match, le.texp);
+          local->tau_r = Timestamp::Min(local->tau_r, *last_match);
+        }
       }
-      ++out.common_count;
-      if (ltexp > *last_match) {
-        out.helper.push_back({lt, *last_match, ltexp});
-        invalid.Add(*last_match, ltexp);
-        tau_r = Timestamp::Min(tau_r, *last_match);
-      }
-    });
-    std::sort(out.helper.begin(), out.helper.end(),
+    };
+
+    AntiLocal total;
+    if (!runner_.parallel()) {
+      scan(0, lin.size(), &total);
+    } else {
+      std::mutex mu;
+      runner_.Run(lin.size(), [&](size_t begin, size_t end) {
+        AntiLocal local;
+        scan(begin, end, &local);
+        std::lock_guard<std::mutex> lock(mu);
+        total.result.insert(total.result.end(),
+                            std::make_move_iterator(local.result.begin()),
+                            std::make_move_iterator(local.result.end()));
+        total.helper.insert(total.helper.end(),
+                            std::make_move_iterator(local.helper.begin()),
+                            std::make_move_iterator(local.helper.end()));
+        for (const Interval& iv : local.invalid.intervals()) {
+          total.invalid.Add(iv);
+        }
+        total.common += local.common;
+        total.tau_r = Timestamp::Min(total.tau_r, local.tau_r);
+      });
+    }
+    std::sort(total.helper.begin(), total.helper.end(),
               [](const DifferencePatchEntry& a,
                  const DifferencePatchEntry& b) {
                 if (a.appears_at != b.appears_at) {
@@ -232,11 +341,16 @@ class Evaluator {
                 return a.tuple < b.tuple;
               });
 
+    DifferenceEvalResult out;
+    out.result.relation = Relation::FromEntriesUnchecked(
+        l.relation.schema(), std::move(total.result));
+    out.helper = std::move(total.helper);
+    out.common_count = total.common;
     out.result.materialized_at = tau_;
-    out.result.texp = Timestamp::Min({l.texp, r.texp, tau_r});
+    out.result.texp = Timestamp::Min({l.texp, r.texp, total.tau_r});
     if (options_.compute_validity) {
       IntervalSet v = l.validity.Intersect(r.validity);
-      for (const Interval& iv : invalid.intervals()) v.Subtract(iv);
+      for (const Interval& iv : total.invalid.intervals()) v.Subtract(iv);
       out.result.validity = std::move(v);
     } else {
       out.result.validity = IntervalSet(tau_, out.result.texp);
@@ -250,19 +364,41 @@ class Evaluator {
     EXPDB_ASSIGN_OR_RETURN(const Relation* rel,
                            db_.GetRelation(e.relation_name()));
     MaterializedResult out;
-    out.relation = rel->UnexpiredAt(tau_);
+    if (!runner_.parallel()) {
+      out.relation = rel->UnexpiredAt(tau_);
+    } else {
+      const std::vector<Relation::Entry>& in = rel->entries();
+      std::vector<Relation::Entry> kept = runner_.Collect(
+          in.size(),
+          [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+            for (size_t i = begin; i < end; ++i) {
+              if (in[i].texp > tau_) outv->push_back(in[i]);
+            }
+          });
+      out.relation =
+          Relation::FromEntriesUnchecked(rel->schema(), std::move(kept));
+    }
     return Monotonic(std::move(out));
   }
 
   Result<MaterializedResult> EvalSelect(const Expression& e) {
     EXPDB_ASSIGN_OR_RETURN(MaterializedResult child, Eval(*e.left()));
     EXPDB_RETURN_NOT_OK(e.predicate().Validate(child.relation.schema()));
+    const std::vector<Relation::Entry>& in = child.relation.entries();
+    // Eq. (1): result tuples retain their expiration times. A selection
+    // of a set is a set, so the kept entries are loaded index-direct.
+    std::vector<Relation::Entry> kept = runner_.Collect(
+        in.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          for (size_t i = begin; i < end; ++i) {
+            if (e.predicate().Evaluate(in[i].tuple)) {
+              outv->push_back(in[i]);
+            }
+          }
+        });
     MaterializedResult out;
-    out.relation = Relation(child.relation.schema());
-    child.relation.ForEach([&](const Tuple& t, Timestamp texp) {
-      // Eq. (1): result tuples retain their expiration times.
-      if (e.predicate().Evaluate(t)) out.relation.InsertUnchecked(t, texp);
-    });
+    out.relation = Relation::FromEntriesUnchecked(child.relation.schema(),
+                                                  std::move(kept));
     return Inherit(std::move(out), child);
   }
 
@@ -271,26 +407,51 @@ class Evaluator {
     EXPDB_ASSIGN_OR_RETURN(Schema schema,
                            child.relation.schema().Project(e.projection()));
     MaterializedResult out;
-    out.relation = Relation(std::move(schema));
-    child.relation.ForEach([&](const Tuple& t, Timestamp texp) {
-      // Eq. (3): a tuple gets the max expiration time of its duplicates.
-      out.relation.MergeMaxUnchecked(t.Project(e.projection()), texp);
-    });
+    if (!runner_.parallel()) {
+      out.relation = Relation(std::move(schema));
+      for (const Relation::Entry& en : child.relation.entries()) {
+        // Eq. (3): a tuple gets the max expiration time of its duplicates.
+        out.relation.MergeMaxUnchecked(en.tuple.Project(e.projection()),
+                                       en.texp);
+      }
+    } else {
+      const std::vector<Relation::Entry>& in = child.relation.entries();
+      std::vector<Relation::Entry> projected = runner_.Collect(
+          in.size(),
+          [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+            outv->reserve(end - begin);
+            for (size_t i = begin; i < end; ++i) {
+              outv->push_back(
+                  {in[i].tuple.Project(e.projection()), in[i].texp});
+            }
+          });
+      out.relation = MergeMaxParallel(std::move(schema), {&projected});
+    }
     return Inherit(std::move(out), child);
   }
 
   Result<MaterializedResult> EvalProduct(const Expression& e) {
     EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Eval(*e.left()));
     EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Eval(*e.right()));
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    const std::vector<Relation::Entry>& rin = r.relation.entries();
+    // Distinct (lt, rt) pairs concatenate to distinct tuples, so the
+    // output is duplicate-free by construction.
+    std::vector<Relation::Entry> entries = runner_.Collect(
+        lin.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          outv->reserve((end - begin) * rin.size());
+          for (size_t i = begin; i < end; ++i) {
+            for (const Relation::Entry& re : rin) {
+              // Eq. (2): min lifetime of the participating tuples.
+              outv->push_back({lin[i].tuple.Concat(re.tuple),
+                               Timestamp::Min(lin[i].texp, re.texp)});
+            }
+          }
+        });
     MaterializedResult out;
-    out.relation = Relation(l.relation.schema().Concat(r.relation.schema()));
-    l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
-      r.relation.ForEach([&](const Tuple& rt, Timestamp rtexp) {
-        // Eq. (2): min lifetime of the participating tuples.
-        out.relation.InsertUnchecked(lt.Concat(rt),
-                                     Timestamp::Min(ltexp, rtexp));
-      });
-    });
+    out.relation = Relation::FromEntriesUnchecked(
+        l.relation.schema().Concat(r.relation.schema()), std::move(entries));
     return Combine(std::move(out), l, r);
   }
 
@@ -304,11 +465,16 @@ class Evaluator {
           r.relation.schema().ToString());
     }
     MaterializedResult out;
-    out.relation = std::move(l.relation);
-    // Eq. (4): tuples in both sides get the max of the two texps.
-    r.relation.ForEach([&](const Tuple& t, Timestamp texp) {
-      out.relation.MergeMaxUnchecked(t, texp);
-    });
+    if (!runner_.parallel()) {
+      out.relation = std::move(l.relation);
+      // Eq. (4): tuples in both sides get the max of the two texps.
+      for (const Relation::Entry& en : r.relation.entries()) {
+        out.relation.MergeMaxUnchecked(en.tuple, en.texp);
+      }
+    } else {
+      out.relation = MergeMaxParallel(
+          l.relation.schema(), {&l.relation.entries(), &r.relation.entries()});
+    }
     return Combine(std::move(out), l, r);
   }
 
@@ -318,54 +484,36 @@ class Evaluator {
     const Schema joined =
         l.relation.schema().Concat(r.relation.schema());
     EXPDB_RETURN_NOT_OK(e.predicate().Validate(joined));
-
-    MaterializedResult out;
-    out.relation = Relation(joined);
     const size_t n_left = l.relation.schema().arity();
 
     // Hash-join fast path on top-level cross-side equalities; semantics
     // coincide with the paper's rewrite σ_{p'}(R ×exp S) because the full
-    // predicate is re-checked on every candidate pair.
-    std::vector<size_t> lcols, rcols;
-    for (auto [a, b] : e.predicate().TopLevelEqualities()) {
-      if (a < n_left && b >= n_left) {
-        lcols.push_back(a);
-        rcols.push_back(b - n_left);
-      } else if (b < n_left && a >= n_left) {
-        lcols.push_back(b);
-        rcols.push_back(a - n_left);
-      }
-    }
+    // predicate is re-checked on every candidate pair — except when the
+    // index proves the key comparison already covers the predicate.
+    JoinKeyIndex index(r.relation, e.predicate(), n_left,
+                       runner_.workers());
+    const bool covered = index.predicate_covered();
 
-    auto emit = [&](const Tuple& lt, Timestamp ltexp, const Tuple& rt,
-                    Timestamp rtexp) {
-      Tuple joined_tuple = lt.Concat(rt);
-      if (e.predicate().Evaluate(joined_tuple)) {
-        out.relation.InsertUnchecked(std::move(joined_tuple),
-                                     Timestamp::Min(ltexp, rtexp));
-      }
-    };
-
-    if (lcols.empty()) {
-      l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
-        r.relation.ForEach([&](const Tuple& rt, Timestamp rtexp) {
-          emit(lt, ltexp, rt, rtexp);
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    std::vector<Relation::Entry> entries = runner_.Collect(
+        lin.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          for (size_t i = begin; i < end; ++i) {
+            const Relation::Entry& le = lin[i];
+            const JoinKeyIndex::Group* group = index.Probe(le.tuple);
+            if (group == nullptr) continue;
+            for (const JoinKeyIndex::Candidate& c : group->candidates) {
+              Tuple joined_tuple = le.tuple.Concat(*c.tuple);
+              if (covered || e.predicate().Evaluate(joined_tuple)) {
+                outv->push_back({std::move(joined_tuple),
+                                 Timestamp::Min(le.texp, c.texp)});
+              }
+            }
+          }
         });
-      });
-    } else {
-      std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, Timestamp>>>
-          table;
-      r.relation.ForEach([&](const Tuple& rt, Timestamp rtexp) {
-        table[rt.Project(rcols)].emplace_back(&rt, rtexp);
-      });
-      l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
-        auto it = table.find(lt.Project(lcols));
-        if (it == table.end()) return;
-        for (const auto& [rt, rtexp] : it->second) {
-          emit(lt, ltexp, *rt, rtexp);
-        }
-      });
-    }
+    MaterializedResult out;
+    out.relation =
+        Relation::FromEntriesUnchecked(joined, std::move(entries));
     return Combine(std::move(out), l, r);
   }
 
@@ -378,16 +526,23 @@ class Evaluator {
           l.relation.schema().ToString() + " and " +
           r.relation.schema().ToString());
     }
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    std::vector<Relation::Entry> entries = runner_.Collect(
+        lin.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          for (size_t i = begin; i < end; ++i) {
+            auto rtexp = r.relation.GetTexp(lin[i].tuple);
+            // Eq. (6): minima of the expiration times of the participating
+            // tuples (inherited from the inner ×exp of the rewrite).
+            if (rtexp.has_value()) {
+              outv->push_back({lin[i].tuple,
+                               Timestamp::Min(lin[i].texp, *rtexp)});
+            }
+          }
+        });
     MaterializedResult out;
-    out.relation = Relation(l.relation.schema());
-    l.relation.ForEach([&](const Tuple& t, Timestamp ltexp) {
-      auto rtexp = r.relation.GetTexp(t);
-      // Eq. (6): minima of the expiration times of the participating
-      // tuples (inherited from the inner ×exp of the rewrite).
-      if (rtexp.has_value()) {
-        out.relation.InsertUnchecked(t, Timestamp::Min(ltexp, *rtexp));
-      }
-    });
+    out.relation = Relation::FromEntriesUnchecked(l.relation.schema(),
+                                                  std::move(entries));
     return Combine(std::move(out), l, r);
   }
 
@@ -400,17 +555,25 @@ class Evaluator {
     const size_t n_left = l.relation.schema().arity();
     EXPDB_RETURN_NOT_OK(e.predicate().Validate(
         l.relation.schema().Concat(r.relation.schema())));
-    RightMatcher matcher(r.relation, e.predicate(), n_left);
+    JoinKeyIndex index(r.relation, e.predicate(), n_left,
+                       runner_.workers());
 
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    std::vector<Relation::Entry> entries = runner_.Collect(
+        lin.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          for (size_t i = begin; i < end; ++i) {
+            std::optional<Timestamp> last_match =
+                index.MaxMatchTexp(lin[i].tuple);
+            if (last_match.has_value()) {
+              outv->push_back({lin[i].tuple,
+                               Timestamp::Min(lin[i].texp, *last_match)});
+            }
+          }
+        });
     MaterializedResult out;
-    out.relation = Relation(l.relation.schema());
-    l.relation.ForEach([&](const Tuple& lt, Timestamp ltexp) {
-      std::optional<Timestamp> last_match = matcher.MaxMatchTexp(lt);
-      if (last_match.has_value()) {
-        out.relation.InsertUnchecked(lt,
-                                     Timestamp::Min(ltexp, *last_match));
-      }
-    });
+    out.relation = Relation::FromEntriesUnchecked(l.relation.schema(),
+                                                  std::move(entries));
     return Combine(std::move(out), l, r);
   }
 
@@ -424,59 +587,217 @@ class Evaluator {
       }
     }
 
-    // Stable storage for partition entries: tuples must not move while
-    // PartitionEntry pointers reference them.
-    std::vector<std::pair<Tuple, Timestamp>> entries =
-        child.relation.SortedEntries();
+    // Stable storage for partition entries: the child's dense entry array
+    // does not move while PartitionEntry pointers reference it.
+    const std::vector<Relation::Entry>& entries = child.relation.entries();
+    const std::vector<size_t>& gb = e.group_by();
 
-    // φexp (Eq. 7): stable partitioning by equality on the grouping
-    // attributes (SQL GROUP BY).
-    std::unordered_map<Tuple, std::vector<PartitionEntry>> partitions;
-    for (const auto& [tuple, texp] : entries) {
-      partitions[tuple.Project(e.group_by())].push_back({&tuple, texp});
-    }
-
-    MaterializedResult out;
-    out.relation = Relation(std::move(schema));
-    Timestamp texp_e = child.texp;
-    IntervalSet validity = child.validity;
-
-    for (const auto& [key, partition] : partitions) {
-      PartitionAnalysis analysis;
-      if (options_.aggregate_tolerance > 0) {
-        EXPDB_ASSIGN_OR_RETURN(
-            analysis, AnalyzeApproxPartition(partition, f,
-                                             options_.aggregate_tolerance));
-      } else {
-        EXPDB_ASSIGN_OR_RETURN(
-            analysis,
-            AnalyzePartition(partition, f, options_.aggregate_mode));
+    // φexp (Eq. 7): partitioning by equality on the grouping attributes
+    // (SQL GROUP BY), hashing/comparing the key columns in place — no key
+    // tuple is materialized.
+    struct KeyHash {
+      const std::vector<size_t>* cols;
+      size_t operator()(const Tuple* t) const {
+        return t->HashOfColumns(*cols);
       }
-      for (const PartitionEntry& entry : partition) {
-        // Eq. (8)/(9) with the source-tuple cap (see aggregate.h): the
-        // result tuple dies with its source tuple or when the partition's
-        // aggregate value changes, whichever is earlier.
-        out.relation.InsertUnchecked(
-            entry.tuple->Append(analysis.value),
-            Timestamp::Min(entry.texp, analysis.change_cap));
+    };
+    struct KeyEq {
+      const std::vector<size_t>* cols;
+      bool operator()(const Tuple* a, const Tuple* b) const {
+        for (size_t c : *cols) {
+          if (a->at(c) != b->at(c)) return false;
+        }
+        return true;
       }
-      if (analysis.invalidates_expression) {
-        texp_e = Timestamp::Min(texp_e, analysis.change_cap);
-        if (options_.compute_validity) {
-          // The partition's contribution is wrong from the change until
-          // the partition has fully expired; afterwards both the
-          // materialization and recomputation are empty for it.
-          validity.Subtract(analysis.change_cap, analysis.death);
+    };
+    using GroupMap = std::unordered_map<const Tuple*,
+                                        std::vector<PartitionEntry>, KeyHash,
+                                        KeyEq>;
+
+    struct AggLocal {
+      std::vector<Relation::Entry> result;
+      Timestamp texp_cap = Timestamp::Infinity();
+      /// (change_cap, death) of partitions that invalidate the expression.
+      std::vector<std::pair<Timestamp, Timestamp>> invalid;
+      Status status = Status::OK();
+    };
+    auto replay_groups = [&](const GroupMap& groups, AggLocal* local) {
+      for (const auto& [key, partition] : groups) {
+        Result<PartitionAnalysis> analyzed =
+            options_.aggregate_tolerance > 0
+                ? AnalyzeApproxPartition(partition, f,
+                                         options_.aggregate_tolerance)
+                : AnalyzePartition(partition, f, options_.aggregate_mode);
+        if (!analyzed.ok()) {
+          local->status = analyzed.status();
+          return;
+        }
+        const PartitionAnalysis& analysis = analyzed.value();
+        for (const PartitionEntry& entry : partition) {
+          // Eq. (8)/(9) with the source-tuple cap (see aggregate.h): the
+          // result tuple dies with its source tuple or when the
+          // partition's aggregate value changes, whichever is earlier.
+          local->result.push_back(
+              {entry.tuple->Append(analysis.value),
+               Timestamp::Min(entry.texp, analysis.change_cap)});
+        }
+        if (analysis.invalidates_expression) {
+          local->texp_cap =
+              Timestamp::Min(local->texp_cap, analysis.change_cap);
+          local->invalid.emplace_back(analysis.change_cap, analysis.death);
         }
       }
-    }
+    };
 
+    AggLocal total;
+    const size_t P = runner_.parallel() &&
+                             entries.size() >= 2 * runner_.min_morsel()
+                         ? runner_.workers()
+                         : 1;
+    if (P == 1) {
+      GroupMap groups(16, KeyHash{&gb}, KeyEq{&gb});
+      for (const Relation::Entry& en : entries) {
+        groups[&en.tuple].push_back({&en.tuple, en.texp});
+      }
+      replay_groups(groups, &total);
+    } else {
+      // Phase 1 — scatter: P static chunks route entry pointers into
+      // per-chunk, per-partition buckets by group-key hash (chunks are
+      // independent, no synchronization).
+      std::vector<std::vector<std::vector<const Relation::Entry*>>> scat(
+          P, std::vector<std::vector<const Relation::Entry*>>(P));
+      const size_t chunk = (entries.size() + P - 1) / P;
+      runner_.RunTasks(P, [&](size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+          const size_t begin = std::min(c * chunk, entries.size());
+          const size_t end = std::min(begin + chunk, entries.size());
+          for (size_t i = begin; i < end; ++i) {
+            scat[c][entries[i].tuple.HashOfColumns(gb) % P].push_back(
+                &entries[i]);
+          }
+        }
+      });
+      // Phase 2 — per-partition replay: every group lands wholly inside
+      // one partition, so partitions replay independently in parallel.
+      std::mutex mu;
+      runner_.RunTasks(P, [&](size_t pb, size_t pe) {
+        for (size_t p = pb; p < pe; ++p) {
+          GroupMap groups(16, KeyHash{&gb}, KeyEq{&gb});
+          for (size_t c = 0; c < P; ++c) {
+            for (const Relation::Entry* en : scat[c][p]) {
+              groups[&en->tuple].push_back({&en->tuple, en->texp});
+            }
+          }
+          AggLocal local;
+          replay_groups(groups, &local);
+          std::lock_guard<std::mutex> lock(mu);
+          total.result.insert(total.result.end(),
+                              std::make_move_iterator(local.result.begin()),
+                              std::make_move_iterator(local.result.end()));
+          total.texp_cap = Timestamp::Min(total.texp_cap, local.texp_cap);
+          total.invalid.insert(total.invalid.end(), local.invalid.begin(),
+                               local.invalid.end());
+          if (total.status.ok() && !local.status.ok()) {
+            total.status = local.status;
+          }
+        }
+      });
+    }
+    EXPDB_RETURN_NOT_OK(total.status);
+
+    MaterializedResult out;
+    // Source tuples are unique and each contributes one result tuple.
+    out.relation = Relation::FromEntriesUnchecked(std::move(schema),
+                                                  std::move(total.result));
+    Timestamp texp_e = Timestamp::Min(child.texp, total.texp_cap);
     out.texp = texp_e;
-    out.validity = options_.compute_validity
-                       ? std::move(validity)
-                       : IntervalSet(tau_, texp_e);
+    if (options_.compute_validity) {
+      IntervalSet validity = child.validity;
+      // The partition's contribution is wrong from the change until the
+      // partition has fully expired; afterwards both the materialization
+      // and recomputation are empty for it.
+      for (const auto& [cap, death] : total.invalid) {
+        validity.Subtract(cap, death);
+      }
+      out.validity = std::move(validity);
+    } else {
+      out.validity = IntervalSet(tau_, texp_e);
+    }
     out.materialized_at = tau_;
     return out;
+  }
+
+  /// Hash-partitioned parallel max-merge (πexp/∪exp duplicate rule): the
+  /// concatenated sources are scattered by tuple hash into one partition
+  /// per worker, each partition merges its tuples independently, and the
+  /// disjoint partition results concatenate into the output relation.
+  Relation MergeMaxParallel(
+      Schema schema,
+      std::vector<const std::vector<Relation::Entry>*> sources) const {
+    size_t total = 0;
+    for (const auto* s : sources) total += s->size();
+    const size_t P = runner_.workers();
+
+    auto at = [&](size_t g) -> const Relation::Entry& {
+      for (const auto* s : sources) {
+        if (g < s->size()) return (*s)[g];
+        g -= s->size();
+      }
+      // Unreachable for g < total.
+      return sources.back()->back();
+    };
+
+    // Phase 1 — scatter by hash % P from P static chunks.
+    std::vector<std::vector<std::vector<const Relation::Entry*>>> scat(
+        P, std::vector<std::vector<const Relation::Entry*>>(P));
+    const size_t chunk = (total + P - 1) / P;
+    runner_.RunTasks(P, [&](size_t cb, size_t ce) {
+      for (size_t c = cb; c < ce; ++c) {
+        const size_t begin = std::min(c * chunk, total);
+        const size_t end = std::min(begin + chunk, total);
+        for (size_t g = begin; g < end; ++g) {
+          const Relation::Entry& en = at(g);
+          scat[c][en.tuple.Hash() % P].push_back(&en);
+        }
+      }
+    });
+
+    // Phase 2 — per-partition merge under the max rule. Equal tuples
+    // always hash to the same partition, so partitions are disjoint.
+    struct PtrHash {
+      size_t operator()(const Tuple* t) const { return t->Hash(); }
+    };
+    struct PtrEq {
+      bool operator()(const Tuple* a, const Tuple* b) const {
+        return *a == *b;
+      }
+    };
+    std::vector<std::vector<Relation::Entry>> parts(P);
+    runner_.RunTasks(P, [&](size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        std::unordered_map<const Tuple*, Timestamp, PtrHash, PtrEq> merged;
+        for (size_t c = 0; c < P; ++c) {
+          for (const Relation::Entry* en : scat[c][p]) {
+            auto [it, inserted] = merged.try_emplace(&en->tuple, en->texp);
+            if (!inserted) {
+              it->second = Timestamp::Max(it->second, en->texp);
+            }
+          }
+        }
+        parts[p].reserve(merged.size());
+        for (const auto& [tuple, texp] : merged) {
+          parts[p].push_back({*tuple, texp});
+        }
+      }
+    });
+
+    std::vector<Relation::Entry> out;
+    out.reserve(total);
+    for (std::vector<Relation::Entry>& part : parts) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return Relation::FromEntriesUnchecked(std::move(schema), std::move(out));
   }
 
   // --- texp(e) / validity composition helpers -----------------------------
@@ -515,6 +836,7 @@ class Evaluator {
   const Database& db_;
   Timestamp tau_;
   EvalOptions options_;
+  MorselRunner runner_;
 };
 
 }  // namespace

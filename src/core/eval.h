@@ -39,6 +39,18 @@ struct EvalOptions {
   /// overhead is <5% (bench_obs_overhead, EXPERIMENTS.md); spans cost
   /// nothing unless tracing is enabled on the recorder.
   bool enable_metrics = true;
+  /// Number of evaluation workers (docs/PERFORMANCE.md). 1 (the default)
+  /// runs every operator on the calling thread — byte-for-byte the
+  /// pre-parallel behavior. 0 sizes to the hardware; any other value is
+  /// the worker count (the calling thread participates). Results are
+  /// sets, so parallel evaluation is set-identical to serial — asserted
+  /// by tests/core/parallel_eval_property_test.cc.
+  size_t parallelism = 1;
+  /// Morsel-size floor for parallel scans: an input smaller than twice
+  /// this runs serially even when parallelism > 1 (scheduling a thread
+  /// costs more than scanning a tiny relation). Tests lower it to force
+  /// the parallel paths on small inputs.
+  size_t parallel_min_morsel = 1024;
 };
 
 /// \brief Materializes `expr` at time `tau`.

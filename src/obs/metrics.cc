@@ -348,6 +348,14 @@ void RegisterStandardMetrics(MetricsRegistry& r) {
                "Tuples produced by operator nodes");
   r.GetHistogram("expdb_eval_latency_ns",
                  "Root evaluation wall time (ns)");
+  r.GetCounter("expdb_eval_parallel_loops_total",
+               "Operator scans executed as parallel morsel loops");
+  r.GetCounter("expdb_eval_parallel_morsels_total",
+               "Morsels processed by parallel operator scans");
+  r.GetCounter("expdb_eval_parallel_fallback_total",
+               "Parallel-eligible scans run serially (below morsel cutoff)");
+  r.GetHistogram("expdb_eval_parallel_morsel_latency_ns",
+                 "Per-morsel wall time of parallel operator scans (ns)");
   // expiration -----------------------------------------------------------
   r.GetCounter("expdb_expiration_inserted_total",
                "Tuples routed through ExpirationManager::Insert");

@@ -1,8 +1,122 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace expdb {
+
+namespace {
+
+/// Smallest power of two >= n (and >= 16).
+size_t NextPow2(size_t n) {
+  size_t cap = 16;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+// --- hash index -----------------------------------------------------------
+
+size_t Relation::FindSlot(const Tuple& tuple) const {
+  if (slots_.empty()) return kNotFound;
+  const size_t mask = slots_.size() - 1;
+  size_t slot = tuple.Hash() & mask;
+  for (;;) {
+    const int64_t s = slots_[slot];
+    if (s == kEmpty) return kNotFound;
+    if (s != kTombstone &&
+        entries_[static_cast<size_t>(s)].tuple == tuple) {
+      return slot;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+size_t Relation::FindEntry(const Tuple& tuple) const {
+  const size_t slot = FindSlot(tuple);
+  return slot == kNotFound ? kNotFound
+                           : static_cast<size_t>(slots_[slot]);
+}
+
+void Relation::Rehash(size_t n) {
+  // Load factor 0.7: capacity such that n < 0.7 * cap.
+  slots_.assign(NextPow2(n * 10 / 7 + 1), kEmpty);
+  tombstones_ = 0;
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t slot = entries_[i].tuple.Hash() & mask;
+    while (slots_[slot] != kEmpty) slot = (slot + 1) & mask;
+    slots_[slot] = static_cast<int64_t>(i);
+  }
+}
+
+void Relation::RebuildIndex() { Rehash(entries_.size()); }
+
+void Relation::EnsureSlotCapacity() {
+  if (slots_.empty() ||
+      (entries_.size() + tombstones_ + 1) * 10 >= slots_.size() * 7) {
+    Rehash(entries_.size() + 1);
+  }
+}
+
+std::pair<size_t, bool> Relation::InsertEntry(Tuple tuple, Timestamp texp) {
+  EnsureSlotCapacity();
+  const size_t mask = slots_.size() - 1;
+  size_t slot = tuple.Hash() & mask;
+  size_t first_tombstone = kNotFound;
+  for (;;) {
+    const int64_t s = slots_[slot];
+    if (s == kEmpty) break;
+    if (s == kTombstone) {
+      if (first_tombstone == kNotFound) first_tombstone = slot;
+    } else if (entries_[static_cast<size_t>(s)].tuple == tuple) {
+      return {static_cast<size_t>(s), false};
+    }
+    slot = (slot + 1) & mask;
+  }
+  if (first_tombstone != kNotFound) {
+    slot = first_tombstone;
+    --tombstones_;
+  }
+  const size_t entry_idx = entries_.size();
+  entries_.push_back(Entry{std::move(tuple), texp});
+  slots_[slot] = static_cast<int64_t>(entry_idx);
+  return {entry_idx, true};
+}
+
+void Relation::EraseAt(size_t entry_idx, size_t slot) {
+  slots_[slot] = kTombstone;
+  ++tombstones_;
+  const size_t last = entries_.size() - 1;
+  if (entry_idx != last) {
+    // Patch the index slot of the entry being moved into the hole.
+    const size_t moved_slot = FindSlot(entries_[last].tuple);
+    assert(moved_slot != kNotFound);
+    slots_[moved_slot] = static_cast<int64_t>(entry_idx);
+    entries_[entry_idx] = std::move(entries_[last]);
+  }
+  entries_.pop_back();
+  if (entries_.empty()) {
+    slots_.clear();
+    tombstones_ = 0;
+  }
+}
+
+void Relation::Reserve(size_t n) {
+  entries_.reserve(n);
+  if (n * 10 / 7 + 1 > slots_.size()) Rehash(n);
+}
+
+Relation Relation::FromEntriesUnchecked(Schema schema,
+                                        std::vector<Entry> entries) {
+  Relation out(std::move(schema));
+  out.entries_ = std::move(entries);
+  if (!out.entries_.empty()) out.RebuildIndex();
+  return out;
+}
+
+// --- schema checking ------------------------------------------------------
 
 Status Relation::CheckAndCoerce(Tuple* tuple) const {
   if (tuple->arity() != schema_.arity()) {
@@ -35,10 +149,11 @@ Status Relation::CheckAndCoerce(Tuple* tuple) const {
   return Status::OK();
 }
 
+// --- mutation -------------------------------------------------------------
+
 Status Relation::Insert(Tuple tuple, Timestamp texp) {
   EXPDB_RETURN_NOT_OK(CheckAndCoerce(&tuple));
-  auto [it, inserted] = tuples_.try_emplace(std::move(tuple), texp);
-  if (!inserted) it->second = Timestamp::Max(it->second, texp);
+  MergeMaxUnchecked(std::move(tuple), texp);
   return Status::OK();
 }
 
@@ -51,54 +166,63 @@ Status Relation::InsertWithTtl(Tuple tuple, Timestamp now, int64_t ttl) {
 }
 
 void Relation::InsertUnchecked(Tuple tuple, Timestamp texp) {
-  tuples_.insert_or_assign(std::move(tuple), texp);
+  auto [idx, inserted] = InsertEntry(std::move(tuple), texp);
+  if (!inserted) entries_[idx].texp = texp;
 }
 
 void Relation::MergeMaxUnchecked(Tuple tuple, Timestamp texp) {
-  auto [it, inserted] = tuples_.try_emplace(std::move(tuple), texp);
-  if (!inserted) it->second = Timestamp::Max(it->second, texp);
+  auto [idx, inserted] = InsertEntry(std::move(tuple), texp);
+  if (!inserted) {
+    entries_[idx].texp = Timestamp::Max(entries_[idx].texp, texp);
+  }
 }
 
 bool Relation::Erase(const Tuple& tuple) {
-  return tuples_.erase(tuple) > 0;
+  const size_t slot = FindSlot(tuple);
+  if (slot == kNotFound) return false;
+  EraseAt(static_cast<size_t>(slots_[slot]), slot);
+  return true;
 }
 
+// --- lookups and scans ----------------------------------------------------
+
 std::optional<Timestamp> Relation::GetTexp(const Tuple& tuple) const {
-  auto it = tuples_.find(tuple);
-  if (it == tuples_.end()) return std::nullopt;
-  return it->second;
+  const size_t idx = FindEntry(tuple);
+  if (idx == kNotFound) return std::nullopt;
+  return entries_[idx].texp;
 }
 
 bool Relation::ContainsUnexpired(const Tuple& tuple, Timestamp tau) const {
-  auto it = tuples_.find(tuple);
-  return it != tuples_.end() && it->second > tau;
+  const size_t idx = FindEntry(tuple);
+  return idx != kNotFound && entries_[idx].texp > tau;
 }
 
 Relation Relation::UnexpiredAt(Timestamp tau) const {
-  Relation out(schema_);
-  for (const auto& [tuple, texp] : tuples_) {
-    if (texp > tau) out.tuples_.emplace(tuple, texp);
+  std::vector<Entry> kept;
+  kept.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.texp > tau) kept.push_back(e);
   }
-  return out;
+  return FromEntriesUnchecked(schema_, std::move(kept));
 }
 
 void Relation::ForEachUnexpired(
     Timestamp tau,
     const std::function<void(const Tuple&, Timestamp)>& fn) const {
-  for (const auto& [tuple, texp] : tuples_) {
-    if (texp > tau) fn(tuple, texp);
+  for (const Entry& e : entries_) {
+    if (e.texp > tau) fn(e.tuple, e.texp);
   }
 }
 
 void Relation::ForEach(
     const std::function<void(const Tuple&, Timestamp)>& fn) const {
-  for (const auto& [tuple, texp] : tuples_) fn(tuple, texp);
+  for (const Entry& e : entries_) fn(e.tuple, e.texp);
 }
 
 size_t Relation::CountUnexpiredAt(Timestamp tau) const {
   size_t n = 0;
-  for (const auto& [tuple, texp] : tuples_) {
-    if (texp > tau) ++n;
+  for (const Entry& e : entries_) {
+    if (e.texp > tau) ++n;
   }
   return n;
 }
@@ -106,12 +230,22 @@ size_t Relation::CountUnexpiredAt(Timestamp tau) const {
 std::vector<std::pair<Tuple, Timestamp>> Relation::RemoveExpired(
     Timestamp tau) {
   std::vector<std::pair<Tuple, Timestamp>> removed;
-  for (auto it = tuples_.begin(); it != tuples_.end();) {
-    if (it->second <= tau) {
-      removed.emplace_back(it->first, it->second);
-      it = tuples_.erase(it);
+  size_t kept = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].texp <= tau) {
+      removed.emplace_back(std::move(entries_[i].tuple), entries_[i].texp);
     } else {
-      ++it;
+      if (kept != i) entries_[kept] = std::move(entries_[i]);
+      ++kept;
+    }
+  }
+  if (!removed.empty()) {
+    entries_.resize(kept);
+    if (entries_.empty()) {
+      slots_.clear();
+      tombstones_ = 0;
+    } else {
+      RebuildIndex();
     }
   }
   std::sort(removed.begin(), removed.end(),
@@ -124,17 +258,18 @@ std::vector<std::pair<Tuple, Timestamp>> Relation::RemoveExpired(
 
 std::optional<Timestamp> Relation::NextExpirationAfter(Timestamp tau) const {
   std::optional<Timestamp> best;
-  for (const auto& [tuple, texp] : tuples_) {
-    if (texp > tau && texp.IsFinite()) {
-      if (!best || texp < *best) best = texp;
+  for (const Entry& e : entries_) {
+    if (e.texp > tau && e.texp.IsFinite()) {
+      if (!best || e.texp < *best) best = e.texp;
     }
   }
   return best;
 }
 
 std::vector<std::pair<Tuple, Timestamp>> Relation::SortedEntries() const {
-  std::vector<std::pair<Tuple, Timestamp>> out(tuples_.begin(),
-                                               tuples_.end());
+  std::vector<std::pair<Tuple, Timestamp>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace_back(e.tuple, e.texp);
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.first < b.first;
   });
@@ -144,18 +279,18 @@ std::vector<std::pair<Tuple, Timestamp>> Relation::SortedEntries() const {
 bool Relation::ContentsEqualAt(const Relation& a, const Relation& b,
                                Timestamp tau) {
   if (a.CountUnexpiredAt(tau) != b.CountUnexpiredAt(tau)) return false;
-  for (const auto& [tuple, texp] : a.tuples_) {
-    if (texp > tau && !b.ContainsUnexpired(tuple, tau)) return false;
+  for (const Entry& e : a.entries_) {
+    if (e.texp > tau && !b.ContainsUnexpired(e.tuple, tau)) return false;
   }
   return true;
 }
 
 bool Relation::EqualAt(const Relation& a, const Relation& b, Timestamp tau) {
   if (a.CountUnexpiredAt(tau) != b.CountUnexpiredAt(tau)) return false;
-  for (const auto& [tuple, texp] : a.tuples_) {
-    if (texp <= tau) continue;
-    auto other = b.GetTexp(tuple);
-    if (!other || *other <= tau || *other != texp) return false;
+  for (const Entry& e : a.entries_) {
+    if (e.texp <= tau) continue;
+    auto other = b.GetTexp(e.tuple);
+    if (!other || *other <= tau || *other != e.texp) return false;
   }
   return true;
 }

@@ -9,14 +9,22 @@
 //
 // A tuple with no expiration has texp = ∞, in which case every operator in
 // the algebra behaves exactly like its textbook equivalent.
+//
+// Storage layout (docs/PERFORMANCE.md): tuples live in a flat dense
+// `std::vector<Entry>` — scans (`ForEach`, operator pipelines, morsel
+// chunking for the parallel evaluator) are contiguous sweeps — with a
+// separate open-addressing hash index (linear probing over the hash cached
+// on each Tuple) for point lookups. Erase is swap-with-last, so the dense
+// array never has holes; the index slot of the moved entry is patched in
+// O(1) expected time.
 
 #ifndef EXPDB_RELATIONAL_RELATION_H_
 #define EXPDB_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -33,8 +41,19 @@ namespace expdb {
 /// expiration times — the same max rule the algebra uses for duplicate
 /// elimination in πexp and for ∪exp — so insertion is idempotent and
 /// monotone in lifetime.
+///
+/// Thread-safety: const methods (lookups, scans, `entries()`) are safe to
+/// call concurrently from any number of threads as long as no thread
+/// mutates the relation — the parallel evaluator relies on this.
 class Relation {
  public:
+  /// One stored tuple with its expiration time. Entries are densely packed
+  /// in insertion order (perturbed by swap-with-last erases).
+  struct Entry {
+    Tuple tuple;
+    Timestamp texp;
+  };
+
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
 
@@ -42,8 +61,21 @@ class Relation {
   size_t arity() const { return schema_.arity(); }
 
   /// Number of stored tuples, including physically present expired ones.
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// \brief The dense entry array. Stable while the relation is not
+  /// mutated; the parallel evaluator chunks this directly into morsels.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// \brief Pre-sizes the dense array and the hash index for `n` tuples.
+  void Reserve(size_t n);
+
+  /// \brief Builds a relation directly from a dense entry vector whose
+  /// tuples are known to be pairwise distinct (the parallel operators
+  /// guarantee this structurally). No schema checks, no duplicate merging.
+  static Relation FromEntriesUnchecked(Schema schema,
+                                       std::vector<Entry> entries);
 
   /// \brief Inserts `tuple` expiring at `texp` (∞ = never).
   ///
@@ -72,7 +104,7 @@ class Relation {
 
   /// \brief True iff the tuple is stored (expired or not).
   bool Contains(const Tuple& tuple) const {
-    return tuples_.find(tuple) != tuples_.end();
+    return FindEntry(tuple) != kNotFound;
   }
 
   /// \brief True iff tuple ∈ expτ(R).
@@ -115,7 +147,11 @@ class Relation {
   static bool EqualAt(const Relation& a, const Relation& b, Timestamp tau);
 
   /// \brief Removes all tuples.
-  void Clear() { tuples_.clear(); }
+  void Clear() {
+    entries_.clear();
+    slots_.clear();
+    tombstones_ = 0;
+  }
 
   /// \brief Renames the schema's attributes (arity must match); types and
   /// tuples are unchanged. Used by the SQL layer for AS aliases.
@@ -124,10 +160,36 @@ class Relation {
   std::string ToString() const;
 
  private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  // Index slot states; non-negative values are entry indices.
+  static constexpr int64_t kEmpty = -1;
+  static constexpr int64_t kTombstone = -2;
+
   Status CheckAndCoerce(Tuple* tuple) const;
 
+  /// Entry index of `tuple`, or kNotFound.
+  size_t FindEntry(const Tuple& tuple) const;
+  /// Index slot holding `tuple`'s entry, or kNotFound.
+  size_t FindSlot(const Tuple& tuple) const;
+  /// Appends (tuple, texp) and indexes it; returns (entry index, inserted).
+  /// On duplicate, nothing is appended and the existing index is returned.
+  std::pair<size_t, bool> InsertEntry(Tuple tuple, Timestamp texp);
+  /// Removes the entry at `entry_idx` (whose index slot is `slot`) by
+  /// swap-with-last, patching the moved entry's slot.
+  void EraseAt(size_t entry_idx, size_t slot);
+  /// Grows/rebuilds the index so it can hold at least `n` live entries.
+  void Rehash(size_t n);
+  /// Ensures capacity for one more insert.
+  void EnsureSlotCapacity();
+  /// Rebuilds slots_ from entries_, which must be duplicate-free.
+  void RebuildIndex();
+
   Schema schema_;
-  std::unordered_map<Tuple, Timestamp> tuples_;
+  std::vector<Entry> entries_;
+  /// Open-addressing index: power-of-two sized, linear probing, entry
+  /// index or kEmpty/kTombstone per slot. Empty vector when no entries.
+  std::vector<int64_t> slots_;
+  size_t tombstones_ = 0;
 };
 
 }  // namespace expdb

@@ -13,7 +13,24 @@ size_t HashCombine(size_t seed, size_t h) {
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+constexpr size_t kHashSeed = 0x5bd1e9955bd1e995ULL;
+
 }  // namespace
+
+size_t Tuple::HashValues(const std::vector<Value>& values) {
+  size_t seed = kHashSeed;
+  for (const Value& v : values) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+size_t Tuple::HashOfColumns(const std::vector<size_t>& indices) const {
+  size_t seed = kHashSeed;
+  for (size_t i : indices) {
+    assert(i < values_.size());
+    seed = HashCombine(seed, values_[i].Hash());
+  }
+  return seed;
+}
 
 Tuple Tuple::Concat(const Tuple& other) const {
   std::vector<Value> vals = values_;
@@ -56,12 +73,6 @@ bool Tuple::operator<(const Tuple& other) const {
     }
   }
   return values_.size() < other.values_.size();
-}
-
-size_t Tuple::Hash() const {
-  size_t seed = 0x5bd1e9955bd1e995ULL;
-  for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
-  return seed;
 }
 
 std::string Tuple::ToString() const {

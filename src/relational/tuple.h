@@ -1,4 +1,10 @@
 // Tuple: an element of a relation; a fixed-arity sequence of Values.
+//
+// Tuples are immutable after construction, which lets the hash be computed
+// exactly once (in the constructor) and cached. Every hash container over
+// tuples — the Relation index, join build tables, aggregate partitioning —
+// reuses the cached value instead of re-walking the Values, and the cache
+// makes concurrent read-side hashing trivially thread-safe.
 
 #ifndef EXPDB_RELATIONAL_TUPLE_H_
 #define EXPDB_RELATIONAL_TUPLE_H_
@@ -17,9 +23,11 @@ namespace expdb {
 /// \brief A tuple r with attributes r(0)..r(α-1) (paper uses 1-based).
 class Tuple {
  public:
-  Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  Tuple() : hash_(HashValues(values_)) {}
+  explicit Tuple(std::vector<Value> values)
+      : values_(std::move(values)), hash_(HashValues(values_)) {}
+  Tuple(std::initializer_list<Value> values)
+      : values_(values), hash_(HashValues(values_)) {}
 
   size_t arity() const { return values_.size(); }
 
@@ -44,19 +52,30 @@ class Tuple {
   /// \brief Appends a single value (aggregation's appended column).
   Tuple Append(Value v) const;
 
-  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator==(const Tuple& other) const {
+    return hash_ == other.hash_ && values_ == other.values_;
+  }
   bool operator!=(const Tuple& other) const { return !(*this == other); }
 
   /// Lexicographic order; used for deterministic printing and sorting.
   bool operator<(const Tuple& other) const;
 
-  size_t Hash() const;
+  /// The cached hash, computed once at construction.
+  size_t Hash() const { return hash_; }
+
+  /// \brief Hash of the projected columns ⟨r(j1), ..., r(jn)⟩, identical
+  /// to Project(indices).Hash() but without materializing the projection.
+  /// Join build/probe sides hash their key columns through this.
+  size_t HashOfColumns(const std::vector<size_t>& indices) const;
 
   /// Renders the paper's ⟨v1, v2, ...⟩ notation (ASCII: "<v1, v2>").
   std::string ToString() const;
 
  private:
+  static size_t HashValues(const std::vector<Value>& values);
+
   std::vector<Value> values_;
+  size_t hash_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const Tuple& t);

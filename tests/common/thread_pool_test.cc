@@ -1,0 +1,217 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace expdb {
+namespace {
+
+TEST(ThreadPoolTest, RunsScheduledTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Schedule([&] {
+      if (count.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return count.load() == kTasks; });
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, WorkerThreadsAreMarked) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(1);
+  std::atomic<bool> in_worker{false};
+  std::atomic<bool> done{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  pool.Schedule([&] {
+    in_worker = ThreadPool::InWorkerThread();
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load(); });
+  EXPECT_TRUE(in_worker.load());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPoolTest, SharedPoolHasAtLeastFourWorkers) {
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 4u);
+}
+
+// --- ParallelFor -----------------------------------------------------------
+
+ParallelForOptions SmallMorselOptions(size_t parallelism, size_t min_morsel) {
+  ParallelForOptions opts;
+  opts.parallelism = parallelism;
+  opts.min_morsel_size = min_morsel;
+  return opts;
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  ParallelForStats stats =
+      ParallelFor(kN, SmallMorselOptions(4, 16), [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, kN);
+        for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+      });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+  EXPECT_TRUE(stats.parallel);
+  EXPECT_GE(stats.workers, 2u);
+  EXPECT_GE(stats.morsels, 2u);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  std::atomic<int> calls{0};
+  ParallelForStats stats = ParallelFor(
+      0, SmallMorselOptions(4, 1), [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_FALSE(stats.parallel);
+}
+
+TEST(ParallelForTest, TinyRangeRunsSerialInline) {
+  // Below 2 x min_morsel_size the body must run inline exactly once.
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  std::thread::id body_thread;
+  ParallelForStats stats = ParallelFor(
+      100, SmallMorselOptions(8, 64), [&](size_t begin, size_t end) {
+        calls.fetch_add(1);
+        body_thread = std::this_thread::get_id();
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 100u);
+      });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(body_thread, caller);
+  EXPECT_FALSE(stats.parallel);
+  EXPECT_EQ(stats.workers, 1u);
+}
+
+TEST(ParallelForTest, ParallelismOneIsSerial) {
+  std::atomic<int> calls{0};
+  ParallelForStats stats =
+      ParallelFor(100000, SmallMorselOptions(1, 16),
+                  [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_FALSE(stats.parallel);
+}
+
+TEST(ParallelForTest, NestedFromWorkerRunsSerial) {
+  // ParallelFor issued from inside a pool worker must not recurse into the
+  // pool (deadlock risk); it runs the body inline.
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  std::atomic<bool> inner_parallel{true};
+  std::atomic<int> inner_calls{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  pool.Schedule([&] {
+    ParallelForStats stats =
+        ParallelFor(100000, SmallMorselOptions(4, 16),
+                    [&](size_t, size_t) { inner_calls.fetch_add(1); });
+    inner_parallel = stats.parallel;
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load(); });
+  EXPECT_FALSE(inner_parallel.load());
+  EXPECT_EQ(inner_calls.load(), 1);
+}
+
+TEST(ParallelForTest, UsesMultipleThreadsWhenAvailable) {
+  constexpr size_t kN = 1 << 16;
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  ParallelFor(kN, SmallMorselOptions(4, 16), [&](size_t begin, size_t end) {
+    // A little work so helpers have a chance to claim morsels.
+    volatile size_t sink = 0;
+    for (size_t i = begin; i < end; ++i) sink = sink + i;
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  // With 4 workers and >= 8 morsels, at least the caller ran; typically
+  // several threads participate. We only assert the sound lower bound to
+  // stay deterministic on single-CPU machines.
+  EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(
+      ParallelFor(100000, SmallMorselOptions(4, 16),
+                  [&](size_t begin, size_t) {
+                    if (begin == 0) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, StressSumMatchesSerial) {
+  constexpr size_t kN = 1 << 18;
+  std::vector<uint64_t> data(kN);
+  std::iota(data.begin(), data.end(), 1);
+  const uint64_t expected =
+      std::accumulate(data.begin(), data.end(), uint64_t{0});
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<uint64_t> sum{0};
+    ParallelFor(kN, SmallMorselOptions(round % 8 + 1, 64),
+                [&](size_t begin, size_t end) {
+                  uint64_t local = 0;
+                  for (size_t i = begin; i < end; ++i) local += data[i];
+                  sum.fetch_add(local);
+                });
+    ASSERT_EQ(sum.load(), expected) << "round " << round;
+  }
+}
+
+TEST(ParallelForTest, ConcurrentParallelForsFromManyThreads) {
+  // Several caller threads issue ParallelFors against the shared pool at
+  // once; each must still see its own range covered exactly once.
+  constexpr size_t kCallers = 4;
+  constexpr size_t kN = 1 << 15;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      std::vector<std::atomic<int>> touched(kN);
+      ParallelFor(kN, SmallMorselOptions(4, 64),
+                  [&](size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+                  });
+      for (size_t i = 0; i < kN; ++i) {
+        if (touched[i].load() != 1) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace expdb
