@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_eval.cc" "bench/CMakeFiles/bench_parallel_eval.dir/bench_parallel_eval.cc.o" "gcc" "bench/CMakeFiles/bench_parallel_eval.dir/bench_parallel_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/expdb_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/expdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/expiration/CMakeFiles/expdb_expiration.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/expdb_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/expdb_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/expdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/expdb_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/expdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/expdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_eval.dir/bench_parallel_eval.cc.o"
+  "CMakeFiles/bench_parallel_eval.dir/bench_parallel_eval.cc.o.d"
+  "bench_parallel_eval"
+  "bench_parallel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/expdb_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/expdb_common.dir/rng.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/expdb_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/expdb_common.dir/status.cc.o.d"
   "/root/repo/src/common/str_util.cc" "src/common/CMakeFiles/expdb_common.dir/str_util.cc.o" "gcc" "src/common/CMakeFiles/expdb_common.dir/str_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/expdb_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/expdb_common.dir/thread_pool.cc.o.d"
   "/root/repo/src/common/timestamp.cc" "src/common/CMakeFiles/expdb_common.dir/timestamp.cc.o" "gcc" "src/common/CMakeFiles/expdb_common.dir/timestamp.cc.o.d"
   "/root/repo/src/common/value.cc" "src/common/CMakeFiles/expdb_common.dir/value.cc.o" "gcc" "src/common/CMakeFiles/expdb_common.dir/value.cc.o.d"
   )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/expdb_common.dir/status.cc.o.d"
   "CMakeFiles/expdb_common.dir/str_util.cc.o"
   "CMakeFiles/expdb_common.dir/str_util.cc.o.d"
+  "CMakeFiles/expdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/expdb_common.dir/thread_pool.cc.o.d"
   "CMakeFiles/expdb_common.dir/timestamp.cc.o"
   "CMakeFiles/expdb_common.dir/timestamp.cc.o.d"
   "CMakeFiles/expdb_common.dir/value.cc.o"

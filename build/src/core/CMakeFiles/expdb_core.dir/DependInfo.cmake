@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/expdb_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/eval.cc.o.d"
   "/root/repo/src/core/expression.cc" "src/core/CMakeFiles/expdb_core.dir/expression.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/expression.cc.o.d"
   "/root/repo/src/core/interval_set.cc" "src/core/CMakeFiles/expdb_core.dir/interval_set.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/interval_set.cc.o.d"
+  "/root/repo/src/core/join_key_index.cc" "src/core/CMakeFiles/expdb_core.dir/join_key_index.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/join_key_index.cc.o.d"
   "/root/repo/src/core/predicate.cc" "src/core/CMakeFiles/expdb_core.dir/predicate.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/predicate.cc.o.d"
   "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/expdb_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/expdb_core.dir/rewrite.cc.o.d"
   )

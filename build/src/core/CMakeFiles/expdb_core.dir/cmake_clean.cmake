@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/expdb_core.dir/expression.cc.o.d"
   "CMakeFiles/expdb_core.dir/interval_set.cc.o"
   "CMakeFiles/expdb_core.dir/interval_set.cc.o.d"
+  "CMakeFiles/expdb_core.dir/join_key_index.cc.o"
+  "CMakeFiles/expdb_core.dir/join_key_index.cc.o.d"
   "CMakeFiles/expdb_core.dir/predicate.cc.o"
   "CMakeFiles/expdb_core.dir/predicate.cc.o.d"
   "CMakeFiles/expdb_core.dir/rewrite.cc.o"

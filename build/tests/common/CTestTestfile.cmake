@@ -9,3 +9,4 @@ include("/root/repo/build/tests/common/value_test[1]_include.cmake")
 include("/root/repo/build/tests/common/status_test[1]_include.cmake")
 include("/root/repo/build/tests/common/str_util_test[1]_include.cmake")
 include("/root/repo/build/tests/common/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common/thread_pool_test[1]_include.cmake")

@@ -21,3 +21,4 @@ include("/root/repo/build/tests/core/interval_set_property_test[1]_include.cmake
 include("/root/repo/build/tests/core/validity_composition_test[1]_include.cmake")
 include("/root/repo/build/tests/core/semi_anti_join_test[1]_include.cmake")
 include("/root/repo/build/tests/core/differential_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/core/parallel_eval_property_test[1]_include.cmake")
