@@ -1,0 +1,208 @@
+// Claim C9 — the plan/execute split pays for itself.
+//
+// Scenarios (EXPERIMENTS.md C9, docs/PERFORMANCE.md §5):
+//   * PlanOnly            — Planner::Plan cost by expression depth.
+//   * FacadeSmallQuery vs CachedPlanSmallQuery — the <5 % budget for
+//     plan-then-execute on small point queries, and what caching the
+//     plan buys on the same query.
+//   * ViewRefresh{Cached,Replanned} — a maintenance loop executing a
+//     cached (rewritten) plan vs. re-planning every refresh, the
+//     pre-refactor behavior.
+//   * PrunedVsUnprunedExpired — expired-subtree pruning as the expired
+//     fraction of a union's branches grows (args: tuples, expired%).
+//   * CseOnVsOff          — common-subtree reuse on a self-union.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/eval.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "testing/workload.h"
+
+namespace {
+
+using namespace expdb;  // NOLINT
+using algebra::Base;
+using algebra::Difference;
+using algebra::Join;
+using algebra::Project;
+using algebra::Select;
+using algebra::Union;
+
+Database MakeDb(int64_t n, uint64_t seed, double infinite_fraction = 0.0,
+                size_t relations = 2) {
+  Rng rng(seed);
+  Database db;
+  testing::RelationSpec spec;
+  spec.num_tuples = static_cast<size_t>(n);
+  spec.arity = 2;
+  spec.value_domain = std::max<int64_t>(4, n / 8);
+  spec.ttl_min = 1;
+  spec.ttl_max = 100;
+  spec.infinite_fraction = infinite_fraction;
+  (void)testing::FillDatabase(&db, rng, spec, relations);
+  return db;
+}
+
+Predicate PointPredicate() {
+  return Predicate::ColumnEquals(0, Value(int64_t{3}));
+}
+
+// --- planning cost --------------------------------------------------------
+
+void BM_PlanOnly(benchmark::State& state) {
+  Database db = MakeDb(1024, 42);
+  ExpressionPtr e = Base("R0");
+  for (int64_t d = 0; d < state.range(0); ++d) {
+    e = Select(Union(e, Base("R1")), PointPredicate());
+  }
+  for (auto _ : state) {
+    auto plan = plan::Planner::Plan(e, db);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel("depth " + std::to_string(e->Depth()));
+}
+BENCHMARK(BM_PlanOnly)->Arg(1)->Arg(4)->Arg(16);
+
+// --- plan-then-execute overhead on small point queries --------------------
+
+void BM_FacadeSmallQuery(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 42);
+  ExpressionPtr e = Select(Base("R0"), PointPredicate());
+  for (auto _ : state) {
+    auto r = Evaluate(e, db, Timestamp(0));  // plans on every call
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("plan per call");
+}
+BENCHMARK(BM_FacadeSmallQuery)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CachedPlanSmallQuery(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 42);
+  ExpressionPtr e = Select(Base("R0"), PointPredicate());
+  plan::PhysicalPlanPtr plan = plan::Planner::Plan(e, db).value();
+  for (auto _ : state) {
+    auto r = plan::ExecutePlan(*plan, db, Timestamp(0));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("cached plan");
+}
+BENCHMARK(BM_CachedPlanSmallQuery)->Arg(64)->Arg(1024)->Arg(16384);
+
+// --- cached-plan view refresh vs. re-planning every refresh ---------------
+
+void BM_ViewRefreshCached(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 42);
+  ExpressionPtr e = Select(Difference(Base("R0"), Base("R1")),
+                           Predicate::Compare(Operand::Column(1),
+                                              ComparisonOp::kGe,
+                                              Operand::Constant(
+                                                  Value(int64_t{1}))));
+  plan::PlannerOptions opts;
+  opts.apply_rewrites = true;  // the pass runs once, here
+  plan::PhysicalPlanPtr plan = plan::Planner::Plan(e, db, opts).value();
+  Timestamp tau(0);
+  for (auto _ : state) {
+    auto r = plan::ExecutePlanDifferenceRoot(*plan, db, tau);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+    tau = Timestamp((tau.ticks() + 1) % 100);  // a moving refresh clock
+  }
+  state.SetLabel("cached rewritten plan");
+}
+BENCHMARK(BM_ViewRefreshCached)->Arg(1024)->Arg(16384);
+
+void BM_ViewRefreshReplanned(benchmark::State& state) {
+  Database db = MakeDb(state.range(0), 42);
+  ExpressionPtr e = Select(Difference(Base("R0"), Base("R1")),
+                           Predicate::Compare(Operand::Column(1),
+                                              ComparisonOp::kGe,
+                                              Operand::Constant(
+                                                  Value(int64_t{1}))));
+  plan::PlannerOptions opts;
+  opts.apply_rewrites = true;  // pre-refactor: rewrite on every refresh
+  Timestamp tau(0);
+  for (auto _ : state) {
+    auto plan = plan::Planner::Plan(e, db, opts);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    auto r = plan::ExecutePlanDifferenceRoot(**plan, db, tau);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+    tau = Timestamp((tau.ticks() + 1) % 100);
+  }
+  state.SetLabel("replan every refresh");
+}
+BENCHMARK(BM_ViewRefreshReplanned)->Arg(1024)->Arg(16384);
+
+// --- expired-subtree pruning ----------------------------------------------
+
+/// Union of a never-expiring branch and an all-expiring branch, queried
+/// after the second branch has fully expired. Args: (tuples, prune 0/1).
+void BM_PrunedVsUnprunedExpired(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool prune = state.range(1) != 0;
+  Database db = MakeDb(n, 42, /*infinite_fraction=*/1.0, /*relations=*/1);
+  {
+    // R1: every tuple expired by tau = 100 (ttl_max).
+    Rng rng(43);
+    testing::RelationSpec spec;
+    spec.num_tuples = static_cast<size_t>(n);
+    spec.arity = 2;
+    spec.value_domain = std::max<int64_t>(4, n / 8);
+    spec.ttl_min = 1;
+    spec.ttl_max = 100;
+    (void)testing::FillDatabase(&db, rng, spec, 1, "Expired");
+  }
+  ExpressionPtr e = Select(Union(Base("R0"), Base("Expired0")),
+                           PointPredicate());
+  plan::PlannerOptions opts;
+  opts.prune_expired = prune;
+  plan::PhysicalPlanPtr plan = plan::Planner::Plan(e, db, opts).value();
+  const Timestamp tau(200);  // the Expired0 branch is entirely dead
+  for (auto _ : state) {
+    auto r = plan::ExecutePlan(*plan, db, tau);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(prune ? "prune on" : "prune off");
+}
+BENCHMARK(BM_PrunedVsUnprunedExpired)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+// --- common-subtree reuse --------------------------------------------------
+
+/// π over a self-union of the same join subtree. Args: (tuples, cse 0/1).
+void BM_CseOnVsOff(benchmark::State& state) {
+  const bool cse = state.range(1) != 0;
+  Database db = MakeDb(state.range(0), 42);
+  ExpressionPtr shared =
+      Project(Join(Base("R0"), Base("R1"), Predicate::ColumnsEqual(0, 2)),
+              {0, 1});
+  ExpressionPtr e = Union(shared, shared);
+  plan::PlannerOptions opts;
+  opts.detect_common_subtrees = cse;
+  plan::PhysicalPlanPtr plan = plan::Planner::Plan(e, db, opts).value();
+  for (auto _ : state) {
+    auto r = plan::ExecutePlan(*plan, db, Timestamp(0));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(cse ? "cse on" : "cse off");
+}
+BENCHMARK(BM_CseOnVsOff)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({32768, 0})
+    ->Args({32768, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -183,6 +183,67 @@ struct Predicate::Node {
     }
   }
 
+  /// Folds `node` bottom-up (see Predicate::FoldConstants); returns the
+  /// original pointer when nothing changed so untouched subtrees stay
+  /// shared.
+  static std::shared_ptr<const Node> Fold(
+      const std::shared_ptr<const Node>& node) {
+    auto as_literal =
+        [](const std::shared_ptr<const Node>& n) -> std::optional<bool> {
+      if (n->kind != Kind::kLiteral) return std::nullopt;
+      return n->literal;
+    };
+    switch (node->kind) {
+      case Kind::kLiteral:
+        return node;
+      case Kind::kCompare:
+        if (!node->lhs.is_column() && !node->rhs.is_column()) {
+          return MakeLiteral(ApplyComparison(node->lhs.constant(), node->op,
+                                             node->rhs.constant()));
+        }
+        return node;
+      case Kind::kAnd: {
+        auto l = Fold(node->left);
+        auto r = Fold(node->right);
+        const std::optional<bool> lv = as_literal(l);
+        const std::optional<bool> rv = as_literal(r);
+        if ((lv && !*lv) || (rv && !*rv)) return MakeLiteral(false);
+        if (lv && *lv) return r;
+        if (rv && *rv) return l;
+        if (l == node->left && r == node->right) return node;
+        auto n = std::make_shared<Node>(*node);
+        n->left = std::move(l);
+        n->right = std::move(r);
+        return n;
+      }
+      case Kind::kOr: {
+        auto l = Fold(node->left);
+        auto r = Fold(node->right);
+        const std::optional<bool> lv = as_literal(l);
+        const std::optional<bool> rv = as_literal(r);
+        if ((lv && *lv) || (rv && *rv)) return MakeLiteral(true);
+        if (lv && !*lv) return r;
+        if (rv && !*rv) return l;
+        if (l == node->left && r == node->right) return node;
+        auto n = std::make_shared<Node>(*node);
+        n->left = std::move(l);
+        n->right = std::move(r);
+        return n;
+      }
+      case Kind::kNot: {
+        auto l = Fold(node->left);
+        if (const std::optional<bool> lv = as_literal(l)) {
+          return MakeLiteral(!*lv);
+        }
+        if (l == node->left) return node;
+        auto n = std::make_shared<Node>(*node);
+        n->left = std::move(l);
+        return n;
+      }
+    }
+    return node;
+  }
+
   std::string ToString() const {
     switch (kind) {
       case Kind::kLiteral:
@@ -335,6 +396,15 @@ Result<Predicate> Predicate::RemapColumns(
   EXPDB_ASSIGN_OR_RETURN(std::shared_ptr<const Node> mapped,
                          remapper.Map(node_));
   return Predicate(std::move(mapped));
+}
+
+Predicate Predicate::FoldConstants() const {
+  return Predicate(Node::Fold(node_));
+}
+
+std::optional<bool> Predicate::AsLiteral() const {
+  if (node_->kind != Node::Kind::kLiteral) return std::nullopt;
+  return node_->literal;
 }
 
 std::string Predicate::ToString() const { return node_->ToString(); }

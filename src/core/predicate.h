@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -110,6 +111,17 @@ class Predicate {
   /// projection.
   Result<Predicate> RemapColumns(
       const std::map<size_t, size_t>& mapping) const;
+
+  /// \brief Constant folding: constant-vs-constant comparisons become
+  /// literals, and ∧/∨/¬ over literals simplify (p ∧ false → false,
+  /// p ∧ true → p, and duals). Column references are untouched, so the
+  /// folded predicate evaluates identically on every tuple. Used by the
+  /// planner to detect constant-false filters (whole subtree elided).
+  Predicate FoldConstants() const;
+
+  /// \brief The constant truth value of this predicate, if it is a bare
+  /// literal (possibly after FoldConstants); nullopt otherwise.
+  std::optional<bool> AsLiteral() const;
 
   std::string ToString() const;
 

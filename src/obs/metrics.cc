@@ -356,6 +356,18 @@ void RegisterStandardMetrics(MetricsRegistry& r) {
                "Parallel-eligible scans run serially (below morsel cutoff)");
   r.GetHistogram("expdb_eval_parallel_morsel_latency_ns",
                  "Per-morsel wall time of parallel operator scans (ns)");
+  // plan -----------------------------------------------------------------
+  r.GetCounter("expdb_plan_plans_total",
+               "Physical plans produced by the planner");
+  r.GetCounter("expdb_plan_rewrite_passes_total",
+               "Sec. 3.1 rewrite passes run during planning");
+  r.GetCounter("expdb_plan_cache_hits_total",
+               "Executions served from a cached physical plan");
+  r.GetCounter("expdb_plan_pruned_subtrees_total",
+               "Plan subtrees skipped because every base tuple expired");
+  r.GetCounter("expdb_plan_cse_reuses_total",
+               "Common-subtree results reused within one execution");
+  r.GetHistogram("expdb_plan_latency_ns", "Planning wall time (ns)");
   // expiration -----------------------------------------------------------
   r.GetCounter("expdb_expiration_inserted_total",
                "Tuples routed through ExpirationManager::Insert");

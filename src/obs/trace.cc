@@ -61,7 +61,11 @@ TraceRecorder& TraceRecorder::Global() {
 
 ScopedSpan::ScopedSpan(const char* name, Histogram* latency,
                        TraceRecorder* recorder)
-    : name_(name), latency_(latency), recorder_(recorder) {
+    : ScopedSpan(name, /*tag=*/0, latency, recorder) {}
+
+ScopedSpan::ScopedSpan(const char* name, uint64_t tag, Histogram* latency,
+                       TraceRecorder* recorder)
+    : name_(name), latency_(latency), recorder_(recorder), tag_(tag) {
   const bool tracing = recorder_ != nullptr && recorder_->enabled();
   timed_ = tracing || latency_ != nullptr;
   if (!timed_) return;
@@ -79,7 +83,7 @@ ScopedSpan::~ScopedSpan() {
   if (latency_ != nullptr) latency_->Record(duration);
   if (id_ != 0) {
     tls_current_span = parent_id_;
-    recorder_->Record({id_, parent_id_, name_, start_ns_, duration});
+    recorder_->Record({id_, parent_id_, name_, start_ns_, duration, tag_});
   }
 }
 

@@ -27,6 +27,10 @@ struct SpanRecord {
   std::string name;        ///< taxonomy: <subsystem>.<operation>[.<kind>]
   int64_t start_ns = 0;    ///< steady-clock, process-relative
   int64_t duration_ns = 0;
+  /// Caller-chosen correlation key (0 = none). The plan executor tags
+  /// operator spans with the PlanNode id so EXPLAIN ANALYZE can join
+  /// spans back to the physical tree.
+  uint64_t tag = 0;
 };
 
 /// \brief A bounded ring buffer of completed spans. Thread-safe. When
@@ -83,6 +87,10 @@ class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, Histogram* latency = nullptr,
                       TraceRecorder* recorder = &TraceRecorder::Global());
+  /// \brief Like above but stamps the recorded span with `tag` (e.g. a
+  /// plan-node id) for later correlation.
+  ScopedSpan(const char* name, uint64_t tag, Histogram* latency,
+             TraceRecorder* recorder = &TraceRecorder::Global());
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -91,10 +99,16 @@ class ScopedSpan {
   /// \brief This span's id (0 when tracing is disabled).
   uint64_t id() const { return id_; }
 
+  /// \brief The measured duration so far (ns since construction), or 0
+  /// when the span is untimed. Used by the executor to feed per-node
+  /// profiles without a second clock read.
+  int64_t ElapsedNs() const { return timed_ ? SteadyNowNs() - start_ns_ : 0; }
+
  private:
   const char* name_;
   Histogram* latency_;
   TraceRecorder* recorder_;
+  uint64_t tag_ = 0;
   uint64_t id_ = 0;
   uint64_t parent_id_ = 0;
   int64_t start_ns_ = 0;

@@ -1,0 +1,49 @@
+// Facade implementing core/eval.h on top of the plan pipeline.
+//
+// Evaluate() is now plan-then-execute: the expression is planned with the
+// default PlannerOptions (expiration-aware optimizations on, the Sec. 3.1
+// rewrites OFF — they preserve contents but can grow texp(e), and callers
+// of the facade rely on exact expression expiration times) and executed
+// immediately. Output is set-identical to the former interpreter; the
+// property sweep in tests/plan/planner_property_test.cc asserts this
+// against the reference evaluator.
+
+#include "core/eval.h"
+
+#include <utility>
+
+#include "plan/executor.h"
+#include "plan/plan.h"
+#include "plan/planner.h"
+
+namespace expdb {
+
+Result<MaterializedResult> Evaluate(const ExpressionPtr& expr,
+                                    const Database& db, Timestamp tau,
+                                    const EvalOptions& options) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null expression");
+  }
+  plan::PlannerOptions popts;
+  popts.eval = options;
+  EXPDB_ASSIGN_OR_RETURN(plan::PhysicalPlanPtr plan,
+                         plan::Planner::Plan(expr, db, popts));
+  return plan::ExecutePlan(*plan, db, tau, options);
+}
+
+Result<DifferenceEvalResult> EvaluateDifferenceRoot(
+    const ExpressionPtr& expr, const Database& db, Timestamp tau,
+    const EvalOptions& options) {
+  if (expr == nullptr || (expr->kind() != ExprKind::kDifference &&
+                          expr->kind() != ExprKind::kAntiJoin)) {
+    return Status::InvalidArgument(
+        "EvaluateDifferenceRoot requires a difference or anti-join root");
+  }
+  plan::PlannerOptions popts;
+  popts.eval = options;
+  EXPDB_ASSIGN_OR_RETURN(plan::PhysicalPlanPtr plan,
+                         plan::Planner::Plan(expr, db, popts));
+  return plan::ExecutePlanDifferenceRoot(*plan, db, tau, options);
+}
+
+}  // namespace expdb

@@ -1,0 +1,1018 @@
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/join_key_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace expdb {
+namespace plan {
+
+namespace {
+
+/// Indexed by ExprKind. Keep in sync with core/expression.h.
+constexpr const char* kOpMetricNames[] = {
+    "base",      "select",    "project",   "product",
+    "union",     "join",      "intersect", "difference",
+    "aggregate", "semi_join", "anti_join"};
+constexpr const char* kOpSpanNames[] = {
+    "eval.base",      "eval.select",    "eval.project",   "eval.product",
+    "eval.union",     "eval.join",      "eval.intersect", "eval.difference",
+    "eval.aggregate", "eval.semi_join", "eval.anti_join"};
+constexpr size_t kNumOpKinds =
+    sizeof(kOpMetricNames) / sizeof(kOpMetricNames[0]);
+
+/// Registry handles for operator evaluation, resolved once per process so
+/// the per-node cost is bare atomic increments. Metric names are kept from
+/// the pre-planner interpreter (expdb_eval_*) — dashboards and STATS
+/// output are unchanged by the refactor.
+struct EvalMetricSet {
+  obs::Counter* evaluations;
+  obs::Counter* operators;
+  obs::Counter* tuples_out;
+  obs::Counter* per_op[kNumOpKinds];
+  obs::Histogram* latency;
+  // Parallel runtime (docs/PERFORMANCE.md).
+  obs::Counter* parallel_loops;
+  obs::Counter* parallel_morsels;
+  obs::Counter* parallel_fallbacks;
+  obs::Histogram* morsel_latency;
+  // Planner-pipeline execution effects (docs/PLANNER.md).
+  obs::Counter* pruned_subtrees;
+  obs::Counter* cse_reuses;
+
+  static const EvalMetricSet& Get() {
+    static const EvalMetricSet* set = [] {
+      auto* s = new EvalMetricSet();
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      s->evaluations = r.GetCounter("expdb_eval_evaluations_total",
+                                    "Root-level expression evaluations");
+      s->operators = r.GetCounter("expdb_eval_operators_total",
+                                  "Operator nodes evaluated (all kinds)");
+      s->tuples_out = r.GetCounter("expdb_eval_tuples_out_total",
+                                   "Tuples produced by operator nodes");
+      for (size_t i = 0; i < kNumOpKinds; ++i) {
+        s->per_op[i] =
+            r.GetCounter("expdb_eval_op_" + std::string(kOpMetricNames[i]) +
+                             "_total",
+                         "Evaluations of this operator kind");
+      }
+      s->latency = r.GetHistogram("expdb_eval_latency_ns",
+                                  "Root evaluation wall time (ns)");
+      s->parallel_loops =
+          r.GetCounter("expdb_eval_parallel_loops_total",
+                       "Operator scans executed as parallel morsel loops");
+      s->parallel_morsels =
+          r.GetCounter("expdb_eval_parallel_morsels_total",
+                       "Morsels processed by parallel operator scans");
+      s->parallel_fallbacks = r.GetCounter(
+          "expdb_eval_parallel_fallback_total",
+          "Parallel-eligible scans run serially (below morsel cutoff)");
+      s->morsel_latency = r.GetHistogram(
+          "expdb_eval_parallel_morsel_latency_ns",
+          "Per-morsel wall time of parallel operator scans (ns)");
+      s->pruned_subtrees = r.GetCounter(
+          "expdb_plan_pruned_subtrees_total",
+          "Plan subtrees skipped because every input was expired");
+      s->cse_reuses = r.GetCounter(
+          "expdb_plan_cse_reuses_total",
+          "Plan nodes served from the common-subtree cache");
+      return s;
+    }();
+    return *set;
+  }
+};
+
+/// Drives the operator scan loops: serial inline when the executor runs
+/// with one worker, morsel-parallel on the shared pool otherwise, with
+/// `expdb_eval_parallel_*` counters and per-morsel latencies wired in.
+class MorselRunner {
+ public:
+  MorselRunner(size_t workers, size_t min_morsel, bool metrics)
+      : workers_(workers),
+        min_morsel_(min_morsel > 0 ? min_morsel : 1),
+        metrics_(metrics) {}
+
+  bool parallel() const { return workers_ > 1; }
+  size_t workers() const { return workers_; }
+  size_t min_morsel() const { return min_morsel_; }
+
+  /// Runs body over [0, n) in dynamic morsels (serial when not parallel).
+  void Run(size_t n, const std::function<void(size_t, size_t)>& body) const {
+    if (!parallel()) {
+      body(0, n);
+      return;
+    }
+    ParallelForOptions opts;
+    opts.parallelism = workers_;
+    opts.min_morsel_size = min_morsel_;
+    RunWith(n, opts, body);
+  }
+
+  /// Runs body over [0, k) one index per morsel — the static partition
+  /// phases (scatter chunks, partition merges) where each index is a
+  /// coarse task that must not be subdivided.
+  void RunTasks(size_t k,
+                const std::function<void(size_t, size_t)>& body) const {
+    if (!parallel()) {
+      body(0, k);
+      return;
+    }
+    ParallelForOptions opts;
+    opts.parallelism = workers_;
+    opts.min_morsel_size = 1;
+    opts.max_morsels_per_worker = 1;
+    RunWith(k, opts, body);
+  }
+
+  /// Morsel-parallel emit: `emit` appends result entries for the input
+  /// range to its output vector; per-morsel locals are concatenated under
+  /// a mutex (once per morsel, not per tuple). Serial mode emits straight
+  /// into the result with zero overhead.
+  std::vector<Relation::Entry> Collect(
+      size_t n, const std::function<void(size_t, size_t,
+                                         std::vector<Relation::Entry>*)>&
+                    emit) const {
+    std::vector<Relation::Entry> out;
+    if (!parallel()) {
+      emit(0, n, &out);
+      return out;
+    }
+    std::mutex mu;
+    Run(n, [&](size_t begin, size_t end) {
+      std::vector<Relation::Entry> local;
+      emit(begin, end, &local);
+      if (local.empty()) return;
+      std::lock_guard<std::mutex> lock(mu);
+      out.insert(out.end(), std::make_move_iterator(local.begin()),
+                 std::make_move_iterator(local.end()));
+    });
+    return out;
+  }
+
+ private:
+  void RunWith(size_t n, const ParallelForOptions& opts,
+               const std::function<void(size_t, size_t)>& body) const {
+    if (!metrics_) {
+      ParallelFor(n, opts, body);
+      return;
+    }
+    const EvalMetricSet& m = EvalMetricSet::Get();
+    const ParallelForStats stats =
+        ParallelFor(n, opts, [&](size_t begin, size_t end) {
+          const auto t0 = std::chrono::steady_clock::now();
+          body(begin, end);
+          m.morsel_latency->Record(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        });
+    if (stats.parallel) {
+      m.parallel_loops->Increment();
+      m.parallel_morsels->Increment(stats.morsels);
+    } else {
+      m.parallel_fallbacks->Increment();
+    }
+  }
+
+  size_t workers_;
+  size_t min_morsel_;
+  bool metrics_;
+};
+
+/// Executes a PhysicalPlan. Holds the per-execution state: the database
+/// snapshot, τ, execution options, live expired-subtree bounds, and the
+/// common-subtree result cache.
+class PlanExecutor {
+ public:
+  PlanExecutor(const PhysicalPlan& plan, const Database& db, Timestamp tau,
+               const EvalOptions& options, PlanProfile* profile)
+      : plan_(plan),
+        db_(db),
+        tau_(tau),
+        options_(options),
+        runner_(ResolveWorkers(options.parallelism),
+                options.parallel_min_morsel, options.enable_metrics),
+        profile_(profile) {
+    if (plan_.options().prune_expired) {
+      bounds_.assign(plan_.node_count() + 1, Timestamp::Infinity());
+      ComputeBound(plan_.root());
+    }
+  }
+
+  /// Per-node wrapper: expired-subtree pruning, constant-false elision,
+  /// common-subtree reuse, metrics/span/profile accounting, dispatch.
+  Result<MaterializedResult> Exec(const PlanNode& n) {
+    const bool metrics = options_.enable_metrics;
+    PlanProfile::NodeStats* stats =
+        profile_ != nullptr ? &profile_->at(n.id) : nullptr;
+    if (stats != nullptr) ++stats->calls;
+
+    // Expired-subtree prune: every base tuple below n has
+    // texp <= texp_upper_bound <= τ, so all scans are empty; by induction
+    // over the operator rules every node above empty inputs produces the
+    // empty relation with texp = ∞ and validity [τ, ∞) — returning that
+    // directly is exact. Constant-false filters over monotonic subtrees
+    // are elided by the same argument.
+    if (n.const_false ||
+        (!bounds_.empty() && bounds_[n.id] <= tau_)) {
+      if (stats != nullptr) stats->pruned = true;
+      if (metrics && !n.const_false) {
+        EvalMetricSet::Get().pruned_subtrees->Increment();
+      }
+      return EmptyResult(n);
+    }
+
+    // Common-subtree reuse: an identical subtree already materialized in
+    // this execution — copy its result instead of recomputing.
+    if (n.cse_id >= 0) {
+      auto it = cse_cache_.find(n.cse_id);
+      if (it != cse_cache_.end()) {
+        if (stats != nullptr) {
+          stats->reused = true;
+          stats->rows += it->second.relation.size();
+        }
+        if (metrics) EvalMetricSet::Get().cse_reuses->Increment();
+        return it->second;
+      }
+    }
+
+    const int64_t t0 = stats != nullptr ? obs::SteadyNowNs() : 0;
+    Result<MaterializedResult> r = [&]() -> Result<MaterializedResult> {
+      if (!metrics) return ExecNode(n);
+      const size_t k = static_cast<size_t>(n.expr->kind());
+      const EvalMetricSet& m = EvalMetricSet::Get();
+      m.operators->Increment();
+      if (k < kNumOpKinds) m.per_op[k]->Increment();
+      obs::ScopedSpan span(k < kNumOpKinds ? kOpSpanNames[k] : "eval.op",
+                           /*tag=*/n.id, /*latency=*/nullptr);
+      Result<MaterializedResult> rr = ExecNode(n);
+      if (rr.ok()) m.tuples_out->Increment(rr.value().relation.size());
+      return rr;
+    }();
+    if (stats != nullptr) {
+      stats->wall_ns += obs::SteadyNowNs() - t0;
+      if (r.ok()) stats->rows += r.value().relation.size();
+    }
+    if (r.ok() && n.cse_id >= 0) cse_cache_[n.cse_id] = r.value();
+    return r;
+  }
+
+  Result<DifferenceEvalResult> ExecDifference(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Exec(*n.left));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Exec(*n.right));
+    DifferenceAnalysis analysis = AnalyzeDifference(
+        l.relation, r.relation, runner_.workers(), runner_.min_morsel());
+
+    DifferenceEvalResult out;
+    out.result.relation = std::move(analysis.result);
+    out.result.materialized_at = tau_;
+    // Eq. (11) with the texp_S correction (see difference.h): the
+    // expression dies when either argument dies or the first critical
+    // tuple should re-appear.
+    out.result.texp = Timestamp::Min({l.texp, r.texp, analysis.tau_r});
+    if (options_.compute_validity) {
+      IntervalSet v = l.validity.Intersect(r.validity);
+      for (const Interval& iv : analysis.invalid_windows.intervals()) {
+        v.Subtract(iv);
+      }
+      out.result.validity = std::move(v);
+    } else {
+      out.result.validity = IntervalSet(tau_, out.result.texp);
+    }
+    out.helper = std::move(analysis.critical);
+    out.common_count = analysis.common_count;
+    out.children_texp = Timestamp::Min(l.texp, r.texp);
+    return out;
+  }
+
+  /// ▷exp: the difference analysis generalized from tuple equality to an
+  /// arbitrary match predicate. A left tuple with surviving matches is
+  /// suppressed; it must re-appear when its *last* match expires, so the
+  /// critical window is [max matching texp_S, texp_R).
+  Result<DifferenceEvalResult> ExecAntiJoin(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Exec(*n.left));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Exec(*n.right));
+    const size_t n_left = l.relation.schema().arity();
+    JoinKeyIndex index(r.relation, n.expr->predicate(), n_left,
+                       runner_.workers());
+
+    struct AntiLocal {
+      std::vector<Relation::Entry> result;
+      std::vector<DifferencePatchEntry> helper;
+      IntervalSet invalid;
+      size_t common = 0;
+      Timestamp tau_r = Timestamp::Infinity();
+    };
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    auto scan = [&](size_t begin, size_t end, AntiLocal* local) {
+      for (size_t i = begin; i < end; ++i) {
+        const Relation::Entry& le = lin[i];
+        std::optional<Timestamp> last_match = index.MaxMatchTexp(le.tuple);
+        if (!last_match.has_value()) {
+          local->result.push_back(le);
+          continue;
+        }
+        ++local->common;
+        if (le.texp > *last_match) {
+          local->helper.push_back({le.tuple, *last_match, le.texp});
+          local->invalid.Add(*last_match, le.texp);
+          local->tau_r = Timestamp::Min(local->tau_r, *last_match);
+        }
+      }
+    };
+
+    AntiLocal total;
+    if (!runner_.parallel()) {
+      scan(0, lin.size(), &total);
+    } else {
+      std::mutex mu;
+      runner_.Run(lin.size(), [&](size_t begin, size_t end) {
+        AntiLocal local;
+        scan(begin, end, &local);
+        std::lock_guard<std::mutex> lock(mu);
+        total.result.insert(total.result.end(),
+                            std::make_move_iterator(local.result.begin()),
+                            std::make_move_iterator(local.result.end()));
+        total.helper.insert(total.helper.end(),
+                            std::make_move_iterator(local.helper.begin()),
+                            std::make_move_iterator(local.helper.end()));
+        for (const Interval& iv : local.invalid.intervals()) {
+          total.invalid.Add(iv);
+        }
+        total.common += local.common;
+        total.tau_r = Timestamp::Min(total.tau_r, local.tau_r);
+      });
+    }
+    std::sort(total.helper.begin(), total.helper.end(),
+              [](const DifferencePatchEntry& a,
+                 const DifferencePatchEntry& b) {
+                if (a.appears_at != b.appears_at) {
+                  return a.appears_at < b.appears_at;
+                }
+                return a.tuple < b.tuple;
+              });
+
+    DifferenceEvalResult out;
+    out.result.relation = Relation::FromEntriesUnchecked(
+        l.relation.schema(), std::move(total.result));
+    out.helper = std::move(total.helper);
+    out.common_count = total.common;
+    out.result.materialized_at = tau_;
+    out.result.texp = Timestamp::Min({l.texp, r.texp, total.tau_r});
+    if (options_.compute_validity) {
+      IntervalSet v = l.validity.Intersect(r.validity);
+      for (const Interval& iv : total.invalid.intervals()) v.Subtract(iv);
+      out.result.validity = std::move(v);
+    } else {
+      out.result.validity = IntervalSet(tau_, out.result.texp);
+    }
+    out.children_texp = Timestamp::Min(l.texp, r.texp);
+    return out;
+  }
+
+ private:
+  Result<MaterializedResult> ExecNode(const PlanNode& n) {
+    switch (n.op) {
+      case PlanOp::kScan:
+        return ExecScan(n);
+      case PlanOp::kFilter:
+        return ExecFilter(n);
+      case PlanOp::kProject:
+        return ExecProject(n);
+      case PlanOp::kCrossProduct:
+        return ExecProduct(n);
+      case PlanOp::kUnionMerge:
+        return ExecUnion(n);
+      case PlanOp::kHashJoin:
+        return ExecJoin(n);
+      case PlanOp::kHashIntersect:
+        return ExecIntersect(n);
+      case PlanOp::kHashDifference: {
+        EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult diff, ExecDifference(n));
+        return std::move(diff.result);
+      }
+      case PlanOp::kHashAggregate:
+        return ExecAggregate(n);
+      case PlanOp::kHashSemiJoin:
+        return ExecSemiJoin(n);
+      case PlanOp::kHashAntiJoin: {
+        EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult anti, ExecAntiJoin(n));
+        return std::move(anti.result);
+      }
+    }
+    return Status::Internal("unknown plan operator");
+  }
+
+  Result<MaterializedResult> ExecScan(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(const Relation* rel,
+                           db_.GetRelation(n.expr->relation_name()));
+    MaterializedResult out;
+    if (!runner_.parallel()) {
+      out.relation = rel->UnexpiredAt(tau_);
+    } else {
+      const std::vector<Relation::Entry>& in = rel->entries();
+      std::vector<Relation::Entry> kept = runner_.Collect(
+          in.size(),
+          [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+            for (size_t i = begin; i < end; ++i) {
+              if (in[i].texp > tau_) outv->push_back(in[i]);
+            }
+          });
+      out.relation =
+          Relation::FromEntriesUnchecked(rel->schema(), std::move(kept));
+    }
+    return Monotonic(std::move(out));
+  }
+
+  Result<MaterializedResult> ExecFilter(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult child, Exec(*n.left));
+    const Predicate& p = n.expr->predicate();
+    const std::vector<Relation::Entry>& in = child.relation.entries();
+    // Eq. (1): result tuples retain their expiration times. A selection
+    // of a set is a set, so the kept entries are loaded index-direct.
+    std::vector<Relation::Entry> kept = runner_.Collect(
+        in.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          for (size_t i = begin; i < end; ++i) {
+            if (p.Evaluate(in[i].tuple)) {
+              outv->push_back(in[i]);
+            }
+          }
+        });
+    MaterializedResult out;
+    out.relation = Relation::FromEntriesUnchecked(child.relation.schema(),
+                                                  std::move(kept));
+    return Inherit(std::move(out), child);
+  }
+
+  Result<MaterializedResult> ExecProject(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult child, Exec(*n.left));
+    Schema schema = n.schema;
+    const std::vector<size_t>& attrs = n.expr->projection();
+    MaterializedResult out;
+    if (!runner_.parallel()) {
+      out.relation = Relation(std::move(schema));
+      for (const Relation::Entry& en : child.relation.entries()) {
+        // Eq. (3): a tuple gets the max expiration time of its duplicates.
+        out.relation.MergeMaxUnchecked(en.tuple.Project(attrs), en.texp);
+      }
+    } else {
+      const std::vector<Relation::Entry>& in = child.relation.entries();
+      std::vector<Relation::Entry> projected = runner_.Collect(
+          in.size(),
+          [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+            outv->reserve(end - begin);
+            for (size_t i = begin; i < end; ++i) {
+              outv->push_back({in[i].tuple.Project(attrs), in[i].texp});
+            }
+          });
+      out.relation = MergeMaxParallel(std::move(schema), {&projected});
+    }
+    return Inherit(std::move(out), child);
+  }
+
+  Result<MaterializedResult> ExecProduct(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Exec(*n.left));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Exec(*n.right));
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    const std::vector<Relation::Entry>& rin = r.relation.entries();
+    // Distinct (lt, rt) pairs concatenate to distinct tuples, so the
+    // output is duplicate-free by construction.
+    std::vector<Relation::Entry> entries = runner_.Collect(
+        lin.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          outv->reserve((end - begin) * rin.size());
+          for (size_t i = begin; i < end; ++i) {
+            for (const Relation::Entry& re : rin) {
+              // Eq. (2): min lifetime of the participating tuples.
+              outv->push_back({lin[i].tuple.Concat(re.tuple),
+                               Timestamp::Min(lin[i].texp, re.texp)});
+            }
+          }
+        });
+    MaterializedResult out;
+    out.relation = Relation::FromEntriesUnchecked(
+        l.relation.schema().Concat(r.relation.schema()), std::move(entries));
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> ExecUnion(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Exec(*n.left));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Exec(*n.right));
+    MaterializedResult out;
+    if (!runner_.parallel()) {
+      out.relation = std::move(l.relation);
+      // Eq. (4): tuples in both sides get the max of the two texps.
+      for (const Relation::Entry& en : r.relation.entries()) {
+        out.relation.MergeMaxUnchecked(en.tuple, en.texp);
+      }
+    } else {
+      out.relation = MergeMaxParallel(
+          l.relation.schema(),
+          {&l.relation.entries(), &r.relation.entries()});
+    }
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> ExecJoin(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Exec(*n.left));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Exec(*n.right));
+    const Schema joined = l.relation.schema().Concat(r.relation.schema());
+    const Predicate& p = n.expr->predicate();
+    const size_t n_left = l.relation.schema().arity();
+    const size_t n_right = r.relation.schema().arity();
+
+    // Hash-join fast path on top-level cross-side equalities; semantics
+    // coincide with the paper's rewrite σ_{p'}(R ×exp S) because the full
+    // predicate is re-checked on every candidate pair — except when the
+    // index proves the key comparison already covers the predicate.
+    //
+    // The planner picks the build side by estimated cardinality
+    // (n.build_left): the build-on-left variant indexes the left input
+    // under the mirrored predicate and probes with right tuples, emitting
+    // the same concatenated-in-left-order pairs — the output set is
+    // identical either way.
+    std::vector<Relation::Entry> entries;
+    if (n.build_left) {
+      std::map<size_t, size_t> mirror;
+      for (size_t i = 0; i < n_left; ++i) mirror[i] = n_right + i;
+      for (size_t j = 0; j < n_right; ++j) mirror[n_left + j] = j;
+      EXPDB_ASSIGN_OR_RETURN(Predicate mirrored, p.RemapColumns(mirror));
+      JoinKeyIndex index(l.relation, mirrored, n_right, runner_.workers());
+      const bool covered = index.predicate_covered();
+      const std::vector<Relation::Entry>& rin = r.relation.entries();
+      entries = runner_.Collect(
+          rin.size(),
+          [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+            for (size_t i = begin; i < end; ++i) {
+              const Relation::Entry& re = rin[i];
+              const JoinKeyIndex::Group* group = index.Probe(re.tuple);
+              if (group == nullptr) continue;
+              for (const JoinKeyIndex::Candidate& c : group->candidates) {
+                Tuple joined_tuple = c.tuple->Concat(re.tuple);
+                if (covered || p.Evaluate(joined_tuple)) {
+                  outv->push_back({std::move(joined_tuple),
+                                   Timestamp::Min(c.texp, re.texp)});
+                }
+              }
+            }
+          });
+    } else {
+      JoinKeyIndex index(r.relation, p, n_left, runner_.workers());
+      const bool covered = index.predicate_covered();
+      const std::vector<Relation::Entry>& lin = l.relation.entries();
+      entries = runner_.Collect(
+          lin.size(),
+          [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+            for (size_t i = begin; i < end; ++i) {
+              const Relation::Entry& le = lin[i];
+              const JoinKeyIndex::Group* group = index.Probe(le.tuple);
+              if (group == nullptr) continue;
+              for (const JoinKeyIndex::Candidate& c : group->candidates) {
+                Tuple joined_tuple = le.tuple.Concat(*c.tuple);
+                if (covered || p.Evaluate(joined_tuple)) {
+                  outv->push_back({std::move(joined_tuple),
+                                   Timestamp::Min(le.texp, c.texp)});
+                }
+              }
+            }
+          });
+    }
+    MaterializedResult out;
+    out.relation = Relation::FromEntriesUnchecked(joined, std::move(entries));
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> ExecIntersect(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Exec(*n.left));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Exec(*n.right));
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    std::vector<Relation::Entry> entries = runner_.Collect(
+        lin.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          for (size_t i = begin; i < end; ++i) {
+            auto rtexp = r.relation.GetTexp(lin[i].tuple);
+            // Eq. (6): minima of the expiration times of the participating
+            // tuples (inherited from the inner ×exp of the rewrite).
+            if (rtexp.has_value()) {
+              outv->push_back(
+                  {lin[i].tuple, Timestamp::Min(lin[i].texp, *rtexp)});
+            }
+          }
+        });
+    MaterializedResult out;
+    out.relation = Relation::FromEntriesUnchecked(l.relation.schema(),
+                                                  std::move(entries));
+    return Combine(std::move(out), l, r);
+  }
+
+  /// ⋉exp: π_{R}(R ⋈exp_p S) with the derived expiration min(texp_R(r),
+  /// max{texp_S(s) | s matches r}) — the projection's max-of-duplicates
+  /// over the join's min-of-pairs. Monotonic.
+  Result<MaterializedResult> ExecSemiJoin(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult l, Exec(*n.left));
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult r, Exec(*n.right));
+    const size_t n_left = l.relation.schema().arity();
+    JoinKeyIndex index(r.relation, n.expr->predicate(), n_left,
+                       runner_.workers());
+
+    const std::vector<Relation::Entry>& lin = l.relation.entries();
+    std::vector<Relation::Entry> entries = runner_.Collect(
+        lin.size(),
+        [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
+          for (size_t i = begin; i < end; ++i) {
+            std::optional<Timestamp> last_match =
+                index.MaxMatchTexp(lin[i].tuple);
+            if (last_match.has_value()) {
+              outv->push_back(
+                  {lin[i].tuple, Timestamp::Min(lin[i].texp, *last_match)});
+            }
+          }
+        });
+    MaterializedResult out;
+    out.relation = Relation::FromEntriesUnchecked(l.relation.schema(),
+                                                  std::move(entries));
+    return Combine(std::move(out), l, r);
+  }
+
+  Result<MaterializedResult> ExecAggregate(const PlanNode& n) {
+    EXPDB_ASSIGN_OR_RETURN(MaterializedResult child, Exec(*n.left));
+    Schema schema = n.schema;  // inferred (and validated) at plan time
+    const AggregateFunction& f = n.expr->aggregate();
+
+    // Stable storage for partition entries: the child's dense entry array
+    // does not move while PartitionEntry pointers reference it.
+    const std::vector<Relation::Entry>& entries = child.relation.entries();
+    const std::vector<size_t>& gb = n.expr->group_by();
+
+    // φexp (Eq. 7): partitioning by equality on the grouping attributes
+    // (SQL GROUP BY), hashing/comparing the key columns in place — no key
+    // tuple is materialized.
+    struct KeyHash {
+      const std::vector<size_t>* cols;
+      size_t operator()(const Tuple* t) const {
+        return t->HashOfColumns(*cols);
+      }
+    };
+    struct KeyEq {
+      const std::vector<size_t>* cols;
+      bool operator()(const Tuple* a, const Tuple* b) const {
+        for (size_t c : *cols) {
+          if (a->at(c) != b->at(c)) return false;
+        }
+        return true;
+      }
+    };
+    using GroupMap = std::unordered_map<const Tuple*,
+                                        std::vector<PartitionEntry>, KeyHash,
+                                        KeyEq>;
+
+    struct AggLocal {
+      std::vector<Relation::Entry> result;
+      Timestamp texp_cap = Timestamp::Infinity();
+      /// (change_cap, death) of partitions that invalidate the expression.
+      std::vector<std::pair<Timestamp, Timestamp>> invalid;
+      Status status = Status::OK();
+    };
+    auto replay_groups = [&](const GroupMap& groups, AggLocal* local) {
+      for (const auto& [key, partition] : groups) {
+        Result<PartitionAnalysis> analyzed =
+            options_.aggregate_tolerance > 0
+                ? AnalyzeApproxPartition(partition, f,
+                                         options_.aggregate_tolerance)
+                : AnalyzePartition(partition, f, options_.aggregate_mode);
+        if (!analyzed.ok()) {
+          local->status = analyzed.status();
+          return;
+        }
+        const PartitionAnalysis& analysis = analyzed.value();
+        for (const PartitionEntry& entry : partition) {
+          // Eq. (8)/(9) with the source-tuple cap (see aggregate.h): the
+          // result tuple dies with its source tuple or when the
+          // partition's aggregate value changes, whichever is earlier.
+          local->result.push_back(
+              {entry.tuple->Append(analysis.value),
+               Timestamp::Min(entry.texp, analysis.change_cap)});
+        }
+        if (analysis.invalidates_expression) {
+          local->texp_cap =
+              Timestamp::Min(local->texp_cap, analysis.change_cap);
+          local->invalid.emplace_back(analysis.change_cap, analysis.death);
+        }
+      }
+    };
+
+    AggLocal total;
+    const size_t P = runner_.parallel() &&
+                             entries.size() >= 2 * runner_.min_morsel()
+                         ? runner_.workers()
+                         : 1;
+    if (P == 1) {
+      GroupMap groups(16, KeyHash{&gb}, KeyEq{&gb});
+      for (const Relation::Entry& en : entries) {
+        groups[&en.tuple].push_back({&en.tuple, en.texp});
+      }
+      replay_groups(groups, &total);
+    } else {
+      // Phase 1 — scatter: P static chunks route entry pointers into
+      // per-chunk, per-partition buckets by group-key hash (chunks are
+      // independent, no synchronization).
+      std::vector<std::vector<std::vector<const Relation::Entry*>>> scat(
+          P, std::vector<std::vector<const Relation::Entry*>>(P));
+      const size_t chunk = (entries.size() + P - 1) / P;
+      runner_.RunTasks(P, [&](size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+          const size_t begin = std::min(c * chunk, entries.size());
+          const size_t end = std::min(begin + chunk, entries.size());
+          for (size_t i = begin; i < end; ++i) {
+            scat[c][entries[i].tuple.HashOfColumns(gb) % P].push_back(
+                &entries[i]);
+          }
+        }
+      });
+      // Phase 2 — per-partition replay: every group lands wholly inside
+      // one partition, so partitions replay independently in parallel.
+      std::mutex mu;
+      runner_.RunTasks(P, [&](size_t pb, size_t pe) {
+        for (size_t p = pb; p < pe; ++p) {
+          GroupMap groups(16, KeyHash{&gb}, KeyEq{&gb});
+          for (size_t c = 0; c < P; ++c) {
+            for (const Relation::Entry* en : scat[c][p]) {
+              groups[&en->tuple].push_back({&en->tuple, en->texp});
+            }
+          }
+          AggLocal local;
+          replay_groups(groups, &local);
+          std::lock_guard<std::mutex> lock(mu);
+          total.result.insert(total.result.end(),
+                              std::make_move_iterator(local.result.begin()),
+                              std::make_move_iterator(local.result.end()));
+          total.texp_cap = Timestamp::Min(total.texp_cap, local.texp_cap);
+          total.invalid.insert(total.invalid.end(), local.invalid.begin(),
+                               local.invalid.end());
+          if (total.status.ok() && !local.status.ok()) {
+            total.status = local.status;
+          }
+        }
+      });
+    }
+    EXPDB_RETURN_NOT_OK(total.status);
+
+    MaterializedResult out;
+    // Source tuples are unique and each contributes one result tuple.
+    out.relation = Relation::FromEntriesUnchecked(std::move(schema),
+                                                  std::move(total.result));
+    Timestamp texp_e = Timestamp::Min(child.texp, total.texp_cap);
+    out.texp = texp_e;
+    if (options_.compute_validity) {
+      IntervalSet validity = child.validity;
+      // The partition's contribution is wrong from the change until the
+      // partition has fully expired; afterwards both the materialization
+      // and recomputation are empty for it.
+      for (const auto& [cap, death] : total.invalid) {
+        validity.Subtract(cap, death);
+      }
+      out.validity = std::move(validity);
+    } else {
+      out.validity = IntervalSet(tau_, texp_e);
+    }
+    out.materialized_at = tau_;
+    return out;
+  }
+
+  /// Hash-partitioned parallel max-merge (πexp/∪exp duplicate rule): the
+  /// concatenated sources are scattered by tuple hash into one partition
+  /// per worker, each partition merges its tuples independently, and the
+  /// disjoint partition results concatenate into the output relation.
+  Relation MergeMaxParallel(
+      Schema schema,
+      std::vector<const std::vector<Relation::Entry>*> sources) const {
+    size_t total = 0;
+    for (const auto* s : sources) total += s->size();
+    const size_t P = runner_.workers();
+
+    auto at = [&](size_t g) -> const Relation::Entry& {
+      for (const auto* s : sources) {
+        if (g < s->size()) return (*s)[g];
+        g -= s->size();
+      }
+      // Unreachable for g < total.
+      return sources.back()->back();
+    };
+
+    // Phase 1 — scatter by hash % P from P static chunks.
+    std::vector<std::vector<std::vector<const Relation::Entry*>>> scat(
+        P, std::vector<std::vector<const Relation::Entry*>>(P));
+    const size_t chunk = (total + P - 1) / P;
+    runner_.RunTasks(P, [&](size_t cb, size_t ce) {
+      for (size_t c = cb; c < ce; ++c) {
+        const size_t begin = std::min(c * chunk, total);
+        const size_t end = std::min(begin + chunk, total);
+        for (size_t g = begin; g < end; ++g) {
+          const Relation::Entry& en = at(g);
+          scat[c][en.tuple.Hash() % P].push_back(&en);
+        }
+      }
+    });
+
+    // Phase 2 — per-partition merge under the max rule. Equal tuples
+    // always hash to the same partition, so partitions are disjoint.
+    struct PtrHash {
+      size_t operator()(const Tuple* t) const { return t->Hash(); }
+    };
+    struct PtrEq {
+      bool operator()(const Tuple* a, const Tuple* b) const {
+        return *a == *b;
+      }
+    };
+    std::vector<std::vector<Relation::Entry>> parts(P);
+    runner_.RunTasks(P, [&](size_t pb, size_t pe) {
+      for (size_t p = pb; p < pe; ++p) {
+        std::unordered_map<const Tuple*, Timestamp, PtrHash, PtrEq> merged;
+        for (size_t c = 0; c < P; ++c) {
+          for (const Relation::Entry* en : scat[c][p]) {
+            auto [it, inserted] = merged.try_emplace(&en->tuple, en->texp);
+            if (!inserted) {
+              it->second = Timestamp::Max(it->second, en->texp);
+            }
+          }
+        }
+        parts[p].reserve(merged.size());
+        for (const auto& [tuple, texp] : merged) {
+          parts[p].push_back({*tuple, texp});
+        }
+      }
+    });
+
+    std::vector<Relation::Entry> out;
+    out.reserve(total);
+    for (std::vector<Relation::Entry>& part : parts) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return Relation::FromEntriesUnchecked(std::move(schema), std::move(out));
+  }
+
+  // --- texp(e) / validity composition helpers -----------------------------
+
+  /// Monotonic leaf: texp(e) = ∞, valid from τ on.
+  MaterializedResult Monotonic(MaterializedResult out) {
+    out.materialized_at = tau_;
+    out.texp = Timestamp::Infinity();
+    out.validity = IntervalSet::From(tau_);
+    return out;
+  }
+
+  /// Unary monotonic operator: texp and validity pass through (Sec. 2.3).
+  MaterializedResult Inherit(MaterializedResult out,
+                             const MaterializedResult& child) {
+    out.materialized_at = tau_;
+    out.texp = child.texp;
+    out.validity = options_.compute_validity ? child.validity
+                                             : IntervalSet(tau_, out.texp);
+    return out;
+  }
+
+  /// Binary monotonic operator: texp(e) = min of the arguments' texps
+  /// (Sec. 2.3); validity is the intersection.
+  MaterializedResult Combine(MaterializedResult out,
+                             const MaterializedResult& l,
+                             const MaterializedResult& r) {
+    out.materialized_at = tau_;
+    out.texp = Timestamp::Min(l.texp, r.texp);
+    out.validity = options_.compute_validity
+                       ? l.validity.Intersect(r.validity)
+                       : IntervalSet(tau_, out.texp);
+    return out;
+  }
+
+  /// The empty materialization an elided subtree stands for (exact — see
+  /// the prune argument in Exec()).
+  MaterializedResult EmptyResult(const PlanNode& n) const {
+    MaterializedResult out;
+    out.relation = Relation(n.schema);
+    out.materialized_at = tau_;
+    out.texp = Timestamp::Infinity();
+    out.validity = IntervalSet::From(tau_);
+    return out;
+  }
+
+  /// Live texp upper bound of the subtree at `n`: max over its scans'
+  /// Relation::texp_upper_bound(). Computed per execution so cached plans
+  /// see fresh data and the current τ.
+  Timestamp ComputeBound(const PlanNode& n) {
+    Timestamp bound = Timestamp::Zero();
+    if (n.op == PlanOp::kScan) {
+      auto rel = db_.GetRelation(n.expr->relation_name());
+      // Unknown relation: don't prune — let execution surface the error.
+      bound = rel.ok() ? (*rel)->texp_upper_bound() : Timestamp::Infinity();
+    } else {
+      if (n.left != nullptr) {
+        bound = Timestamp::Max(bound, ComputeBound(*n.left));
+      }
+      if (n.right != nullptr) {
+        bound = Timestamp::Max(bound, ComputeBound(*n.right));
+      }
+    }
+    bounds_[n.id] = bound;
+    return bound;
+  }
+
+  const PhysicalPlan& plan_;
+  const Database& db_;
+  Timestamp tau_;
+  EvalOptions options_;
+  MorselRunner runner_;
+  PlanProfile* profile_;
+  /// Per-node live texp upper bounds (empty when pruning is off).
+  std::vector<Timestamp> bounds_;
+  /// Results of already-materialized common subtrees, by cse_id.
+  std::unordered_map<int32_t, MaterializedResult> cse_cache_;
+};
+
+}  // namespace
+
+size_t ResolveWorkers(size_t parallelism) {
+  if (parallelism == 1) return 1;
+  if (parallelism == 0) {
+    return std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  return parallelism;
+}
+
+Result<MaterializedResult> ExecutePlan(const PhysicalPlan& plan,
+                                       const Database& db, Timestamp tau,
+                                       const EvalOptions& options,
+                                       PlanProfile* profile) {
+  PlanExecutor executor(plan, db, tau, options, profile);
+  auto run = [&]() -> Result<MaterializedResult> {
+    if (profile != nullptr) {
+      profile->Resize(plan.node_count());
+      const int64_t t0 = obs::SteadyNowNs();
+      Result<MaterializedResult> r = executor.Exec(plan.root());
+      profile->total_ns = obs::SteadyNowNs() - t0;
+      return r;
+    }
+    return executor.Exec(plan.root());
+  };
+  if (!options.enable_metrics) return run();
+  const EvalMetricSet& m = EvalMetricSet::Get();
+  m.evaluations->Increment();
+  obs::ScopedSpan span("eval.root", m.latency);
+  return run();
+}
+
+Result<DifferenceEvalResult> ExecutePlanDifferenceRoot(
+    const PhysicalPlan& plan, const Database& db, Timestamp tau,
+    const EvalOptions& options, PlanProfile* profile) {
+  const PlanNode& root = plan.root();
+  if (root.op != PlanOp::kHashDifference &&
+      root.op != PlanOp::kHashAntiJoin) {
+    return Status::InvalidArgument(
+        "ExecutePlanDifferenceRoot requires a difference or anti-join root");
+  }
+  PlanExecutor executor(plan, db, tau, options, profile);
+  auto run = [&]() -> Result<DifferenceEvalResult> {
+    PlanProfile::NodeStats* stats = nullptr;
+    int64_t t0 = 0;
+    if (profile != nullptr) {
+      profile->Resize(plan.node_count());
+      stats = &profile->at(root.id);
+      ++stats->calls;
+      t0 = obs::SteadyNowNs();
+    }
+    Result<DifferenceEvalResult> r =
+        root.op == PlanOp::kHashAntiJoin ? executor.ExecAntiJoin(root)
+                                         : executor.ExecDifference(root);
+    if (profile != nullptr) {
+      const int64_t elapsed = obs::SteadyNowNs() - t0;
+      stats->wall_ns += elapsed;
+      profile->total_ns = elapsed;
+      if (r.ok()) stats->rows += r.value().result.relation.size();
+    }
+    return r;
+  };
+  if (!options.enable_metrics) return run();
+  const size_t k = static_cast<size_t>(root.expr->kind());
+  const EvalMetricSet& m = EvalMetricSet::Get();
+  m.evaluations->Increment();
+  m.operators->Increment();
+  if (k < kNumOpKinds) m.per_op[k]->Increment();
+  obs::ScopedSpan span("eval.root", m.latency);
+  Result<DifferenceEvalResult> r = run();
+  if (r.ok()) m.tuples_out->Increment(r.value().result.relation.size());
+  return r;
+}
+
+}  // namespace plan
+}  // namespace expdb

@@ -1,0 +1,45 @@
+// Physical-plan execution: the morsel-parallel operator implementations
+// formerly in core/eval.cc, driven by a PhysicalPlan instead of the raw
+// Expression tree.
+//
+// Execution is read-only on the plan — a cached plan (materialized view,
+// replica query) can be executed repeatedly and concurrently. Per-node
+// obs:: spans are tagged with the plan-node id; pass a PlanProfile to
+// collect per-node row counts and latencies for EXPLAIN ANALYZE.
+
+#ifndef EXPDB_PLAN_EXECUTOR_H_
+#define EXPDB_PLAN_EXECUTOR_H_
+
+#include "common/result.h"
+#include "core/eval.h"
+#include "plan/plan.h"
+#include "relational/database.h"
+
+namespace expdb {
+namespace plan {
+
+/// EvalOptions::parallelism -> worker count: 1 stays serial, 0 sizes to
+/// the hardware (>= 2), anything else is the worker count.
+size_t ResolveWorkers(size_t parallelism);
+
+/// \brief Executes `plan` against `db` at time `tau`.
+///
+/// `options` are the execution-time EvalOptions (parallelism, aggregate
+/// mode, validity) — usually the ones the plan was annotated with, but a
+/// cached plan may be executed under different settings. When `profile`
+/// is non-null it is resized to the plan and filled with per-node stats.
+Result<MaterializedResult> ExecutePlan(const PhysicalPlan& plan,
+                                       const Database& db, Timestamp tau,
+                                       const EvalOptions& options = {},
+                                       PlanProfile* profile = nullptr);
+
+/// \brief Like ExecutePlan for plans whose root is a difference or
+/// anti-join; additionally returns the Theorem 3 helper entries.
+Result<DifferenceEvalResult> ExecutePlanDifferenceRoot(
+    const PhysicalPlan& plan, const Database& db, Timestamp tau,
+    const EvalOptions& options = {}, PlanProfile* profile = nullptr);
+
+}  // namespace plan
+}  // namespace expdb
+
+#endif  // EXPDB_PLAN_EXECUTOR_H_

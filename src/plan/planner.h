@@ -1,0 +1,39 @@
+// Planner: logical algebra Expression -> optimized PhysicalPlan.
+//
+// Planning runs (1) the Sec. 3.1 algebraic rewrite rules (opt-in — they
+// preserve contents and per-tuple texps but can grow texp(e)), (2) the
+// expiration-aware optimizations: constant-predicate folding, constant-
+// false filter elision over monotonic subtrees, expired-subtree pruning
+// via Relation::texp_upper_bound() (decided at execution time against the
+// live τ), hash-join build/probe side selection by estimated cardinality,
+// and common-subtree detection; then (3) annotates nodes with the
+// parallelism/morsel decisions implied by EvalOptions. Schema inference
+// and predicate validation happen here, so a returned plan executes
+// without re-validation; planning errors carry the same status codes the
+// former interpreter raised at evaluation time.
+
+#ifndef EXPDB_PLAN_PLANNER_H_
+#define EXPDB_PLAN_PLANNER_H_
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "relational/database.h"
+
+namespace expdb {
+namespace plan {
+
+class Planner {
+ public:
+  /// \brief Plans `expr` against the schemas and cardinalities of `db`.
+  /// The plan holds shared ownership of the (possibly rewritten/folded)
+  /// expression; it stays valid as long as the plan does and may be
+  /// executed against any database with compatible schemas.
+  static Result<PhysicalPlanPtr> Plan(const ExpressionPtr& expr,
+                                      const Database& db,
+                                      const PlannerOptions& options = {});
+};
+
+}  // namespace plan
+}  // namespace expdb
+
+#endif  // EXPDB_PLAN_PLANNER_H_

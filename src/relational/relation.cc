@@ -61,6 +61,11 @@ void Relation::EnsureSlotCapacity() {
 }
 
 std::pair<size_t, bool> Relation::InsertEntry(Tuple tuple, Timestamp texp) {
+  // Maintain the texp upper bound unconditionally: on the duplicate path
+  // the caller may still raise the stored texp to `texp` (InsertUnchecked
+  // overwrites, MergeMaxUnchecked maxes), so `texp` always has to be
+  // covered by the bound. Overestimation is safe; understating is not.
+  max_texp_ = Timestamp::Max(max_texp_, texp);
   EnsureSlotCapacity();
   const size_t mask = slots_.size() - 1;
   size_t slot = tuple.Hash() & mask;
@@ -112,6 +117,9 @@ Relation Relation::FromEntriesUnchecked(Schema schema,
                                         std::vector<Entry> entries) {
   Relation out(std::move(schema));
   out.entries_ = std::move(entries);
+  for (const Entry& e : out.entries_) {
+    out.max_texp_ = Timestamp::Max(out.max_texp_, e.texp);
+  }
   if (!out.entries_.empty()) out.RebuildIndex();
   return out;
 }

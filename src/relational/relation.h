@@ -139,6 +139,14 @@ class Relation {
   /// tests.
   std::vector<std::pair<Tuple, Timestamp>> SortedEntries() const;
 
+  /// \brief An upper bound on the expiration time of every stored tuple:
+  /// texp_R(r) <= texp_upper_bound() for all r ∈ R. Maintained on insert
+  /// (never lowered by erases, so it may overestimate after deletions —
+  /// that direction is always safe). The planner uses it to prune whole
+  /// subtrees whose every input is already expired at τ: if
+  /// texp_upper_bound() <= τ then expτ(R) = ∅.
+  Timestamp texp_upper_bound() const { return max_texp_; }
+
   /// \brief Set equality of expτ(·) of both relations, ignoring texp.
   static bool ContentsEqualAt(const Relation& a, const Relation& b,
                               Timestamp tau);
@@ -151,6 +159,7 @@ class Relation {
     entries_.clear();
     slots_.clear();
     tombstones_ = 0;
+    max_texp_ = Timestamp::Zero();
   }
 
   /// \brief Renames the schema's attributes (arity must match); types and
@@ -190,6 +199,8 @@ class Relation {
   /// index or kEmpty/kTombstone per slot. Empty vector when no entries.
   std::vector<int64_t> slots_;
   size_t tombstones_ = 0;
+  /// Upper bound on every stored texp; see texp_upper_bound().
+  Timestamp max_texp_ = Timestamp::Zero();
 };
 
 }  // namespace expdb

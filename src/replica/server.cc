@@ -1,13 +1,34 @@
 #include "replica/server.h"
 
+#include "plan/executor.h"
+#include "plan/planner.h"
+
 namespace expdb {
+
+namespace {
+
+obs::Counter* PlanCacheHits() {
+  static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+      "expdb_plan_cache_hits_total",
+      "Executions served from a cached physical plan");
+  return hits;
+}
+
+}  // namespace
 
 Status ReplicationServer::RegisterQuery(const std::string& name,
                                         ExpressionPtr expr) {
   if (expr == nullptr) return Status::InvalidArgument("null expression");
-  // Validate the query against the catalog before accepting it.
-  EXPDB_RETURN_NOT_OK(expr->InferSchema(*db_).status());
-  auto [it, inserted] = queries_.emplace(name, std::move(expr));
+  // Plan once up front: this validates the query against the catalog
+  // (schema inference, predicate/projection checks) with the same status
+  // codes the evaluator used to raise, and every Fetch afterwards
+  // executes the cached plan without re-planning.
+  plan::PlannerOptions popts;
+  popts.eval = eval_;
+  EXPDB_ASSIGN_OR_RETURN(plan::PhysicalPlanPtr plan,
+                         plan::Planner::Plan(expr, *db_, popts));
+  auto [it, inserted] = queries_.emplace(
+      name, RegisteredQuery{std::move(expr), std::move(plan)});
   if (!inserted) {
     return Status::AlreadyExists("query '" + name + "' already registered");
   }
@@ -20,14 +41,19 @@ Result<ExpressionPtr> ReplicationServer::GetQuery(
   if (it == queries_.end()) {
     return Status::NotFound("no query named '" + name + "'");
   }
-  return it->second;
+  return it->second.expr;
 }
 
 Result<MaterializedResult> ReplicationServer::Fetch(
     const std::string& name, Timestamp tau, SimulatedNetwork* net) const {
-  EXPDB_ASSIGN_OR_RETURN(ExpressionPtr expr, GetQuery(name));
-  EXPDB_ASSIGN_OR_RETURN(MaterializedResult result,
-                         Evaluate(expr, *db_, tau, eval_));
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query named '" + name + "'");
+  }
+  PlanCacheHits()->Increment();
+  EXPDB_ASSIGN_OR_RETURN(
+      MaterializedResult result,
+      plan::ExecutePlan(*it->second.plan, *db_, tau, eval_));
   fetches_->Increment();
   if (net != nullptr) net->CountMessage(result.relation.size());
   return result;
@@ -35,9 +61,20 @@ Result<MaterializedResult> ReplicationServer::Fetch(
 
 Result<DifferenceEvalResult> ReplicationServer::FetchWithHelper(
     const std::string& name, Timestamp tau, SimulatedNetwork* net) const {
-  EXPDB_ASSIGN_OR_RETURN(ExpressionPtr expr, GetQuery(name));
-  EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult result,
-                         EvaluateDifferenceRoot(expr, *db_, tau, eval_));
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query named '" + name + "'");
+  }
+  const ExpressionPtr& expr = it->second.expr;
+  if (expr->kind() != ExprKind::kDifference &&
+      expr->kind() != ExprKind::kAntiJoin) {
+    return Status::InvalidArgument(
+        "EvaluateDifferenceRoot requires a difference or anti-join root");
+  }
+  PlanCacheHits()->Increment();
+  EXPDB_ASSIGN_OR_RETURN(
+      DifferenceEvalResult result,
+      plan::ExecutePlanDifferenceRoot(*it->second.plan, *db_, tau, eval_));
   fetches_->Increment();
   helper_entries_->Increment(result.helper.size());
   if (net != nullptr) {

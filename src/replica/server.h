@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/eval.h"
+#include "plan/plan.h"
 #include "replica/network.h"
 
 namespace expdb {
@@ -25,7 +26,11 @@ class ReplicationServer {
         helper_entries_(obs::MetricsRegistry::Global().GetCounter(
             "expdb_replica_helper_entries_total")) {}
 
-  /// \brief Registers a named query clients may subscribe to.
+  /// \brief Registers a named query clients may subscribe to. The query
+  /// is planned once here (schema validation included); every Fetch
+  /// executes the cached physical plan. Rewrites are not applied — the
+  /// served texps and Theorem 3 helper contents stay exactly those of the
+  /// registered expression.
   Status RegisterQuery(const std::string& name, ExpressionPtr expr);
 
   bool HasQuery(const std::string& name) const {
@@ -48,9 +53,14 @@ class ReplicationServer {
                                                SimulatedNetwork* net) const;
 
  private:
+  struct RegisteredQuery {
+    ExpressionPtr expr;
+    plan::PhysicalPlanPtr plan;  ///< planned once at registration
+  };
+
   const Database* db_;
   EvalOptions eval_;
-  std::map<std::string, ExpressionPtr> queries_;
+  std::map<std::string, RegisteredQuery> queries_;
   // Process-wide counters (registry-owned): fetches served and Theorem 3
   // helper entries shipped up front.
   obs::Counter* fetches_;

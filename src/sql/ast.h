@@ -147,11 +147,22 @@ struct StatsStatement {
   bool reset = false;    ///< STATS RESET: zero all metrics
 };
 
+/// EXPLAIN [PLAN] SELECT ... renders the optimized physical plan without
+/// executing it; EXPLAIN ANALYZE SELECT ... executes the query and
+/// annotates each plan node with observed row counts, wall time, and call
+/// counts (fed from the node-id-tagged obs:: spans).
+struct ExplainStatement {
+  enum class What { kPlan, kAnalyze };
+  What what = What::kPlan;
+  SelectStatement select;
+};
+
 /// \brief Any parsed statement.
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
                  CreateViewStatement, DropStatement, AdvanceStatement,
-                 ShowStatement, DeleteStatement, StatsStatement>;
+                 ShowStatement, DeleteStatement, StatsStatement,
+                 ExplainStatement>;
 
 }  // namespace sql
 }  // namespace expdb

@@ -87,11 +87,32 @@ class Parser {
     if (AcceptKeyword("DELETE")) return ParseDelete();
     if (AcceptKeyword("STATS")) return ParseStats(/*explain=*/false);
     if (AcceptKeyword("EXPLAIN")) {
-      EXPDB_RETURN_NOT_OK(ExpectKeyword("STATS"));
-      return ParseStats(/*explain=*/true);
+      if (AcceptKeyword("STATS")) return ParseStats(/*explain=*/true);
+      return ParseExplain();
     }
     return Status::ParseError("expected a statement, got " +
                               Peek().ToString());
+  }
+
+  // EXPLAIN [PLAN | ANALYZE] SELECT ... (bare EXPLAIN means PLAN).
+  Result<Statement> ParseExplain() {
+    ExplainStatement out;
+    if (Peek().type == TokenType::kIdentifier) {
+      if (AsciiEqualsIgnoreCase(Peek().text, "PLAN")) {
+        Advance();
+        out.what = ExplainStatement::What::kPlan;
+      } else if (AsciiEqualsIgnoreCase(Peek().text, "ANALYZE")) {
+        Advance();
+        out.what = ExplainStatement::What::kAnalyze;
+      }
+    }
+    if (!Peek().IsKeyword("SELECT")) {
+      return Status::ParseError(
+          "expected PLAN, ANALYZE, STATS, or SELECT after EXPLAIN, got " +
+          Peek().ToString());
+    }
+    EXPDB_ASSIGN_OR_RETURN(out.select, ParseSelect());
+    return Statement(std::move(out));
   }
 
   // STATS [PROMETHEUS | JSON | RESET]; EXPLAIN STATS takes no modifier.

@@ -7,6 +7,8 @@
 #include "common/str_util.h"
 #include "core/rewrite.h"
 #include "obs/trace.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "relational/printer.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -173,8 +175,10 @@ Result<ExecResult> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteShow(s);
         } else if constexpr (std::is_same_v<T, DeleteStatement>) {
           return ExecuteDelete(s);
-        } else {
+        } else if constexpr (std::is_same_v<T, StatsStatement>) {
           return ExecuteStats(s);
+        } else {
+          return ExecuteExplain(s);
         }
       },
       stmt);
@@ -215,37 +219,11 @@ Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
     return out;
   }
 
-  // General path. When views occur in FROM, build a scratch catalog
-  // holding each referenced view's current contents (renamed to the
-  // view's declared columns) alongside copies of the referenced base
-  // tables, and bind against that.
-  std::set<std::string> from_names;
-  CollectFromNames(stmt, &from_names);
-  bool any_view = false;
-  for (const std::string& name : from_names) {
-    if (views_.HasView(name)) any_view = true;
-  }
-
-  const Database* bind_db = &db();
+  // General path: bind against the live database, or a scratch catalog
+  // when views occur in FROM.
   Database scratch;
-  if (any_view) {
-    for (const std::string& name : from_names) {
-      if (views_.HasView(name)) {
-        EXPDB_ASSIGN_OR_RETURN(Relation rel, views_.Read(name, now));
-        auto names_it = view_columns_.find(name);
-        if (names_it != view_columns_.end()) {
-          EXPDB_RETURN_NOT_OK(
-              rel.RenameAttributes(UniquifyNames(names_it->second)));
-        }
-        EXPDB_RETURN_NOT_OK(scratch.PutRelation(name, std::move(rel)));
-      } else {
-        EXPDB_ASSIGN_OR_RETURN(const Relation* base, db().GetRelation(name));
-        EXPDB_RETURN_NOT_OK(scratch.PutRelation(name, *base));
-      }
-    }
-    bind_db = &scratch;
-  }
-
+  EXPDB_ASSIGN_OR_RETURN(const Database* bind_db,
+                         ResolveCatalog(stmt, now, &scratch));
   EXPDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(stmt, *bind_db));
   EXPDB_ASSIGN_OR_RETURN(MaterializedResult result,
                          Evaluate(bound.expr, *bind_db, now, eval_options_));
@@ -255,6 +233,61 @@ Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
   out.relation = std::move(result.relation);
   out.served_at = now;
   out.message = "ok";
+  return out;
+}
+
+Result<const Database*> Session::ResolveCatalog(const SelectStatement& stmt,
+                                                Timestamp now,
+                                                Database* scratch) {
+  std::set<std::string> from_names;
+  CollectFromNames(stmt, &from_names);
+  bool any_view = false;
+  for (const std::string& name : from_names) {
+    if (views_.HasView(name)) any_view = true;
+  }
+  if (!any_view) return &db();
+  for (const std::string& name : from_names) {
+    if (views_.HasView(name)) {
+      EXPDB_ASSIGN_OR_RETURN(Relation rel, views_.Read(name, now));
+      auto names_it = view_columns_.find(name);
+      if (names_it != view_columns_.end()) {
+        EXPDB_RETURN_NOT_OK(
+            rel.RenameAttributes(UniquifyNames(names_it->second)));
+      }
+      EXPDB_RETURN_NOT_OK(scratch->PutRelation(name, std::move(rel)));
+    } else {
+      EXPDB_ASSIGN_OR_RETURN(const Relation* base, db().GetRelation(name));
+      EXPDB_RETURN_NOT_OK(scratch->PutRelation(name, *base));
+    }
+  }
+  return scratch;
+}
+
+Result<ExecResult> Session::ExecuteExplain(const ExplainStatement& stmt) {
+  const Timestamp now = Now();
+  Database scratch;
+  EXPDB_ASSIGN_OR_RETURN(const Database* bind_db,
+                         ResolveCatalog(stmt.select, now, &scratch));
+  EXPDB_ASSIGN_OR_RETURN(BoundSelect bound,
+                         BindSelect(stmt.select, *bind_db));
+  // Plan exactly as SELECT would execute (expiration-aware optimizations
+  // on, Sec. 3.1 rewrites off — the facade default), so the rendered plan
+  // is the one a plain SELECT runs.
+  plan::PlannerOptions popts;
+  popts.eval = eval_options_;
+  EXPDB_ASSIGN_OR_RETURN(plan::PhysicalPlanPtr plan,
+                         plan::Planner::Plan(bound.expr, *bind_db, popts));
+  ExecResult out;
+  out.served_at = now;
+  if (stmt.what == ExplainStatement::What::kPlan) {
+    out.message = plan->ToString();
+    return out;
+  }
+  plan::PlanProfile profile;
+  EXPDB_RETURN_NOT_OK(
+      plan::ExecutePlan(*plan, *bind_db, now, eval_options_, &profile)
+          .status());
+  out.message = plan->ToString(&profile);
   return out;
 }
 

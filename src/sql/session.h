@@ -78,6 +78,14 @@ class Session {
   Result<ExecResult> ExecuteShow(const ShowStatement& stmt);
   Result<ExecResult> ExecuteDelete(const DeleteStatement& stmt);
   Result<ExecResult> ExecuteStats(const StatsStatement& stmt);
+  Result<ExecResult> ExecuteExplain(const ExplainStatement& stmt);
+
+  /// When `stmt` references views, fills `scratch` with the referenced
+  /// views' current contents (renamed to their declared columns) plus
+  /// copies of the referenced base tables, and returns `scratch`;
+  /// otherwise returns the live database. Shared by SELECT and EXPLAIN.
+  Result<const Database*> ResolveCatalog(const SelectStatement& stmt,
+                                         Timestamp now, Database* scratch);
 
   ExpirationManager expiration_;
   ViewManager views_;

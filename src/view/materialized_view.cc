@@ -1,6 +1,8 @@
 #include "view/materialized_view.h"
 
 #include "obs/trace.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 
 namespace expdb {
 
@@ -76,15 +78,34 @@ Status MaterializedView::Initialize(const Database& db, Timestamp now) {
   return Status::OK();
 }
 
+Status MaterializedView::EnsurePlan(const Database& db) {
+  if (plan_ != nullptr) {
+    // Cached-plan execution: planning (and the rewrite pass, when
+    // enabled) is skipped entirely on recomputation.
+    static obs::Counter* cache_hits =
+        obs::MetricsRegistry::Global().GetCounter(
+            "expdb_plan_cache_hits_total",
+            "Executions served from a cached physical plan");
+    cache_hits->Increment();
+    return Status::OK();
+  }
+  plan::PlannerOptions popts;
+  popts.apply_rewrites = options_.rewrite_plan;
+  popts.eval = options_.eval;
+  EXPDB_ASSIGN_OR_RETURN(plan_, plan::Planner::Plan(expr_, db, popts));
+  return Status::OK();
+}
+
 Status MaterializedView::Recompute(const Database& db, Timestamp now,
                                    bool count_as_maintenance) {
   obs::ScopedSpan span(
       "view.recompute",
       count_as_maintenance ? &metrics_.recompute_latency : nullptr);
+  EXPDB_RETURN_NOT_OK(EnsurePlan(db));
   if (options_.mode == RefreshMode::kPatchDifference) {
     EXPDB_ASSIGN_OR_RETURN(
         DifferenceEvalResult diff,
-        EvaluateDifferenceRoot(expr_, db, now, options_.eval));
+        plan::ExecutePlanDifferenceRoot(*plan_, db, now, options_.eval));
     result_ = std::move(diff.result);
     helper_ = std::move(diff.helper);
     patch_cursor_ = 0;
@@ -92,8 +113,8 @@ Status MaterializedView::Recompute(const Database& db, Timestamp now,
     // argument invalidations remain.
     result_.texp = diff.children_texp;
   } else {
-    EXPDB_ASSIGN_OR_RETURN(result_,
-                           Evaluate(expr_, db, now, options_.eval));
+    EXPDB_ASSIGN_OR_RETURN(
+        result_, plan::ExecutePlan(*plan_, db, now, options_.eval));
   }
   if (count_as_maintenance) {
     metrics_.recomputations.Increment();

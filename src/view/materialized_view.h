@@ -31,6 +31,7 @@
 #include "core/expression.h"
 #include "core/materialized_result.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
 
 namespace expdb {
 
@@ -92,6 +93,12 @@ class MaterializedView {
     RefreshMode mode = RefreshMode::kEagerRecompute;
     MovePolicy move_policy = MovePolicy::kRecompute;
     EvalOptions eval;  ///< compute_validity is forced on for kSchrodinger
+    /// Run the Sec. 3.1 rewrite pass when the view's plan is built. The
+    /// rewrites preserve contents and per-tuple texps but can *grow*
+    /// texp(e), changing when a non-monotonic view recomputes — so they
+    /// are opt-in. Because the optimized plan is cached, the pass runs
+    /// once per view, not once per recomputation.
+    bool rewrite_plan = false;
   };
 
   MaterializedView(ExpressionPtr expr, Options options);
@@ -151,10 +158,21 @@ class MaterializedView {
   void MarkStale() {
     if (!stale_) metrics_.marked_stale.Increment();
     stale_ = true;
+    // The cardinality estimates (and thus build sides / parallel
+    // annotations) were taken from the pre-update database; re-plan at
+    // the next recomputation. Correctness never depends on the estimates
+    // — this only refreshes the performance decisions.
+    plan_.reset();
   }
   bool stale() const { return stale_; }
 
+  /// \brief The cached physical plan (null until the first
+  /// materialization). Recomputations execute this plan directly; the
+  /// planner — including the optional rewrite pass — runs once per view.
+  const plan::PhysicalPlanPtr& plan() const { return plan_; }
+
  private:
+  Status EnsurePlan(const Database& db);
   Status Recompute(const Database& db, Timestamp now,
                    bool count_as_maintenance = true);
   void ApplyPatches(Timestamp now);
@@ -162,6 +180,7 @@ class MaterializedView {
 
   ExpressionPtr expr_;
   Options options_;
+  plan::PhysicalPlanPtr plan_;
   MaterializedResult result_;
   // kPatchDifference: Theorem 3 helper entries sorted by appears_at; a
   // cursor replaces pops (no new entries arrive absent base updates).

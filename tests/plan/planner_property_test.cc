@@ -1,0 +1,315 @@
+// Planner optimizations are invisible in the results.
+//
+// The expiration algebra's results are sets, so every planner decision —
+// constant folding, constant-false elision, expired-subtree pruning,
+// build-side selection, common-subtree reuse, morsel parallelism — must
+// produce exactly the same MaterializedResult (tuples, per-tuple texps,
+// texp(e), validity) as the unoptimized plan, at every τ. The Sec. 3.1
+// rewrite pass is held to the paper's weaker-but-precise contract:
+// identical contents and per-tuple texps at every instant, texp(e) only
+// ever grows. Swept over random databases and expression shapes, checked
+// against the naive reference evaluator as an independent anchor.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
+#include "plan/planner.h"
+#include "testing/workload.h"
+#include "tests/support/reference_eval.h"
+
+namespace expdb {
+namespace {
+
+using plan::ExecutePlan;
+using plan::ExecutePlanDifferenceRoot;
+using plan::PhysicalPlanPtr;
+using plan::Planner;
+using plan::PlannerOptions;
+
+std::vector<Relation::Entry> SortedEntries(const Relation& r) {
+  std::vector<Relation::Entry> out = r.entries();
+  std::sort(out.begin(), out.end(),
+            [](const Relation::Entry& a, const Relation::Entry& b) {
+              if (!(a.tuple == b.tuple)) return a.tuple < b.tuple;
+              return a.texp < b.texp;
+            });
+  return out;
+}
+
+void ExpectSameEntries(const Relation& expected, const Relation& actual,
+                       const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  const auto lhs = SortedEntries(expected);
+  const auto rhs = SortedEntries(actual);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    ASSERT_TRUE(lhs[i].tuple == rhs[i].tuple)
+        << context << "\ntuple #" << i << ": " << lhs[i].tuple.ToString()
+        << " vs " << rhs[i].tuple.ToString();
+    ASSERT_EQ(lhs[i].texp, rhs[i].texp)
+        << context << "\ntexp of " << lhs[i].tuple.ToString();
+  }
+}
+
+void ExpectIdentical(const MaterializedResult& expected,
+                     const MaterializedResult& actual,
+                     const std::string& context) {
+  EXPECT_EQ(expected.texp, actual.texp) << context;
+  EXPECT_EQ(expected.materialized_at, actual.materialized_at) << context;
+  EXPECT_EQ(expected.validity, actual.validity) << context;
+  ExpectSameEntries(expected.relation, actual.relation, context);
+}
+
+/// Every optimization switched off: the plan is a 1:1 physical transcript
+/// of the logical expression.
+PlannerOptions BaselineOptions(const EvalOptions& eval) {
+  PlannerOptions opts;
+  opts.fold_constants = false;
+  opts.prune_expired = false;
+  opts.choose_build_side = false;
+  opts.detect_common_subtrees = false;
+  opts.eval = eval;
+  return opts;
+}
+
+/// A handful of sweep instants: every distinct expiration boundary plus
+/// time zero and a point past the last one (everything expired).
+std::vector<Timestamp> SweepTimes(const Database& db) {
+  std::vector<Timestamp> times = testing::InterestingTimes(db);
+  std::vector<Timestamp> out = {Timestamp(0)};
+  const size_t stride = std::max<size_t>(1, times.size() / 5);
+  for (size_t i = 0; i < times.size(); i += stride) out.push_back(times[i]);
+  if (!times.empty()) out.push_back(Timestamp(times.back().ticks() + 1));
+  return out;
+}
+
+struct Config {
+  uint64_t seed;
+  size_t num_tuples;
+  size_t max_depth;
+  int64_t value_domain;
+  AggregateExpirationMode mode;
+  bool compute_validity;
+};
+
+class PlannerPropertyTest : public ::testing::TestWithParam<Config> {
+ protected:
+  void Fill(Database* db, Rng& rng) {
+    const Config& cfg = GetParam();
+    testing::RelationSpec rspec;
+    rspec.num_tuples = cfg.num_tuples;
+    rspec.arity = 2;
+    rspec.value_domain = cfg.value_domain;
+    rspec.ttl_min = 1;
+    rspec.ttl_max = 30;
+    rspec.infinite_fraction = 0.1;
+    ASSERT_TRUE(testing::FillDatabase(db, rng, rspec, 3).ok());
+  }
+
+  EvalOptions Eval() const {
+    EvalOptions eval;
+    eval.aggregate_mode = GetParam().mode;
+    eval.compute_validity = GetParam().compute_validity;
+    return eval;
+  }
+};
+
+TEST_P(PlannerPropertyTest, OptimizedPlanMatchesBaselinePlan) {
+  Rng rng(GetParam().seed);
+  Database db;
+  Fill(&db, rng);
+
+  testing::ExpressionSpec espec;
+  espec.max_depth = GetParam().max_depth;
+  espec.allow_nonmonotonic = true;
+
+  const EvalOptions eval = Eval();
+  EvalOptions par_eval = eval;
+  par_eval.parallelism = 4;
+  par_eval.parallel_min_morsel = 1;
+
+  const std::vector<Timestamp> taus = SweepTimes(db);
+  for (int trial = 0; trial < 6; ++trial) {
+    ExpressionPtr e = testing::MakeRandomExpression(rng, db, espec);
+    auto baseline_plan = Planner::Plan(e, db, BaselineOptions(eval));
+    ASSERT_TRUE(baseline_plan.ok())
+        << baseline_plan.status().ToString() << "\n" << e->ToString();
+    PlannerOptions on = PlannerOptions{};
+    on.eval = eval;
+    auto optimized_plan = Planner::Plan(e, db, on);
+    ASSERT_TRUE(optimized_plan.ok()) << optimized_plan.status().ToString();
+
+    for (const Timestamp& tau : taus) {
+      const std::string context =
+          "expression: " + e->ToString() +
+          "\ntau: " + std::to_string(tau.ticks());
+      auto baseline = ExecutePlan(**baseline_plan, db, tau, eval);
+      ASSERT_TRUE(baseline.ok()) << baseline.status().ToString() << "\n"
+                                 << context;
+      auto optimized = ExecutePlan(**optimized_plan, db, tau, eval);
+      ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+      ExpectIdentical(*baseline, *optimized, context + "\n(serial)");
+      // The same cached optimized plan, executed morsel-parallel.
+      auto parallel = ExecutePlan(**optimized_plan, db, tau, par_eval);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ExpectIdentical(*baseline, *parallel, context + "\n(parallel)");
+    }
+  }
+}
+
+TEST_P(PlannerPropertyTest, RewrittenPlanPreservesContentsAndGrowsTexp) {
+  Rng rng(GetParam().seed * 31 + 7);
+  Database db;
+  Fill(&db, rng);
+
+  testing::ExpressionSpec espec;
+  espec.max_depth = GetParam().max_depth;
+  espec.allow_nonmonotonic = true;
+
+  const EvalOptions eval = Eval();
+  const std::vector<Timestamp> taus = SweepTimes(db);
+  for (int trial = 0; trial < 6; ++trial) {
+    ExpressionPtr e = testing::MakeRandomExpression(rng, db, espec);
+    PlannerOptions plain;
+    plain.eval = eval;
+    PlannerOptions rewrite = plain;
+    rewrite.apply_rewrites = true;
+    auto plain_plan = Planner::Plan(e, db, plain);
+    ASSERT_TRUE(plain_plan.ok()) << plain_plan.status().ToString();
+    auto rewritten_plan = Planner::Plan(e, db, rewrite);
+    ASSERT_TRUE(rewritten_plan.ok()) << rewritten_plan.status().ToString();
+
+    for (const Timestamp& tau : taus) {
+      const std::string context =
+          "expression: " + e->ToString() + "\nrewritten: " +
+          (*rewritten_plan)->planned_expr()->ToString() +
+          "\ntau: " + std::to_string(tau.ticks());
+      auto plain_result = ExecutePlan(**plain_plan, db, tau, eval);
+      ASSERT_TRUE(plain_result.ok()) << plain_result.status().ToString();
+      auto rewritten_result = ExecutePlan(**rewritten_plan, db, tau, eval);
+      ASSERT_TRUE(rewritten_result.ok())
+          << rewritten_result.status().ToString();
+      // Contents and per-tuple texps are preserved exactly...
+      ExpectSameEntries(plain_result->relation, rewritten_result->relation,
+                        context);
+      // ...while the expression-level expiration time can only grow
+      // (Sec. 3.1: the rewrites postpone recomputation).
+      EXPECT_GE(rewritten_result->texp, plain_result->texp) << context;
+    }
+  }
+}
+
+TEST_P(PlannerPropertyTest, MatchesTheNaiveReferenceEvaluator) {
+  // The reference evaluator implements Eq. (8) aggregation literally, so
+  // anchor the comparison in conservative mode.
+  Rng rng(GetParam().seed * 131 + 17);
+  Database db;
+  Fill(&db, rng);
+
+  testing::ExpressionSpec espec;
+  espec.max_depth = GetParam().max_depth;
+  espec.allow_nonmonotonic = true;
+
+  EvalOptions eval;
+  eval.aggregate_mode = AggregateExpirationMode::kConservative;
+
+  const std::vector<Timestamp> taus = SweepTimes(db);
+  for (int trial = 0; trial < 4; ++trial) {
+    ExpressionPtr e = testing::MakeRandomExpression(rng, db, espec);
+    PlannerOptions on;
+    on.eval = eval;
+    auto plan = Planner::Plan(e, db, on);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    for (const Timestamp& tau : taus) {
+      auto reference = testing::ReferenceEval(e, db, tau);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      auto result = ExecutePlan(**plan, db, tau, eval);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectSameEntries(*reference, result->relation,
+                        "expression: " + e->ToString() +
+                            "\ntau: " + std::to_string(tau.ticks()));
+    }
+  }
+}
+
+TEST_P(PlannerPropertyTest, DifferenceRootHelperIsOptimizationInvariant) {
+  Rng rng(GetParam().seed * 977 + 5);
+  Database db;
+  const Config& cfg = GetParam();
+  testing::RelationSpec rspec;
+  rspec.num_tuples = cfg.num_tuples;
+  rspec.arity = 2;
+  // A small domain forces common tuples, hence criticals in the helper.
+  rspec.value_domain = std::min<int64_t>(cfg.value_domain, 6);
+  rspec.ttl_min = 1;
+  rspec.ttl_max = 30;
+  rspec.infinite_fraction = 0.1;
+  ASSERT_TRUE(testing::FillDatabase(&db, rng, rspec, 3).ok());
+
+  const EvalOptions eval = Eval();
+  const std::vector<ExpressionPtr> roots = {
+      Expression::MakeDifference(Expression::MakeBase("R0"),
+                                 Expression::MakeBase("R1")),
+      Expression::MakeDifference(
+          Expression::MakeUnion(Expression::MakeBase("R0"),
+                                Expression::MakeBase("R1")),
+          Expression::MakeBase("R2")),
+  };
+
+  for (const ExpressionPtr& e : roots) {
+    auto baseline_plan = Planner::Plan(e, db, BaselineOptions(eval));
+    ASSERT_TRUE(baseline_plan.ok()) << baseline_plan.status().ToString();
+    PlannerOptions on;
+    on.eval = eval;
+    auto optimized_plan = Planner::Plan(e, db, on);
+    ASSERT_TRUE(optimized_plan.ok()) << optimized_plan.status().ToString();
+
+    for (const Timestamp& tau : SweepTimes(db)) {
+      const std::string context = "difference root: " + e->ToString() +
+                                  "\ntau: " +
+                                  std::to_string(tau.ticks());
+      auto baseline = ExecutePlanDifferenceRoot(**baseline_plan, db, tau,
+                                                eval);
+      ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+      auto optimized = ExecutePlanDifferenceRoot(**optimized_plan, db, tau,
+                                                 eval);
+      ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+      ExpectIdentical(baseline->result, optimized->result, context);
+      EXPECT_EQ(baseline->common_count, optimized->common_count) << context;
+      EXPECT_EQ(baseline->children_texp, optimized->children_texp)
+          << context;
+      ASSERT_EQ(baseline->helper.size(), optimized->helper.size())
+          << context;
+      for (size_t i = 0; i < baseline->helper.size(); ++i) {
+        EXPECT_TRUE(baseline->helper[i] == optimized->helper[i])
+            << context << "\nhelper entry #" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlannerPropertyTest,
+    ::testing::Values(
+        Config{201, 60, 3, 6, AggregateExpirationMode::kConservative, false},
+        Config{202, 60, 4, 4, AggregateExpirationMode::kContributingSet,
+               true},
+        Config{203, 120, 3, 12, AggregateExpirationMode::kExact, false},
+        Config{204, 40, 5, 3, AggregateExpirationMode::kContributingSet,
+               false},
+        Config{205, 200, 2, 25, AggregateExpirationMode::kExact, true}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             std::string(AggregateExpirationModeToString(info.param.mode)
+                             .substr(0, 4)) +
+             "_n" + std::to_string(info.param.num_tuples) +
+             (info.param.compute_validity ? "_validity" : "");
+    });
+
+}  // namespace
+}  // namespace expdb

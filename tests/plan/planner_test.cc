@@ -1,0 +1,326 @@
+// Planner structure and annotation semantics: node ids, plan-time schema
+// validation (interpreter-compatible status codes), constant folding,
+// constant-false elision, expired-subtree pruning, build-side selection,
+// and common-subtree detection — each checked both structurally on the
+// PhysicalPlan and behaviorally through ExecutePlan.
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/expression.h"
+#include "obs/metrics.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
+#include "plan/planner.h"
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+using plan::PhysicalPlanPtr;
+using plan::Planner;
+using plan::PlannerOptions;
+using plan::PlanNode;
+using plan::PlanOp;
+using plan::PlanProfile;
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+double CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation* r = db_.CreateRelation(
+                         "R", Schema({{"a", ValueType::kInt64},
+                                      {"b", ValueType::kInt64}}))
+                      .value();
+    ASSERT_TRUE(r->Insert(Tuple{1, 10}, T(5)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{2, 20}, T(10)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{3, 30}, Timestamp::Infinity()).ok());
+
+    Relation* s = db_.CreateRelation(
+                         "S", Schema({{"x", ValueType::kInt64},
+                                      {"y", ValueType::kInt64}}))
+                      .value();
+    ASSERT_TRUE(s->Insert(Tuple{1, 10}, T(8)).ok());
+
+    // A relation whose every tuple expires by time 4.
+    Relation* dead = db_.CreateRelation(
+                            "Dead", Schema({{"a", ValueType::kInt64},
+                                            {"b", ValueType::kInt64}}))
+                         .value();
+    ASSERT_TRUE(dead->Insert(Tuple{7, 70}, T(3)).ok());
+    ASSERT_TRUE(dead->Insert(Tuple{8, 80}, T(4)).ok());
+  }
+
+  PhysicalPlanPtr Plan(const ExpressionPtr& e, PlannerOptions opts = {}) {
+    auto p = Planner::Plan(e, db_, opts);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return p.MoveValue();
+  }
+
+  Database db_;
+};
+
+TEST_F(PlannerTest, AssignsPreorderIdsAndOps) {
+  auto e = Select(Product(Base("R"), Base("S")),
+                  Predicate::ColumnsEqual(0, 2));
+  // Folding leaves the predicate; the tree is Filter(CrossProduct(R, S)).
+  PhysicalPlanPtr p = Plan(e);
+  ASSERT_EQ(p->node_count(), 4u);
+  const PlanNode& root = p->root();
+  EXPECT_EQ(root.id, 1u);
+  EXPECT_EQ(root.op, PlanOp::kFilter);
+  ASSERT_NE(root.left, nullptr);
+  EXPECT_EQ(root.left->id, 2u);
+  EXPECT_EQ(root.left->op, PlanOp::kCrossProduct);
+  EXPECT_EQ(root.left->left->id, 3u);
+  EXPECT_EQ(root.left->left->op, PlanOp::kScan);
+  EXPECT_EQ(root.left->right->id, 4u);
+  EXPECT_EQ(root.left->right->op, PlanOp::kScan);
+  // Scan cardinalities come from the catalog.
+  EXPECT_DOUBLE_EQ(root.left->left->est_rows, 3.0);
+  EXPECT_DOUBLE_EQ(root.left->right->est_rows, 1.0);
+  EXPECT_DOUBLE_EQ(root.left->est_rows, 3.0);
+}
+
+TEST_F(PlannerTest, PlanTimeValidationMatchesInterpreterCodes) {
+  // Unknown relation -> NotFound at plan time.
+  auto missing = Planner::Plan(Base("NoSuch"), db_);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Out-of-range predicate column -> the interpreter's validation error.
+  auto bad = Planner::Plan(
+      Select(Base("R"), Predicate::ColumnEquals(7, Value(int64_t{1}))),
+      db_);
+  ASSERT_FALSE(bad.ok());
+
+  // Union-incompatible arms -> TypeError, as Evaluate raised.
+  auto r3 = db_.CreateRelation("W", Schema({{"a", ValueType::kInt64}}));
+  ASSERT_TRUE(r3.ok());
+  auto incompatible = Planner::Plan(Union(Base("R"), Base("W")), db_);
+  ASSERT_FALSE(incompatible.ok());
+  EXPECT_EQ(incompatible.status().code(), StatusCode::kTypeError);
+
+  // Null expression keeps the exact facade message.
+  auto null_plan = Planner::Plan(nullptr, db_);
+  ASSERT_FALSE(null_plan.ok());
+  EXPECT_EQ(null_plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, ConstantTruePredicateIsElided) {
+  // sigma_true(R) plans as a bare scan; results are unchanged.
+  auto e = Select(Base("R"),
+                  Predicate::Compare(Operand::Constant(Value(int64_t{1})),
+                                     ComparisonOp::kLt,
+                                     Operand::Constant(Value(int64_t{2}))));
+  PhysicalPlanPtr p = Plan(e);
+  EXPECT_EQ(p->root().op, PlanOp::kScan);
+  EXPECT_EQ(p->node_count(), 1u);
+
+  auto result = plan::ExecutePlan(*p, db_, T(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relation.size(), 3u);
+
+  // With folding disabled the filter node stays.
+  PlannerOptions no_fold;
+  no_fold.fold_constants = false;
+  PhysicalPlanPtr unfolded = Plan(e, no_fold);
+  EXPECT_EQ(unfolded->root().op, PlanOp::kFilter);
+  auto unfolded_result = plan::ExecutePlan(*unfolded, db_, T(0));
+  ASSERT_TRUE(unfolded_result.ok());
+  EXPECT_EQ(unfolded_result->relation.size(), 3u);
+}
+
+TEST_F(PlannerTest, ConstantFalseFilterOverMonotonicInputIsElided) {
+  auto e = Select(Base("R"),
+                  Predicate::Compare(Operand::Constant(Value(int64_t{2})),
+                                     ComparisonOp::kLt,
+                                     Operand::Constant(Value(int64_t{1}))));
+  PhysicalPlanPtr p = Plan(e);
+  EXPECT_TRUE(p->root().const_false);
+  EXPECT_DOUBLE_EQ(p->root().est_rows, 0.0);
+
+  PlanProfile profile;
+  auto result = plan::ExecutePlan(*p, db_, T(0), {}, &profile);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relation.size(), 0u);
+  EXPECT_TRUE(result->texp.IsInfinite());  // empty monotonic result
+  EXPECT_TRUE(profile.at(1).pruned);
+  // The scan below was never executed.
+  EXPECT_EQ(profile.at(2).calls, 0u);
+}
+
+TEST_F(PlannerTest, ConstantFalseOverNonMonotonicIsNotElided) {
+  // sigma_false(R - S) must keep the finite texp of the difference; the
+  // planner leaves it to the executor (which still runs the subtree).
+  auto e = Select(Difference(Base("R"), Base("S")),
+                  Predicate::Literal(false));
+  PhysicalPlanPtr p = Plan(e);
+  EXPECT_FALSE(p->root().const_false);
+
+  auto via_plan = plan::ExecutePlan(*p, db_, T(0));
+  auto via_facade = Evaluate(e, db_, T(0));
+  ASSERT_TRUE(via_plan.ok());
+  ASSERT_TRUE(via_facade.ok());
+  EXPECT_EQ(via_plan->relation.size(), 0u);
+  EXPECT_EQ(via_plan->texp, via_facade->texp);
+}
+
+TEST_F(PlannerTest, ExpiredSubtreePruningSkipsExecution) {
+  const double pruned_before =
+      CounterValue("expdb_plan_pruned_subtrees_total");
+  auto e = Select(Base("Dead"), Predicate::ColumnEquals(0, Value(int64_t{7})));
+  PhysicalPlanPtr p = Plan(e);
+
+  // Before the bound: normal execution.
+  PlanProfile before;
+  auto live = plan::ExecutePlan(*p, db_, T(0), {}, &before);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->relation.size(), 1u);
+  EXPECT_FALSE(before.at(1).pruned);
+
+  // At tau >= max texp the whole subtree is pruned: the scan never runs,
+  // and the result is the exact empty relation with texp = infinity.
+  PlanProfile after;
+  auto dead = plan::ExecutePlan(*p, db_, T(4), {}, &after);
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ(dead->relation.size(), 0u);
+  EXPECT_TRUE(dead->texp.IsInfinite());
+  EXPECT_EQ(dead->validity, IntervalSet::From(T(4)));
+  EXPECT_TRUE(after.at(1).pruned);
+  EXPECT_EQ(after.at(2).calls, 0u);
+  EXPECT_GE(CounterValue("expdb_plan_pruned_subtrees_total"),
+            pruned_before + 1.0);
+
+  // Parity with the facade at the pruned time.
+  auto facade = Evaluate(e, db_, T(4));
+  ASSERT_TRUE(facade.ok());
+  EXPECT_EQ(facade->relation.size(), 0u);
+  EXPECT_EQ(facade->texp, dead->texp);
+}
+
+TEST_F(PlannerTest, PruningIsRecheckedPerExecution) {
+  // The bound is computed against the live database at execution time, so
+  // a cached plan sees tuples inserted after planning.
+  Relation* dead = db_.GetRelation("Dead").value();
+  auto e = Base("Dead");
+  PhysicalPlanPtr p = Plan(e);
+  auto empty = plan::ExecutePlan(*p, db_, T(10));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->relation.size(), 0u);
+
+  ASSERT_TRUE(dead->Insert(Tuple{9, 90}, T(50)).ok());
+  auto revived = plan::ExecutePlan(*p, db_, T(10));
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(revived->relation.size(), 1u);
+  EXPECT_TRUE(revived->relation.Contains(Tuple{9, 90}));
+}
+
+TEST_F(PlannerTest, BuildSideFollowsEstimatedCardinality) {
+  // |R| = 3 > |S| = 1: build on the smaller left requires l < r, so with
+  // R on the left the classic build-right stays; with S on the left the
+  // planner flips the build side.
+  Predicate p = Predicate::ColumnsEqual(0, 2);
+  PhysicalPlanPtr big_left = Plan(Join(Base("R"), Base("S"), p));
+  EXPECT_FALSE(big_left->root().build_left);
+  PhysicalPlanPtr small_left = Plan(Join(Base("S"), Base("R"), p));
+  EXPECT_TRUE(small_left->root().build_left);
+
+  // Either build side produces the identical result set.
+  auto r1 = plan::ExecutePlan(*big_left, db_, T(0));
+  auto r2 = plan::ExecutePlan(*small_left, db_, T(0));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->relation.size(), 1u);
+  EXPECT_EQ(r2->relation.size(), 1u);
+  EXPECT_TRUE(r1->relation.Contains(Tuple{1, 10, 1, 10}));
+  EXPECT_TRUE(r2->relation.Contains(Tuple{1, 10, 1, 10}));
+  // Join texp: min of the matched pair (5 vs 8).
+  EXPECT_EQ(*r1->relation.GetTexp(Tuple{1, 10, 1, 10}), T(5));
+  EXPECT_EQ(*r2->relation.GetTexp(Tuple{1, 10, 1, 10}), T(5));
+
+  PlannerOptions fixed;
+  fixed.choose_build_side = false;
+  EXPECT_FALSE(Plan(Join(Base("S"), Base("R"), p), fixed)->root().build_left);
+}
+
+TEST_F(PlannerTest, CommonSubtreesAreDetectedAndReused) {
+  const double reuses_before = CounterValue("expdb_plan_cse_reuses_total");
+  // The same filtered scan feeds both union arms.
+  auto shared = Select(Base("R"), Predicate::Compare(
+                                      Operand::Column(1), ComparisonOp::kGe,
+                                      Operand::Constant(Value(int64_t{10}))));
+  auto e = Union(shared, shared);
+  PhysicalPlanPtr p = Plan(e);
+  ASSERT_EQ(p->root().op, PlanOp::kUnionMerge);
+  EXPECT_GE(p->root().left->cse_id, 0);
+  EXPECT_EQ(p->root().left->cse_id, p->root().right->cse_id);
+
+  PlanProfile profile;
+  auto result = plan::ExecutePlan(*p, db_, T(0), {}, &profile);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relation.size(), 3u);
+  // Second occurrence was served from the per-execution cache.
+  EXPECT_TRUE(profile.at(p->root().right->id).reused);
+  EXPECT_FALSE(profile.at(p->root().left->id).reused);
+  EXPECT_GE(CounterValue("expdb_plan_cse_reuses_total"),
+            reuses_before + 1.0);
+
+  // Leaves are never CSE'd (a scan is cheaper than a result copy).
+  PhysicalPlanPtr leaves = Plan(Union(Base("R"), Base("R")));
+  EXPECT_EQ(leaves->root().left->cse_id, -1);
+  EXPECT_EQ(leaves->root().right->cse_id, -1);
+}
+
+TEST_F(PlannerTest, FacadeMatchesDirectPlanExecute) {
+  auto e = Project(Select(Product(Base("R"), Base("S")),
+                          Predicate::ColumnsEqual(0, 2)),
+                   {0, 1});
+  PhysicalPlanPtr p = Plan(e);
+  for (int64_t tau : {0, 5, 8, 10, 12}) {
+    auto direct = plan::ExecutePlan(*p, db_, T(tau));
+    auto facade = Evaluate(e, db_, T(tau));
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(facade.ok());
+    EXPECT_EQ(direct->relation.size(), facade->relation.size());
+    EXPECT_EQ(direct->texp, facade->texp);
+    EXPECT_TRUE(
+        Relation::EqualAt(direct->relation, facade->relation, T(tau)));
+  }
+}
+
+TEST_F(PlannerTest, DifferenceRootRequiresDifferenceOrAntiJoin) {
+  auto bad = EvaluateDifferenceRoot(Base("R"), db_, T(0));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  PhysicalPlanPtr p = Plan(Base("R"));
+  auto direct_bad = plan::ExecutePlanDifferenceRoot(*p, db_, T(0));
+  ASSERT_FALSE(direct_bad.ok());
+  EXPECT_EQ(direct_bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, ParallelAnnotationRespectsOptions) {
+  PlannerOptions serial;
+  serial.eval.parallelism = 1;
+  EXPECT_FALSE(Plan(Base("R"), serial)->root().parallel);
+
+  PlannerOptions parallel;
+  parallel.eval.parallelism = 4;
+  parallel.eval.parallel_min_morsel = 1;
+  EXPECT_TRUE(Plan(Base("R"), parallel)->root().parallel);
+
+  // Below the morsel cutoff the scan is annotated serial.
+  PlannerOptions big_morsel;
+  big_morsel.eval.parallelism = 4;
+  big_morsel.eval.parallel_min_morsel = 1024;
+  EXPECT_FALSE(Plan(Base("R"), big_morsel)->root().parallel);
+}
+
+}  // namespace
+}  // namespace expdb
