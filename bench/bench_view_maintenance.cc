@@ -10,6 +10,15 @@
 // ZERO recomputations regardless of horizon, so its advantage grows
 // linearly with the horizon; for non-monotonic views recomputations drop
 // from one-per-tick to one-per-invalidation.
+//
+// Experiment C10 (update-rate axis): when base relations receive explicit
+// updates, a stale view is maintained either by full recomputation or by
+// pushing the recorded base deltas through its cached physical plan
+// (Options::incremental). BM_UpdateRound{Delta,Recompute} sweep the
+// updates-per-round fraction (‰ of the base) at fixed base sizes: the
+// delta path is O(|delta|) and wins at small fractions, recomputation is
+// O(|base|) and catches up as the fraction grows — the crossover is
+// recorded in EXPERIMENTS.md C10.
 
 #include <benchmark/benchmark.h>
 
@@ -92,12 +101,96 @@ void RunView(benchmark::State& state, const std::string& kind) {
   state.SetLabel("expiration-aware view");
 }
 
+/// One maintenance round under explicit updates: mutate `per_mille`‰ of
+/// the (never-expiring) base, mark the view stale, and bring it current.
+/// `incremental` selects delta propagation vs full recomputation; the
+/// expressions and update streams are identical, so real_time compares
+/// the two maintenance strategies head to head.
+void RunUpdateRound(benchmark::State& state, bool incremental) {
+  const int64_t n = state.range(0);
+  const int64_t per_mille = state.range(1);
+  Rng rng(4242);
+  Database db;
+  testing::RelationSpec spec;
+  spec.num_tuples = static_cast<size_t>(n);
+  spec.arity = 2;
+  spec.value_domain = std::max<int64_t>(4, n / 16);
+  // All-infinite lifetimes isolate the update axis: nothing expires, so
+  // every maintenance round is driven purely by the explicit mutations.
+  spec.infinite_fraction = 1.0;
+  if (!testing::FillDatabase(&db, rng, spec, 2).ok()) {
+    state.SkipWithError("FillDatabase failed");
+    return;
+  }
+  using namespace algebra;
+  ExpressionPtr expr = Project(
+      Join(Base("R0"), Base("R1"), Predicate::ColumnsEqual(0, 2)),
+      {0, 1, 3});
+
+  MaterializedView::Options opts;
+  opts.incremental = incremental;
+  MaterializedView view(expr, opts);
+  Status st = view.Initialize(db, Timestamp::Zero());
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+
+  // A live-tuple pool makes erase victims O(1) to pick; each update is an
+  // erase of one existing tuple plus an insert of a fresh one, keeping
+  // the base cardinality stable (and the ≥2× replan heuristic quiet).
+  std::vector<Tuple> live;
+  for (const Relation::Entry& e : db.GetRelation("R0").value()->entries()) {
+    live.push_back(e.tuple);
+  }
+  const int64_t updates =
+      std::max<int64_t>(1, n * per_mille / 1000);
+
+  auto round = [&]() {
+    for (int64_t i = 0; i < updates; ++i) {
+      const size_t victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      (void)db.Erase("R0", live[victim]);
+      Tuple fresh{rng.UniformInt(0, spec.value_domain - 1),
+                  rng.UniformInt(0, 1'000'000'000)};
+      live[victim] = fresh;
+      (void)db.Insert("R0", std::move(fresh), Timestamp::Infinity());
+    }
+    view.MarkStale();
+    Status rst = view.AdvanceTo(db, Timestamp(1));
+    if (!rst.ok()) state.SkipWithError(rst.ToString().c_str());
+    benchmark::DoNotOptimize(view.result().relation.size());
+  };
+
+  // Two untimed warmup rounds: incremental seeding is demand-driven, so
+  // the first stale round recomputes and seeds; the timed loop below
+  // then measures steady-state maintenance rounds for both strategies.
+  round();
+  round();
+
+  for (auto _ : state) round();
+  state.counters["updates_per_round"] =
+      benchmark::Counter(static_cast<double>(updates));
+  state.counters["delta_applies"] = benchmark::Counter(
+      static_cast<double>(view.stats().delta_applies));
+  state.counters["delta_fallbacks"] = benchmark::Counter(
+      static_cast<double>(view.stats().delta_fallbacks));
+  state.SetLabel(incremental ? "delta-propagation" : "full-recompute");
+}
+
 void BM_JoinBaseline(benchmark::State& state) { RunBaseline(state, "join"); }
 void BM_JoinView(benchmark::State& state) { RunView(state, "join"); }
 void BM_AggBaseline(benchmark::State& state) { RunBaseline(state, "agg"); }
 void BM_AggView(benchmark::State& state) { RunView(state, "agg"); }
 void BM_DiffBaseline(benchmark::State& state) { RunBaseline(state, "diff"); }
 void BM_DiffView(benchmark::State& state) { RunView(state, "diff"); }
+
+void BM_UpdateRoundDelta(benchmark::State& state) {
+  RunUpdateRound(state, /*incremental=*/true);
+}
+void BM_UpdateRoundRecompute(benchmark::State& state) {
+  RunUpdateRound(state, /*incremental=*/false);
+}
 
 #define VIEW_ARGS Range(1 << 10, 1 << 14)->Unit(benchmark::kMillisecond)
 BENCHMARK(BM_JoinBaseline)->VIEW_ARGS;
@@ -106,6 +199,15 @@ BENCHMARK(BM_AggBaseline)->VIEW_ARGS;
 BENCHMARK(BM_AggView)->VIEW_ARGS;
 BENCHMARK(BM_DiffBaseline)->VIEW_ARGS;
 BENCHMARK(BM_DiffView)->VIEW_ARGS;
+
+// The C10 update-rate axis: {base size} × {updates per round, ‰}. The 1‰
+// and 10‰ (0.1% / 1%) points are where the delta path should dominate;
+// 100‰–300‰ bracket the crossover back to full recomputation.
+#define UPDATE_ARGS                                              \
+  ArgsProduct({{1 << 14, 100000}, {1, 10, 100, 300}})            \
+      ->Unit(benchmark::kMillisecond)
+BENCHMARK(BM_UpdateRoundDelta)->UPDATE_ARGS;
+BENCHMARK(BM_UpdateRoundRecompute)->UPDATE_ARGS;
 
 }  // namespace
 

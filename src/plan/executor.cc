@@ -195,14 +195,16 @@ class MorselRunner {
 class PlanExecutor {
  public:
   PlanExecutor(const PhysicalPlan& plan, const Database& db, Timestamp tau,
-               const EvalOptions& options, PlanProfile* profile)
+               const EvalOptions& options, PlanProfile* profile,
+               NodeCapture* capture)
       : plan_(plan),
         db_(db),
         tau_(tau),
         options_(options),
         runner_(ResolveWorkers(options.parallelism),
                 options.parallel_min_morsel, options.enable_metrics),
-        profile_(profile) {
+        profile_(profile),
+        capture_(capture) {
     if (plan_.options().prune_expired) {
       bounds_.assign(plan_.node_count() + 1, Timestamp::Infinity());
       ComputeBound(plan_.root());
@@ -229,7 +231,11 @@ class PlanExecutor {
       if (metrics && !n.const_false) {
         EvalMetricSet::Get().pruned_subtrees->Increment();
       }
-      return EmptyResult(n);
+      MaterializedResult empty = EmptyResult(n);
+      if (capture_ != nullptr) {
+        capture_->nodes[n.id] = {empty, /*pruned=*/true, /*reused=*/false};
+      }
+      return empty;
     }
 
     // Common-subtree reuse: an identical subtree already materialized in
@@ -242,6 +248,10 @@ class PlanExecutor {
           stats->rows += it->second.relation.size();
         }
         if (metrics) EvalMetricSet::Get().cse_reuses->Increment();
+        if (capture_ != nullptr) {
+          capture_->nodes[n.id] = {it->second, /*pruned=*/false,
+                                   /*reused=*/true};
+        }
         return it->second;
       }
     }
@@ -264,6 +274,10 @@ class PlanExecutor {
       if (r.ok()) stats->rows += r.value().relation.size();
     }
     if (r.ok() && n.cse_id >= 0) cse_cache_[n.cse_id] = r.value();
+    if (r.ok() && capture_ != nullptr) {
+      capture_->nodes[n.id] = {r.value(), /*pruned=*/false,
+                               /*reused=*/false};
+    }
     return r;
   }
 
@@ -934,6 +948,7 @@ class PlanExecutor {
   EvalOptions options_;
   MorselRunner runner_;
   PlanProfile* profile_;
+  NodeCapture* capture_;
   /// Per-node live texp upper bounds (empty when pruning is off).
   std::vector<Timestamp> bounds_;
   /// Results of already-materialized common subtrees, by cse_id.
@@ -953,8 +968,9 @@ size_t ResolveWorkers(size_t parallelism) {
 Result<MaterializedResult> ExecutePlan(const PhysicalPlan& plan,
                                        const Database& db, Timestamp tau,
                                        const EvalOptions& options,
-                                       PlanProfile* profile) {
-  PlanExecutor executor(plan, db, tau, options, profile);
+                                       PlanProfile* profile,
+                                       NodeCapture* capture) {
+  PlanExecutor executor(plan, db, tau, options, profile, capture);
   auto run = [&]() -> Result<MaterializedResult> {
     if (profile != nullptr) {
       profile->Resize(plan.node_count());
@@ -974,14 +990,15 @@ Result<MaterializedResult> ExecutePlan(const PhysicalPlan& plan,
 
 Result<DifferenceEvalResult> ExecutePlanDifferenceRoot(
     const PhysicalPlan& plan, const Database& db, Timestamp tau,
-    const EvalOptions& options, PlanProfile* profile) {
+    const EvalOptions& options, PlanProfile* profile,
+    NodeCapture* capture) {
   const PlanNode& root = plan.root();
   if (root.op != PlanOp::kHashDifference &&
       root.op != PlanOp::kHashAntiJoin) {
     return Status::InvalidArgument(
         "ExecutePlanDifferenceRoot requires a difference or anti-join root");
   }
-  PlanExecutor executor(plan, db, tau, options, profile);
+  PlanExecutor executor(plan, db, tau, options, profile, capture);
   auto run = [&]() -> Result<DifferenceEvalResult> {
     PlanProfile::NodeStats* stats = nullptr;
     int64_t t0 = 0;
@@ -1002,7 +1019,16 @@ Result<DifferenceEvalResult> ExecutePlanDifferenceRoot(
     }
     return r;
   };
-  if (!options.enable_metrics) return run();
+  // The root does not go through Exec() on this entry point, so its
+  // materialization is captured here (children are captured by Exec).
+  auto finish = [&](Result<DifferenceEvalResult> r) {
+    if (r.ok() && capture != nullptr) {
+      capture->nodes[root.id] = {r.value().result, /*pruned=*/false,
+                                 /*reused=*/false};
+    }
+    return r;
+  };
+  if (!options.enable_metrics) return finish(run());
   const size_t k = static_cast<size_t>(root.expr->kind());
   const EvalMetricSet& m = EvalMetricSet::Get();
   m.evaluations->Increment();
@@ -1011,7 +1037,7 @@ Result<DifferenceEvalResult> ExecutePlanDifferenceRoot(
   obs::ScopedSpan span("eval.root", m.latency);
   Result<DifferenceEvalResult> r = run();
   if (r.ok()) m.tuples_out->Increment(r.value().result.relation.size());
-  return r;
+  return finish(std::move(r));
 }
 
 }  // namespace plan

@@ -10,6 +10,9 @@
 #ifndef EXPDB_PLAN_EXECUTOR_H_
 #define EXPDB_PLAN_EXECUTOR_H_
 
+#include <cstdint>
+#include <map>
+
 #include "common/result.h"
 #include "core/eval.h"
 #include "plan/plan.h"
@@ -22,22 +25,45 @@ namespace plan {
 /// the hardware (>= 2), anything else is the worker count.
 size_t ResolveWorkers(size_t parallelism);
 
+/// \brief Per-node materializations captured during one plan execution —
+/// the seed state for incremental (delta-driven) maintenance of the plan
+/// (plan/delta.h). Keyed by PlanNode::id.
+///
+/// Children of a pruned/const-false node and of a common-subtree shadow
+/// occurrence never execute, so they have no entries; DeltaPropagator
+/// reconstructs them (empty results under a pruned ancestor, the primary
+/// occurrence's state for shadows). Capturing copies every node's output,
+/// so request it only when the result will actually be maintained
+/// incrementally.
+struct NodeCapture {
+  struct Entry {
+    MaterializedResult result;
+    bool pruned = false;  ///< expired-subtree prune or const-false elision
+    bool reused = false;  ///< served from the common-subtree cache
+  };
+  std::map<uint32_t, Entry> nodes;
+};
+
 /// \brief Executes `plan` against `db` at time `tau`.
 ///
 /// `options` are the execution-time EvalOptions (parallelism, aggregate
 /// mode, validity) — usually the ones the plan was annotated with, but a
 /// cached plan may be executed under different settings. When `profile`
 /// is non-null it is resized to the plan and filled with per-node stats.
+/// When `capture` is non-null every executed node's materialization is
+/// copied into it (see NodeCapture).
 Result<MaterializedResult> ExecutePlan(const PhysicalPlan& plan,
                                        const Database& db, Timestamp tau,
                                        const EvalOptions& options = {},
-                                       PlanProfile* profile = nullptr);
+                                       PlanProfile* profile = nullptr,
+                                       NodeCapture* capture = nullptr);
 
 /// \brief Like ExecutePlan for plans whose root is a difference or
 /// anti-join; additionally returns the Theorem 3 helper entries.
 Result<DifferenceEvalResult> ExecutePlanDifferenceRoot(
     const PhysicalPlan& plan, const Database& db, Timestamp tau,
-    const EvalOptions& options = {}, PlanProfile* profile = nullptr);
+    const EvalOptions& options = {}, PlanProfile* profile = nullptr,
+    NodeCapture* capture = nullptr);
 
 }  // namespace plan
 }  // namespace expdb

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "plan/delta.h"
+
 namespace expdb {
 namespace plan {
 
@@ -92,8 +94,8 @@ std::string FormatAttrs(const std::vector<size_t>& attrs) {
   return out;
 }
 
-void RenderNode(const PlanNode& n, const PlanProfile* profile, size_t depth,
-                std::string* out) {
+void RenderNode(const PlanNode& n, const PlanProfile* profile,
+                const EvalOptions& eval, size_t depth, std::string* out) {
   out->append(2 * depth, ' ');
   *out += "#" + std::to_string(n.id) + " ";
   *out += PlanOpName(n.op);
@@ -130,6 +132,7 @@ void RenderNode(const PlanNode& n, const PlanProfile* profile, size_t depth,
   if (n.cse_id >= 0) *out += ", cse=#" + std::to_string(n.cse_id);
   if (n.parallel) *out += ", parallel";
   *out += "]";
+  if (!n.const_false && NodeSupportsDelta(n, eval)) *out += " [incremental]";
   if (profile != nullptr && n.id < profile->nodes.size()) {
     const PlanProfile::NodeStats& s = profile->at(n.id);
     *out += " (rows=" + std::to_string(s.rows) +
@@ -139,8 +142,10 @@ void RenderNode(const PlanNode& n, const PlanProfile* profile, size_t depth,
     if (s.reused) *out += " [reused]";
   }
   *out += "\n";
-  if (n.left != nullptr) RenderNode(*n.left, profile, depth + 1, out);
-  if (n.right != nullptr) RenderNode(*n.right, profile, depth + 1, out);
+  if (n.left != nullptr) RenderNode(*n.left, profile, eval, depth + 1, out);
+  if (n.right != nullptr) {
+    RenderNode(*n.right, profile, eval, depth + 1, out);
+  }
 }
 
 }  // namespace
@@ -160,7 +165,7 @@ std::string PhysicalPlan::ToString(const PlanProfile* profile) const {
     out += " total_time=" + FormatDurationNs(profile->total_ns);
   }
   out += "\n";
-  RenderNode(*root_, profile, 0, &out);
+  RenderNode(*root_, profile, options_.eval, 0, &out);
   return out;
 }
 

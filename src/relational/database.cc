@@ -43,6 +43,17 @@ Result<const Relation*> Database::GetRelation(const std::string& name) const {
   return static_cast<const Relation*>(it->second.get());
 }
 
+Status Database::Insert(const std::string& name, Tuple tuple,
+                        Timestamp texp) {
+  EXPDB_ASSIGN_OR_RETURN(Relation * rel, GetRelation(name));
+  return rel->Insert(std::move(tuple), texp);
+}
+
+Result<bool> Database::Erase(const std::string& name, const Tuple& tuple) {
+  EXPDB_ASSIGN_OR_RETURN(Relation * rel, GetRelation(name));
+  return rel->Erase(tuple);
+}
+
 Status Database::DropRelation(const std::string& name) {
   if (relations_.erase(name) == 0) {
     return Status::NotFound("no relation named '" + name + "'");

@@ -47,6 +47,23 @@ class Database {
     return relations_.find(name) != relations_.end();
   }
 
+  /// \brief Inserts `tuple` into the named relation (max-merging texp on
+  /// duplicates, like Relation::Insert).
+  ///
+  /// This is the delta-friendly update path: when the target relation has
+  /// delta tracking enabled (the view layer turns it on for view bases),
+  /// the mutation is recorded in its delta ring and dependent materialized
+  /// views can be maintained incrementally. `PutRelation` wholesale
+  /// replacement, by contrast, always forces the full-recompute path.
+  Status Insert(const std::string& name, Tuple tuple,
+                Timestamp texp = Timestamp::Infinity());
+
+  /// \brief Erases `tuple` from the named relation.
+  /// \return true if a tuple was erased, false if it was absent; NotFound
+  /// if the relation does not exist. Recorded in the delta ring like
+  /// `Insert`.
+  Result<bool> Erase(const std::string& name, const Tuple& tuple);
+
   /// \brief Drops the named relation.
   Status DropRelation(const std::string& name);
 

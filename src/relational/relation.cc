@@ -1,6 +1,7 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace expdb {
@@ -14,7 +15,108 @@ size_t NextPow2(size_t n) {
   return cap;
 }
 
+/// Process-unique ids for tracked relations; 0 is reserved for "untracked".
+uint64_t NextDeltaInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
+
+// --- identity -------------------------------------------------------------
+
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      entries_(other.entries_),
+      slots_(other.slots_),
+      tombstones_(other.tombstones_),
+      max_texp_(other.max_texp_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    entries_ = other.entries_;
+    slots_ = other.slots_;
+    tombstones_ = other.tombstones_;
+    max_texp_ = other.max_texp_;
+    // Assignment replaces this object's contents wholesale; any recorded
+    // history no longer describes them.
+    delta_.reset();
+  }
+  return *this;
+}
+
+// --- delta capture --------------------------------------------------------
+
+void Relation::EnableDeltaTracking(size_t ring_capacity) const {
+  if (delta_ != nullptr) return;
+  delta_ = std::make_unique<DeltaLog>();
+  delta_->instance_id = NextDeltaInstanceId();
+  delta_->capacity = ring_capacity > 0 ? ring_capacity : 1;
+}
+
+uint64_t Relation::delta_instance_id() const {
+  return delta_ != nullptr ? delta_->instance_id : 0;
+}
+
+uint64_t Relation::delta_epoch() const {
+  return delta_ != nullptr ? delta_->epoch : 0;
+}
+
+std::optional<std::vector<Relation::DeltaBatch>> Relation::DeltasSince(
+    uint64_t since) const {
+  if (delta_ == nullptr) return std::nullopt;
+  // A cursor from the future (or from another relation's clock) or one
+  // older than the retained window cannot be served exactly.
+  if (since > delta_->epoch || since < delta_->floor) return std::nullopt;
+  std::vector<DeltaBatch> out;
+  for (const DeltaBatch& b : delta_->batches) {
+    if (b.epoch > since) out.push_back(b);
+  }
+  return out;
+}
+
+void Relation::RecordDeltaInsert(const Tuple& tuple, Timestamp texp) {
+  if (delta_ == nullptr) return;
+  DeltaBatch b;
+  b.epoch = ++delta_->epoch;
+  b.inserted.push_back(Entry{tuple, texp});
+  delta_->batches.push_back(std::move(b));
+  TrimDeltaRing();
+}
+
+void Relation::RecordDeltaUpdate(const Tuple& tuple, Timestamp old_texp,
+                                 Timestamp new_texp) {
+  if (delta_ == nullptr) return;
+  DeltaBatch b;
+  b.epoch = ++delta_->epoch;
+  b.deleted.push_back(Entry{tuple, old_texp});
+  b.inserted.push_back(Entry{tuple, new_texp});
+  delta_->batches.push_back(std::move(b));
+  TrimDeltaRing();
+}
+
+void Relation::RecordDeltaErase(const Tuple& tuple, Timestamp old_texp) {
+  if (delta_ == nullptr) return;
+  DeltaBatch b;
+  b.epoch = ++delta_->epoch;
+  b.deleted.push_back(Entry{tuple, old_texp});
+  delta_->batches.push_back(std::move(b));
+  TrimDeltaRing();
+}
+
+void Relation::TrimDeltaRing() {
+  while (delta_->batches.size() > delta_->capacity) {
+    delta_->floor = delta_->batches.front().epoch;
+    delta_->batches.pop_front();
+  }
+}
+
+void Relation::BreakDeltaHistory() {
+  if (delta_ == nullptr) return;
+  delta_->batches.clear();
+  delta_->floor = ++delta_->epoch;
+}
 
 // --- hash index -----------------------------------------------------------
 
@@ -175,20 +277,33 @@ Status Relation::InsertWithTtl(Tuple tuple, Timestamp now, int64_t ttl) {
 
 void Relation::InsertUnchecked(Tuple tuple, Timestamp texp) {
   auto [idx, inserted] = InsertEntry(std::move(tuple), texp);
-  if (!inserted) entries_[idx].texp = texp;
+  if (inserted) {
+    RecordDeltaInsert(entries_[idx].tuple, texp);
+  } else {
+    const Timestamp old = entries_[idx].texp;
+    entries_[idx].texp = texp;
+    if (old != texp) RecordDeltaUpdate(entries_[idx].tuple, old, texp);
+  }
 }
 
 void Relation::MergeMaxUnchecked(Tuple tuple, Timestamp texp) {
   auto [idx, inserted] = InsertEntry(std::move(tuple), texp);
-  if (!inserted) {
-    entries_[idx].texp = Timestamp::Max(entries_[idx].texp, texp);
+  if (inserted) {
+    RecordDeltaInsert(entries_[idx].tuple, texp);
+  } else {
+    const Timestamp old = entries_[idx].texp;
+    const Timestamp merged = Timestamp::Max(old, texp);
+    entries_[idx].texp = merged;
+    if (merged != old) RecordDeltaUpdate(entries_[idx].tuple, old, merged);
   }
 }
 
 bool Relation::Erase(const Tuple& tuple) {
   const size_t slot = FindSlot(tuple);
   if (slot == kNotFound) return false;
-  EraseAt(static_cast<size_t>(slots_[slot]), slot);
+  const size_t entry_idx = static_cast<size_t>(slots_[slot]);
+  RecordDeltaErase(entries_[entry_idx].tuple, entries_[entry_idx].texp);
+  EraseAt(entry_idx, slot);
   return true;
 }
 
@@ -313,6 +428,9 @@ Status Relation::RenameAttributes(const std::vector<std::string>& names) {
   for (size_t i = 0; i < names.size(); ++i) attrs[i].name = names[i];
   EXPDB_ASSIGN_OR_RETURN(Schema renamed, Schema::Make(std::move(attrs)));
   schema_ = std::move(renamed);
+  // A schema change invalidates any consumer interpreting recorded deltas
+  // against the old attribute names; force them back onto the full path.
+  BreakDeltaHistory();
   return Status::OK();
 }
 

@@ -22,7 +22,9 @@
 #define EXPDB_RELATIONAL_RELATION_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -56,6 +58,15 @@ class Relation {
 
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  // Delta history is bound to the identity of one Relation object (see
+  // EnableDeltaTracking): moves preserve it, copies start untracked — a
+  // copy is a new body of data whose future mutations the original's
+  // subscribers never see.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   const Schema& schema() const { return schema_; }
   size_t arity() const { return schema_.arity(); }
@@ -147,6 +158,63 @@ class Relation {
   /// texp_upper_bound() <= τ then expτ(R) = ∅.
   Timestamp texp_upper_bound() const { return max_texp_; }
 
+  // --- per-epoch delta capture (docs/PERFORMANCE.md §6) -------------------
+  //
+  // Incremental view maintenance needs the *stream* of explicit mutations
+  // (the predecessor TR frames expiration itself as a stream of deletions;
+  // here the stream is the explicit inserts/deletes the paper's no-update
+  // assumption excludes). When tracking is enabled, every mutation is
+  // recorded as one epoch in a bounded ring of DeltaBatches:
+  //
+  //  * a fresh insert       -> {epoch, inserted=[t@texp],  deleted=[]}
+  //  * an effective texp
+  //    change on duplicate  -> {epoch, inserted=[t@new],   deleted=[t@old]}
+  //  * an erase             -> {epoch, inserted=[],        deleted=[t@old]}
+  //
+  // Physical expiration (RemoveExpired) is NOT recorded: removing tuples
+  // with texp <= τ never changes expτ' for any τ' >= τ, so consumers that
+  // always read through expτ see no difference. Clear() and attribute
+  // renames break the history (consumers must fall back to recomputation).
+  // Ring overflow trims the oldest epochs; DeltasSince reports the loss
+  // instead of returning a partial stream.
+
+  /// One recorded mutation epoch. `deleted` precedes `inserted` when both
+  /// are non-empty (a texp change is delete-old-then-insert-new).
+  struct DeltaBatch {
+    uint64_t epoch = 0;
+    std::vector<Entry> inserted;
+    std::vector<Entry> deleted;
+  };
+
+  static constexpr size_t kDefaultDeltaRingCapacity = 4096;
+
+  /// \brief Starts recording per-epoch deltas (idempotent; an existing log
+  /// is kept). Assigns a process-unique instance id on first enable.
+  ///
+  /// `const` because the log is bookkeeping *about* mutations, not data:
+  /// read paths never consult it, and consumers (materialized views) only
+  /// hold const access to base relations. Not thread-safe against
+  /// concurrent enables; callers serialize maintenance as they already do
+  /// for mutation.
+  void EnableDeltaTracking(
+      size_t ring_capacity = kDefaultDeltaRingCapacity) const;
+
+  bool delta_tracking() const { return delta_ != nullptr; }
+
+  /// \brief Process-unique identity of this tracked relation; 0 when
+  /// tracking is disabled. Consumers pair it with delta_epoch() as a
+  /// cursor — an id mismatch means "different body of data, recompute".
+  uint64_t delta_instance_id() const;
+
+  /// \brief Epoch of the most recent recorded mutation (0 = none yet).
+  uint64_t delta_epoch() const;
+
+  /// \brief The ordered mutation batches recorded in epochs
+  /// (`since`, delta_epoch()]. nullopt when the history is unavailable:
+  /// tracking disabled, the ring trimmed past `since`, the history was
+  /// broken (Clear/rename), or `since` is from another relation's clock.
+  std::optional<std::vector<DeltaBatch>> DeltasSince(uint64_t since) const;
+
   /// \brief Set equality of expτ(·) of both relations, ignoring texp.
   static bool ContentsEqualAt(const Relation& a, const Relation& b,
                               Timestamp tau);
@@ -154,12 +222,14 @@ class Relation {
   /// \brief Equality of expτ(·) of both relations including texp values.
   static bool EqualAt(const Relation& a, const Relation& b, Timestamp tau);
 
-  /// \brief Removes all tuples.
+  /// \brief Removes all tuples. Breaks any recorded delta history (a
+  /// wholesale wipe cannot be represented as a bounded delta stream).
   void Clear() {
     entries_.clear();
     slots_.clear();
     tombstones_ = 0;
     max_texp_ = Timestamp::Zero();
+    BreakDeltaHistory();
   }
 
   /// \brief Renames the schema's attributes (arity must match); types and
@@ -193,6 +263,22 @@ class Relation {
   /// Rebuilds slots_ from entries_, which must be duplicate-free.
   void RebuildIndex();
 
+  // --- delta recording (no-ops when tracking is disabled) -----------------
+  struct DeltaLog {
+    uint64_t instance_id = 0;
+    uint64_t epoch = 0;  ///< epoch of the newest recorded batch
+    uint64_t floor = 0;  ///< history is complete for cursors >= floor
+    size_t capacity = kDefaultDeltaRingCapacity;
+    std::deque<DeltaBatch> batches;
+  };
+  void RecordDeltaInsert(const Tuple& tuple, Timestamp texp);
+  void RecordDeltaUpdate(const Tuple& tuple, Timestamp old_texp,
+                         Timestamp new_texp);
+  void RecordDeltaErase(const Tuple& tuple, Timestamp old_texp);
+  void TrimDeltaRing();
+  /// Invalidates all outstanding cursors (wholesale change happened).
+  void BreakDeltaHistory();
+
   Schema schema_;
   std::vector<Entry> entries_;
   /// Open-addressing index: power-of-two sized, linear probing, entry
@@ -201,6 +287,10 @@ class Relation {
   size_t tombstones_ = 0;
   /// Upper bound on every stored texp; see texp_upper_bound().
   Timestamp max_texp_ = Timestamp::Zero();
+  /// Per-epoch mutation log; null until EnableDeltaTracking. `mutable`
+  /// because enabling is metadata-only and consumers hold const access
+  /// (see EnableDeltaTracking).
+  mutable std::unique_ptr<DeltaLog> delta_;
 };
 
 }  // namespace expdb

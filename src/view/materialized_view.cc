@@ -21,11 +21,17 @@ ViewMetrics::ViewMetrics() {
   tuples_recomputed.SetParent(
       r.GetCounter("expdb_view_tuples_recomputed_total"));
   marked_stale.SetParent(r.GetCounter("expdb_view_marked_stale_total"));
+  delta_applies.SetParent(r.GetCounter("expdb_view_delta_applies_total"));
+  delta_fallbacks.SetParent(
+      r.GetCounter("expdb_view_delta_fallbacks_total"));
+  delta_tuples.SetParent(r.GetCounter("expdb_view_delta_tuples_total"));
+  replans.SetParent(r.GetCounter("expdb_view_replans_total"));
   pending_patches.SetParent(r.GetGauge("expdb_view_pending_patches"));
   materialized_tuples.SetParent(
       r.GetGauge("expdb_view_materialized_tuples"));
   recompute_latency.SetParent(
       r.GetHistogram("expdb_view_recompute_latency_ns"));
+  delta_latency.SetParent(r.GetHistogram("expdb_view_delta_latency_ns"));
 }
 
 std::string_view RefreshModeToString(RefreshMode mode) {
@@ -93,7 +99,36 @@ Status MaterializedView::EnsurePlan(const Database& db) {
   popts.apply_rewrites = options_.rewrite_plan;
   popts.eval = options_.eval;
   EXPDB_ASSIGN_OR_RETURN(plan_, plan::Planner::Plan(expr_, db, popts));
+  // Snapshot the base cardinalities the estimates were derived from; the
+  // MaybeReplan heuristic compares against them.
+  plan_base_sizes_.clear();
+  for (const std::string& name : expr_->BaseRelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (rel.ok()) plan_base_sizes_[name] = rel.value()->size();
+  }
   return Status::OK();
+}
+
+void MaterializedView::MaybeReplan(const Database& db) {
+  if (plan_ == nullptr) return;
+  for (const auto& [name, planned_size] : plan_base_sizes_) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) continue;
+    const size_t size = rel.value()->size();
+    if (size == planned_size) continue;
+    const size_t lo = size < planned_size ? size : planned_size;
+    const size_t hi = size < planned_size ? planned_size : size;
+    // ≥2× drift (0 → anything counts): the estimates behind build-side
+    // and parallelism choices are off enough to be worth re-deriving.
+    if (hi >= 2 * lo) {
+      plan_.reset();
+      plan_base_sizes_.clear();
+      propagator_.reset();
+      base_cursors_.clear();
+      metrics_.replans.Increment();
+      return;
+    }
+  }
 }
 
 Status MaterializedView::Recompute(const Database& db, Timestamp now,
@@ -101,11 +136,26 @@ Status MaterializedView::Recompute(const Database& db, Timestamp now,
   obs::ScopedSpan span(
       "view.recompute",
       count_as_maintenance ? &metrics_.recompute_latency : nullptr);
+  MaybeReplan(db);
   EXPDB_RETURN_NOT_OK(EnsurePlan(db));
+  // The recompute invalidates any previously seeded incremental state;
+  // capture the per-node materializations to reseed it when the plan is
+  // incrementalizable.
+  propagator_.reset();
+  base_cursors_.clear();
+  // Demand-driven: the capture + seeding cost is only paid once the view
+  // has actually seen an explicit update (update_seen_); expiration-only
+  // views recompute exactly as cheaply as before the delta engine.
+  const bool want_delta =
+      options_.incremental && update_seen_ &&
+      plan::PlanSupportsDelta(*plan_, options_.eval);
+  plan::NodeCapture capture;
+  plan::NodeCapture* capture_ptr = want_delta ? &capture : nullptr;
   if (options_.mode == RefreshMode::kPatchDifference) {
-    EXPDB_ASSIGN_OR_RETURN(
-        DifferenceEvalResult diff,
-        plan::ExecutePlanDifferenceRoot(*plan_, db, now, options_.eval));
+    EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult diff,
+                           plan::ExecutePlanDifferenceRoot(
+                               *plan_, db, now, options_.eval,
+                               /*profile=*/nullptr, capture_ptr));
     result_ = std::move(diff.result);
     helper_ = std::move(diff.helper);
     patch_cursor_ = 0;
@@ -114,14 +164,91 @@ Status MaterializedView::Recompute(const Database& db, Timestamp now,
     result_.texp = diff.children_texp;
   } else {
     EXPDB_ASSIGN_OR_RETURN(
-        result_, plan::ExecutePlan(*plan_, db, now, options_.eval));
+        result_, plan::ExecutePlan(*plan_, db, now, options_.eval,
+                                   /*profile=*/nullptr, capture_ptr));
   }
+  if (want_delta) SeedPropagator(db, capture);
   if (count_as_maintenance) {
     metrics_.recomputations.Increment();
     metrics_.tuples_recomputed.Increment(result_.relation.size());
   }
   UpdateGauges();
   return Status::OK();
+}
+
+void MaterializedView::SeedPropagator(const Database& db,
+                                      const plan::NodeCapture& capture) {
+  propagator_ =
+      plan::DeltaPropagator::Create(plan_, capture, options_.eval);
+  if (propagator_ == nullptr) return;
+  base_cursors_.clear();
+  for (const std::string& name : expr_->BaseRelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) {
+      // A base the expression reads is missing; the next execution fails
+      // anyway — stay on the full path.
+      propagator_.reset();
+      base_cursors_.clear();
+      return;
+    }
+    // Turn on delta capture so future explicit mutations are recorded
+    // (idempotent; metadata-only, hence allowed through const access).
+    rel.value()->EnableDeltaTracking();
+    base_cursors_[name] = {rel.value()->delta_instance_id(),
+                           rel.value()->delta_epoch()};
+  }
+}
+
+Result<bool> MaterializedView::TryApplyDeltas(const Database& db,
+                                              Timestamp now) {
+  if (propagator_ == nullptr) return false;
+  // The propagator's cached analyses (aggregate partitions, difference
+  // criticals) are only valid while the materialization is: a lapsed
+  // texp(e) means recompute.
+  if (result_.texp <= now) return false;
+  std::vector<plan::BaseDelta> deltas;
+  for (const auto& [name, cursor] : base_cursors_) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) return false;
+    const Relation* base = rel.value();
+    // An instance-id mismatch means a different body of data now lives
+    // under the name (wholesale replacement, catalog churn): the stream
+    // does not describe our seed state.
+    if (base->delta_instance_id() == 0 ||
+        base->delta_instance_id() != cursor.instance_id) {
+      return false;
+    }
+    auto batches = base->DeltasSince(cursor.epoch);
+    if (!batches.has_value()) return false;  // ring trimmed / history broken
+    if (!batches->empty()) {
+      deltas.push_back({name, std::move(*batches)});
+    }
+  }
+  obs::ScopedSpan span("view.delta_apply", &metrics_.delta_latency);
+  // Patch mode: bring the materialization up to date with the helper
+  // queue first — the propagator models appeared criticals as present.
+  if (options_.mode == RefreshMode::kPatchDifference) ApplyPatches(now);
+  EXPDB_ASSIGN_OR_RETURN(plan::DeltaPropagator::ApplyResult applied,
+                         propagator_->Apply(deltas, now));
+  plan::DeltaPropagator::ApplyOps(applied.root_ops, &result_.relation);
+  if (options_.mode == RefreshMode::kPatchDifference &&
+      applied.root_is_difference) {
+    helper_ = std::move(applied.helper);
+    patch_cursor_ = 0;
+    result_.texp = applied.children_texp;
+  } else {
+    result_.texp = applied.texp;
+  }
+  result_.materialized_at = now;
+  result_.validity = IntervalSet(now, result_.texp);
+  for (auto& [name, cursor] : base_cursors_) {
+    auto rel = db.GetRelation(name);
+    if (rel.ok()) cursor.epoch = rel.value()->delta_epoch();
+  }
+  metrics_.delta_applies.Increment();
+  metrics_.delta_tuples.Increment(applied.ops_out);
+  UpdateGauges();
+  return true;
 }
 
 void MaterializedView::ApplyPatches(Timestamp now) {
@@ -154,9 +281,31 @@ Status MaterializedView::AdvanceTo(const Database& db, Timestamp now) {
   }
   last_advance_ = now;
   if (stale_) {
-    // An explicit base update invalidated the expiration-only contract;
-    // rebuild from scratch (conservative but sound).
-    EXPDB_RETURN_NOT_OK(Recompute(db, now));
+    // An explicit base update invalidated the expiration-only contract.
+    // Preferred path: pull the recorded base deltas and push them through
+    // the cached plan — O(|delta|). Anything the incremental machinery
+    // cannot prove falls back to the full rebuild (sound by
+    // construction).
+    // If a base cardinality drifted ≥2× from its plan-time snapshot the
+    // plan's performance annotations are stale: drop it (which also
+    // drops the propagator) and let the recompute below re-derive both.
+    MaybeReplan(db);
+    bool applied = false;
+    if (options_.incremental) {
+      auto incremental = TryApplyDeltas(db, now);
+      if (incremental.ok()) {
+        applied = incremental.value();
+      } else {
+        // The propagator's state may be mid-update; discard it. The
+        // recompute below reseeds.
+        propagator_.reset();
+        base_cursors_.clear();
+      }
+    }
+    if (!applied) {
+      metrics_.delta_fallbacks.Increment();
+      EXPDB_RETURN_NOT_OK(Recompute(db, now));
+    }
     stale_ = false;
   }
   switch (options_.mode) {

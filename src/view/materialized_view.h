@@ -24,6 +24,8 @@
 #define EXPDB_VIEW_MATERIALIZED_VIEW_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "core/expression.h"
 #include "core/materialized_result.h"
 #include "obs/metrics.h"
+#include "plan/delta.h"
 #include "plan/plan.h"
 
 namespace expdb {
@@ -64,6 +67,8 @@ struct ViewStats {
   uint64_t reads_moved_forward = 0;         ///< Schrödinger: delayed reads
   uint64_t patches_applied = 0;      ///< Theorem 3 helper insertions
   uint64_t tuples_recomputed = 0;    ///< tuples produced by recomputations
+  uint64_t delta_applies = 0;        ///< incremental maintenance rounds
+  uint64_t delta_fallbacks = 0;      ///< stale updates that had to recompute
 };
 
 /// Instance-local (per-view) metric handles. Counters/histograms
@@ -79,9 +84,14 @@ struct ViewMetrics {
   obs::Counter patches_applied;
   obs::Counter tuples_recomputed;
   obs::Counter marked_stale;
+  obs::Counter delta_applies;    ///< incremental maintenance rounds
+  obs::Counter delta_fallbacks;  ///< stale updates that fell back
+  obs::Counter delta_tuples;     ///< root ops applied incrementally
+  obs::Counter replans;          ///< plans dropped by the ≥2× heuristic
   obs::Gauge pending_patches;      ///< per-view gauge
   obs::Gauge materialized_tuples;  ///< per-view gauge
   obs::Histogram recompute_latency;
+  obs::Histogram delta_latency;
 
   ViewMetrics();
 };
@@ -99,6 +109,18 @@ class MaterializedView {
     /// are opt-in. Because the optimized plan is cached, the pass runs
     /// once per view, not once per recomputation.
     bool rewrite_plan = false;
+    /// Maintain the view incrementally when a base relation reports an
+    /// explicit update: instead of recomputing, pull the base's recorded
+    /// delta stream (Relation::DeltasSince) and push it through the
+    /// cached plan (plan::DeltaPropagator) — O(|delta|) instead of
+    /// O(|base|). Falls back to recomputation whenever the plan has an
+    /// unsupported operator, the base was mutated through an untracked
+    /// path, the delta ring overflowed, or texp(e) has already passed;
+    /// correctness never depends on the incremental path
+    /// (docs/PERFORMANCE.md §6). Seeding is demand-driven: the first
+    /// explicit update's maintenance round recomputes and seeds, so
+    /// expiration-only views never pay the capture/seeding overhead.
+    bool incremental = true;
   };
 
   MaterializedView(ExpressionPtr expr, Options options);
@@ -115,7 +137,9 @@ class MaterializedView {
                      metrics_.reads_moved_backward.value(),
                      metrics_.reads_moved_forward.value(),
                      metrics_.patches_applied.value(),
-                     metrics_.tuples_recomputed.value()};
+                     metrics_.tuples_recomputed.value(),
+                     metrics_.delta_applies.value(),
+                     metrics_.delta_fallbacks.value()};
   }
 
   const ViewMetrics& metrics() const { return metrics_; }
@@ -152,17 +176,21 @@ class MaterializedView {
 
   /// \brief Marks the materialization stale because a base relation was
   /// explicitly updated (insert/delete outside expiration — the paper's
-  /// no-update assumption lifted conservatively, DESIGN.md §6): the next
-  /// maintenance point recomputes regardless of texp(e). Transitions to
-  /// stale bump the `expdb_view_marked_stale_total` counter.
+  /// no-update assumption, lifted incrementally in DESIGN.md §6): the
+  /// next maintenance point applies the recorded base deltas through the
+  /// cached plan, or recomputes when the incremental path is unavailable.
+  /// Transitions to stale bump `expdb_view_marked_stale_total`.
+  ///
+  /// The cached plan is kept: its cardinality estimates only steer
+  /// performance decisions (build sides, parallel annotations), and
+  /// dropping it on every update would defeat both the plan cache and
+  /// the delta path. The next maintenance re-plans only when a base
+  /// cardinality drifted ≥2× from its plan-time snapshot (MaybeReplan,
+  /// `expdb_view_replans_total`).
   void MarkStale() {
     if (!stale_) metrics_.marked_stale.Increment();
     stale_ = true;
-    // The cardinality estimates (and thus build sides / parallel
-    // annotations) were taken from the pre-update database; re-plan at
-    // the next recomputation. Correctness never depends on the estimates
-    // — this only refreshes the performance decisions.
-    plan_.reset();
+    update_seen_ = true;
   }
   bool stale() const { return stale_; }
 
@@ -172,24 +200,58 @@ class MaterializedView {
   const plan::PhysicalPlanPtr& plan() const { return plan_; }
 
  private:
+  /// Per-base delta cursor: the (instance id, epoch) of a tracked base
+  /// relation at the instant the current materialization was produced.
+  struct BaseCursor {
+    uint64_t instance_id = 0;
+    uint64_t epoch = 0;
+  };
+
   Status EnsurePlan(const Database& db);
+  /// Drops the cached plan when a base cardinality drifted ≥2× from its
+  /// plan-time snapshot (stale estimates steer build sides and parallel
+  /// annotations; small drifts don't change the decisions).
+  void MaybeReplan(const Database& db);
   Status Recompute(const Database& db, Timestamp now,
                    bool count_as_maintenance = true);
+  /// Seeds the delta propagator and base cursors from a recompute's
+  /// NodeCapture (no-op when the plan is not incrementalizable).
+  void SeedPropagator(const Database& db, const plan::NodeCapture& capture);
+  /// The incremental stale path: pulls the base delta streams and pushes
+  /// them through the cached plan. Returns true when the view was
+  /// maintained incrementally, false when the caller must recompute.
+  Result<bool> TryApplyDeltas(const Database& db, Timestamp now);
   void ApplyPatches(Timestamp now);
   void UpdateGauges();
 
   ExpressionPtr expr_;
   Options options_;
   plan::PhysicalPlanPtr plan_;
+  /// Plan-time base cardinalities backing the MaybeReplan heuristic.
+  std::map<std::string, size_t> plan_base_sizes_;
   MaterializedResult result_;
   // kPatchDifference: Theorem 3 helper entries sorted by appears_at; a
-  // cursor replaces pops (no new entries arrive absent base updates).
+  // cursor replaces pops (delta application regenerates the queue; base
+  // updates otherwise force recomputation).
   std::vector<DifferencePatchEntry> helper_;
   size_t patch_cursor_ = 0;
+  // Incremental maintenance state: null when the plan is not
+  // incrementalizable (or Options::incremental is off).
+  std::unique_ptr<plan::DeltaPropagator> propagator_;
+  std::map<std::string, BaseCursor> base_cursors_;
   Timestamp last_advance_;
   ViewMetrics metrics_;
   bool initialized_ = false;
   bool stale_ = false;
+  /// True once MarkStale has ever been called. Incremental state is
+  /// seeded on demand: a view that only ever ages by expiration
+  /// (the paper's no-update world) never pays for the per-node capture
+  /// and propagator seeding — its recomputes stay exactly as cheap as
+  /// before the delta engine existed. The price is that the first stale
+  /// maintenance round always recomputes (the mutations preceding it
+  /// were never recorded); every later one is eligible for the
+  /// O(|delta|) path.
+  bool update_seen_ = false;
 };
 
 }  // namespace expdb

@@ -24,6 +24,10 @@ Result<MaterializedView*> ViewManager::CreateView(
   auto view = std::make_unique<MaterializedView>(std::move(expr), options);
   EXPDB_RETURN_NOT_OK(view->Initialize(*db_, now));
   auto [it, inserted] = views_.emplace(name, std::move(view));
+  for (const std::string& base :
+       it->second->expression()->BaseRelationNames()) {
+    views_by_relation_[base].insert(name);
+  }
   view_count_gauge_.Set(static_cast<int64_t>(views_.size()));
   return it->second.get();
 }
@@ -37,23 +41,42 @@ Result<MaterializedView*> ViewManager::GetView(const std::string& name) {
 }
 
 Status ViewManager::DropView(const std::string& name) {
-  if (views_.erase(name) == 0) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
     return Status::NotFound("no view named '" + name + "'");
   }
+  for (const std::string& base :
+       it->second->expression()->BaseRelationNames()) {
+    auto rit = views_by_relation_.find(base);
+    if (rit != views_by_relation_.end()) {
+      rit->second.erase(name);
+      if (rit->second.empty()) views_by_relation_.erase(rit);
+    }
+  }
+  views_.erase(it);
   view_count_gauge_.Set(static_cast<int64_t>(views_.size()));
   return Status::OK();
 }
 
 size_t ViewManager::NotifyBaseChanged(const std::string& relation) {
   notifications_.Increment();
+  auto rit = views_by_relation_.find(relation);
+  if (rit == views_by_relation_.end()) return 0;
   size_t affected = 0;
-  for (auto& [name, view] : views_) {
-    if (view->expression()->BaseRelationNames().count(relation) > 0) {
-      view->MarkStale();
-      ++affected;
-    }
+  for (const std::string& name : rit->second) {
+    auto it = views_.find(name);
+    if (it == views_.end()) continue;
+    it->second->MarkStale();
+    ++affected;
   }
   return affected;
+}
+
+std::vector<std::string> ViewManager::DependentViews(
+    const std::string& relation) const {
+  auto rit = views_by_relation_.find(relation);
+  if (rit == views_by_relation_.end()) return {};
+  return std::vector<std::string>(rit->second.begin(), rit->second.end());
 }
 
 Status ViewManager::AdvanceAllTo(Timestamp now) {
@@ -87,6 +110,8 @@ ViewStats ViewManager::TotalStats() const {
     total.reads_moved_forward += s.reads_moved_forward;
     total.patches_applied += s.patches_applied;
     total.tuples_recomputed += s.tuples_recomputed;
+    total.delta_applies += s.delta_applies;
+    total.delta_fallbacks += s.delta_fallbacks;
   }
   return total;
 }

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,16 +44,23 @@ class ViewManager {
   Status AdvanceAllTo(Timestamp now);
 
   /// \brief Notifies the manager that `relation` received an explicit
-  /// update (insert/delete, as opposed to expiration): every view whose
-  /// expression reads it is marked stale and will recompute at its next
-  /// maintenance point. Each notification bumps the
-  /// `expdb_view_notifications_total` counter; the per-view stale
-  /// transitions show up in `expdb_view_marked_stale_total`.
+  /// update (insert/delete, as opposed to expiration): every dependent
+  /// view is marked stale and will apply the recorded base deltas — or
+  /// recompute, when the incremental path is unavailable — at its next
+  /// maintenance point. Routed through the inverted relation→views
+  /// dependency index, so the cost is O(dependents), not O(views). Each
+  /// notification bumps the `expdb_view_notifications_total` counter; the
+  /// per-view stale transitions show up in
+  /// `expdb_view_marked_stale_total`.
   /// \return the number of views whose expression reads `relation` (0 is
   /// a normal outcome for relations no view depends on — including
   /// relations the manager has never heard of; notification is not an
   /// error path).
   size_t NotifyBaseChanged(const std::string& relation);
+
+  /// \brief Names of the views whose expressions read `relation`
+  /// (a lookup in the inverted dependency index).
+  std::vector<std::string> DependentViews(const std::string& relation) const;
 
   /// \brief Reads the named view at `now`.
   Result<Relation> Read(const std::string& name, Timestamp now,
@@ -67,6 +75,10 @@ class ViewManager {
  private:
   const Database* db_;
   std::map<std::string, std::unique_ptr<MaterializedView>> views_;
+  /// Inverted dependency index: base relation → names of the views whose
+  /// expressions read it. Maintained by CreateView/DropView; used by
+  /// NotifyBaseChanged for stale-marking and delta routing.
+  std::map<std::string, std::set<std::string>> views_by_relation_;
   // Manager-level metrics: a counter of NotifyBaseChanged calls and a
   // gauge contributing this manager's live view count to the global
   // `expdb_view_count` sum (retracted on destruction).

@@ -76,8 +76,8 @@ TEST_F(ExplainTest, GoldenFilterOverScan) {
                                                     Value(int64_t{20}))));
   EXPECT_EQ(Plan(e)->ToString(),
             "PhysicalPlan nodes=2\n"
-            "#1 Filter [$2 >= 20, est=1]\n"
-            "  #2 Scan [R, est=3]\n");
+            "#1 Filter [$2 >= 20, est=1] [incremental]\n"
+            "  #2 Scan [R, est=3] [incremental]\n");
 }
 
 TEST_F(ExplainTest, GoldenHashJoinShowsBuildSide) {
@@ -85,23 +85,23 @@ TEST_F(ExplainTest, GoldenHashJoinShowsBuildSide) {
   // |R| = 3 > |S| = 1: build on the (smaller) right side.
   EXPECT_EQ(Plan(e)->ToString(),
             "PhysicalPlan nodes=3\n"
-            "#1 HashJoin [$1 = $3, build=right, est=3]\n"
-            "  #2 Scan [R, est=3]\n"
-            "  #3 Scan [S, est=1]\n");
+            "#1 HashJoin [$1 = $3, build=right, est=3] [incremental]\n"
+            "  #2 Scan [R, est=3] [incremental]\n"
+            "  #3 Scan [S, est=1] [incremental]\n");
 }
 
 TEST_F(ExplainTest, GoldenAggregateAndProject) {
   auto agg = Aggregate(Base("R"), {0}, AggregateFunction::Sum(1));
   EXPECT_EQ(Plan(agg)->ToString(),
             "PhysicalPlan nodes=2\n"
-            "#1 HashAggregate [group=$1, f=sum_2, est=3]\n"
-            "  #2 Scan [R, est=3]\n");
+            "#1 HashAggregate [group=$1, f=sum_2, est=3] [incremental]\n"
+            "  #2 Scan [R, est=3] [incremental]\n");
 
   auto proj = Project(Base("R"), {1, 0});
   EXPECT_EQ(Plan(proj)->ToString(),
             "PhysicalPlan nodes=2\n"
-            "#1 Project [cols=$2,$1, est=3]\n"
-            "  #2 Scan [R, est=3]\n");
+            "#1 Project [cols=$2,$1, est=3] [incremental]\n"
+            "  #2 Scan [R, est=3] [incremental]\n");
 }
 
 TEST_F(ExplainTest, GoldenCommonSubtreeAnnotation) {
@@ -130,9 +130,11 @@ TEST_F(ExplainTest, AnalyzeRendersPerNodeStats) {
   const std::string rendered = p->ToString(&profile);
   EXPECT_TRUE(Contains(rendered, " total_time=")) << rendered;
   // Filter keeps {(2,20), (3,30)}; the scan feeds all three tuples.
-  EXPECT_TRUE(Contains(rendered, "#1 Filter [$2 >= 20, est=1] (rows=2, "))
+  EXPECT_TRUE(Contains(
+      rendered, "#1 Filter [$2 >= 20, est=1] [incremental] (rows=2, "))
       << rendered;
-  EXPECT_TRUE(Contains(rendered, "#2 Scan [R, est=3] (rows=3, "))
+  EXPECT_TRUE(
+      Contains(rendered, "#2 Scan [R, est=3] [incremental] (rows=3, "))
       << rendered;
   EXPECT_TRUE(Contains(rendered, "calls=1)")) << rendered;
 }
@@ -147,8 +149,8 @@ TEST_F(ExplainTest, RewriteMergeSelects) {
                   p2);
   EXPECT_EQ(Rewritten(e)->ToString(),
             "PhysicalPlan nodes=2 rewrites: merge-selectsx1\n"
-            "#1 Filter [($1 = 2 and $2 >= 20), est=1]\n"
-            "  #2 Scan [R, est=3]\n");
+            "#1 Filter [($1 = 2 and $2 >= 20), est=1] [incremental]\n"
+            "  #2 Scan [R, est=3] [incremental]\n");
 }
 
 TEST_F(ExplainTest, RewriteSelectIntoJoin) {
@@ -235,8 +237,8 @@ TEST_F(ExplainTest, RewriteMergeProjects) {
   auto e = Project(Project(Base("R"), {1, 0}), {1});
   EXPECT_EQ(Rewritten(e)->ToString(),
             "PhysicalPlan nodes=2 rewrites: merge-projectsx1\n"
-            "#1 Project [cols=$1, est=3]\n"
-            "  #2 Scan [R, est=3]\n");
+            "#1 Project [cols=$1, est=3] [incremental]\n"
+            "  #2 Scan [R, est=3] [incremental]\n");
 }
 
 // --- SQL: EXPLAIN [PLAN | ANALYZE] SELECT ... -----------------------------

@@ -100,20 +100,33 @@ TEST_F(PlanCacheTest, ViewWithoutOptInNeverRewrites) {
   EXPECT_EQ(view.plan()->rewrites().total(), 0u);
 }
 
-TEST_F(PlanCacheTest, MarkStaleForcesAReplan) {
+TEST_F(PlanCacheTest, MarkStaleReplansOnlyOnCardinalityDrift) {
   const uint64_t plans0 = Metric("expdb_plan_plans_total");
+  const uint64_t replans0 = Metric("expdb_view_replans_total");
 
   MaterializedView view(ViewExpr(), {});
   ASSERT_TRUE(view.Initialize(db_, T(0)).ok());
   EXPECT_EQ(Metric("expdb_plan_plans_total") - plans0, 1u);
 
-  // A base-table update invalidates the cardinality estimates; the next
-  // maintenance point re-plans (correctness never depended on the plan —
-  // this refreshes the performance annotations).
+  // A stale round without cardinality drift keeps the cached plan: the
+  // estimates behind the performance annotations are still within 2× of
+  // the planned snapshot, and dropping the plan would also discard the
+  // delta-propagation state for no benefit.
   view.MarkStale();
-  EXPECT_EQ(view.plan(), nullptr);
+  EXPECT_NE(view.plan(), nullptr);
   ASSERT_TRUE(view.AdvanceTo(db_, T(1)).ok());
+  EXPECT_EQ(Metric("expdb_plan_plans_total") - plans0, 1u);
+  EXPECT_EQ(Metric("expdb_view_replans_total") - replans0, 0u);
+
+  // Grow R to 2× its plan-time cardinality (2 → 4 tuples): the next
+  // maintenance point re-plans and counts it.
+  Relation* r = db_.GetRelation("R").value();
+  ASSERT_TRUE(r->Insert(Tuple{3}, Timestamp::Infinity()).ok());
+  ASSERT_TRUE(r->Insert(Tuple{4}, Timestamp::Infinity()).ok());
+  view.MarkStale();
+  ASSERT_TRUE(view.AdvanceTo(db_, T(2)).ok());
   EXPECT_EQ(Metric("expdb_plan_plans_total") - plans0, 2u);
+  EXPECT_EQ(Metric("expdb_view_replans_total") - replans0, 1u);
   EXPECT_NE(view.plan(), nullptr);
 }
 

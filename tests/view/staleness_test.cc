@@ -1,7 +1,11 @@
 // Explicit base updates vs. views: the paper assumes no source updates
-// (Sec. 1); ExpDB lifts this conservatively — an explicit insert/delete
-// marks every dependent view stale, forcing a rebuild at its next
-// maintenance point, so reads never serve update-invalidated contents.
+// (Sec. 1); ExpDB lifts this incrementally — an explicit insert/delete
+// marks every dependent view stale, and the next maintenance point
+// applies the recorded base deltas through the cached plan (or rebuilds
+// when the incremental path is unavailable), so reads never serve
+// update-invalidated contents. Set-identity of the two maintenance
+// paths is swept in delta_property_test.cc; these tests pin the
+// staleness protocol itself.
 
 #include <gtest/gtest.h>
 
