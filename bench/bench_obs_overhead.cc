@@ -9,12 +9,18 @@
 //
 // Acceptance: the counter-only overhead stays under 5% on non-trivial
 // inputs; see EXPERIMENTS.md C7 for recorded numbers.
+//
+// A second family prices the end-to-end SQL statement path with tracing
+// and the structured event log switched on (EXPERIMENTS.md C11), plus
+// EventLog::Emit micro-costs to attribute those numbers.
 
 #include <benchmark/benchmark.h>
 
 #include "core/eval.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sql/session.h"
 #include "testing/workload.h"
 
 namespace {
@@ -82,9 +88,52 @@ void BM_Eval_CountersAndTracing(benchmark::State& state,
   RunEval(state, kind, /*metrics=*/true, /*tracing=*/true);
 }
 
+// End-to-end SQL statement cost with the observability features a session
+// can switch on: plain (recorder and event log off), full span recording
+// (TRACE ON), and the event log with slow_query_ns = 0 so every statement
+// both records spans into the ring and emits a structured event.
+void RunSessionStatement(benchmark::State& state, bool tracing, bool log) {
+  sql::Session s;
+  (void)s.Execute("CREATE TABLE t (x INT, y INT)");
+  std::string insert = "INSERT INTO t VALUES (0, 0)";
+  for (int i = 1; i < 512; ++i) {
+    insert +=
+        ", (" + std::to_string(i) + ", " + std::to_string(i % 16) + ")";
+  }
+  (void)s.Execute(insert);
+  if (log) (void)s.Execute("SET slow_query_ns = 0");
+  obs::TraceRecorder::Global().set_enabled(tracing);
+  obs::EventLog::Global().set_enabled(log);
+  for (auto _ : state) {
+    auto r = s.Execute("SELECT x FROM t WHERE y = 3");
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    auto result = r.MoveValue();
+    benchmark::DoNotOptimize(result);
+  }
+  obs::TraceRecorder::Global().set_enabled(false);
+  obs::EventLog::Global().set_enabled(false);
+  obs::EventLog::Global().Clear();
+}
+
+void BM_SqlStatement_Plain(benchmark::State& state) {
+  RunSessionStatement(state, /*tracing=*/false, /*log=*/false);
+}
+void BM_SqlStatement_Tracing(benchmark::State& state) {
+  RunSessionStatement(state, /*tracing=*/true, /*log=*/false);
+}
+void BM_SqlStatement_EventLog(benchmark::State& state) {
+  RunSessionStatement(state, /*tracing=*/false, /*log=*/true);
+}
+void BM_SqlStatement_TracingAndEventLog(benchmark::State& state) {
+  RunSessionStatement(state, /*tracing=*/true, /*log=*/true);
+}
+
 // Micro-costs of the primitives themselves, to attribute whatever the
 // macro numbers show: bare counter, parented chain, histogram record,
-// disabled and enabled spans.
+// disabled and enabled spans, and event-log emission.
 void BM_Counter_Increment(benchmark::State& state) {
   obs::Counter c;
   for (auto _ : state) {
@@ -125,6 +174,37 @@ void BM_ScopedSpan_Enabled(benchmark::State& state) {
     benchmark::DoNotOptimize(span);
   }
 }
+void BM_EventLog_EmitDisabled(benchmark::State& state) {
+  obs::EventLog log(64);  // disabled: one branch, no allocation
+  for (auto _ : state) {
+    log.Emit(obs::LogSeverity::kInfo, "bench", "noop");
+    benchmark::ClobberMemory();
+  }
+}
+void BM_EventLog_EmitEnabled(benchmark::State& state) {
+  obs::EventLog log(64);
+  log.set_enabled(true);
+  for (auto _ : state) {
+    log.Emit(obs::LogSeverity::kInfo, "bench", "recorded",
+             {{"k", "v"}, {"n", "42"}});
+    benchmark::ClobberMemory();
+  }
+}
+void BM_EventLog_EmitToSink(benchmark::State& state) {
+  obs::EventLog log(64);
+  log.set_enabled(true);
+  std::string error;
+  if (!log.OpenSink("/dev/null", &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  for (auto _ : state) {
+    log.Emit(obs::LogSeverity::kInfo, "bench", "sunk",
+             {{"k", "v"}, {"n", "42"}});
+    benchmark::ClobberMemory();
+  }
+  log.CloseSink();
+}
 
 void RegisterAll() {
   for (const char* kind : {"select", "join", "difference"}) {
@@ -142,6 +222,13 @@ void RegisterAll() {
         ->Arg(256)
         ->Arg(2048);
   }
+  benchmark::RegisterBenchmark("sql_statement_plain", BM_SqlStatement_Plain);
+  benchmark::RegisterBenchmark("sql_statement_tracing",
+                               BM_SqlStatement_Tracing);
+  benchmark::RegisterBenchmark("sql_statement_event_log",
+                               BM_SqlStatement_EventLog);
+  benchmark::RegisterBenchmark("sql_statement_tracing_event_log",
+                               BM_SqlStatement_TracingAndEventLog);
   benchmark::RegisterBenchmark("counter_increment", BM_Counter_Increment);
   benchmark::RegisterBenchmark("counter_parent_chain_increment",
                                BM_Counter_ParentChainIncrement);
@@ -149,6 +236,12 @@ void RegisterAll() {
   benchmark::RegisterBenchmark("scoped_span_disabled",
                                BM_ScopedSpan_Disabled);
   benchmark::RegisterBenchmark("scoped_span_enabled", BM_ScopedSpan_Enabled);
+  benchmark::RegisterBenchmark("event_log_emit_disabled",
+                               BM_EventLog_EmitDisabled);
+  benchmark::RegisterBenchmark("event_log_emit_enabled",
+                               BM_EventLog_EmitEnabled);
+  benchmark::RegisterBenchmark("event_log_emit_to_sink",
+                               BM_EventLog_EmitToSink);
 }
 
 }  // namespace

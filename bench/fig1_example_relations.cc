@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace expdb;
+  TraceGuard trace(argc, argv);
   std::printf("=== Figure 1: Example relations at time 0 ===\n\n");
 
   Database db = MakePaperDatabase();

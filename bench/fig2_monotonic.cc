@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace expdb;
+  TraceGuard trace(argc, argv);
   using namespace expdb::algebra;
   std::printf("=== Figure 2: Example monotonic expressions ===\n\n");
 

@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace expdb;
+  TraceGuard trace(argc, argv);
   using namespace expdb::algebra;
   std::printf("=== Figure 3: Some non-monotonic expressions ===\n\n");
 

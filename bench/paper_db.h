@@ -6,9 +6,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 
 namespace expdb {
@@ -55,6 +57,48 @@ inline void MaybeDumpStats(int argc, char** argv) {
     }
   }
 }
+
+/// `--trace <file>` support for the reproduction binaries: construct at
+/// the top of main(). When the flag is present, span recording is
+/// enabled for the whole run and the destructor exports the recorded
+/// spans as Chrome trace-event JSON (load the file in Perfetto or
+/// chrome://tracing) to the given path on the way out.
+class TraceGuard {
+ public:
+  TraceGuard(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string_view(argv[i]) == "--trace") {
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+    if (path_.empty()) return;
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceRecorder::Global().set_enabled(true);
+  }
+
+  ~TraceGuard() {
+    if (path_.empty()) return;
+    obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+    rec.set_enabled(false);
+    const std::string json = obs::ChromeTraceJson(rec.Snapshot());
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("  [WARN] --trace: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\n=== trace (--trace) ===\nwrote %zu spans to %s\n",
+                rec.Snapshot().size(), path_.c_str());
+  }
+
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+};
 
 }  // namespace expdb
 

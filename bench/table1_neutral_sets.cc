@@ -63,6 +63,7 @@ void RunCase(const Case& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  TraceGuard trace(argc, argv);
   std::printf("=== Table 1: Neutral subsets per aggregate function ===\n\n");
 
   RunCase({"min_1: non-minimal tuples are neutral",

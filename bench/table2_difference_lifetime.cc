@@ -16,6 +16,7 @@
 using namespace expdb;
 
 int main(int argc, char** argv) {
+  TraceGuard trace(argc, argv);
   std::printf("=== Table 2: Lifetime analysis of e = R - S ===\n\n");
 
   Relation r(Schema({{"x", ValueType::kInt64}}));

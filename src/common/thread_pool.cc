@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace expdb {
 
 namespace {
@@ -118,8 +120,13 @@ ParallelForStats ParallelFor(
 
   const size_t helpers = workers - 1;
   state->pending_helpers = helpers;
+  // Helper tasks run on pool threads with no ambient trace context of
+  // their own; install the caller's so spans opened inside the body
+  // become children of the caller's span instead of orphan roots.
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
   for (size_t i = 0; i < helpers; ++i) {
-    pool.Schedule([state] {
+    pool.Schedule([state, trace_ctx] {
+      obs::TraceContextScope trace_scope(trace_ctx);
       try {
         state->Drain();
       } catch (...) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace expdb {
@@ -114,21 +115,26 @@ void ExpirationManager::DrainEager(Timestamp t) {
   // Entries may be stale because the tuple was re-inserted with a later
   // expiration (Relation keeps the max) or explicitly erased; verify
   // against the relation before removing ("lazy deletion" indexing).
+  size_t batch_removed = 0;
+  size_t batch_stale = 0;
   auto expire_one = [&](Timestamp texp, const std::string& relation,
                         const Tuple& tuple) {
     metrics_.index_pops.Increment();
     auto rel = db_.GetRelation(relation);
     if (!rel.ok()) {
       metrics_.stale_entries.Increment();  // relation dropped
+      ++batch_stale;
       return;
     }
     auto current = rel.value()->GetTexp(tuple);
     if (!current.has_value() || *current != texp) {
       metrics_.stale_entries.Increment();  // erased or lifetime extended
+      ++batch_stale;
       return;
     }
     rel.value()->Erase(tuple);
     metrics_.removed.Increment();
+    ++batch_removed;
     FireTriggers(relation, {{tuple, texp}}, texp);
   };
 
@@ -144,6 +150,16 @@ void ExpirationManager::DrainEager(Timestamp t) {
     }
   }
   metrics_.queue_size.Set(static_cast<int64_t>(queue_size()));
+  // One batch event per non-empty drain, not one per tuple: the event
+  // log records decisions, not the tuple stream.
+  obs::EventLog& log = obs::EventLog::Global();
+  if ((batch_removed > 0 || batch_stale > 0) && log.enabled()) {
+    log.Emit(obs::LogSeverity::kInfo, "expiration", "drain",
+             {{"now", t.ToString()},
+              {"removed", std::to_string(batch_removed)},
+              {"stale_entries", std::to_string(batch_stale)},
+              {"queue_size", std::to_string(queue_size())}});
+  }
 }
 
 void ExpirationManager::MaybeAutoCompact() {
@@ -171,6 +187,13 @@ size_t ExpirationManager::CompactRelation(const std::string& name,
   if (removed.empty()) return 0;
   metrics_.compactions.Increment();
   metrics_.removed.Increment(removed.size());
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.enabled()) {
+    log.Emit(obs::LogSeverity::kInfo, "expiration", "compact",
+             {{"relation", name},
+              {"removed", std::to_string(removed.size())},
+              {"now", clock_.Now().ToString()}});
+  }
   FireTriggers(name, removed, clock_.Now());
   return removed.size();
 }

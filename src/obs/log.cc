@@ -1,0 +1,162 @@
+#include "obs/log.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace expdb {
+namespace obs {
+
+namespace {
+
+Counter* EmittedCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "expdb_log_events_total", "Structured log events emitted");
+  return counter;
+}
+
+Counter* DroppedCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "expdb_log_events_dropped_total",
+      "Structured log events overwritten by ring overflow");
+  return counter;
+}
+
+}  // namespace
+
+std::string_view LogSeverityToString(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "debug";
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarn:
+      return "warn";
+    case LogSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string LogEvent::ToJson() const {
+  std::string out = "{\"ts_ns\":" + std::to_string(ts_ns) +
+                    ",\"severity\":\"" +
+                    std::string(LogSeverityToString(severity)) +
+                    "\",\"component\":\"" + JsonEscape(component) +
+                    "\",\"event\":\"" + JsonEscape(event) + "\"";
+  if (trace_id != 0) {
+    out += ",\"trace_id\":" + std::to_string(trace_id) +
+           ",\"span_id\":" + std::to_string(span_id);
+  }
+  out += ",\"fields\":{";
+  bool first = true;
+  for (const LogField& f : fields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(f.first) + "\":\"" + JsonEscape(f.second) + "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+EventLog::~EventLog() { CloseSink(); }
+
+void EventLog::Emit(LogSeverity severity, std::string component,
+                    std::string event, std::vector<LogField> fields) {
+  if (!enabled()) return;
+  LogEvent record;
+  record.ts_ns = SteadyNowNs();
+  record.severity = severity;
+  record.component = std::move(component);
+  record.event = std::move(event);
+  const TraceContext ctx = CurrentTraceContext();
+  record.trace_id = ctx.trace_id;
+  record.span_id = ctx.span_id;
+  record.fields = std::move(fields);
+
+  EmittedCounter()->Increment();
+  total_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_.is_open()) {
+    // Flush per line: the sink is a low-rate decision log meant for
+    // `tail -f`, and Global() is a leaked singleton whose destructor
+    // (and buffered bytes) would otherwise never reach the file on
+    // process exit.
+    sink_ << record.ToJson() << "\n" << std::flush;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    // A sunk event was still exported; only count the loss when the
+    // overwritten event never reached a file.
+    if (!sink_.is_open()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      DroppedCounter()->Increment();
+    }
+    ring_[write_pos_] = std::move(record);
+  }
+  write_pos_ = (write_pos_ + 1) % capacity_;
+}
+
+std::vector<LogEvent> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(write_pos_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string EventLog::JsonlText() const {
+  std::string out;
+  for (const LogEvent& e : Snapshot()) {
+    out += e.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  write_pos_ = 0;
+}
+
+bool EventLog::OpenSink(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_.is_open()) sink_.close();
+  sink_.open(path, std::ios::out | std::ios::trunc);
+  if (!sink_.is_open()) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  return true;
+}
+
+void EventLog::CloseSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_.is_open()) sink_.close();
+}
+
+bool EventLog::HasSink() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_.is_open();
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* global = new EventLog();
+  return *global;
+}
+
+}  // namespace obs
+}  // namespace expdb

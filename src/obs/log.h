@@ -1,0 +1,113 @@
+// Structured event log (docs/OBSERVABILITY.md): a thread-safe sink for
+// discrete *decisions* the metrics layer cannot express — which view
+// maintenance path ran, why a replica re-fetched, what an expiration
+// batch removed, which statements ran slow.
+//
+// Each event carries a severity, a component (the subsystem taxonomy of
+// docs/OBSERVABILITY.md), an event name, free-form key/value fields, and
+// the emitting thread's current TraceContext — so events join the span
+// tree of the request that caused them.
+//
+// Events are retained in a bounded ring (overwrites are counted, like
+// the TraceRecorder's) and optionally appended to a JSONL file sink as
+// they are emitted. The disabled path is one relaxed atomic load.
+
+#ifndef EXPDB_OBS_LOG_H_
+#define EXPDB_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace expdb {
+namespace obs {
+
+enum class LogSeverity { kDebug, kInfo, kWarn, kError };
+
+std::string_view LogSeverityToString(LogSeverity severity);
+
+/// \brief One key/value pair of a structured event. Values are
+/// pre-rendered strings (call sites stringify numbers).
+using LogField = std::pair<std::string, std::string>;
+
+/// \brief One structured event.
+struct LogEvent {
+  int64_t ts_ns = 0;  ///< steady-clock, process-relative (SteadyNowNs)
+  LogSeverity severity = LogSeverity::kInfo;
+  std::string component;  ///< subsystem: sql, view, replica, expiration, ...
+  std::string event;      ///< e.g. "slow_query", "delta_apply", "refetch"
+  uint64_t trace_id = 0;  ///< emitting thread's trace (0 = untraced)
+  uint64_t span_id = 0;   ///< innermost live span at emission (0 = none)
+  std::vector<LogField> fields;
+
+  /// \brief One JSONL line (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// \brief The bounded, thread-safe event sink. Disabled by default.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024);
+  ~EventLog();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Records one event (no-op when disabled). The emitting
+  /// thread's TraceContext is attached automatically. Appends a JSONL
+  /// line to the file sink when one is open.
+  void Emit(LogSeverity severity, std::string component, std::string event,
+            std::vector<LogField> fields = {});
+
+  /// \brief Events currently retained, oldest first.
+  std::vector<LogEvent> Snapshot() const;
+
+  /// \brief Retained events rendered as JSONL (one JSON object per line).
+  std::string JsonlText() const;
+
+  /// \brief Total events ever emitted (including overwritten ones).
+  uint64_t total_emitted() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Events lost to ring overflow.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+  /// \brief Opens (truncates) a JSONL file sink; subsequent events append
+  /// one line each. Returns false (with `error` set) when the path cannot
+  /// be opened. Does not toggle enabled().
+  bool OpenSink(const std::string& path, std::string* error = nullptr);
+  void CloseSink();
+  bool HasSink() const;
+
+  /// \brief The process-wide event log (disabled until enabled).
+  static EventLog& Global();
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<LogEvent> ring_;  // capacity_ slots once warmed up
+  size_t write_pos_ = 0;
+  std::ofstream sink_;
+};
+
+}  // namespace obs
+}  // namespace expdb
+
+#endif  // EXPDB_OBS_LOG_H_

@@ -7,6 +7,74 @@
 namespace expdb {
 namespace obs {
 
+// --- Escaping ------------------------------------------------------------
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 // --- Histogram -----------------------------------------------------------
 
 std::vector<int64_t> Histogram::ExponentialBounds(int64_t start,
@@ -277,7 +345,7 @@ std::string MetricsRegistry::PrometheusText() const {
   std::string out;
   for (const MetricSnapshot& m : Snapshot()) {
     if (!m.help.empty()) {
-      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# HELP " + m.name + " " + PrometheusEscapeHelp(m.help) + "\n";
     }
     out += "# TYPE " + m.name + " " + std::string(m.KindName()) + "\n";
     if (m.kind == MetricSnapshot::Kind::kHistogram) {
@@ -288,7 +356,7 @@ std::string MetricsRegistry::PrometheusText() const {
             i < m.bucket_bounds.size()
                 ? std::to_string(m.bucket_bounds[i])
                 : std::string("+Inf");
-        out += m.name + "_bucket{le=\"" + le + "\"} " +
+        out += m.name + "_bucket{le=\"" + PrometheusEscapeLabel(le) + "\"} " +
                std::to_string(cumulative) + "\n";
       }
       out += m.name + "_sum " + std::to_string(m.sum) + "\n";
@@ -306,7 +374,7 @@ std::string MetricsRegistry::JsonText() const {
   for (const MetricSnapshot& m : Snapshot()) {
     if (!first) out += ",";
     first = false;
-    out += "{\"name\":\"" + m.name + "\",\"type\":\"" +
+    out += "{\"name\":\"" + JsonEscape(m.name) + "\",\"type\":\"" +
            std::string(m.KindName()) + "\"";
     if (m.kind == MetricSnapshot::Kind::kHistogram) {
       out += ",\"count\":" + std::to_string(m.count) +
@@ -428,8 +496,16 @@ void RegisterStandardMetrics(MetricsRegistry& r) {
   // sql ------------------------------------------------------------------
   r.GetCounter("expdb_sql_statements_total", "SQL statements executed");
   r.GetCounter("expdb_sql_errors_total", "SQL statements that failed");
+  r.GetCounter("expdb_sql_slow_queries_total",
+               "Statements exceeding the SET slow_query_ns threshold");
   r.GetHistogram("expdb_sql_statement_latency_ns",
                  "Statement execution wall time (ns)");
+  // obs ------------------------------------------------------------------
+  r.GetCounter("expdb_trace_spans_dropped_total",
+               "Trace spans overwritten by ring overflow before export");
+  r.GetCounter("expdb_log_events_total", "Structured log events emitted");
+  r.GetCounter("expdb_log_events_dropped_total",
+               "Structured log events overwritten by ring overflow");
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

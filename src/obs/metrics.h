@@ -34,6 +34,18 @@
 namespace expdb {
 namespace obs {
 
+/// \brief Escapes a string for embedding in a JSON string literal
+/// (backslash, quote, and control characters). Shared by the metrics
+/// JSON exporter, the Chrome trace export, and the event log.
+std::string JsonEscape(std::string_view s);
+
+/// \brief Escapes a Prometheus HELP text (backslash and newline, per the
+/// text exposition format).
+std::string PrometheusEscapeHelp(std::string_view s);
+
+/// \brief Escapes a Prometheus label value (backslash, quote, newline).
+std::string PrometheusEscapeLabel(std::string_view s);
+
 /// \brief A monotonically increasing event count. Thread-safe; the
 /// increment path is a single relaxed atomic add per chain link.
 class Counter {

@@ -1,20 +1,46 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 
 namespace expdb {
 namespace obs {
 
 namespace {
-/// The innermost live span id on this thread (0 = none); links children
-/// to parents without any central coordination.
-thread_local uint64_t tls_current_span = 0;
+
+/// The calling thread's trace position (trace id + innermost live span);
+/// links children to parents without any central coordination.
+thread_local TraceContext tls_context{};
+
+Counter* DroppedSpansCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "expdb_trace_spans_dropped_total",
+      "Trace spans overwritten by ring overflow before export");
+  return counter;
+}
+
 }  // namespace
 
 int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+TraceContextScope::TraceContextScope(TraceContext ctx) : saved_(tls_context) {
+  tls_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tls_context = saved_; }
+
+uint32_t CurrentThreadOrdinal() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
 }
 
 TraceRecorder::TraceRecorder(size_t capacity)
@@ -27,6 +53,10 @@ void TraceRecorder::Record(SpanRecord record) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
   } else {
+    // Overwriting loses the oldest span: surface the loss instead of
+    // discarding it silently.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    DroppedSpansCounter()->Increment();
     ring_[write_pos_] = std::move(record);
   }
   write_pos_ = (write_pos_ + 1) % capacity_;
@@ -72,8 +102,11 @@ ScopedSpan::ScopedSpan(const char* name, uint64_t tag, Histogram* latency,
   start_ns_ = SteadyNowNs();
   if (tracing) {
     id_ = recorder_->NextId();
-    parent_id_ = tls_current_span;
-    tls_current_span = id_;
+    saved_ = tls_context;
+    // Inherit the enclosing trace; a span with no enclosing context is a
+    // root and starts a new trace identified by its own span id.
+    trace_id_ = saved_.active() ? saved_.trace_id : id_;
+    tls_context = TraceContext{trace_id_, id_};
   }
 }
 
@@ -82,9 +115,36 @@ ScopedSpan::~ScopedSpan() {
   const int64_t duration = SteadyNowNs() - start_ns_;
   if (latency_ != nullptr) latency_->Record(duration);
   if (id_ != 0) {
-    tls_current_span = parent_id_;
-    recorder_->Record({id_, parent_id_, name_, start_ns_, duration, tag_});
+    tls_context = saved_;
+    recorder_->Record({id_, saved_.span_id, trace_id_, name_, start_ns_,
+                       duration, tag_, CurrentThreadOrdinal()});
   }
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  // {"displayTimeUnit":"ms","traceEvents":[{...}, ...]}
+  // One complete ("ph":"X") event per span; ts/dur in microseconds as
+  // the format requires. Span linkage rides in args.
+  std::string out =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"expdb\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"span_id\":%" PRIu64 ",\"parent_id\":%" PRIu64
+        ",\"trace_id\":%" PRIu64 ",\"tag\":%" PRIu64 "}}",
+        JsonEscape(s.name).c_str(), static_cast<double>(s.start_ns) / 1000.0,
+        static_cast<double>(s.duration_ns) / 1000.0, s.tid, s.id,
+        s.parent_id, s.trace_id, s.tag);
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace obs

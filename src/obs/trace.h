@@ -1,6 +1,13 @@
 // Lightweight tracing (docs/OBSERVABILITY.md): ScopedSpan RAII timers
 // feeding a bounded ring-buffer TraceRecorder with parent/child span ids.
 //
+// Spans carry a *trace id* grouping all work of one end-to-end request.
+// The thread-local TraceContext (trace id + innermost live span id) links
+// children to parents on one thread; TraceContextScope re-installs a
+// captured context on another thread (ThreadPool::ParallelFor helpers) or
+// on the far side of the simulated network (replica server), so a single
+// query yields one connected span tree instead of orphan roots.
+//
 // Tracing is opt-in: when the recorder is disabled (the default) and no
 // latency histogram is attached, ScopedSpan costs two branches — no clock
 // reads — so instrumented hot paths stay within the <5% overhead budget
@@ -24,6 +31,10 @@ namespace obs {
 struct SpanRecord {
   uint64_t id = 0;         ///< unique per recorder, monotonically assigned
   uint64_t parent_id = 0;  ///< 0 = root span
+  /// Groups every span of one end-to-end request. A root span starts a
+  /// new trace with trace_id == its own id; descendants inherit it —
+  /// across threads and the simulated network (see TraceContextScope).
+  uint64_t trace_id = 0;
   std::string name;        ///< taxonomy: <subsystem>.<operation>[.<kind>]
   int64_t start_ns = 0;    ///< steady-clock, process-relative
   int64_t duration_ns = 0;
@@ -31,11 +42,50 @@ struct SpanRecord {
   /// operator spans with the PlanNode id so EXPLAIN ANALYZE can join
   /// spans back to the physical tree.
   uint64_t tag = 0;
+  /// Small per-thread ordinal of the recording thread (the Chrome trace
+  /// export's "tid"): morsel spans from different workers land on
+  /// different tracks.
+  uint32_t tid = 0;
 };
+
+/// \brief The ambient trace position of the calling thread: which trace
+/// it is contributing to and which span is innermost. Copyable by design —
+/// capture it before handing work to another thread.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// \brief The calling thread's current context ({0, 0} when no traced
+/// span is live here).
+TraceContext CurrentTraceContext();
+
+/// \brief RAII: installs `ctx` as the calling thread's context and
+/// restores the previous one on destruction. Used by ParallelFor helper
+/// tasks and the replica server so their spans become children of the
+/// originating span instead of orphan roots.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// \brief Small dense ordinal of the calling thread (1-based, assigned on
+/// first use). Stamped on SpanRecord::tid.
+uint32_t CurrentThreadOrdinal();
 
 /// \brief A bounded ring buffer of completed spans. Thread-safe. When
 /// full, the oldest spans are overwritten — tracing never blocks or grows
-/// unboundedly.
+/// unboundedly; each overwrite counts as a *dropped* span (`dropped()`
+/// and `expdb_trace_spans_dropped_total`) so the loss is visible.
 class TraceRecorder {
  public:
   explicit TraceRecorder(size_t capacity = 4096);
@@ -62,6 +112,12 @@ class TraceRecorder {
     return total_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Spans lost to ring overflow (recorded, then overwritten
+  /// before any Snapshot could have exported them).
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   void Clear();
 
   /// \brief The process-wide recorder (disabled until enabled).
@@ -72,6 +128,7 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;
   std::vector<SpanRecord> ring_;  // capacity_ slots once warmed up
   size_t write_pos_ = 0;
@@ -81,8 +138,9 @@ class TraceRecorder {
 int64_t SteadyNowNs();
 
 /// \brief RAII span: times its scope, records into `recorder` when
-/// enabled (linking to the enclosing span on this thread), and optionally
-/// feeds the measured duration into a latency histogram.
+/// enabled (linking to the enclosing span on this thread and inheriting
+/// its trace id — or starting a new trace when there is none), and
+/// optionally feeds the measured duration into a latency histogram.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, Histogram* latency = nullptr,
@@ -99,6 +157,9 @@ class ScopedSpan {
   /// \brief This span's id (0 when tracing is disabled).
   uint64_t id() const { return id_; }
 
+  /// \brief The trace this span belongs to (0 when tracing is disabled).
+  uint64_t trace_id() const { return trace_id_; }
+
   /// \brief The measured duration so far (ns since construction), or 0
   /// when the span is untimed. Used by the executor to feed per-node
   /// profiles without a second clock read.
@@ -110,10 +171,17 @@ class ScopedSpan {
   TraceRecorder* recorder_;
   uint64_t tag_ = 0;
   uint64_t id_ = 0;
-  uint64_t parent_id_ = 0;
+  uint64_t trace_id_ = 0;
+  TraceContext saved_{};  ///< context to restore on destruction
   int64_t start_ns_ = 0;
   bool timed_ = false;
 };
+
+/// \brief Renders spans as Chrome trace-event JSON (the `traceEvents`
+/// array of complete "X" events, timestamps/durations in microseconds)
+/// — loadable in Perfetto / chrome://tracing. Span, parent, trace id,
+/// and tag ride along in each event's `args`.
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
 
 }  // namespace obs
 }  // namespace expdb

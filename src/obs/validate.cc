@@ -1,0 +1,489 @@
+#include "obs/validate.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace expdb {
+namespace obs {
+
+namespace {
+
+// --- JSON ----------------------------------------------------------------
+
+/// Strict RFC 8259 parser: validates structure without building a tree.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Check(std::string* error) {
+    SkipWs();
+    if (!Value()) return Fail(error);
+    SkipWs();
+    if (pos_ != text_.size()) {
+      error_ = "trailing characters after JSON value";
+      return Fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(std::string* error) {
+    if (error_.empty()) return true;
+    if (error != nullptr) {
+      *error = error_ + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Error(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool Value() {
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Error("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool Object() {
+    if (!Eat('{')) return Error("expected '{'");
+    SkipWs();
+    if (Eat('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return Error("expected object key");
+      SkipWs();
+      if (!Eat(':')) return Error("expected ':'");
+      SkipWs();
+      if (!Value()) return Error("invalid object value");
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat('}')) return true;
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return Error("expected '['");
+    SkipWs();
+    if (Eat(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!Value()) return Error("invalid array element");
+      SkipWs();
+      if (Eat(',')) continue;
+      if (Eat(']')) return true;
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  bool String() {
+    if (!Eat('"')) return Error("expected '\"'");
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        const char e = Peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Error("invalid \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                   e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return Error("invalid escape character");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    Eat('-');
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    } else {
+      return Error("invalid number");
+    }
+    if (Eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("invalid number fraction");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("invalid number exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- Prometheus ----------------------------------------------------------
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = std::isalpha(static_cast<unsigned char>(c)) ||
+                    c == '_' || c == ':' ||
+                    (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool IsValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = std::isalpha(static_cast<unsigned char>(c)) ||
+                    c == '_' ||
+                    (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ParseSampleValue(std::string_view s, double* out) {
+  if (s == "+Inf" || s == "-Inf" || s == "NaN") {
+    *out = s == "-Inf" ? -1e308 : 1e308;
+    return true;
+  }
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(s);
+  *out = std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// One parsed sample line: name, optional labels, value.
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+bool ParseSampleLine(std::string_view line, Sample* out, std::string* why) {
+  size_t i = 0;
+  const size_t name_end = line.find_first_of("{ ", i);
+  if (name_end == std::string_view::npos) {
+    *why = "sample line has no value";
+    return false;
+  }
+  out->name = std::string(line.substr(0, name_end));
+  if (!IsValidMetricName(out->name)) {
+    *why = "invalid metric name '" + out->name + "'";
+    return false;
+  }
+  i = name_end;
+  if (line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      const size_t eq = line.find('=', i);
+      if (eq == std::string_view::npos) {
+        *why = "malformed label pair";
+        return false;
+      }
+      const std::string label(line.substr(i, eq - i));
+      if (!IsValidLabelName(label)) {
+        *why = "invalid label name '" + label + "'";
+        return false;
+      }
+      i = eq + 1;
+      if (i >= line.size() || line[i] != '"') {
+        *why = "label value must be quoted";
+        return false;
+      }
+      ++i;
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          ++i;
+          if (i >= line.size() ||
+              (line[i] != '\\' && line[i] != '"' && line[i] != 'n')) {
+            *why = "invalid escape in label value";
+            return false;
+          }
+        }
+        value += line[i];
+        ++i;
+      }
+      if (i >= line.size()) {
+        *why = "unterminated label value";
+        return false;
+      }
+      ++i;  // closing quote
+      out->labels.emplace_back(label, std::move(value));
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      *why = "unterminated label set";
+      return false;
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *why = "expected space before sample value";
+    return false;
+  }
+  ++i;
+  if (!ParseSampleValue(line.substr(i), &out->value)) {
+    *why = "unparsable sample value '" + std::string(line.substr(i)) + "'";
+    return false;
+  }
+  return true;
+}
+
+/// Strips a histogram-series suffix to recover the family name.
+std::string FamilyName(const std::string& sample_name) {
+  for (std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+    if (sample_name.size() > suffix.size() &&
+        sample_name.compare(sample_name.size() - suffix.size(),
+                            suffix.size(), suffix) == 0) {
+      return sample_name.substr(0, sample_name.size() - suffix.size());
+    }
+  }
+  return sample_name;
+}
+
+}  // namespace
+
+bool ValidateJson(std::string_view text, std::string* error) {
+  return JsonChecker(text).Check(error);
+}
+
+bool ValidateJsonLines(std::string_view text, std::string* error) {
+  size_t line_no = 0;
+  for (std::string_view line : SplitLines(text)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string inner;
+    if (!JsonChecker(line).Check(&inner)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + inner;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidatePrometheusText(std::string_view text, std::string* error) {
+  auto fail = [error](size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+
+  std::map<std::string, std::string> types;  // family -> declared type
+  struct HistogramSeries {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool have_sum = false;
+    bool have_count = false;
+    double count = 0.0;
+    size_t first_line = 0;
+  };
+  std::map<std::string, HistogramSeries> histograms;
+
+  size_t line_no = 0;
+  for (std::string_view line : SplitLines(text)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP <name> <text>" or "# TYPE <name> <type>"; other comments
+      // are allowed and skipped.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          return fail(line_no, "malformed TYPE line");
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string type(rest.substr(sp + 1));
+        if (!IsValidMetricName(name)) {
+          return fail(line_no, "invalid metric name in TYPE line");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(line_no, "unknown metric type '" + type + "'");
+        }
+        if (types.count(name) != 0) {
+          return fail(line_no, "duplicate TYPE for '" + name + "'");
+        }
+        types[name] = type;
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        const std::string name(
+            sp == std::string_view::npos ? rest : rest.substr(0, sp));
+        if (!IsValidMetricName(name)) {
+          return fail(line_no, "invalid metric name in HELP line");
+        }
+        // Escaping: a raw backslash must introduce \\ or \n.
+        const std::string_view help =
+            sp == std::string_view::npos ? std::string_view() : rest.substr(sp + 1);
+        for (size_t i = 0; i < help.size(); ++i) {
+          if (help[i] == '\\') {
+            if (i + 1 >= help.size() ||
+                (help[i + 1] != '\\' && help[i + 1] != 'n')) {
+              return fail(line_no, "unescaped backslash in HELP text");
+            }
+            ++i;
+          }
+        }
+      }
+      continue;
+    }
+
+    Sample sample;
+    std::string why;
+    if (!ParseSampleLine(line, &sample, &why)) return fail(line_no, why);
+    const std::string family = FamilyName(sample.name);
+    auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      // _sum/_count/_bucket only belong to a histogram family; a plain
+      // sample must carry its own TYPE.
+      type_it = types.find(sample.name);
+      if (type_it == types.end()) {
+        return fail(line_no, "sample '" + sample.name +
+                                 "' has no preceding # TYPE line");
+      }
+    }
+
+    if (type_it->second == "histogram" && family != sample.name) {
+      HistogramSeries& h = histograms[family];
+      if (h.first_line == 0) h.first_line = line_no;
+      if (sample.name == family + "_bucket") {
+        std::string le;
+        for (const auto& [k, v] : sample.labels) {
+          if (k == "le") le = v;
+        }
+        if (le.empty()) {
+          return fail(line_no, "histogram bucket without le label");
+        }
+        double bound = 0.0;
+        if (!ParseSampleValue(le, &bound)) {
+          return fail(line_no, "unparsable le value '" + le + "'");
+        }
+        h.buckets.emplace_back(bound, sample.value);
+      } else if (sample.name == family + "_sum") {
+        h.have_sum = true;
+      } else if (sample.name == family + "_count") {
+        h.have_count = true;
+        h.count = sample.value;
+      }
+    }
+  }
+
+  for (const auto& [family, h] : histograms) {
+    if (h.buckets.empty()) {
+      return fail(h.first_line, "histogram '" + family + "' has no buckets");
+    }
+    for (size_t i = 1; i < h.buckets.size(); ++i) {
+      if (h.buckets[i].first < h.buckets[i - 1].first) {
+        return fail(h.first_line,
+                    "histogram '" + family + "' le bounds not increasing");
+      }
+      if (h.buckets[i].second < h.buckets[i - 1].second) {
+        return fail(h.first_line, "histogram '" + family +
+                                      "' bucket counts not cumulative");
+      }
+    }
+    if (h.buckets.back().first < 1e307) {
+      return fail(h.first_line,
+                  "histogram '" + family + "' missing +Inf bucket");
+    }
+    if (!h.have_sum || !h.have_count) {
+      return fail(h.first_line,
+                  "histogram '" + family + "' missing _sum or _count");
+    }
+    if (h.buckets.back().second != h.count) {
+      return fail(h.first_line, "histogram '" + family +
+                                    "' +Inf bucket != _count");
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace expdb

@@ -1,0 +1,35 @@
+// Exporter conformance checks, shared by the unit tests and the CI
+// artifact tool (examples/trace_artifacts.cpp):
+//  * ValidateJson       — a strict RFC 8259 recursive-descent parser that
+//    accepts exactly one JSON value (used to round-trip the JSON metrics
+//    exporter and the Chrome trace export).
+//  * ValidateJsonLines  — every non-empty line is one JSON value (the
+//    event log's JSONL sink).
+//  * ValidatePrometheusText — structural checks on the text exposition
+//    format: # TYPE for every sample family, metric-name and label
+//    syntax, escaped HELP text, histogram bucket monotonicity, and
+//    _bucket/_sum/_count consistency.
+//
+// All functions return true on success; on failure they return false and
+// describe the first violation in *error (when non-null).
+
+#ifndef EXPDB_OBS_VALIDATE_H_
+#define EXPDB_OBS_VALIDATE_H_
+
+#include <string>
+#include <string_view>
+
+namespace expdb {
+namespace obs {
+
+bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+bool ValidateJsonLines(std::string_view text, std::string* error = nullptr);
+
+bool ValidatePrometheusText(std::string_view text,
+                            std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace expdb
+
+#endif  // EXPDB_OBS_VALIDATE_H_

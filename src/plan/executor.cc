@@ -1,7 +1,6 @@
 #include "plan/executor.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -169,12 +168,12 @@ class MorselRunner {
     const EvalMetricSet& m = EvalMetricSet::Get();
     const ParallelForStats stats =
         ParallelFor(n, opts, [&](size_t begin, size_t end) {
-          const auto t0 = std::chrono::steady_clock::now();
+          // Under tracing each morsel is a child span of the enclosing
+          // operator span — on helper threads too, via the context that
+          // ParallelFor installs. Untraced, this is the same two clock
+          // reads as before, feeding the morsel-latency histogram.
+          obs::ScopedSpan span("eval.morsel", m.morsel_latency);
           body(begin, end);
-          m.morsel_latency->Record(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count());
         });
     if (stats.parallel) {
       m.parallel_loops->Increment();

@@ -1,6 +1,25 @@
 #include "replica/client.h"
 
+#include "obs/log.h"
+
 namespace expdb {
+
+namespace {
+
+/// Sync-decision event: why this client went back to the server, under
+/// which protocol, and what texp(e) the expiring copy carried.
+void LogRefetchDecision(SyncProtocol protocol, const std::string& query,
+                        const char* reason, Timestamp texp) {
+  obs::EventLog& log = obs::EventLog::Global();
+  if (!log.enabled()) return;
+  log.Emit(obs::LogSeverity::kInfo, "replica", "refetch",
+           {{"query", query},
+            {"protocol", std::string(SyncProtocolToString(protocol))},
+            {"reason", reason},
+            {"texp", texp.ToString()}});
+}
+
+}  // namespace
 
 std::string_view SyncProtocolToString(SyncProtocol protocol) {
   switch (protocol) {
@@ -16,6 +35,11 @@ std::string_view SyncProtocolToString(SyncProtocol protocol) {
 
 Status ReplicationClient::Fetch(const std::string& name, Subscription* sub,
                                 Timestamp now) {
+  // The request span covers the round trip; its context travels to the
+  // server inside the message as the traceparent header, so the server's
+  // spans stitch under this one.
+  obs::ScopedSpan span("replica.client.fetch");
+  const std::string traceparent = TraceParentHeader::Capture().Serialize();
   // The patch protocol only applies to difference-rooted queries; other
   // shapes degrade gracefully to the plain expiration-aware fetch.
   bool patchable = false;
@@ -24,8 +48,9 @@ Status ReplicationClient::Fetch(const std::string& name, Subscription* sub,
     patchable = query.ok() && (*query)->kind() == ExprKind::kDifference;
   }
   if (patchable) {
-    EXPDB_ASSIGN_OR_RETURN(DifferenceEvalResult diff,
-                           server_->FetchWithHelper(name, now, net_));
+    EXPDB_ASSIGN_OR_RETURN(
+        DifferenceEvalResult diff,
+        server_->FetchWithHelper(name, now, net_, traceparent));
     sub->result = std::move(diff.result);
     sub->helper = std::move(diff.helper);
     sub->patch_cursor = 0;
@@ -33,7 +58,8 @@ Status ReplicationClient::Fetch(const std::string& name, Subscription* sub,
     // Root invalidations are neutralized by patching.
     sub->result.texp = diff.children_texp;
   } else {
-    EXPDB_ASSIGN_OR_RETURN(sub->result, server_->Fetch(name, now, net_));
+    EXPDB_ASSIGN_OR_RETURN(sub->result,
+                           server_->Fetch(name, now, net_, traceparent));
   }
   sub->last_fetch = now;
   metrics_.fetches.Increment();
@@ -75,6 +101,8 @@ Result<Relation> ReplicationClient::Read(const std::string& name,
       // The baseline neither understands expiration times nor invalidity:
       // it serves the raw last copy, re-fetched on a timer.
       if (now >= sub.last_fetch + options_.poll_interval) {
+        LogRefetchDecision(options_.protocol, name, "poll_interval_elapsed",
+                           sub.result.texp);
         EXPDB_RETURN_NOT_OK(Fetch(name, &sub, now));
       }
       // Serve everything fetched, stale or not (no expτ filtering: the
@@ -83,6 +111,8 @@ Result<Relation> ReplicationClient::Read(const std::string& name,
     }
     case SyncProtocol::kExpirationAware: {
       if (sub.result.texp <= now) {
+        LogRefetchDecision(options_.protocol, name, "texp_elapsed",
+                           sub.result.texp);
         EXPDB_RETURN_NOT_OK(Fetch(name, &sub, now));
       }
       return sub.result.relation.UnexpiredAt(now);
@@ -90,6 +120,8 @@ Result<Relation> ReplicationClient::Read(const std::string& name,
     case SyncProtocol::kExpirationAwarePatch: {
       ApplyPatches(&sub, now);
       if (sub.result.texp <= now) {
+        LogRefetchDecision(options_.protocol, name, "texp_elapsed",
+                           sub.result.texp);
         EXPDB_RETURN_NOT_OK(Fetch(name, &sub, now));
         ApplyPatches(&sub, now);
       }

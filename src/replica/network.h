@@ -11,12 +11,61 @@
 #ifndef EXPDB_REPLICA_NETWORK_H_
 #define EXPDB_REPLICA_NETWORK_H_
 
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace expdb {
+
+/// \brief Wire form of an obs::TraceContext, carried as a header field in
+/// every simulated client->server request message so server-side spans
+/// stitch under the client's request span (one connected span tree across
+/// the simulated network). Format: two 16-digit lower-case hex fields,
+/// "<trace_id>-<span_id>"; an inactive context serializes to "".
+struct TraceParentHeader {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  /// \brief Captures the calling thread's current context.
+  static TraceParentHeader Capture() {
+    const obs::TraceContext ctx = obs::CurrentTraceContext();
+    return TraceParentHeader{ctx.trace_id, ctx.span_id};
+  }
+
+  /// \brief Decodes a wire header; malformed or empty input yields the
+  /// inactive header (requests from untraced clients stay untraced).
+  static TraceParentHeader Parse(std::string_view wire) {
+    TraceParentHeader out;
+    if (wire.size() != 33 || wire[16] != '-') return out;
+    char buf[17];
+    char* end = nullptr;
+    std::snprintf(buf, sizeof(buf), "%.16s", wire.data());
+    out.trace_id = std::strtoull(buf, &end, 16);
+    if (end == nullptr || *end != '\0') return TraceParentHeader{};
+    std::snprintf(buf, sizeof(buf), "%.16s", wire.data() + 17);
+    out.span_id = std::strtoull(buf, &end, 16);
+    if (end == nullptr || *end != '\0') return TraceParentHeader{};
+    return out;
+  }
+
+  std::string Serialize() const {
+    if (trace_id == 0) return std::string();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 "-%016" PRIx64, trace_id,
+                  span_id);
+    return buf;
+  }
+
+  obs::TraceContext ToContext() const {
+    return obs::TraceContext{trace_id, span_id};
+  }
+};
 
 /// Cost model of one logical channel.
 struct NetworkCostModel {

@@ -1,5 +1,7 @@
 #include "replica/protocol.h"
 
+#include "obs/log.h"
+
 namespace expdb {
 
 std::string NetworkStats::ToString() const {
@@ -55,6 +57,9 @@ Result<SimulationReport> RunSyncSimulation(
 
   for (int64_t t = 0; t <= config.horizon; t += config.read_interval) {
     const Timestamp now(t);
+    // One sync round = one span; the client fetches (and the server
+    // spans they trigger through the traceparent header) nest under it.
+    obs::ScopedSpan round_span("replica.sync_round");
     for (const auto& [name, expr] : queries) {
       EXPDB_ASSIGN_OR_RETURN(Relation local, client.Read(name, now));
       // Ground truth: fresh recomputation, off the books (no traffic).
@@ -70,6 +75,15 @@ Result<SimulationReport> RunSyncSimulation(
 
   report.network = net.stats();
   report.client = client.stats();
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.enabled()) {
+    log.Emit(obs::LogSeverity::kInfo, "replica", "sync_simulation",
+             {{"protocol", std::string(SyncProtocolToString(config.protocol))},
+              {"messages", std::to_string(report.network.messages)},
+              {"tuples", std::to_string(report.network.tuples_transferred)},
+              {"exact_reads", std::to_string(report.exact_reads)},
+              {"stale_reads", std::to_string(report.stale_reads)}});
+  }
   return report;
 }
 

@@ -45,7 +45,14 @@ Result<ExpressionPtr> ReplicationServer::GetQuery(
 }
 
 Result<MaterializedResult> ReplicationServer::Fetch(
-    const std::string& name, Timestamp tau, SimulatedNetwork* net) const {
+    const std::string& name, Timestamp tau, SimulatedNetwork* net,
+    std::string_view traceparent) const {
+  // Re-establish the requesting client's trace context from the message
+  // header: the serving side's spans (this one and the nested eval.root)
+  // become children of the client's request span.
+  obs::TraceContextScope trace_scope(
+      TraceParentHeader::Parse(traceparent).ToContext());
+  obs::ScopedSpan span("replica.server.fetch");
   auto it = queries_.find(name);
   if (it == queries_.end()) {
     return Status::NotFound("no query named '" + name + "'");
@@ -60,7 +67,11 @@ Result<MaterializedResult> ReplicationServer::Fetch(
 }
 
 Result<DifferenceEvalResult> ReplicationServer::FetchWithHelper(
-    const std::string& name, Timestamp tau, SimulatedNetwork* net) const {
+    const std::string& name, Timestamp tau, SimulatedNetwork* net,
+    std::string_view traceparent) const {
+  obs::TraceContextScope trace_scope(
+      TraceParentHeader::Parse(traceparent).ToContext());
+  obs::ScopedSpan span("replica.server.fetch");
   auto it = queries_.find(name);
   if (it == queries_.end()) {
     return Status::NotFound("no query named '" + name + "'");

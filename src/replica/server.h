@@ -40,17 +40,20 @@ class ReplicationServer {
   Result<ExpressionPtr> GetQuery(const std::string& name) const;
 
   /// \brief Evaluates the named query at `tau`, counting the transfer of
-  /// the result tuples on `net`.
+  /// the result tuples on `net`. `traceparent` is the request message's
+  /// trace header (TraceParentHeader wire form; empty = untraced): the
+  /// server's spans stitch under the client's request span.
   Result<MaterializedResult> Fetch(const std::string& name, Timestamp tau,
-                                   SimulatedNetwork* net) const;
+                                   SimulatedNetwork* net,
+                                   std::string_view traceparent = {}) const;
 
   /// \brief Fetch plus the Theorem 3 helper entries (root must be −exp);
   /// the helper tuples are counted as additional up-front transfer — the
   /// paper's "classic trade-off ... between saving future communication
   /// and ... up-front communication cost".
-  Result<DifferenceEvalResult> FetchWithHelper(const std::string& name,
-                                               Timestamp tau,
-                                               SimulatedNetwork* net) const;
+  Result<DifferenceEvalResult> FetchWithHelper(
+      const std::string& name, Timestamp tau, SimulatedNetwork* net,
+      std::string_view traceparent = {}) const;
 
  private:
   struct RegisteredQuery {

@@ -157,12 +157,29 @@ struct ExplainStatement {
   SelectStatement select;
 };
 
+/// SET <name> = <value>: session observability/runtime knobs
+/// (slow_query_ns, parallelism, event_log, event_log_path — see
+/// docs/SQL.md). The value is an integer, double, string, or bare word.
+struct SetStatement {
+  std::string name;  ///< lower-cased setting name
+  Value value;
+};
+
+/// TRACE ON | OFF | SHOW | EXPORT '<file>': controls the process-wide
+/// span recorder; SHOW renders the most recent completed trace as a
+/// tree; EXPORT writes every retained span as Chrome trace-event JSON.
+struct TraceStatement {
+  enum class What { kOn, kOff, kShow, kExport };
+  What what = What::kShow;
+  std::string path;  ///< kExport only
+};
+
 /// \brief Any parsed statement.
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
                  CreateViewStatement, DropStatement, AdvanceStatement,
                  ShowStatement, DeleteStatement, StatsStatement,
-                 ExplainStatement>;
+                 ExplainStatement, SetStatement, TraceStatement>;
 
 }  // namespace sql
 }  // namespace expdb

@@ -43,7 +43,8 @@ constexpr std::array kKeywords = {
     "DROP",    "SHOW",   "TABLES",    "VIEWS",   "TIME",    "ADVANCE",
     "DELETE",  "MIN",    "MAX",       "SUM",     "COUNT",   "AVG",
     "INT",     "DOUBLE", "STRING",    "WITH",    "NEVER",   "TRIGGERS",
-    "DISTINCT",          "STATS",     "EXPLAIN", "RESET"};
+    "DISTINCT",          "STATS",     "EXPLAIN", "RESET",   "SET",
+    "TRACE"};
 
 }  // namespace
 

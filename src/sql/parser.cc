@@ -90,8 +90,77 @@ class Parser {
       if (AcceptKeyword("STATS")) return ParseStats(/*explain=*/true);
       return ParseExplain();
     }
+    if (AcceptKeyword("SET")) return ParseSet();
+    if (AcceptKeyword("TRACE")) return ParseTrace();
     return Status::ParseError("expected a statement, got " +
                               Peek().ToString());
+  }
+
+  // SET name = value (value: integer, double, string, or bare word).
+  Result<Statement> ParseSet() {
+    SetStatement out;
+    EXPDB_ASSIGN_OR_RETURN(out.name, ExpectIdentifier("setting name"));
+    out.name = AsciiToLower(out.name);
+    EXPDB_RETURN_NOT_OK(ExpectSymbol("="));
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger:
+        out.value = Value(t.int_value);
+        break;
+      case TokenType::kDouble:
+        out.value = Value(t.double_value);
+        break;
+      case TokenType::kString:
+        out.value = Value(t.text);
+        break;
+      case TokenType::kIdentifier:
+      case TokenType::kKeyword:
+        // Bare words (on, off, ...) become strings; keywords too, so
+        // e.g. SET event_log = RESET does not confuse the lexer.
+        out.value = Value(AsciiToLower(t.text));
+        break;
+      default:
+        return Status::ParseError("expected a setting value, got " +
+                                  t.ToString());
+    }
+    Advance();
+    return Statement(std::move(out));
+  }
+
+  // TRACE ON | OFF | SHOW | EXPORT '<file>'. ON/OFF/EXPORT are bare
+  // identifiers (kept unreserved); SHOW is already a keyword.
+  Result<Statement> ParseTrace() {
+    TraceStatement out;
+    if (AcceptKeyword("SHOW")) {
+      out.what = TraceStatement::What::kShow;
+      return Statement(std::move(out));
+    }
+    if (Peek().type == TokenType::kIdentifier) {
+      if (AsciiEqualsIgnoreCase(Peek().text, "ON")) {
+        Advance();
+        out.what = TraceStatement::What::kOn;
+        return Statement(std::move(out));
+      }
+      if (AsciiEqualsIgnoreCase(Peek().text, "OFF")) {
+        Advance();
+        out.what = TraceStatement::What::kOff;
+        return Statement(std::move(out));
+      }
+      if (AsciiEqualsIgnoreCase(Peek().text, "EXPORT")) {
+        Advance();
+        out.what = TraceStatement::What::kExport;
+        if (Peek().type != TokenType::kString) {
+          return Status::ParseError(
+              "expected a quoted file path after TRACE EXPORT, got " +
+              Peek().ToString());
+        }
+        out.path = Advance().text;
+        return Statement(std::move(out));
+      }
+    }
+    return Status::ParseError(
+        "expected ON, OFF, SHOW, or EXPORT after TRACE, got " +
+        Peek().ToString());
   }
 
   // EXPLAIN [PLAN | ANALYZE] SELECT ... (bare EXPLAIN means PLAN).

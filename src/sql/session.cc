@@ -4,8 +4,11 @@
 #include <set>
 #include <unordered_set>
 
+#include <fstream>
+
 #include "common/str_util.h"
 #include "core/rewrite.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
@@ -113,6 +116,7 @@ Session::Session(Options options)
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
   statements_metric_ = r.GetCounter("expdb_sql_statements_total");
   errors_metric_ = r.GetCounter("expdb_sql_errors_total");
+  slow_queries_metric_ = r.GetCounter("expdb_sql_slow_queries_total");
   statement_latency_ = r.GetHistogram("expdb_sql_statement_latency_ns");
   // A session is an interactive endpoint: keep the span ring buffer warm
   // so EXPLAIN STATS has recent spans to show. (Bounded cost — the
@@ -125,6 +129,19 @@ Result<ExecResult> Session::ExecuteCounted(const Statement& stmt) {
   statements_metric_->Increment();
   Result<ExecResult> r = ExecuteStatement(stmt);
   if (!r.ok()) errors_metric_->Increment();
+  if (slow_query_threshold_ns_ >= 0) {
+    const int64_t elapsed = span.ElapsedNs();
+    if (elapsed >= slow_query_threshold_ns_) {
+      slow_queries_metric_->Increment();
+      obs::EventLog& log = obs::EventLog::Global();
+      if (log.enabled()) {
+        log.Emit(obs::LogSeverity::kWarn, "sql", "slow_query",
+                 {{"elapsed_ns", std::to_string(elapsed)},
+                  {"threshold_ns", std::to_string(slow_query_threshold_ns_)},
+                  {"status", r.ok() ? "ok" : "error"}});
+      }
+    }
+  }
   return r;
 }
 
@@ -177,6 +194,10 @@ Result<ExecResult> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteDelete(s);
         } else if constexpr (std::is_same_v<T, StatsStatement>) {
           return ExecuteStats(s);
+        } else if constexpr (std::is_same_v<T, SetStatement>) {
+          return ExecuteSet(s);
+        } else if constexpr (std::is_same_v<T, TraceStatement>) {
+          return ExecuteTrace(s);
         } else {
           return ExecuteExplain(s);
         }
@@ -288,6 +309,36 @@ Result<ExecResult> Session::ExecuteExplain(const ExplainStatement& stmt) {
       plan::ExecutePlan(*plan, *bind_db, now, eval_options_, &profile)
           .status());
   out.message = plan->ToString(&profile);
+  // When tracing is on, the operator spans the execution just recorded
+  // all carry this statement's trace id and a PlanNode-id tag: aggregate
+  // them per node so ANALYZE shows where the wall time went and how many
+  // worker threads each operator fanned out to.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  const uint64_t trace_id = obs::CurrentTraceContext().trace_id;
+  if (recorder.enabled() && trace_id != 0) {
+    std::map<uint64_t, std::pair<size_t, int64_t>> by_node;  // spans, ns
+    std::map<uint64_t, std::set<uint32_t>> node_tids;
+    for (const obs::SpanRecord& s : recorder.Snapshot()) {
+      if (s.trace_id != trace_id || s.tag == 0) continue;
+      auto& agg = by_node[s.tag];
+      ++agg.first;
+      agg.second += s.duration_ns;
+      node_tids[s.tag].insert(s.tid);
+    }
+    if (!by_node.empty()) {
+      out.message += "\ntraced operator spans (trace #" +
+                     std::to_string(trace_id) + "):";
+      for (const auto& [tag, agg] : by_node) {
+        const size_t threads = node_tids[tag].size();
+        out.message += "\n  node #" + std::to_string(tag) + ": " +
+                       std::to_string(agg.first) +
+                       (agg.first == 1 ? " span, " : " spans, ") +
+                       std::to_string(agg.second) + "ns on " +
+                       std::to_string(threads) +
+                       (threads == 1 ? " thread" : " threads");
+      }
+    }
+  }
   return out;
 }
 
@@ -511,6 +562,178 @@ Result<ExecResult> Session::ExecuteStats(const StatsStatement& stmt) {
            " " + s.name + " " + std::to_string(s.duration_ns) + "ns";
   }
   return ExecResult{std::move(msg), std::nullopt, Now()};
+}
+
+namespace {
+
+Result<bool> ParseOnOff(const Value& v, const std::string& name) {
+  if (v.is_int64()) return v.AsInt64() != 0;
+  if (v.is_string()) {
+    const std::string& s = v.AsString();
+    if (s == "on" || s == "true" || s == "1") return true;
+    if (s == "off" || s == "false" || s == "0") return false;
+  }
+  return Status::InvalidArgument("SET " + name + " expects on or off, got '" +
+                                 v.ToString() + "'");
+}
+
+}  // namespace
+
+Result<ExecResult> Session::ExecuteSet(const SetStatement& stmt) {
+  if (stmt.name == "slow_query_ns") {
+    if (stmt.value.is_string() && stmt.value.AsString() == "off") {
+      slow_query_threshold_ns_ = -1;
+      return ExecResult{"slow_query_ns off", std::nullopt, Now()};
+    }
+    if (!stmt.value.is_int64() || stmt.value.AsInt64() < 0) {
+      return Status::InvalidArgument(
+          "SET slow_query_ns expects a non-negative integer nanosecond "
+          "threshold or off");
+    }
+    slow_query_threshold_ns_ = stmt.value.AsInt64();
+  } else if (stmt.name == "parallelism") {
+    if (!stmt.value.is_int64() || stmt.value.AsInt64() < 0) {
+      return Status::InvalidArgument(
+          "SET parallelism expects a non-negative integer (0 = hardware "
+          "concurrency)");
+    }
+    eval_options_.parallelism = static_cast<size_t>(stmt.value.AsInt64());
+  } else if (stmt.name == "event_log") {
+    EXPDB_ASSIGN_OR_RETURN(bool on, ParseOnOff(stmt.value, "event_log"));
+    obs::EventLog::Global().set_enabled(on);
+  } else if (stmt.name == "event_log_path") {
+    if (!stmt.value.is_string()) {
+      return Status::InvalidArgument(
+          "SET event_log_path expects a quoted file path or off");
+    }
+    const std::string& path = stmt.value.AsString();
+    obs::EventLog& log = obs::EventLog::Global();
+    if (path.empty() || path == "off") {
+      log.CloseSink();
+      return ExecResult{"event log sink closed", std::nullopt, Now()};
+    }
+    std::string error;
+    if (!log.OpenSink(path, &error)) {
+      return Status::InvalidArgument("cannot open event log sink: " + error);
+    }
+    // Attaching a sink implies the caller wants events; enable the log so
+    // SET event_log_path = '...' works as a one-statement switch-on.
+    log.set_enabled(true);
+  } else {
+    return Status::InvalidArgument(
+        "unknown setting '" + stmt.name +
+        "' (expected slow_query_ns, parallelism, event_log, "
+        "event_log_path)");
+  }
+  return ExecResult{"set " + stmt.name + " = " + stmt.value.ToString(),
+                    std::nullopt, Now()};
+}
+
+namespace {
+
+/// Renders one trace's spans as an indented tree (children sorted by
+/// start time; spans whose parent never made it into the ring render as
+/// roots rather than disappearing).
+std::string RenderTraceTree(const std::vector<obs::SpanRecord>& spans) {
+  std::map<uint64_t, size_t> index;
+  for (size_t i = 0; i < spans.size(); ++i) index[spans[i].id] = i;
+  std::map<uint64_t, std::vector<size_t>> children;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_id != 0 && index.count(spans[i].parent_id) > 0) {
+      children[spans[i].parent_id].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  auto by_start = [&](size_t a, size_t b) {
+    return spans[a].start_ns < spans[b].start_ns;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end(), by_start);
+  }
+  std::string out;
+  // Explicit stack (span index, depth) to avoid recursion on deep trees.
+  std::vector<std::pair<size_t, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 1});
+  }
+  while (!stack.empty()) {
+    auto [i, depth] = stack.back();
+    stack.pop_back();
+    const obs::SpanRecord& s = spans[i];
+    out += "\n" + std::string(static_cast<size_t>(depth) * 2, ' ') + s.name +
+           " #" + std::to_string(s.id) + " " +
+           std::to_string(s.duration_ns) + "ns [tid " +
+           std::to_string(s.tid) + "]";
+    if (s.tag != 0) out += " (node #" + std::to_string(s.tag) + ")";
+    auto kids = children.find(s.id);
+    if (kids != children.end()) {
+      for (auto kit = kids->second.rbegin(); kit != kids->second.rend();
+           ++kit) {
+        stack.push_back({*kit, depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExecResult> Session::ExecuteTrace(const TraceStatement& stmt) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  switch (stmt.what) {
+    case TraceStatement::What::kOn:
+      recorder.set_enabled(true);
+      return ExecResult{"tracing on", std::nullopt, Now()};
+    case TraceStatement::What::kOff:
+      recorder.set_enabled(false);
+      return ExecResult{"tracing off", std::nullopt, Now()};
+    case TraceStatement::What::kShow: {
+      const std::vector<obs::SpanRecord> spans = recorder.Snapshot();
+      // The TRACE SHOW statement itself runs under a live trace; show the
+      // most recent *completed* one instead.
+      const uint64_t current = obs::CurrentTraceContext().trace_id;
+      uint64_t target = 0;  // trace ids are span ids: larger = newer
+      for (const obs::SpanRecord& s : spans) {
+        if (s.trace_id != current && s.trace_id > target) {
+          target = s.trace_id;
+        }
+      }
+      if (target == 0) {
+        return ExecResult{"no completed traces recorded", std::nullopt,
+                          Now()};
+      }
+      std::vector<obs::SpanRecord> trace_spans;
+      for (const obs::SpanRecord& s : spans) {
+        if (s.trace_id == target) trace_spans.push_back(s);
+      }
+      std::string msg = "trace #" + std::to_string(target) + " (" +
+                        std::to_string(trace_spans.size()) +
+                        (trace_spans.size() == 1 ? " span)" : " spans)");
+      msg += RenderTraceTree(trace_spans);
+      return ExecResult{std::move(msg), std::nullopt, Now()};
+    }
+    case TraceStatement::What::kExport: {
+      const std::vector<obs::SpanRecord> spans = recorder.Snapshot();
+      std::ofstream file(stmt.path, std::ios::trunc);
+      if (!file) {
+        return Status::InvalidArgument("cannot open '" + stmt.path +
+                                       "' for writing");
+      }
+      file << obs::ChromeTraceJson(spans);
+      file.close();
+      if (!file) {
+        return Status::InvalidArgument("failed writing '" + stmt.path + "'");
+      }
+      return ExecResult{"trace exported to " + stmt.path + " (" +
+                            std::to_string(spans.size()) +
+                            (spans.size() == 1 ? " span)" : " spans)"),
+                        std::nullopt, Now()};
+    }
+  }
+  return Status::Internal("unknown TRACE statement");
 }
 
 }  // namespace sql

@@ -79,6 +79,8 @@ class Session {
   Result<ExecResult> ExecuteDelete(const DeleteStatement& stmt);
   Result<ExecResult> ExecuteStats(const StatsStatement& stmt);
   Result<ExecResult> ExecuteExplain(const ExplainStatement& stmt);
+  Result<ExecResult> ExecuteSet(const SetStatement& stmt);
+  Result<ExecResult> ExecuteTrace(const TraceStatement& stmt);
 
   /// When `stmt` references views, fills `scratch` with the referenced
   /// views' current contents (renamed to their declared columns) plus
@@ -98,7 +100,12 @@ class Session {
   // Process-wide SQL metrics (registry-owned; see docs/OBSERVABILITY.md).
   obs::Counter* statements_metric_;
   obs::Counter* errors_metric_;
+  obs::Counter* slow_queries_metric_;
   obs::Histogram* statement_latency_;
+  /// SET slow_query_ns: statements at or above this wall time bump
+  /// expdb_sql_slow_queries_total and emit a "slow_query" event. Negative
+  /// disables (the default).
+  int64_t slow_query_threshold_ns_ = -1;
 };
 
 }  // namespace sql

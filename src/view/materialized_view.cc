@@ -1,10 +1,28 @@
 #include "view/materialized_view.h"
 
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
 
 namespace expdb {
+
+namespace {
+
+/// Maintenance-decision event: which path this view took and how much
+/// work it cost (docs/OBSERVABILITY.md "Event log").
+void LogViewEvent(const std::string& view, const char* event,
+                  std::vector<obs::LogField> extra = {}) {
+  obs::EventLog& log = obs::EventLog::Global();
+  if (!log.enabled()) return;
+  std::vector<obs::LogField> fields;
+  fields.reserve(extra.size() + 1);
+  fields.emplace_back("view", view);
+  for (auto& f : extra) fields.push_back(std::move(f));
+  log.Emit(obs::LogSeverity::kInfo, "view", event, std::move(fields));
+}
+
+}  // namespace
 
 ViewMetrics::ViewMetrics() {
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
@@ -126,6 +144,10 @@ void MaterializedView::MaybeReplan(const Database& db) {
       propagator_.reset();
       base_cursors_.clear();
       metrics_.replans.Increment();
+      LogViewEvent(name_, "replan",
+                   {{"base", name},
+                    {"planned_size", std::to_string(planned_size)},
+                    {"current_size", std::to_string(size)}});
       return;
     }
   }
@@ -172,6 +194,10 @@ Status MaterializedView::Recompute(const Database& db, Timestamp now,
     metrics_.recomputations.Increment();
     metrics_.tuples_recomputed.Increment(result_.relation.size());
   }
+  LogViewEvent(name_, "recompute",
+               {{"tuples", std::to_string(result_.relation.size())},
+                {"texp", result_.texp.ToString()},
+                {"maintenance", count_as_maintenance ? "true" : "false"}});
   UpdateGauges();
   return Status::OK();
 }
@@ -247,6 +273,9 @@ Result<bool> MaterializedView::TryApplyDeltas(const Database& db,
   }
   metrics_.delta_applies.Increment();
   metrics_.delta_tuples.Increment(applied.ops_out);
+  LogViewEvent(name_, "delta_apply",
+               {{"tuples", std::to_string(applied.ops_out)},
+                {"texp", result_.texp.ToString()}});
   UpdateGauges();
   return true;
 }
@@ -304,6 +333,8 @@ Status MaterializedView::AdvanceTo(const Database& db, Timestamp now) {
     }
     if (!applied) {
       metrics_.delta_fallbacks.Increment();
+      LogViewEvent(name_, "delta_fallback",
+                   {{"texp", result_.texp.ToString()}});
       EXPDB_RETURN_NOT_OK(Recompute(db, now));
     }
     stale_ = false;

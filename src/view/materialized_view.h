@@ -128,6 +128,11 @@ class MaterializedView {
   const ExpressionPtr& expression() const { return expr_; }
   RefreshMode mode() const { return options_.mode; }
 
+  /// \brief Display name for diagnostics and structured maintenance
+  /// events ("(anonymous)" until ViewManager::CreateView names it).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
   /// \brief Snapshot of the maintenance counters (thin view over the
   /// per-view metrics; see ViewMetrics).
   ViewStats stats() const {
@@ -226,6 +231,7 @@ class MaterializedView {
 
   ExpressionPtr expr_;
   Options options_;
+  std::string name_ = "(anonymous)";
   plan::PhysicalPlanPtr plan_;
   /// Plan-time base cardinalities backing the MaybeReplan heuristic.
   std::map<std::string, size_t> plan_base_sizes_;

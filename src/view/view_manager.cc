@@ -22,6 +22,9 @@ Result<MaterializedView*> ViewManager::CreateView(
     return Status::AlreadyExists("view '" + name + "' already exists");
   }
   auto view = std::make_unique<MaterializedView>(std::move(expr), options);
+  // Name the view before the first materialization so its maintenance
+  // events carry the catalog name from the start.
+  view->set_name(name);
   EXPDB_RETURN_NOT_OK(view->Initialize(*db_, now));
   auto [it, inserted] = views_.emplace(name, std::move(view));
   for (const std::string& base :

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
+
 namespace expdb {
 namespace {
 
@@ -211,6 +213,48 @@ TEST(ParallelForTest, ConcurrentParallelForsFromManyThreads) {
   }
   for (auto& t : callers) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ParallelForTest, HelperTasksInheritTheCallersTraceContext) {
+  // Spans opened inside morsel bodies must be children of the caller's
+  // enclosing span — across threads — not orphan roots.
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Clear();
+  const bool was_enabled = rec.enabled();
+  rec.set_enabled(true);
+
+  constexpr size_t kN = 1 << 14;
+  uint64_t caller_span = 0;
+  uint64_t caller_trace = 0;
+  {
+    obs::ScopedSpan outer("test.parallel_for");
+    caller_span = outer.id();
+    caller_trace = outer.trace_id();
+    ParallelForOptions opts;
+    opts.parallelism = 4;
+    opts.min_morsel_size = 64;
+    ParallelFor(kN, opts, [&](size_t begin, size_t end) {
+      obs::ScopedSpan span("test.morsel");
+      for (size_t i = begin; i < end; ++i) {
+        // spin a little so morsels actually overlap across workers
+      }
+      (void)begin;
+      (void)end;
+    });
+  }
+  rec.set_enabled(was_enabled);
+
+  size_t morsel_spans = 0;
+  std::set<uint32_t> tids;
+  for (const obs::SpanRecord& s : rec.Snapshot()) {
+    if (std::string_view(s.name) != "test.morsel") continue;
+    ++morsel_spans;
+    tids.insert(s.tid);
+    EXPECT_EQ(s.parent_id, caller_span) << "orphan morsel span";
+    EXPECT_EQ(s.trace_id, caller_trace);
+  }
+  EXPECT_GT(morsel_spans, 1u);  // the range was actually split
+  rec.Clear();
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+// End-to-end tracing: one request that fetches a replica-backed snapshot,
+// loads it through the SQL facade, and runs a morsel-parallel query must
+// produce ONE connected span tree — session statements, planner, executor
+// workers, replica client, and replica server all stitched under the
+// request span, with no orphan roots anywhere.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "replica/protocol.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+void Exec(sql::Session& s, const std::string& stmt) {
+  auto r = s.Execute(stmt);
+  ASSERT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+}
+
+TEST(TraceE2ETest, SingleRequestYieldsOneConnectedSpanTree) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Clear();
+  rec.set_enabled(true);
+
+  // Replica source: a server publishing query "q" over R.
+  Database source;
+  Relation* r =
+      source.CreateRelation("R", Schema({{"x", ValueType::kInt64}})).value();
+  constexpr int kRows = 4096;  // >= 2 x parallel_min_morsel: the scan splits
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(r->Insert(Tuple{i}, Timestamp::Infinity()).ok());
+  }
+  ReplicationServer server(&source);
+  ASSERT_TRUE(server.RegisterQuery("q", Base("R")).ok());
+  SimulatedNetwork net;
+  ReplicationClient client(&server, &net, {});
+
+  sql::Session session;
+  uint64_t root_id = 0;
+  uint64_t root_trace = 0;
+  {
+    obs::ScopedSpan request("request.query");  // the end-to-end request
+    root_id = request.id();
+    root_trace = request.trace_id();
+
+    // 1. Replica fetch: client -> simulated network -> server.
+    ASSERT_TRUE(client.Subscribe("q", Timestamp(0)).ok());
+    auto fetched = client.Read("q", Timestamp(0));
+    ASSERT_TRUE(fetched.ok());
+    ASSERT_EQ(fetched->size(), static_cast<size_t>(kRows));
+
+    // 2. Load the fetched snapshot into the session: the local table is
+    //    literally backed by what the replica protocol shipped.
+    Exec(session, "CREATE TABLE backed (x INT)");
+    std::string values;
+    size_t in_chunk = 0;
+    for (const auto& [tuple, texp] : fetched->SortedEntries()) {
+      (void)texp;
+      if (in_chunk > 0) values += ", ";
+      values += "(" + std::to_string(tuple.values()[0].AsInt64()) + ")";
+      if (++in_chunk == 512) {
+        Exec(session, "INSERT INTO backed VALUES " + values);
+        values.clear();
+        in_chunk = 0;
+      }
+    }
+    if (in_chunk > 0) Exec(session, "INSERT INTO backed VALUES " + values);
+
+    // 3. Morsel-parallel query through the SQL facade.
+    Exec(session, "SET parallelism = 4");
+    auto result = session.Execute("SELECT x FROM backed WHERE x < 100");
+    ASSERT_TRUE(result.ok());
+  }
+
+  const std::vector<obs::SpanRecord> spans = rec.Snapshot();
+  std::set<uint64_t> ids;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.trace_id == root_trace) ids.insert(s.id);
+  }
+  ASSERT_FALSE(ids.empty());
+
+  // Connectivity: exactly one root (the request span itself); every other
+  // span's parent resolves within the same trace — no orphan roots.
+  std::set<std::string> names;
+  std::set<uint32_t> morsel_tids;
+  size_t roots = 0;
+  size_t morsel_spans = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.trace_id != root_trace) continue;
+    names.insert(s.name);
+    if (s.parent_id == 0) {
+      ++roots;
+      EXPECT_EQ(s.id, root_id) << s.name << " is an orphan root";
+    } else {
+      EXPECT_EQ(ids.count(s.parent_id), 1u)
+          << s.name << " #" << s.id << " has a dangling parent";
+    }
+    if (std::string(s.name) == "eval.morsel") {
+      ++morsel_spans;
+      morsel_tids.insert(s.tid);
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+
+  // The one tree spans every layer of the stack.
+  for (const char* expected :
+       {"sql.statement", "plan.plan", "eval.root", "eval.morsel",
+        "replica.client.fetch", "replica.server.fetch"}) {
+    EXPECT_EQ(names.count(expected), 1u) << "missing span: " << expected;
+  }
+  EXPECT_GT(morsel_spans, 1u);  // the scan really split into morsels
+  // Typically several worker threads participate; on a single-CPU machine
+  // the caller may drain every morsel itself, so only assert the sound
+  // lower bound (the cross-thread inheritance proper is pinned down by
+  // ParallelForTest.HelperTasksInheritTheCallersTraceContext).
+  EXPECT_GE(morsel_tids.size(), 1u);
+  rec.Clear();
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,140 @@
+// Unit tests for the structured event log: enable gating, field
+// rendering, trace-context attachment, ring overflow accounting, and the
+// JSONL file sink.
+
+#include "obs/log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
+
+namespace expdb {
+namespace obs {
+namespace {
+
+TEST(EventLogTest, DisabledLogRecordsNothing) {
+  EventLog log(8);
+  ASSERT_FALSE(log.enabled());
+  log.Emit(LogSeverity::kInfo, "test", "noop");
+  EXPECT_EQ(log.Snapshot().size(), 0u);
+  EXPECT_EQ(log.total_emitted(), 0u);
+}
+
+TEST(EventLogTest, EmitRetainsEventsOldestFirst) {
+  EventLog log(8);
+  log.set_enabled(true);
+  log.Emit(LogSeverity::kInfo, "test", "first", {{"k", "v1"}});
+  log.Emit(LogSeverity::kWarn, "test", "second", {{"k", "v2"}});
+  auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].event, "first");
+  EXPECT_EQ(events[1].event, "second");
+  EXPECT_EQ(events[1].severity, LogSeverity::kWarn);
+  ASSERT_EQ(events[1].fields.size(), 1u);
+  EXPECT_EQ(events[1].fields[0].first, "k");
+  EXPECT_EQ(events[1].fields[0].second, "v2");
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+}
+
+TEST(EventLogTest, EventsCarryTheEmittingThreadsTraceContext) {
+  EventLog log(8);
+  log.set_enabled(true);
+  log.Emit(LogSeverity::kInfo, "test", "untraced");
+  {
+    TraceContextScope scope(TraceContext{99, 42});
+    log.Emit(LogSeverity::kInfo, "test", "traced");
+  }
+  auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[1].trace_id, 99u);
+  EXPECT_EQ(events[1].span_id, 42u);
+  // Untraced events omit the ids; traced events include them.
+  EXPECT_EQ(events[0].ToJson().find("trace_id"), std::string::npos);
+  EXPECT_NE(events[1].ToJson().find("\"trace_id\":99"), std::string::npos);
+}
+
+TEST(EventLogTest, RingOverflowCountsDrops) {
+  EventLog log(4);
+  log.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    log.Emit(LogSeverity::kInfo, "test", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(log.Snapshot().size(), 4u);
+  EXPECT_EQ(log.total_emitted(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  // The four most recent events survive.
+  EXPECT_EQ(log.Snapshot().front().event, "e6");
+  EXPECT_EQ(log.Snapshot().back().event, "e9");
+}
+
+TEST(EventLogTest, JsonlTextIsValidJsonLines) {
+  EventLog log(8);
+  log.set_enabled(true);
+  log.Emit(LogSeverity::kError, "test", "esc\"apes\n",
+           {{"path", "C:\\tmp"}, {"msg", "line1\nline2"}});
+  log.Emit(LogSeverity::kDebug, "test", "plain");
+  std::string error;
+  EXPECT_TRUE(ValidateJsonLines(log.JsonlText(), &error)) << error;
+}
+
+TEST(EventLogTest, FileSinkAppendsOneLinePerEvent) {
+  const std::string path = ::testing::TempDir() + "/expdb_log_test.jsonl";
+  EventLog log(2);  // tiny ring: the sink must still keep everything
+  log.set_enabled(true);
+  std::string error;
+  ASSERT_TRUE(log.OpenSink(path, &error)) << error;
+  EXPECT_TRUE(log.HasSink());
+  for (int i = 0; i < 6; ++i) {
+    log.Emit(LogSeverity::kInfo, "test", "sunk" + std::to_string(i));
+  }
+  // Overwrites of already-sunk events are not counted as drops.
+  EXPECT_EQ(log.dropped(), 0u);
+  log.CloseSink();
+  EXPECT_FALSE(log.HasSink());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  EXPECT_TRUE(ValidateJsonLines(contents, &error)) << error;
+  size_t lines = 0;
+  for (char c : contents) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 6u);  // every event reached the file, ring overflow or not
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, OpenSinkFailureReportsError) {
+  EventLog log(4);
+  std::string error;
+  EXPECT_FALSE(log.OpenSink("/nonexistent-dir/x/y/z.jsonl", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(log.HasSink());
+}
+
+TEST(EventLogTest, ClearEmptiesRing) {
+  EventLog log(4);
+  log.set_enabled(true);
+  log.Emit(LogSeverity::kInfo, "test", "x");
+  ASSERT_EQ(log.Snapshot().size(), 1u);
+  log.Clear();
+  EXPECT_EQ(log.Snapshot().size(), 0u);
+}
+
+TEST(LogSeverityTest, Names) {
+  EXPECT_EQ(LogSeverityToString(LogSeverity::kDebug), "debug");
+  EXPECT_EQ(LogSeverityToString(LogSeverity::kInfo), "info");
+  EXPECT_EQ(LogSeverityToString(LogSeverity::kWarn), "warn");
+  EXPECT_EQ(LogSeverityToString(LogSeverity::kError), "error");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace expdb

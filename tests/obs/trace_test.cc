@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "gtest/gtest.h"
+#include "obs/validate.h"
 
 namespace expdb {
 namespace obs {
@@ -117,6 +118,104 @@ TEST(SteadyNowNsTest, Monotonic) {
   const int64_t a = SteadyNowNs();
   const int64_t b = SteadyNowNs();
   EXPECT_LE(a, b);
+}
+
+TEST(TraceRecorderTest, OverflowCountsDroppedSpans) {
+  TraceRecorder rec(4);
+  rec.set_enabled(true);
+  EXPECT_EQ(rec.dropped(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    ScopedSpan span("test.fill", nullptr, &rec);
+  }
+  EXPECT_EQ(rec.dropped(), 0u);  // ring exactly full, nothing lost yet
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("test.spill", nullptr, &rec);
+  }
+  // Every span past capacity overwrote (= dropped) an older one.
+  EXPECT_EQ(rec.dropped(), 10u);
+  EXPECT_EQ(rec.total_recorded(), 14u);
+  EXPECT_EQ(rec.Snapshot().size(), 4u);
+}
+
+TEST(TraceContextTest, RootSpanStartsTraceChildrenInherit) {
+  TraceRecorder rec(16);
+  rec.set_enabled(true);
+  uint64_t root_id = 0;
+  {
+    ScopedSpan root("test.root", nullptr, &rec);
+    root_id = root.id();
+    EXPECT_EQ(root.trace_id(), root_id);  // a root starts its own trace
+    const TraceContext ctx = CurrentTraceContext();
+    EXPECT_TRUE(ctx.active());
+    EXPECT_EQ(ctx.trace_id, root_id);
+    EXPECT_EQ(ctx.span_id, root_id);
+    { ScopedSpan child("test.child", nullptr, &rec); }
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+  auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.trace_id, root_id);  // one trace, both spans in it
+  }
+}
+
+TEST(TraceContextTest, ScopeReinstallsContextOnAnotherThread) {
+  TraceRecorder rec(16);
+  rec.set_enabled(true);
+  uint64_t caller_span = 0;
+  uint64_t caller_trace = 0;
+  {
+    ScopedSpan outer("test.caller", nullptr, &rec);
+    caller_span = outer.id();
+    caller_trace = outer.trace_id();
+    const TraceContext captured = CurrentTraceContext();
+    std::thread worker([&rec, captured] {
+      // Without the scope the worker span would be an orphan root.
+      TraceContextScope scope(captured);
+      ScopedSpan span("test.worker", nullptr, &rec);
+    });
+    worker.join();
+  }
+  auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& worker_span =
+      spans[0].name == "test.worker" ? spans[0] : spans[1];
+  EXPECT_EQ(worker_span.name, "test.worker");
+  EXPECT_EQ(worker_span.parent_id, caller_span);
+  EXPECT_EQ(worker_span.trace_id, caller_trace);
+}
+
+TEST(TraceContextTest, ScopeRestoresPreviousContext) {
+  const TraceContext before = CurrentTraceContext();
+  {
+    TraceContextScope scope(TraceContext{42, 7});
+    EXPECT_EQ(CurrentTraceContext().trace_id, 42u);
+    EXPECT_EQ(CurrentTraceContext().span_id, 7u);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, before.trace_id);
+  EXPECT_EQ(CurrentTraceContext().span_id, before.span_id);
+}
+
+TEST(ChromeTraceJsonTest, OutputIsValidJson) {
+  TraceRecorder rec(16);
+  rec.set_enabled(true);
+  {
+    ScopedSpan outer("test.outer \"quoted\"\n", nullptr, &rec);
+    ScopedSpan inner("test.inner", 1234u, nullptr, &rec);
+  }
+  const std::string json = ChromeTraceJson(rec.Snapshot());
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error << "\n" << json;
+  // Spot-check the Chrome trace shape and that ids ride along.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":1234"), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmptySpanListIsStillValid) {
+  const std::string json = ChromeTraceJson({});
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error;
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Exporter conformance: the Prometheus text exposition and JSON exporter
+// outputs must satisfy the structural checks in obs/validate.h — and the
+// checkers themselves must reject malformed input, otherwise the CI gate
+// built on them proves nothing.
+
+#include "obs/validate.h"
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace expdb {
+namespace obs {
+namespace {
+
+// --- JSON checker -----------------------------------------------------
+
+TEST(ValidateJsonTest, AcceptsWellFormedValues) {
+  for (const char* ok :
+       {"{}", "[]", "null", "true", "false", "0", "-1.5e3", "\"s\"",
+        R"({"a":[1,2,{"b":null}],"c":"é\n"})", "[1, 2, 3]"}) {
+    std::string error;
+    EXPECT_TRUE(ValidateJson(ok, &error)) << ok << ": " << error;
+  }
+}
+
+TEST(ValidateJsonTest, RejectsMalformedValues) {
+  for (const char* bad :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{'a':1}", "nul", "01", "1.",
+        "\"unterminated", "{\"a\":1}extra", "[1 2]", "+1",
+        "\"bad\\escape\"", "{\"dup\" 1}"}) {
+    std::string error;
+    EXPECT_FALSE(ValidateJson(bad, &error)) << bad;
+  }
+}
+
+TEST(ValidateJsonLinesTest, ChecksEveryLine) {
+  std::string error;
+  EXPECT_TRUE(ValidateJsonLines("{\"a\":1}\n{\"b\":2}\n", &error)) << error;
+  EXPECT_TRUE(ValidateJsonLines("", &error)) << error;  // empty = vacuous
+  EXPECT_FALSE(ValidateJsonLines("{\"a\":1}\n{oops\n", &error));
+}
+
+// --- Prometheus checker ----------------------------------------------
+
+TEST(ValidatePrometheusTest, AcceptsWellFormedFamilies) {
+  const char* text =
+      "# HELP expdb_x_total A counter.\n"
+      "# TYPE expdb_x_total counter\n"
+      "expdb_x_total 3\n"
+      "# TYPE expdb_g gauge\n"
+      "expdb_g -1.5\n"
+      "# TYPE expdb_h histogram\n"
+      "expdb_h_bucket{le=\"100\"} 1\n"
+      "expdb_h_bucket{le=\"1000\"} 4\n"
+      "expdb_h_bucket{le=\"+Inf\"} 5\n"
+      "expdb_h_sum 1234\n"
+      "expdb_h_count 5\n";
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+}
+
+TEST(ValidatePrometheusTest, RejectsSampleWithoutType) {
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText("expdb_untyped_total 1\n", &error));
+}
+
+TEST(ValidatePrometheusTest, RejectsBadMetricName) {
+  const char* text =
+      "# TYPE 9bad counter\n"
+      "9bad 1\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+TEST(ValidatePrometheusTest, RejectsNonMonotonicHistogramBuckets) {
+  const char* text =
+      "# TYPE expdb_h histogram\n"
+      "expdb_h_bucket{le=\"100\"} 5\n"
+      "expdb_h_bucket{le=\"1000\"} 4\n"  // cumulative count decreased
+      "expdb_h_bucket{le=\"+Inf\"} 5\n"
+      "expdb_h_sum 1\n"
+      "expdb_h_count 5\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+TEST(ValidatePrometheusTest, RejectsHistogramWithoutInfBucket) {
+  const char* text =
+      "# TYPE expdb_h histogram\n"
+      "expdb_h_bucket{le=\"100\"} 5\n"
+      "expdb_h_sum 1\n"
+      "expdb_h_count 5\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+TEST(ValidatePrometheusTest, RejectsInfBucketCountMismatch) {
+  const char* text =
+      "# TYPE expdb_h histogram\n"
+      "expdb_h_bucket{le=\"+Inf\"} 4\n"
+      "expdb_h_sum 1\n"
+      "expdb_h_count 5\n";  // != +Inf bucket
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+TEST(ValidatePrometheusTest, RejectsUnescapedHelpNewline) {
+  // A raw newline inside HELP text splits the line; the following
+  // fragment is then a malformed sample.
+  const char* text =
+      "# HELP expdb_x broken\nhelp\n"
+      "# TYPE expdb_x counter\n"
+      "expdb_x 1\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+// --- The real exporters must pass their checkers ----------------------
+
+TEST(ExporterConformanceTest, RegistryPrometheusTextConforms) {
+  MetricsRegistry registry;
+  RegisterStandardMetrics(registry);
+  // Exercise escaping and histogram rendering paths.
+  registry.GetCounter("expdb_conf_total", "Help with \\ backslash\nnewline")
+      ->Increment(7);
+  Histogram* h = registry.GetHistogram("expdb_conf_latency_ns");
+  for (int i = 0; i < 100; ++i) h->Record(i * 1000);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(registry.PrometheusText(), &error))
+      << error;
+}
+
+TEST(ExporterConformanceTest, RegistryJsonTextRoundTrips) {
+  MetricsRegistry registry;
+  RegisterStandardMetrics(registry);
+  registry.GetCounter("expdb_json_total", "quote \" and \\ backslash")
+      ->Increment();
+  registry.GetGauge("expdb_json_gauge")->Set(-3);
+  registry.GetHistogram("expdb_json_latency_ns")->Record(12345);
+  std::string error;
+  EXPECT_TRUE(ValidateJson(registry.JsonText(), &error)) << error;
+}
+
+TEST(ExporterConformanceTest, GlobalRegistrySnapshotConforms) {
+  // The process-wide registry as the CI scrape sees it.
+  std::string error;
+  EXPECT_TRUE(
+      ValidatePrometheusText(MetricsRegistry::Global().PrometheusText(),
+                             &error))
+      << error;
+  EXPECT_TRUE(ValidateJson(MetricsRegistry::Global().JsonText(), &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace expdb

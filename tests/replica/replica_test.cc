@@ -160,5 +160,78 @@ TEST_F(ReplicaTest, PropertyEveryProtocolScoredAgainstGroundTruth) {
   }
 }
 
+TEST(TraceParentHeaderTest, SerializeParseRoundTrip) {
+  const TraceParentHeader original{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  const std::string wire = original.Serialize();
+  EXPECT_EQ(wire.size(), 33u);
+  EXPECT_EQ(wire, "0123456789abcdef-fedcba9876543210");
+  const TraceParentHeader parsed = TraceParentHeader::Parse(wire);
+  EXPECT_EQ(parsed.trace_id, original.trace_id);
+  EXPECT_EQ(parsed.span_id, original.span_id);
+}
+
+TEST(TraceParentHeaderTest, InactiveContextSerializesEmpty) {
+  EXPECT_EQ(TraceParentHeader{}.Serialize(), "");
+  EXPECT_FALSE(TraceParentHeader::Parse("").ToContext().active());
+}
+
+TEST(TraceParentHeaderTest, MalformedWireParsesInactive) {
+  for (const char* bad :
+       {"short", "0123456789abcdefXfedcba9876543210",  // wrong separator
+        "0123456789abcdeZ-fedcba9876543210",           // non-hex digit
+        "0123456789abcdef-fedcba987654321",            // too short
+        "0123456789abcdef-fedcba98765432100"}) {       // too long
+    EXPECT_FALSE(TraceParentHeader::Parse(bad).ToContext().active()) << bad;
+  }
+}
+
+TEST(TraceParentHeaderTest, CaptureReflectsCurrentContext) {
+  EXPECT_EQ(TraceParentHeader::Capture().trace_id, 0u);
+  obs::TraceContextScope scope(obs::TraceContext{7, 9});
+  const TraceParentHeader h = TraceParentHeader::Capture();
+  EXPECT_EQ(h.trace_id, 7u);
+  EXPECT_EQ(h.span_id, 9u);
+}
+
+TEST_F(ReplicaTest, ServerSpansStitchUnderClientRequestSpan) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Clear();
+  const bool was_enabled = rec.enabled();
+  rec.set_enabled(true);
+
+  ReplicationServer server(&db_);
+  ASSERT_TRUE(server.RegisterQuery("q", Base("R")).ok());
+  SimulatedNetwork net;
+  ReplicationClient client(&server, &net, {});
+  uint64_t root_trace = 0;
+  {
+    obs::ScopedSpan root("test.request");
+    root_trace = root.trace_id();
+    ASSERT_TRUE(client.Subscribe("q", T(0)).ok());
+  }
+  rec.set_enabled(was_enabled);
+
+  // One connected tree: the client fetch span is a child of the request
+  // span's trace, and the server fetch span hangs off the client fetch
+  // span via the traceparent header carried in the message.
+  uint64_t client_fetch = 0;
+  for (const obs::SpanRecord& s : rec.Snapshot()) {
+    if (s.name == "replica.client.fetch") {
+      client_fetch = s.id;
+      EXPECT_EQ(s.trace_id, root_trace);
+    }
+  }
+  ASSERT_NE(client_fetch, 0u);
+  bool saw_server_span = false;
+  for (const obs::SpanRecord& s : rec.Snapshot()) {
+    if (s.name != "replica.server.fetch") continue;
+    saw_server_span = true;
+    EXPECT_EQ(s.parent_id, client_fetch);
+    EXPECT_EQ(s.trace_id, root_trace);
+  }
+  EXPECT_TRUE(saw_server_span);
+  rec.Clear();
+}
+
 }  // namespace
 }  // namespace expdb

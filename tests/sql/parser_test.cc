@@ -230,6 +230,51 @@ TEST(ParserTest, EmptyStatementsRejected) {
   EXPECT_FALSE(ParseStatement("   ;").ok());
 }
 
+TEST(ParserTest, ParseSet) {
+  auto r = ParseStatement("SET slow_query_ns = 1000000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& set = std::get<SetStatement>(*r);
+  EXPECT_EQ(set.name, "slow_query_ns");
+  EXPECT_EQ(set.value, Value(int64_t{1000000}));
+
+  r = ParseStatement("SET event_log = ON");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<SetStatement>(*r).value, Value("on"));
+
+  r = ParseStatement("SET event_log_path = '/tmp/events.jsonl'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<SetStatement>(*r).value, Value("/tmp/events.jsonl"));
+
+  EXPECT_FALSE(ParseStatement("SET").ok());
+  EXPECT_FALSE(ParseStatement("SET x").ok());
+  EXPECT_FALSE(ParseStatement("SET x = ").ok());
+}
+
+TEST(ParserTest, ParseTrace) {
+  auto r = ParseStatement("TRACE ON");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<TraceStatement>(*r).what, TraceStatement::What::kOn);
+
+  r = ParseStatement("trace off");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<TraceStatement>(*r).what, TraceStatement::What::kOff);
+
+  r = ParseStatement("TRACE SHOW");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::get<TraceStatement>(*r).what, TraceStatement::What::kShow);
+
+  r = ParseStatement("TRACE EXPORT '/tmp/trace.json'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& exp = std::get<TraceStatement>(*r);
+  EXPECT_EQ(exp.what, TraceStatement::What::kExport);
+  EXPECT_EQ(exp.path, "/tmp/trace.json");
+
+  EXPECT_FALSE(ParseStatement("TRACE").ok());
+  EXPECT_FALSE(ParseStatement("TRACE SIDEWAYS").ok());
+  EXPECT_FALSE(ParseStatement("TRACE EXPORT").ok());
+  EXPECT_FALSE(ParseStatement("TRACE EXPORT unquoted").ok());
+}
+
 }  // namespace
 }  // namespace sql
 }  // namespace expdb

@@ -4,7 +4,16 @@
 
 #include "sql/session.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
 
 namespace expdb {
 namespace sql {
@@ -460,6 +469,173 @@ TEST(SessionStatsTest, StatsParseErrors) {
   Session s;
   EXPECT_FALSE(s.Execute("STATS SIDEWAYS").ok());
   EXPECT_FALSE(s.Execute("EXPLAIN SELECT").ok());
+}
+
+// --- SET / TRACE / event log -----------------------------------------------
+
+TEST(SessionSetTest, SlowQueryThresholdCountsSlowStatements) {
+  Session s;
+  obs::Counter* slow =
+      obs::MetricsRegistry::Global().GetCounter("expdb_sql_slow_queries_total");
+  const uint64_t before = slow->value();
+  MustExec(s, "CREATE TABLE t (x INT)");
+  EXPECT_EQ(slow->value(), before);  // threshold disabled by default
+  MustExec(s, "SET slow_query_ns = 0");
+  MustExec(s, "SELECT * FROM t");
+  EXPECT_GE(slow->value(), before + 1);
+  MustExec(s, "SET slow_query_ns = off");
+  const uint64_t after_off = slow->value();
+  MustExec(s, "SELECT * FROM t");
+  EXPECT_EQ(slow->value(), after_off);
+}
+
+TEST(SessionSetTest, SlowQueryEmitsEventWhenLogEnabled) {
+  Session s;
+  obs::EventLog& log = obs::EventLog::Global();
+  const bool was_enabled = log.enabled();
+  log.Clear();
+  MustExec(s, "SET event_log = on");
+  MustExec(s, "SET slow_query_ns = 0");
+  MustExec(s, "CREATE TABLE t (x INT)");
+  bool saw = false;
+  for (const auto& e : log.Snapshot()) {
+    if (e.component == "sql" && e.event == "slow_query") {
+      saw = true;
+      EXPECT_EQ(e.severity, obs::LogSeverity::kWarn);
+      EXPECT_NE(e.trace_id, 0u);  // emitted under the statement's span
+    }
+  }
+  EXPECT_TRUE(saw);
+  log.set_enabled(was_enabled);
+  log.Clear();
+}
+
+TEST(SessionSetTest, SetValidationErrors) {
+  Session s;
+  MustExec(s, "SET parallelism = 4");
+  MustExec(s, "SET parallelism = 0");  // 0 = hardware concurrency
+  EXPECT_FALSE(s.Execute("SET parallelism = 'lots'").ok());
+  EXPECT_FALSE(s.Execute("SET slow_query_ns = 'fast'").ok());
+  EXPECT_FALSE(s.Execute("SET event_log = sideways").ok());
+  EXPECT_FALSE(s.Execute("SET warp_speed = 9").ok());
+}
+
+TEST(SessionSetTest, ParallelQueriesStillCorrectAfterSetParallelism) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  std::string insert = "INSERT INTO t VALUES (0)";
+  for (int i = 1; i < 200; ++i) insert += ", (" + std::to_string(i) + ")";
+  MustExec(s, insert);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 200u);
+  MustExec(s, "SET parallelism = 4");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 200u);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT x FROM t WHERE x = 7")), 1u);
+}
+
+TEST(SessionSetTest, EventLogToggleAndSink) {
+  Session s;
+  obs::EventLog& log = obs::EventLog::Global();
+  const bool was_enabled = log.enabled();
+  MustExec(s, "SET event_log = on");
+  EXPECT_TRUE(log.enabled());
+  MustExec(s, "SET event_log = off");
+  EXPECT_FALSE(log.enabled());
+  const std::string path = ::testing::TempDir() + "/expdb_session_events.jsonl";
+  MustExec(s, "SET event_log_path = '" + path + "'");
+  EXPECT_TRUE(log.HasSink());
+  EXPECT_TRUE(log.enabled());  // attaching a sink switches the log on
+  MustExec(s, "SET event_log_path = off");
+  EXPECT_FALSE(log.HasSink());
+  EXPECT_FALSE(s.Execute("SET event_log_path = '/nonexistent-dir/x/e.jsonl'")
+                   .ok());
+  log.set_enabled(was_enabled);
+  log.Clear();
+  std::remove(path.c_str());
+}
+
+TEST(SessionSetTest, ViewMaintenanceEmitsEvents) {
+  Session s;
+  obs::EventLog& log = obs::EventLog::Global();
+  const bool was_enabled = log.enabled();
+  log.Clear();
+  log.set_enabled(true);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 5");
+  MustExec(s, "CREATE VIEW v AS SELECT x FROM t");
+  MustExec(s, "INSERT INTO t VALUES (2) TTL 7");
+  MustExec(s, "ADVANCE TIME 5");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM v")), 1u);
+  bool saw_view_event = false;
+  for (const auto& e : log.Snapshot()) {
+    if (e.component == "view") {
+      saw_view_event = true;
+      // Every view event names the view it belongs to.
+      bool named = false;
+      for (const auto& [k, v] : e.fields) {
+        if (k == "view" && v == "v") named = true;
+      }
+      EXPECT_TRUE(named) << e.ToJson();
+    }
+  }
+  EXPECT_TRUE(saw_view_event);
+  log.set_enabled(was_enabled);
+  log.Clear();
+}
+
+TEST(SessionTraceTest, TraceShowWithNoTracesReportsNone) {
+  Session s;
+  obs::TraceRecorder::Global().Clear();
+  auto r = MustExec(s, "TRACE SHOW");
+  EXPECT_NE(r.message.find("no completed traces"), std::string::npos);
+}
+
+TEST(SessionTraceTest, TraceShowRendersMostRecentCompletedTrace) {
+  Session s;
+  obs::TraceRecorder::Global().Clear();
+  MustExec(s, "TRACE ON");
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2)");
+  MustExec(s, "SELECT * FROM t");
+  auto r = MustExec(s, "TRACE SHOW");
+  EXPECT_NE(r.message.find("trace #"), std::string::npos);
+  EXPECT_NE(r.message.find("sql.statement"), std::string::npos);
+  MustExec(s, "TRACE OFF");
+  EXPECT_FALSE(obs::TraceRecorder::Global().enabled());
+  MustExec(s, "TRACE ON");  // leave it as the Session constructor set it
+}
+
+TEST(SessionTraceTest, TraceExportWritesValidChromeTraceJson) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2)");
+  MustExec(s, "SELECT * FROM t");
+  const std::string path = ::testing::TempDir() + "/expdb_trace_export.json";
+  auto r = MustExec(s, "TRACE EXPORT '" + path + "'");
+  EXPECT_NE(r.message.find("trace exported to " + path), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  std::string error;
+  EXPECT_TRUE(obs::ValidateJson(contents, &error)) << error;
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("sql.statement"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SessionTraceTest, TraceExportToUnwritablePathFails) {
+  Session s;
+  EXPECT_FALSE(s.Execute("TRACE EXPORT '/nonexistent-dir/x/t.json'").ok());
+}
+
+TEST(SessionTraceTest, ExplainAnalyzeAggregatesTracedOperatorSpans) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3)");
+  auto r = MustExec(s, "EXPLAIN ANALYZE SELECT * FROM t WHERE x = 2");
+  EXPECT_NE(r.message.find("traced operator spans"), std::string::npos);
+  EXPECT_NE(r.message.find("node #"), std::string::npos);
 }
 
 }  // namespace
