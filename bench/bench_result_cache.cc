@@ -1,0 +1,137 @@
+// Claim C12 — the expiration-stamped result cache turns warm repeats
+// into lookups.
+//
+// Scenarios (EXPERIMENTS.md C12, docs/PERFORMANCE.md §7):
+//   * SelectUncached vs SelectWarmCache — the same selective point query
+//     through the full SQL path with the result cache off vs warm; the
+//     >=10x warm-hit claim.
+//   * ExecutePreparedWarm — EXECUTE on a prepared statement, warm cache:
+//     no parsing of the query text, no planning, no execution.
+//   * SelectPatchedHit — one insert + one delete between lookups, so
+//     every SELECT is served by delta-patching the cached entry rather
+//     than recomputing.
+//   * SelectColdPlans vs SelectSharedSkeleton — tier 1 in isolation
+//     (result cache off): re-planning every statement vs rotating
+//     literals through one cached skeleton.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "sql/session.h"
+
+namespace {
+
+using namespace expdb;  // NOLINT
+
+constexpr const char* kPointQuery = "SELECT * FROM t WHERE v = 3";
+
+void Must(const Result<sql::ExecResult>& r, benchmark::State& state) {
+  if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+}
+
+/// t(k INT, v INT): n rows, v uniform over 97 values, expirations far in
+/// the future (the cache is exercised, never lapsed, during the run).
+void FillTable(sql::Session& s, int64_t n, benchmark::State& state) {
+  Must(s.Execute("CREATE TABLE t (k INT, v INT)"), state);
+  Relation* r = s.db().GetRelation("t").value();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!r->Insert(Tuple{i, i % 97}, Timestamp(1000000 + i)).ok()) {
+      state.SkipWithError("fill failed");
+      return;
+    }
+  }
+}
+
+void BM_SelectUncached(benchmark::State& state) {
+  sql::Session s;
+  FillTable(s, state.range(0), state);
+  Must(s.Execute("SET result_cache_bytes = 0"), state);
+  for (auto _ : state) {
+    auto r = s.Execute(kPointQuery);
+    Must(r, state);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("plan + execute per call");
+}
+BENCHMARK(BM_SelectUncached)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_SelectWarmCache(benchmark::State& state) {
+  sql::Session s;
+  FillTable(s, state.range(0), state);
+  Must(s.Execute(kPointQuery), state);  // fill both tiers
+  for (auto _ : state) {
+    auto r = s.Execute(kPointQuery);
+    Must(r, state);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("warm result-cache hit");
+}
+BENCHMARK(BM_SelectWarmCache)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_ExecutePreparedWarm(benchmark::State& state) {
+  sql::Session s;
+  FillTable(s, state.range(0), state);
+  Must(s.Execute("PREPARE q AS SELECT * FROM t WHERE v = $1"), state);
+  Must(s.Execute("EXECUTE q (3)"), state);  // fill
+  for (auto _ : state) {
+    auto r = s.Execute("EXECUTE q (3)");
+    Must(r, state);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("prepared, warm hit");
+}
+BENCHMARK(BM_ExecutePreparedWarm)->Arg(8192);
+
+void BM_SelectPatchedHit(benchmark::State& state) {
+  sql::Session s;
+  FillTable(s, state.range(0), state);
+  Must(s.Execute(kPointQuery), state);
+  for (auto _ : state) {
+    Must(s.Execute("INSERT INTO t VALUES (999999999, 3)"), state);
+    auto in = s.Execute(kPointQuery);  // patched in
+    Must(in, state);
+    Must(s.Execute("DELETE FROM t WHERE k = 999999999"), state);
+    auto out = s.Execute(kPointQuery);  // patched out
+    Must(out, state);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("2 patches + 2 mutations per iteration");
+}
+BENCHMARK(BM_SelectPatchedHit)->Arg(8192);
+
+void BM_SelectColdPlans(benchmark::State& state) {
+  sql::Session s;
+  FillTable(s, state.range(0), state);
+  Must(s.Execute("SET result_cache_bytes = 0"), state);
+  for (auto _ : state) {
+    Must(s.Execute("CACHE CLEAR"), state);  // forces a fresh plan
+    auto r = s.Execute(kPointQuery);
+    Must(r, state);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("re-planned every call");
+}
+BENCHMARK(BM_SelectColdPlans)->Arg(512);
+
+void BM_SelectSharedSkeleton(benchmark::State& state) {
+  sql::Session s;
+  FillTable(s, state.range(0), state);
+  Must(s.Execute("SET result_cache_bytes = 0"), state);
+  Must(s.Execute(kPointQuery), state);  // plan the skeleton once
+  int64_t v = 0;
+  for (auto _ : state) {
+    // Rotating literals: every statement is a tier-1 hit (one skeleton),
+    // never a tier-2 hit (different arguments).
+    auto r = s.Execute("SELECT * FROM t WHERE v = " + std::to_string(v));
+    v = (v + 1) % 97;
+    Must(r, state);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("one skeleton, rotating literals");
+}
+BENCHMARK(BM_SelectSharedSkeleton)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -78,6 +78,20 @@ int main(int argc, char** argv) {
   if (!exec("ADVANCE TIME 150")) return 1;  // expire chunk 0, age the view
   if (!exec("SELECT * FROM hot")) return 1;
 
+  // 1b. The two-tier cache pipeline: a repeated SELECT (fill + hit), a
+  //     prepared statement served warm, and a patched entry after an
+  //     insert — so the expdb_result_cache_* metrics and cache_patch
+  //     events land in the artifacts below.
+  if (!exec("SELECT v FROM readings WHERE sensor = 3")) return 1;
+  if (!exec("SELECT v FROM readings WHERE sensor = 3")) return 1;  // hit
+  if (!exec("PREPARE hot_sensor AS SELECT v FROM readings WHERE sensor = $1")) {
+    return 1;
+  }
+  if (!exec("EXECUTE hot_sensor (5)")) return 1;
+  if (!exec("EXECUTE hot_sensor (5)")) return 1;  // hit
+  if (!exec("INSERT INTO readings VALUES (3, 4096) TTL 500")) return 1;
+  if (!exec("SELECT v FROM readings WHERE sensor = 3")) return 1;  // patch
+
   // 2. A replica sync round so client/server fetch spans and re-fetch
   //    decision events land in the same artifacts.
   {
@@ -111,6 +125,18 @@ int main(int argc, char** argv) {
   const std::string prom = obs::MetricsRegistry::Global().PrometheusText();
   if (!obs::ValidatePrometheusText(prom, &error)) {
     return Fail("Prometheus exposition: " + error);
+  }
+  // The cache workload above must surface in the scrape: a conformant
+  // exposition that silently lost the result-cache metrics still fails.
+  for (const char* metric :
+       {"expdb_result_cache_hits_total", "expdb_result_cache_misses_total",
+        "expdb_result_cache_patches_total",
+        "expdb_result_cache_evictions_total", "expdb_result_cache_bytes",
+        "expdb_result_cache_lookup_latency_ns",
+        "expdb_plan_cache_hits_total"}) {
+    if (prom.find(metric) == std::string::npos) {
+      return Fail(std::string("metrics.prom is missing ") + metric);
+    }
   }
   if (!WriteFile(dir + "/metrics.prom", prom)) {
     return Fail("cannot write " + dir + "/metrics.prom");

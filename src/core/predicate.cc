@@ -1,5 +1,7 @@
 #include "core/predicate.h"
 
+#include <algorithm>
+
 namespace expdb {
 
 std::string_view ComparisonOpToString(ComparisonOp op) {
@@ -21,7 +23,8 @@ std::string_view ComparisonOpToString(ComparisonOp op) {
 }
 
 std::string Operand::ToString() const {
-  if (is_column_) return "$" + std::to_string(index_ + 1);  // paper: 1-based
+  if (is_column()) return "$" + std::to_string(index_ + 1);  // paper: 1-based
+  if (is_parameter()) return "?" + std::to_string(index_ + 1);
   if (value_.is_string()) return "'" + value_.ToString() + "'";
   return value_.ToString();
 }
@@ -172,6 +175,66 @@ struct Predicate::Node {
     return n;
   }
 
+  /// max parameter index + 1 over the subtree (0 = no parameters).
+  size_t ParameterCount() const {
+    switch (kind) {
+      case Kind::kLiteral:
+        return 0;
+      case Kind::kCompare: {
+        size_t n = 0;
+        for (const Operand* o : {&lhs, &rhs}) {
+          if (o->is_parameter()) {
+            n = std::max(n, o->parameter_index() + 1);
+          }
+        }
+        return n;
+      }
+      case Kind::kAnd:
+      case Kind::kOr:
+        return std::max(left->ParameterCount(), right->ParameterCount());
+      case Kind::kNot:
+        return left->ParameterCount();
+    }
+    return 0;
+  }
+
+  Result<std::shared_ptr<const Node>> BindParams(
+      const std::vector<Value>& args) const {
+    switch (kind) {
+      case Kind::kLiteral:
+        return std::shared_ptr<const Node>(std::make_shared<Node>(*this));
+      case Kind::kCompare: {
+        auto bind_op = [&](const Operand& o) -> Result<Operand> {
+          if (!o.is_parameter()) return o;
+          if (o.parameter_index() >= args.size()) {
+            return Status::InvalidArgument(
+                "parameter ?" + std::to_string(o.parameter_index() + 1) +
+                " has no bound value (" + std::to_string(args.size()) +
+                " supplied)");
+          }
+          return Operand::Constant(args[o.parameter_index()]);
+        };
+        auto n = std::make_shared<Node>(*this);
+        EXPDB_ASSIGN_OR_RETURN(n->lhs, bind_op(lhs));
+        EXPDB_ASSIGN_OR_RETURN(n->rhs, bind_op(rhs));
+        return std::shared_ptr<const Node>(n);
+      }
+      case Kind::kAnd:
+      case Kind::kOr: {
+        auto n = std::make_shared<Node>(*this);
+        EXPDB_ASSIGN_OR_RETURN(n->left, left->BindParams(args));
+        EXPDB_ASSIGN_OR_RETURN(n->right, right->BindParams(args));
+        return std::shared_ptr<const Node>(n);
+      }
+      case Kind::kNot: {
+        auto n = std::make_shared<Node>(*this);
+        EXPDB_ASSIGN_OR_RETURN(n->left, left->BindParams(args));
+        return std::shared_ptr<const Node>(n);
+      }
+    }
+    return std::shared_ptr<const Node>(std::make_shared<Node>(*this));
+  }
+
   void CollectTopLevelEqualities(
       std::vector<std::pair<size_t, size_t>>* out) const {
     if (kind == Kind::kAnd) {
@@ -197,7 +260,9 @@ struct Predicate::Node {
       case Kind::kLiteral:
         return node;
       case Kind::kCompare:
-        if (!node->lhs.is_column() && !node->rhs.is_column()) {
+        // Parameters are not constants: a parameterized comparison must
+        // survive folding so each binding can decide it at execution.
+        if (node->lhs.is_constant() && node->rhs.is_constant()) {
           return MakeLiteral(ApplyComparison(node->lhs.constant(), node->op,
                                              node->rhs.constant()));
         }
@@ -405,6 +470,20 @@ Predicate Predicate::FoldConstants() const {
 std::optional<bool> Predicate::AsLiteral() const {
   if (node_->kind != Node::Kind::kLiteral) return std::nullopt;
   return node_->literal;
+}
+
+bool Predicate::HasParameters() const {
+  return node_->ParameterCount() > 0;
+}
+
+size_t Predicate::ParameterCount() const { return node_->ParameterCount(); }
+
+Result<Predicate> Predicate::BindParameters(
+    const std::vector<Value>& args) const {
+  if (!HasParameters()) return *this;
+  EXPDB_ASSIGN_OR_RETURN(std::shared_ptr<const Node> bound,
+                         node_->BindParams(args));
+  return Predicate(std::move(bound));
 }
 
 std::string Predicate::ToString() const { return node_->ToString(); }

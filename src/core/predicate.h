@@ -29,31 +29,44 @@ enum class ComparisonOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
 std::string_view ComparisonOpToString(ComparisonOp op);
 
-/// \brief One side of a comparison: an attribute reference (0-based index)
-/// or a constant of the attribute domain D.
+/// \brief One side of a comparison: an attribute reference (0-based index),
+/// a constant of the attribute domain D, or a statement parameter ($n in
+/// SQL, 0-based here) awaiting a bound value. Parameters exist only in
+/// parameterized plan skeletons; Predicate::BindParameters turns them into
+/// constants before execution.
 class Operand {
  public:
+  enum class Kind { kColumn, kConstant, kParameter };
+
   /// Attribute reference r(index).
-  static Operand Column(size_t index) { return Operand(index); }
+  static Operand Column(size_t index) { return Operand(Kind::kColumn, index); }
   /// Constant a ∈ D.
   static Operand Constant(Value v) { return Operand(std::move(v)); }
+  /// Statement parameter placeholder (0-based).
+  static Operand Parameter(size_t index) {
+    return Operand(Kind::kParameter, index);
+  }
 
-  bool is_column() const { return is_column_; }
+  bool is_column() const { return kind_ == Kind::kColumn; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_parameter() const { return kind_ == Kind::kParameter; }
   size_t column_index() const { return index_; }
+  size_t parameter_index() const { return index_; }
   const Value& constant() const { return value_; }
 
-  /// The operand's value for a given tuple.
+  /// The operand's value for a given tuple. An unbound parameter resolves
+  /// to the null Value; plans are parameter-bound before execution.
   const Value& Resolve(const Tuple& t) const {
-    return is_column_ ? t.at(index_) : value_;
+    return kind_ == Kind::kColumn ? t.at(index_) : value_;
   }
 
   std::string ToString() const;
 
  private:
-  explicit Operand(size_t index) : is_column_(true), index_(index) {}
-  explicit Operand(Value v) : is_column_(false), value_(std::move(v)) {}
+  Operand(Kind kind, size_t index) : kind_(kind), index_(index) {}
+  explicit Operand(Value v) : kind_(Kind::kConstant), value_(std::move(v)) {}
 
-  bool is_column_;
+  Kind kind_;
   size_t index_ = 0;
   Value value_;
 };
@@ -122,6 +135,18 @@ class Predicate {
   /// \brief The constant truth value of this predicate, if it is a bare
   /// literal (possibly after FoldConstants); nullopt otherwise.
   std::optional<bool> AsLiteral() const;
+
+  /// \brief True iff some comparison references an unbound parameter.
+  bool HasParameters() const;
+
+  /// \brief Number of parameter slots: max parameter index + 1 (0 when the
+  /// predicate has no parameters).
+  size_t ParameterCount() const;
+
+  /// \brief Returns this predicate with every parameter operand replaced
+  /// by the corresponding constant from `args` (parameter i -> args[i]).
+  /// Fails with InvalidArgument if a parameter index is out of range.
+  Result<Predicate> BindParameters(const std::vector<Value>& args) const;
 
   std::string ToString() const;
 

@@ -436,6 +436,18 @@ void RegisterStandardMetrics(MetricsRegistry& r) {
   r.GetCounter("expdb_plan_cse_reuses_total",
                "Common-subtree results reused within one execution");
   r.GetHistogram("expdb_plan_latency_ns", "Planning wall time (ns)");
+  r.GetCounter("expdb_result_cache_hits_total",
+               "Statements served from the expiration-stamped result cache");
+  r.GetCounter("expdb_result_cache_misses_total",
+               "Result-cache lookups that fell through to execution");
+  r.GetCounter("expdb_result_cache_patches_total",
+               "Result-cache hits served after delta patching the entry");
+  r.GetCounter("expdb_result_cache_evictions_total",
+               "Result-cache entries evicted by the LRU byte budget");
+  r.GetGauge("expdb_result_cache_bytes",
+             "Estimated bytes held by result caches");
+  r.GetHistogram("expdb_result_cache_lookup_latency_ns",
+                 "Result-cache lookup latency (ns)");
   // expiration -----------------------------------------------------------
   r.GetCounter("expdb_expiration_inserted_total",
                "Tuples routed through ExpirationManager::Insert");

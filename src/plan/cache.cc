@@ -1,0 +1,462 @@
+#include "plan/cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace expdb {
+namespace plan {
+
+namespace {
+
+void LogCacheEvent(const char* event, std::vector<obs::LogField> fields) {
+  obs::EventLog& log = obs::EventLog::Global();
+  if (!log.enabled()) return;
+  log.Emit(obs::LogSeverity::kInfo, "sql", event, std::move(fields));
+}
+
+}  // namespace
+
+obs::Counter* PlanCacheHits() {
+  static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+      "expdb_plan_cache_hits_total",
+      "Executions served from a cached physical plan");
+  return hits;
+}
+
+// --- parameterized plans ---------------------------------------------------
+
+size_t ExpressionParameterCount(const ExpressionPtr& expr) {
+  if (expr == nullptr) return 0;
+  size_t n = expr->predicate().ParameterCount();
+  n = std::max(n, ExpressionParameterCount(expr->left()));
+  n = std::max(n, ExpressionParameterCount(expr->right()));
+  return n;
+}
+
+Result<ExpressionPtr> BindExpressionParameters(
+    const ExpressionPtr& expr, const std::vector<Value>& args) {
+  if (expr == nullptr || ExpressionParameterCount(expr) == 0) return expr;
+  EXPDB_ASSIGN_OR_RETURN(ExpressionPtr left,
+                         BindExpressionParameters(expr->left(), args));
+  EXPDB_ASSIGN_OR_RETURN(ExpressionPtr right,
+                         BindExpressionParameters(expr->right(), args));
+  switch (expr->kind()) {
+    case ExprKind::kBase:
+      return expr;
+    case ExprKind::kSelect: {
+      EXPDB_ASSIGN_OR_RETURN(Predicate p,
+                             expr->predicate().BindParameters(args));
+      return Expression::MakeSelect(std::move(left), std::move(p));
+    }
+    case ExprKind::kProject:
+      return Expression::MakeProject(std::move(left), expr->projection());
+    case ExprKind::kProduct:
+      return Expression::MakeProduct(std::move(left), std::move(right));
+    case ExprKind::kUnion:
+      return Expression::MakeUnion(std::move(left), std::move(right));
+    case ExprKind::kJoin: {
+      EXPDB_ASSIGN_OR_RETURN(Predicate p,
+                             expr->predicate().BindParameters(args));
+      return Expression::MakeJoin(std::move(left), std::move(right),
+                                  std::move(p));
+    }
+    case ExprKind::kIntersect:
+      return Expression::MakeIntersect(std::move(left), std::move(right));
+    case ExprKind::kDifference:
+      return Expression::MakeDifference(std::move(left), std::move(right));
+    case ExprKind::kAggregate:
+      return Expression::MakeAggregate(std::move(left), expr->group_by(),
+                                       expr->aggregate());
+    case ExprKind::kSemiJoin: {
+      EXPDB_ASSIGN_OR_RETURN(Predicate p,
+                             expr->predicate().BindParameters(args));
+      return Expression::MakeSemiJoin(std::move(left), std::move(right),
+                                      std::move(p));
+    }
+    case ExprKind::kAntiJoin: {
+      EXPDB_ASSIGN_OR_RETURN(Predicate p,
+                             expr->predicate().BindParameters(args));
+      return Expression::MakeAntiJoin(std::move(left), std::move(right),
+                                      std::move(p));
+    }
+  }
+  return Status::Internal("unhandled expression kind in parameter binding");
+}
+
+namespace {
+
+Result<std::unique_ptr<PlanNode>> CloneBound(const PlanNode& node,
+                                             const std::vector<Value>& args) {
+  auto copy = std::make_unique<PlanNode>();
+  copy->id = node.id;
+  copy->op = node.op;
+  EXPDB_ASSIGN_OR_RETURN(copy->expr,
+                         BindExpressionParameters(node.expr, args));
+  copy->schema = node.schema;
+  copy->est_rows = node.est_rows;
+  copy->build_left = node.build_left;
+  copy->cse_id = node.cse_id;
+  copy->const_false = node.const_false;
+  copy->parallel = node.parallel;
+  if (node.left != nullptr) {
+    EXPDB_ASSIGN_OR_RETURN(copy->left, CloneBound(*node.left, args));
+  }
+  if (node.right != nullptr) {
+    EXPDB_ASSIGN_OR_RETURN(copy->right, CloneBound(*node.right, args));
+  }
+  return copy;
+}
+
+}  // namespace
+
+Result<PhysicalPlanPtr> InstantiatePlan(const PhysicalPlanPtr& plan,
+                                        const std::vector<Value>& args) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  EXPDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> root,
+                         CloneBound(plan->root(), args));
+  EXPDB_ASSIGN_OR_RETURN(ExpressionPtr source,
+                         BindExpressionParameters(plan->source_expr(), args));
+  EXPDB_ASSIGN_OR_RETURN(
+      ExpressionPtr planned,
+      BindExpressionParameters(plan->planned_expr(), args));
+  return std::make_shared<const PhysicalPlan>(
+      std::move(root), plan->node_count(), std::move(source),
+      std::move(planned), plan->rewrites(), plan->options());
+}
+
+// --- tier 1: statement/plan cache ------------------------------------------
+
+const PreparedPlan* StatementCache::Lookup(const std::string& fingerprint) {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++hits_;
+  PlanCacheHits()->Increment();
+  return &it->second.plan;
+}
+
+void StatementCache::Insert(const std::string& fingerprint,
+                            PreparedPlan plan) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(fingerprint);
+  entries_.emplace(fingerprint, Entry{std::move(plan), lru_.begin()});
+}
+
+void StatementCache::InvalidateBase(const std::string& name) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const ExpressionPtr& expr = it->second.plan.plan->planned_expr();
+    if (expr != nullptr && expr->BaseRelationNames().count(name) > 0) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StatementCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+// --- tier 2: expiration-stamped result cache --------------------------------
+
+std::string ResultCacheKey(const std::string& fingerprint,
+                           const std::vector<Value>& args) {
+  std::string key = fingerprint;
+  for (const Value& v : args) {
+    key += '\x1f';
+    switch (v.type()) {
+      case ValueType::kNull:
+        key += "n";
+        break;
+      case ValueType::kInt64:
+        key += "i" + v.ToString();
+        break;
+      case ValueType::kDouble:
+        key += "d" + v.ToString();
+        break;
+      case ValueType::kString: {
+        // Length-prefixed so payload bytes can never collide with the
+        // delimiter or another argument's rendering.
+        const std::string s = v.ToString();
+        key += "s" + std::to_string(s.size()) + ":" + s;
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+size_t EstimateResultBytes(const Relation& relation) {
+  // Fixed per-entry overhead (plan + cursors + map/list nodes) plus the
+  // materialization: entry structs, inline values, string payloads, and
+  // ~50% hash-index headroom on the entry storage.
+  size_t bytes = 512 + sizeof(Relation);
+  for (const Relation::Entry& e : relation.entries()) {
+    size_t entry = sizeof(Relation::Entry) + e.tuple.arity() * sizeof(Value);
+    for (const Value& v : e.tuple.values()) {
+      if (v.is_string()) entry += v.ToString().size();
+    }
+    bytes += entry + entry / 2;
+  }
+  return bytes;
+}
+
+ResultCache::ResultCache() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  hits_total_ = reg.GetCounter(
+      "expdb_result_cache_hits_total",
+      "Statements served from the expiration-stamped result cache");
+  misses_total_ = reg.GetCounter("expdb_result_cache_misses_total",
+                                 "Result-cache lookups that fell through to "
+                                 "execution");
+  patches_total_ = reg.GetCounter(
+      "expdb_result_cache_patches_total",
+      "Result-cache hits served after delta patching the entry");
+  evictions_total_ = reg.GetCounter("expdb_result_cache_evictions_total",
+                                    "Result-cache entries evicted by the "
+                                    "LRU byte budget");
+  bytes_gauge_.SetParent(reg.GetGauge(
+      "expdb_result_cache_bytes", "Estimated bytes held by result caches"));
+  lookup_latency_ = reg.GetHistogram("expdb_result_cache_lookup_latency_ns",
+                                     "Result-cache lookup latency (ns)");
+}
+
+void ResultCache::set_max_bytes(size_t bytes) {
+  max_bytes_ = bytes;
+  if (max_bytes_ == 0) {
+    Clear();
+    return;
+  }
+  if (bytes_ > max_bytes_) EvictFor(0, nullptr);
+}
+
+void ResultCache::EraseEntry(EntryMap::iterator it) {
+  bytes_ -= it->second.bytes;
+  bytes_gauge_.Set(static_cast<int64_t>(bytes_));
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void ResultCache::EvictFor(size_t need, const std::string* keep) {
+  while (bytes_ + need > max_bytes_ && !lru_.empty()) {
+    std::string victim = lru_.back();
+    if (keep != nullptr && victim == *keep) {
+      // The protected entry is the LRU tail; nothing older to evict.
+      if (lru_.size() == 1) return;
+      // Rotate it to the front so older-than-it entries can go.
+      auto it = entries_.find(victim);
+      Touch(&it->second);
+      continue;
+    }
+    auto it = entries_.find(victim);
+    ++evictions_;
+    evictions_total_->Increment();
+    LogCacheEvent("cache_evict",
+                  {{"entry_bytes", std::to_string(it->second.bytes)},
+                   {"cache_bytes", std::to_string(bytes_)},
+                   {"budget", std::to_string(max_bytes_)}});
+    EraseEntry(it);
+  }
+}
+
+void ResultCache::Touch(Entry* entry) {
+  lru_.splice(lru_.begin(), lru_, entry->lru_it);
+}
+
+void ResultCache::CountMiss() {
+  ++misses_;
+  misses_total_->Increment();
+}
+
+std::optional<MaterializedResult> ResultCache::Lookup(const std::string& key,
+                                                      const Database& db,
+                                                      Timestamp now) {
+  obs::ScopedSpan span("sql.result_cache.lookup", lookup_latency_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    CountMiss();
+    return std::nullopt;
+  }
+  Entry& e = it->second;
+  // Lapsed materialization: Theorem 2's identity window is over, and the
+  // propagator's cached analyses lapse with it.
+  if (!(now < e.result.texp)) {
+    EraseEntry(it);
+    CountMiss();
+    return std::nullopt;
+  }
+  std::vector<BaseDelta> deltas;
+  bool drifted = false;
+  for (auto& [name, cursor] : e.bases) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) {
+      EraseEntry(it);
+      CountMiss();
+      return std::nullopt;
+    }
+    const Relation* base = rel.value();
+    // Instance churn = a different body of data under the name; an epoch
+    // bump with a broken/trimmed history (Clear(), ring overflow) shows
+    // up as DeltasSince -> nullopt below. Either way: never serve stale.
+    if (base->delta_instance_id() == 0 ||
+        base->delta_instance_id() != cursor.instance_id) {
+      EraseEntry(it);
+      CountMiss();
+      return std::nullopt;
+    }
+    if (base->delta_epoch() == cursor.epoch) continue;
+    drifted = true;
+    if (e.propagator == nullptr) {
+      EraseEntry(it);
+      CountMiss();
+      return std::nullopt;
+    }
+    auto batches = base->DeltasSince(cursor.epoch);
+    if (!batches.has_value()) {
+      EraseEntry(it);
+      CountMiss();
+      return std::nullopt;
+    }
+    deltas.push_back({name, std::move(*batches)});
+  }
+  if (drifted) {
+    auto applied = e.propagator->Apply(deltas, now);
+    if (!applied.ok()) {
+      EraseEntry(it);
+      CountMiss();
+      return std::nullopt;
+    }
+    DeltaPropagator::ApplyOps(applied.value().root_ops, &e.result.relation);
+    e.result.texp = applied.value().texp;
+    e.result.materialized_at = now;
+    e.result.validity = IntervalSet(now, e.result.texp);
+    if (!(now < e.result.texp)) {
+      EraseEntry(it);
+      CountMiss();
+      return std::nullopt;
+    }
+    for (auto& [name, cursor] : e.bases) {
+      auto rel = db.GetRelation(name);
+      if (rel.ok()) cursor = rel.value()->delta_cursor();
+    }
+    const size_t new_bytes = EstimateResultBytes(e.result.relation);
+    bytes_ += new_bytes - e.bytes;
+    e.bytes = new_bytes;
+    bytes_gauge_.Set(static_cast<int64_t>(bytes_));
+    ++patches_;
+    patches_total_->Increment();
+    LogCacheEvent("cache_patch",
+                  {{"ops", std::to_string(applied.value().ops_out)},
+                   {"texp", e.result.texp.ToString()}});
+    if (bytes_ > max_bytes_) EvictFor(0, &key);
+    // The patch may have evicted this very entry when it no longer fits.
+    it = entries_.find(key);
+    if (it == entries_.end()) {
+      CountMiss();
+      return std::nullopt;
+    }
+  }
+  Touch(&it->second);
+  ++hits_;
+  hits_total_->Increment();
+  return it->second.result;
+}
+
+void ResultCache::Insert(const std::string& key, PhysicalPlanPtr plan,
+                         const NodeCapture* capture, MaterializedResult result,
+                         const Database& db, Timestamp now) {
+  if (!enabled()) return;
+  if (plan == nullptr) return;
+  // A lapsed (or immediately lapsing) materialization can never satisfy a
+  // future `now < texp` check.
+  if (!(now < result.texp)) return;
+  std::vector<std::pair<std::string, Relation::DeltaCursor>> bases;
+  for (const std::string& name : plan->planned_expr()->BaseRelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) return;
+    // Without tracking the cursors would never move and the cache would
+    // serve stale data after the first INSERT/DELETE; enabling is
+    // idempotent and metadata-only (allowed through const access).
+    rel.value()->EnableDeltaTracking();
+    bases.emplace_back(name, rel.value()->delta_cursor());
+  }
+  const size_t bytes = EstimateResultBytes(result.relation);
+  if (bytes > max_bytes_) return;
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) EraseEntry(existing);
+  EvictFor(bytes, nullptr);
+  std::unique_ptr<DeltaPropagator> propagator;
+  if (capture != nullptr) {
+    propagator =
+        DeltaPropagator::Create(plan, *capture, plan->options().eval);
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.plan = std::move(plan);
+  e.result = std::move(result);
+  e.bases = std::move(bases);
+  e.propagator = std::move(propagator);
+  e.bytes = bytes;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  bytes_ += bytes;
+  bytes_gauge_.Set(static_cast<int64_t>(bytes_));
+}
+
+void ResultCache::InvalidateBase(const std::string& name) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool reads = false;
+    for (const auto& [base, cursor] : it->second.bases) {
+      if (base == name) {
+        reads = true;
+        break;
+      }
+    }
+    if (reads) {
+      auto victim = it++;
+      EraseEntry(victim);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  bytes_gauge_.Set(0);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.patches = patches_;
+  s.evictions = evictions_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+}  // namespace plan
+}  // namespace expdb

@@ -215,6 +215,28 @@ class Relation {
   /// broken (Clear/rename), or `since` is from another relation's clock.
   std::optional<std::vector<DeltaBatch>> DeltasSince(uint64_t since) const;
 
+  /// \brief Snapshot of the delta clock: the pair a consumer stores when
+  /// it materializes a derived result over this base. The base is
+  /// unchanged since the snapshot iff a later cursor compares equal —
+  /// Clear()/rename bump the epoch when breaking history, and copies get
+  /// a fresh instance id, so every stale-data hazard shows up as a
+  /// cursor mismatch.
+  struct DeltaCursor {
+    uint64_t instance_id = 0;  ///< 0 = tracking disabled at snapshot time
+    uint64_t epoch = 0;
+
+    friend bool operator==(const DeltaCursor& a, const DeltaCursor& b) {
+      return a.instance_id == b.instance_id && a.epoch == b.epoch;
+    }
+    friend bool operator!=(const DeltaCursor& a, const DeltaCursor& b) {
+      return !(a == b);
+    }
+  };
+
+  DeltaCursor delta_cursor() const {
+    return DeltaCursor{delta_instance_id(), delta_epoch()};
+  }
+
   /// \brief Set equality of expτ(·) of both relations, ignoring texp.
   static bool ContentsEqualAt(const Relation& a, const Relation& b,
                               Timestamp tau);

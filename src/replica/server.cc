@@ -1,20 +1,12 @@
 #include "replica/server.h"
 
+#include "plan/cache.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
 
 namespace expdb {
 
-namespace {
-
-obs::Counter* PlanCacheHits() {
-  static obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
-      "expdb_plan_cache_hits_total",
-      "Executions served from a cached physical plan");
-  return hits;
-}
-
-}  // namespace
+using plan::PlanCacheHits;
 
 Status ReplicationServer::RegisterQuery(const std::string& name,
                                         ExpressionPtr expr) {

@@ -35,11 +35,15 @@ struct ColumnRef {
   }
 };
 
-/// \brief One side of a comparison in WHERE.
+/// \brief One side of a comparison in WHERE: a column, a literal
+/// constant, or a statement parameter ($n, 1-based in the SQL text,
+/// 0-based here) supplied by PREPARE/EXECUTE or literal normalization.
 struct ScalarOperand {
   bool is_column = false;
+  bool is_parameter = false;
   ColumnRef column;
   Value constant;
+  size_t parameter_index = 0;  ///< is_parameter only
 };
 
 /// \brief Boolean expression tree of a WHERE clause.
@@ -174,12 +178,35 @@ struct TraceStatement {
   std::string path;  ///< kExport only
 };
 
+/// PREPARE name AS SELECT ...: plans the (possibly $n-parameterized)
+/// statement once; later EXECUTEs bind arguments into the cached skeleton.
+struct PrepareStatement {
+  std::string name;
+  SelectStatement select;
+};
+
+/// EXECUTE name [(arg, ...)]: runs a prepared statement with literal
+/// argument values bound to its $1..$n parameters.
+struct ExecutePreparedStatement {
+  std::string name;
+  std::vector<Value> args;
+};
+
+/// CACHE STATS | CLEAR: the two-tier statement/result cache meta-command
+/// (docs/SQL.md). STATS renders hit/miss/patch/eviction counts and byte
+/// usage; CLEAR drops both tiers (prepared statements survive).
+struct CacheStatement {
+  enum class What { kStats, kClear };
+  What what = What::kStats;
+};
+
 /// \brief Any parsed statement.
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
                  CreateViewStatement, DropStatement, AdvanceStatement,
                  ShowStatement, DeleteStatement, StatsStatement,
-                 ExplainStatement, SetStatement, TraceStatement>;
+                 ExplainStatement, SetStatement, TraceStatement,
+                 PrepareStatement, ExecutePreparedStatement, CacheStatement>;
 
 }  // namespace sql
 }  // namespace expdb

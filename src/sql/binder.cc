@@ -64,6 +64,7 @@ Result<Predicate> LowerBool(const BoolExpr& e, const Scope& scope) {
   switch (e.kind) {
     case BoolExpr::Kind::kCompare: {
       auto lower_operand = [&](const ScalarOperand& o) -> Result<Operand> {
+        if (o.is_parameter) return Operand::Parameter(o.parameter_index);
         if (!o.is_column) return Operand::Constant(o.constant);
         EXPDB_ASSIGN_OR_RETURN(size_t idx, scope.Resolve(o.column));
         return Operand::Column(idx);

@@ -44,7 +44,7 @@ constexpr std::array kKeywords = {
     "DELETE",  "MIN",    "MAX",       "SUM",     "COUNT",   "AVG",
     "INT",     "DOUBLE", "STRING",    "WITH",    "NEVER",   "TRIGGERS",
     "DISTINCT",          "STATS",     "EXPLAIN", "RESET",   "SET",
-    "TRACE"};
+    "TRACE",   "PREPARE", "EXECUTE",  "CACHE"};
 
 }  // namespace
 
@@ -180,7 +180,7 @@ Result<std::vector<Token>> Lex(const std::string& input) {
       i += 2;
       continue;
     }
-    if (std::string_view("(),;.*=<>").find(c) != std::string_view::npos) {
+    if (std::string_view("(),;.*=<>$").find(c) != std::string_view::npos) {
       Token t;
       t.position = start;
       t.type = TokenType::kSymbol;

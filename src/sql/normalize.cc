@@ -1,0 +1,223 @@
+#include "sql/normalize.h"
+
+#include <functional>
+#include <utility>
+
+#include "core/aggregate.h"
+
+namespace expdb {
+namespace sql {
+
+namespace {
+
+bool BoolHasParameters(const BoolExpr* e) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case BoolExpr::Kind::kCompare:
+      return e->lhs.is_parameter || e->rhs.is_parameter;
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr:
+      return BoolHasParameters(e->left.get()) ||
+             BoolHasParameters(e->right.get());
+    case BoolExpr::Kind::kNot:
+      return BoolHasParameters(e->left.get());
+  }
+  return false;
+}
+
+/// Deep-copies a WHERE tree, turning every literal operand into the next
+/// parameter slot and appending its value to `args`.
+BoolExprPtr ParameterizeBool(const BoolExpr* e, std::vector<Value>* args) {
+  if (e == nullptr) return nullptr;
+  auto copy = std::make_shared<BoolExpr>(*e);
+  switch (e->kind) {
+    case BoolExpr::Kind::kCompare: {
+      auto parameterize = [&](ScalarOperand* o) {
+        if (o->is_column || o->is_parameter) return;
+        o->is_parameter = true;
+        o->parameter_index = args->size();
+        args->push_back(std::move(o->constant));
+        o->constant = Value();
+      };
+      parameterize(&copy->lhs);
+      parameterize(&copy->rhs);
+      break;
+    }
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr:
+      copy->left = ParameterizeBool(e->left.get(), args);
+      copy->right = ParameterizeBool(e->right.get(), args);
+      break;
+    case BoolExpr::Kind::kNot:
+      copy->left = ParameterizeBool(e->left.get(), args);
+      break;
+  }
+  return copy;
+}
+
+char TypeTag(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return 'n';
+    case ValueType::kInt64:
+      return 'i';
+    case ValueType::kDouble:
+      return 'd';
+    case ValueType::kString:
+      return 's';
+  }
+  return '?';
+}
+
+/// `type_of` maps a normalized slot back to its literal's type tag;
+/// explicit ($n in the source text) parameters have no recorded type and
+/// render with the distinct 'p' tag.
+void RenderOperand(const ScalarOperand& o, const std::vector<Value>* args,
+                   std::string* out) {
+  if (o.is_column) {
+    *out += "c:" + o.column.ToString();
+    return;
+  }
+  if (o.is_parameter) {
+    const char tag = (args != nullptr && o.parameter_index < args->size())
+                         ? TypeTag((*args)[o.parameter_index].type())
+                         : 'p';
+    *out += "?";
+    *out += tag;
+    *out += std::to_string(o.parameter_index);
+    return;
+  }
+  // Residual literal (fingerprinting a non-normalized statement): render
+  // the value itself, type-tagged.
+  *out += "l";
+  *out += TypeTag(o.constant.type());
+  *out += ":" + o.constant.ToString();
+}
+
+void RenderBool(const BoolExpr* e, const std::vector<Value>* args,
+                std::string* out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case BoolExpr::Kind::kCompare:
+      *out += "(";
+      RenderOperand(e->lhs, args, out);
+      *out += ComparisonOpToString(e->op);
+      RenderOperand(e->rhs, args, out);
+      *out += ")";
+      break;
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr:
+      *out += e->kind == BoolExpr::Kind::kAnd ? "(and " : "(or ";
+      RenderBool(e->left.get(), args, out);
+      *out += " ";
+      RenderBool(e->right.get(), args, out);
+      *out += ")";
+      break;
+    case BoolExpr::Kind::kNot:
+      *out += "(not ";
+      RenderBool(e->left.get(), args, out);
+      *out += ")";
+      break;
+  }
+}
+
+void RenderSelect(const SelectStatement& stmt, const std::vector<Value>* args,
+                  std::string* out) {
+  *out += stmt.distinct ? "SELECT DISTINCT " : "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) *out += ",";
+    const SelectItem& item = stmt.items[i];
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        *out += "*";
+        break;
+      case SelectItem::Kind::kColumn:
+        *out += item.column.ToString();
+        break;
+      case SelectItem::Kind::kAggregate:
+        *out += AggregateKindToString(item.aggregate);
+        *out += "(";
+        *out += item.aggregate_star ? "*" : item.column.ToString();
+        *out += ")";
+        break;
+    }
+    // Aliases shape the output column names, which are cached with the
+    // plan skeleton — they must participate in the key.
+    if (!item.alias.empty()) *out += "|" + item.alias;
+  }
+  *out += " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += stmt.from[i].name;
+    if (!stmt.from[i].alias.empty()) *out += "|" + stmt.from[i].alias;
+  }
+  if (stmt.where != nullptr) {
+    *out += " WHERE ";
+    RenderBool(stmt.where.get(), args, out);
+  }
+  if (!stmt.group_by.empty()) {
+    *out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += stmt.group_by[i].ToString();
+    }
+  }
+  if (stmt.set_op != SelectStatement::SetOp::kNone &&
+      stmt.set_rhs != nullptr) {
+    switch (stmt.set_op) {
+      case SelectStatement::SetOp::kUnion:
+        *out += " UNION ";
+        break;
+      case SelectStatement::SetOp::kIntersect:
+        *out += " INTERSECT ";
+        break;
+      case SelectStatement::SetOp::kExcept:
+        *out += " EXCEPT ";
+        break;
+      case SelectStatement::SetOp::kNone:
+        break;
+    }
+    RenderSelect(*stmt.set_rhs, args, out);
+  }
+}
+
+}  // namespace
+
+bool SelectHasParameters(const SelectStatement& stmt) {
+  if (BoolHasParameters(stmt.where.get())) return true;
+  return stmt.set_rhs != nullptr && SelectHasParameters(*stmt.set_rhs);
+}
+
+Result<NormalizedSelect> NormalizeSelect(const SelectStatement& stmt) {
+  if (SelectHasParameters(stmt)) {
+    return Status::InvalidArgument(
+        "$n parameters are only valid in PREPARE ... AS SELECT");
+  }
+  NormalizedSelect out;
+  // Shallow copy, then rebuild each WHERE tree (set-op branches included)
+  // with literals hoisted into the shared argument vector.
+  std::function<SelectStatement(const SelectStatement&)> normalize =
+      [&](const SelectStatement& s) {
+        SelectStatement copy = s;
+        copy.where = ParameterizeBool(s.where.get(), &out.args);
+        if (s.set_rhs != nullptr) {
+          copy.set_rhs =
+              std::make_shared<SelectStatement>(normalize(*s.set_rhs));
+        }
+        return copy;
+      };
+  out.select = normalize(stmt);
+  std::string fp;
+  RenderSelect(out.select, &out.args, &fp);
+  out.fingerprint = std::move(fp);
+  return out;
+}
+
+std::string FingerprintSelect(const SelectStatement& stmt) {
+  std::string fp;
+  RenderSelect(stmt, /*args=*/nullptr, &fp);
+  return fp;
+}
+
+}  // namespace sql
+}  // namespace expdb

@@ -1,0 +1,48 @@
+// Statement normalization for the two-tier cache (docs/PERFORMANCE.md §7):
+// literal-parameterization plus canonical fingerprinting, so `WHERE id = 7`
+// and `WHERE id = 9` resolve to one plan skeleton with one parameter slot.
+
+#ifndef EXPDB_SQL_NORMALIZE_H_
+#define EXPDB_SQL_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace expdb {
+namespace sql {
+
+/// \brief A literal-parameterized statement plus its extracted arguments.
+struct NormalizedSelect {
+  /// The statement with every WHERE literal replaced by a $n parameter.
+  SelectStatement select;
+  /// The extracted literals, in parameter order.
+  std::vector<Value> args;
+  /// Canonical fingerprint of `select` (type-tagged parameter slots, so
+  /// `x = 7` and `x = 'abc'` get distinct plan skeletons).
+  std::string fingerprint;
+};
+
+/// \brief True iff the statement references a $n parameter anywhere
+/// (including set-operation branches).
+bool SelectHasParameters(const SelectStatement& stmt);
+
+/// \brief Normalizes a literal SELECT: extracts every WHERE constant into
+/// an argument slot and fingerprints the residual skeleton. Fails on
+/// statements that already contain explicit $n parameters (those flow
+/// through PREPARE, not normalization).
+Result<NormalizedSelect> NormalizeSelect(const SelectStatement& stmt);
+
+/// \brief Canonical fingerprint of a (possibly $n-parameterized)
+/// statement: a whitespace-free rendering covering the select list
+/// (aliases included), FROM, WHERE, GROUP BY, and set operations.
+/// Explicit parameters render distinctly from normalized literal slots.
+std::string FingerprintSelect(const SelectStatement& stmt);
+
+}  // namespace sql
+}  // namespace expdb
+
+#endif  // EXPDB_SQL_NORMALIZE_H_

@@ -92,7 +92,66 @@ class Parser {
     }
     if (AcceptKeyword("SET")) return ParseSet();
     if (AcceptKeyword("TRACE")) return ParseTrace();
+    if (AcceptKeyword("PREPARE")) return ParsePrepare();
+    if (AcceptKeyword("EXECUTE")) return ParseExecute();
+    if (AcceptKeyword("CACHE")) return ParseCache();
     return Status::ParseError("expected a statement, got " +
+                              Peek().ToString());
+  }
+
+  // PREPARE name AS SELECT ... ($n placeholders allowed in WHERE).
+  Result<Statement> ParsePrepare() {
+    PrepareStatement out;
+    EXPDB_ASSIGN_OR_RETURN(out.name, ExpectIdentifier("statement name"));
+    EXPDB_RETURN_NOT_OK(ExpectKeyword("AS"));
+    if (!Peek().IsKeyword("SELECT")) {
+      return Status::ParseError("expected SELECT after PREPARE ... AS, got " +
+                                Peek().ToString());
+    }
+    EXPDB_ASSIGN_OR_RETURN(out.select, ParseSelect());
+    return Statement(std::move(out));
+  }
+
+  // EXECUTE name [(literal, ...)].
+  Result<Statement> ParseExecute() {
+    ExecutePreparedStatement out;
+    EXPDB_ASSIGN_OR_RETURN(out.name, ExpectIdentifier("statement name"));
+    if (AcceptSymbol("(")) {
+      if (!AcceptSymbol(")")) {
+        do {
+          const Token& t = Peek();
+          if (t.type == TokenType::kInteger) {
+            out.args.emplace_back(t.int_value);
+          } else if (t.type == TokenType::kDouble) {
+            out.args.emplace_back(t.double_value);
+          } else if (t.type == TokenType::kString) {
+            out.args.emplace_back(t.text);
+          } else {
+            return Status::ParseError(
+                "expected a literal argument, got " + t.ToString());
+          }
+          Advance();
+        } while (AcceptSymbol(","));
+        EXPDB_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+    }
+    return Statement(std::move(out));
+  }
+
+  // CACHE STATS | CLEAR (CLEAR is a bare identifier, kept unreserved).
+  Result<Statement> ParseCache() {
+    CacheStatement out;
+    if (AcceptKeyword("STATS")) {
+      out.what = CacheStatement::What::kStats;
+      return Statement(std::move(out));
+    }
+    if (Peek().type == TokenType::kIdentifier &&
+        AsciiEqualsIgnoreCase(Peek().text, "CLEAR")) {
+      Advance();
+      out.what = CacheStatement::What::kClear;
+      return Statement(std::move(out));
+    }
+    return Status::ParseError("expected STATS or CLEAR after CACHE, got " +
                               Peek().ToString());
   }
 
@@ -400,9 +459,25 @@ class Parser {
         EXPDB_ASSIGN_OR_RETURN(out.column, ParseColumnRef());
         return out;
       }
+      case TokenType::kSymbol:
+        if (t.text == "$") {
+          Advance();
+          EXPDB_ASSIGN_OR_RETURN(int64_t idx,
+                                 ExpectInteger("parameter number"));
+          if (idx < 1) {
+            return Status::ParseError("parameter numbers start at $1");
+          }
+          out.is_parameter = true;
+          out.parameter_index = static_cast<size_t>(idx - 1);
+          return out;
+        }
+        return Status::ParseError(
+            "expected a column, literal, or $n parameter, got " +
+            t.ToString());
       default:
-        return Status::ParseError("expected a column or literal, got " +
-                                  t.ToString());
+        return Status::ParseError(
+            "expected a column, literal, or $n parameter, got " +
+            t.ToString());
     }
   }
 

@@ -10,10 +10,12 @@
 #include "core/rewrite.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "plan/delta.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
 #include "relational/printer.h"
 #include "sql/binder.h"
+#include "sql/normalize.h"
 #include "sql/parser.h"
 
 namespace expdb {
@@ -198,6 +200,12 @@ Result<ExecResult> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteSet(s);
         } else if constexpr (std::is_same_v<T, TraceStatement>) {
           return ExecuteTrace(s);
+        } else if constexpr (std::is_same_v<T, PrepareStatement>) {
+          return ExecutePrepare(s);
+        } else if constexpr (std::is_same_v<T, ExecutePreparedStatement>) {
+          return ExecuteRunPrepared(s);
+        } else if constexpr (std::is_same_v<T, CacheStatement>) {
+          return ExecuteCache(s);
         } else {
           return ExecuteExplain(s);
         }
@@ -240,8 +248,38 @@ Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
     return out;
   }
 
-  // General path: bind against the live database, or a scratch catalog
-  // when views occur in FROM.
+  std::set<std::string> from_names;
+  CollectFromNames(stmt, &from_names);
+  bool any_view = false;
+  for (const std::string& name : from_names) {
+    if (views_.HasView(name)) any_view = true;
+  }
+
+  // Cached pipeline for base-table-only statements: normalize the literals
+  // away, reuse (or plan once) the skeleton, then try the result cache.
+  // Views bind against a point-in-time scratch catalog whose contents a
+  // delta cursor cannot track, so they take the uncached path below.
+  if (!any_view) {
+    EXPDB_ASSIGN_OR_RETURN(NormalizedSelect norm, NormalizeSelect(stmt));
+    const plan::PreparedPlan* skeleton = stmt_cache_.Lookup(norm.fingerprint);
+    plan::PreparedPlan fresh;
+    if (skeleton == nullptr) {
+      EXPDB_ASSIGN_OR_RETURN(BoundSelect bound,
+                             BindSelect(norm.select, db()));
+      EXPDB_ASSIGN_OR_RETURN(
+          fresh.plan,
+          plan::Planner::Plan(bound.expr, db(), MakePlannerOptions()));
+      fresh.param_count = norm.args.size();
+      fresh.fingerprint = norm.fingerprint;
+      fresh.column_names = std::move(bound.column_names);
+      stmt_cache_.Insert(norm.fingerprint, fresh);
+      skeleton = &fresh;
+    }
+    return ExecutePlannedSelect(*skeleton, norm.args, now);
+  }
+
+  // Uncached path: bind against a scratch catalog holding the referenced
+  // views' current contents.
   Database scratch;
   EXPDB_ASSIGN_OR_RETURN(const Database* bind_db,
                          ResolveCatalog(stmt, now, &scratch));
@@ -255,6 +293,141 @@ Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
   out.served_at = now;
   out.message = "ok";
   return out;
+}
+
+plan::PlannerOptions Session::MakePlannerOptions() const {
+  // Expiration-aware optimizations on, Sec. 3.1 rewrites off — the facade
+  // default. EXPLAIN, SELECT, and PREPARE all plan with these, so the
+  // rendered EXPLAIN plan is the one a SELECT runs.
+  plan::PlannerOptions popts;
+  popts.eval = eval_options_;
+  return popts;
+}
+
+Result<ExecResult> Session::ExecutePlannedSelect(
+    const plan::PreparedPlan& prepared, const std::vector<Value>& args,
+    Timestamp now) {
+  const std::string key = plan::ResultCacheKey(prepared.fingerprint, args);
+  if (result_cache_.enabled()) {
+    std::optional<MaterializedResult> cached =
+        result_cache_.Lookup(key, db(), now);
+    if (cached.has_value()) {
+      // Theorems 1–2: letting the materialization expire in place
+      // reproduces recomputation at every instant before its texp, so a
+      // hit is served with zero operator executions.
+      ExecResult out;
+      out.relation = cached->relation.UnexpiredAt(now);
+      out.served_at = now;
+      out.message = "ok (cached)";
+      return out;
+    }
+  }
+  EXPDB_ASSIGN_OR_RETURN(plan::PhysicalPlanPtr bound,
+                         plan::InstantiatePlan(prepared.plan, args));
+  // Capturing copies every node's output; pay for it only when the filled
+  // entry could actually be delta-patched later.
+  plan::NodeCapture capture;
+  plan::NodeCapture* capture_ptr =
+      result_cache_.enabled() && plan::PlanSupportsDelta(*bound, eval_options_)
+          ? &capture
+          : nullptr;
+  EXPDB_ASSIGN_OR_RETURN(MaterializedResult result,
+                         plan::ExecutePlan(*bound, db(), now, eval_options_,
+                                           nullptr, capture_ptr));
+  EXPDB_RETURN_NOT_OK(result.relation.RenameAttributes(
+      UniquifyNames(prepared.column_names)));
+  ExecResult out;
+  out.relation = result.relation;
+  out.served_at = now;
+  out.message = "ok";
+  if (result_cache_.enabled()) {
+    result_cache_.Insert(key, std::move(bound), capture_ptr,
+                         std::move(result), db(), now);
+  }
+  return out;
+}
+
+Result<ExecResult> Session::ExecutePrepare(const PrepareStatement& stmt) {
+  // A prepared plan outlives any point-in-time scratch catalog, so views
+  // cannot appear in its FROM clause.
+  std::set<std::string> from_names;
+  CollectFromNames(stmt.select, &from_names);
+  for (const std::string& name : from_names) {
+    if (views_.HasView(name)) {
+      return Status::InvalidArgument("PREPARE cannot reference view '" +
+                                     name + "'; prepared plans bind to base "
+                                     "tables only");
+    }
+  }
+  EXPDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(stmt.select, db()));
+  plan::PreparedPlan prepared;
+  EXPDB_ASSIGN_OR_RETURN(
+      prepared.plan,
+      plan::Planner::Plan(bound.expr, db(), MakePlannerOptions()));
+  prepared.param_count = plan::ExpressionParameterCount(bound.expr);
+  prepared.fingerprint = FingerprintSelect(stmt.select);
+  prepared.column_names = std::move(bound.column_names);
+  const size_t params = prepared.param_count;
+  const bool replaced = prepared_.count(stmt.name) > 0;
+  prepared_[stmt.name] = std::move(prepared);
+  return ExecResult{"statement " + stmt.name +
+                        (replaced ? " re-prepared (" : " prepared (") +
+                        std::to_string(params) +
+                        (params == 1 ? " parameter)" : " parameters)"),
+                    std::nullopt, Now()};
+}
+
+Result<ExecResult> Session::ExecuteRunPrepared(
+    const ExecutePreparedStatement& stmt) {
+  auto it = prepared_.find(stmt.name);
+  if (it == prepared_.end()) {
+    return Status::NotFound("no prepared statement named '" + stmt.name +
+                            "'");
+  }
+  const plan::PreparedPlan& prepared = it->second;
+  if (stmt.args.size() != prepared.param_count) {
+    return Status::InvalidArgument(
+        "EXECUTE " + stmt.name + " expects " +
+        std::to_string(prepared.param_count) +
+        (prepared.param_count == 1 ? " argument, got " : " arguments, got ") +
+        std::to_string(stmt.args.size()));
+  }
+  return ExecutePlannedSelect(prepared, stmt.args, Now());
+}
+
+Result<ExecResult> Session::ExecuteCache(const CacheStatement& stmt) {
+  if (stmt.what == CacheStatement::What::kClear) {
+    stmt_cache_.Clear();
+    result_cache_.Clear();
+    return ExecResult{"caches cleared (prepared statements kept)",
+                      std::nullopt, Now()};
+  }
+  const plan::ResultCache::Stats rs = result_cache_.stats();
+  std::string msg =
+      "statement cache: " + std::to_string(stmt_cache_.size()) +
+      " plans, " + std::to_string(stmt_cache_.hits()) + " hits, " +
+      std::to_string(stmt_cache_.misses()) + " misses";
+  msg += "\nresult cache: " + std::to_string(rs.entries) + " entries, " +
+         std::to_string(rs.bytes) + " / " + std::to_string(rs.max_bytes) +
+         " bytes, " + std::to_string(rs.hits) + " hits (" +
+         std::to_string(rs.patches) + " patched), " +
+         std::to_string(rs.misses) + " misses, " +
+         std::to_string(rs.evictions) + " evictions";
+  msg += "\nprepared statements: " + std::to_string(prepared_.size());
+  return ExecResult{std::move(msg), std::nullopt, Now()};
+}
+
+void Session::InvalidateCachesFor(const std::string& table) {
+  stmt_cache_.InvalidateBase(table);
+  result_cache_.InvalidateBase(table);
+  for (auto it = prepared_.begin(); it != prepared_.end();) {
+    if (it->second.plan->planned_expr()->BaseRelationNames().count(table) >
+        0) {
+      it = prepared_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Result<const Database*> Session::ResolveCatalog(const SelectStatement& stmt,
@@ -291,13 +464,9 @@ Result<ExecResult> Session::ExecuteExplain(const ExplainStatement& stmt) {
                          ResolveCatalog(stmt.select, now, &scratch));
   EXPDB_ASSIGN_OR_RETURN(BoundSelect bound,
                          BindSelect(stmt.select, *bind_db));
-  // Plan exactly as SELECT would execute (expiration-aware optimizations
-  // on, Sec. 3.1 rewrites off — the facade default), so the rendered plan
-  // is the one a plain SELECT runs.
-  plan::PlannerOptions popts;
-  popts.eval = eval_options_;
-  EXPDB_ASSIGN_OR_RETURN(plan::PhysicalPlanPtr plan,
-                         plan::Planner::Plan(bound.expr, *bind_db, popts));
+  EXPDB_ASSIGN_OR_RETURN(
+      plan::PhysicalPlanPtr plan,
+      plan::Planner::Plan(bound.expr, *bind_db, MakePlannerOptions()));
   ExecResult out;
   out.served_at = now;
   if (stmt.what == ExplainStatement::What::kPlan) {
@@ -347,6 +516,9 @@ Result<ExecResult> Session::ExecuteCreateTable(
   EXPDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(stmt.columns));
   EXPDB_RETURN_NOT_OK(
       expiration_.CreateRelation(stmt.name, std::move(schema)).status());
+  // A plan cached before this CREATE bound a different (since-dropped)
+  // schema under the same name.
+  InvalidateCachesFor(stmt.name);
   return ExecResult{"table " + stmt.name + " created", std::nullopt, Now()};
 }
 
@@ -420,6 +592,7 @@ Result<ExecResult> Session::ExecuteDrop(const DropStatement& stmt) {
     }
   }
   EXPDB_RETURN_NOT_OK(db().DropRelation(stmt.name));
+  InvalidateCachesFor(stmt.name);
   return ExecResult{"table " + stmt.name + " dropped", std::nullopt, Now()};
 }
 
@@ -598,6 +771,13 @@ Result<ExecResult> Session::ExecuteSet(const SetStatement& stmt) {
           "concurrency)");
     }
     eval_options_.parallelism = static_cast<size_t>(stmt.value.AsInt64());
+  } else if (stmt.name == "result_cache_bytes") {
+    if (!stmt.value.is_int64() || stmt.value.AsInt64() < 0) {
+      return Status::InvalidArgument(
+          "SET result_cache_bytes expects a non-negative byte budget (0 "
+          "disables the result cache)");
+    }
+    result_cache_.set_max_bytes(static_cast<size_t>(stmt.value.AsInt64()));
   } else if (stmt.name == "event_log") {
     EXPDB_ASSIGN_OR_RETURN(bool on, ParseOnOff(stmt.value, "event_log"));
     obs::EventLog::Global().set_enabled(on);
@@ -622,8 +802,8 @@ Result<ExecResult> Session::ExecuteSet(const SetStatement& stmt) {
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
-        "' (expected slow_query_ns, parallelism, event_log, "
-        "event_log_path)");
+        "' (expected slow_query_ns, parallelism, result_cache_bytes, "
+        "event_log, event_log_path)");
   }
   return ExecResult{"set " + stmt.name + " = " + stmt.value.ToString(),
                     std::nullopt, Now()};

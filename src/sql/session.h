@@ -12,6 +12,8 @@
 #include "expiration/constraint.h"
 #include "expiration/expiration_queue.h"
 #include "obs/metrics.h"
+#include "plan/cache.h"
+#include "plan/planner.h"
 #include "sql/ast.h"
 #include "view/view_manager.h"
 
@@ -81,6 +83,27 @@ class Session {
   Result<ExecResult> ExecuteExplain(const ExplainStatement& stmt);
   Result<ExecResult> ExecuteSet(const SetStatement& stmt);
   Result<ExecResult> ExecuteTrace(const TraceStatement& stmt);
+  Result<ExecResult> ExecutePrepare(const PrepareStatement& stmt);
+  Result<ExecResult> ExecuteRunPrepared(const ExecutePreparedStatement& stmt);
+  Result<ExecResult> ExecuteCache(const CacheStatement& stmt);
+
+  /// The planner options every facade execution path uses: the session's
+  /// EvalOptions, expiration-aware optimizations on, Sec. 3.1 rewrites
+  /// off. Shared by SELECT, PREPARE, and EXPLAIN so the rendered EXPLAIN
+  /// plan is the one a plain SELECT runs.
+  plan::PlannerOptions MakePlannerOptions() const;
+
+  /// The shared tail of every cached execution (normalized SELECT and
+  /// EXECUTE): result-cache lookup, then on a miss InstantiatePlan +
+  /// ExecutePlan (capturing node state when the plan is
+  /// incrementalizable) and a result-cache fill.
+  Result<ExecResult> ExecutePlannedSelect(const plan::PreparedPlan& prepared,
+                                          const std::vector<Value>& args,
+                                          Timestamp now);
+
+  /// DDL on `table`: drops dependent entries from both cache tiers and
+  /// every prepared statement reading it.
+  void InvalidateCachesFor(const std::string& table);
 
   /// When `stmt` references views, fills `scratch` with the referenced
   /// views' current contents (renamed to their declared columns) plus
@@ -97,6 +120,15 @@ class Session {
   /// Output column names recorded at CREATE VIEW time, applied when the
   /// view is read back.
   std::map<std::string, std::vector<std::string>> view_columns_;
+  /// Tier 1: parameterized plan skeletons keyed by normalized statement
+  /// fingerprint (docs/PERFORMANCE.md §7).
+  plan::StatementCache stmt_cache_;
+  /// Tier 2: expiration-stamped materialized results.
+  plan::ResultCache result_cache_;
+  /// PREPARE name AS SELECT ... — explicit prepared statements. Distinct
+  /// from the fingerprint-keyed statement cache (names are user-chosen;
+  /// re-PREPARE replaces silently).
+  std::map<std::string, plan::PreparedPlan> prepared_;
   // Process-wide SQL metrics (registry-owned; see docs/OBSERVABILITY.md).
   obs::Counter* statements_metric_;
   obs::Counter* errors_metric_;

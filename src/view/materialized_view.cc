@@ -2,6 +2,7 @@
 
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "plan/cache.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
 
@@ -106,11 +107,7 @@ Status MaterializedView::EnsurePlan(const Database& db) {
   if (plan_ != nullptr) {
     // Cached-plan execution: planning (and the rewrite pass, when
     // enabled) is skipped entirely on recomputation.
-    static obs::Counter* cache_hits =
-        obs::MetricsRegistry::Global().GetCounter(
-            "expdb_plan_cache_hits_total",
-            "Executions served from a cached physical plan");
-    cache_hits->Increment();
+    plan::PlanCacheHits()->Increment();
     return Status::OK();
   }
   plan::PlannerOptions popts;
@@ -220,8 +217,7 @@ void MaterializedView::SeedPropagator(const Database& db,
     // Turn on delta capture so future explicit mutations are recorded
     // (idempotent; metadata-only, hence allowed through const access).
     rel.value()->EnableDeltaTracking();
-    base_cursors_[name] = {rel.value()->delta_instance_id(),
-                           rel.value()->delta_epoch()};
+    base_cursors_[name] = rel.value()->delta_cursor();
   }
 }
 

@@ -207,10 +207,7 @@ class MaterializedView {
  private:
   /// Per-base delta cursor: the (instance id, epoch) of a tracked base
   /// relation at the instant the current materialization was produced.
-  struct BaseCursor {
-    uint64_t instance_id = 0;
-    uint64_t epoch = 0;
-  };
+  using BaseCursor = Relation::DeltaCursor;
 
   Status EnsurePlan(const Database& db);
   /// Drops the cached plan when a base cardinality drifted ≥2× from its

@@ -1,0 +1,209 @@
+// Two-tier cache regressions (plan layer): parameterized plan
+// instantiation, result-cache hit/patch/miss outcomes, broken delta
+// history (Relation::Clear), expiry passage, and LRU byte-budget
+// eviction.
+
+#include "plan/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/expression.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+
+namespace expdb {
+namespace plan {
+namespace {
+
+using namespace algebra;  // NOLINT
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+Value V(int64_t v) { return Value(v); }
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation* r =
+        db_.CreateRelation("R", Schema({{"a", ValueType::kInt64}})).value();
+    ASSERT_TRUE(r->Insert(Tuple{1}, T(10)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{2}, T(20)).ok());
+    ASSERT_TRUE(r->Insert(Tuple{3}, Timestamp::Infinity()).ok());
+  }
+
+  /// σ_{a >= $1}(R): one parameter slot.
+  ExpressionPtr ParamExpr() const {
+    return Select(Base("R"),
+                  Predicate::Compare(Operand::Column(0), ComparisonOp::kGe,
+                                     Operand::Parameter(0)));
+  }
+
+  PhysicalPlanPtr ParamPlan() {
+    return Planner::Plan(ParamExpr(), db_, PlannerOptions{}).value();
+  }
+
+  /// Executes σ_{a >= arg}(R) at `now` (capturing node state) and fills
+  /// `cache` under `key`.
+  void Fill(ResultCache* cache, const std::string& key, int64_t arg,
+            Timestamp now) {
+    PhysicalPlanPtr bound = InstantiatePlan(ParamPlan(), {V(arg)}).value();
+    NodeCapture capture;
+    MaterializedResult result =
+        ExecutePlan(*bound, db_, now, bound->options().eval, nullptr,
+                    &capture)
+            .value();
+    cache->Insert(key, std::move(bound), &capture, std::move(result), db_,
+                  now);
+  }
+
+  Database db_;
+};
+
+TEST_F(ResultCacheTest, BindExpressionParameters) {
+  ExpressionPtr expr = ParamExpr();
+  EXPECT_EQ(ExpressionParameterCount(expr), 1u);
+  auto bound = BindExpressionParameters(expr, {V(2)});
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(ExpressionParameterCount(bound.value()), 0u);
+  // A parameter index beyond the argument vector is an error, not UB.
+  EXPECT_FALSE(BindExpressionParameters(expr, {}).ok());
+}
+
+TEST_F(ResultCacheTest, InstantiatePlanBindsArguments) {
+  PhysicalPlanPtr skeleton = ParamPlan();
+  auto ge2 = InstantiatePlan(skeleton, {V(2)});
+  ASSERT_TRUE(ge2.ok()) << ge2.status().ToString();
+  auto res2 = ExecutePlan(*ge2.value(), db_, T(0));
+  ASSERT_TRUE(res2.ok());
+  EXPECT_EQ(res2->relation.size(), 2u);
+
+  // The same skeleton instantiates again with different arguments.
+  auto ge3 = InstantiatePlan(skeleton, {V(3)});
+  ASSERT_TRUE(ge3.ok());
+  auto res3 = ExecutePlan(*ge3.value(), db_, T(0));
+  ASSERT_TRUE(res3.ok());
+  EXPECT_EQ(res3->relation.size(), 1u);
+}
+
+TEST_F(ResultCacheTest, UnchangedBasesHit) {
+  ResultCache cache;
+  Fill(&cache, "k", 1, T(0));
+  auto hit = cache.Lookup("k", db_, T(5));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->relation.CountUnexpiredAt(T(5)), 3u);
+  // In-place expiry: the same entry serves a later instant with fewer
+  // live tuples (Theorems 1-2), still without execution.
+  auto later = cache.Lookup("k", db_, T(15));
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(later->relation.CountUnexpiredAt(T(15)), 2u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().patches, 0u);
+}
+
+TEST_F(ResultCacheTest, DriftedCursorPatchesThroughDeltas) {
+  ResultCache cache;
+  Fill(&cache, "k", 1, T(0));
+  Relation* r = db_.GetRelation("R").value();
+  ASSERT_TRUE(r->Insert(Tuple{4}, Timestamp::Infinity()).ok());
+  auto hit = cache.Lookup("k", db_, T(5));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->relation.CountUnexpiredAt(T(5)), 4u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().patches, 1u);
+  // The patch refreshed the cursors: the next lookup is a plain hit.
+  ASSERT_TRUE(cache.Lookup("k", db_, T(6)).has_value());
+  EXPECT_EQ(cache.stats().patches, 1u);
+}
+
+// Regression (issue satellite): Relation::Clear() breaks delta history —
+// a cached result over the cleared base must invalidate, not serve the
+// pre-Clear tuples.
+TEST_F(ResultCacheTest, ClearedBaseInvalidatesInsteadOfServingStale) {
+  ResultCache cache;
+  Fill(&cache, "k", 1, T(0));
+  Relation* r = db_.GetRelation("R").value();
+  r->Clear();
+  ASSERT_TRUE(r->Insert(Tuple{7}, Timestamp::Infinity()).ok());
+  EXPECT_FALSE(cache.Lookup("k", db_, T(1)).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);  // dropped, not retried forever
+}
+
+TEST_F(ResultCacheTest, RecreatedBaseMissesOnInstanceId) {
+  ResultCache cache;
+  Fill(&cache, "k", 1, T(0));
+  ASSERT_TRUE(db_.DropRelation("R").ok());
+  Relation* r =
+      db_.CreateRelation("R", Schema({{"a", ValueType::kInt64}})).value();
+  ASSERT_TRUE(r->Insert(Tuple{9}, Timestamp::Infinity()).ok());
+  EXPECT_FALSE(cache.Lookup("k", db_, T(1)).has_value());
+}
+
+TEST_F(ResultCacheTest, LapsedEntryMisses) {
+  // R -exp S has a finite texp: tuple 1 of S expires at 5, so the cached
+  // difference is only valid on [0, 5).
+  Relation* s =
+      db_.CreateRelation("S", Schema({{"a", ValueType::kInt64}})).value();
+  ASSERT_TRUE(s->Insert(Tuple{1}, T(5)).ok());
+  PhysicalPlanPtr plan =
+      Planner::Plan(Difference(Base("R"), Base("S")), db_, PlannerOptions{})
+          .value();
+  NodeCapture capture;
+  MaterializedResult result =
+      ExecutePlan(*plan, db_, T(0), plan->options().eval, nullptr, &capture)
+          .value();
+  ASSERT_EQ(result.texp, T(5));
+  ResultCache cache;
+  cache.Insert("k", std::move(plan), &capture, std::move(result), db_,
+               T(0));
+  EXPECT_TRUE(cache.Lookup("k", db_, T(4)).has_value());
+  EXPECT_FALSE(cache.Lookup("k", db_, T(6)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST_F(ResultCacheTest, LruEvictionUnderByteBudget) {
+  ResultCache cache;
+  Fill(&cache, "k1", 1, T(0));
+  const size_t one_entry = cache.stats().bytes;
+  ASSERT_GT(one_entry, 0u);
+  cache.set_max_bytes(one_entry + one_entry / 2);  // room for one and a half
+  Fill(&cache, "k2", 2, T(0));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Lookup("k1", db_, T(1)).has_value());
+  EXPECT_TRUE(cache.Lookup("k2", db_, T(1)).has_value());
+}
+
+TEST_F(ResultCacheTest, ZeroBudgetDisablesTheCache) {
+  ResultCache cache;
+  cache.set_max_bytes(0);
+  EXPECT_FALSE(cache.enabled());
+  Fill(&cache, "k", 1, T(0));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.Lookup("k", db_, T(1)).has_value());
+}
+
+TEST_F(ResultCacheTest, StatementCacheLruAndInvalidation) {
+  StatementCache cache(2);
+  auto prepared = [&](const std::string& fp) {
+    PreparedPlan p;
+    p.plan = ParamPlan();
+    p.param_count = 1;
+    p.fingerprint = fp;
+    return p;
+  };
+  cache.Insert("a", prepared("a"));
+  cache.Insert("b", prepared("b"));
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // refreshes a over b
+  cache.Insert("c", prepared("c"));       // evicts b (LRU)
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  // Every skeleton reads R: DDL on R empties the cache.
+  cache.InvalidateBase("R");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace expdb

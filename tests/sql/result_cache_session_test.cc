@@ -1,0 +1,298 @@
+// SQL-facing tests for the two-tier cache pipeline: PREPARE/EXECUTE,
+// normalized-literal plan sharing, result-cache hit/patch/miss behavior
+// (pinned through the process metrics: a hit performs zero plan-node
+// executions), CACHE STATS/CLEAR, SET result_cache_bytes, DDL
+// invalidation, and a cached-vs-fresh set-identity sweep across
+// operators, time, and a tiny eviction budget.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace sql {
+namespace {
+
+ExecResult MustExec(Session& s, const std::string& stmt) {
+  auto r = s.Execute(stmt);
+  EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : ExecResult{};
+}
+
+size_t RowsAt(const ExecResult& r) {
+  EXPECT_TRUE(r.relation.has_value());
+  return r.relation.has_value() ? r.relation->CountUnexpiredAt(r.served_at)
+                                : 0;
+}
+
+uint64_t Metric(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+void MakeTable(Session& s) {
+  MustExec(s, "CREATE TABLE t (x INT, name STRING)");
+  MustExec(s, "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+}
+
+// The headline acceptance check: a warm result-cache hit re-executes
+// nothing — no root evaluation, no operator node, just a lookup.
+TEST(ResultCacheSessionTest, HitPerformsZeroPlanNodeExecutions) {
+  Session s;
+  MakeTable(s);
+  MustExec(s, "SELECT * FROM t WHERE x >= 2");  // fill
+  const uint64_t evals0 = Metric("expdb_eval_evaluations_total");
+  const uint64_t ops0 = Metric("expdb_eval_operators_total");
+  const uint64_t hits0 = Metric("expdb_result_cache_hits_total");
+  auto r = MustExec(s, "SELECT * FROM t WHERE x >= 2");
+  EXPECT_EQ(RowsAt(r), 2u);
+  EXPECT_EQ(r.message, "ok (cached)");
+  EXPECT_EQ(Metric("expdb_result_cache_hits_total") - hits0, 1u);
+  EXPECT_EQ(Metric("expdb_eval_evaluations_total"), evals0);
+  EXPECT_EQ(Metric("expdb_eval_operators_total"), ops0);
+}
+
+TEST(ResultCacheSessionTest, LiteralsShareOnePlanSkeleton) {
+  Session s;
+  MakeTable(s);
+  const uint64_t plans0 = Metric("expdb_plan_plans_total");
+  const uint64_t hits0 = Metric("expdb_plan_cache_hits_total");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t WHERE x = 1")), 1u);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t WHERE x = 2")), 1u);
+  // Different literals, one skeleton: the second statement plans nothing.
+  EXPECT_EQ(Metric("expdb_plan_plans_total") - plans0, 1u);
+  EXPECT_EQ(Metric("expdb_plan_cache_hits_total") - hits0, 1u);
+}
+
+TEST(ResultCacheSessionTest, PrepareExecute) {
+  Session s;
+  MakeTable(s);
+  auto p = MustExec(s, "PREPARE q AS SELECT name FROM t WHERE x >= $1");
+  EXPECT_NE(p.message.find("1 parameter"), std::string::npos) << p.message;
+
+  auto r = MustExec(s, "EXECUTE q (2)");
+  EXPECT_EQ(RowsAt(r), 2u);
+  ASSERT_TRUE(r.relation.has_value());
+  EXPECT_EQ(r.relation->schema().attribute(0).name, "name");
+  EXPECT_EQ(RowsAt(MustExec(s, "EXECUTE q (3)")), 1u);
+
+  // Re-executing with the same argument is a result-cache hit.
+  const uint64_t hits0 = Metric("expdb_result_cache_hits_total");
+  EXPECT_EQ(RowsAt(MustExec(s, "EXECUTE q (2)")), 2u);
+  EXPECT_EQ(Metric("expdb_result_cache_hits_total") - hits0, 1u);
+}
+
+TEST(ResultCacheSessionTest, PrepareExecuteErrors) {
+  Session s;
+  MakeTable(s);
+  MustExec(s, "PREPARE q AS SELECT * FROM t WHERE x = $1");
+  EXPECT_FALSE(s.Execute("EXECUTE q (1, 2)").ok());  // arity mismatch
+  EXPECT_FALSE(s.Execute("EXECUTE q").ok());
+  EXPECT_FALSE(s.Execute("EXECUTE nosuch (1)").ok());
+  // $n parameters only make sense under PREPARE.
+  EXPECT_FALSE(s.Execute("SELECT * FROM t WHERE x = $1").ok());
+  // A parameter index must be positive.
+  EXPECT_FALSE(s.Execute("PREPARE bad AS SELECT * FROM t WHERE x = $0").ok());
+
+  // Re-PREPARE replaces silently.
+  auto p = MustExec(s, "PREPARE q AS SELECT * FROM t");
+  EXPECT_NE(p.message.find("re-prepared"), std::string::npos) << p.message;
+  EXPECT_EQ(RowsAt(MustExec(s, "EXECUTE q")), 3u);
+}
+
+TEST(ResultCacheSessionTest, PrepareRejectsViews) {
+  Session s;
+  MakeTable(s);
+  MustExec(s, "CREATE VIEW v AS SELECT x FROM t");
+  EXPECT_FALSE(s.Execute("PREPARE q AS SELECT * FROM v").ok());
+}
+
+TEST(ResultCacheSessionTest, ViewReadsBypassTheResultCache) {
+  Session s;
+  MakeTable(s);
+  MustExec(s, "CREATE VIEW v AS SELECT x FROM t WHERE x >= 2");
+  const uint64_t hits0 = Metric("expdb_result_cache_hits_total");
+  // Both the canonical view read and a view-in-FROM query take the
+  // uncached paths; results stay correct and nothing is served from the
+  // result cache.
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM v")), 2u);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT x FROM v WHERE x = 3")), 1u);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT x FROM v WHERE x = 3")), 1u);
+  EXPECT_EQ(Metric("expdb_result_cache_hits_total"), hits0);
+}
+
+TEST(ResultCacheSessionTest, InsertAndDeletePatchTheCachedResult) {
+  Session s;
+  MakeTable(s);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t WHERE x >= 1")), 3u);
+  const uint64_t patches0 = Metric("expdb_result_cache_patches_total");
+  MustExec(s, "INSERT INTO t VALUES (4, 'd')");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t WHERE x >= 1")), 4u);
+  EXPECT_EQ(Metric("expdb_result_cache_patches_total") - patches0, 1u);
+  MustExec(s, "DELETE FROM t WHERE x = 1");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t WHERE x >= 1")), 3u);
+  EXPECT_EQ(Metric("expdb_result_cache_patches_total") - patches0, 2u);
+}
+
+TEST(ResultCacheSessionTest, TimePassingComputedExpiryRecomputes) {
+  Session s;
+  MustExec(s, "CREATE TABLE r (a INT)");
+  MustExec(s, "CREATE TABLE q (a INT)");
+  MustExec(s, "INSERT INTO r VALUES (1), (2)");
+  MustExec(s, "INSERT INTO q VALUES (1) TTL 5");
+  // texp(r -exp q) = 5: tuple 1 reappears when q's copy expires.
+  const std::string sel = "SELECT a FROM r EXCEPT SELECT a FROM q";
+  EXPECT_EQ(RowsAt(MustExec(s, sel)), 1u);
+  const uint64_t hits0 = Metric("expdb_result_cache_hits_total");
+  EXPECT_EQ(RowsAt(MustExec(s, sel)), 1u);  // warm hit before the expiry
+  EXPECT_EQ(Metric("expdb_result_cache_hits_total") - hits0, 1u);
+  MustExec(s, "ADVANCE TIME TO 6");
+  // Past the computed expiration the entry has lapsed: recompute, and the
+  // difference now includes the reappeared tuple.
+  EXPECT_EQ(RowsAt(MustExec(s, sel)), 2u);
+  EXPECT_EQ(Metric("expdb_result_cache_hits_total") - hits0, 1u);
+}
+
+// Regression (issue satellite): Relation::Clear() breaks delta history;
+// the session must recompute, not serve the pre-Clear tuples.
+TEST(ResultCacheSessionTest, ClearedBaseDoesNotServeStale) {
+  Session s;
+  MakeTable(s);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 3u);
+  s.db().GetRelation("t").value()->Clear();
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 0u);
+}
+
+TEST(ResultCacheSessionTest, CacheStatsAndClear) {
+  Session s;
+  MakeTable(s);
+  MustExec(s, "SELECT * FROM t");
+  MustExec(s, "SELECT * FROM t");
+  auto stats = MustExec(s, "CACHE STATS");
+  EXPECT_NE(stats.message.find("statement cache: 1 plans"),
+            std::string::npos)
+      << stats.message;
+  EXPECT_NE(stats.message.find("result cache: 1 entries"),
+            std::string::npos)
+      << stats.message;
+  MustExec(s, "PREPARE q AS SELECT * FROM t");
+  MustExec(s, "CACHE CLEAR");
+  auto cleared = MustExec(s, "CACHE STATS");
+  EXPECT_NE(cleared.message.find("statement cache: 0 plans"),
+            std::string::npos)
+      << cleared.message;
+  EXPECT_NE(cleared.message.find("result cache: 0 entries"),
+            std::string::npos)
+      << cleared.message;
+  // CACHE CLEAR keeps prepared statements — only the caches drop.
+  EXPECT_NE(cleared.message.find("prepared statements: 1"),
+            std::string::npos)
+      << cleared.message;
+  EXPECT_EQ(RowsAt(MustExec(s, "EXECUTE q")), 3u);
+}
+
+TEST(ResultCacheSessionTest, SetResultCacheBytes) {
+  Session s;
+  MakeTable(s);
+  MustExec(s, "SET result_cache_bytes = 0");
+  const uint64_t hits0 = Metric("expdb_result_cache_hits_total");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 3u);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 3u);
+  EXPECT_EQ(Metric("expdb_result_cache_hits_total"), hits0);  // disabled
+
+  EXPECT_FALSE(s.Execute("SET result_cache_bytes = 'lots'").ok());
+
+  MustExec(s, "SET result_cache_bytes = 1048576");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 3u);  // fill
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 3u);  // hit
+  EXPECT_EQ(Metric("expdb_result_cache_hits_total") - hits0, 1u);
+}
+
+TEST(ResultCacheSessionTest, DdlInvalidatesCachedPlansAndResults) {
+  Session s;
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1)");
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 1u);
+  EXPECT_EQ(RowsAt(MustExec(s, "SELECT * FROM t")), 1u);  // warm
+  MustExec(s, "PREPARE p AS SELECT * FROM t");
+  MustExec(s, "DROP TABLE t");
+  // The prepared statement read the dropped table: it is gone too.
+  EXPECT_FALSE(s.Execute("EXECUTE p").ok());
+  // Same name, different schema: nothing stale may serve.
+  MustExec(s, "CREATE TABLE t (name STRING)");
+  MustExec(s, "INSERT INTO t VALUES ('a'), ('b')");
+  auto r = MustExec(s, "SELECT * FROM t");
+  EXPECT_EQ(RowsAt(r), 2u);
+  ASSERT_TRUE(r.relation.has_value());
+  EXPECT_EQ(r.relation->schema().attribute(0).name, "name");
+}
+
+// Issue satellite: cached-vs-fresh set identity. A cached session and a
+// cache-disabled session replay the same script; every SELECT must agree
+// exactly — tuples and texps (Relation::EqualAt) — across operators,
+// mutations, time advancing past computed expiries, and a final phase
+// under a tiny byte budget that forces LRU eviction mid-sweep.
+TEST(ResultCacheSessionTest, CachedMatchesFreshAcrossOperatorsAndTime) {
+  Session cached;
+  Session fresh;
+  MustExec(fresh, "SET result_cache_bytes = 0");
+  auto both = [&](const std::string& stmt) {
+    MustExec(cached, stmt);
+    MustExec(fresh, stmt);
+  };
+  const std::vector<std::string> queries = {
+      "SELECT * FROM r",
+      "SELECT b FROM r WHERE a >= 2",
+      "SELECT * FROM r WHERE a = 1 OR a = 4",
+      "SELECT DISTINCT b FROM r",
+      "SELECT a, COUNT(*) FROM r GROUP BY a",
+      "SELECT a, SUM(a) AS total FROM r GROUP BY a",
+      "SELECT a FROM r UNION SELECT a FROM s",
+      "SELECT a FROM r INTERSECT SELECT a FROM s",
+      "SELECT a FROM r EXCEPT SELECT a FROM s",
+      "SELECT r.b, s.a FROM r, s WHERE r.a = s.a",
+  };
+  auto sweep = [&](const std::string& where) {
+    for (const std::string& q : queries) {
+      auto c = MustExec(cached, q);
+      auto f = MustExec(fresh, q);
+      ASSERT_TRUE(c.relation.has_value() && f.relation.has_value());
+      EXPECT_EQ(c.served_at, f.served_at) << where << ": " << q;
+      EXPECT_TRUE(
+          Relation::EqualAt(*c.relation, *f.relation, c.served_at))
+          << where << ": " << q;
+    }
+  };
+
+  both("CREATE TABLE r (a INT, b STRING)");
+  both("CREATE TABLE s (a INT)");
+  both("INSERT INTO r VALUES (1, 'x'), (2, 'y') TTL 4");
+  both("INSERT INTO r VALUES (2, 'z'), (3, 'w') EXPIRE NEVER");
+  both("INSERT INTO s VALUES (1) TTL 6");
+  both("INSERT INTO s VALUES (3), (5) EXPIRE NEVER");
+  sweep("initial");
+  sweep("warm");  // second pass: cached side serves hits
+
+  both("ADVANCE TIME 3");
+  sweep("t=3");
+  both("INSERT INTO r VALUES (4, 'v') TTL 5");
+  both("DELETE FROM s WHERE a = 5");
+  sweep("t=3 after mutations");
+
+  both("ADVANCE TIME 4");  // past the TTL-4 tuples and s's TTL 6
+  sweep("t=7");
+
+  // Tiny budget: entries evict under churn, correctness must hold.
+  MustExec(cached, "SET result_cache_bytes = 2048");
+  both("INSERT INTO r VALUES (5, 'u') TTL 9");
+  sweep("tiny budget");
+  both("ADVANCE TIME 3");
+  sweep("tiny budget t=10");
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace expdb
