@@ -1,0 +1,131 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/maintenance.h"
+
+namespace expdb {
+namespace engine {
+
+Engine::Engine(EngineOptions options)
+    : expiration_(options.expiration), views_(&expiration_.db()) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  snapshots_.SetParent(r.GetCounter("expdb_engine_snapshots_total"));
+  write_waits_.SetParent(r.GetCounter("expdb_engine_write_waits_total"));
+  maintenance_ = std::make_unique<MaintenanceService>(
+      this, options.maintenance_interval_ms);
+  if (options.start_maintenance) maintenance_->Start();
+}
+
+Engine::~Engine() {
+  // Join the background thread before any member it reaches is torn
+  // down (maintenance_ is declared last, but be explicit about intent).
+  maintenance_->Stop();
+}
+
+Engine::Snapshot Engine::OpenSnapshot(const std::set<std::string>& relations) {
+  Snapshot snap;
+  snap.engine_lock_ = std::shared_lock<std::shared_mutex>(engine_mu_);
+  // std::set iterates in sorted order — every snapshot acquires relation
+  // locks in the same global order, so snapshots can never deadlock each
+  // other or a writer (writers take exactly one relation lock).
+  snap.relation_locks_.reserve(relations.size());
+  for (const std::string& name : relations) {
+    snap.relation_locks_.emplace_back(db().relation_lock(name));
+  }
+  snap.epoch_ = db().epoch();
+  snapshots_.Increment();
+  return snap;
+}
+
+Engine::Snapshot Engine::OpenSnapshotAll() {
+  // Two-phase: the engine shared lock freezes the *catalog* shape (DDL
+  // is exclusive), so the name list read under it stays accurate while
+  // the relation locks are collected.
+  Snapshot snap;
+  snap.engine_lock_ = std::shared_lock<std::shared_mutex>(engine_mu_);
+  const std::vector<std::string> names = db().RelationNames();
+  snap.relation_locks_.reserve(names.size());
+  for (const std::string& name : names) {  // RelationNames() is sorted
+    snap.relation_locks_.emplace_back(db().relation_lock(name));
+  }
+  snap.epoch_ = db().epoch();
+  snapshots_.Increment();
+  return snap;
+}
+
+Engine::WriteGuard Engine::LockWrite(const std::string& relation) {
+  WriteGuard guard;
+  guard.engine_lock_ = std::shared_lock<std::shared_mutex>(engine_mu_);
+  std::shared_mutex& mu = db().relation_lock(relation);
+  guard.relation_lock_ = std::unique_lock<std::shared_mutex>(mu, std::defer_lock);
+  if (!guard.relation_lock_.try_lock()) {
+    write_waits_.Increment();
+    guard.relation_lock_.lock();
+  }
+  guard.db_ = WriteGuard::NullOnMove(&db());
+  return guard;
+}
+
+Engine::ExclusiveGuard Engine::LockExclusive() {
+  ExclusiveGuard guard;
+  guard.engine_lock_ = std::unique_lock<std::shared_mutex>(engine_mu_);
+  return guard;
+}
+
+bool Engine::PutPrepared(const std::string& name, plan::PreparedPlan plan) {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  const bool replaced = prepared_.count(name) > 0;
+  prepared_[name] = std::move(plan);
+  return replaced;
+}
+
+std::optional<plan::PreparedPlan> Engine::GetPrepared(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  auto it = prepared_.find(name);
+  if (it == prepared_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Engine::prepared_count() const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  return prepared_.size();
+}
+
+void Engine::SetViewColumns(const std::string& view,
+                            std::vector<std::string> names) {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  view_columns_[view] = std::move(names);
+}
+
+std::optional<std::vector<std::string>> Engine::GetViewColumns(
+    const std::string& view) const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  auto it = view_columns_.find(view);
+  if (it == view_columns_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Engine::EraseViewColumns(const std::string& view) {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  view_columns_.erase(view);
+}
+
+void Engine::InvalidateCachesFor(const std::string& table) {
+  stmt_cache_.InvalidateBase(table);
+  result_cache_.InvalidateBase(table);
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  for (auto it = prepared_.begin(); it != prepared_.end();) {
+    if (it->second.plan->planned_expr()->BaseRelationNames().count(table) >
+        0) {
+      it = prepared_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace engine
+}  // namespace expdb

@@ -1,0 +1,217 @@
+// Engine: the concurrent core of ExpDB (docs/CONCURRENCY.md).
+//
+// One Engine owns everything sessions used to own privately — the
+// database (inside its ExpirationManager), the view catalog, the
+// two-tier statement/result cache, the prepared-statement registry, and
+// the background MaintenanceService — so many sql::Sessions can execute
+// against one database concurrently.
+//
+// Concurrency scheme (epoch-versioned reader/writer locking):
+//
+//   readers   Snapshot        engine shared + per-relation shared locks
+//                             (sorted), pinned to the catalog epoch
+//   DML       WriteGuard      engine shared + one relation exclusive
+//                             lock; bumps the epoch on release
+//   DDL etc.  ExclusiveGuard  engine exclusive (CREATE/DROP, ADVANCE
+//                             TIME, view reads, maintenance passes)
+//
+// Lock order: engine lock -> relation locks (sorted by name) ->
+// component-internal leaf mutexes (ViewManager, caches, expiration
+// index, prepared registry). Writers hold at most one relation lock, so
+// the scheme is deadlock-free by construction.
+
+#ifndef EXPDB_ENGINE_ENGINE_H_
+#define EXPDB_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "expiration/constraint.h"
+#include "expiration/expiration_queue.h"
+#include "obs/metrics.h"
+#include "plan/cache.h"
+#include "view/view_manager.h"
+
+namespace expdb {
+namespace engine {
+
+class MaintenanceService;
+
+/// \brief Engine construction knobs.
+struct EngineOptions {
+  ExpirationManagerOptions expiration;
+  /// Background maintenance cadence (wall-clock milliseconds between
+  /// passes once the service is started). SET maintenance_interval_ms.
+  int64_t maintenance_interval_ms = 100;
+  /// Start the MaintenanceService thread immediately. Off by default:
+  /// single-threaded embedders (and most tests) never need the thread,
+  /// and `MAINTENANCE RESUME` / SET maintenance_interval_ms start it on
+  /// demand.
+  bool start_maintenance = false;
+};
+
+/// \brief Owns the shared database state and hands out the locks that
+/// make concurrent sessions safe.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Database& db() { return expiration_.db(); }
+  const Database& db() const { return expiration_.db(); }
+  ExpirationManager& expiration() { return expiration_; }
+  ViewManager& views() { return views_; }
+  ConstraintSet& constraints() { return constraints_; }
+  plan::StatementCache& stmt_cache() { return stmt_cache_; }
+  plan::ResultCache& result_cache() { return result_cache_; }
+  MaintenanceService& maintenance() { return *maintenance_; }
+  Timestamp Now() const { return expiration_.Now(); }
+
+  // --- locking primitives ---------------------------------------------
+
+  /// \brief A consistent read view: the engine's shared lock plus the
+  /// shared locks of every named relation (acquired in sorted order),
+  /// pinned to the catalog epoch observed at open. While a Snapshot is
+  /// held no writer can mutate the covered relations and no exclusive
+  /// operation (DDL, ADVANCE TIME, maintenance) can run at all.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(Snapshot&&) = default;
+    Snapshot& operator=(Snapshot&&) = default;
+
+    /// The catalog epoch observed under the locks. Two snapshots with
+    /// equal epochs saw the identical database.
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class Engine;
+    std::shared_lock<std::shared_mutex> engine_lock_;
+    std::vector<std::shared_lock<std::shared_mutex>> relation_locks_;
+    uint64_t epoch_ = 0;
+  };
+
+  /// \brief A DML write ticket: the engine's shared lock plus one
+  /// relation's exclusive lock. Destroying the guard bumps the catalog
+  /// epoch (the mutation, if any, is published to snapshot validators).
+  class WriteGuard {
+   public:
+    WriteGuard() = default;
+    WriteGuard(WriteGuard&&) = default;
+    WriteGuard& operator=(WriteGuard&&) = default;
+    ~WriteGuard() {
+      if (db_.ptr != nullptr) db_.ptr->BumpEpoch();
+    }
+
+   private:
+    friend class Engine;
+    std::shared_lock<std::shared_mutex> engine_lock_;
+    std::unique_lock<std::shared_mutex> relation_lock_;
+    struct NullOnMove {
+      Database* ptr = nullptr;
+      NullOnMove() = default;
+      explicit NullOnMove(Database* p) : ptr(p) {}
+      NullOnMove(NullOnMove&& o) noexcept : ptr(o.ptr) { o.ptr = nullptr; }
+      NullOnMove& operator=(NullOnMove&& o) noexcept {
+        ptr = o.ptr;
+        o.ptr = nullptr;
+        return *this;
+      }
+      operator Database*() const { return ptr; }
+    };
+    NullOnMove db_;
+  };
+
+  /// \brief The engine's exclusive lock: total isolation. DDL, ADVANCE
+  /// TIME, view reads/maintenance, and background passes run under it.
+  class ExclusiveGuard {
+   public:
+    ExclusiveGuard() = default;
+    ExclusiveGuard(ExclusiveGuard&&) = default;
+    ExclusiveGuard& operator=(ExclusiveGuard&&) = default;
+
+   private:
+    friend class Engine;
+    std::unique_lock<std::shared_mutex> engine_lock_;
+  };
+
+  /// \brief Opens a read snapshot over `relations` (names not in the
+  /// catalog get a lock anyway — harmless, and it keeps a concurrent
+  /// CREATE of that name out while the snapshot reads).
+  Snapshot OpenSnapshot(const std::set<std::string>& relations);
+
+  /// \brief Snapshot over every relation currently in the catalog.
+  Snapshot OpenSnapshotAll();
+
+  /// \brief Takes the write locks for one relation. Blocks behind
+  /// readers/writers of the same relation; contended acquisitions count
+  /// toward expdb_engine_write_waits_total.
+  WriteGuard LockWrite(const std::string& relation);
+
+  /// \brief Takes the engine exclusively.
+  ExclusiveGuard LockExclusive();
+
+  // --- prepared statements (shared across sessions) --------------------
+
+  /// \brief Registers (or silently replaces) a named prepared statement.
+  /// \return true when an existing statement was replaced.
+  bool PutPrepared(const std::string& name, plan::PreparedPlan plan);
+
+  /// \brief A copy of the named prepared statement (the plan itself is a
+  /// shared immutable tree), or nullopt.
+  std::optional<plan::PreparedPlan> GetPrepared(const std::string& name) const;
+
+  size_t prepared_count() const;
+
+  // --- view presentation metadata --------------------------------------
+
+  void SetViewColumns(const std::string& view, std::vector<std::string> names);
+  std::optional<std::vector<std::string>> GetViewColumns(
+      const std::string& view) const;
+  void EraseViewColumns(const std::string& view);
+
+  /// \brief DDL on `table`: drops dependent entries from both cache
+  /// tiers and every prepared statement reading it.
+  void InvalidateCachesFor(const std::string& table);
+
+  uint64_t snapshots_opened() const { return snapshots_.value(); }
+  uint64_t write_waits() const { return write_waits_.value(); }
+
+ private:
+  ExpirationManager expiration_;
+  ViewManager views_;
+  ConstraintSet constraints_;
+  plan::StatementCache stmt_cache_;
+  plan::ResultCache result_cache_;
+
+  /// The engine-wide reader/writer lock (see file header).
+  std::shared_mutex engine_mu_;
+
+  /// Guards prepared_ and view_columns_. Leaf lock.
+  mutable std::mutex registry_mu_;
+  std::map<std::string, plan::PreparedPlan> prepared_;
+  std::map<std::string, std::vector<std::string>> view_columns_;
+
+  // Instance counters parented into the process-wide expdb_engine_*
+  // metrics.
+  obs::Counter snapshots_;
+  obs::Counter write_waits_;
+
+  /// Constructed last (it captures `this`); destroyed first, stopping
+  /// the background thread before any component it touches goes away.
+  std::unique_ptr<MaintenanceService> maintenance_;
+};
+
+}  // namespace engine
+}  // namespace expdb
+
+#endif  // EXPDB_ENGINE_ENGINE_H_

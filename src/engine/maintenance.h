@@ -1,0 +1,94 @@
+// MaintenanceService: the engine's background housekeeping thread.
+//
+// On a configurable wall-clock cadence it takes the engine exclusively
+// and runs one maintenance pass: drain/compact the expiration state
+// (under lazy removal this is what physically deletes expired tuples —
+// queries stay correct meanwhile because every read filters through
+// expτ) and refresh stale materialized views. The paper's lazy policy
+// "provides more optimisation opportunities"; this service is the agent
+// that cashes them in without any session calling RemoveExpired.
+
+#ifndef EXPDB_ENGINE_MAINTENANCE_H_
+#define EXPDB_ENGINE_MAINTENANCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace expdb {
+namespace engine {
+
+class Engine;
+
+/// \brief Background thread running periodic maintenance passes against
+/// one Engine. SQL surface: MAINTENANCE STATUS|PAUSE|RESUME|RUN and
+/// SET maintenance_interval_ms.
+///
+/// Thread-safety: every public member may be called from any thread.
+/// The service never outlives its engine (the engine destroys it first).
+class MaintenanceService {
+ public:
+  MaintenanceService(Engine* engine, int64_t interval_ms);
+  ~MaintenanceService();
+
+  MaintenanceService(const MaintenanceService&) = delete;
+  MaintenanceService& operator=(const MaintenanceService&) = delete;
+
+  /// \brief Starts the background thread (idempotent).
+  void Start();
+
+  /// \brief Stops and joins the background thread (idempotent).
+  void Stop();
+
+  /// \brief Keeps the thread alive but skips passes until Resume.
+  void Pause();
+
+  /// \brief Clears a pause; starts the thread if it never ran.
+  void Resume();
+
+  /// \brief Runs one maintenance pass synchronously on the calling
+  /// thread (takes the engine exclusively; the caller must hold no
+  /// engine locks). \return tuples physically removed by the pass.
+  size_t RunOnce();
+
+  /// \brief Sets the cadence and wakes the thread so the new interval
+  /// takes effect immediately. Starts the thread if it never ran —
+  /// configuring a cadence means asking for background maintenance.
+  void set_interval_ms(int64_t ms);
+  int64_t interval_ms() const;
+
+  bool running() const;
+  bool paused() const;
+  uint64_t runs() const { return runs_.value(); }
+  uint64_t tuples_removed() const { return removed_.value(); }
+
+  /// \brief One-line human-readable status (MAINTENANCE STATUS).
+  std::string StatusString() const;
+
+ private:
+  void Loop();
+
+  Engine* engine_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool thread_running_ = false;  // guarded by mu_
+  bool stop_ = false;            // guarded by mu_
+  bool paused_ = false;          // guarded by mu_
+  int64_t interval_ms_;          // guarded by mu_
+
+  // Instance counters parented into the process-wide expdb_engine_*
+  // metrics.
+  obs::Counter runs_;
+  obs::Counter removed_;
+  obs::Histogram* pass_latency_;
+};
+
+}  // namespace engine
+}  // namespace expdb
+
+#endif  // EXPDB_ENGINE_MAINTENANCE_H_

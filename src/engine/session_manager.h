@@ -1,0 +1,86 @@
+// SessionManager: hands out concurrent sql::Sessions over one Engine.
+//
+// Header-only by design: the engine library cannot link against the sql
+// library (sql already links engine), so this convenience layer lives
+// entirely in the header and is compiled into whoever includes it.
+
+#ifndef EXPDB_ENGINE_SESSION_MANAGER_H_
+#define EXPDB_ENGINE_SESSION_MANAGER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace engine {
+
+/// \brief Opens sessions that share one Engine. Sessions are handed out
+/// as shared_ptrs and tracked weakly — a session dropped by its thread
+/// simply disappears from the active count.
+///
+/// Thread-safety: all members may be called from any thread.
+class SessionManager {
+ public:
+  explicit SessionManager(std::shared_ptr<Engine> engine)
+      : engine_(std::move(engine)) {
+    sessions_gauge_.SetParent(
+        obs::MetricsRegistry::Global().GetGauge("expdb_engine_sessions"));
+  }
+
+  /// \brief Opens a new session bound to the shared engine.
+  /// `options.expiration` is ignored — the engine already owns its
+  /// database; eval/rewrite knobs stay per-session.
+  std::shared_ptr<sql::Session> OpenSession(
+      sql::Session::Options options = {}) {
+    auto session = std::make_shared<sql::Session>(engine_, options);
+    std::lock_guard<std::mutex> guard(mu_);
+    sessions_.push_back(session);
+    ++opened_;
+    PruneLocked();
+    return session;
+  }
+
+  /// \brief Sessions currently alive (weak entries pruned on the way).
+  size_t active_sessions() {
+    std::lock_guard<std::mutex> guard(mu_);
+    PruneLocked();
+    return sessions_.size();
+  }
+
+  uint64_t opened_total() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return opened_;
+  }
+
+  Engine& engine() { return *engine_; }
+  const std::shared_ptr<Engine>& engine_ptr() const { return engine_; }
+
+ private:
+  void PruneLocked() {
+    sessions_.erase(
+        std::remove_if(sessions_.begin(), sessions_.end(),
+                       [](const std::weak_ptr<sql::Session>& weak) {
+                         return weak.expired();
+                       }),
+        sessions_.end());
+    sessions_gauge_.Set(static_cast<int64_t>(sessions_.size()));
+  }
+
+  std::shared_ptr<Engine> engine_;
+  mutable std::mutex mu_;
+  std::vector<std::weak_ptr<sql::Session>> sessions_;
+  uint64_t opened_ = 0;  // guarded by mu_
+  obs::Gauge sessions_gauge_;
+};
+
+}  // namespace engine
+}  // namespace expdb
+
+#endif  // EXPDB_ENGINE_SESSION_MANAGER_H_

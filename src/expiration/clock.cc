@@ -7,19 +7,19 @@ Status LogicalClock::Advance(int64_t ticks) {
     return Status::InvalidArgument("clock cannot advance by negative " +
                                    std::to_string(ticks));
   }
-  now_ += ticks;
-  return Status::OK();
+  return AdvanceTo(Now() + ticks);
 }
 
 Status LogicalClock::AdvanceTo(Timestamp t) {
-  if (t < now_) {
+  const Timestamp now = Now();
+  if (t < now) {
     return Status::InvalidArgument("clock cannot move backwards from " +
-                                   now_.ToString() + " to " + t.ToString());
+                                   now.ToString() + " to " + t.ToString());
   }
   if (t.IsInfinite()) {
     return Status::InvalidArgument("clock cannot advance to infinity");
   }
-  now_ = t;
+  ticks_.store(t.ticks(), std::memory_order_release);
   return Status::OK();
 }
 

@@ -7,18 +7,29 @@
 #ifndef EXPDB_EXPIRATION_CLOCK_H_
 #define EXPDB_EXPIRATION_CLOCK_H_
 
+#include <atomic>
+#include <cstdint>
+
 #include "common/result.h"
 #include "common/timestamp.h"
 
 namespace expdb {
 
 /// \brief A monotonically advancing logical clock.
+///
+/// Thread-safety: Now() is a single atomic load and may be called from
+/// any thread (sessions read the clock while other sessions execute).
+/// Advance/AdvanceTo publish with a release store; callers serialize
+/// advancing externally (the engine advances time under its exclusive
+/// lock — see docs/CONCURRENCY.md).
 class LogicalClock {
  public:
   LogicalClock() = default;
-  explicit LogicalClock(Timestamp start) : now_(start) {}
+  explicit LogicalClock(Timestamp start) : ticks_(start.ticks()) {}
 
-  Timestamp Now() const { return now_; }
+  Timestamp Now() const {
+    return Timestamp(ticks_.load(std::memory_order_acquire));
+  }
 
   /// \brief Advances by `ticks` (>= 0).
   Status Advance(int64_t ticks);
@@ -27,7 +38,7 @@ class LogicalClock {
   Status AdvanceTo(Timestamp t);
 
  private:
-  Timestamp now_ = Timestamp::Zero();
+  std::atomic<int64_t> ticks_{0};
 };
 
 }  // namespace expdb

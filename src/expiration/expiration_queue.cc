@@ -69,13 +69,14 @@ Status ExpirationManager::Insert(const std::string& relation, Tuple tuple,
   EXPDB_RETURN_NOT_OK(rel->Insert(tuple, texp));
   metrics_.inserted.Increment();
   if (options_.policy == RemovalPolicy::kEager && texp.IsFinite()) {
+    std::lock_guard<std::mutex> guard(index_mu_);
     if (options_.index == ExpirationIndex::kCalendarQueue) {
       calendar_.Schedule(texp, {relation, std::move(tuple)});
     } else {
       queue_.push({texp, relation, std::move(tuple)});
     }
     metrics_.index_pushes.Increment();
-    metrics_.queue_size.Set(static_cast<int64_t>(queue_size()));
+    metrics_.queue_size.Set(static_cast<int64_t>(QueueSizeLocked()));
   }
   return Status::OK();
 }
@@ -90,6 +91,7 @@ Status ExpirationManager::InsertWithTtl(const std::string& relation,
 }
 
 void ExpirationManager::AddTrigger(ExpirationTrigger trigger) {
+  std::lock_guard<std::mutex> guard(triggers_mu_);
   triggers_.push_back(std::move(trigger));
 }
 
@@ -138,18 +140,21 @@ void ExpirationManager::DrainEager(Timestamp t) {
     FireTriggers(relation, {{tuple, texp}}, texp);
   };
 
-  if (options_.index == ExpirationIndex::kCalendarQueue) {
-    calendar_.AdvanceTo(t, [&](Timestamp texp, CalendarPayload& payload) {
-      expire_one(texp, payload.relation, payload.tuple);
-    });
-  } else {
-    while (!queue_.empty() && queue_.top().texp <= t) {
-      QueueEntry entry = queue_.top();
-      queue_.pop();
-      expire_one(entry.texp, entry.relation, entry.tuple);
+  {
+    std::lock_guard<std::mutex> guard(index_mu_);
+    if (options_.index == ExpirationIndex::kCalendarQueue) {
+      calendar_.AdvanceTo(t, [&](Timestamp texp, CalendarPayload& payload) {
+        expire_one(texp, payload.relation, payload.tuple);
+      });
+    } else {
+      while (!queue_.empty() && queue_.top().texp <= t) {
+        QueueEntry entry = queue_.top();
+        queue_.pop();
+        expire_one(entry.texp, entry.relation, entry.tuple);
+      }
     }
+    metrics_.queue_size.Set(static_cast<int64_t>(QueueSizeLocked()));
   }
-  metrics_.queue_size.Set(static_cast<int64_t>(queue_size()));
   // One batch event per non-empty drain, not one per tuple: the event
   // log records decisions, not the tuple stream.
   obs::EventLog& log = obs::EventLog::Global();
@@ -210,6 +215,7 @@ void ExpirationManager::FireTriggers(
     const std::string& relation,
     const std::vector<std::pair<Tuple, Timestamp>>& removed,
     Timestamp removed_at) {
+  std::lock_guard<std::mutex> guard(triggers_mu_);
   if (triggers_.empty()) return;
   for (const auto& [tuple, texp] : removed) {
     ExpirationEvent event{relation, tuple, texp, removed_at};

@@ -19,6 +19,7 @@
 #define EXPDB_EXPIRATION_EXPIRATION_QUEUE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
@@ -96,6 +97,13 @@ struct ExpirationMetrics {
 
 /// \brief Owns a Database and a LogicalClock; routes inserts, advances
 /// time, physically removes expired tuples per policy, and fires triggers.
+///
+/// Thread-safety (engine protocol, docs/CONCURRENCY.md): Insert may be
+/// called concurrently from writers that hold the target relation's
+/// writer lock — the shared expiration index and the trigger list are
+/// guarded internally. AdvanceTo/Advance/Compact mutate arbitrary
+/// relations and must run under the engine's exclusive lock (they are
+/// not internally serialized against concurrent relation writers).
 class ExpirationManager {
  public:
   explicit ExpirationManager(ExpirationManagerOptions options = {});
@@ -140,9 +148,8 @@ class ExpirationManager {
   /// \brief Number of entries currently in the eager expiration index
   /// (including stale ones awaiting lazy deletion).
   size_t queue_size() const {
-    return options_.index == ExpirationIndex::kCalendarQueue
-               ? calendar_.size()
-               : queue_.size();
+    std::lock_guard<std::mutex> guard(index_mu_);
+    return QueueSizeLocked();
   }
 
  private:
@@ -169,14 +176,27 @@ class ExpirationManager {
   void DrainEager(Timestamp t);
   void MaybeAutoCompact();
   size_t CompactRelation(const std::string& name, Relation* rel);
+  size_t QueueSizeLocked() const {
+    return options_.index == ExpirationIndex::kCalendarQueue
+               ? calendar_.size()
+               : queue_.size();
+  }
 
   ExpirationManagerOptions options_;
   Database db_;
   LogicalClock clock_;
+  /// Guards the shared pending-expiration index (queue_/calendar_):
+  /// concurrent writers to *different* relations still funnel their
+  /// eager-index pushes through one structure. Leaf lock — nothing else
+  /// is acquired while held.
+  mutable std::mutex index_mu_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;
   CalendarQueue<CalendarPayload> calendar_;
+  /// Guards trigger registration vs. firing (held across trigger
+  /// callbacks; triggers must not call back into the manager).
+  mutable std::mutex triggers_mu_;
   std::vector<ExpirationTrigger> triggers_;
   ExpirationMetrics metrics_;
   /// Lazy: next time at which the compaction threshold is evaluated.

@@ -505,6 +505,18 @@ void RegisterStandardMetrics(MetricsRegistry& r) {
                "Theorem 3 helper entries shipped to clients");
   r.GetCounter("expdb_replica_refreshes_total",
                "Client-side subscription re-fetches");
+  // engine ---------------------------------------------------------------
+  r.GetCounter("expdb_engine_snapshots_total",
+               "Read snapshots opened by the engine");
+  r.GetCounter("expdb_engine_write_waits_total",
+               "Write-lock acquisitions that had to block behind a holder");
+  r.GetCounter("expdb_engine_maintenance_runs_total",
+               "Background maintenance passes completed");
+  r.GetCounter("expdb_engine_maintenance_removed_total",
+               "Tuples physically removed by background maintenance");
+  r.GetGauge("expdb_engine_sessions", "Live sessions attached to engines");
+  r.GetHistogram("expdb_engine_maintenance_latency_ns",
+                 "Background maintenance pass wall time (ns)");
   // sql ------------------------------------------------------------------
   r.GetCounter("expdb_sql_statements_total", "SQL statements executed");
   r.GetCounter("expdb_sql_errors_total", "SQL statements that failed");

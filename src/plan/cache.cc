@@ -129,21 +129,24 @@ Result<PhysicalPlanPtr> InstantiatePlan(const PhysicalPlanPtr& plan,
 
 // --- tier 1: statement/plan cache ------------------------------------------
 
-const PreparedPlan* StatementCache::Lookup(const std::string& fingerprint) {
+std::optional<PreparedPlan> StatementCache::Lookup(
+    const std::string& fingerprint) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
     ++misses_;
-    return nullptr;
+    return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   ++hits_;
   PlanCacheHits()->Increment();
-  return &it->second.plan;
+  return it->second.plan;
 }
 
 void StatementCache::Insert(const std::string& fingerprint,
                             PreparedPlan plan) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = entries_.find(fingerprint);
   if (it != entries_.end()) {
     it->second.plan = std::move(plan);
@@ -159,6 +162,7 @@ void StatementCache::Insert(const std::string& fingerprint,
 }
 
 void StatementCache::InvalidateBase(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     const ExpressionPtr& expr = it->second.plan.plan->planned_expr();
     if (expr != nullptr && expr->BaseRelationNames().count(name) > 0) {
@@ -171,6 +175,7 @@ void StatementCache::InvalidateBase(const std::string& name) {
 }
 
 void StatementCache::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
   entries_.clear();
   lru_.clear();
 }
@@ -240,9 +245,13 @@ ResultCache::ResultCache() {
 }
 
 void ResultCache::set_max_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> guard(mu_);
   max_bytes_ = bytes;
   if (max_bytes_ == 0) {
-    Clear();
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+    bytes_gauge_.Set(0);
     return;
   }
   if (bytes_ > max_bytes_) EvictFor(0, nullptr);
@@ -290,6 +299,7 @@ std::optional<MaterializedResult> ResultCache::Lookup(const std::string& key,
                                                       const Database& db,
                                                       Timestamp now) {
   obs::ScopedSpan span("sql.result_cache.lookup", lookup_latency_);
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     CountMiss();
@@ -383,11 +393,12 @@ std::optional<MaterializedResult> ResultCache::Lookup(const std::string& key,
 void ResultCache::Insert(const std::string& key, PhysicalPlanPtr plan,
                          const NodeCapture* capture, MaterializedResult result,
                          const Database& db, Timestamp now) {
-  if (!enabled()) return;
   if (plan == nullptr) return;
   // A lapsed (or immediately lapsing) materialization can never satisfy a
   // future `now < texp` check.
   if (!(now < result.texp)) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (max_bytes_ == 0) return;
   std::vector<std::pair<std::string, Relation::DeltaCursor>> bases;
   for (const std::string& name : plan->planned_expr()->BaseRelationNames()) {
     auto rel = db.GetRelation(name);
@@ -422,6 +433,7 @@ void ResultCache::Insert(const std::string& key, PhysicalPlanPtr plan,
 }
 
 void ResultCache::InvalidateBase(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool reads = false;
     for (const auto& [base, cursor] : it->second.bases) {
@@ -440,6 +452,7 @@ void ResultCache::InvalidateBase(const std::string& name) {
 }
 
 void ResultCache::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
@@ -447,6 +460,7 @@ void ResultCache::Clear() {
 }
 
 ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

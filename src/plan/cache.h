@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -80,8 +81,11 @@ struct PreparedPlan {
 };
 
 /// \brief LRU cache of parameterized plan skeletons keyed by statement
-/// fingerprint. Single-session object (sessions are single-threaded); the
-/// shared PlanCacheHits() counter aggregates hits process-wide.
+/// fingerprint. Thread-safe: the engine shares one instance across every
+/// session, so all operations serialize on an internal mutex (hence
+/// Lookup returns a copy — a pointer into the map could be evicted by a
+/// concurrent Insert). The shared PlanCacheHits() counter aggregates hits
+/// process-wide.
 class StatementCache {
  public:
   static constexpr size_t kDefaultCapacity = 256;
@@ -89,9 +93,11 @@ class StatementCache {
   explicit StatementCache(size_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
 
-  /// \brief The cached skeleton for `fingerprint`, or nullptr. A hit
-  /// refreshes LRU order and counts toward expdb_plan_cache_hits_total.
-  const PreparedPlan* Lookup(const std::string& fingerprint);
+  /// \brief A copy of the cached skeleton for `fingerprint`, or nullopt.
+  /// The copy is shallow where it matters — PhysicalPlanPtr is a
+  /// shared_ptr to an immutable plan. A hit refreshes LRU order and
+  /// counts toward expdb_plan_cache_hits_total.
+  std::optional<PreparedPlan> Lookup(const std::string& fingerprint);
 
   /// \brief Caches `plan` (replacing any previous entry), evicting the
   /// least recently used skeletons beyond capacity.
@@ -103,9 +109,18 @@ class StatementCache {
 
   void Clear();
 
-  size_t size() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return entries_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return misses_;
+  }
 
  private:
   struct Entry {
@@ -113,6 +128,8 @@ class StatementCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  /// Leaf lock (nothing else is acquired while held).
+  mutable std::mutex mu_;
   size_t capacity_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recently used
@@ -139,6 +156,14 @@ std::string ResultCacheKey(const std::string& fingerprint,
 ///            result has not lapsed: patched in place, then served.
 ///   miss   — anything else (absent, expired, history broken, Clear()'d
 ///            base, instance-id churn, patch failure): entry dropped.
+///
+/// Thread-safe: the engine shares one instance across every session; all
+/// operations serialize on an internal mutex. Callers must still hold the
+/// base relations' reader locks across Lookup/Insert (the cache reads
+/// delta cursors and rings from `db`) — the internal mutex only protects
+/// the cache's own structures. Lookup returns the materialization by
+/// value, so a served result can never be torn by a concurrent patch or
+/// eviction.
 class ResultCache {
  public:
   static constexpr size_t kDefaultMaxBytes = 64ull << 20;  // 64 MiB
@@ -155,8 +180,11 @@ class ResultCache {
     size_t max_bytes = 0;
   };
 
-  size_t max_bytes() const { return max_bytes_; }
-  bool enabled() const { return max_bytes_ > 0; }
+  size_t max_bytes() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return max_bytes_;
+  }
+  bool enabled() const { return max_bytes() > 0; }
   /// \brief Sets the byte budget, evicting LRU entries over the new
   /// budget. 0 disables the cache and drops every entry.
   void set_max_bytes(size_t bytes);
@@ -196,6 +224,7 @@ class ResultCache {
   };
   using EntryMap = std::unordered_map<std::string, Entry>;
 
+  // All private helpers require mu_ to be held by the caller.
   void EraseEntry(EntryMap::iterator it);
   /// Evicts LRU entries until `need` more bytes fit under the budget,
   /// never evicting `keep`.
@@ -203,6 +232,9 @@ class ResultCache {
   void Touch(Entry* entry);
   void CountMiss();
 
+  /// Guards every member below. Leaf lock within the cache (obs metric
+  /// updates under it are themselves lock-free or leaf-locked).
+  mutable std::mutex mu_;
   size_t max_bytes_ = kDefaultMaxBytes;
   size_t bytes_ = 0;
   EntryMap entries_;

@@ -12,6 +12,7 @@ Result<Relation*> Database::CreateRelation(const std::string& name,
   if (!inserted) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
+  BumpEpoch();
   return it->second.get();
 }
 
@@ -24,6 +25,7 @@ Status Database::PutRelation(const std::string& name, Relation relation) {
   if (!inserted) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -46,18 +48,23 @@ Result<const Relation*> Database::GetRelation(const std::string& name) const {
 Status Database::Insert(const std::string& name, Tuple tuple,
                         Timestamp texp) {
   EXPDB_ASSIGN_OR_RETURN(Relation * rel, GetRelation(name));
-  return rel->Insert(std::move(tuple), texp);
+  EXPDB_RETURN_NOT_OK(rel->Insert(std::move(tuple), texp));
+  BumpEpoch();
+  return Status::OK();
 }
 
 Result<bool> Database::Erase(const std::string& name, const Tuple& tuple) {
   EXPDB_ASSIGN_OR_RETURN(Relation * rel, GetRelation(name));
-  return rel->Erase(tuple);
+  const bool erased = rel->Erase(tuple);
+  if (erased) BumpEpoch();
+  return erased;
 }
 
 Status Database::DropRelation(const std::string& name) {
   if (relations_.erase(name) == 0) {
     return Status::NotFound("no relation named '" + name + "'");
   }
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -73,6 +80,7 @@ size_t Database::RemoveExpiredEverywhere(Timestamp tau) {
   for (auto& [name, rel] : relations_) {
     total += rel->RemoveExpired(tau).size();
   }
+  if (total > 0) BumpEpoch();
   return total;
 }
 

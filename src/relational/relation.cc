@@ -41,81 +41,123 @@ Relation& Relation::operator=(const Relation& other) {
     max_texp_ = other.max_texp_;
     // Assignment replaces this object's contents wholesale; any recorded
     // history no longer describes them.
-    delta_.reset();
+    delete delta_.exchange(nullptr, std::memory_order_acq_rel);
   }
   return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      entries_(std::move(other.entries_)),
+      slots_(std::move(other.slots_)),
+      tombstones_(other.tombstones_),
+      max_texp_(other.max_texp_),
+      delta_(other.delta_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this != &other) {
+    schema_ = std::move(other.schema_);
+    entries_ = std::move(other.entries_);
+    slots_ = std::move(other.slots_);
+    tombstones_ = other.tombstones_;
+    max_texp_ = other.max_texp_;
+    delete delta_.exchange(
+        other.delta_.exchange(nullptr, std::memory_order_acq_rel),
+        std::memory_order_acq_rel);
+  }
+  return *this;
+}
+
+Relation::~Relation() {
+  delete delta_.load(std::memory_order_acquire);
 }
 
 // --- delta capture --------------------------------------------------------
 
 void Relation::EnableDeltaTracking(size_t ring_capacity) const {
-  if (delta_ != nullptr) return;
-  delta_ = std::make_unique<DeltaLog>();
-  delta_->instance_id = NextDeltaInstanceId();
-  delta_->capacity = ring_capacity > 0 ? ring_capacity : 1;
+  if (delta_log() != nullptr) return;
+  auto* log = new DeltaLog();
+  log->instance_id = NextDeltaInstanceId();
+  log->capacity = ring_capacity > 0 ? ring_capacity : 1;
+  // First publisher wins; a concurrent enable that lost the race frees
+  // its candidate. Readers pair with the acquire load in delta_log().
+  DeltaLog* expected = nullptr;
+  if (!delta_.compare_exchange_strong(expected, log,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+    delete log;
+  }
 }
 
 uint64_t Relation::delta_instance_id() const {
-  return delta_ != nullptr ? delta_->instance_id : 0;
+  const DeltaLog* log = delta_log();
+  return log != nullptr ? log->instance_id : 0;
 }
 
 uint64_t Relation::delta_epoch() const {
-  return delta_ != nullptr ? delta_->epoch : 0;
+  const DeltaLog* log = delta_log();
+  return log != nullptr ? log->epoch : 0;
 }
 
 std::optional<std::vector<Relation::DeltaBatch>> Relation::DeltasSince(
     uint64_t since) const {
-  if (delta_ == nullptr) return std::nullopt;
+  const DeltaLog* log = delta_log();
+  if (log == nullptr) return std::nullopt;
   // A cursor from the future (or from another relation's clock) or one
   // older than the retained window cannot be served exactly.
-  if (since > delta_->epoch || since < delta_->floor) return std::nullopt;
+  if (since > log->epoch || since < log->floor) return std::nullopt;
   std::vector<DeltaBatch> out;
-  for (const DeltaBatch& b : delta_->batches) {
+  for (const DeltaBatch& b : log->batches) {
     if (b.epoch > since) out.push_back(b);
   }
   return out;
 }
 
 void Relation::RecordDeltaInsert(const Tuple& tuple, Timestamp texp) {
-  if (delta_ == nullptr) return;
+  DeltaLog* log = delta_log();
+  if (log == nullptr) return;
   DeltaBatch b;
-  b.epoch = ++delta_->epoch;
+  b.epoch = ++log->epoch;
   b.inserted.push_back(Entry{tuple, texp});
-  delta_->batches.push_back(std::move(b));
+  log->batches.push_back(std::move(b));
   TrimDeltaRing();
 }
 
 void Relation::RecordDeltaUpdate(const Tuple& tuple, Timestamp old_texp,
                                  Timestamp new_texp) {
-  if (delta_ == nullptr) return;
+  DeltaLog* log = delta_log();
+  if (log == nullptr) return;
   DeltaBatch b;
-  b.epoch = ++delta_->epoch;
+  b.epoch = ++log->epoch;
   b.deleted.push_back(Entry{tuple, old_texp});
   b.inserted.push_back(Entry{tuple, new_texp});
-  delta_->batches.push_back(std::move(b));
+  log->batches.push_back(std::move(b));
   TrimDeltaRing();
 }
 
 void Relation::RecordDeltaErase(const Tuple& tuple, Timestamp old_texp) {
-  if (delta_ == nullptr) return;
+  DeltaLog* log = delta_log();
+  if (log == nullptr) return;
   DeltaBatch b;
-  b.epoch = ++delta_->epoch;
+  b.epoch = ++log->epoch;
   b.deleted.push_back(Entry{tuple, old_texp});
-  delta_->batches.push_back(std::move(b));
+  log->batches.push_back(std::move(b));
   TrimDeltaRing();
 }
 
 void Relation::TrimDeltaRing() {
-  while (delta_->batches.size() > delta_->capacity) {
-    delta_->floor = delta_->batches.front().epoch;
-    delta_->batches.pop_front();
+  DeltaLog* log = delta_log();
+  while (log->batches.size() > log->capacity) {
+    log->floor = log->batches.front().epoch;
+    log->batches.pop_front();
   }
 }
 
 void Relation::BreakDeltaHistory() {
-  if (delta_ == nullptr) return;
-  delta_->batches.clear();
-  delta_->floor = ++delta_->epoch;
+  DeltaLog* log = delta_log();
+  if (log == nullptr) return;
+  log->batches.clear();
+  log->floor = ++log->epoch;
 }
 
 // --- hash index -----------------------------------------------------------

@@ -21,6 +21,7 @@
 #ifndef EXPDB_RELATIONAL_RELATION_H_
 #define EXPDB_RELATIONAL_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -65,8 +66,9 @@ class Relation {
   // subscribers never see.
   Relation(const Relation& other);
   Relation& operator=(const Relation& other);
-  Relation(Relation&&) = default;
-  Relation& operator=(Relation&&) = default;
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
+  ~Relation();
 
   const Schema& schema() const { return schema_; }
   size_t arity() const { return schema_.arity(); }
@@ -193,13 +195,15 @@ class Relation {
   ///
   /// `const` because the log is bookkeeping *about* mutations, not data:
   /// read paths never consult it, and consumers (materialized views) only
-  /// hold const access to base relations. Not thread-safe against
-  /// concurrent enables; callers serialize maintenance as they already do
-  /// for mutation.
+  /// hold const access to base relations. Safe against concurrent enables
+  /// (first enable wins; the log pointer is published with an atomic
+  /// release store) — concurrent readers holding only a shared lock may
+  /// race through here via the result cache. Recording and DeltasSince
+  /// still require the caller's usual reader/writer exclusion.
   void EnableDeltaTracking(
       size_t ring_capacity = kDefaultDeltaRingCapacity) const;
 
-  bool delta_tracking() const { return delta_ != nullptr; }
+  bool delta_tracking() const { return delta_log() != nullptr; }
 
   /// \brief Process-unique identity of this tracked relation; 0 when
   /// tracking is disabled. Consumers pair it with delta_epoch() as a
@@ -301,6 +305,13 @@ class Relation {
   /// Invalidates all outstanding cursors (wholesale change happened).
   void BreakDeltaHistory();
 
+  /// The published delta log, or nullptr when tracking is disabled.
+  /// Acquire load pairs with the release store in EnableDeltaTracking so
+  /// concurrent first-enables are safe under a shared (reader) lock.
+  DeltaLog* delta_log() const {
+    return delta_.load(std::memory_order_acquire);
+  }
+
   Schema schema_;
   std::vector<Entry> entries_;
   /// Open-addressing index: power-of-two sized, linear probing, entry
@@ -310,9 +321,10 @@ class Relation {
   /// Upper bound on every stored texp; see texp_upper_bound().
   Timestamp max_texp_ = Timestamp::Zero();
   /// Per-epoch mutation log; null until EnableDeltaTracking. `mutable`
-  /// because enabling is metadata-only and consumers hold const access
-  /// (see EnableDeltaTracking).
-  mutable std::unique_ptr<DeltaLog> delta_;
+  /// because enabling is metadata-only and consumers hold const access;
+  /// an atomic pointer (owned, deleted in ~Relation) so a first enable
+  /// racing other readers publishes safely (see EnableDeltaTracking).
+  mutable std::atomic<DeltaLog*> delta_{nullptr};
 };
 
 }  // namespace expdb

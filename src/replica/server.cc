@@ -19,6 +19,7 @@ Status ReplicationServer::RegisterQuery(const std::string& name,
   popts.eval = eval_;
   EXPDB_ASSIGN_OR_RETURN(plan::PhysicalPlanPtr plan,
                          plan::Planner::Plan(expr, *db_, popts));
+  std::unique_lock<std::shared_mutex> guard(mu_);
   auto [it, inserted] = queries_.emplace(
       name, RegisteredQuery{std::move(expr), std::move(plan)});
   if (!inserted) {
@@ -29,6 +30,7 @@ Status ReplicationServer::RegisterQuery(const std::string& name,
 
 Result<ExpressionPtr> ReplicationServer::GetQuery(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> guard(mu_);
   auto it = queries_.find(name);
   if (it == queries_.end()) {
     return Status::NotFound("no query named '" + name + "'");
@@ -45,6 +47,7 @@ Result<MaterializedResult> ReplicationServer::Fetch(
   obs::TraceContextScope trace_scope(
       TraceParentHeader::Parse(traceparent).ToContext());
   obs::ScopedSpan span("replica.server.fetch");
+  std::shared_lock<std::shared_mutex> guard(mu_);
   auto it = queries_.find(name);
   if (it == queries_.end()) {
     return Status::NotFound("no query named '" + name + "'");
@@ -64,6 +67,7 @@ Result<DifferenceEvalResult> ReplicationServer::FetchWithHelper(
   obs::TraceContextScope trace_scope(
       TraceParentHeader::Parse(traceparent).ToContext());
   obs::ScopedSpan span("replica.server.fetch");
+  std::shared_lock<std::shared_mutex> guard(mu_);
   auto it = queries_.find(name);
   if (it == queries_.end()) {
     return Status::NotFound("no query named '" + name + "'");

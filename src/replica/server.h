@@ -7,6 +7,8 @@
 #define EXPDB_REPLICA_SERVER_H_
 
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "core/eval.h"
@@ -16,6 +18,12 @@
 namespace expdb {
 
 /// \brief Serves registered queries over a simulated network.
+///
+/// Thread-safe: the query registry is guarded by a reader/writer lock, so
+/// many client replicas may Fetch concurrently while RegisterQuery takes
+/// the lock exclusively. The borrowed database is *not* protected here —
+/// callers coordinate base-table mutation against fetches (the engine
+/// does so via its snapshot locks).
 class ReplicationServer {
  public:
   explicit ReplicationServer(const Database* db, EvalOptions eval = {})
@@ -34,6 +42,7 @@ class ReplicationServer {
   Status RegisterQuery(const std::string& name, ExpressionPtr expr);
 
   bool HasQuery(const std::string& name) const {
+    std::shared_lock<std::shared_mutex> guard(mu_);
     return queries_.find(name) != queries_.end();
   }
 
@@ -63,6 +72,8 @@ class ReplicationServer {
 
   const Database* db_;
   EvalOptions eval_;
+  /// Guards queries_. Shared for fetches, exclusive for registration.
+  mutable std::shared_mutex mu_;
   std::map<std::string, RegisteredQuery> queries_;
   // Process-wide counters (registry-owned): fetches served and Theorem 3
   // helper entries shipped up front.

@@ -200,13 +200,23 @@ struct CacheStatement {
   What what = What::kStats;
 };
 
+/// MAINTENANCE STATUS | PAUSE | RESUME | RUN: controls the engine's
+/// background maintenance service (docs/CONCURRENCY.md). STATUS reports
+/// the thread state and counters; PAUSE/RESUME gate the cadence; RUN
+/// executes one synchronous pass on the calling session's thread.
+struct MaintenanceStatement {
+  enum class What { kStatus, kPause, kResume, kRun };
+  What what = What::kStatus;
+};
+
 /// \brief Any parsed statement.
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
                  CreateViewStatement, DropStatement, AdvanceStatement,
                  ShowStatement, DeleteStatement, StatsStatement,
                  ExplainStatement, SetStatement, TraceStatement,
-                 PrepareStatement, ExecutePreparedStatement, CacheStatement>;
+                 PrepareStatement, ExecutePreparedStatement, CacheStatement,
+                 MaintenanceStatement>;
 
 }  // namespace sql
 }  // namespace expdb

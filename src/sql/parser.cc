@@ -95,6 +95,7 @@ class Parser {
     if (AcceptKeyword("PREPARE")) return ParsePrepare();
     if (AcceptKeyword("EXECUTE")) return ParseExecute();
     if (AcceptKeyword("CACHE")) return ParseCache();
+    if (AcceptKeyword("MAINTENANCE")) return ParseMaintenance();
     return Status::ParseError("expected a statement, got " +
                               Peek().ToString());
   }
@@ -153,6 +154,37 @@ class Parser {
     }
     return Status::ParseError("expected STATS or CLEAR after CACHE, got " +
                               Peek().ToString());
+  }
+
+  // MAINTENANCE STATUS | PAUSE | RESUME | RUN (the subcommands are bare
+  // identifiers, kept unreserved like CACHE CLEAR).
+  Result<Statement> ParseMaintenance() {
+    MaintenanceStatement out;
+    if (Peek().type == TokenType::kIdentifier) {
+      if (AsciiEqualsIgnoreCase(Peek().text, "STATUS")) {
+        Advance();
+        out.what = MaintenanceStatement::What::kStatus;
+        return Statement(std::move(out));
+      }
+      if (AsciiEqualsIgnoreCase(Peek().text, "PAUSE")) {
+        Advance();
+        out.what = MaintenanceStatement::What::kPause;
+        return Statement(std::move(out));
+      }
+      if (AsciiEqualsIgnoreCase(Peek().text, "RESUME")) {
+        Advance();
+        out.what = MaintenanceStatement::What::kResume;
+        return Statement(std::move(out));
+      }
+      if (AsciiEqualsIgnoreCase(Peek().text, "RUN")) {
+        Advance();
+        out.what = MaintenanceStatement::What::kRun;
+        return Statement(std::move(out));
+      }
+    }
+    return Status::ParseError(
+        "expected STATUS, PAUSE, RESUME, or RUN after MAINTENANCE, got " +
+        Peek().ToString());
   }
 
   // SET name = value (value: integer, double, string, or bare word).

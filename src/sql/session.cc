@@ -8,6 +8,7 @@
 
 #include "common/str_util.h"
 #include "core/rewrite.h"
+#include "engine/maintenance.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "plan/delta.h"
@@ -111,8 +112,15 @@ std::string FormatExecResult(const ExecResult& result) {
 }
 
 Session::Session(Options options)
-    : expiration_(options.expiration),
-      views_(&expiration_.db()),
+    : Session(std::make_shared<engine::Engine>(
+                  engine::EngineOptions{options.expiration}),
+              options) {}
+
+Session::Session(std::shared_ptr<engine::Engine> engine)
+    : Session(std::move(engine), Options{}) {}
+
+Session::Session(std::shared_ptr<engine::Engine> engine, Options options)
+    : engine_(std::move(engine)),
       eval_options_(options.eval),
       rewrite_views_(options.rewrite_views) {
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
@@ -206,6 +214,8 @@ Result<ExecResult> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteRunPrepared(s);
         } else if constexpr (std::is_same_v<T, CacheStatement>) {
           return ExecuteCache(s);
+        } else if constexpr (std::is_same_v<T, MaintenanceStatement>) {
+          return ExecuteMaintenance(s);
         } else {
           return ExecuteExplain(s);
         }
@@ -225,23 +235,30 @@ void CollectFromNames(const SelectStatement& stmt,
 }  // namespace
 
 Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
-  const Timestamp now = Now();
+  // View-or-base classification runs before any lock is taken; a DDL
+  // statement racing in between can at worst turn the execution below
+  // into a clean NotFound/bind error (never a torn read — the locks are
+  // held across all data access).
+  ViewManager& views = engine_->views();
 
   // Fast path for the canonical view read, preserving Schrödinger
-  // served-at semantics: SELECT * FROM v.
-  if (stmt.from.size() == 1 && views_.HasView(stmt.from[0].name) &&
+  // served-at semantics: SELECT * FROM v. View reads run under the
+  // engine's exclusive lock: maintenance may rewrite the materialization
+  // in place.
+  if (stmt.from.size() == 1 && views.HasView(stmt.from[0].name) &&
       stmt.items.size() == 1 &&
       stmt.items[0].kind == SelectItem::Kind::kStar &&
       stmt.where == nullptr && stmt.group_by.empty() &&
       stmt.set_op == SelectStatement::SetOp::kNone) {
+    engine::Engine::ExclusiveGuard guard = engine_->LockExclusive();
+    const Timestamp now = Now();
     ExecResult out;
     out.served_at = now;
     EXPDB_ASSIGN_OR_RETURN(
-        Relation rel, views_.Read(stmt.from[0].name, now, &out.served_at));
-    auto names = view_columns_.find(stmt.from[0].name);
-    if (names != view_columns_.end()) {
-      EXPDB_RETURN_NOT_OK(
-          rel.RenameAttributes(UniquifyNames(names->second)));
+        Relation rel, views.Read(stmt.from[0].name, now, &out.served_at));
+    auto names = engine_->GetViewColumns(stmt.from[0].name);
+    if (names.has_value()) {
+      EXPDB_RETURN_NOT_OK(rel.RenameAttributes(UniquifyNames(*names)));
     }
     out.relation = std::move(rel);
     out.message = "view " + stmt.from[0].name;
@@ -252,18 +269,24 @@ Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
   CollectFromNames(stmt, &from_names);
   bool any_view = false;
   for (const std::string& name : from_names) {
-    if (views_.HasView(name)) any_view = true;
+    if (views.HasView(name)) any_view = true;
   }
 
-  // Cached pipeline for base-table-only statements: normalize the literals
-  // away, reuse (or plan once) the skeleton, then try the result cache.
-  // Views bind against a point-in-time scratch catalog whose contents a
-  // delta cursor cannot track, so they take the uncached path below.
+  // Cached pipeline for base-table-only statements: open a read snapshot
+  // over the FROM relations (concurrent writers to them block; writers to
+  // other relations and other readers proceed), then normalize the
+  // literals away, reuse (or plan once) the skeleton, and try the result
+  // cache. Views bind against a point-in-time scratch catalog whose
+  // contents a delta cursor cannot track, so they take the uncached path
+  // below.
   if (!any_view) {
+    engine::Engine::Snapshot snap = engine_->OpenSnapshot(from_names);
+    const Timestamp now = Now();
     EXPDB_ASSIGN_OR_RETURN(NormalizedSelect norm, NormalizeSelect(stmt));
-    const plan::PreparedPlan* skeleton = stmt_cache_.Lookup(norm.fingerprint);
-    plan::PreparedPlan fresh;
-    if (skeleton == nullptr) {
+    std::optional<plan::PreparedPlan> skeleton =
+        engine_->stmt_cache().Lookup(norm.fingerprint);
+    if (!skeleton.has_value()) {
+      plan::PreparedPlan fresh;
       EXPDB_ASSIGN_OR_RETURN(BoundSelect bound,
                              BindSelect(norm.select, db()));
       EXPDB_ASSIGN_OR_RETURN(
@@ -272,14 +295,17 @@ Result<ExecResult> Session::ExecuteSelect(const SelectStatement& stmt) {
       fresh.param_count = norm.args.size();
       fresh.fingerprint = norm.fingerprint;
       fresh.column_names = std::move(bound.column_names);
-      stmt_cache_.Insert(norm.fingerprint, fresh);
-      skeleton = &fresh;
+      engine_->stmt_cache().Insert(norm.fingerprint, fresh);
+      skeleton = std::move(fresh);
     }
     return ExecutePlannedSelect(*skeleton, norm.args, now);
   }
 
   // Uncached path: bind against a scratch catalog holding the referenced
-  // views' current contents.
+  // views' current contents. Exclusive — view reads can rewrite
+  // materializations.
+  engine::Engine::ExclusiveGuard guard = engine_->LockExclusive();
+  const Timestamp now = Now();
   Database scratch;
   EXPDB_ASSIGN_OR_RETURN(const Database* bind_db,
                          ResolveCatalog(stmt, now, &scratch));
@@ -307,10 +333,11 @@ plan::PlannerOptions Session::MakePlannerOptions() const {
 Result<ExecResult> Session::ExecutePlannedSelect(
     const plan::PreparedPlan& prepared, const std::vector<Value>& args,
     Timestamp now) {
+  plan::ResultCache& result_cache = engine_->result_cache();
   const std::string key = plan::ResultCacheKey(prepared.fingerprint, args);
-  if (result_cache_.enabled()) {
+  if (result_cache.enabled()) {
     std::optional<MaterializedResult> cached =
-        result_cache_.Lookup(key, db(), now);
+        result_cache.Lookup(key, db(), now);
     if (cached.has_value()) {
       // Theorems 1–2: letting the materialization expire in place
       // reproduces recomputation at every instant before its texp, so a
@@ -328,7 +355,7 @@ Result<ExecResult> Session::ExecutePlannedSelect(
   // entry could actually be delta-patched later.
   plan::NodeCapture capture;
   plan::NodeCapture* capture_ptr =
-      result_cache_.enabled() && plan::PlanSupportsDelta(*bound, eval_options_)
+      result_cache.enabled() && plan::PlanSupportsDelta(*bound, eval_options_)
           ? &capture
           : nullptr;
   EXPDB_ASSIGN_OR_RETURN(MaterializedResult result,
@@ -340,9 +367,9 @@ Result<ExecResult> Session::ExecutePlannedSelect(
   out.relation = result.relation;
   out.served_at = now;
   out.message = "ok";
-  if (result_cache_.enabled()) {
-    result_cache_.Insert(key, std::move(bound), capture_ptr,
-                         std::move(result), db(), now);
+  if (result_cache.enabled()) {
+    result_cache.Insert(key, std::move(bound), capture_ptr,
+                        std::move(result), db(), now);
   }
   return out;
 }
@@ -353,12 +380,15 @@ Result<ExecResult> Session::ExecutePrepare(const PrepareStatement& stmt) {
   std::set<std::string> from_names;
   CollectFromNames(stmt.select, &from_names);
   for (const std::string& name : from_names) {
-    if (views_.HasView(name)) {
+    if (engine_->views().HasView(name)) {
       return Status::InvalidArgument("PREPARE cannot reference view '" +
                                      name + "'; prepared plans bind to base "
                                      "tables only");
     }
   }
+  // Binding and planning read schemas and statistics: snapshot the FROM
+  // relations for a consistent read.
+  engine::Engine::Snapshot snap = engine_->OpenSnapshot(from_names);
   EXPDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(stmt.select, db()));
   plan::PreparedPlan prepared;
   EXPDB_ASSIGN_OR_RETURN(
@@ -368,8 +398,7 @@ Result<ExecResult> Session::ExecutePrepare(const PrepareStatement& stmt) {
   prepared.fingerprint = FingerprintSelect(stmt.select);
   prepared.column_names = std::move(bound.column_names);
   const size_t params = prepared.param_count;
-  const bool replaced = prepared_.count(stmt.name) > 0;
-  prepared_[stmt.name] = std::move(prepared);
+  const bool replaced = engine_->PutPrepared(stmt.name, std::move(prepared));
   return ExecResult{"statement " + stmt.name +
                         (replaced ? " re-prepared (" : " prepared (") +
                         std::to_string(params) +
@@ -379,74 +408,90 @@ Result<ExecResult> Session::ExecutePrepare(const PrepareStatement& stmt) {
 
 Result<ExecResult> Session::ExecuteRunPrepared(
     const ExecutePreparedStatement& stmt) {
-  auto it = prepared_.find(stmt.name);
-  if (it == prepared_.end()) {
+  std::optional<plan::PreparedPlan> prepared = engine_->GetPrepared(stmt.name);
+  if (!prepared.has_value()) {
     return Status::NotFound("no prepared statement named '" + stmt.name +
                             "'");
   }
-  const plan::PreparedPlan& prepared = it->second;
-  if (stmt.args.size() != prepared.param_count) {
+  if (stmt.args.size() != prepared->param_count) {
     return Status::InvalidArgument(
         "EXECUTE " + stmt.name + " expects " +
-        std::to_string(prepared.param_count) +
-        (prepared.param_count == 1 ? " argument, got " : " arguments, got ") +
+        std::to_string(prepared->param_count) +
+        (prepared->param_count == 1 ? " argument, got "
+                                    : " arguments, got ") +
         std::to_string(stmt.args.size()));
   }
-  return ExecutePlannedSelect(prepared, stmt.args, Now());
+  engine::Engine::Snapshot snap =
+      engine_->OpenSnapshot(prepared->plan->planned_expr()->BaseRelationNames());
+  return ExecutePlannedSelect(*prepared, stmt.args, Now());
 }
 
 Result<ExecResult> Session::ExecuteCache(const CacheStatement& stmt) {
+  plan::StatementCache& stmt_cache = engine_->stmt_cache();
   if (stmt.what == CacheStatement::What::kClear) {
-    stmt_cache_.Clear();
-    result_cache_.Clear();
+    stmt_cache.Clear();
+    engine_->result_cache().Clear();
     return ExecResult{"caches cleared (prepared statements kept)",
                       std::nullopt, Now()};
   }
-  const plan::ResultCache::Stats rs = result_cache_.stats();
+  const plan::ResultCache::Stats rs = engine_->result_cache().stats();
   std::string msg =
-      "statement cache: " + std::to_string(stmt_cache_.size()) +
-      " plans, " + std::to_string(stmt_cache_.hits()) + " hits, " +
-      std::to_string(stmt_cache_.misses()) + " misses";
+      "statement cache: " + std::to_string(stmt_cache.size()) +
+      " plans, " + std::to_string(stmt_cache.hits()) + " hits, " +
+      std::to_string(stmt_cache.misses()) + " misses";
   msg += "\nresult cache: " + std::to_string(rs.entries) + " entries, " +
          std::to_string(rs.bytes) + " / " + std::to_string(rs.max_bytes) +
          " bytes, " + std::to_string(rs.hits) + " hits (" +
          std::to_string(rs.patches) + " patched), " +
          std::to_string(rs.misses) + " misses, " +
          std::to_string(rs.evictions) + " evictions";
-  msg += "\nprepared statements: " + std::to_string(prepared_.size());
+  msg += "\nprepared statements: " + std::to_string(engine_->prepared_count());
   return ExecResult{std::move(msg), std::nullopt, Now()};
 }
 
-void Session::InvalidateCachesFor(const std::string& table) {
-  stmt_cache_.InvalidateBase(table);
-  result_cache_.InvalidateBase(table);
-  for (auto it = prepared_.begin(); it != prepared_.end();) {
-    if (it->second.plan->planned_expr()->BaseRelationNames().count(table) >
-        0) {
-      it = prepared_.erase(it);
-    } else {
-      ++it;
+Result<ExecResult> Session::ExecuteMaintenance(
+    const MaintenanceStatement& stmt) {
+  engine::MaintenanceService& service = engine_->maintenance();
+  switch (stmt.what) {
+    case MaintenanceStatement::What::kStatus:
+      return ExecResult{service.StatusString(), std::nullopt, Now()};
+    case MaintenanceStatement::What::kPause:
+      service.Pause();
+      return ExecResult{"maintenance paused", std::nullopt, Now()};
+    case MaintenanceStatement::What::kResume:
+      service.Resume();
+      return ExecResult{"maintenance resumed (interval " +
+                            std::to_string(service.interval_ms()) + "ms)",
+                        std::nullopt, Now()};
+    case MaintenanceStatement::What::kRun: {
+      const size_t removed = service.RunOnce();
+      return ExecResult{"maintenance pass removed " +
+                            std::to_string(removed) +
+                            (removed == 1 ? " tuple" : " tuples"),
+                        std::nullopt, Now()};
     }
   }
+  return Status::Internal("unknown MAINTENANCE statement");
 }
 
 Result<const Database*> Session::ResolveCatalog(const SelectStatement& stmt,
                                                 Timestamp now,
                                                 Database* scratch) {
+  ViewManager& views = engine_->views();
   std::set<std::string> from_names;
   CollectFromNames(stmt, &from_names);
   bool any_view = false;
   for (const std::string& name : from_names) {
-    if (views_.HasView(name)) any_view = true;
+    if (views.HasView(name)) any_view = true;
   }
   if (!any_view) return &db();
   for (const std::string& name : from_names) {
-    if (views_.HasView(name)) {
-      EXPDB_ASSIGN_OR_RETURN(Relation rel, views_.Read(name, now));
-      auto names_it = view_columns_.find(name);
-      if (names_it != view_columns_.end()) {
+    if (views.HasView(name)) {
+      EXPDB_ASSIGN_OR_RETURN(Relation rel, views.Read(name, now));
+      auto rename = engine_->GetViewColumns(name);
+      if (rename.has_value()) {
         EXPDB_RETURN_NOT_OK(
-            rel.RenameAttributes(UniquifyNames(names_it->second)));
+            rel.RenameAttributes(UniquifyNames(*rename)));
       }
       EXPDB_RETURN_NOT_OK(scratch->PutRelation(name, std::move(rel)));
     } else {
@@ -458,6 +503,9 @@ Result<const Database*> Session::ResolveCatalog(const SelectStatement& stmt,
 }
 
 Result<ExecResult> Session::ExecuteExplain(const ExplainStatement& stmt) {
+  // Exclusive: EXPLAIN may resolve views (rewriting materializations) and
+  // ANALYZE executes the plan against the live catalog.
+  engine::Engine::ExclusiveGuard lock = engine_->LockExclusive();
   const Timestamp now = Now();
   Database scratch;
   EXPDB_ASSIGN_OR_RETURN(const Database* bind_db,
@@ -514,15 +562,25 @@ Result<ExecResult> Session::ExecuteExplain(const ExplainStatement& stmt) {
 Result<ExecResult> Session::ExecuteCreateTable(
     const CreateTableStatement& stmt) {
   EXPDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(stmt.columns));
-  EXPDB_RETURN_NOT_OK(
-      expiration_.CreateRelation(stmt.name, std::move(schema)).status());
+  engine::Engine::ExclusiveGuard lock = engine_->LockExclusive();
+  EXPDB_ASSIGN_OR_RETURN(
+      Relation * rel,
+      engine_->expiration().CreateRelation(stmt.name, std::move(schema)));
+  // Pre-enable delta tracking: view maintenance and the result cache both
+  // need cursors over this relation, and enabling at CREATE time keeps
+  // cursor history anchored at the table's birth.
+  rel->EnableDeltaTracking();
   // A plan cached before this CREATE bound a different (since-dropped)
   // schema under the same name.
-  InvalidateCachesFor(stmt.name);
+  engine_->InvalidateCachesFor(stmt.name);
   return ExecResult{"table " + stmt.name + " created", std::nullopt, Now()};
 }
 
 Result<ExecResult> Session::ExecuteInsert(const InsertStatement& stmt) {
+  // Writer protocol: engine shared + the target relation exclusive.
+  // Readers of other relations and writers to other relations proceed
+  // concurrently; releasing the guard bumps the catalog epoch.
+  engine::Engine::WriteGuard guard = engine_->LockWrite(stmt.table);
   const Timestamp now = Now();
   Timestamp texp = Timestamp::Infinity();
   if (stmt.expire_at.has_value()) {
@@ -533,14 +591,16 @@ Result<ExecResult> Session::ExecuteInsert(const InsertStatement& stmt) {
   size_t inserted = 0;
   for (const std::vector<Value>& row : stmt.rows) {
     Tuple tuple(row);
-    EXPDB_RETURN_NOT_OK(constraints_.CheckInsert(stmt.table, tuple));
     EXPDB_RETURN_NOT_OK(
-        expiration_.Insert(stmt.table, std::move(tuple), texp));
+        engine_->constraints().CheckInsert(stmt.table, tuple));
+    EXPDB_RETURN_NOT_OK(
+        engine_->expiration().Insert(stmt.table, std::move(tuple), texp));
     ++inserted;
   }
   // Explicit inserts break views' expiration-only maintenance contract;
-  // mark dependents stale (they rebuild at their next read).
-  views_.NotifyBaseChanged(stmt.table);
+  // mark dependents stale (they rebuild at their next read). Thread-safe
+  // under the engine's shared lock.
+  engine_->views().NotifyBaseChanged(stmt.table);
   std::string lifetime =
       texp.IsInfinite() ? std::string("no expiration")
                         : ("expire at " + texp.ToString());
@@ -553,6 +613,7 @@ Result<ExecResult> Session::ExecuteInsert(const InsertStatement& stmt) {
 
 Result<ExecResult> Session::ExecuteCreateView(
     const CreateViewStatement& stmt) {
+  engine::Engine::ExclusiveGuard lock = engine_->LockExclusive();
   EXPDB_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(stmt.select, db()));
   if (rewrite_views_) {
     // Sec. 3.1: push selections below non-monotonic operators so the
@@ -564,8 +625,8 @@ Result<ExecResult> Session::ExecuteCreateView(
                          ViewOptionsFrom(stmt.options, eval_options_));
   EXPDB_ASSIGN_OR_RETURN(
       MaterializedView * view,
-      views_.CreateView(stmt.name, bound.expr, options, Now()));
-  view_columns_[stmt.name] = bound.column_names;
+      engine_->views().CreateView(stmt.name, bound.expr, options, Now()));
+  engine_->SetViewColumns(stmt.name, bound.column_names);
   std::string monotonic =
       bound.expr->IsMonotonic()
           ? "monotonic: maintenance-free"
@@ -577,14 +638,16 @@ Result<ExecResult> Session::ExecuteCreateView(
 }
 
 Result<ExecResult> Session::ExecuteDrop(const DropStatement& stmt) {
+  engine::Engine::ExclusiveGuard lock = engine_->LockExclusive();
+  ViewManager& views = engine_->views();
   if (stmt.is_view) {
-    EXPDB_RETURN_NOT_OK(views_.DropView(stmt.name));
-    view_columns_.erase(stmt.name);
+    EXPDB_RETURN_NOT_OK(views.DropView(stmt.name));
+    engine_->EraseViewColumns(stmt.name);
     return ExecResult{"view " + stmt.name + " dropped", std::nullopt, Now()};
   }
   // A table with dependent views cannot be dropped out from under them.
-  for (const std::string& vname : views_.ViewNames()) {
-    MaterializedView* view = views_.GetView(vname).value();
+  for (const std::string& vname : views.ViewNames()) {
+    MaterializedView* view = views.GetView(vname).value();
     if (view->expression()->BaseRelationNames().count(stmt.name) > 0) {
       return Status::InvalidArgument("table " + stmt.name +
                                      " is used by view " + vname +
@@ -592,23 +655,29 @@ Result<ExecResult> Session::ExecuteDrop(const DropStatement& stmt) {
     }
   }
   EXPDB_RETURN_NOT_OK(db().DropRelation(stmt.name));
-  InvalidateCachesFor(stmt.name);
+  engine_->InvalidateCachesFor(stmt.name);
   return ExecResult{"table " + stmt.name + " dropped", std::nullopt, Now()};
 }
 
 Result<ExecResult> Session::ExecuteAdvance(const AdvanceStatement& stmt) {
+  // ADVANCE TIME mutates arbitrary relations (eager drains, lazy
+  // compaction) and refreshes views: total isolation.
+  engine::Engine::ExclusiveGuard lock = engine_->LockExclusive();
+  ExpirationManager& expiration = engine_->expiration();
   if (stmt.absolute) {
-    EXPDB_RETURN_NOT_OK(expiration_.AdvanceTo(Timestamp(stmt.amount)));
+    EXPDB_RETURN_NOT_OK(expiration.AdvanceTo(Timestamp(stmt.amount)));
   } else {
-    EXPDB_RETURN_NOT_OK(expiration_.Advance(stmt.amount));
+    EXPDB_RETURN_NOT_OK(expiration.Advance(stmt.amount));
   }
-  EXPDB_RETURN_NOT_OK(views_.AdvanceAllTo(Now()));
+  EXPDB_RETURN_NOT_OK(engine_->views().AdvanceAllTo(Now()));
   return ExecResult{"time is " + Now().ToString(), std::nullopt, Now()};
 }
 
 Result<ExecResult> Session::ExecuteShow(const ShowStatement& stmt) {
   switch (stmt.what) {
     case ShowStatement::What::kTables: {
+      // Catalog-wide consistent read: snapshot every relation.
+      engine::Engine::Snapshot snap = engine_->OpenSnapshotAll();
       std::string msg = "tables:";
       for (const std::string& name : db().RelationNames()) {
         const Relation* rel = db().GetRelation(name).value();
@@ -618,9 +687,15 @@ Result<ExecResult> Session::ExecuteShow(const ShowStatement& stmt) {
       return ExecResult{std::move(msg), std::nullopt, Now()};
     }
     case ShowStatement::What::kViews: {
+      // View metadata only (no base-table access): the engine's shared
+      // lock keeps DDL and maintenance out while the list renders.
+      engine::Engine::Snapshot snap = engine_->OpenSnapshot({});
+      ViewManager& views = engine_->views();
       std::string msg = "views:";
-      for (const std::string& name : views_.ViewNames()) {
-        MaterializedView* v = views_.GetView(name).value();
+      for (const std::string& name : views.ViewNames()) {
+        auto view = views.GetView(name);
+        if (!view.ok()) continue;  // dropped between list and lookup
+        MaterializedView* v = view.value();
         msg += "\n  " + name + " [" +
                std::string(RefreshModeToString(v->mode())) +
                ", texp = " + v->texp().ToString() + "] " +
@@ -635,6 +710,7 @@ Result<ExecResult> Session::ExecuteShow(const ShowStatement& stmt) {
 }
 
 Result<ExecResult> Session::ExecuteDelete(const DeleteStatement& stmt) {
+  engine::Engine::WriteGuard guard = engine_->LockWrite(stmt.table);
   EXPDB_ASSIGN_OR_RETURN(Relation * rel, db().GetRelation(stmt.table));
   std::optional<Predicate> pred;
   if (stmt.where != nullptr) {
@@ -650,7 +726,7 @@ Result<ExecResult> Session::ExecuteDelete(const DeleteStatement& stmt) {
       ++deleted;
     }
   }
-  if (deleted > 0) views_.NotifyBaseChanged(stmt.table);
+  if (deleted > 0) engine_->views().NotifyBaseChanged(stmt.table);
   return ExecResult{std::to_string(deleted) +
                         (deleted == 1 ? " row" : " rows") + " deleted from " +
                         stmt.table,
@@ -750,6 +826,20 @@ Result<bool> ParseOnOff(const Value& v, const std::string& name) {
                                  v.ToString() + "'");
 }
 
+/// Shared validation for every integer-valued setting: rejects
+/// non-integers (strings, doubles) and negative values with one uniform,
+/// value-echoing error shape. `meaning` completes the sentence "expects
+/// a non-negative integer ...".
+Result<int64_t> ExpectNonNegativeInt(const SetStatement& stmt,
+                                     const std::string& meaning) {
+  if (!stmt.value.is_int64() || stmt.value.AsInt64() < 0) {
+    return Status::InvalidArgument(
+        "SET " + stmt.name + " expects a non-negative integer " + meaning +
+        ", got '" + stmt.value.ToString() + "'");
+  }
+  return stmt.value.AsInt64();
+}
+
 }  // namespace
 
 Result<ExecResult> Session::ExecuteSet(const SetStatement& stmt) {
@@ -758,26 +848,27 @@ Result<ExecResult> Session::ExecuteSet(const SetStatement& stmt) {
       slow_query_threshold_ns_ = -1;
       return ExecResult{"slow_query_ns off", std::nullopt, Now()};
     }
-    if (!stmt.value.is_int64() || stmt.value.AsInt64() < 0) {
-      return Status::InvalidArgument(
-          "SET slow_query_ns expects a non-negative integer nanosecond "
-          "threshold or off");
-    }
-    slow_query_threshold_ns_ = stmt.value.AsInt64();
+    EXPDB_ASSIGN_OR_RETURN(
+        slow_query_threshold_ns_,
+        ExpectNonNegativeInt(stmt, "nanosecond threshold (or off)"));
   } else if (stmt.name == "parallelism") {
-    if (!stmt.value.is_int64() || stmt.value.AsInt64() < 0) {
-      return Status::InvalidArgument(
-          "SET parallelism expects a non-negative integer (0 = hardware "
-          "concurrency)");
-    }
-    eval_options_.parallelism = static_cast<size_t>(stmt.value.AsInt64());
+    EXPDB_ASSIGN_OR_RETURN(
+        const int64_t n,
+        ExpectNonNegativeInt(stmt, "(0 = hardware concurrency)"));
+    eval_options_.parallelism = static_cast<size_t>(n);
   } else if (stmt.name == "result_cache_bytes") {
-    if (!stmt.value.is_int64() || stmt.value.AsInt64() < 0) {
-      return Status::InvalidArgument(
-          "SET result_cache_bytes expects a non-negative byte budget (0 "
-          "disables the result cache)");
-    }
-    result_cache_.set_max_bytes(static_cast<size_t>(stmt.value.AsInt64()));
+    EXPDB_ASSIGN_OR_RETURN(
+        const int64_t bytes,
+        ExpectNonNegativeInt(stmt,
+                             "byte budget (0 disables the result cache)"));
+    engine_->result_cache().set_max_bytes(static_cast<size_t>(bytes));
+  } else if (stmt.name == "maintenance_interval_ms") {
+    EXPDB_ASSIGN_OR_RETURN(
+        const int64_t ms,
+        ExpectNonNegativeInt(stmt, "millisecond interval"));
+    // Configuring a cadence starts the background service (0 is clamped
+    // to the 1ms minimum inside the service).
+    engine_->maintenance().set_interval_ms(ms);
   } else if (stmt.name == "event_log") {
     EXPDB_ASSIGN_OR_RETURN(bool on, ParseOnOff(stmt.value, "event_log"));
     obs::EventLog::Global().set_enabled(on);
@@ -803,7 +894,7 @@ Result<ExecResult> Session::ExecuteSet(const SetStatement& stmt) {
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
         "' (expected slow_query_ns, parallelism, result_cache_bytes, "
-        "event_log, event_log_path)");
+        "maintenance_interval_ms, event_log, event_log_path)");
   }
   return ExecResult{"set " + stmt.name + " = " + stmt.value.ToString(),
                     std::nullopt, Now()};

@@ -1,14 +1,16 @@
-// Session: an embedded ExpSQL endpoint — a database with expiration
-// management, materialized views, and a statement executor.
+// Session: an embedded ExpSQL endpoint — a statement executor bound to a
+// shared engine (database + expiration management + materialized views).
 
 #ifndef EXPDB_SQL_SESSION_H_
 #define EXPDB_SQL_SESSION_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "engine/engine.h"
 #include "expiration/constraint.h"
 #include "expiration/expiration_queue.h"
 #include "obs/metrics.h"
@@ -40,6 +42,17 @@ std::string FormatExecResult(const ExecResult& result);
 /// and never mention expiration. Expiration surfaces only in INSERT
 /// (EXPIRE AT / TTL), ADVANCE TIME, and triggers — exactly the paper's
 /// interface contract.
+///
+/// Concurrency (docs/CONCURRENCY.md): sessions sharing one
+/// engine::Engine may Execute concurrently from different threads. Each
+/// statement acquires the engine locks it needs — SELECTs over base
+/// tables open a read Snapshot, INSERT/DELETE take the target relation's
+/// writer lock, DDL / ADVANCE TIME / view reads take the engine
+/// exclusively. A single Session object itself is not a synchronization
+/// domain: use one Session per thread (settings like SET parallelism are
+/// session-local and unsynchronized). Constraint registration via
+/// constraints() is a setup-time operation — do it before going
+/// concurrent.
 class Session {
  public:
   struct Options {
@@ -51,7 +64,16 @@ class Session {
   };
 
   Session() : Session(Options{}) {}
+
+  /// \brief A standalone session owning a private engine (the embedded
+  /// single-user setup every example and most tests use).
   explicit Session(Options options);
+
+  /// \brief A session attached to a shared engine. `options.expiration`
+  /// is ignored (the engine already owns its database); eval/rewrite
+  /// knobs stay per-session.
+  Session(std::shared_ptr<engine::Engine> engine, Options options);
+  explicit Session(std::shared_ptr<engine::Engine> engine);
 
   /// \brief Parses and executes one statement.
   Result<ExecResult> Execute(const std::string& statement);
@@ -59,12 +81,16 @@ class Session {
   /// \brief Executes a ';'-separated script; stops at the first error.
   Result<std::vector<ExecResult>> ExecuteScript(const std::string& script);
 
-  Database& db() { return expiration_.db(); }
-  const Database& db() const { return expiration_.db(); }
-  Timestamp Now() const { return expiration_.Now(); }
-  ExpirationManager& expiration() { return expiration_; }
-  ViewManager& views() { return views_; }
-  ConstraintSet& constraints() { return constraints_; }
+  Database& db() { return engine_->db(); }
+  const Database& db() const { return engine_->db(); }
+  Timestamp Now() const { return engine_->Now(); }
+  ExpirationManager& expiration() { return engine_->expiration(); }
+  ViewManager& views() { return engine_->views(); }
+  ConstraintSet& constraints() { return engine_->constraints(); }
+  engine::Engine& engine() { return *engine_; }
+  const std::shared_ptr<engine::Engine>& engine_ptr() const {
+    return engine_;
+  }
 
  private:
   /// Executes one parsed statement with the sql.statement span and the
@@ -86,6 +112,7 @@ class Session {
   Result<ExecResult> ExecutePrepare(const PrepareStatement& stmt);
   Result<ExecResult> ExecuteRunPrepared(const ExecutePreparedStatement& stmt);
   Result<ExecResult> ExecuteCache(const CacheStatement& stmt);
+  Result<ExecResult> ExecuteMaintenance(const MaintenanceStatement& stmt);
 
   /// The planner options every facade execution path uses: the session's
   /// EvalOptions, expiration-aware optimizations on, Sec. 3.1 rewrites
@@ -96,39 +123,25 @@ class Session {
   /// The shared tail of every cached execution (normalized SELECT and
   /// EXECUTE): result-cache lookup, then on a miss InstantiatePlan +
   /// ExecutePlan (capturing node state when the plan is
-  /// incrementalizable) and a result-cache fill.
+  /// incrementalizable) and a result-cache fill. The caller must hold a
+  /// Snapshot covering the plan's base relations.
   Result<ExecResult> ExecutePlannedSelect(const plan::PreparedPlan& prepared,
                                           const std::vector<Value>& args,
                                           Timestamp now);
 
-  /// DDL on `table`: drops dependent entries from both cache tiers and
-  /// every prepared statement reading it.
-  void InvalidateCachesFor(const std::string& table);
-
   /// When `stmt` references views, fills `scratch` with the referenced
   /// views' current contents (renamed to their declared columns) plus
   /// copies of the referenced base tables, and returns `scratch`;
-  /// otherwise returns the live database. Shared by SELECT and EXPLAIN.
+  /// otherwise returns the live database. Shared by SELECT and EXPLAIN,
+  /// both under the engine's exclusive lock.
   Result<const Database*> ResolveCatalog(const SelectStatement& stmt,
                                          Timestamp now, Database* scratch);
 
-  ExpirationManager expiration_;
-  ViewManager views_;
-  ConstraintSet constraints_;
+  /// The engine this session executes against. Private to this session
+  /// for the Options ctor; shared between sessions for the engine ctor.
+  std::shared_ptr<engine::Engine> engine_;
   EvalOptions eval_options_;
   bool rewrite_views_ = true;
-  /// Output column names recorded at CREATE VIEW time, applied when the
-  /// view is read back.
-  std::map<std::string, std::vector<std::string>> view_columns_;
-  /// Tier 1: parameterized plan skeletons keyed by normalized statement
-  /// fingerprint (docs/PERFORMANCE.md §7).
-  plan::StatementCache stmt_cache_;
-  /// Tier 2: expiration-stamped materialized results.
-  plan::ResultCache result_cache_;
-  /// PREPARE name AS SELECT ... — explicit prepared statements. Distinct
-  /// from the fingerprint-keyed statement cache (names are user-chosen;
-  /// re-PREPARE replaces silently).
-  std::map<std::string, plan::PreparedPlan> prepared_;
   // Process-wide SQL metrics (registry-owned; see docs/OBSERVABILITY.md).
   obs::Counter* statements_metric_;
   obs::Counter* errors_metric_;

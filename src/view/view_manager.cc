@@ -18,6 +18,7 @@ Result<MaterializedView*> ViewManager::CreateView(
   if (name.empty()) {
     return Status::InvalidArgument("view name must not be empty");
   }
+  std::lock_guard<std::mutex> guard(mu_);
   if (views_.find(name) != views_.end()) {
     return Status::AlreadyExists("view '" + name + "' already exists");
   }
@@ -36,6 +37,11 @@ Result<MaterializedView*> ViewManager::CreateView(
 }
 
 Result<MaterializedView*> ViewManager::GetView(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return GetViewLocked(name);
+}
+
+Result<MaterializedView*> ViewManager::GetViewLocked(const std::string& name) {
   auto it = views_.find(name);
   if (it == views_.end()) {
     return Status::NotFound("no view named '" + name + "'");
@@ -44,6 +50,7 @@ Result<MaterializedView*> ViewManager::GetView(const std::string& name) {
 }
 
 Status ViewManager::DropView(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = views_.find(name);
   if (it == views_.end()) {
     return Status::NotFound("no view named '" + name + "'");
@@ -63,6 +70,7 @@ Status ViewManager::DropView(const std::string& name) {
 
 size_t ViewManager::NotifyBaseChanged(const std::string& relation) {
   notifications_.Increment();
+  std::lock_guard<std::mutex> guard(mu_);
   auto rit = views_by_relation_.find(relation);
   if (rit == views_by_relation_.end()) return 0;
   size_t affected = 0;
@@ -77,12 +85,14 @@ size_t ViewManager::NotifyBaseChanged(const std::string& relation) {
 
 std::vector<std::string> ViewManager::DependentViews(
     const std::string& relation) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto rit = views_by_relation_.find(relation);
   if (rit == views_by_relation_.end()) return {};
   return std::vector<std::string>(rit->second.begin(), rit->second.end());
 }
 
 Status ViewManager::AdvanceAllTo(Timestamp now) {
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& [name, view] : views_) {
     EXPDB_RETURN_NOT_OK(view->AdvanceTo(*db_, now));
   }
@@ -91,11 +101,13 @@ Status ViewManager::AdvanceAllTo(Timestamp now) {
 
 Result<Relation> ViewManager::Read(const std::string& name, Timestamp now,
                                    Timestamp* served_at) {
-  EXPDB_ASSIGN_OR_RETURN(MaterializedView * view, GetView(name));
+  std::lock_guard<std::mutex> guard(mu_);
+  EXPDB_ASSIGN_OR_RETURN(MaterializedView * view, GetViewLocked(name));
   return view->Read(*db_, now, served_at);
 }
 
 std::vector<std::string> ViewManager::ViewNames() const {
+  std::lock_guard<std::mutex> guard(mu_);
   std::vector<std::string> names;
   names.reserve(views_.size());
   for (const auto& [name, view] : views_) names.push_back(name);
@@ -103,6 +115,7 @@ std::vector<std::string> ViewManager::ViewNames() const {
 }
 
 ViewStats ViewManager::TotalStats() const {
+  std::lock_guard<std::mutex> guard(mu_);
   ViewStats total;
   for (const auto& [name, view] : views_) {
     const ViewStats s = view->stats();

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -18,6 +19,17 @@ namespace expdb {
 ///
 /// The database is borrowed; it must outlive the manager. Time flows only
 /// forward and is shared by all views via AdvanceAllTo.
+///
+/// Thread-safety (engine protocol, docs/CONCURRENCY.md): the catalog maps
+/// and each view's stale flag are guarded by an internal mutex, so
+/// NotifyBaseChanged may be called by concurrent DML writers (which hold
+/// only the engine's shared lock) while other sessions consult
+/// HasView/ViewNames. Operations that read or rewrite view *bodies*
+/// against the database — CreateView, DropView, AdvanceAllTo, Read — must
+/// run under the engine's exclusive lock; the internal mutex alone does
+/// not protect the underlying base relations. Returned MaterializedView
+/// pointers stay valid only while the caller's engine lock keeps DropView
+/// out.
 class ViewManager {
  public:
   explicit ViewManager(const Database* db);
@@ -37,6 +49,7 @@ class ViewManager {
   Status DropView(const std::string& name);
 
   bool HasView(const std::string& name) const {
+    std::lock_guard<std::mutex> guard(mu_);
     return views_.find(name) != views_.end();
   }
 
@@ -67,13 +80,23 @@ class ViewManager {
                         Timestamp* served_at = nullptr);
 
   std::vector<std::string> ViewNames() const;
-  size_t view_count() const { return views_.size(); }
+  size_t view_count() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return views_.size();
+  }
 
   /// \brief Sum of all views' maintenance counters.
   ViewStats TotalStats() const;
 
  private:
+  /// Unlocked body of GetView, for internal use while mu_ is held.
+  Result<MaterializedView*> GetViewLocked(const std::string& name);
+
   const Database* db_;
+  /// Guards views_, views_by_relation_, and stale-marking. A leaf in the
+  /// lock order: acquired after the engine and relation locks, and no
+  /// further lock is taken while held (docs/CONCURRENCY.md).
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<MaterializedView>> views_;
   /// Inverted dependency index: base relation → names of the views whose
   /// expressions read it. Maintained by CreateView/DropView; used by

@@ -1,0 +1,172 @@
+// MaintenanceService tests: synchronous passes, the background thread as
+// the sole agent of physical removal under lazy expiration, and the
+// MAINTENANCE SQL surface (docs/CONCURRENCY.md).
+
+#include "engine/maintenance.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace engine {
+namespace {
+
+sql::ExecResult MustExec(sql::Session& s, const std::string& stmt) {
+  auto r = s.Execute(stmt);
+  EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : sql::ExecResult{};
+}
+
+/// An engine under lazy removal with automatic compaction disabled: only
+/// an explicit Compact — i.e. a maintenance pass — physically removes.
+std::shared_ptr<Engine> LazyEngine() {
+  EngineOptions options;
+  options.expiration.policy = RemovalPolicy::kLazy;
+  options.expiration.lazy_compaction_threshold = 0;  // disables auto-compact
+  return std::make_shared<Engine>(options);
+}
+
+/// Physical tuple count of `name`, read race-free under a snapshot.
+size_t PhysicalSize(Engine& eng, const std::string& name) {
+  Engine::Snapshot snap = eng.OpenSnapshot({name});
+  auto rel = eng.db().GetRelation(name);
+  return rel.ok() ? rel.value()->size() : 0;
+}
+
+TEST(MaintenanceTest, RunOnceCompactsLazilyExpiredTuples) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3) TTL 5");
+  MustExec(s, "INSERT INTO t VALUES (4) EXPIRE NEVER");
+  MustExec(s, "ADVANCE TIME 10");
+
+  // Lazy policy with auto-compaction disabled: the expired tuples are
+  // invisible to queries but still physically stored.
+  EXPECT_EQ(PhysicalSize(*eng, "t"), 4u);
+
+  EXPECT_EQ(eng->maintenance().RunOnce(), 3u);
+  EXPECT_EQ(PhysicalSize(*eng, "t"), 1u);
+  EXPECT_EQ(eng->maintenance().tuples_removed(), 3u);
+  EXPECT_GE(eng->maintenance().runs(), 1u);
+}
+
+// The acceptance-criteria scenario: a session inserts expiring tuples
+// and advances time; no session ever calls RemoveExpired/Compact, yet a
+// query loop observes the expired tuples physically disappear because
+// the background MaintenanceService removes them.
+TEST(MaintenanceTest, BackgroundThreadAloneRemovesExpiredTuples) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3) TTL 5");
+  MustExec(s, "INSERT INTO t VALUES (4) EXPIRE NEVER");
+  MustExec(s, "ADVANCE TIME 10");
+  ASSERT_EQ(PhysicalSize(*eng, "t"), 4u);
+
+  // Configuring a cadence starts the service.
+  MustExec(s, "SET maintenance_interval_ms = 2");
+  EXPECT_TRUE(eng->maintenance().running());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  size_t physical = PhysicalSize(*eng, "t");
+  while (physical != 1 && std::chrono::steady_clock::now() < deadline) {
+    // The query loop: reads stay correct throughout (expired tuples are
+    // invisible whether or not they are still stored).
+    EXPECT_EQ(MustExec(s, "SELECT * FROM t")
+                  .relation->CountUnexpiredAt(s.Now()),
+              1u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    physical = PhysicalSize(*eng, "t");
+  }
+  EXPECT_EQ(physical, 1u);
+  EXPECT_EQ(eng->maintenance().tuples_removed(), 3u);
+
+  eng->maintenance().Stop();
+  EXPECT_FALSE(eng->maintenance().running());
+}
+
+TEST(MaintenanceTest, PauseSkipsPassesUntilResume) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  eng->maintenance().set_interval_ms(1);
+  ASSERT_TRUE(eng->maintenance().running());
+
+  eng->maintenance().Pause();
+  EXPECT_TRUE(eng->maintenance().paused());
+  const uint64_t runs_at_pause = eng->maintenance().runs();
+
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 2");
+  MustExec(s, "ADVANCE TIME 5");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Paused: no new passes, the expired tuple stays stored.
+  EXPECT_EQ(eng->maintenance().runs(), runs_at_pause);
+  EXPECT_EQ(PhysicalSize(*eng, "t"), 1u);
+
+  eng->maintenance().Resume();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (PhysicalSize(*eng, "t") != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(PhysicalSize(*eng, "t"), 0u);
+}
+
+TEST(MaintenanceTest, SqlSurface) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2) TTL 5");
+  MustExec(s, "ADVANCE TIME 10");
+
+  auto status = MustExec(s, "MAINTENANCE STATUS");
+  EXPECT_NE(status.message.find("maintenance: stopped"), std::string::npos)
+      << status.message;
+
+  auto run = MustExec(s, "MAINTENANCE RUN");
+  EXPECT_NE(run.message.find("removed 2 tuples"), std::string::npos)
+      << run.message;
+
+  MustExec(s, "MAINTENANCE RESUME");
+  EXPECT_TRUE(eng->maintenance().running());
+  status = MustExec(s, "MAINTENANCE STATUS");
+  EXPECT_NE(status.message.find("running"), std::string::npos)
+      << status.message;
+
+  MustExec(s, "MAINTENANCE PAUSE");
+  EXPECT_TRUE(eng->maintenance().paused());
+  status = MustExec(s, "MAINTENANCE STATUS");
+  EXPECT_NE(status.message.find("paused"), std::string::npos)
+      << status.message;
+
+  auto bad = s.Execute("MAINTENANCE FROBNICATE");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("STATUS, PAUSE, RESUME, or RUN"),
+            std::string::npos)
+      << bad.status().ToString();
+}
+
+TEST(MaintenanceTest, SetIntervalClampsAndReconfigures) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "SET maintenance_interval_ms = 7");
+  EXPECT_EQ(eng->maintenance().interval_ms(), 7);
+  EXPECT_TRUE(eng->maintenance().running());
+  // 0 is clamped to the 1ms minimum rather than busy-spinning.
+  MustExec(s, "SET maintenance_interval_ms = 0");
+  EXPECT_EQ(eng->maintenance().interval_ms(), 1);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace expdb

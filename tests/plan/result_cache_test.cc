@@ -194,11 +194,11 @@ TEST_F(ResultCacheTest, StatementCacheLruAndInvalidation) {
   };
   cache.Insert("a", prepared("a"));
   cache.Insert("b", prepared("b"));
-  EXPECT_NE(cache.Lookup("a"), nullptr);  // refreshes a over b
-  cache.Insert("c", prepared("c"));       // evicts b (LRU)
-  EXPECT_EQ(cache.Lookup("b"), nullptr);
-  EXPECT_NE(cache.Lookup("a"), nullptr);
-  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_TRUE(cache.Lookup("a").has_value());  // refreshes a over b
+  cache.Insert("c", prepared("c"));            // evicts b (LRU)
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
   // Every skeleton reads R: DDL on R empties the cache.
   cache.InvalidateBase("R");
   EXPECT_EQ(cache.size(), 0u);

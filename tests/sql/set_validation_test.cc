@@ -1,0 +1,73 @@
+// SET-knob validation: every integer-valued setting rejects negative and
+// non-numeric values with a uniform error that echoes the offending
+// value (docs/SQL.md).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/maintenance.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace sql {
+namespace {
+
+void ExpectRejected(Session& s, const std::string& stmt,
+                    const std::string& echoed_value) {
+  auto r = s.Execute(stmt);
+  ASSERT_FALSE(r.ok()) << stmt << " unexpectedly succeeded";
+  const std::string msg = r.status().ToString();
+  EXPECT_NE(msg.find("non-negative integer"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(echoed_value), std::string::npos)
+      << msg << " does not echo " << echoed_value;
+}
+
+TEST(SetValidationTest, RejectsNegativeValues) {
+  Session s;
+  ExpectRejected(s, "SET slow_query_ns = -5", "-5");
+  ExpectRejected(s, "SET parallelism = -1", "-1");
+  ExpectRejected(s, "SET result_cache_bytes = -1024", "-1024");
+  ExpectRejected(s, "SET maintenance_interval_ms = -10", "-10");
+}
+
+TEST(SetValidationTest, RejectsNonNumericValues) {
+  Session s;
+  ExpectRejected(s, "SET slow_query_ns = fast", "fast");
+  ExpectRejected(s, "SET parallelism = 'many'", "many");
+  ExpectRejected(s, "SET result_cache_bytes = huge", "huge");
+  ExpectRejected(s, "SET maintenance_interval_ms = soon", "soon");
+}
+
+TEST(SetValidationTest, RejectsFractionalValues) {
+  Session s;
+  ExpectRejected(s, "SET slow_query_ns = 1.5", "1.5");
+  ExpectRejected(s, "SET parallelism = 2.5", "2.5");
+  ExpectRejected(s, "SET result_cache_bytes = 0.5", "0.5");
+  ExpectRejected(s, "SET maintenance_interval_ms = 3.5", "3.5");
+}
+
+TEST(SetValidationTest, AcceptsValidValues) {
+  Session s;
+  EXPECT_TRUE(s.Execute("SET slow_query_ns = 1000").ok());
+  EXPECT_TRUE(s.Execute("SET slow_query_ns = off").ok());
+  EXPECT_TRUE(s.Execute("SET parallelism = 0").ok());
+  EXPECT_TRUE(s.Execute("SET result_cache_bytes = 0").ok());
+  EXPECT_TRUE(s.Execute("SET result_cache_bytes = 65536").ok());
+  EXPECT_TRUE(s.Execute("SET maintenance_interval_ms = 50").ok());
+  s.engine().maintenance().Stop();  // the SET above started the thread
+}
+
+TEST(SetValidationTest, UnknownSettingListsTheKnownOnes) {
+  Session s;
+  auto r = s.Execute("SET warp_speed = 9");
+  ASSERT_FALSE(r.ok());
+  const std::string msg = r.status().ToString();
+  EXPECT_NE(msg.find("unknown setting 'warp_speed'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("maintenance_interval_ms"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace expdb
