@@ -1,0 +1,152 @@
+// Expiration-partitioned storage (claim C14): scans skip expired data at
+// segment granularity, and expiration drains whole segments in O(1) each.
+//
+// Two axes:
+//
+//   ScanExpired/(n, expired%, segmented)
+//     A full scan of n tuples with the given fraction already expired at
+//     scan time. Flat storage pays the per-tuple `texp > τ` check for
+//     every stored tuple, dead or alive; segmented storage compares
+//     segment bounds against τ once, copies fully-live segments without
+//     per-tuple checks, and never touches fully-expired ones. The claim:
+//     ≥2× at ≥50% expired, growing with the expired fraction.
+//
+//   ExpirationDrain/(n, survivors)
+//     Physically remove every expired tuple from an n-tuple relation with
+//     the given survivor count. Flat storage straddles (one segment holds
+//     dead and live alike), so the drain swap-erases tuple by tuple and
+//     re-derives bounds over survivors — O(n). Segmented storage drops
+//     the fully-expired segments whole — O(segments + straddler width),
+//     independent of how many survivors sit above the horizon.
+//
+// Texps are uniform over [1, 1024], so with the default bucket geometry
+// an expired fraction f turns into ~f of the segments being fully
+// expired plus one straddler. See EXPERIMENTS.md C14 and
+// docs/PERFORMANCE.md §8.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "common/rng.h"
+#include "core/eval.h"
+#include "relational/database.h"
+
+namespace {
+
+using namespace expdb;
+
+constexpr int64_t kHorizon = 1024;
+
+Schema TwoInts() {
+  return Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+}
+
+/// n distinct tuples, texps uniform over [1, kHorizon].
+Relation MakeRelation(int64_t n, bool segmented) {
+  Relation r(TwoInts());
+  if (segmented) r.SetSegmented();
+  r.Reserve(static_cast<size_t>(n));
+  Rng rng(7);
+  for (int64_t i = 0; i < n; ++i) {
+    r.InsertUnchecked(Tuple{i, i % 97},
+                      Timestamp(rng.UniformInt(1, kHorizon)));
+  }
+  return r;
+}
+
+void BM_ScanExpired(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t expired_pct = state.range(1);
+  const bool segmented = state.range(2) != 0;
+
+  Database db;
+  if (db.PutRelation("R", MakeRelation(n, segmented)).ok() && segmented) {
+    // PutRelation registers flat storage; flip the stored copy.
+    db.GetRelation("R").value()->SetSegmented();
+  }
+  const Timestamp tau(expired_pct * kHorizon / 100);
+  const ExpressionPtr scan = algebra::Base("R");
+
+  size_t live = 0;
+  for (auto _ : state) {
+    auto result = Evaluate(scan, db, tau);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    live = result->relation.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["live_tuples"] =
+      benchmark::Counter(static_cast<double>(live));
+  state.counters["stored_tuples_per_s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel((segmented ? "segmented, " : "flat,      ") +
+                 std::to_string(expired_pct) + "% expired");
+}
+
+void BM_ExpirationDrain(benchmark::State& state) {
+  const int64_t survivors = state.range(0);
+  const bool segmented = state.range(1) != 0;
+  // Fixed dead set, variable survivor count: the flat drain scales with
+  // survivors (it rebuilds the lone segment around them); the segment
+  // drain does not (survivor segments are never touched).
+  const int64_t dead = 1 << 14;
+
+  Relation templ(TwoInts());
+  if (segmented) templ.SetSegmented();
+  templ.Reserve(static_cast<size_t>(dead + survivors));
+  Rng rng(11);
+  for (int64_t i = 0; i < dead; ++i) {
+    templ.InsertUnchecked(Tuple{i, 0},
+                          Timestamp(rng.UniformInt(1, kHorizon)));
+  }
+  for (int64_t i = 0; i < survivors; ++i) {
+    templ.InsertUnchecked(
+        Tuple{dead + i, 1},
+        Timestamp(kHorizon + rng.UniformInt(1, kHorizon)));
+  }
+
+  size_t removed = 0;
+  std::optional<Relation> victim;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Fresh copy each round, built (and the previous round's survivors
+    // torn down) off the clock: the timed region is the drain alone.
+    victim.emplace(templ);
+    state.ResumeTiming();
+    removed = victim->DropExpired(Timestamp(kHorizon)).tuples;
+    benchmark::DoNotOptimize(*victim);
+  }
+  state.counters["removed"] =
+      benchmark::Counter(static_cast<double>(removed));
+  state.SetLabel((segmented ? "segmented, " : "flat,      ") +
+                 std::to_string(survivors) + " survivors");
+}
+
+void ScanArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {int64_t{1} << 14, int64_t{1} << 17}) {
+    for (int64_t pct : {0, 50, 90}) {
+      for (int64_t segmented : {0, 1}) {
+        b->Args({n, pct, segmented});
+      }
+    }
+  }
+}
+
+void DrainArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t survivors :
+       {int64_t{0}, int64_t{1} << 12, int64_t{1} << 14, int64_t{1} << 16}) {
+    for (int64_t segmented : {0, 1}) {
+      b->Args({survivors, segmented});
+    }
+  }
+}
+
+BENCHMARK(BM_ScanExpired)->Apply(ScanArgs)->ArgNames({"n", "pct", "seg"});
+BENCHMARK(BM_ExpirationDrain)
+    ->Apply(DrainArgs)
+    ->ArgNames({"survivors", "seg"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

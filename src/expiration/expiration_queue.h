@@ -75,6 +75,7 @@ struct ExpirationStats {
   uint64_t heap_pops = 0;          ///< eager priority-queue pops
   uint64_t stale_heap_entries = 0; ///< pops ignored (tuple gone/extended)
   uint64_t compactions = 0;        ///< lazy compaction passes
+  uint64_t segments_dropped = 0;   ///< whole storage segments bulk-dropped
 };
 
 /// Instance-local metric handles of one ExpirationManager. Every update
@@ -88,6 +89,7 @@ struct ExpirationMetrics {
   obs::Counter index_pops;
   obs::Counter stale_entries;
   obs::Counter compactions;
+  obs::Counter segments_dropped;
   obs::Counter calendar_overflow;
   obs::Gauge queue_size;
   obs::Histogram drain_latency;
@@ -120,7 +122,7 @@ class ExpirationManager {
         metrics_.inserted.value(),      metrics_.removed.value(),
         metrics_.triggers_fired.value(), metrics_.index_pushes.value(),
         metrics_.index_pops.value(),    metrics_.stale_entries.value(),
-        metrics_.compactions.value()};
+        metrics_.compactions.value(),   metrics_.segments_dropped.value()};
   }
 
   const ExpirationMetrics& metrics() const { return metrics_; }
@@ -136,6 +138,15 @@ class ExpirationManager {
 
   /// \brief Registers a trigger fired for every expired tuple.
   void AddTrigger(ExpirationTrigger trigger);
+
+  /// \brief True when at least one expiration trigger is registered.
+  /// Compaction enumerates removed tuples (the slow path) only then;
+  /// trigger-free compaction uses Relation::DropExpired, which drops
+  /// fully-expired segments in O(1) each without materializing tuples.
+  bool HasTriggers() const {
+    std::lock_guard<std::mutex> guard(triggers_mu_);
+    return !triggers_.empty();
+  }
 
   /// \brief Advances the clock, applying the removal policy.
   Status AdvanceTo(Timestamp t);

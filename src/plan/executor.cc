@@ -48,6 +48,9 @@ struct EvalMetricSet {
   // Planner-pipeline execution effects (docs/PLANNER.md).
   obs::Counter* pruned_subtrees;
   obs::Counter* cse_reuses;
+  // Expiration-partitioned scans (docs/PERFORMANCE.md §8).
+  obs::Counter* segment_pruned;
+  obs::Counter* segment_checked;
 
   static const EvalMetricSet& Get() {
     static const EvalMetricSet* set = [] {
@@ -85,6 +88,12 @@ struct EvalMetricSet {
       s->cse_reuses = r.GetCounter(
           "expdb_plan_cse_reuses_total",
           "Plan nodes served from the common-subtree cache");
+      s->segment_pruned = r.GetCounter(
+          "expdb_segment_pruned_total",
+          "Storage segments skipped by scans (fully expired at τ)");
+      s->segment_checked = r.GetCounter(
+          "expdb_segment_checked_total",
+          "Storage segments scanned with per-tuple texp checks (straddle τ)");
       return s;
     }();
     return *set;
@@ -429,21 +438,64 @@ class PlanExecutor {
   Result<MaterializedResult> ExecScan(const PlanNode& n) {
     EXPDB_ASSIGN_OR_RETURN(const Relation* rel,
                            db_.GetRelation(n.expr->relation_name()));
-    MaterializedResult out;
-    if (!runner_.parallel()) {
-      out.relation = rel->UnexpiredAt(tau_);
-    } else {
-      const std::vector<Relation::Entry>& in = rel->entries();
-      std::vector<Relation::Entry> kept = runner_.Collect(
-          in.size(),
-          [&](size_t begin, size_t end, std::vector<Relation::Entry>* outv) {
-            for (size_t i = begin; i < end; ++i) {
-              if (in[i].texp > tau_) outv->push_back(in[i]);
-            }
-          });
-      out.relation =
-          Relation::FromEntriesUnchecked(rel->schema(), std::move(kept));
+    // Segment-at-a-time scan: classify each storage segment once against τ
+    // via its [min_texp, max_texp] bounds. Fully-expired segments are
+    // skipped without touching their entries, fully-live segments are bulk
+    // copied with no per-tuple texp check, and only segments straddling τ
+    // pay the classic filter. Flat relations are one segment, so the same
+    // loop covers both storage modes (and a flat all-live relation gets
+    // the bulk-copy fast path too). Morsels never span segments — each
+    // segment parallelizes internally when large enough — so the
+    // live/straddling decision is made once per segment, not per tuple.
+    uint64_t segs_live = 0, segs_checked = 0, segs_pruned = 0;
+    std::vector<Relation::Entry> kept;
+    kept.reserve(rel->size());
+    const size_t nsegs = rel->SegmentCount();
+    for (size_t si = 0; si < nsegs; ++si) {
+      const Relation::SegmentView seg = rel->GetSegment(si);
+      if (seg.size == 0) continue;
+      if (seg.max_texp <= tau_) {
+        ++segs_pruned;
+        continue;
+      }
+      const bool all_live = seg.min_texp > tau_;
+      all_live ? ++segs_live : ++segs_checked;
+      if (runner_.parallel() && seg.size >= 2 * runner_.min_morsel()) {
+        std::vector<Relation::Entry> part = runner_.Collect(
+            seg.size, [&](size_t begin, size_t end,
+                          std::vector<Relation::Entry>* outv) {
+              if (all_live) {
+                outv->insert(outv->end(), seg.data + begin, seg.data + end);
+                return;
+              }
+              for (size_t i = begin; i < end; ++i) {
+                if (seg.data[i].texp > tau_) outv->push_back(seg.data[i]);
+              }
+            });
+        kept.insert(kept.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+      } else if (all_live) {
+        kept.insert(kept.end(), seg.data, seg.data + seg.size);
+      } else {
+        for (size_t i = 0; i < seg.size; ++i) {
+          if (seg.data[i].texp > tau_) kept.push_back(seg.data[i]);
+        }
+      }
     }
+    if (profile_ != nullptr) {
+      PlanProfile::NodeStats& s = profile_->at(n.id);
+      s.segs_live += segs_live;
+      s.segs_checked += segs_checked;
+      s.segs_pruned += segs_pruned;
+    }
+    if (options_.enable_metrics && rel->segmented()) {
+      const EvalMetricSet& m = EvalMetricSet::Get();
+      if (segs_pruned > 0) m.segment_pruned->Increment(segs_pruned);
+      if (segs_checked > 0) m.segment_checked->Increment(segs_checked);
+    }
+    MaterializedResult out;
+    out.relation =
+        Relation::FromEntriesUnchecked(rel->schema(), std::move(kept));
     return Monotonic(std::move(out));
   }
 

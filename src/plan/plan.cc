@@ -140,6 +140,13 @@ void RenderNode(const PlanNode& n, const PlanProfile* profile,
             ", calls=" + std::to_string(s.calls) + ")";
     if (s.pruned) *out += " [pruned]";
     if (s.reused) *out += " [reused]";
+    // Partition-aware scans: how the segment bounds classified against τ.
+    if (n.partition_aware &&
+        s.segs_live + s.segs_checked + s.segs_pruned > 0) {
+      *out += " [segments: " + std::to_string(s.segs_live) + "/" +
+              std::to_string(s.segs_checked) + "/" +
+              std::to_string(s.segs_pruned) + "]";
+    }
   }
   *out += "\n";
   if (n.left != nullptr) RenderNode(*n.left, profile, eval, depth + 1, out);

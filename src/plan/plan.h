@@ -90,6 +90,11 @@ struct PlanNode {
   /// executor keeps the dynamic per-input decision for exact behavioral
   /// parity with the interpreter.
   bool parallel = false;
+  /// kScan only: the scanned base relation uses expiration-partitioned
+  /// (segmented) storage, so the scan classifies whole segments against τ
+  /// instead of checking texp per tuple. EXPLAIN ANALYZE reports the
+  /// per-segment outcome as `[segments: live/checked/pruned]`.
+  bool partition_aware = false;
 };
 
 /// \brief Per-node execution statistics for EXPLAIN ANALYZE, indexed by
@@ -101,6 +106,13 @@ struct PlanProfile {
     int64_t wall_ns = 0;   ///< wall time inside the node, children included
     bool pruned = false;   ///< expired-subtree prune short-circuited it
     bool reused = false;   ///< served from the common-subtree cache
+    // Scan nodes over segmented storage: per-segment classification
+    // against τ (cumulative over calls). live = fully-live segments
+    // copied without per-tuple texp checks, checked = segments straddling
+    // τ (per-tuple filter), seg_pruned = fully-expired segments skipped.
+    uint64_t segs_live = 0;
+    uint64_t segs_checked = 0;
+    uint64_t segs_pruned = 0;
   };
   std::vector<NodeStats> nodes;
   int64_t total_ns = 0;

@@ -128,6 +128,9 @@ class Builder {
       case PlanOp::kScan: {
         auto rel = db_.GetRelation(n->expr->relation_name());
         n->est_rows = rel.ok() ? static_cast<double>((*rel)->size()) : 0.0;
+        // Segmented base relations let the scan classify whole segments
+        // against τ via their [min_texp, max_texp] bounds.
+        n->partition_aware = rel.ok() && (*rel)->segmented();
         input = n->est_rows;
         break;
       }

@@ -12,6 +12,12 @@ Result<Relation*> Database::CreateRelation(const std::string& name,
   if (!inserted) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
+  // Base relations get expiration-partitioned storage: they live long,
+  // accumulate expired tuples between compactions, and are what scans and
+  // the maintenance pass iterate. Derived/scratch relations registered via
+  // PutRelation stay flat — they are short-lived materializations whose
+  // entries() the parallel evaluator chunks directly.
+  it->second->SetSegmented();
   BumpEpoch();
   return it->second.get();
 }
@@ -78,7 +84,9 @@ std::vector<std::string> Database::RelationNames() const {
 size_t Database::RemoveExpiredEverywhere(Timestamp tau) {
   size_t total = 0;
   for (auto& [name, rel] : relations_) {
-    total += rel->RemoveExpired(tau).size();
+    // No triggers at the Database layer, so the count-only bulk path is
+    // enough — fully-expired segments drop in O(1) each.
+    total += rel->DropExpired(tau).tuples;
   }
   if (total > 0) BumpEpoch();
   return total;

@@ -23,22 +23,59 @@ uint64_t NextDeltaInstanceId() {
 
 }  // namespace
 
+const std::vector<Relation::Entry>& Relation::EmptyEntries() {
+  static const std::vector<Entry> kEmptyVec;
+  return kEmptyVec;
+}
+
 // --- identity -------------------------------------------------------------
+
+void Relation::CopySegmentsFrom(const Relation& other) {
+  segments_.clear();
+  segments_.reserve(other.segments_.size());
+  for (const auto& seg : other.segments_) {
+    segments_.push_back(std::make_unique<Segment>(*seg));
+  }
+  // Preserve the id-space size, holes included: the copied slots_ may hold
+  // stale handles of bulk-dropped segments, and shrinking the table would
+  // let a later FindOrCreateSegment re-issue one of those retired ids.
+  seg_by_id_.assign(other.seg_by_id_.size(), nullptr);
+  for (const auto& seg : segments_) seg_by_id_[seg->id] = seg.get();
+}
 
 Relation::Relation(const Relation& other)
     : schema_(other.schema_),
-      entries_(other.entries_),
-      slots_(other.slots_),
-      tombstones_(other.tombstones_),
-      max_texp_(other.max_texp_) {}
+      total_entries_(other.total_entries_),
+      segmented_(other.segmented_),
+      bucket_width_(other.bucket_width_),
+      max_segments_(other.max_segments_) {
+  // A concurrent const reader of `other` may be materializing its lazy
+  // index (which also renumbers segment ids), so copy the index state
+  // and the segments under its build lock.
+  std::lock_guard<std::mutex> lock(other.slots_mu_);
+  slots_ = other.slots_;
+  tombstones_ = other.tombstones_;
+  slots_ready_.store(other.slots_ready_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  CopySegmentsFrom(other);
+}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this != &other) {
     schema_ = other.schema_;
-    entries_ = other.entries_;
-    slots_ = other.slots_;
-    tombstones_ = other.tombstones_;
-    max_texp_ = other.max_texp_;
+    total_entries_ = other.total_entries_;
+    segmented_ = other.segmented_;
+    bucket_width_ = other.bucket_width_;
+    max_segments_ = other.max_segments_;
+    {
+      std::lock_guard<std::mutex> lock(other.slots_mu_);
+      slots_ = other.slots_;
+      tombstones_ = other.tombstones_;
+      slots_ready_.store(
+          other.slots_ready_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      CopySegmentsFrom(other);
+    }
     // Assignment replaces this object's contents wholesale; any recorded
     // history no longer describes them.
     delete delta_.exchange(nullptr, std::memory_order_acq_rel);
@@ -48,19 +85,39 @@ Relation& Relation::operator=(const Relation& other) {
 
 Relation::Relation(Relation&& other) noexcept
     : schema_(std::move(other.schema_)),
-      entries_(std::move(other.entries_)),
+      segments_(std::move(other.segments_)),
+      seg_by_id_(std::move(other.seg_by_id_)),
       slots_(std::move(other.slots_)),
       tombstones_(other.tombstones_),
-      max_texp_(other.max_texp_),
-      delta_(other.delta_.exchange(nullptr, std::memory_order_acq_rel)) {}
+      total_entries_(other.total_entries_),
+      segmented_(other.segmented_),
+      bucket_width_(other.bucket_width_),
+      max_segments_(other.max_segments_),
+      delta_(other.delta_.exchange(nullptr, std::memory_order_acq_rel)) {
+  slots_ready_.store(other.slots_ready_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  other.total_entries_ = 0;
+  other.tombstones_ = 0;
+  // Moved-from: no segments, no slots — trivially "built".
+  other.slots_ready_.store(true, std::memory_order_relaxed);
+}
 
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this != &other) {
     schema_ = std::move(other.schema_);
-    entries_ = std::move(other.entries_);
+    segments_ = std::move(other.segments_);
+    seg_by_id_ = std::move(other.seg_by_id_);
     slots_ = std::move(other.slots_);
     tombstones_ = other.tombstones_;
-    max_texp_ = other.max_texp_;
+    total_entries_ = other.total_entries_;
+    segmented_ = other.segmented_;
+    bucket_width_ = other.bucket_width_;
+    max_segments_ = other.max_segments_;
+    slots_ready_.store(other.slots_ready_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    other.total_entries_ = 0;
+    other.tombstones_ = 0;
+    other.slots_ready_.store(true, std::memory_order_relaxed);
     delete delta_.exchange(
         other.delta_.exchange(nullptr, std::memory_order_acq_rel),
         std::memory_order_acq_rel);
@@ -160,112 +217,322 @@ void Relation::BreakDeltaHistory() {
   log->floor = ++log->epoch;
 }
 
+// --- segment directory ----------------------------------------------------
+
+Relation::Entry* Relation::ResolveHandle(int64_t handle, Segment** seg_out,
+                                         size_t* off_out) const {
+  const uint64_t packed = static_cast<uint64_t>(handle);
+  const size_t id = static_cast<size_t>(packed >> 32);
+  const size_t off = static_cast<size_t>(packed & 0xffffffffu);
+  Segment* seg = id < seg_by_id_.size() ? seg_by_id_[id] : nullptr;
+  // seg == nullptr: the segment was bulk-dropped and the slot is stale.
+  // The offset check is defensive: live segments only shrink via
+  // swap-with-last which patches slots, so it should never fire.
+  if (seg == nullptr || off >= seg->entries.size()) return nullptr;
+  if (seg_out != nullptr) *seg_out = seg;
+  if (off_out != nullptr) *off_out = off;
+  return &seg->entries[off];
+}
+
+Relation::Segment* Relation::FindOrCreateSegment(int64_t bucket) {
+  auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), bucket,
+      [](const std::unique_ptr<Segment>& s, int64_t b) {
+        return s->bucket < b;
+      });
+  if (it != segments_.end() && (*it)->bucket == bucket) return it->get();
+  auto seg = std::make_unique<Segment>();
+  seg->bucket = bucket;
+  seg->id = static_cast<uint32_t>(seg_by_id_.size());
+  seg_by_id_.push_back(seg.get());
+  return segments_.insert(it, std::move(seg))->get();
+}
+
+Relation::Segment* Relation::FlatSegment() {
+  if (!segments_.empty()) return segments_[0].get();
+  return FindOrCreateSegment(kFlatBucket);
+}
+
+void Relation::DropSegment(Segment* seg) {
+  seg_by_id_[seg->id] = nullptr;
+  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+    if (it->get() == seg) {
+      segments_.erase(it);
+      return;
+    }
+  }
+  assert(false && "DropSegment: segment not in directory");
+}
+
+void Relation::MaybeRebucket() {
+  if (!segmented_) return;
+  size_t finite = segments_.size();
+  if (finite > 0 && segments_.back()->bucket == kInfBucket) --finite;
+  if (finite <= max_segments_) return;
+  // Double the width until the finite segments fit the cap. Bucket keys
+  // halve exactly under doubling (ticks/(2w) == (ticks/w)/2 for ticks,
+  // w >= 0), so merging is a linear coalescing pass over the sorted
+  // directory — no per-entry re-bucketing needed to find neighbours.
+  while (finite > max_segments_) {
+    bucket_width_ *= 2;
+    std::vector<std::unique_ptr<Segment>> merged;
+    merged.reserve(segments_.size());
+    for (auto& seg : segments_) {
+      const int64_t nb =
+          seg->bucket == kInfBucket ? kInfBucket : seg->bucket / 2;
+      if (!merged.empty() && merged.back()->bucket == nb) {
+        Segment& dst = *merged.back();
+        dst.min_texp = Timestamp::Min(dst.min_texp, seg->min_texp);
+        dst.max_texp = Timestamp::Max(dst.max_texp, seg->max_texp);
+        dst.entries.insert(dst.entries.end(),
+                           std::make_move_iterator(seg->entries.begin()),
+                           std::make_move_iterator(seg->entries.end()));
+      } else {
+        seg->bucket = nb;
+        merged.push_back(std::move(seg));
+      }
+    }
+    segments_ = std::move(merged);
+    finite = segments_.size();
+    if (finite > 0 && segments_.back()->bucket == kInfBucket) --finite;
+  }
+  // Offsets (and potentially ids) changed wholesale; rebuild the index.
+  RebuildIndex();
+}
+
 // --- hash index -----------------------------------------------------------
 
+void Relation::EnsureSlots() const {
+  if (slots_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  if (slots_ready_.load(std::memory_order_relaxed)) return;
+  // !slots_ready_ guarantees slots_ is empty, so this is a from-scratch
+  // build, not a repair. Rehash publishes the flag (release) when done.
+  const_cast<Relation*>(this)->RebuildIndex();
+}
+
 size_t Relation::FindSlot(const Tuple& tuple) const {
+  EnsureSlots();
   if (slots_.empty()) return kNotFound;
   const size_t mask = slots_.size() - 1;
   size_t slot = tuple.Hash() & mask;
   for (;;) {
     const int64_t s = slots_[slot];
     if (s == kEmpty) return kNotFound;
-    if (s != kTombstone &&
-        entries_[static_cast<size_t>(s)].tuple == tuple) {
-      return slot;
+    if (s != kTombstone) {
+      const Entry* e = ResolveHandle(s);
+      // Stale handles (bulk-dropped segment) probe like tombstones.
+      if (e != nullptr && e->tuple == tuple) return slot;
     }
     slot = (slot + 1) & mask;
   }
 }
 
-size_t Relation::FindEntry(const Tuple& tuple) const {
-  const size_t slot = FindSlot(tuple);
-  return slot == kNotFound ? kNotFound
-                           : static_cast<size_t>(slots_[slot]);
+size_t Relation::FindSlotByHandle(const Tuple& tuple, int64_t handle) const {
+  const size_t mask = slots_.size() - 1;
+  size_t slot = tuple.Hash() & mask;
+  for (;;) {
+    const int64_t s = slots_[slot];
+    if (s == handle) return slot;
+    if (s == kEmpty) return kNotFound;
+    slot = (slot + 1) & mask;
+  }
 }
 
 void Relation::Rehash(size_t n) {
   // Load factor 0.7: capacity such that n < 0.7 * cap.
   slots_.assign(NextPow2(n * 10 / 7 + 1), kEmpty);
   tombstones_ = 0;
-  const size_t mask = slots_.size() - 1;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    size_t slot = entries_[i].tuple.Hash() & mask;
-    while (slots_[slot] != kEmpty) slot = (slot + 1) & mask;
-    slots_[slot] = static_cast<int64_t>(i);
+  // Renumber segment ids compactly: stale ids (bulk-dropped segments) are
+  // only reachable through slots, and every slot is being rewritten.
+  seg_by_id_.clear();
+  seg_by_id_.reserve(segments_.size());
+  for (const auto& seg : segments_) {
+    seg->id = static_cast<uint32_t>(seg_by_id_.size());
+    seg_by_id_.push_back(seg.get());
   }
+  const size_t mask = slots_.size() - 1;
+  for (const auto& seg : segments_) {
+    for (size_t off = 0; off < seg->entries.size(); ++off) {
+      size_t slot = seg->entries[off].tuple.Hash() & mask;
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & mask;
+      slots_[slot] = MakeHandle(seg->id, off);
+    }
+  }
+  // Publishes the fully-built table to concurrent lazy readers (pairs
+  // with the acquire load in EnsureSlots). Redundant but harmless on the
+  // exclusive-access mutation paths.
+  slots_ready_.store(true, std::memory_order_release);
 }
 
-void Relation::RebuildIndex() { Rehash(entries_.size()); }
+void Relation::RebuildIndex() { Rehash(total_entries_); }
 
 void Relation::EnsureSlotCapacity() {
   if (slots_.empty() ||
-      (entries_.size() + tombstones_ + 1) * 10 >= slots_.size() * 7) {
-    Rehash(entries_.size() + 1);
+      (total_entries_ + tombstones_ + 1) * 10 >= slots_.size() * 7) {
+    Rehash(total_entries_ + 1);
   }
 }
 
-std::pair<size_t, bool> Relation::InsertEntry(Tuple tuple, Timestamp texp) {
-  // Maintain the texp upper bound unconditionally: on the duplicate path
-  // the caller may still raise the stored texp to `texp` (InsertUnchecked
-  // overwrites, MergeMaxUnchecked maxes), so `texp` always has to be
-  // covered by the bound. Overestimation is safe; understating is not.
-  max_texp_ = Timestamp::Max(max_texp_, texp);
+Relation::InsertPos Relation::InsertEntry(Tuple tuple, Timestamp texp) {
   EnsureSlotCapacity();
   const size_t mask = slots_.size() - 1;
   size_t slot = tuple.Hash() & mask;
-  size_t first_tombstone = kNotFound;
+  size_t first_reusable = kNotFound;
   for (;;) {
     const int64_t s = slots_[slot];
     if (s == kEmpty) break;
     if (s == kTombstone) {
-      if (first_tombstone == kNotFound) first_tombstone = slot;
-    } else if (entries_[static_cast<size_t>(s)].tuple == tuple) {
-      return {static_cast<size_t>(s), false};
+      if (first_reusable == kNotFound) first_reusable = slot;
+    } else {
+      Segment* seg = nullptr;
+      size_t off = 0;
+      Entry* e = ResolveHandle(s, &seg, &off);
+      if (e == nullptr) {
+        // Stale handle from a bulk-dropped segment: reusable like a
+        // tombstone (it was added to tombstones_ at drop time).
+        if (first_reusable == kNotFound) first_reusable = slot;
+      } else if (e->tuple == tuple) {
+        return InsertPos{seg, off, slot, false};
+      }
     }
     slot = (slot + 1) & mask;
   }
-  if (first_tombstone != kNotFound) {
-    slot = first_tombstone;
+  if (first_reusable != kNotFound) {
+    slot = first_reusable;
     --tombstones_;
   }
-  const size_t entry_idx = entries_.size();
-  entries_.push_back(Entry{std::move(tuple), texp});
-  slots_[slot] = static_cast<int64_t>(entry_idx);
-  return {entry_idx, true};
+  Segment* seg = TargetSegment(texp);
+  const size_t off = seg->entries.size();
+  seg->entries.push_back(Entry{std::move(tuple), texp});
+  seg->min_texp = Timestamp::Min(seg->min_texp, texp);
+  seg->max_texp = Timestamp::Max(seg->max_texp, texp);
+  ++total_entries_;
+  slots_[slot] = MakeHandle(seg->id, off);
+  return InsertPos{seg, off, slot, true};
 }
 
-void Relation::EraseAt(size_t entry_idx, size_t slot) {
+Relation::Entry* Relation::SetTexpAt(const InsertPos& pos, Timestamp texp) {
+  Segment* seg = pos.seg;
+  Entry* e = &seg->entries[pos.off];
+  if (!segmented_ || BucketFor(texp) == seg->bucket) {
+    // In place; widen the bounds (they may now overstate the range, which
+    // is the conservative direction for both ends).
+    e->texp = texp;
+    seg->min_texp = Timestamp::Min(seg->min_texp, texp);
+    seg->max_texp = Timestamp::Max(seg->max_texp, texp);
+    return e;
+  }
+  // The new texp falls into a different bucket: relocate the entry,
+  // reusing the tuple's existing index slot for the new handle.
+  Tuple tuple = std::move(e->tuple);
+  const size_t last = seg->entries.size() - 1;
+  if (pos.off != last) {
+    Entry& moved = seg->entries[last];
+    const size_t moved_slot =
+        FindSlotByHandle(moved.tuple, MakeHandle(seg->id, last));
+    assert(moved_slot != kNotFound);
+    slots_[moved_slot] = MakeHandle(seg->id, pos.off);
+    seg->entries[pos.off] = std::move(moved);
+  }
+  seg->entries.pop_back();
+  if (seg->entries.empty()) DropSegment(seg);  // invalidates seg
+  Segment* target = FindOrCreateSegment(BucketFor(texp));
+  const size_t off = target->entries.size();
+  target->entries.push_back(Entry{std::move(tuple), texp});
+  target->min_texp = Timestamp::Min(target->min_texp, texp);
+  target->max_texp = Timestamp::Max(target->max_texp, texp);
+  slots_[pos.slot] = MakeHandle(target->id, off);
+  return &target->entries[off];
+}
+
+void Relation::EraseWithinSegment(Segment* seg, size_t off, size_t slot) {
   slots_[slot] = kTombstone;
   ++tombstones_;
-  const size_t last = entries_.size() - 1;
-  if (entry_idx != last) {
+  const size_t last = seg->entries.size() - 1;
+  if (off != last) {
     // Patch the index slot of the entry being moved into the hole.
-    const size_t moved_slot = FindSlot(entries_[last].tuple);
+    Entry& moved = seg->entries[last];
+    const size_t moved_slot =
+        FindSlotByHandle(moved.tuple, MakeHandle(seg->id, last));
     assert(moved_slot != kNotFound);
-    slots_[moved_slot] = static_cast<int64_t>(entry_idx);
-    entries_[entry_idx] = std::move(entries_[last]);
+    slots_[moved_slot] = MakeHandle(seg->id, off);
+    seg->entries[off] = std::move(moved);
   }
-  entries_.pop_back();
-  if (entries_.empty()) {
+  seg->entries.pop_back();
+  --total_entries_;
+}
+
+void Relation::ShrinkAfterErase(Segment* seg) {
+  if (total_entries_ == 0) {
+    // Parity with classic behaviour: an emptied relation drops all
+    // storage so repeated fill/drain cycles do not accrete state.
+    segments_.clear();
+    seg_by_id_.clear();
     slots_.clear();
     tombstones_ = 0;
+    slots_ready_.store(true, std::memory_order_relaxed);
+    return;
   }
+  if (seg->entries.empty()) DropSegment(seg);
 }
 
 void Relation::Reserve(size_t n) {
-  entries_.reserve(n);
-  if (n * 10 / 7 + 1 > slots_.size()) Rehash(n);
+  if (!segmented_) FlatSegment()->entries.reserve(n);
+  // max() so a small reservation against a deferred-index relation still
+  // rehashes at a capacity that fits every stored entry.
+  if (n * 10 / 7 + 1 > slots_.size()) Rehash(std::max(n, total_entries_));
 }
 
 Relation Relation::FromEntriesUnchecked(Schema schema,
                                         std::vector<Entry> entries) {
   Relation out(std::move(schema));
-  out.entries_ = std::move(entries);
-  for (const Entry& e : out.entries_) {
-    out.max_texp_ = Timestamp::Max(out.max_texp_, e.texp);
+  if (entries.empty()) return out;
+  auto seg = std::make_unique<Relation::Segment>();
+  seg->bucket = kFlatBucket;
+  seg->id = 0;
+  for (const Entry& e : entries) {
+    seg->min_texp = Timestamp::Min(seg->min_texp, e.texp);
+    seg->max_texp = Timestamp::Max(seg->max_texp, e.texp);
   }
-  if (!out.entries_.empty()) out.RebuildIndex();
+  seg->entries = std::move(entries);
+  out.total_entries_ = seg->entries.size();
+  out.seg_by_id_.push_back(seg.get());
+  out.segments_.push_back(std::move(seg));
+  // Defer the index: operator results are usually scanned once and
+  // discarded, so the build (a full rehash of every entry) would often
+  // be pure overhead. The first point lookup or mutation triggers it
+  // through EnsureSlots / EnsureSlotCapacity.
+  out.slots_ready_.store(false, std::memory_order_relaxed);
   return out;
+}
+
+void Relation::SetSegmented(SegmentOptions options) {
+  segmented_ = true;
+  bucket_width_ = options.bucket_width > 0 ? options.bucket_width : 1;
+  max_segments_ = options.max_segments > 0 ? options.max_segments : 1;
+  if (total_entries_ == 0) {
+    segments_.clear();
+    seg_by_id_.clear();
+    slots_.clear();
+    tombstones_ = 0;
+    slots_ready_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  // Redistribute existing entries into their buckets.
+  std::vector<std::unique_ptr<Segment>> old = std::move(segments_);
+  segments_.clear();
+  seg_by_id_.clear();
+  for (auto& oseg : old) {
+    for (Entry& e : oseg->entries) {
+      Segment* seg = FindOrCreateSegment(BucketFor(e.texp));
+      seg->min_texp = Timestamp::Min(seg->min_texp, e.texp);
+      seg->max_texp = Timestamp::Max(seg->max_texp, e.texp);
+      seg->entries.push_back(std::move(e));
+    }
+  }
+  MaybeRebucket();  // also rebuilds the index when it merges
+  RebuildIndex();
 }
 
 // --- schema checking ------------------------------------------------------
@@ -318,100 +585,174 @@ Status Relation::InsertWithTtl(Tuple tuple, Timestamp now, int64_t ttl) {
 }
 
 void Relation::InsertUnchecked(Tuple tuple, Timestamp texp) {
-  auto [idx, inserted] = InsertEntry(std::move(tuple), texp);
-  if (inserted) {
-    RecordDeltaInsert(entries_[idx].tuple, texp);
+  InsertPos pos = InsertEntry(std::move(tuple), texp);
+  if (pos.inserted) {
+    RecordDeltaInsert(pos.seg->entries[pos.off].tuple, texp);
   } else {
-    const Timestamp old = entries_[idx].texp;
-    entries_[idx].texp = texp;
-    if (old != texp) RecordDeltaUpdate(entries_[idx].tuple, old, texp);
+    const Timestamp old = pos.seg->entries[pos.off].texp;
+    if (old != texp) {
+      Entry* e = SetTexpAt(pos, texp);
+      RecordDeltaUpdate(e->tuple, old, texp);
+    }
   }
+  MaybeRebucket();
 }
 
 void Relation::MergeMaxUnchecked(Tuple tuple, Timestamp texp) {
-  auto [idx, inserted] = InsertEntry(std::move(tuple), texp);
-  if (inserted) {
-    RecordDeltaInsert(entries_[idx].tuple, texp);
+  InsertPos pos = InsertEntry(std::move(tuple), texp);
+  if (pos.inserted) {
+    RecordDeltaInsert(pos.seg->entries[pos.off].tuple, texp);
   } else {
-    const Timestamp old = entries_[idx].texp;
+    const Timestamp old = pos.seg->entries[pos.off].texp;
     const Timestamp merged = Timestamp::Max(old, texp);
-    entries_[idx].texp = merged;
-    if (merged != old) RecordDeltaUpdate(entries_[idx].tuple, old, merged);
+    if (merged != old) {
+      Entry* e = SetTexpAt(pos, merged);
+      RecordDeltaUpdate(e->tuple, old, merged);
+    }
   }
+  MaybeRebucket();
 }
 
 bool Relation::Erase(const Tuple& tuple) {
   const size_t slot = FindSlot(tuple);
   if (slot == kNotFound) return false;
-  const size_t entry_idx = static_cast<size_t>(slots_[slot]);
-  RecordDeltaErase(entries_[entry_idx].tuple, entries_[entry_idx].texp);
-  EraseAt(entry_idx, slot);
+  Segment* seg = nullptr;
+  size_t off = 0;
+  Entry* e = ResolveHandle(slots_[slot], &seg, &off);
+  assert(e != nullptr);
+  RecordDeltaErase(e->tuple, e->texp);
+  EraseWithinSegment(seg, off, slot);
+  ShrinkAfterErase(seg);
   return true;
 }
 
-// --- lookups and scans ----------------------------------------------------
+// --- bulk expiration ------------------------------------------------------
 
-std::optional<Timestamp> Relation::GetTexp(const Tuple& tuple) const {
-  const size_t idx = FindEntry(tuple);
-  if (idx == kNotFound) return std::nullopt;
-  return entries_[idx].texp;
-}
-
-bool Relation::ContainsUnexpired(const Tuple& tuple, Timestamp tau) const {
-  const size_t idx = FindEntry(tuple);
-  return idx != kNotFound && entries_[idx].texp > tau;
-}
-
-Relation Relation::UnexpiredAt(Timestamp tau) const {
-  std::vector<Entry> kept;
-  kept.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    if (e.texp > tau) kept.push_back(e);
+Relation::DropResult Relation::DropExpired(Timestamp tau) {
+  DropResult out;
+  for (size_t i = 0; i < segments_.size();) {
+    Segment* seg = segments_[i].get();
+    if (seg->entries.empty()) {
+      ++i;
+      continue;
+    }
+    if (seg->max_texp <= tau) {
+      // Fully expired: drop the whole segment in O(1) — retire its id and
+      // unlink it. Its index slots become stale handles, recognized lazily
+      // on probe and purged wholesale at the next rehash; counting them as
+      // tombstones keeps the load-factor math honest.
+      const size_t n = seg->entries.size();
+      out.tuples += n;
+      out.segments += 1;
+      // A deferred index has no slots to go stale.
+      if (!slots_.empty()) tombstones_ += n;
+      total_entries_ -= n;
+      seg_by_id_[seg->id] = nullptr;
+      segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(i));
+      continue;  // the next segment shifted into position i
+    }
+    if (seg->min_texp > tau) {
+      // Fully live: nothing to do, and no need to scan it.
+      ++i;
+      continue;
+    }
+    // Straddling τ: per-tuple swap-erase of expired entries, then re-derive
+    // exact bounds from the survivors. The swap-erases patch index slots,
+    // so a deferred index must materialize first.
+    EnsureSlots();
+    Timestamp new_min = Timestamp::Infinity();
+    Timestamp new_max = Timestamp::Zero();
+    for (size_t off = 0; off < seg->entries.size();) {
+      const Entry& e = seg->entries[off];
+      if (e.texp <= tau) {
+        const size_t slot =
+            FindSlotByHandle(e.tuple, MakeHandle(seg->id, off));
+        assert(slot != kNotFound);
+        ++out.tuples;
+        EraseWithinSegment(seg, off, slot);
+      } else {
+        new_min = Timestamp::Min(new_min, e.texp);
+        new_max = Timestamp::Max(new_max, e.texp);
+        ++off;
+      }
+    }
+    if (seg->entries.empty()) {
+      seg_by_id_[seg->id] = nullptr;
+      segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    seg->min_texp = new_min;
+    seg->max_texp = new_max;
+    ++i;
   }
-  return FromEntriesUnchecked(schema_, std::move(kept));
-}
-
-void Relation::ForEachUnexpired(
-    Timestamp tau,
-    const std::function<void(const Tuple&, Timestamp)>& fn) const {
-  for (const Entry& e : entries_) {
-    if (e.texp > tau) fn(e.tuple, e.texp);
+  if (total_entries_ == 0 && out.tuples > 0) {
+    segments_.clear();
+    seg_by_id_.clear();
+    slots_.clear();
+    tombstones_ = 0;
+    slots_ready_.store(true, std::memory_order_relaxed);
   }
-}
-
-void Relation::ForEach(
-    const std::function<void(const Tuple&, Timestamp)>& fn) const {
-  for (const Entry& e : entries_) fn(e.tuple, e.texp);
-}
-
-size_t Relation::CountUnexpiredAt(Timestamp tau) const {
-  size_t n = 0;
-  for (const Entry& e : entries_) {
-    if (e.texp > tau) ++n;
-  }
-  return n;
+  return out;
 }
 
 std::vector<std::pair<Tuple, Timestamp>> Relation::RemoveExpired(
     Timestamp tau) {
   std::vector<std::pair<Tuple, Timestamp>> removed;
-  size_t kept = 0;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].texp <= tau) {
-      removed.emplace_back(std::move(entries_[i].tuple), entries_[i].texp);
-    } else {
-      if (kept != i) entries_[kept] = std::move(entries_[i]);
-      ++kept;
+  for (size_t i = 0; i < segments_.size();) {
+    Segment* seg = segments_[i].get();
+    if (seg->entries.empty()) {
+      ++i;
+      continue;
     }
+    if (seg->min_texp > tau) {
+      ++i;
+      continue;
+    }
+    if (seg->max_texp <= tau) {
+      // Fully expired, but the caller needs the tuples (trigger firing):
+      // move them out, then drop the segment without per-entry swaps.
+      const size_t n = seg->entries.size();
+      for (Entry& e : seg->entries) {
+        removed.emplace_back(std::move(e.tuple), e.texp);
+      }
+      if (!slots_.empty()) tombstones_ += n;
+      total_entries_ -= n;
+      seg_by_id_[seg->id] = nullptr;
+      segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    EnsureSlots();
+    Timestamp new_min = Timestamp::Infinity();
+    Timestamp new_max = Timestamp::Zero();
+    for (size_t off = 0; off < seg->entries.size();) {
+      Entry& e = seg->entries[off];
+      if (e.texp <= tau) {
+        const size_t slot =
+            FindSlotByHandle(e.tuple, MakeHandle(seg->id, off));
+        assert(slot != kNotFound);
+        removed.emplace_back(std::move(e.tuple), e.texp);
+        EraseWithinSegment(seg, off, slot);
+      } else {
+        new_min = Timestamp::Min(new_min, e.texp);
+        new_max = Timestamp::Max(new_max, e.texp);
+        ++off;
+      }
+    }
+    if (seg->entries.empty()) {
+      seg_by_id_[seg->id] = nullptr;
+      segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    seg->min_texp = new_min;
+    seg->max_texp = new_max;
+    ++i;
   }
-  if (!removed.empty()) {
-    entries_.resize(kept);
-    if (entries_.empty()) {
-      slots_.clear();
-      tombstones_ = 0;
-    } else {
-      RebuildIndex();
-    }
+  if (total_entries_ == 0 && !removed.empty()) {
+    segments_.clear();
+    seg_by_id_.clear();
+    slots_.clear();
+    tombstones_ = 0;
+    slots_ready_.store(true, std::memory_order_relaxed);
   }
   std::sort(removed.begin(), removed.end(),
             [](const auto& a, const auto& b) {
@@ -421,11 +762,85 @@ std::vector<std::pair<Tuple, Timestamp>> Relation::RemoveExpired(
   return removed;
 }
 
+// --- lookups and scans ----------------------------------------------------
+
+std::optional<Timestamp> Relation::GetTexp(const Tuple& tuple) const {
+  const size_t slot = FindSlot(tuple);
+  if (slot == kNotFound) return std::nullopt;
+  return ResolveHandle(slots_[slot])->texp;
+}
+
+bool Relation::ContainsUnexpired(const Tuple& tuple, Timestamp tau) const {
+  const size_t slot = FindSlot(tuple);
+  return slot != kNotFound && ResolveHandle(slots_[slot])->texp > tau;
+}
+
+Relation Relation::UnexpiredAt(Timestamp tau) const {
+  std::vector<Entry> kept;
+  kept.reserve(total_entries_);
+  for (const auto& seg : segments_) {
+    if (seg->entries.empty() || seg->max_texp <= tau) continue;  // pruned
+    if (seg->min_texp > tau) {
+      // Fully live: bulk copy, no per-tuple texp checks.
+      kept.insert(kept.end(), seg->entries.begin(), seg->entries.end());
+      continue;
+    }
+    for (const Entry& e : seg->entries) {
+      if (e.texp > tau) kept.push_back(e);
+    }
+  }
+  return FromEntriesUnchecked(schema_, std::move(kept));
+}
+
+void Relation::ForEachUnexpired(
+    Timestamp tau,
+    const std::function<void(const Tuple&, Timestamp)>& fn) const {
+  for (const auto& seg : segments_) {
+    if (seg->entries.empty() || seg->max_texp <= tau) continue;
+    if (seg->min_texp > tau) {
+      for (const Entry& e : seg->entries) fn(e.tuple, e.texp);
+      continue;
+    }
+    for (const Entry& e : seg->entries) {
+      if (e.texp > tau) fn(e.tuple, e.texp);
+    }
+  }
+}
+
+void Relation::ForEach(
+    const std::function<void(const Tuple&, Timestamp)>& fn) const {
+  for (const auto& seg : segments_) {
+    for (const Entry& e : seg->entries) fn(e.tuple, e.texp);
+  }
+}
+
+size_t Relation::CountUnexpiredAt(Timestamp tau) const {
+  size_t n = 0;
+  for (const auto& seg : segments_) {
+    if (seg->entries.empty() || seg->max_texp <= tau) continue;
+    if (seg->min_texp > tau) {
+      n += seg->entries.size();
+      continue;
+    }
+    for (const Entry& e : seg->entries) {
+      if (e.texp > tau) ++n;
+    }
+  }
+  return n;
+}
+
 std::optional<Timestamp> Relation::NextExpirationAfter(Timestamp tau) const {
   std::optional<Timestamp> best;
-  for (const Entry& e : entries_) {
-    if (e.texp > tau && e.texp.IsFinite()) {
-      if (!best || e.texp < *best) best = e.texp;
+  for (const auto& seg : segments_) {
+    if (seg->entries.empty()) continue;
+    // A segment whose entire range is at or below tau has no candidate;
+    // one whose min already beats the current best cannot improve it.
+    if (seg->max_texp <= tau) continue;
+    if (best && seg->min_texp >= *best) continue;
+    for (const Entry& e : seg->entries) {
+      if (e.texp > tau && e.texp.IsFinite()) {
+        if (!best || e.texp < *best) best = e.texp;
+      }
     }
   }
   return best;
@@ -433,8 +848,10 @@ std::optional<Timestamp> Relation::NextExpirationAfter(Timestamp tau) const {
 
 std::vector<std::pair<Tuple, Timestamp>> Relation::SortedEntries() const {
   std::vector<std::pair<Tuple, Timestamp>> out;
-  out.reserve(entries_.size());
-  for (const Entry& e : entries_) out.emplace_back(e.tuple, e.texp);
+  out.reserve(total_entries_);
+  for (const auto& seg : segments_) {
+    for (const Entry& e : seg->entries) out.emplace_back(e.tuple, e.texp);
+  }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.first < b.first;
   });
@@ -444,20 +861,33 @@ std::vector<std::pair<Tuple, Timestamp>> Relation::SortedEntries() const {
 bool Relation::ContentsEqualAt(const Relation& a, const Relation& b,
                                Timestamp tau) {
   if (a.CountUnexpiredAt(tau) != b.CountUnexpiredAt(tau)) return false;
-  for (const Entry& e : a.entries_) {
-    if (e.texp > tau && !b.ContainsUnexpired(e.tuple, tau)) return false;
-  }
-  return true;
+  bool equal = true;
+  a.ForEachUnexpired(tau, [&](const Tuple& t, Timestamp) {
+    if (equal && !b.ContainsUnexpired(t, tau)) equal = false;
+  });
+  return equal;
 }
 
 bool Relation::EqualAt(const Relation& a, const Relation& b, Timestamp tau) {
   if (a.CountUnexpiredAt(tau) != b.CountUnexpiredAt(tau)) return false;
-  for (const Entry& e : a.entries_) {
-    if (e.texp <= tau) continue;
-    auto other = b.GetTexp(e.tuple);
-    if (!other || *other <= tau || *other != e.texp) return false;
-  }
-  return true;
+  bool equal = true;
+  a.ForEachUnexpired(tau, [&](const Tuple& t, Timestamp texp) {
+    if (!equal) return;
+    auto other = b.GetTexp(t);
+    if (!other || *other <= tau || *other != texp) equal = false;
+  });
+  return equal;
+}
+
+void Relation::Clear() {
+  segments_.clear();
+  seg_by_id_.clear();
+  slots_.clear();
+  tombstones_ = 0;
+  slots_ready_.store(true, std::memory_order_relaxed);
+  total_entries_ = 0;
+  // A wholesale wipe cannot be represented as a bounded delta stream.
+  BreakDeltaHistory();
 }
 
 Status Relation::RenameAttributes(const std::vector<std::string>& names) {

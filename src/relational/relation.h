@@ -10,22 +10,43 @@
 // A tuple with no expiration has texp = ∞, in which case every operator in
 // the algebra behaves exactly like its textbook equivalent.
 //
-// Storage layout (docs/PERFORMANCE.md): tuples live in a flat dense
-// `std::vector<Entry>` — scans (`ForEach`, operator pipelines, morsel
-// chunking for the parallel evaluator) are contiguous sweeps — with a
-// separate open-addressing hash index (linear probing over the hash cached
-// on each Tuple) for point lookups. Erase is swap-with-last, so the dense
-// array never has holes; the index slot of the moved entry is patched in
-// O(1) expected time.
+// Storage layout (docs/PERFORMANCE.md §8): tuples live in dense entry
+// segments. A relation is either
+//
+//  * flat — one unbucketed segment, the classic contiguous array. This is
+//    the default, and what the operators' materialized results use: scans
+//    are a single contiguous sweep and `entries()` exposes the array
+//    directly for morsel chunking.
+//  * segmented — entries are physically partitioned by expiration-time
+//    bucket (floor(texp / bucket_width)), with a dedicated segment for
+//    never-expiring (texp = ∞) tuples. Each segment carries conservative
+//    [min_texp, max_texp] bounds, so a scan can decide once per segment
+//    whether the segment is fully expired (skip it), fully live (copy it
+//    without per-tuple texp checks), or straddling τ (filter). Physical
+//    expiration drops whole expired segments in O(1) each — no per-tuple
+//    swap, no survivor movement, no index rebuild (the companion TR's
+//    "organize storage by expiration time" principle). Base relations in
+//    a Database use this mode.
+//
+// A single open-addressing hash index (linear probing over the hash cached
+// on each Tuple) spans all segments for point lookups; slots hold packed
+// (segment id, offset) handles. Erase is swap-with-last within the owning
+// segment, so segments never have holes; the slot of the moved entry is
+// patched in O(1) expected time. Dropping a whole segment merely retires
+// its id: slots still pointing at it are recognized as stale on probe and
+// recycled like tombstones (the next rehash purges them in bulk).
 
 #ifndef EXPDB_RELATIONAL_RELATION_H_
 #define EXPDB_RELATIONAL_RELATION_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -45,16 +66,51 @@ namespace expdb {
 /// elimination in πexp and for ∪exp — so insertion is idempotent and
 /// monotone in lifetime.
 ///
-/// Thread-safety: const methods (lookups, scans, `entries()`) are safe to
-/// call concurrently from any number of threads as long as no thread
-/// mutates the relation — the parallel evaluator relies on this.
+/// Thread-safety: const methods (lookups, scans, `entries()`, segment
+/// views) are safe to call concurrently from any number of threads as long
+/// as no thread mutates the relation — the parallel evaluator relies on
+/// this.
 class Relation {
  public:
   /// One stored tuple with its expiration time. Entries are densely packed
-  /// in insertion order (perturbed by swap-with-last erases).
+  /// per segment in insertion order (perturbed by swap-with-last erases).
   struct Entry {
     Tuple tuple;
     Timestamp texp;
+  };
+
+  /// Tuning for segmented (expiration-partitioned) storage.
+  struct SegmentOptions {
+    /// Ticks per finite expiration bucket. Small initial widths give fine
+    /// pruning granularity on short-lived data; the width doubles
+    /// automatically whenever the finite-segment count would exceed
+    /// `max_segments`, so wide-spread workloads converge to
+    /// ~range/max_segments ticks per bucket.
+    int64_t bucket_width = 8;
+    /// Soft cap on simultaneously live finite segments.
+    size_t max_segments = 64;
+  };
+
+  /// \brief Scan-facing view of one storage segment: a contiguous entry
+  /// range plus conservative expiration bounds. For every stored entry e
+  /// of the segment, min_texp <= texp(e) <= max_texp; the bounds may be
+  /// loose after erases (min may understate, max may overstate — both are
+  /// the safe directions). Classification against a scan's τ:
+  ///
+  ///   max_texp <= τ  → every entry expired: skip the segment entirely;
+  ///   min_texp  > τ  → every entry live: copy without per-tuple checks;
+  ///   otherwise      → straddling: per-tuple texp > τ filter.
+  struct SegmentView {
+    const Entry* data = nullptr;
+    size_t size = 0;
+    Timestamp min_texp = Timestamp::Infinity();
+    Timestamp max_texp = Timestamp::Zero();
+  };
+
+  /// What a bulk expiration pass removed (see DropExpired).
+  struct DropResult {
+    size_t tuples = 0;    ///< entries physically removed
+    size_t segments = 0;  ///< whole segments dropped in O(1)
   };
 
   Relation() = default;
@@ -74,19 +130,62 @@ class Relation {
   size_t arity() const { return schema_.arity(); }
 
   /// Number of stored tuples, including physically present expired ones.
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return total_entries_; }
+  bool empty() const { return total_entries_ == 0; }
 
-  /// \brief The dense entry array. Stable while the relation is not
-  /// mutated; the parallel evaluator chunks this directly into morsels.
-  const std::vector<Entry>& entries() const { return entries_; }
+  /// \brief The dense entry array of a *flat* relation. Stable while the
+  /// relation is not mutated; the parallel evaluator chunks this directly
+  /// into morsels. Calling it on a segmented relation is a contract
+  /// violation (entries live in multiple arrays) — scan segmented storage
+  /// through SegmentCount()/GetSegment() instead.
+  const std::vector<Entry>& entries() const {
+    assert(!segmented_ && "entries() is flat-storage only; use GetSegment");
+    return segments_.empty() ? EmptyEntries() : segments_[0]->entries;
+  }
+
+  // --- expiration-partitioned storage (docs/PERFORMANCE.md §8) ------------
+
+  /// True when this relation stores entries partitioned by texp bucket.
+  bool segmented() const { return segmented_; }
+
+  /// \brief Switches to segmented storage (idempotent on an already
+  /// segmented relation except that new options take effect). Existing
+  /// entries are redistributed into their buckets and the hash index is
+  /// rebuilt; O(n). Database::CreateRelation applies this to base tables.
+  void SetSegmented(SegmentOptions options);
+  void SetSegmented() { SetSegmented(SegmentOptions()); }
+
+  /// Number of storage segments (flat relations have 0 or 1). Segments
+  /// are ordered by ascending bucket; the ∞ segment, if any, comes last.
+  size_t SegmentCount() const { return segments_.size(); }
+
+  /// The i-th segment as a scan view. i < SegmentCount().
+  SegmentView GetSegment(size_t i) const {
+    const Segment& s = *segments_[i];
+    return SegmentView{s.entries.data(), s.entries.size(), s.min_texp,
+                       s.max_texp};
+  }
+
+  /// \brief Physically removes every tuple with texp <= tau — the fast
+  /// bulk path: fully-expired segments are dropped whole in O(1) each (no
+  /// per-tuple swap, no survivor movement, no index rebuild; their index
+  /// slots are lazily recycled), fully-live segments are skipped without
+  /// being scanned, and only segments straddling tau pay a per-tuple
+  /// swap-erase. Does not enumerate the removed tuples — callers that
+  /// must fire per-tuple expiration triggers use RemoveExpired instead —
+  /// and, like RemoveExpired, records nothing in the delta ring (removing
+  /// tuples with texp <= τ never changes expτ' for any τ' >= τ).
+  DropResult DropExpired(Timestamp tau);
 
   /// \brief Pre-sizes the dense array and the hash index for `n` tuples.
   void Reserve(size_t n);
 
-  /// \brief Builds a relation directly from a dense entry vector whose
-  /// tuples are known to be pairwise distinct (the parallel operators
-  /// guarantee this structurally). No schema checks, no duplicate merging.
+  /// \brief Builds a flat relation directly from a dense entry vector
+  /// whose tuples are known to be pairwise distinct (the parallel
+  /// operators guarantee this structurally). No schema checks, no
+  /// duplicate merging — and no hash index: the build is deferred until
+  /// the first point lookup or mutation, since operator results are
+  /// mostly scanned forward and discarded.
   static Relation FromEntriesUnchecked(Schema schema,
                                        std::vector<Entry> entries);
 
@@ -117,13 +216,15 @@ class Relation {
 
   /// \brief True iff the tuple is stored (expired or not).
   bool Contains(const Tuple& tuple) const {
-    return FindEntry(tuple) != kNotFound;
+    return FindSlot(tuple) != kNotFound;
   }
 
   /// \brief True iff tuple ∈ expτ(R).
   bool ContainsUnexpired(const Tuple& tuple, Timestamp tau) const;
 
-  /// \brief expτ(R) as a new relation (texps preserved).
+  /// \brief expτ(R) as a new (flat) relation (texps preserved). Segment
+  /// bounds prune the sweep: fully-expired segments are skipped,
+  /// fully-live segments are copied without per-tuple checks.
   Relation UnexpiredAt(Timestamp tau) const;
 
   /// \brief Visits every tuple of expτ(R) with its texp.
@@ -135,12 +236,16 @@ class Relation {
   void ForEach(
       const std::function<void(const Tuple&, Timestamp)>& fn) const;
 
-  /// \brief |expτ(R)|.
+  /// \brief |expτ(R)|. Fully-live / fully-expired segments contribute
+  /// their size / zero without being scanned.
   size_t CountUnexpiredAt(Timestamp tau) const;
 
   /// \brief Physically removes every tuple with texp <= tau.
   /// \return the removed tuples with their expiration times, sorted by
-  /// (texp, tuple) — the order in which they expired.
+  /// (texp, tuple) — the order in which they expired. This is the
+  /// trigger-feeding slow path; use DropExpired when the removed tuples
+  /// are not needed. Also tightens segment bounds from the surviving
+  /// entries of straddling segments.
   std::vector<std::pair<Tuple, Timestamp>> RemoveExpired(Timestamp tau);
 
   /// \brief Smallest finite texp strictly greater than `tau`; nullopt when
@@ -153,12 +258,22 @@ class Relation {
   std::vector<std::pair<Tuple, Timestamp>> SortedEntries() const;
 
   /// \brief An upper bound on the expiration time of every stored tuple:
-  /// texp_R(r) <= texp_upper_bound() for all r ∈ R. Maintained on insert
-  /// (never lowered by erases, so it may overestimate after deletions —
-  /// that direction is always safe). The planner uses it to prune whole
-  /// subtrees whose every input is already expired at τ: if
-  /// texp_upper_bound() <= τ then expτ(R) = ∅.
-  Timestamp texp_upper_bound() const { return max_texp_; }
+  /// texp_R(r) <= texp_upper_bound() for all r ∈ R. Derived from the live
+  /// segments' max_texp bounds, so it *tightens* when expired segments
+  /// are dropped (DropExpired) and when RemoveExpired re-derives the
+  /// bounds of straddling segments from their survivors — point erases
+  /// may still leave it an overestimate, which is the safe direction.
+  /// The planner uses it to prune whole subtrees whose every input is
+  /// already expired at τ: if texp_upper_bound() <= τ then expτ(R) = ∅.
+  Timestamp texp_upper_bound() const {
+    Timestamp bound = Timestamp::Zero();
+    for (const auto& seg : segments_) {
+      if (!seg->entries.empty()) {
+        bound = Timestamp::Max(bound, seg->max_texp);
+      }
+    }
+    return bound;
+  }
 
   // --- per-epoch delta capture (docs/PERFORMANCE.md §6) -------------------
   //
@@ -173,12 +288,13 @@ class Relation {
   //    change on duplicate  -> {epoch, inserted=[t@new],   deleted=[t@old]}
   //  * an erase             -> {epoch, inserted=[],        deleted=[t@old]}
   //
-  // Physical expiration (RemoveExpired) is NOT recorded: removing tuples
-  // with texp <= τ never changes expτ' for any τ' >= τ, so consumers that
-  // always read through expτ see no difference. Clear() and attribute
-  // renames break the history (consumers must fall back to recomputation).
-  // Ring overflow trims the oldest epochs; DeltasSince reports the loss
-  // instead of returning a partial stream.
+  // Physical expiration (RemoveExpired and the segment bulk path
+  // DropExpired) is NOT recorded: removing tuples with texp <= τ never
+  // changes expτ' for any τ' >= τ, so consumers that always read through
+  // expτ see no difference. Clear() and attribute renames break the
+  // history (consumers must fall back to recomputation). Ring overflow
+  // trims the oldest epochs; DeltasSince reports the loss instead of
+  // returning a partial stream.
 
   /// One recorded mutation epoch. `deleted` precedes `inserted` when both
   /// are non-empty (a texp change is delete-old-then-insert-new).
@@ -250,13 +366,8 @@ class Relation {
 
   /// \brief Removes all tuples. Breaks any recorded delta history (a
   /// wholesale wipe cannot be represented as a bounded delta stream).
-  void Clear() {
-    entries_.clear();
-    slots_.clear();
-    tombstones_ = 0;
-    max_texp_ = Timestamp::Zero();
-    BreakDeltaHistory();
-  }
+  /// Keeps the storage mode and segment options.
+  void Clear();
 
   /// \brief Renames the schema's attributes (arity must match); types and
   /// tuples are unchanged. Used by the SQL layer for AS aliases.
@@ -266,27 +377,109 @@ class Relation {
 
  private:
   static constexpr size_t kNotFound = static_cast<size_t>(-1);
-  // Index slot states; non-negative values are entry indices.
+  // Index slot states; non-negative values are packed (segment id << 32 |
+  // offset) handles.
   static constexpr int64_t kEmpty = -1;
   static constexpr int64_t kTombstone = -2;
+  /// Bucket of the single segment of a flat relation.
+  static constexpr int64_t kFlatBucket =
+      std::numeric_limits<int64_t>::min();
+  /// Bucket of the dedicated never-expiring segment; largest, so the ∞
+  /// segment sorts last in the directory.
+  static constexpr int64_t kInfBucket = std::numeric_limits<int64_t>::max();
+
+  /// One storage segment: a dense entry array plus its bucket key and
+  /// conservative expiration bounds. `id` is this relation's stable
+  /// handle namespace entry — retired when the segment is dropped, and
+  /// renumbered compactly on every rehash.
+  struct Segment {
+    int64_t bucket = kFlatBucket;
+    uint32_t id = 0;
+    Timestamp min_texp = Timestamp::Infinity();
+    Timestamp max_texp = Timestamp::Zero();
+    std::vector<Entry> entries;
+  };
+
+  /// Where InsertEntry put (or found) a tuple.
+  struct InsertPos {
+    Segment* seg = nullptr;
+    size_t off = 0;
+    size_t slot = 0;
+    bool inserted = false;
+  };
+
+  static const std::vector<Entry>& EmptyEntries();
+
+  /// Deep-copies `other`'s segment directory, preserving ids (holes
+  /// included, so copied stale slot handles stay unambiguous).
+  void CopySegmentsFrom(const Relation& other);
+
+  static int64_t MakeHandle(uint32_t id, size_t off) {
+    return static_cast<int64_t>((static_cast<uint64_t>(id) << 32) |
+                                static_cast<uint32_t>(off));
+  }
+
+  /// Resolves a packed slot handle to its entry; nullptr when the handle
+  /// is stale (its segment was bulk-dropped). Out-params receive the
+  /// owning segment and offset for live handles.
+  Entry* ResolveHandle(int64_t handle, Segment** seg_out = nullptr,
+                       size_t* off_out = nullptr) const;
 
   Status CheckAndCoerce(Tuple* tuple) const;
 
-  /// Entry index of `tuple`, or kNotFound.
-  size_t FindEntry(const Tuple& tuple) const;
-  /// Index slot holding `tuple`'s entry, or kNotFound.
+  /// texp bucket under the current width (segmented mode only).
+  int64_t BucketFor(Timestamp texp) const {
+    if (texp.IsInfinite()) return kInfBucket;
+    return texp.ticks() / bucket_width_;
+  }
+
+  /// The bucket's segment, created (sorted into the directory) on demand.
+  Segment* FindOrCreateSegment(int64_t bucket);
+  /// Flat mode: the single segment, created on demand.
+  Segment* FlatSegment();
+  /// The segment a fresh entry expiring at `texp` belongs in.
+  Segment* TargetSegment(Timestamp texp) {
+    return segmented_ ? FindOrCreateSegment(BucketFor(texp))
+                      : FlatSegment();
+  }
+  /// Removes `seg` (must be empty or being bulk-dropped) from the
+  /// directory and retires its id.
+  void DropSegment(Segment* seg);
+  /// Doubles the bucket width (merging segments) while the finite
+  /// segment count exceeds the cap; rebuilds the index. Must only be
+  /// called between complete mutations (it invalidates slots/handles).
+  void MaybeRebucket();
+
+  /// Builds the deferred index if construction skipped it (see
+  /// FromEntriesUnchecked). No-op once built; safe to call from
+  /// concurrent const readers.
+  void EnsureSlots() const;
+  /// Index slot holding `tuple`'s entry, or kNotFound. Builds the
+  /// deferred index on first use.
   size_t FindSlot(const Tuple& tuple) const;
-  /// Appends (tuple, texp) and indexes it; returns (entry index, inserted).
-  /// On duplicate, nothing is appended and the existing index is returned.
-  std::pair<size_t, bool> InsertEntry(Tuple tuple, Timestamp texp);
-  /// Removes the entry at `entry_idx` (whose index slot is `slot`) by
-  /// swap-with-last, patching the moved entry's slot.
-  void EraseAt(size_t entry_idx, size_t slot);
+  /// Index slot currently storing exactly `handle` (probed via the
+  /// tuple's hash), or kNotFound.
+  size_t FindSlotByHandle(const Tuple& tuple, int64_t handle) const;
+  /// Finds `tuple` or appends (tuple, texp) to its target segment and
+  /// indexes it. On duplicate nothing is appended.
+  InsertPos InsertEntry(Tuple tuple, Timestamp texp);
+  /// Updates the texp of the entry at `pos`, relocating it to the right
+  /// bucket segment when the new texp moves it; returns the entry at its
+  /// final location.
+  Entry* SetTexpAt(const InsertPos& pos, Timestamp texp);
+  /// Removes the entry at (seg, off) by swap-with-last within its
+  /// segment, patching the moved entry's slot. `slot` is the erased
+  /// entry's slot (tombstoned). Does not drop an emptied segment.
+  void EraseWithinSegment(Segment* seg, size_t off, size_t slot);
+  /// Drops `seg` if it just became empty; resets all storage when the
+  /// relation as a whole became empty.
+  void ShrinkAfterErase(Segment* seg);
   /// Grows/rebuilds the index so it can hold at least `n` live entries.
+  /// Renumbers segment ids compactly and purges stale slots/tombstones.
   void Rehash(size_t n);
   /// Ensures capacity for one more insert.
   void EnsureSlotCapacity();
-  /// Rebuilds slots_ from entries_, which must be duplicate-free.
+  /// Rebuilds slots_ from the segments, which must be duplicate-free.
   void RebuildIndex();
 
   // --- delta recording (no-ops when tracking is disabled) -----------------
@@ -313,13 +506,33 @@ class Relation {
   }
 
   Schema schema_;
-  std::vector<Entry> entries_;
-  /// Open-addressing index: power-of-two sized, linear probing, entry
-  /// index or kEmpty/kTombstone per slot. Empty vector when no entries.
+  /// Segment directory, sorted by ascending bucket (∞ last). unique_ptr
+  /// keeps Segment addresses stable across directory shifts.
+  std::vector<std::unique_ptr<Segment>> segments_;
+  /// Segment id -> live segment; nullptr marks a retired (bulk-dropped)
+  /// id, which is what makes its leftover index slots detectably stale.
+  /// Compacted (ids renumbered) on every rehash.
+  std::vector<Segment*> seg_by_id_;
+  /// Open-addressing index: power-of-two sized, linear probing, packed
+  /// (segment id, offset) handle or kEmpty/kTombstone per slot. Empty
+  /// vector when no entries.
   std::vector<int64_t> slots_;
+  /// False while the index build is deferred: relations assembled whole
+  /// by FromEntriesUnchecked (operator results) skip it, since most are
+  /// only ever scanned forward. Invariant: !slots_ready_ ⇒ slots_ is
+  /// empty (no handles exist, stale or live), so any mutation path that
+  /// reaches Rehash — which publishes the flag — heals it for free.
+  /// `mutable` + atomic because the build is triggered by const lookups.
+  mutable std::atomic<bool> slots_ready_{true};
+  /// Serializes the one-shot lazy build among concurrent const readers.
+  mutable std::mutex slots_mu_;
+  /// Tombstoned plus stale slots (both are recycled by inserts and
+  /// purged by rehash); kept for load-factor accounting.
   size_t tombstones_ = 0;
-  /// Upper bound on every stored texp; see texp_upper_bound().
-  Timestamp max_texp_ = Timestamp::Zero();
+  size_t total_entries_ = 0;
+  bool segmented_ = false;
+  int64_t bucket_width_ = 8;
+  size_t max_segments_ = 64;
   /// Per-epoch mutation log; null until EnableDeltaTracking. `mutable`
   /// because enabling is metadata-only and consumers hold const access;
   /// an atomic pointer (owned, deleted in ~Relation) so a first enable

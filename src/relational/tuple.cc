@@ -17,6 +17,23 @@ constexpr size_t kHashSeed = 0x5bd1e9955bd1e995ULL;
 
 }  // namespace
 
+Tuple::Tuple() : hash_(kHashSeed) {}
+
+Tuple::Tuple(std::vector<Value> values)
+    : values_(values.empty()
+                  ? nullptr
+                  : std::make_shared<const std::vector<Value>>(
+                        std::move(values))),
+      hash_(HashValues(this->values())) {}
+
+Tuple::Tuple(std::initializer_list<Value> values)
+    : Tuple(std::vector<Value>(values)) {}
+
+const std::vector<Value>& Tuple::EmptyValues() {
+  static const std::vector<Value> empty;
+  return empty;
+}
+
 size_t Tuple::HashValues(const std::vector<Value>& values) {
   size_t seed = kHashSeed;
   for (const Value& v : values) seed = HashCombine(seed, v.Hash());
@@ -24,59 +41,65 @@ size_t Tuple::HashValues(const std::vector<Value>& values) {
 }
 
 size_t Tuple::HashOfColumns(const std::vector<size_t>& indices) const {
+  const std::vector<Value>& vals = values();
   size_t seed = kHashSeed;
   for (size_t i : indices) {
-    assert(i < values_.size());
-    seed = HashCombine(seed, values_[i].Hash());
+    assert(i < vals.size());
+    seed = HashCombine(seed, vals[i].Hash());
   }
   return seed;
 }
 
 Tuple Tuple::Concat(const Tuple& other) const {
-  std::vector<Value> vals = values_;
-  vals.insert(vals.end(), other.values_.begin(), other.values_.end());
+  std::vector<Value> vals = values();
+  vals.insert(vals.end(), other.values().begin(), other.values().end());
   return Tuple(std::move(vals));
 }
 
 Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  const std::vector<Value>& in = values();
   std::vector<Value> vals;
   vals.reserve(indices.size());
   for (size_t i : indices) {
-    assert(i < values_.size());
-    vals.push_back(values_[i]);
+    assert(i < in.size());
+    vals.push_back(in[i]);
   }
   return Tuple(std::move(vals));
 }
 
 Tuple Tuple::Prefix(size_t n) const {
-  assert(n <= values_.size());
-  return Tuple(std::vector<Value>(values_.begin(), values_.begin() + n));
+  const std::vector<Value>& in = values();
+  assert(n <= in.size());
+  return Tuple(std::vector<Value>(in.begin(), in.begin() + n));
 }
 
 Tuple Tuple::Suffix(size_t from) const {
-  assert(from <= values_.size());
-  return Tuple(std::vector<Value>(values_.begin() + from, values_.end()));
+  const std::vector<Value>& in = values();
+  assert(from <= in.size());
+  return Tuple(std::vector<Value>(in.begin() + from, in.end()));
 }
 
 Tuple Tuple::Append(Value v) const {
-  std::vector<Value> vals = values_;
+  std::vector<Value> vals = values();
   vals.push_back(std::move(v));
   return Tuple(std::move(vals));
 }
 
 bool Tuple::operator<(const Tuple& other) const {
-  const size_t n = std::min(values_.size(), other.values_.size());
+  const std::vector<Value>& a = values();
+  const std::vector<Value>& b = other.values();
+  const size_t n = std::min(a.size(), b.size());
   for (size_t i = 0; i < n; ++i) {
-    auto cmp = values_[i].Compare(other.values_[i]);
+    auto cmp = a[i].Compare(b[i]);
     if (cmp != std::strong_ordering::equal) {
       return cmp == std::strong_ordering::less;
     }
   }
-  return values_.size() < other.values_.size();
+  return a.size() < b.size();
 }
 
 std::string Tuple::ToString() const {
-  return "<" + JoinToString(values_, ", ") + ">";
+  return "<" + JoinToString(values(), ", ") + ">";
 }
 
 std::ostream& operator<<(std::ostream& os, const Tuple& t) {

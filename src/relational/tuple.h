@@ -5,6 +5,13 @@
 // tuples — the Relation index, join build tables, aggregate partitioning —
 // reuses the cached value instead of re-walking the Values, and the cache
 // makes concurrent read-side hashing trivially thread-safe.
+//
+// Immutability also means copies never need their own Values: all copies
+// of a tuple share one refcounted payload, so copying a Tuple is a
+// pointer-plus-refcount bump instead of a Value-vector clone. Scans and
+// the set operators copy entries between relations constantly — with
+// shared payloads a scan result references the stored tuples instead of
+// reallocating (and heap-scattering) every one of them.
 
 #ifndef EXPDB_RELATIONAL_TUPLE_H_
 #define EXPDB_RELATIONAL_TUPLE_H_
@@ -12,6 +19,7 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -23,19 +31,19 @@ namespace expdb {
 /// \brief A tuple r with attributes r(0)..r(α-1) (paper uses 1-based).
 class Tuple {
  public:
-  Tuple() : hash_(HashValues(values_)) {}
-  explicit Tuple(std::vector<Value> values)
-      : values_(std::move(values)), hash_(HashValues(values_)) {}
-  Tuple(std::initializer_list<Value> values)
-      : values_(values), hash_(HashValues(values_)) {}
+  Tuple();
+  explicit Tuple(std::vector<Value> values);
+  Tuple(std::initializer_list<Value> values);
 
-  size_t arity() const { return values_.size(); }
+  size_t arity() const { return values().size(); }
 
   /// The i-th attribute value (0-based).
-  const Value& at(size_t i) const { return values_[i]; }
-  const Value& operator[](size_t i) const { return values_[i]; }
+  const Value& at(size_t i) const { return values()[i]; }
+  const Value& operator[](size_t i) const { return values()[i]; }
 
-  const std::vector<Value>& values() const { return values_; }
+  const std::vector<Value>& values() const {
+    return values_ != nullptr ? *values_ : EmptyValues();
+  }
 
   /// \brief ⟨r(0..α(r)-1), s(0..α(s)-1)⟩ — tuple concatenation for ×.
   Tuple Concat(const Tuple& other) const;
@@ -53,7 +61,10 @@ class Tuple {
   Tuple Append(Value v) const;
 
   bool operator==(const Tuple& other) const {
-    return hash_ == other.hash_ && values_ == other.values_;
+    if (hash_ != other.hash_) return false;
+    // Copies share the payload, so most equal tuples compare by pointer.
+    if (values_ == other.values_) return true;
+    return values() == other.values();
   }
   bool operator!=(const Tuple& other) const { return !(*this == other); }
 
@@ -73,8 +84,10 @@ class Tuple {
 
  private:
   static size_t HashValues(const std::vector<Value>& values);
+  static const std::vector<Value>& EmptyValues();
 
-  std::vector<Value> values_;
+  /// Shared immutable payload; null encodes the empty tuple.
+  std::shared_ptr<const std::vector<Value>> values_;
   size_t hash_ = 0;
 };
 

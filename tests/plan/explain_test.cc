@@ -139,6 +139,47 @@ TEST_F(ExplainTest, AnalyzeRendersPerNodeStats) {
   EXPECT_TRUE(Contains(rendered, "calls=1)")) << rendered;
 }
 
+TEST_F(ExplainTest, AnalyzeRendersSegmentPruning) {
+  // R is segmented (CreateRelation default) with texps {5, 10, ∞} and the
+  // default bucket width 8: segments [0,8), [8,16), ∞. Adding texp=12
+  // makes the middle one a straddler at τ=10, so one execution shows all
+  // three segment outcomes: ∞ fully live, [8,16) checked per-tuple,
+  // [0,8) pruned without touching a tuple.
+  Relation* r = db_.GetRelation("R").value();
+  ASSERT_TRUE(r->Insert(Tuple{4, 40}, T(12)).ok());
+
+  auto e = Base("R");
+  PhysicalPlanPtr p = Plan(e);
+  PlanProfile profile;
+  auto result = plan::ExecutePlan(*p, db_, T(10), {}, &profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->relation.size(), 2u);  // {3,30}@inf and {4,40}@12
+  const std::string rendered = p->ToString(&profile);
+  EXPECT_TRUE(Contains(rendered, "(rows=2, ")) << rendered;
+  EXPECT_TRUE(Contains(rendered, "[segments: 1/1/1]")) << rendered;
+
+  // Plain EXPLAIN (no profile) never renders segment counters.
+  EXPECT_FALSE(Contains(p->ToString(), "[segments:"));
+}
+
+TEST_F(ExplainTest, AnalyzeOmitsSegmentsForFlatRelations) {
+  // Derived/scratch relations registered via PutRelation keep flat
+  // storage; their scans are not partition-aware and must not render a
+  // segment line even under ANALYZE.
+  Relation flat(Schema({{"a", ValueType::kInt64}}));
+  ASSERT_TRUE(flat.Insert(Tuple{1}, T(30)).ok());
+  ASSERT_TRUE(db_.PutRelation("F", std::move(flat)).ok());
+
+  auto e = Base("F");
+  PhysicalPlanPtr p = Plan(e);
+  PlanProfile profile;
+  auto result = plan::ExecutePlan(*p, db_, T(0), {}, &profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string rendered = p->ToString(&profile);
+  EXPECT_TRUE(Contains(rendered, "(rows=1, ")) << rendered;
+  EXPECT_FALSE(Contains(rendered, "[segments:")) << rendered;
+}
+
 // --- one golden per rewrite rule ------------------------------------------
 
 TEST_F(ExplainTest, RewriteMergeSelects) {

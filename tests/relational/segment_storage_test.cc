@@ -1,0 +1,266 @@
+// Expiration-partitioned (segmented) storage: bucketing, segment bounds,
+// O(1) bulk drops, stale-handle recycling, and the delta-ring exclusion
+// for physical expiration (docs/PERFORMANCE.md §8).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace expdb {
+namespace {
+
+Schema OneInt() { return Schema({{"x", ValueType::kInt64}}); }
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+Relation Segmented(Relation::SegmentOptions opts = {}) {
+  Relation r(OneInt());
+  r.SetSegmented(opts);
+  return r;
+}
+
+TEST(SegmentStorageTest, PartitionsByBucketWithDedicatedInfinitySegment) {
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(3)).ok());    // bucket 0
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(5)).ok());    // bucket 0
+  ASSERT_TRUE(r.Insert(Tuple{3}, T(20)).ok());   // bucket 2
+  ASSERT_TRUE(r.Insert(Tuple{4}).ok());          // ∞ segment
+  EXPECT_TRUE(r.segmented());
+  EXPECT_EQ(r.SegmentCount(), 3u);
+  EXPECT_EQ(r.size(), 4u);
+
+  // Segments are bucket-ordered; the ∞ segment comes last.
+  Relation::SegmentView s0 = r.GetSegment(0);
+  EXPECT_EQ(s0.size, 2u);
+  EXPECT_EQ(s0.min_texp, T(3));
+  EXPECT_EQ(s0.max_texp, T(5));
+  Relation::SegmentView s1 = r.GetSegment(1);
+  EXPECT_EQ(s1.size, 1u);
+  EXPECT_EQ(s1.min_texp, T(20));
+  EXPECT_EQ(s1.max_texp, T(20));
+  Relation::SegmentView s2 = r.GetSegment(2);
+  EXPECT_EQ(s2.size, 1u);
+  EXPECT_TRUE(s2.min_texp.IsInfinite());
+  EXPECT_TRUE(s2.max_texp.IsInfinite());
+}
+
+TEST(SegmentStorageTest, LookupsSpanSegments) {
+  Relation r = Segmented();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple{i}, T(1 + i * 3)).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(r.Contains(Tuple{i}));
+    EXPECT_EQ(r.GetTexp(Tuple{i}), T(1 + i * 3));
+  }
+  EXPECT_FALSE(r.Contains(Tuple{100}));
+  EXPECT_GT(r.SegmentCount(), 1u);
+}
+
+TEST(SegmentStorageTest, DropExpiredDropsWholeSegmentsAndCountsThem) {
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  // Bucket 0: texp in [1, 7]; bucket 1: [8, 15]; ∞ tuples.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(r.Insert(Tuple{i}, T(1 + i)).ok());
+  for (int i = 5; i < 9; ++i) ASSERT_TRUE(r.Insert(Tuple{i}, T(5 + i)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{100}).ok());
+  ASSERT_EQ(r.SegmentCount(), 3u);
+
+  // τ = 7 expires the whole of bucket 0 and none of bucket 1.
+  Relation::DropResult drop = r.DropExpired(T(7));
+  EXPECT_EQ(drop.tuples, 5u);
+  EXPECT_EQ(drop.segments, 1u);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.SegmentCount(), 2u);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(r.Contains(Tuple{i}));
+  for (int i = 5; i < 9; ++i) EXPECT_TRUE(r.Contains(Tuple{i}));
+  EXPECT_TRUE(r.Contains(Tuple{100}));
+
+  // Idempotent: nothing else is expired at the same τ.
+  drop = r.DropExpired(T(7));
+  EXPECT_EQ(drop.tuples, 0u);
+  EXPECT_EQ(drop.segments, 0u);
+}
+
+TEST(SegmentStorageTest, DropExpiredStraddlingSegmentTightensBounds) {
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  for (int i = 1; i <= 7; ++i) ASSERT_TRUE(r.Insert(Tuple{i}, T(i)).ok());
+  ASSERT_EQ(r.SegmentCount(), 1u);
+
+  // τ = 3 straddles the only segment: per-tuple path, exact new bounds.
+  Relation::DropResult drop = r.DropExpired(T(3));
+  EXPECT_EQ(drop.tuples, 3u);
+  EXPECT_EQ(drop.segments, 0u);
+  ASSERT_EQ(r.SegmentCount(), 1u);
+  Relation::SegmentView s = r.GetSegment(0);
+  EXPECT_EQ(s.min_texp, T(4));
+  EXPECT_EQ(s.max_texp, T(7));
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(SegmentStorageTest, InsertAfterBulkDropRecyclesStaleSlots) {
+  Relation r = Segmented({/*bucket_width=*/4, /*max_segments=*/64});
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple{i}, T(1 + (i % 4))).ok());
+  }
+  ASSERT_EQ(r.DropExpired(T(10)).tuples, 64u);
+  EXPECT_TRUE(r.empty());
+  // Reuse after the bulk drop: stale index slots must behave like
+  // tombstones, and re-inserted tuples must be findable.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple{i}, T(100 + i)).ok());
+  }
+  EXPECT_EQ(r.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(r.GetTexp(Tuple{i}), T(100 + i));
+  }
+}
+
+TEST(SegmentStorageTest, TexpUpperBoundTightensAfterDrop) {
+  // Satellite: the bound is derived from live segments, so physical
+  // expiration lowers it — the flat-era max_texp_ never did.
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(5)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(50)).ok());
+  EXPECT_EQ(r.texp_upper_bound(), T(50));
+  ASSERT_EQ(r.DropExpired(T(50)).tuples, 2u);
+  EXPECT_EQ(r.texp_upper_bound(), Timestamp::Zero());
+  ASSERT_TRUE(r.Insert(Tuple{3}, T(7)).ok());
+  EXPECT_EQ(r.texp_upper_bound(), T(7));
+}
+
+TEST(SegmentStorageTest, TexpUpperBoundTightensAfterRemoveExpired) {
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(9)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(14)).ok());  // same bucket [8, 16)
+  ASSERT_TRUE(r.Insert(Tuple{3}, T(100)).ok());
+  EXPECT_EQ(r.texp_upper_bound(), T(100));
+  // τ = 99: the [8,16) bucket goes entirely; segment 100 survives.
+  std::vector<std::pair<Tuple, Timestamp>> removed = r.RemoveExpired(T(99));
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].second, T(9));   // sorted by (texp, tuple)
+  EXPECT_EQ(removed[1].second, T(14));
+  EXPECT_EQ(r.texp_upper_bound(), T(100));
+}
+
+TEST(SegmentStorageTest, RaisingTexpRelocatesAcrossSegments) {
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(3)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(4)).ok());
+  ASSERT_EQ(r.SegmentCount(), 1u);
+  // Max-merge raises tuple 1's texp into bucket 2; it must move there so
+  // a bulk drop of bucket 0 cannot take it along.
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(20)).ok());
+  EXPECT_EQ(r.GetTexp(Tuple{1}), T(20));
+  EXPECT_EQ(r.SegmentCount(), 2u);
+  Relation::DropResult drop = r.DropExpired(T(10));
+  EXPECT_EQ(drop.tuples, 1u);  // only tuple 2
+  EXPECT_TRUE(r.Contains(Tuple{1}));
+  EXPECT_FALSE(r.Contains(Tuple{2}));
+  // Relocating the last entry out of a bucket retires the segment.
+  EXPECT_EQ(r.SegmentCount(), 1u);
+}
+
+TEST(SegmentStorageTest, WidthDoublesWhenSegmentCapExceeded) {
+  Relation r = Segmented({/*bucket_width=*/1, /*max_segments=*/4});
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple{i}, T(i + 1)).ok());
+  }
+  ASSERT_TRUE(r.Insert(Tuple{1000}).ok());
+  // The finite segments respect the cap (the ∞ segment rides along).
+  EXPECT_LE(r.SegmentCount(), 5u);
+  EXPECT_EQ(r.size(), 129u);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(r.GetTexp(Tuple{i}), T(i + 1));
+  }
+  // Content-level behaviour is unchanged by the merges.
+  EXPECT_EQ(r.CountUnexpiredAt(T(64)), 65u);
+  EXPECT_EQ(r.DropExpired(T(64)).tuples, 64u);
+  EXPECT_EQ(r.size(), 65u);
+}
+
+TEST(SegmentStorageTest, BulkDropEmitsNoDeltas) {
+  // Satellite: physical expiration is invisible to expτ readers, so the
+  // bulk path must not touch the delta ring (mirroring RemoveExpired).
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  r.EnableDeltaTracking();
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(3)).ok());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(30)).ok());
+  const Relation::DeltaCursor before = r.delta_cursor();
+  ASSERT_EQ(r.DropExpired(T(10)).tuples, 1u);
+  EXPECT_EQ(r.delta_cursor(), before);
+  auto deltas = r.DeltasSince(before.epoch);
+  ASSERT_TRUE(deltas.has_value());
+  EXPECT_TRUE(deltas->empty());
+  // Explicit mutations still record.
+  EXPECT_TRUE(r.Erase(Tuple{2}));
+  EXPECT_EQ(r.delta_cursor().epoch, before.epoch + 1);
+}
+
+TEST(SegmentStorageTest, CopyPreservesSegmentsAndStaleHandleSafety) {
+  Relation r = Segmented({/*bucket_width=*/8, /*max_segments=*/64});
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple{i}, T(1 + (i % 16))).ok());
+  }
+  // Leave stale slots behind (segment [0,8) bulk-dropped), then copy.
+  ASSERT_GT(r.DropExpired(T(7)).segments, 0u);
+  Relation copy(r);
+  EXPECT_TRUE(copy.segmented());
+  EXPECT_EQ(copy.size(), r.size());
+  EXPECT_TRUE(Relation::EqualAt(copy, r, Timestamp::Zero()));
+  // Mutating the copy (forcing new segments + slot reuse) must not
+  // confuse the copied stale handles with fresh segment ids.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(copy.Insert(Tuple{100 + i}, T(2 + (i % 16))).ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(copy.Contains(Tuple{100 + i}));
+  }
+  EXPECT_EQ(copy.size(), r.size() + 32);
+}
+
+TEST(SegmentStorageTest, ScanHelpersAgreeWithFlatStorage) {
+  Relation seg = Segmented({/*bucket_width=*/4, /*max_segments=*/8});
+  Relation flat(OneInt());
+  for (int i = 0; i < 200; ++i) {
+    const Timestamp texp = i % 7 == 0 ? Timestamp::Infinity() : T(i % 40);
+    ASSERT_TRUE(seg.Insert(Tuple{i}, texp).ok());
+    ASSERT_TRUE(flat.Insert(Tuple{i}, texp).ok());
+  }
+  for (int64_t tau : {0, 5, 20, 39, 40, 100}) {
+    EXPECT_EQ(seg.CountUnexpiredAt(T(tau)), flat.CountUnexpiredAt(T(tau)));
+    EXPECT_TRUE(Relation::EqualAt(seg, flat, T(tau)));
+    EXPECT_EQ(seg.UnexpiredAt(T(tau)).SortedEntries(),
+              flat.UnexpiredAt(T(tau)).SortedEntries());
+    EXPECT_EQ(seg.NextExpirationAfter(T(tau)),
+              flat.NextExpirationAfter(T(tau)));
+  }
+  EXPECT_EQ(seg.SortedEntries(), flat.SortedEntries());
+}
+
+TEST(SegmentStorageTest, ClearKeepsSegmentedMode) {
+  Relation r = Segmented();
+  ASSERT_TRUE(r.Insert(Tuple{1}, T(3)).ok());
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.segmented());
+  ASSERT_TRUE(r.Insert(Tuple{2}, T(5)).ok());
+  EXPECT_EQ(r.SegmentCount(), 1u);
+}
+
+TEST(SegmentStorageTest, UnexpiredAtProducesFlatResult) {
+  // Derived materializations stay flat: the evaluator chunks entries()
+  // directly.
+  Relation r = Segmented();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple{i}, T(10 + i)).ok());
+  }
+  Relation live = r.UnexpiredAt(T(15));
+  EXPECT_FALSE(live.segmented());
+  EXPECT_EQ(live.entries().size(), live.size());
+  EXPECT_EQ(live.size(), r.CountUnexpiredAt(T(15)));
+}
+
+}  // namespace
+}  // namespace expdb

@@ -1,0 +1,164 @@
+// Segment bulk drops are invisible to the delta ring.
+//
+// Physical expiration was never a delta source: expτ readers cannot see
+// expired tuples, so removing them changes nothing any view observes, and
+// RemoveExpired has always bypassed the mutation log. The segment storage
+// bulk path (DropExpired, and the trigger-free compaction built on it)
+// must keep that exclusion — dropping a whole expired segment in O(1)
+// must not emit per-tuple deltas, must not advance any base relation's
+// delta cursor, and must not knock incremental views off the delta path.
+// These tests pin all three across direct drops and manager-driven
+// compaction over segmented base relations.
+
+#include <gtest/gtest.h>
+
+#include "core/expression.h"
+#include "expiration/expiration_queue.h"
+#include "relational/database.h"
+#include "view/materialized_view.h"
+
+namespace expdb {
+namespace {
+
+Schema OneInt() { return Schema({{"a", ValueType::kInt64}}); }
+
+Timestamp T(int64_t t) { return Timestamp(t); }
+
+/// A plan the delta engine provably supports (see delta_property_test):
+/// maintenance rounds on it must take the incremental path, so a
+/// fallback after a bulk drop would be a regression, not noise.
+ExpressionPtr SupportedPlan() {
+  using namespace algebra;  // NOLINT
+  return Select(Base("R"),
+                Predicate::Compare(Operand::Column(0), ComparisonOp::kGe,
+                                   Operand::Constant(Value(int64_t{0}))));
+}
+
+TEST(SegmentBulkDropTest, DropExpiredLeavesViewDeltaCursorsPinned) {
+  Database db;
+  // CreateRelation => expiration-partitioned storage, the engine default.
+  ASSERT_TRUE(db.CreateRelation("R", OneInt()).ok());
+  Relation* rel = db.GetRelation("R").value();
+  ASSERT_TRUE(rel->segmented());
+
+  // Two doomed segments ([1,8] and [9,16] with the default width 8), one
+  // straddler bucket, and survivors incl. ∞ — a bulk drop at τ=20 drops
+  // whole segments AND per-tuple-erases within the straddling one.
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(db.Insert("R", Tuple{i}, T(3 + i)).ok());          // doomed
+    ASSERT_TRUE(db.Insert("R", Tuple{10 + i}, T(11 + i)).ok());    // doomed
+    ASSERT_TRUE(db.Insert("R", Tuple{20 + i}, T(18 + i)).ok());    // straddle
+    ASSERT_TRUE(db.Insert("R", Tuple{30 + i}, T(100 + i)).ok());   // live
+  }
+  ASSERT_TRUE(db.Insert("R", Tuple{99}, Timestamp::Infinity()).ok());
+
+  MaterializedView view(SupportedPlan(), MaterializedView::Options());
+  ASSERT_TRUE(view.Initialize(db, T(0)).ok());
+
+  // Seeding is demand-driven: the first explicit update falls back to a
+  // recompute (which captures per-node state), the second proves the
+  // delta path live. Get the view onto that path before the drop.
+  ASSERT_TRUE(db.Insert("R", Tuple{40}, T(200)).ok());
+  view.MarkStale();
+  ASSERT_TRUE(view.AdvanceTo(db, T(1)).ok());
+  ASSERT_TRUE(db.Insert("R", Tuple{42}, T(202)).ok());
+  view.MarkStale();
+  ASSERT_TRUE(view.AdvanceTo(db, T(1)).ok());
+  ASSERT_EQ(view.stats().delta_applies, 1u);
+  const uint64_t fallbacks = view.stats().delta_fallbacks;
+
+  const Relation::DeltaCursor cursor = rel->delta_cursor();
+  const size_t before = rel->size();
+
+  // The bulk drop: whole expired segments plus straddler erases.
+  const Relation::DropResult drop = rel->DropExpired(T(20));
+  EXPECT_GE(drop.segments, 2u);
+  EXPECT_GT(drop.tuples, drop.segments);  // straddler tuples went per-tuple
+  EXPECT_LT(rel->size(), before);
+
+  // The cursor did not move and no per-tuple deltas were recorded — the
+  // drop is invisible to every delta consumer.
+  EXPECT_EQ(rel->delta_cursor(), cursor);
+  auto deltas = rel->DeltasSince(cursor.epoch);
+  ASSERT_TRUE(deltas.has_value());
+  EXPECT_TRUE(deltas->empty());
+
+  // And the view is still on the incremental path: the next explicit
+  // update applies as a delta, no fallback, with correct contents. Read
+  // at τ=20 — the drop horizon — where the dropped tuples were already
+  // invisible to every expτ reader.
+  ASSERT_TRUE(db.Insert("R", Tuple{41}, T(201)).ok());
+  view.MarkStale();
+  ASSERT_TRUE(view.AdvanceTo(db, T(20)).ok());
+  EXPECT_EQ(view.stats().delta_applies, 2u);
+  EXPECT_EQ(view.stats().delta_fallbacks, fallbacks);
+
+  MaterializedView::Options recompute_opts;
+  recompute_opts.incremental = false;
+  MaterializedView recompute(SupportedPlan(), recompute_opts);
+  ASSERT_TRUE(recompute.Initialize(db, T(20)).ok());
+  auto got = view.Read(db, T(20));
+  auto want = recompute.Read(db, T(20));
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(Relation::EqualAt(*got, *want, T(20)))
+      << "view after bulk drop: " << got->ToString()
+      << "\nrecomputed:          " << want->ToString();
+}
+
+TEST(SegmentBulkDropTest, TriggerFreeCompactionKeepsViewsIncremental) {
+  // Same pin, driven end-to-end through the expiration manager's
+  // trigger-free compaction (the path background maintenance takes).
+  ExpirationManagerOptions options;
+  options.policy = RemovalPolicy::kLazy;
+  ExpirationManager manager(options);
+  ASSERT_TRUE(manager.CreateRelation("R", OneInt()).ok());
+  Relation* rel = manager.db().GetRelation("R").value();
+  ASSERT_TRUE(rel->segmented());
+
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(manager.Insert("R", Tuple{i}, T(2 + i)).ok());      // doomed
+    ASSERT_TRUE(manager.Insert("R", Tuple{50 + i}, T(500 + i)).ok());  // live
+  }
+
+  MaterializedView view(SupportedPlan(), MaterializedView::Options());
+  ASSERT_TRUE(view.Initialize(manager.db(), T(0)).ok());
+  // Two seeding rounds: the first falls back (demand-driven capture), the
+  // second runs incrementally.
+  ASSERT_TRUE(manager.db().Insert("R", Tuple{60}, T(600)).ok());
+  view.MarkStale();
+  ASSERT_TRUE(view.AdvanceTo(manager.db(), T(1)).ok());
+  ASSERT_TRUE(manager.db().Insert("R", Tuple{62}, T(602)).ok());
+  view.MarkStale();
+  ASSERT_TRUE(view.AdvanceTo(manager.db(), T(1)).ok());
+  ASSERT_EQ(view.stats().delta_applies, 1u);
+  const uint64_t fallbacks = view.stats().delta_fallbacks;
+
+  const Relation::DeltaCursor cursor = rel->delta_cursor();
+  const uint64_t segs_before = manager.metrics().segments_dropped.value();
+
+  ASSERT_TRUE(manager.AdvanceTo(T(40)).ok());
+  const size_t removed = manager.Compact();
+  EXPECT_EQ(removed, 8u);
+  // The compaction actually took the bulk path (no triggers registered).
+  EXPECT_GT(manager.metrics().segments_dropped.value(), segs_before);
+
+  EXPECT_EQ(rel->delta_cursor(), cursor);
+  auto deltas = rel->DeltasSince(cursor.epoch);
+  ASSERT_TRUE(deltas.has_value());
+  EXPECT_TRUE(deltas->empty());
+
+  ASSERT_TRUE(manager.db().Insert("R", Tuple{61}, T(601)).ok());
+  view.MarkStale();
+  ASSERT_TRUE(view.AdvanceTo(manager.db(), T(41)).ok());
+  EXPECT_EQ(view.stats().delta_applies, 2u);
+  EXPECT_EQ(view.stats().delta_fallbacks, fallbacks);
+  auto read = view.Read(manager.db(), T(41));
+  ASSERT_TRUE(read.ok());
+  // 8 live seeds + the three explicit inserts survive; the 8 doomed are
+  // gone physically and were never visible at τ=41 anyway.
+  EXPECT_EQ(read->CountUnexpiredAt(T(41)), 11u);
+}
+
+}  // namespace
+}  // namespace expdb
