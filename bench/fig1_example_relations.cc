@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace expdb;
-  TraceGuard trace(argc, argv);
+  ReproFlags flags(argc, argv);
   std::printf("=== Figure 1: Example relations at time 0 ===\n\n");
 
   Database db = MakePaperDatabase();
@@ -31,6 +31,5 @@ int main(int argc, char** argv) {
   Check(el->GetTexp(Tuple{2, 85}) == Timestamp(3), "texp(El<2,85>) = 3");
   Check(el->GetTexp(Tuple{4, 90}) == Timestamp(2), "texp(El<4,90>) = 2");
   std::printf("\nFigure 1 reproduced.\n");
-  MaybeDumpStats(argc, argv);
   return 0;
 }

@@ -21,7 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace expdb;
-  TraceGuard trace(argc, argv);
+  ReproFlags flags(argc, argv);
   using namespace expdb::algebra;
   std::printf("=== Figure 2: Example monotonic expressions ===\n\n");
 
@@ -121,6 +121,5 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nFigure 2 reproduced.\n");
-  MaybeDumpStats(argc, argv);
   return 0;
 }

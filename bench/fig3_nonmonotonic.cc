@@ -21,7 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace expdb;
-  TraceGuard trace(argc, argv);
+  ReproFlags flags(argc, argv);
   using namespace expdb::algebra;
   std::printf("=== Figure 3: Some non-monotonic expressions ===\n\n");
 
@@ -118,6 +118,5 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nFigure 3 reproduced.\n");
-  MaybeDumpStats(argc, argv);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "relational/database.h"
 
@@ -43,61 +44,75 @@ inline void Check(bool ok, const char* what) {
   if (!ok) std::exit(1);
 }
 
-/// `--stats` support for the reproduction binaries: when the flag is
-/// present on the command line, append the process-wide metrics
-/// snapshot (Prometheus text exposition, docs/OBSERVABILITY.md) after
-/// the reproduction has verified — showing what the run cost in
-/// operator evaluations, view recomputations, and so on.
-inline void MaybeDumpStats(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--stats") {
-      std::printf("\n=== metrics (--stats) ===\n%s",
-                  obs::MetricsRegistry::Global().PrometheusText().c_str());
-      return;
-    }
-  }
-}
-
-/// `--trace <file>` support for the reproduction binaries: construct at
-/// the top of main(). When the flag is present, span recording is
-/// enabled for the whole run and the destructor exports the recorded
-/// spans as Chrome trace-event JSON (load the file in Perfetto or
-/// chrome://tracing) to the given path on the way out.
-class TraceGuard {
+/// Observability flags shared by every reproduction binary — construct
+/// one at the top of main() and the flags work uniformly:
+///
+///   --stats          append the process-wide metrics snapshot
+///                    (Prometheus text) after the repro has verified
+///   --trace <file>   record spans for the whole run and export them as
+///                    Chrome trace-event JSON on the way out
+///   --telemetry      take one telemetry sample on the way out and dump
+///                    a MONITOR STATUS-style snapshot (active metrics
+///                    with counter values; docs/OBSERVABILITY.md §9)
+///
+/// The destructor emits everything in flag order (stats, telemetry,
+/// trace), so output lands after the repro's own PASS/FAIL lines.
+class ReproFlags {
  public:
-  TraceGuard(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string_view(argv[i]) == "--trace") {
-        path_ = argv[i + 1];
-        break;
+  ReproFlags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      if (arg == "--stats") {
+        stats_ = true;
+      } else if (arg == "--telemetry") {
+        telemetry_ = true;
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
       }
     }
-    if (path_.empty()) return;
+    if (trace_path_.empty()) return;
     obs::TraceRecorder::Global().Clear();
     obs::TraceRecorder::Global().set_enabled(true);
   }
 
-  ~TraceGuard() {
-    if (path_.empty()) return;
+  ~ReproFlags() {
+    if (stats_) {
+      std::printf("\n=== metrics (--stats) ===\n%s",
+                  obs::MetricsRegistry::Global().PrometheusText().c_str());
+    }
+    if (telemetry_) {
+      // One sample into a fresh ring gives the per-metric derivation a
+      // data point; the status text then lists every active metric.
+      obs::TimeSeriesStore store;
+      store.Sample(obs::MetricsRegistry::Global().Snapshot(),
+                   obs::SteadyNowNs());
+      std::printf(
+          "\n=== telemetry (--telemetry) ===\n%zu metrics sampled\n%s",
+          store.series_count(),
+          obs::TelemetryStatusText(obs::MetricsRegistry::Global()).c_str());
+    }
+    if (trace_path_.empty()) return;
     obs::TraceRecorder& rec = obs::TraceRecorder::Global();
     rec.set_enabled(false);
     const std::string json = obs::ChromeTraceJson(rec.Snapshot());
-    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::FILE* f = std::fopen(trace_path_.c_str(), "w");
     if (f == nullptr) {
-      std::printf("  [WARN] --trace: cannot open %s\n", path_.c_str());
+      std::printf("  [WARN] --trace: cannot open %s\n", trace_path_.c_str());
       return;
     }
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     std::printf("\n=== trace (--trace) ===\nwrote %zu spans to %s\n",
-                rec.Snapshot().size(), path_.c_str());
+                rec.Snapshot().size(), trace_path_.c_str());
   }
 
-  TraceGuard(const TraceGuard&) = delete;
-  TraceGuard& operator=(const TraceGuard&) = delete;
+  ReproFlags(const ReproFlags&) = delete;
+  ReproFlags& operator=(const ReproFlags&) = delete;
 
  private:
-  std::string path_;
+  bool stats_ = false;
+  bool telemetry_ = false;
+  std::string trace_path_;
 };
 
 }  // namespace expdb

@@ -63,7 +63,7 @@ void RunCase(const Case& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  TraceGuard trace(argc, argv);
+  ReproFlags flags(argc, argv);
   std::printf("=== Table 1: Neutral subsets per aggregate function ===\n\n");
 
   RunCase({"min_1: non-minimal tuples are neutral",
@@ -96,6 +96,5 @@ int main(int argc, char** argv) {
            "sum over N = 0 (every slice neutral)"});
 
   std::printf("Table 1 reproduced.\n");
-  MaybeDumpStats(argc, argv);
   return 0;
 }

@@ -16,7 +16,7 @@
 using namespace expdb;
 
 int main(int argc, char** argv) {
-  TraceGuard trace(argc, argv);
+  ReproFlags flags(argc, argv);
   std::printf("=== Table 2: Lifetime analysis of e = R - S ===\n\n");
 
   Relation r(Schema({{"x", ValueType::kInt64}}));
@@ -84,6 +84,5 @@ int main(int argc, char** argv) {
         "I(e) = [0, 8) U [20, inf)");
 
   std::printf("\nTable 2 reproduced.\n");
-  MaybeDumpStats(argc, argv);
   return 0;
 }

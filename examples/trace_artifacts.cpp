@@ -4,7 +4,10 @@
 // (Chrome trace-event JSON, Perfetto-loadable), the Prometheus metrics
 // scrape, and the structured event log as artifacts, and exits non-zero
 // if any output fails its conformance checker — a regression in an
-// exporter fails the build, not the dashboard.
+// exporter fails the build, not the dashboard. It also starts the
+// embedded HTTP observability endpoint on an ephemeral port and fetches
+// /metrics and /healthz over a real socket, so the wire-level surface is
+// gated alongside the in-process exporters.
 //
 // Usage: trace_artifacts [output-dir]   (default: current directory)
 
@@ -12,6 +15,8 @@
 #include <fstream>
 #include <string>
 
+#include "engine/telemetry.h"
+#include "obs/http_endpoint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -92,6 +97,49 @@ int main(int argc, char** argv) {
   if (!exec("INSERT INTO readings VALUES (3, 4096) TTL 500")) return 1;
   if (!exec("SELECT v FROM readings WHERE sensor = 3")) return 1;  // patch
 
+  // 1c. The live observability endpoint: one telemetry tick to populate
+  //     the pressure gauges and health verdict, then fetch /metrics and
+  //     /healthz over a real socket on an ephemeral port — the HTTP
+  //     surface is conformance-gated the same way the in-process
+  //     exporters are, and the fetched bodies become artifacts too.
+  {
+    engine::TelemetryService& telemetry = session.engine().telemetry();
+    telemetry.SampleOnce();
+    auto port = session.engine().StartHttpEndpoint(0);
+    if (!port.ok()) return Fail(port.status().ToString());
+    std::string error;
+    auto metrics_resp =
+        obs::HttpGet("127.0.0.1", port.value(), "/metrics", &error);
+    if (!metrics_resp.has_value()) return Fail("GET /metrics: " + error);
+    if (metrics_resp->status != 200) {
+      return Fail("GET /metrics returned " +
+                  std::to_string(metrics_resp->status));
+    }
+    if (!obs::ValidatePrometheusText(metrics_resp->body, &error)) {
+      return Fail("fetched /metrics body: " + error);
+    }
+    if (metrics_resp->body.find("expdb_telemetry_expired_backlog") ==
+        std::string::npos) {
+      return Fail("/metrics is missing expdb_telemetry_expired_backlog");
+    }
+    if (!WriteFile(dir + "/http_metrics.prom", metrics_resp->body)) {
+      return Fail("cannot write " + dir + "/http_metrics.prom");
+    }
+    auto healthz = obs::HttpGet("127.0.0.1", port.value(), "/healthz", &error);
+    if (!healthz.has_value()) return Fail("GET /healthz: " + error);
+    if (healthz->status != 200) {
+      return Fail("GET /healthz returned " + std::to_string(healthz->status) +
+                  ": " + healthz->body);
+    }
+    if (!obs::ValidateJson(healthz->body, &error)) {
+      return Fail("fetched /healthz body: " + error);
+    }
+    if (!WriteFile(dir + "/healthz.json", healthz->body)) {
+      return Fail("cannot write " + dir + "/healthz.json");
+    }
+    session.engine().StopHttpEndpoint();
+  }
+
   // 2. A replica sync round so client/server fetch spans and re-fetch
   //    decision events land in the same artifacts.
   {
@@ -151,7 +199,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("trace_artifacts: %zu spans, %zu events -> %s/{trace.json,"
-              "metrics.prom,events.jsonl} (all conformance checks passed)\n",
+              "metrics.prom,events.jsonl,http_metrics.prom,healthz.json} "
+              "(all conformance checks passed)\n",
               rec.Snapshot().size(), log.Snapshot().size(), dir.c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "engine/maintenance.h"
+#include "engine/telemetry.h"
 
 namespace expdb {
 namespace engine {
@@ -15,13 +16,46 @@ Engine::Engine(EngineOptions options)
   write_waits_.SetParent(r.GetCounter("expdb_engine_write_waits_total"));
   maintenance_ = std::make_unique<MaintenanceService>(
       this, options.maintenance_interval_ms);
+  telemetry_ = std::make_unique<TelemetryService>(
+      this, options.telemetry_interval_ms, options.telemetry_ring_capacity);
   if (options.start_maintenance) maintenance_->Start();
+  if (options.start_telemetry) telemetry_->Start();
 }
 
 Engine::~Engine() {
-  // Join the background thread before any member it reaches is torn
-  // down (maintenance_ is declared last, but be explicit about intent).
+  // Teardown order: first the HTTP endpoint (its handler routes into
+  // telemetry_), then the sampler (it reads every component), then
+  // maintenance. Members are declared in this order already, but join
+  // the threads explicitly to be clear about intent.
+  if (http_ != nullptr) http_->Stop();
+  telemetry_->Stop();
   maintenance_->Stop();
+}
+
+Result<int> Engine::StartHttpEndpoint(int port) {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  if (http_ == nullptr) {
+    http_ = std::make_unique<obs::HttpEndpoint>(
+        [this](const obs::HttpRequest& request) {
+          return telemetry_->HandleHttp(request);
+        });
+  }
+  std::string error;
+  const int bound = http_->Start(port, &error);
+  if (bound < 0) {
+    return Status::InvalidArgument("http endpoint: " + error);
+  }
+  return bound;
+}
+
+void Engine::StopHttpEndpoint() {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  if (http_ != nullptr) http_->Stop();
+}
+
+int Engine::http_port() const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  return http_ != nullptr && http_->running() ? http_->port() : 0;
 }
 
 Engine::Snapshot Engine::OpenSnapshot(const std::set<std::string>& relations) {

@@ -32,8 +32,10 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "expiration/constraint.h"
 #include "expiration/expiration_queue.h"
+#include "obs/http_endpoint.h"
 #include "obs/metrics.h"
 #include "plan/cache.h"
 #include "view/view_manager.h"
@@ -42,6 +44,7 @@ namespace expdb {
 namespace engine {
 
 class MaintenanceService;
+class TelemetryService;
 
 /// \brief Engine construction knobs.
 struct EngineOptions {
@@ -54,6 +57,15 @@ struct EngineOptions {
   /// and `MAINTENANCE RESUME` / SET maintenance_interval_ms start it on
   /// demand.
   bool start_maintenance = false;
+  /// Telemetry sampling cadence (docs/OBSERVABILITY.md §9).
+  /// SET telemetry_interval_ms.
+  int64_t telemetry_interval_ms = 1000;
+  /// Start the TelemetryService thread immediately. Off by default for
+  /// the same reason as maintenance; SET telemetry_interval_ms (or
+  /// Start() on the service) turns it on on demand.
+  bool start_telemetry = false;
+  /// Points retained per metric in the telemetry rings.
+  size_t telemetry_ring_capacity = 256;
 };
 
 /// \brief Owns the shared database state and hands out the locks that
@@ -74,7 +86,24 @@ class Engine {
   plan::StatementCache& stmt_cache() { return stmt_cache_; }
   plan::ResultCache& result_cache() { return result_cache_; }
   MaintenanceService& maintenance() { return *maintenance_; }
+  TelemetryService& telemetry() { return *telemetry_; }
   Timestamp Now() const { return expiration_.Now(); }
+
+  // --- HTTP observability endpoint -------------------------------------
+
+  /// \brief Starts the embedded observability HTTP server on
+  /// 127.0.0.1:`port` (0 = kernel-assigned ephemeral port), routing
+  /// /metrics, /healthz, /vars, and /timeseries through the telemetry
+  /// service. \return the actually bound port. Idempotent while
+  /// running: returns the current port. SQL surface: SET http_port.
+  Result<int> StartHttpEndpoint(int port);
+
+  /// \brief Stops the HTTP server (idempotent; no-op when never
+  /// started).
+  void StopHttpEndpoint();
+
+  /// \brief The bound endpoint port, or 0 when the server is down.
+  int http_port() const;
 
   // --- locking primitives ---------------------------------------------
 
@@ -206,9 +235,13 @@ class Engine {
   obs::Counter snapshots_;
   obs::Counter write_waits_;
 
-  /// Constructed last (it captures `this`); destroyed first, stopping
-  /// the background thread before any component it touches goes away.
+  /// Constructed last (they capture `this`); destroyed in reverse
+  /// order, stopping each background thread before any component it
+  /// touches goes away. The HTTP endpoint routes into telemetry_, so it
+  /// is declared after it (destroyed first).
   std::unique_ptr<MaintenanceService> maintenance_;
+  std::unique_ptr<TelemetryService> telemetry_;
+  std::unique_ptr<obs::HttpEndpoint> http_;
 };
 
 }  // namespace engine

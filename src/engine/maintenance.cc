@@ -100,6 +100,7 @@ size_t MaintenanceService::RunOnce() {
   }
   runs_.Increment();
   removed_.Increment(removed);
+  last_run_ns_.store(obs::SteadyNowNs(), std::memory_order_relaxed);
   LogMaintenanceEvent(
       "maintenance_run",
       {{"removed", std::to_string(removed)},

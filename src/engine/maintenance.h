@@ -11,6 +11,7 @@
 #ifndef EXPDB_ENGINE_MAINTENANCE_H_
 #define EXPDB_ENGINE_MAINTENANCE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -66,6 +67,13 @@ class MaintenanceService {
   uint64_t runs() const { return runs_.value(); }
   uint64_t tuples_removed() const { return removed_.value(); }
 
+  /// \brief Steady-clock instant (SteadyNowNs) the last pass finished;
+  /// 0 when no pass has ever run. The telemetry service derives the
+  /// maintenance-lag gauge (and its health rule) from this.
+  int64_t last_run_ns() const {
+    return last_run_ns_.load(std::memory_order_relaxed);
+  }
+
   /// \brief One-line human-readable status (MAINTENANCE STATUS).
   std::string StatusString() const;
 
@@ -80,6 +88,7 @@ class MaintenanceService {
   bool stop_ = false;            // guarded by mu_
   bool paused_ = false;          // guarded by mu_
   int64_t interval_ms_;          // guarded by mu_
+  std::atomic<int64_t> last_run_ns_{0};
 
   // Instance counters parented into the process-wide expdb_engine_*
   // metrics.

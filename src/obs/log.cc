@@ -21,6 +21,13 @@ Counter* DroppedCounter() {
   return counter;
 }
 
+Counter* WriteErrorsCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "expdb_event_log_write_errors_total",
+      "Event log sink lines that failed to reach the file");
+  return counter;
+}
+
 }  // namespace
 
 std::string_view LogSeverityToString(LogSeverity severity) {
@@ -88,6 +95,15 @@ void EventLog::Emit(LogSeverity severity, std::string component,
     // (and buffered bytes) would otherwise never reach the file on
     // process exit.
     sink_ << record.ToJson() << "\n" << std::flush;
+    if (!sink_.good()) {
+      // Disk full / revoked path: count the loss (MONITOR STATUS and
+      // expdb_event_log_write_errors_total surface it) and clear the
+      // stream state so later lines retry once the condition clears.
+      write_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteErrorsCounter()->Increment();
+      last_sink_error_ = "write to sink failed";
+      sink_.clear();
+    }
   }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
@@ -133,11 +149,27 @@ void EventLog::Clear() {
 }
 
 bool EventLog::OpenSink(const std::string& path, std::string* error) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sink_.is_open()) sink_.close();
-  sink_.open(path, std::ios::out | std::ios::trunc);
-  if (!sink_.is_open()) {
-    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+  std::string failure;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_.is_open()) {
+      sink_.flush();
+      sink_.close();
+    }
+    sink_.clear();
+    sink_.open(path, std::ios::out | std::ios::trunc);
+    if (!sink_.is_open()) {
+      failure = "cannot open '" + path + "' for writing";
+      last_sink_error_ = failure;
+    }
+  }
+  if (!failure.empty()) {
+    // Not silently swallowed: the failure lands in the ring as a warning
+    // event (outside mu_ — Emit re-takes it) and in last_sink_error()
+    // for MONITOR STATUS, on top of the false return.
+    Emit(LogSeverity::kWarn, "obs", "event_log_open_failed",
+         {{"path", path}, {"error", failure}});
+    if (error != nullptr) *error = failure;
     return false;
   }
   return true;
@@ -145,12 +177,26 @@ bool EventLog::OpenSink(const std::string& path, std::string* error) {
 
 void EventLog::CloseSink() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (sink_.is_open()) sink_.close();
+  if (!sink_.is_open()) return;
+  // Explicit flush first: ofstream::close flushes too, but silently —
+  // checking here is what lets a failed final flush be counted.
+  sink_.flush();
+  if (!sink_.good()) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    WriteErrorsCounter()->Increment();
+    last_sink_error_ = "final flush on close failed";
+  }
+  sink_.close();
 }
 
 bool EventLog::HasSink() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sink_.is_open();
+}
+
+std::string EventLog::last_sink_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_sink_error_;
 }
 
 EventLog& EventLog::Global() {

@@ -84,12 +84,30 @@ class EventLog {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Sink lines (or the final flush) that failed to reach the
+  /// file — disk full, unlinked directory, revoked permissions. Also
+  /// counted process-wide in expdb_event_log_write_errors_total and
+  /// surfaced by MONITOR STATUS.
+  uint64_t write_errors() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief The most recent sink failure (open or write), "" when the
+  /// sink has never failed. MONITOR STATUS renders this.
+  std::string last_sink_error() const;
+
   void Clear();
 
   /// \brief Opens (truncates) a JSONL file sink; subsequent events append
   /// one line each. Returns false (with `error` set) when the path cannot
-  /// be opened. Does not toggle enabled().
+  /// be opened — the failure is additionally recorded in
+  /// last_sink_error() and emitted as a warning event, so callers that
+  /// ignore the return value no longer swallow it silently. Does not
+  /// toggle enabled().
   bool OpenSink(const std::string& path, std::string* error = nullptr);
+
+  /// \brief Flushes and closes the sink; a failed final flush counts as
+  /// a write error.
   void CloseSink();
   bool HasSink() const;
 
@@ -101,10 +119,12 @@ class EventLog {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> total_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> write_errors_{0};
   mutable std::mutex mu_;
   std::vector<LogEvent> ring_;  // capacity_ slots once warmed up
   size_t write_pos_ = 0;
   std::ofstream sink_;
+  std::string last_sink_error_;  // guarded by mu_
 };
 
 }  // namespace obs

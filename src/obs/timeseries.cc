@@ -1,0 +1,247 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace expdb {
+namespace obs {
+
+namespace {
+
+/// Renders a double compactly for JSON (no trailing zeros, never NaN/Inf
+/// — callers only pass finite values; clamp defensively anyway).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double PercentileFromBuckets(const std::vector<int64_t>& bounds,
+                             const std::vector<uint64_t>& counts, double p) {
+  if (counts.size() != bounds.size() + 1) return 0.0;
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the percentile sample, matching Histogram::Percentile.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                                  static_cast<double>(total)));
+  rank = std::clamp<uint64_t>(rank, 1, total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      if (i == bounds.size()) {
+        // Overflow bucket: no finite upper edge; the largest bound is
+        // the best (under-)estimate available.
+        return bounds.empty() ? 0.0
+                              : static_cast<double>(bounds.back());
+      }
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double hi = static_cast<double>(bounds[i]);
+      const double within =
+          static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * within;
+    }
+    seen += counts[i];
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+TimeSeriesStore::TimeSeriesStore(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeriesStore::Append(SeriesData* series, TimeSeriesPoint point) {
+  if (series->ring.size() < capacity_) {
+    series->ring.push_back(point);
+  } else {
+    series->ring[series->write_pos] = point;
+    series->write_pos = (series->write_pos + 1) % capacity_;
+  }
+}
+
+void TimeSeriesStore::Sample(const std::vector<MetricSnapshot>& snapshot,
+                             int64_t t_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+  for (const MetricSnapshot& m : snapshot) {
+    SeriesData& s = series_[m.name];
+    s.kind = m.kind;
+    TimeSeriesPoint point;
+    point.t_ns = t_ns;
+    const double window_s =
+        s.has_prev && t_ns > s.prev_t_ns
+            ? static_cast<double>(t_ns - s.prev_t_ns) / 1e9
+            : 0.0;
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter: {
+        point.value = m.value;
+        if (s.has_prev) {
+          // Reset-tolerant: a counter going backwards (ResetAll) restarts
+          // the delta from its new cumulative value.
+          point.delta = m.value >= s.prev_value ? m.value - s.prev_value
+                                                : m.value;
+          if (window_s > 0.0) point.rate = point.delta / window_s;
+        }
+        break;
+      }
+      case MetricSnapshot::Kind::kGauge: {
+        point.value = m.value;
+        if (s.has_prev) point.delta = m.value - s.prev_value;
+        break;
+      }
+      case MetricSnapshot::Kind::kHistogram: {
+        point.count = m.count;
+        // Window = the bucket counts accumulated since the last sample.
+        std::vector<uint64_t> window = m.bucket_counts;
+        if (s.has_prev && s.prev_buckets.size() == window.size() &&
+            m.count >= s.prev_count) {
+          for (size_t i = 0; i < window.size(); ++i) {
+            window[i] = window[i] >= s.prev_buckets[i]
+                            ? window[i] - s.prev_buckets[i]
+                            : window[i];
+          }
+          point.delta = static_cast<double>(m.count - s.prev_count);
+        } else {
+          point.delta = static_cast<double>(m.count);
+        }
+        uint64_t window_count = 0;
+        for (uint64_t c : window) window_count += c;
+        if (window_count > 0) {
+          point.p50 = PercentileFromBuckets(m.bucket_bounds, window, 50.0);
+          point.p95 = PercentileFromBuckets(m.bucket_bounds, window, 95.0);
+          point.p99 = PercentileFromBuckets(m.bucket_bounds, window, 99.0);
+        }
+        if (window_s > 0.0) point.rate = point.delta / window_s;
+        // value = the window mean estimate via p50 when active; keeps the
+        // generic "plot `value`" consumer meaningful for histograms too.
+        point.value = point.p50;
+        s.prev_buckets = m.bucket_counts;
+        s.prev_count = m.count;
+        break;
+      }
+    }
+    s.prev_value = m.value;
+    s.prev_t_ns = t_ns;
+    s.has_prev = true;
+    Append(&s, point);
+  }
+}
+
+std::vector<std::string> TimeSeriesStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, data] : series_) {
+    if (!data.ring.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+std::optional<TimeSeries> TimeSeriesStore::Series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.ring.empty()) return std::nullopt;
+  const SeriesData& s = it->second;
+  TimeSeries out;
+  out.name = name;
+  out.kind = s.kind;
+  out.points.reserve(s.ring.size());
+  if (s.ring.size() < capacity_) {
+    out.points = s.ring;
+  } else {
+    for (size_t i = 0; i < s.ring.size(); ++i) {
+      out.points.push_back(s.ring[(s.write_pos + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string TimeSeriesStore::JsonText(const std::string& name) const {
+  std::optional<TimeSeries> series = Series(name);
+  if (!series.has_value()) return "";
+  std::string kind;
+  switch (series->kind) {
+    case MetricSnapshot::Kind::kCounter:
+      kind = "counter";
+      break;
+    case MetricSnapshot::Kind::kGauge:
+      kind = "gauge";
+      break;
+    case MetricSnapshot::Kind::kHistogram:
+      kind = "histogram";
+      break;
+  }
+  std::string out = "{\"metric\":\"" + JsonEscape(series->name) +
+                    "\",\"kind\":\"" + kind + "\",\"points\":[";
+  bool first = true;
+  for (const TimeSeriesPoint& p : series->points) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t_ns\":" + std::to_string(p.t_ns) +
+           ",\"value\":" + JsonNumber(p.value) +
+           ",\"delta\":" + JsonNumber(p.delta) +
+           ",\"rate\":" + JsonNumber(p.rate);
+    if (series->kind == MetricSnapshot::Kind::kHistogram) {
+      out += ",\"p50\":" + JsonNumber(p.p50) +
+             ",\"p95\":" + JsonNumber(p.p95) +
+             ",\"p99\":" + JsonNumber(p.p99) +
+             ",\"count\":" + std::to_string(p.count);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TimeSeriesStore::JsonNames() const {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& name : Names()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+uint64_t TimeSeriesStore::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+void TimeSeriesStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+  samples_ = 0;
+}
+
+std::string TelemetryStatusText(const MetricsRegistry& registry) {
+  std::string out;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    if (m.kind == MetricSnapshot::Kind::kHistogram) {
+      if (m.count == 0) continue;
+      out += "  " + m.name + ": count " + std::to_string(m.count) +
+             ", p50 " + JsonNumber(m.p50) + ", p95 " + JsonNumber(m.p95) +
+             ", p99 " + JsonNumber(m.p99) + "\n";
+    } else {
+      if (m.value == 0.0) continue;
+      out += "  " + m.name + " = " + JsonNumber(m.value) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace expdb

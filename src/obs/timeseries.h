@@ -1,0 +1,133 @@
+// Time-series rings over the metrics registry (docs/OBSERVABILITY.md §9):
+// fixed-capacity per-metric histories sampled on a cadence by the
+// engine's TelemetryService, so "what is this counter doing *over time*"
+// is answerable without an external scraper.
+//
+// Each sampled metric gets one ring of TimeSeriesPoints. The store
+// derives what the raw cumulative snapshot cannot express:
+//  * counters   — the per-window delta and the per-second rate,
+//  * gauges     — the raw value plus the per-window delta,
+//  * histograms — sliding-window p50/p95/p99 computed from the bucket
+//    -count deltas between consecutive samples (cumulative percentiles
+//    flatten under load shifts; the windowed ones track the current
+//    regime).
+//
+// The store is thread-safe (one mutex; sampling is off any query's hot
+// path) and never allocates per point once a ring is warm.
+
+#ifndef EXPDB_OBS_TIMESERIES_H_
+#define EXPDB_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace expdb {
+namespace obs {
+
+/// \brief One sample of one metric at one instant.
+struct TimeSeriesPoint {
+  int64_t t_ns = 0;    ///< steady-clock sample time (SteadyNowNs)
+  double value = 0.0;  ///< counter: cumulative; gauge: value; histogram: p50
+  /// Change since the previous sample. First point: 0 for counters and
+  /// gauges; for histograms the whole cumulative history counts as the
+  /// first window.
+  double delta = 0.0;
+  double rate = 0.0;   ///< counters only: delta / window seconds
+  // Histograms only: percentiles over the sampling window (bucket-count
+  // deltas since the previous sample). 0 when the window saw no samples.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  uint64_t count = 0;  ///< histograms only: cumulative sample count
+};
+
+/// \brief A copy of one metric's retained history, oldest first.
+struct TimeSeries {
+  std::string name;
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  std::vector<TimeSeriesPoint> points;
+};
+
+/// \brief Estimates the p-th percentile (p in [0, 100]) from a bucket
+/// count vector over `bounds` (counts.size() == bounds.size() + 1, the
+/// last entry being the overflow bucket) by linear interpolation within
+/// the bucket holding the rank. Samples are assumed non-negative (the
+/// registry's histograms hold latencies and sizes); overflow-bucket
+/// ranks return the largest finite bound. Returns 0.0 when the counts
+/// are all zero.
+double PercentileFromBuckets(const std::vector<int64_t>& bounds,
+                             const std::vector<uint64_t>& counts, double p);
+
+/// \brief Fixed-capacity per-metric sample rings with counter/histogram
+/// derivation. Feed it MetricsRegistry::Snapshot() on a cadence.
+class TimeSeriesStore {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit TimeSeriesStore(size_t capacity = kDefaultCapacity);
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Appends one point per metric in `snapshot`, evicting each
+  /// ring's oldest point once it is full. `t_ns` is the sample instant
+  /// (steady clock); deltas/rates derive from the previous call.
+  void Sample(const std::vector<MetricSnapshot>& snapshot, int64_t t_ns);
+
+  /// \brief Names of every metric with at least one retained point.
+  std::vector<std::string> Names() const;
+
+  /// \brief The named metric's history, or nullopt if never sampled.
+  std::optional<TimeSeries> Series(const std::string& name) const;
+
+  /// \brief One metric's ring as a JSON object
+  /// {"metric":..., "kind":..., "points":[{...}, ...]}; empty string
+  /// when the metric was never sampled (caller renders the 404).
+  std::string JsonText(const std::string& name) const;
+
+  /// \brief Every sampled metric name as a JSON array of strings.
+  std::string JsonNames() const;
+
+  /// \brief Total Sample() calls.
+  uint64_t samples_taken() const;
+
+  /// \brief Metrics currently tracked.
+  size_t series_count() const;
+
+  void Clear();
+
+ private:
+  struct SeriesData {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::vector<TimeSeriesPoint> ring;  // capacity_ slots once warm
+    size_t write_pos = 0;               // next overwrite slot when warm
+    // Previous cumulative state, for delta/rate/window derivation.
+    bool has_prev = false;
+    int64_t prev_t_ns = 0;
+    double prev_value = 0.0;
+    uint64_t prev_count = 0;
+    std::vector<uint64_t> prev_buckets;
+  };
+
+  void Append(SeriesData* series, TimeSeriesPoint point);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, SeriesData> series_;  // guarded by mu_
+  uint64_t samples_ = 0;                      // guarded by mu_
+};
+
+/// \brief Renders every metric with activity (nonzero counters/gauges,
+/// nonempty histograms) as "name = value" lines — the registry half of
+/// MONITOR STATUS, shared with the repro binaries' --telemetry dump.
+std::string TelemetryStatusText(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace expdb
+
+#endif  // EXPDB_OBS_TIMESERIES_H_

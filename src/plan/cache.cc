@@ -472,5 +472,14 @@ ResultCache::Stats ResultCache::stats() const {
   return s;
 }
 
+size_t ResultCache::CountStaleAt(Timestamp now) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t stale = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.result.texp <= now) ++stale;
+  }
+  return stale;
+}
+
 }  // namespace plan
 }  // namespace expdb

@@ -213,6 +213,12 @@ class ResultCache {
 
   Stats stats() const;
 
+  /// \brief Entries whose validity stamp has lapsed at `now` (texp <=
+  /// now): dead weight a Lookup would drop on contact. The telemetry
+  /// layer reads this as the result-cache staleness gauge; entries are
+  /// not evicted here (Lookup/Insert own mutation).
+  size_t CountStaleAt(Timestamp now) const;
+
  private:
   struct Entry {
     PhysicalPlanPtr plan;

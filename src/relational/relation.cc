@@ -829,6 +829,30 @@ size_t Relation::CountUnexpiredAt(Timestamp tau) const {
   return n;
 }
 
+Relation::SegmentOccupancy Relation::OccupancyAt(Timestamp tau) const {
+  SegmentOccupancy occ;
+  for (const auto& seg : segments_) {
+    if (seg->entries.empty()) continue;
+    if (seg->max_texp <= tau) {
+      ++occ.expired_segments;
+      occ.expired_tuples += seg->entries.size();
+    } else if (seg->min_texp > tau) {
+      ++occ.live_segments;
+      occ.live_tuples += seg->entries.size();
+    } else {
+      ++occ.straddling_segments;
+      for (const Entry& e : seg->entries) {
+        if (e.texp > tau) {
+          ++occ.live_tuples;
+        } else {
+          ++occ.expired_tuples;
+        }
+      }
+    }
+  }
+  return occ;
+}
+
 std::optional<Timestamp> Relation::NextExpirationAfter(Timestamp tau) const {
   std::optional<Timestamp> best;
   for (const auto& seg : segments_) {

@@ -240,6 +240,21 @@ class Relation {
   /// their size / zero without being scanned.
   size_t CountUnexpiredAt(Timestamp tau) const;
 
+  /// \brief Occupancy of the storage at time τ, per segment class —
+  /// the telemetry layer's expiration-pressure source. `expired_tuples`
+  /// is the backlog awaiting physical drain (lazy removal keeps them
+  /// stored; queries never see them). One sweep: fully-live and
+  /// fully-expired segments are classified from their bounds without a
+  /// per-tuple check; only straddling segments pay one.
+  struct SegmentOccupancy {
+    size_t live_segments = 0;        ///< min_texp > τ: every entry live
+    size_t expired_segments = 0;     ///< max_texp <= τ: every entry expired
+    size_t straddling_segments = 0;  ///< bounds bracket τ: mixed
+    size_t live_tuples = 0;          ///< |expτ(R)|
+    size_t expired_tuples = 0;       ///< stored − live: the drain backlog
+  };
+  SegmentOccupancy OccupancyAt(Timestamp tau) const;
+
   /// \brief Physically removes every tuple with texp <= tau.
   /// \return the removed tuples with their expiration times, sorted by
   /// (texp, tuple) — the order in which they expired. This is the

@@ -130,7 +130,7 @@ struct AdvanceStatement {
 };
 
 struct ShowStatement {
-  enum class What { kTables, kViews, kTime };
+  enum class What { kTables, kViews, kTime, kHealth };
   What what = What::kTables;
 };
 
@@ -209,6 +209,17 @@ struct MaintenanceStatement {
   What what = What::kStatus;
 };
 
+/// MONITOR STATUS | HISTORY <metric> | THRESHOLDS: the telemetry
+/// meta-command (docs/OBSERVABILITY.md §9). STATUS reports the sampler
+/// state, health verdict, event-log sink state, and active metrics;
+/// HISTORY renders one metric's time-series ring as a relation;
+/// THRESHOLDS lists the health model's rules.
+struct MonitorStatement {
+  enum class What { kStatus, kHistory, kThresholds };
+  What what = What::kStatus;
+  std::string metric;  ///< kHistory only
+};
+
 /// \brief Any parsed statement.
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
@@ -216,7 +227,7 @@ using Statement =
                  ShowStatement, DeleteStatement, StatsStatement,
                  ExplainStatement, SetStatement, TraceStatement,
                  PrepareStatement, ExecutePreparedStatement, CacheStatement,
-                 MaintenanceStatement>;
+                 MaintenanceStatement, MonitorStatement>;
 
 }  // namespace sql
 }  // namespace expdb

@@ -44,7 +44,8 @@ constexpr std::array kKeywords = {
     "DELETE",  "MIN",    "MAX",       "SUM",     "COUNT",   "AVG",
     "INT",     "DOUBLE", "STRING",    "WITH",    "NEVER",   "TRIGGERS",
     "DISTINCT",          "STATS",     "EXPLAIN", "RESET",   "SET",
-    "TRACE",   "PREPARE", "EXECUTE",  "CACHE",   "MAINTENANCE"};
+    "TRACE",   "PREPARE", "EXECUTE",  "CACHE",   "MAINTENANCE",
+    "MONITOR"};
 
 }  // namespace
 

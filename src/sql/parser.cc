@@ -96,6 +96,7 @@ class Parser {
     if (AcceptKeyword("EXECUTE")) return ParseExecute();
     if (AcceptKeyword("CACHE")) return ParseCache();
     if (AcceptKeyword("MAINTENANCE")) return ParseMaintenance();
+    if (AcceptKeyword("MONITOR")) return ParseMonitor();
     return Status::ParseError("expected a statement, got " +
                               Peek().ToString());
   }
@@ -184,6 +185,34 @@ class Parser {
     }
     return Status::ParseError(
         "expected STATUS, PAUSE, RESUME, or RUN after MAINTENANCE, got " +
+        Peek().ToString());
+  }
+
+  // MONITOR STATUS | HISTORY <metric> | THRESHOLDS (subcommands are
+  // bare identifiers, kept unreserved like the MAINTENANCE ones).
+  Result<Statement> ParseMonitor() {
+    MonitorStatement out;
+    if (Peek().type == TokenType::kIdentifier) {
+      if (AsciiEqualsIgnoreCase(Peek().text, "STATUS")) {
+        Advance();
+        out.what = MonitorStatement::What::kStatus;
+        return Statement(std::move(out));
+      }
+      if (AsciiEqualsIgnoreCase(Peek().text, "HISTORY")) {
+        Advance();
+        out.what = MonitorStatement::What::kHistory;
+        EXPDB_ASSIGN_OR_RETURN(out.metric, ExpectIdentifier("metric name"));
+        return Statement(std::move(out));
+      }
+      if (AsciiEqualsIgnoreCase(Peek().text, "THRESHOLDS")) {
+        Advance();
+        out.what = MonitorStatement::What::kThresholds;
+        return Statement(std::move(out));
+      }
+    }
+    return Status::ParseError(
+        "expected STATUS, HISTORY <metric>, or THRESHOLDS after MONITOR, "
+        "got " +
         Peek().ToString());
   }
 
@@ -654,9 +683,14 @@ class Parser {
       out.what = ShowStatement::What::kViews;
     } else if (AcceptKeyword("TIME")) {
       out.what = ShowStatement::What::kTime;
+    } else if (Peek().type == TokenType::kIdentifier &&
+               AsciiEqualsIgnoreCase(Peek().text, "HEALTH")) {
+      // HEALTH stays a bare identifier (unreserved, like CACHE CLEAR).
+      Advance();
+      out.what = ShowStatement::What::kHealth;
     } else {
       return Status::ParseError(
-          "expected TABLES, VIEWS, or TIME after SHOW, got " +
+          "expected TABLES, VIEWS, TIME, or HEALTH after SHOW, got " +
           Peek().ToString());
     }
     return Statement(std::move(out));

@@ -9,6 +9,7 @@
 #include "common/str_util.h"
 #include "core/rewrite.h"
 #include "engine/maintenance.h"
+#include "engine/telemetry.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "plan/delta.h"
@@ -216,6 +217,8 @@ Result<ExecResult> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteCache(s);
         } else if constexpr (std::is_same_v<T, MaintenanceStatement>) {
           return ExecuteMaintenance(s);
+        } else if constexpr (std::is_same_v<T, MonitorStatement>) {
+          return ExecuteMonitor(s);
         } else {
           return ExecuteExplain(s);
         }
@@ -474,6 +477,68 @@ Result<ExecResult> Session::ExecuteMaintenance(
   return Status::Internal("unknown MAINTENANCE statement");
 }
 
+namespace {
+
+/// Renders one telemetry ring as a relation (t_ns INT, value, delta,
+/// rate, p50, p95, p99 DOUBLE, count INT), oldest point first. The
+/// non-applicable columns (rate for gauges, percentiles for counters)
+/// hold zero rather than varying the schema per metric kind.
+Relation TimeSeriesToRelation(const obs::TimeSeries& series) {
+  Schema schema = Schema::Make({Attribute{"t_ns", ValueType::kInt64},
+                                Attribute{"value", ValueType::kDouble},
+                                Attribute{"delta", ValueType::kDouble},
+                                Attribute{"rate", ValueType::kDouble},
+                                Attribute{"p50", ValueType::kDouble},
+                                Attribute{"p95", ValueType::kDouble},
+                                Attribute{"p99", ValueType::kDouble},
+                                Attribute{"count", ValueType::kInt64}})
+                      .value();
+  Relation rel(std::move(schema));
+  for (const obs::TimeSeriesPoint& p : series.points) {
+    rel.InsertUnchecked(
+        Tuple({Value(p.t_ns), Value(p.value), Value(p.delta), Value(p.rate),
+               Value(p.p50), Value(p.p95), Value(p.p99),
+               Value(static_cast<int64_t>(p.count))}),
+        Timestamp::Infinity());
+  }
+  return rel;
+}
+
+}  // namespace
+
+Result<ExecResult> Session::ExecuteMonitor(const MonitorStatement& stmt) {
+  engine::TelemetryService& telemetry = engine_->telemetry();
+  switch (stmt.what) {
+    case MonitorStatement::What::kStatus:
+      return ExecResult{telemetry.StatusString(), std::nullopt, Now()};
+    case MonitorStatement::What::kThresholds:
+      return ExecResult{telemetry.ThresholdsString(), std::nullopt, Now()};
+    case MonitorStatement::What::kHistory: {
+      const std::optional<obs::TimeSeries> series =
+          telemetry.series().Series(stmt.metric);
+      if (!series.has_value()) {
+        return Status::NotFound(
+            "no telemetry history for metric '" + stmt.metric +
+            "' (never sampled; is the telemetry service running? try "
+            "SET telemetry_interval_ms)");
+      }
+      std::string kind = "counter";
+      if (series->kind == obs::MetricSnapshot::Kind::kGauge) kind = "gauge";
+      if (series->kind == obs::MetricSnapshot::Kind::kHistogram) {
+        kind = "histogram";
+      }
+      ExecResult out;
+      out.message = stmt.metric + " (" + kind + ", " +
+                    std::to_string(series->points.size()) +
+                    " points retained)";
+      out.relation = TimeSeriesToRelation(*series);
+      out.served_at = Now();
+      return out;
+    }
+  }
+  return Status::Internal("unknown MONITOR statement");
+}
+
 Result<const Database*> Session::ResolveCatalog(const SelectStatement& stmt,
                                                 Timestamp now,
                                                 Database* scratch) {
@@ -705,6 +770,11 @@ Result<ExecResult> Session::ExecuteShow(const ShowStatement& stmt) {
     }
     case ShowStatement::What::kTime:
       return ExecResult{"time is " + Now().ToString(), std::nullopt, Now()};
+    case ShowStatement::What::kHealth:
+      // CurrentHealth evaluates synchronously when the sampler never
+      // ticked, so this always reflects the actual engine.
+      return ExecResult{engine_->telemetry().CurrentHealth().ToString(),
+                        std::nullopt, Now()};
   }
   return Status::Internal("unknown SHOW statement");
 }
@@ -890,11 +960,38 @@ Result<ExecResult> Session::ExecuteSet(const SetStatement& stmt) {
     // Attaching a sink implies the caller wants events; enable the log so
     // SET event_log_path = '...' works as a one-statement switch-on.
     log.set_enabled(true);
+  } else if (stmt.name == "telemetry_interval_ms") {
+    EXPDB_ASSIGN_OR_RETURN(
+        const int64_t ms,
+        ExpectNonNegativeInt(stmt, "millisecond interval"));
+    // Configuring a cadence starts the telemetry sampler (0 is clamped
+    // to the 1ms minimum inside the service), mirroring
+    // maintenance_interval_ms.
+    engine_->telemetry().set_interval_ms(ms);
+  } else if (stmt.name == "http_port") {
+    EXPDB_ASSIGN_OR_RETURN(
+        const int64_t port,
+        ExpectNonNegativeInt(stmt, "port (0 stops the endpoint)"));
+    if (port > 65535) {
+      return Status::InvalidArgument("SET http_port expects a port <= 65535");
+    }
+    // SQL-side 0 means "stop" (the programmatic Start(0) ephemeral-port
+    // form stays available to embedders and tests).
+    if (port == 0) {
+      engine_->StopHttpEndpoint();
+      return ExecResult{"http endpoint stopped", std::nullopt, Now()};
+    }
+    EXPDB_ASSIGN_OR_RETURN(const int bound,
+                           engine_->StartHttpEndpoint(static_cast<int>(port)));
+    return ExecResult{"http endpoint listening on 127.0.0.1:" +
+                          std::to_string(bound),
+                      std::nullopt, Now()};
   } else {
     return Status::InvalidArgument(
         "unknown setting '" + stmt.name +
         "' (expected slow_query_ns, parallelism, result_cache_bytes, "
-        "maintenance_interval_ms, event_log, event_log_path)");
+        "maintenance_interval_ms, telemetry_interval_ms, http_port, "
+        "event_log, event_log_path)");
   }
   return ExecResult{"set " + stmt.name + " = " + stmt.value.ToString(),
                     std::nullopt, Now()};

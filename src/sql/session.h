@@ -113,6 +113,7 @@ class Session {
   Result<ExecResult> ExecuteRunPrepared(const ExecutePreparedStatement& stmt);
   Result<ExecResult> ExecuteCache(const CacheStatement& stmt);
   Result<ExecResult> ExecuteMaintenance(const MaintenanceStatement& stmt);
+  Result<ExecResult> ExecuteMonitor(const MonitorStatement& stmt);
 
   /// The planner options every facade execution path uses: the session's
   /// EvalOptions, expiration-aware optimizations on, Sec. 3.1 rewrites

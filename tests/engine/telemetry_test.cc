@@ -1,0 +1,370 @@
+// TelemetryService tests: expiration-pressure gauges from the segmented
+// storage, the rule-based health model and its transitions, the MONITOR
+// SQL surface, SHOW HEALTH, and the HandleHttp router
+// (docs/OBSERVABILITY.md §9).
+
+#include "engine/telemetry.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/maintenance.h"
+#include "obs/log.h"
+#include "obs/validate.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace engine {
+namespace {
+
+sql::ExecResult MustExec(sql::Session& s, const std::string& stmt) {
+  auto r = s.Execute(stmt);
+  EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : sql::ExecResult{};
+}
+
+/// An engine under lazy removal with automatic compaction disabled, so
+/// expired tuples pile into a backlog only maintenance can drain —
+/// exactly the pressure the telemetry gauges exist to expose.
+std::shared_ptr<Engine> LazyEngine() {
+  EngineOptions options;
+  options.expiration.policy = RemovalPolicy::kLazy;
+  options.expiration.lazy_compaction_threshold = 0;  // disables auto-compact
+  return std::make_shared<Engine>(options);
+}
+
+TEST(TelemetryTest, SampleOncePopulatesPressureGauges) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3) TTL 5");
+  MustExec(s, "INSERT INTO t VALUES (4) EXPIRE NEVER");
+  MustExec(s, "ADVANCE TIME 10");
+
+  TelemetryService& tel = eng->telemetry();
+  tel.SampleOnce();
+  EXPECT_EQ(tel.ticks(), 1u);
+
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  // 3 tuples expired at TTL 5 are still stored (lazy, no compaction).
+  EXPECT_EQ(r.GetGauge("expdb_telemetry_expired_backlog")->value(), 3);
+  EXPECT_EQ(r.GetGauge("expdb_telemetry_live_tuples")->value(), 1);
+  // The registry sample runs in the same tick after the gauges update,
+  // so the ring already retains a point for them.
+  EXPECT_TRUE(tel.series().Series("expdb_telemetry_expired_backlog")
+                  .has_value());
+
+  // Maintenance drains the backlog; the next tick must see it.
+  eng->maintenance().RunOnce();
+  tel.SampleOnce();
+  EXPECT_EQ(r.GetGauge("expdb_telemetry_expired_backlog")->value(), 0);
+  EXPECT_EQ(r.GetGauge("expdb_telemetry_live_tuples")->value(), 1);
+  EXPECT_GE(r.GetGauge("expdb_telemetry_maintenance_lag_ms")->value(), 0);
+}
+
+TEST(TelemetryTest, ExpirationHorizonTracksNextExpiry) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 7");
+  MustExec(s, "INSERT INTO t VALUES (2) TTL 20");
+
+  TelemetryService& tel = eng->telemetry();
+  tel.SampleOnce();
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  EXPECT_EQ(r.GetGauge("expdb_telemetry_expiration_horizon_ticks")->value(),
+            7);
+
+  // Nothing expiring: the horizon reports -1, not 0 (0 would read as
+  // "expiring now").
+  MustExec(s, "CREATE TABLE u (x INT)");
+  MustExec(s, "ADVANCE TIME 25");
+  eng->maintenance().RunOnce();
+  tel.SampleOnce();
+  EXPECT_EQ(r.GetGauge("expdb_telemetry_expiration_horizon_ticks")->value(),
+            -1);
+}
+
+TEST(TelemetryTest, HealthDegradesOnBacklogAndRecovers) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+
+  TelemetryService& tel = eng->telemetry();
+  HealthThresholds t;
+  t.backlog_degraded = 3;
+  t.backlog_unhealthy = 1000;
+  tel.set_thresholds(t);
+
+  tel.SampleOnce();
+  EXPECT_EQ(tel.CurrentHealth().state, HealthState::kHealthy);
+
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3), (4) TTL 5");
+  MustExec(s, "ADVANCE TIME 10");
+  tel.SampleOnce();
+  HealthReport report = tel.CurrentHealth();
+  EXPECT_EQ(report.state, HealthState::kDegraded);
+  ASSERT_FALSE(report.reasons.empty());
+  EXPECT_NE(report.reasons[0].find("backlog"), std::string::npos);
+
+  eng->maintenance().RunOnce();
+  tel.SampleOnce();
+  EXPECT_EQ(tel.CurrentHealth().state, HealthState::kHealthy);
+}
+
+TEST(TelemetryTest, HealthUnhealthyAboveUnhealthyThreshold) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  TelemetryService& tel = eng->telemetry();
+  HealthThresholds t;
+  t.backlog_degraded = 1;
+  t.backlog_unhealthy = 2;
+  tel.set_thresholds(t);
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3) TTL 1");
+  MustExec(s, "ADVANCE TIME 5");
+  tel.SampleOnce();
+  EXPECT_EQ(tel.CurrentHealth().state, HealthState::kUnhealthy);
+}
+
+TEST(TelemetryTest, RisingBacklogDegradesBeforeAbsoluteThreshold) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  TelemetryService& tel = eng->telemetry();
+  HealthThresholds t;
+  t.backlog_degraded = 1'000'000;  // never hit absolutely
+  t.backlog_unhealthy = 2'000'000;
+  t.backlog_growth_windows = 3;
+  tel.set_thresholds(t);
+
+  // Four samples with a strictly rising backlog: 1, 2, 3, 4.
+  for (int i = 1; i <= 4; ++i) {
+    MustExec(s, "INSERT INTO t VALUES (" + std::to_string(i) + ") TTL 1");
+    MustExec(s, "ADVANCE TIME 2");
+    tel.SampleOnce();
+  }
+  HealthReport report = tel.CurrentHealth();
+  EXPECT_EQ(report.state, HealthState::kDegraded);
+  ASSERT_FALSE(report.reasons.empty());
+  EXPECT_NE(report.reasons[0].find("rising"), std::string::npos);
+}
+
+TEST(TelemetryTest, HealthTransitionEmitsEvent) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  TelemetryService& tel = eng->telemetry();
+  HealthThresholds t;
+  t.backlog_degraded = 1;
+  tel.set_thresholds(t);
+
+  obs::EventLog& log = obs::EventLog::Global();
+  log.Clear();
+  log.set_enabled(true);
+  tel.SampleOnce();  // healthy -> healthy: no transition event
+
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 1");
+  MustExec(s, "ADVANCE TIME 5");
+  tel.SampleOnce();  // healthy -> degraded: transition event
+
+  bool saw_transition = false;
+  for (const obs::LogEvent& e : log.Snapshot()) {
+    if (e.event == "health_transition") {
+      saw_transition = true;
+      EXPECT_EQ(e.severity, obs::LogSeverity::kWarn);
+    }
+  }
+  EXPECT_TRUE(saw_transition);
+  log.set_enabled(false);
+  log.Clear();
+}
+
+TEST(TelemetryTest, CurrentHealthEvaluatesWhenNeverTicked) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  TelemetryService& tel = eng->telemetry();
+  HealthThresholds t;
+  t.backlog_degraded = 1;
+  tel.set_thresholds(t);
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 1");
+  MustExec(s, "ADVANCE TIME 5");
+  // No tick has run; CurrentHealth must not answer "healthy" from thin
+  // air but evaluate synchronously.
+  EXPECT_EQ(tel.CurrentHealth().state, HealthState::kDegraded);
+  EXPECT_GE(tel.ticks(), 1u);
+}
+
+TEST(TelemetryTest, BackgroundThreadSamplesOnCadence) {
+  auto eng = LazyEngine();
+  TelemetryService& tel = eng->telemetry();
+  tel.set_interval_ms(2);
+  EXPECT_TRUE(tel.running());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (tel.ticks() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(tel.ticks(), 3u);
+  tel.Stop();
+  EXPECT_FALSE(tel.running());
+  tel.Stop();  // idempotent
+}
+
+TEST(TelemetryTest, MonitorSqlSurface) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 5");
+  eng->telemetry().SampleOnce();
+
+  auto status = MustExec(s, "MONITOR STATUS");
+  EXPECT_NE(status.message.find("telemetry:"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("health:"), std::string::npos);
+  EXPECT_NE(status.message.find("event log:"), std::string::npos);
+
+  auto thresholds = MustExec(s, "MONITOR THRESHOLDS");
+  EXPECT_NE(thresholds.message.find("backlog_degraded"), std::string::npos);
+  EXPECT_NE(thresholds.message.find("maintenance_lag_factor"),
+            std::string::npos);
+
+  auto history = MustExec(s, "MONITOR HISTORY expdb_telemetry_live_tuples");
+  ASSERT_TRUE(history.relation.has_value());
+  EXPECT_GE(history.relation->size(), 1u);
+
+  auto missing = s.Execute("MONITOR HISTORY no_such_metric");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("never sampled"),
+            std::string::npos);
+
+  auto bad = s.Execute("MONITOR FROBNICATE");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("STATUS, HISTORY"),
+            std::string::npos);
+}
+
+TEST(TelemetryTest, ShowHealthAndSetInterval) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  auto health = MustExec(s, "SHOW HEALTH");
+  EXPECT_NE(health.message.find("healthy"), std::string::npos)
+      << health.message;
+
+  MustExec(s, "SET telemetry_interval_ms = 5");
+  EXPECT_EQ(eng->telemetry().interval_ms(), 5);
+  EXPECT_TRUE(eng->telemetry().running());
+}
+
+TEST(TelemetryTest, HandleHttpRoutes) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 5");
+  TelemetryService& tel = eng->telemetry();
+  tel.SampleOnce();
+
+  std::string error;
+  obs::HttpResponse metrics = tel.HandleHttp({"GET", "/metrics", ""});
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(obs::ValidatePrometheusText(metrics.body, &error)) << error;
+  EXPECT_NE(metrics.body.find("expdb_telemetry_expired_backlog"),
+            std::string::npos);
+
+  obs::HttpResponse healthz = tel.HandleHttp({"GET", "/healthz", ""});
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_EQ(healthz.content_type, "application/json");
+  EXPECT_TRUE(obs::ValidateJson(healthz.body, &error)) << error;
+  EXPECT_NE(healthz.body.find("\"status\""), std::string::npos);
+
+  obs::HttpResponse vars = tel.HandleHttp({"GET", "/vars", ""});
+  EXPECT_TRUE(obs::ValidateJson(vars.body, &error)) << error;
+
+  obs::HttpResponse names = tel.HandleHttp({"GET", "/timeseries", ""});
+  EXPECT_EQ(names.status, 200);
+  EXPECT_TRUE(obs::ValidateJson(names.body, &error)) << error;
+
+  obs::HttpResponse series = tel.HandleHttp(
+      {"GET", "/timeseries", "metric=expdb_telemetry_expired_backlog"});
+  EXPECT_EQ(series.status, 200);
+  EXPECT_TRUE(obs::ValidateJson(series.body, &error)) << error;
+
+  obs::HttpResponse unknown =
+      tel.HandleHttp({"GET", "/timeseries", "metric=nope"});
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_TRUE(obs::ValidateJson(unknown.body, &error)) << error;
+
+  obs::HttpResponse lost = tel.HandleHttp({"GET", "/nope", ""});
+  EXPECT_EQ(lost.status, 404);
+}
+
+TEST(TelemetryTest, UnhealthyHealthzReturns503) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  TelemetryService& tel = eng->telemetry();
+  HealthThresholds t;
+  t.backlog_degraded = 1;
+  t.backlog_unhealthy = 2;
+  tel.set_thresholds(t);
+  MustExec(s, "INSERT INTO t VALUES (1), (2), (3) TTL 1");
+  MustExec(s, "ADVANCE TIME 5");
+  tel.SampleOnce();
+  obs::HttpResponse healthz = tel.HandleHttp({"GET", "/healthz", ""});
+  EXPECT_EQ(healthz.status, 503);
+  EXPECT_NE(healthz.body.find("unhealthy"), std::string::npos);
+}
+
+TEST(TelemetryTest, EngineHttpEndpointLifecycle) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+
+  EXPECT_EQ(eng->http_port(), 0);
+  auto port = eng->StartHttpEndpoint(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  EXPECT_GT(port.value(), 0);
+  EXPECT_EQ(eng->http_port(), port.value());
+  // Idempotent while running.
+  auto again = eng->StartHttpEndpoint(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), port.value());
+
+  std::string error;
+  auto resp = obs::HttpGet("127.0.0.1", port.value(), "/healthz", &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, 200);
+
+  eng->StopHttpEndpoint();
+  EXPECT_EQ(eng->http_port(), 0);
+}
+
+TEST(TelemetryTest, SetHttpPortSqlSurface) {
+  auto eng = LazyEngine();
+  sql::Session s(eng);
+  // SET http_port = 0 stops (no-op when never started).
+  auto stop = MustExec(s, "SET http_port = 0");
+  EXPECT_NE(stop.message.find("stopped"), std::string::npos);
+  EXPECT_EQ(eng->http_port(), 0);
+
+  auto bad = s.Execute("SET http_port = 99999");
+  ASSERT_FALSE(bad.ok());
+
+  auto unknown = s.Execute("SET no_such_setting = 1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("telemetry_interval_ms"),
+            std::string::npos)
+      << unknown.status().ToString();
+  EXPECT_NE(unknown.status().ToString().find("http_port"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace expdb

@@ -1,0 +1,208 @@
+// The telemetry acceptance scenario end to end (ISSUE 10,
+// docs/OBSERVABILITY.md §9): with maintenance paused, inserts plus
+// ADVANCE TIME build an expired-tuple backlog; the background telemetry
+// thread samples it into the rings, the health model degrades — observed
+// through both SHOW HEALTH and a live /healthz fetch over the embedded
+// HTTP endpoint — then maintenance resumes, drains the backlog, and
+// health recovers. Concurrent query sessions hammer the engine the whole
+// time, so under TSan this also proves the sampler takes the right
+// locks.
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/maintenance.h"
+#include "engine/telemetry.h"
+#include "obs/http_endpoint.h"
+#include "obs/validate.h"
+#include "sql/session.h"
+
+namespace expdb {
+namespace {
+
+sql::ExecResult MustExec(sql::Session& s, const std::string& stmt) {
+  auto r = s.Execute(stmt);
+  EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : sql::ExecResult{};
+}
+
+/// Polls `predicate` every 2ms until it holds or the deadline passes.
+bool WaitFor(const std::function<bool()>& predicate,
+             std::chrono::seconds timeout = std::chrono::seconds(60)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return predicate();
+}
+
+TEST(TelemetryE2eTest, BacklogDegradesHealthAndMaintenanceRecoversIt) {
+  engine::EngineOptions options;
+  // Lazy removal with auto-compaction disabled: expired tuples stay
+  // stored until a maintenance pass, so pausing maintenance builds a
+  // real backlog.
+  options.expiration.policy = RemovalPolicy::kLazy;
+  options.expiration.lazy_compaction_threshold = 0;
+  auto eng = std::make_shared<engine::Engine>(options);
+
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE readings (id INT, v INT)");
+  MustExec(s, "INSERT INTO readings VALUES (0, 0) EXPIRE NEVER");
+
+  // Thresholds small enough for a test-sized backlog.
+  engine::HealthThresholds thresholds;
+  thresholds.backlog_degraded = 20;
+  thresholds.backlog_unhealthy = 100000;
+  eng->telemetry().set_thresholds(thresholds);
+
+  // Background telemetry on a tight cadence, plus the live endpoint.
+  eng->telemetry().set_interval_ms(5);
+  ASSERT_TRUE(eng->telemetry().running());
+  auto port = eng->StartHttpEndpoint(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  // Maintenance exists but is paused: the drain agent is off duty.
+  eng->maintenance().set_interval_ms(5);
+  eng->maintenance().Pause();
+
+  // Concurrent read sessions run for the whole scenario — sampling must
+  // coexist with queries (this is the TSan meat of the test).
+  std::atomic<bool> stop_readers{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([eng, &stop_readers, &reads] {
+      sql::Session reader(eng);
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        auto r = reader.Execute("SELECT * FROM readings");
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Build the backlog: 30 expired tuples, well over backlog_degraded.
+  for (int batch = 0; batch < 3; ++batch) {
+    std::string insert = "INSERT INTO readings VALUES ";
+    for (int i = 0; i < 10; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(batch * 10 + i + 1) + ", 0)";
+    }
+    MustExec(s, insert + " TTL 1");
+    MustExec(s, "ADVANCE TIME 2");
+  }
+
+  // The sampler must observe the backlog and degrade health.
+  ASSERT_TRUE(WaitFor([&] {
+    return eng->telemetry().CurrentHealth().state ==
+           engine::HealthState::kDegraded;
+  })) << eng->telemetry().CurrentHealth().ToString();
+
+  // Observed via SQL...
+  auto health = MustExec(s, "SHOW HEALTH");
+  EXPECT_NE(health.message.find("degraded"), std::string::npos)
+      << health.message;
+  EXPECT_NE(health.message.find("backlog"), std::string::npos);
+
+  // ...and via a live fetch against the embedded endpoint. Degraded
+  // still returns 200: only unhealthy flips the health checker.
+  std::string error;
+  auto healthz = obs::HttpGet("127.0.0.1", port.value(), "/healthz", &error);
+  ASSERT_TRUE(healthz.has_value()) << error;
+  EXPECT_EQ(healthz->status, 200);
+  EXPECT_TRUE(obs::ValidateJson(healthz->body, &error)) << error;
+  EXPECT_NE(healthz->body.find("degraded"), std::string::npos)
+      << healthz->body;
+
+  // The backlog series in the rings actually rose: its first retained
+  // point is below its maximum.
+  auto backlog_series =
+      eng->telemetry().series().Series("expdb_telemetry_expired_backlog");
+  ASSERT_TRUE(backlog_series.has_value());
+  double max_seen = 0;
+  for (const obs::TimeSeriesPoint& p : backlog_series->points) {
+    if (p.value > max_seen) max_seen = p.value;
+  }
+  EXPECT_GE(max_seen, 20.0);
+
+  // /metrics over the wire validates and carries the pressure gauges.
+  auto metrics = obs::HttpGet("127.0.0.1", port.value(), "/metrics", &error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  EXPECT_TRUE(obs::ValidatePrometheusText(metrics->body, &error)) << error;
+  EXPECT_NE(metrics->body.find("expdb_telemetry_expired_backlog"),
+            std::string::npos);
+
+  // Resume maintenance: the backlog drains, health recovers.
+  eng->maintenance().Resume();
+  ASSERT_TRUE(WaitFor([&] {
+    return eng->telemetry().CurrentHealth().state ==
+           engine::HealthState::kHealthy;
+  })) << eng->telemetry().CurrentHealth().ToString();
+
+  health = MustExec(s, "SHOW HEALTH");
+  EXPECT_NE(health.message.find("healthy"), std::string::npos)
+      << health.message;
+  healthz = obs::HttpGet("127.0.0.1", port.value(), "/healthz", &error);
+  ASSERT_TRUE(healthz.has_value()) << error;
+  EXPECT_EQ(healthz->status, 200);
+  EXPECT_NE(healthz->body.find("healthy"), std::string::npos);
+
+  stop_readers.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+  EXPECT_GT(reads.load(), 0u);
+
+  // Reads stayed correct throughout: only the EXPIRE NEVER tuple is
+  // visible at the end.
+  auto final_read = MustExec(s, "SELECT * FROM readings");
+  ASSERT_TRUE(final_read.relation.has_value());
+  EXPECT_EQ(final_read.relation->CountUnexpiredAt(s.Now()), 1u);
+
+  eng->StopHttpEndpoint();
+  eng->telemetry().Stop();
+  eng->maintenance().Stop();
+}
+
+TEST(TelemetryE2eTest, TimeseriesEndpointServesRingsLive) {
+  engine::EngineOptions options;
+  options.start_telemetry = true;
+  options.telemetry_interval_ms = 5;
+  auto eng = std::make_shared<engine::Engine>(options);
+  sql::Session s(eng);
+  MustExec(s, "CREATE TABLE t (x INT)");
+  MustExec(s, "INSERT INTO t VALUES (1) TTL 100");
+
+  auto port = eng->StartHttpEndpoint(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_TRUE(WaitFor([&] { return eng->telemetry().ticks() >= 2; }));
+
+  std::string error;
+  auto names = obs::HttpGet("127.0.0.1", port.value(), "/timeseries", &error);
+  ASSERT_TRUE(names.has_value()) << error;
+  EXPECT_TRUE(obs::ValidateJson(names->body, &error)) << error;
+  EXPECT_NE(names->body.find("expdb_telemetry_live_tuples"),
+            std::string::npos);
+
+  auto series = obs::HttpGet(
+      "127.0.0.1", port.value(),
+      "/timeseries?metric=expdb_telemetry_live_tuples", &error);
+  ASSERT_TRUE(series.has_value()) << error;
+  EXPECT_EQ(series->status, 200);
+  EXPECT_TRUE(obs::ValidateJson(series->body, &error)) << error;
+  EXPECT_NE(series->body.find("\"points\""), std::string::npos);
+
+  auto vars = obs::HttpGet("127.0.0.1", port.value(), "/vars", &error);
+  ASSERT_TRUE(vars.has_value()) << error;
+  EXPECT_TRUE(obs::ValidateJson(vars->body, &error)) << error;
+}
+
+}  // namespace
+}  // namespace expdb

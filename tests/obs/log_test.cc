@@ -117,6 +117,57 @@ TEST(EventLogTest, OpenSinkFailureReportsError) {
   EXPECT_FALSE(log.OpenSink("/nonexistent-dir/x/y/z.jsonl", &error));
   EXPECT_FALSE(error.empty());
   EXPECT_FALSE(log.HasSink());
+  // The failure is retained for MONITOR STATUS, not just the out-param.
+  EXPECT_FALSE(log.last_sink_error().empty());
+  // And surfaced as a warning event so callers that drop the return
+  // value still see it.
+  log.set_enabled(true);
+  EXPECT_FALSE(log.OpenSink("/nonexistent-dir/x/y/z.jsonl", &error));
+  const std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().event, "event_log_open_failed");
+  EXPECT_EQ(events.back().severity, LogSeverity::kWarn);
+}
+
+TEST(EventLogTest, WriteErrorsCountOnFullDevice) {
+  // /dev/full accepts the open but fails every write with ENOSPC —
+  // exactly the disk-full case the write-error counter exists for.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  EventLog log(4);
+  std::string error;
+  ASSERT_TRUE(log.OpenSink("/dev/full", &error)) << error;
+  log.set_enabled(true);
+  EXPECT_EQ(log.write_errors(), 0u);
+  log.Emit(LogSeverity::kInfo, "test", "doomed_write");
+  EXPECT_GE(log.write_errors(), 1u);
+  EXPECT_FALSE(log.last_sink_error().empty());
+  // The event itself still lands in the in-memory ring.
+  ASSERT_EQ(log.Snapshot().size(), 1u);
+  // The stream was cleared for retry: further emits keep counting
+  // instead of silently no-opping on a failed stream.
+  log.Emit(LogSeverity::kInfo, "test", "doomed_write_2");
+  EXPECT_GE(log.write_errors(), 2u);
+  log.CloseSink();
+}
+
+TEST(EventLogTest, CloseSinkFlushes) {
+  const std::string path = "/tmp/expdb_log_flush_test.jsonl";
+  {
+    EventLog log(4);
+    ASSERT_TRUE(log.OpenSink(path));
+    log.set_enabled(true);
+    log.Emit(LogSeverity::kInfo, "test", "flushed");
+    log.CloseSink();
+    EXPECT_FALSE(log.HasSink());
+    EXPECT_EQ(log.write_errors(), 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("flushed"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(EventLogTest, ClearEmptiesRing) {

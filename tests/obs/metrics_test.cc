@@ -164,6 +164,60 @@ TEST(HistogramTest, ExponentialBoundsStrictlyIncreasing) {
   }
 }
 
+TEST(HistogramTest, PercentileExtremesHitObservedMinMax) {
+  Histogram h(std::vector<int64_t>{10, 100, 1000});
+  for (int i = 0; i < 10; ++i) h.Record(7);
+  h.Record(700);
+  // p=0 and p=100 must clamp exactly to the observed extremes, not to
+  // bucket edges (7 sits inside (0, 10], 700 inside (100, 1000]).
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 700.0);
+}
+
+TEST(HistogramTest, PercentileSweepIsMonotone) {
+  Histogram h(std::vector<int64_t>{10, 100, 1000});
+  // Spread over every bucket including overflow.
+  for (int i = 0; i < 25; ++i) h.Record(5);
+  for (int i = 0; i < 25; ++i) h.Record(50);
+  for (int i = 0; i < 25; ++i) h.Record(500);
+  for (int i = 0; i < 25; ++i) h.Record(5000);
+  double prev = h.Percentile(0);
+  for (int p = 1; p <= 100; ++p) {
+    const double cur = h.Percentile(p);
+    EXPECT_GE(cur, prev) << "percentile not monotone at p=" << p;
+    prev = cur;
+  }
+  EXPECT_GE(h.Percentile(0), 5.0);
+  EXPECT_LE(h.Percentile(100), 5000.0);
+}
+
+TEST(HistogramTest, AllSamplesInOverflowBucket) {
+  Histogram h(std::vector<int64_t>{10});
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  // The overflow bucket has no upper bound; percentiles must still stay
+  // within the observed [min, max] at both extremes and in between, and
+  // p=100 is exactly the observed max.
+  EXPECT_GE(h.Percentile(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 300.0);
+  const double p50 = h.Percentile(50);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 300.0);
+}
+
+TEST(HistogramTest, SingleBucketMonotoneAfterReset) {
+  Histogram h(std::vector<int64_t>{1000});
+  for (int i = 0; i < 10; ++i) h.Record(i * 100);
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);  // empty again
+  h.Record(42);
+  // Post-reset single sample behaves like a fresh histogram.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 42.0);
+}
+
 TEST(RegistryTest, FindOrCreateReturnsStablePointers) {
   MetricsRegistry r;
   Counter* c1 = r.GetCounter("test_counter", "help text");

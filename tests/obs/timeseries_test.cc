@@ -1,0 +1,214 @@
+// Unit tests for the telemetry time-series rings: counter delta/rate
+// derivation, gauge deltas, sliding-window histogram percentiles, ring
+// eviction order, JSON rendering, and concurrent sampling.
+
+#include "obs/timeseries.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/validate.h"
+
+namespace expdb {
+namespace obs {
+namespace {
+
+MetricSnapshot Counter(const std::string& name, double value) {
+  MetricSnapshot m;
+  m.name = name;
+  m.kind = MetricSnapshot::Kind::kCounter;
+  m.value = value;
+  return m;
+}
+
+MetricSnapshot Gauge(const std::string& name, double value) {
+  MetricSnapshot m;
+  m.name = name;
+  m.kind = MetricSnapshot::Kind::kGauge;
+  m.value = value;
+  return m;
+}
+
+MetricSnapshot Hist(const std::string& name, std::vector<int64_t> bounds,
+                    std::vector<uint64_t> counts) {
+  MetricSnapshot m;
+  m.name = name;
+  m.kind = MetricSnapshot::Kind::kHistogram;
+  m.bucket_bounds = std::move(bounds);
+  m.bucket_counts = std::move(counts);
+  for (uint64_t c : m.bucket_counts) m.count += c;
+  return m;
+}
+
+TEST(PercentileFromBucketsTest, EmptyAndMalformed) {
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets({10, 100}, {0, 0, 0}, 50), 0.0);
+  // counts.size() must be bounds.size() + 1.
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets({10, 100}, {1, 2}, 50), 0.0);
+}
+
+TEST(PercentileFromBucketsTest, InterpolatesWithinBucket) {
+  // 10 samples in (0, 10]: p50 has rank 5 -> 0 + 5/10 * 10 = 5.
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets({10}, {10, 0}, 50), 5.0);
+  // p100 -> rank 10 -> upper edge.
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets({10}, {10, 0}, 100), 10.0);
+}
+
+TEST(PercentileFromBucketsTest, OverflowRankReturnsLargestBound) {
+  // All mass in the overflow bucket: the largest finite bound is the
+  // best available estimate.
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets({10, 100}, {0, 0, 5}, 99), 100.0);
+}
+
+TEST(PercentileFromBucketsTest, MonotoneAcrossBuckets) {
+  const std::vector<int64_t> bounds = {10, 100, 1000};
+  const std::vector<uint64_t> counts = {4, 3, 2, 1};
+  double prev = 0.0;
+  for (int p = 0; p <= 100; p += 5) {
+    const double cur = PercentileFromBuckets(bounds, counts, p);
+    EXPECT_GE(cur, prev) << "at p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(TimeSeriesStoreTest, CounterDeltaAndRate) {
+  TimeSeriesStore store(8);
+  store.Sample({Counter("c", 100)}, 1'000'000'000);
+  store.Sample({Counter("c", 150)}, 2'000'000'000);  // +50 over 1s
+  auto series = store.Series("c");
+  ASSERT_TRUE(series.has_value());
+  EXPECT_EQ(series->kind, MetricSnapshot::Kind::kCounter);
+  ASSERT_EQ(series->points.size(), 2u);
+  EXPECT_DOUBLE_EQ(series->points[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(series->points[0].delta, 0.0);  // first sample
+  EXPECT_DOUBLE_EQ(series->points[1].value, 150.0);
+  EXPECT_DOUBLE_EQ(series->points[1].delta, 50.0);
+  EXPECT_DOUBLE_EQ(series->points[1].rate, 50.0);
+}
+
+TEST(TimeSeriesStoreTest, CounterResetRestartsDelta) {
+  TimeSeriesStore store(8);
+  store.Sample({Counter("c", 100)}, 1'000'000'000);
+  store.Sample({Counter("c", 30)}, 2'000'000'000);  // went backwards (reset)
+  auto series = store.Series("c");
+  ASSERT_TRUE(series.has_value());
+  // Reset-tolerant: the delta restarts from the new cumulative value
+  // instead of going negative.
+  EXPECT_DOUBLE_EQ(series->points[1].delta, 30.0);
+}
+
+TEST(TimeSeriesStoreTest, GaugeDeltaMayBeNegative) {
+  TimeSeriesStore store(8);
+  store.Sample({Gauge("g", 10)}, 1'000'000'000);
+  store.Sample({Gauge("g", 4)}, 2'000'000'000);
+  auto series = store.Series("g");
+  ASSERT_TRUE(series.has_value());
+  EXPECT_DOUBLE_EQ(series->points[1].value, 4.0);
+  EXPECT_DOUBLE_EQ(series->points[1].delta, -6.0);
+}
+
+TEST(TimeSeriesStoreTest, HistogramWindowPercentilesTrackTheCurrentRegime) {
+  TimeSeriesStore store(8);
+  // First sample: 10 fast samples in (0, 10].
+  store.Sample({Hist("h", {10, 1000}, {10, 0, 0})}, 1'000'000'000);
+  // Second sample: 10 more samples, all slow, in (10, 1000]. Cumulative
+  // percentiles would average the two regimes; the windowed p50 must
+  // reflect only the new slow samples.
+  store.Sample({Hist("h", {10, 1000}, {10, 10, 0})}, 2'000'000'000);
+  auto series = store.Series("h");
+  ASSERT_TRUE(series.has_value());
+  ASSERT_EQ(series->points.size(), 2u);
+  EXPECT_LE(series->points[0].p50, 10.0);   // fast window
+  EXPECT_GT(series->points[1].p50, 10.0);   // slow window only
+  EXPECT_DOUBLE_EQ(series->points[1].delta, 10.0);
+  EXPECT_EQ(series->points[1].count, 20u);  // cumulative count
+  // value mirrors the window p50 for histograms.
+  EXPECT_DOUBLE_EQ(series->points[1].value, series->points[1].p50);
+}
+
+TEST(TimeSeriesStoreTest, RingEvictsOldestFirst) {
+  TimeSeriesStore store(3);
+  for (int i = 0; i < 5; ++i) {
+    store.Sample({Counter("c", i * 10.0)}, (i + 1) * 1'000'000'000LL);
+  }
+  auto series = store.Series("c");
+  ASSERT_TRUE(series.has_value());
+  ASSERT_EQ(series->points.size(), 3u);
+  // Points 0 and 1 evicted; retained oldest-first: values 20, 30, 40.
+  EXPECT_DOUBLE_EQ(series->points[0].value, 20.0);
+  EXPECT_DOUBLE_EQ(series->points[1].value, 30.0);
+  EXPECT_DOUBLE_EQ(series->points[2].value, 40.0);
+}
+
+TEST(TimeSeriesStoreTest, JsonTextIsValidJsonAndUnknownIsEmpty) {
+  TimeSeriesStore store(4);
+  store.Sample({Counter("c", 1), Hist("h", {10}, {1, 0})}, 1'000'000'000);
+  std::string error;
+  EXPECT_TRUE(ValidateJson(store.JsonText("c"), &error)) << error;
+  EXPECT_TRUE(ValidateJson(store.JsonText("h"), &error)) << error;
+  EXPECT_TRUE(ValidateJson(store.JsonNames(), &error)) << error;
+  EXPECT_EQ(store.JsonText("nope"), "");
+  // Histogram points carry the percentile fields; counters don't.
+  EXPECT_NE(store.JsonText("h").find("\"p99\""), std::string::npos);
+  EXPECT_EQ(store.JsonText("c").find("\"p99\""), std::string::npos);
+}
+
+TEST(TimeSeriesStoreTest, NamesAndCounts) {
+  TimeSeriesStore store(4);
+  EXPECT_EQ(store.samples_taken(), 0u);
+  store.Sample({Counter("a", 1), Counter("b", 2)}, 1);
+  store.Sample({Counter("a", 2), Counter("b", 3)}, 2);
+  EXPECT_EQ(store.samples_taken(), 2u);
+  EXPECT_EQ(store.series_count(), 2u);
+  const std::vector<std::string> names = store.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  store.Clear();
+  EXPECT_EQ(store.series_count(), 0u);
+  EXPECT_EQ(store.samples_taken(), 0u);
+}
+
+TEST(TimeSeriesStoreTest, ConcurrentSamplersAndReaders) {
+  TimeSeriesStore store(16);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kIters; ++i) {
+        store.Sample({Counter("shared", i), Gauge("g" + std::to_string(t), i)},
+                     i + 1);
+        if (i % 50 == 0) {
+          (void)store.Series("shared");
+          (void)store.JsonText("shared");
+          (void)store.Names();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(store.samples_taken(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  auto series = store.Series("shared");
+  ASSERT_TRUE(series.has_value());
+  EXPECT_EQ(series->points.size(), 16u);
+}
+
+TEST(TelemetryStatusTextTest, ListsOnlyActiveMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("quiet_total");
+  registry.GetCounter("busy_total")->Increment(7);
+  registry.GetHistogram("empty_hist");
+  registry.GetHistogram("used_hist")->Record(100);
+  const std::string text = TelemetryStatusText(registry);
+  EXPECT_NE(text.find("busy_total = 7"), std::string::npos);
+  EXPECT_NE(text.find("used_hist"), std::string::npos);
+  EXPECT_EQ(text.find("quiet_total"), std::string::npos);
+  EXPECT_EQ(text.find("empty_hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace expdb
